@@ -1,0 +1,122 @@
+"""E-X2 — Ablations of the three-layer framework's design choices.
+
+Disables each layer (and sweeps the splitter's spatial radius) on the same
+degraded workload and scores against ground truth.  Expected shapes:
+disabling cleaning hurts region accuracy on noisy data; disabling
+complementing leaves dropout gaps unfilled; the splitter has a broad sweet
+spot around the default eps.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Translator, TranslatorConfig, score_semantics
+from repro.core.annotation import AnnotatorConfig, SplitterConfig
+from repro.positioning import inject_dropout, inject_floor_errors, inject_outliers
+
+from .conftest import print_table
+
+_LAYER_ROWS: list[list] = []
+_EPS_ROWS: list[list] = []
+
+
+@pytest.fixture(scope="module")
+def degraded(mall3, population):
+    """Population data with floor errors, outliers and dropout injected."""
+    sequences = []
+    for index, device in enumerate(population):
+        sequence, _ = inject_floor_errors(
+            device.raw, 0.06, mall3.floor_numbers, seed=100 + index
+        )
+        sequence, _ = inject_outliers(sequence, 0.03, seed=200 + index)
+        sequence, _ = inject_dropout(
+            sequence, gap_seconds=200.0, seed=300 + index
+        )
+        sequences.append(sequence)
+    return sequences
+
+
+def _score_batch(mall3, population, batch):
+    truth = {d.device_id: d.truth_semantics for d in population}
+    scores = [
+        score_semantics(r.semantics, truth[r.device_id]) for r in batch
+    ]
+    count = len(scores)
+    return (
+        sum(s.region_time_accuracy for s in scores) / count,
+        sum(s.event_accuracy for s in scores) / count,
+        sum(s.triplet_f1 for s in scores) / count,
+    )
+
+
+@pytest.mark.parametrize(
+    "arm,config",
+    [
+        ("full pipeline", TranslatorConfig()),
+        ("no cleaning", TranslatorConfig(enable_cleaning=False)),
+        ("no complementing", TranslatorConfig(enable_complementing=False)),
+        (
+            "no cleaning + no complementing",
+            TranslatorConfig(
+                enable_cleaning=False, enable_complementing=False
+            ),
+        ),
+    ],
+)
+def test_layer_ablation(
+    benchmark, mall3, population, trained_identifier, degraded, arm, config
+):
+    translator = Translator(mall3, trained_identifier, config)
+
+    batch = benchmark.pedantic(
+        lambda: translator.translate_batch(degraded), rounds=1, iterations=1
+    )
+    region, event, f1 = _score_batch(mall3, population, batch)
+    inferred = sum(r.semantics.inferred_count for r in batch)
+    _LAYER_ROWS.append(
+        [arm, f"{region:.3f}", f"{event:.3f}", f"{f1:.3f}", inferred]
+    )
+
+
+@pytest.mark.parametrize("eps_space", [2.0, 4.5, 8.0, 12.0])
+def test_splitter_eps_sensitivity(
+    benchmark, mall3, population, trained_identifier, eps_space
+):
+    config = TranslatorConfig(
+        annotation=AnnotatorConfig(
+            splitter=SplitterConfig(eps_space=eps_space)
+        )
+    )
+    translator = Translator(mall3, trained_identifier, config)
+    sequences = [d.raw for d in population]
+
+    batch = benchmark.pedantic(
+        lambda: translator.translate_batch(sequences), rounds=1, iterations=1
+    )
+    region, event, f1 = _score_batch(mall3, population, batch)
+    _EPS_ROWS.append(
+        [f"{eps_space:.1f} m", f"{region:.3f}", f"{event:.3f}", f"{f1:.3f}"]
+    )
+
+
+def test_zz_report(benchmark):
+    benchmark(lambda: None)  # anchor so --benchmark-only runs the report
+    print_table(
+        "Ablation: layer contributions on degraded data "
+        "(6% floor errors, 3% outliers, 200 s dropout)",
+        ["arm", "region-time", "event", "triplet-F1", "inferred"],
+        _LAYER_ROWS,
+    )
+    print_table(
+        "Ablation: splitter eps_space sensitivity (clean channel)",
+        ["eps_space", "region-time", "event", "triplet-F1"],
+        _EPS_ROWS,
+    )
+    assert len(_LAYER_ROWS) == 4 and len(_EPS_ROWS) == 4
+    full = next(r for r in _LAYER_ROWS if r[0] == "full pipeline")
+    stripped = next(
+        r for r in _LAYER_ROWS if r[0] == "no cleaning + no complementing"
+    )
+    # Expected shape: the full pipeline beats the stripped one.
+    assert float(full[1]) >= float(stripped[1]) - 0.01

@@ -1,0 +1,128 @@
+"""E-F1 — Figure 1: architecture data-flow throughput per component.
+
+Figure 1 shows the Configurator -> Translator -> Viewer chain.  This bench
+measures each component on the same workload, reproducing the data flow as
+a throughput table: selection (Data Selector), cleaning, annotation,
+complementing, and viewer timeline construction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MobilityKnowledge, RawDataCleaner, Translator
+from repro.core.annotation import MobilitySemanticsAnnotator
+from repro.core.complementing import MobilitySemanticsComplementor
+from repro.positioning import DataSelector, DurationRule, MemorySource
+from repro.viewer import build_timelines
+
+from .conftest import print_table
+
+_ROWS: list[list] = []
+
+
+@pytest.fixture(scope="module")
+def records(population):
+    return sorted(r for d in population for r in d.raw)
+
+
+@pytest.fixture(scope="module")
+def sequences(population):
+    return [d.raw for d in population]
+
+
+def _record_row(component, count, seconds):
+    _ROWS.append(
+        [component, count, f"{seconds * 1e3:.1f} ms",
+         f"{count / seconds:,.0f} rec/s" if seconds > 0 else "-"]
+    )
+
+
+def test_configurator_data_selector(benchmark, records):
+    selector = DataSelector(
+        [MemorySource(records)], rule=DurationRule(min_seconds=300)
+    )
+    result = benchmark(selector.select)
+    assert result
+    stats = benchmark.stats.stats
+    _record_row("Configurator: Data Selector", len(records), stats.mean)
+
+
+def test_translator_cleaning(benchmark, mall3, sequences):
+    cleaner = RawDataCleaner(mall3.topology)
+
+    def clean_all():
+        return [cleaner.clean(s) for s in sequences]
+
+    results = benchmark(clean_all)
+    total = sum(len(s) for s in sequences)
+    assert len(results) == len(sequences)
+    _record_row("Translator: Raw Data Cleaner", total, benchmark.stats.stats.mean)
+
+
+def test_translator_annotation(benchmark, mall3, sequences, trained_identifier):
+    cleaner = RawDataCleaner(mall3.topology)
+    cleaned = [cleaner.clean(s).cleaned for s in sequences]
+    annotator = MobilitySemanticsAnnotator(mall3, trained_identifier)
+
+    def annotate_all():
+        return [annotator.annotate(c) for c in cleaned]
+
+    results = benchmark(annotate_all)
+    total = sum(len(s) for s in sequences)
+    assert all(len(r.sequence) > 0 for r in results)
+    _record_row("Translator: Annotator", total, benchmark.stats.stats.mean)
+
+
+def test_translator_complementing(benchmark, mall3, sequences, trained_identifier):
+    cleaner = RawDataCleaner(mall3.topology)
+    annotator = MobilitySemanticsAnnotator(mall3, trained_identifier)
+    originals = [
+        annotator.annotate(cleaner.clean(s).cleaned).sequence
+        for s in sequences
+    ]
+    knowledge = MobilityKnowledge.from_sequences(
+        originals, [r.region_id for r in mall3.regions()]
+    )
+    complementor = MobilitySemanticsComplementor(knowledge, mall3.topology)
+
+    def complement_all():
+        return [complementor.complement(o) for o in originals]
+
+    results = benchmark(complement_all)
+    assert len(results) == len(originals)
+    total = sum(len(o) for o in originals)
+    _ROWS.append(
+        ["Translator: Complementor", f"{total} triplets",
+         f"{benchmark.stats.stats.mean * 1e3:.1f} ms", "-"]
+    )
+
+
+def test_viewer_timeline_build(benchmark, mall3, population, translator):
+    device = population[0]
+    result = translator.translate(device.raw)
+
+    def build():
+        return build_timelines(
+            raw=device.raw,
+            cleaned=result.cleaned,
+            semantics=result.semantics,
+            ground_truth=device.ground_truth,
+            model=mall3,
+        )
+
+    timelines = benchmark(build)
+    total = sum(len(t) for t in timelines.values())
+    _record_row("Viewer: timeline build", total, benchmark.stats.stats.mean)
+
+
+def test_zz_report(benchmark, population):
+    benchmark(lambda: None)  # anchor so --benchmark-only runs the report
+    total_records = sum(len(d.raw) for d in population)
+    print_table(
+        f"Figure 1: component throughput ({len(population)} devices, "
+        f"{total_records} raw records)",
+        ["component", "items", "mean time", "throughput"],
+        _ROWS,
+    )
+    assert len(_ROWS) >= 5

@@ -1,0 +1,134 @@
+"""E-F2 — Figure 2: DSM creation in the Space Modeler.
+
+Figure 2 shows the drawing tool.  This bench reproduces the three-step
+creation pipeline headlessly: (1) import + trace (drawing-op latency and
+undo/redo), (2) topology computation versus entity count, (3) DSM JSON
+round-trip for the three shipped buildings plus synthetic grids.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.buildings import MallConfig, build_airport, build_mall, build_office
+from repro.dsm import EntityKind, Topology, dsm_from_json, dsm_to_json
+from repro.spacemodel import DrawingCanvas, build_dsm
+
+from .conftest import print_table
+
+
+def synthetic_grid(rooms_per_side: int) -> list[DrawingCanvas]:
+    """A square grid of rooms around a cross of corridors."""
+    canvas = DrawingCanvas(1)
+    size = 10.0
+    for row in range(rooms_per_side):
+        for col in range(rooms_per_side):
+            x, y = col * size, row * size + size  # corridor strip at y<10
+            drawn = canvas.draw_rectangle(
+                x, y, x + size, y + size, kind=EntityKind.ROOM,
+                name=f"unit-{row}-{col}",
+            )
+            canvas.assign_tag(drawn.shape_id, "shop", name=f"Unit {row}.{col}")
+    corridor = canvas.draw_rectangle(
+        0, 0, rooms_per_side * size, size, kind=EntityKind.HALLWAY,
+        name="corridor",
+    )
+    canvas.assign_tag(corridor.shape_id, "hall")
+    for col in range(rooms_per_side):
+        canvas.draw_door((col * size + size / 2, size - 0.35), snap=False)
+    canvas.draw_door((0, size / 2), entrance=True, snap=False)
+    return [canvas]
+
+
+def test_drawing_operations(benchmark):
+    """Latency of the core draw-edit-undo loop (1000 operations)."""
+
+    def draw_edit_undo():
+        canvas = DrawingCanvas(1)
+        canvas.import_floorplan("plan.png", 500, 500)
+        shapes = []
+        for i in range(200):
+            shape = canvas.draw_rectangle(
+                (i % 20) * 10, (i // 20) * 10,
+                (i % 20) * 10 + 8, (i // 20) * 10 + 8,
+                kind=EntityKind.ROOM,
+            )
+            shapes.append(shape.shape_id)
+        for shape_id in shapes[:200]:
+            canvas.assign_tag(shape_id, "shop")
+        for shape_id in shapes[:100]:
+            canvas.move_shape(shape_id, 0.5, 0.5)
+        for _ in range(100):
+            canvas.undo()
+        for _ in range(100):
+            canvas.redo()
+        return canvas
+
+    canvas = benchmark(draw_edit_undo)
+    ops = 200 + 200 + 100 + 200
+    mean = benchmark.stats.stats.mean
+    print(f"\nFigure 2 drawing loop: {ops} ops in {mean * 1e3:.1f} ms "
+          f"({ops / mean:,.0f} ops/s)")
+    assert len(canvas) == 200
+
+
+@pytest.mark.parametrize("rooms_per_side", [2, 5, 10, 15])
+def test_topology_computation_scaling(benchmark, rooms_per_side):
+    """Topology build time versus entity count."""
+    model = build_dsm(synthetic_grid(rooms_per_side), validate=False)
+
+    def compute():
+        return Topology.build(model)
+
+    topology = benchmark(compute)
+    n_partitions = topology.partition_graph.number_of_nodes()
+    print(f"\n{rooms_per_side}x{rooms_per_side} grid: "
+          f"{model.entity_count} entities, {n_partitions} partitions, "
+          f"{topology.region_graph.number_of_edges()} region edges, "
+          f"{benchmark.stats.stats.mean * 1e3:.1f} ms")
+    assert n_partitions == rooms_per_side**2 + 1
+
+
+@pytest.mark.parametrize(
+    "name,builder",
+    [
+        ("mall-7F", lambda: build_mall(MallConfig(floors=7))),
+        ("office-3F", build_office),
+        ("airport-2F", build_airport),
+    ],
+)
+def test_building_construction(benchmark, name, builder):
+    """Full build (draw + tag + validate) of each shipped building."""
+    model = benchmark(builder)
+    print(f"\n{name}: {model.entity_count} entities, "
+          f"{model.region_count} regions, "
+          f"{benchmark.stats.stats.mean * 1e3:.1f} ms")
+    assert model.region_count > 0
+
+
+def test_dsm_json_roundtrip(benchmark, mall7):
+    """Serialize + parse the 7-floor mall DSM."""
+
+    def roundtrip():
+        return dsm_from_json(dsm_to_json(mall7))
+
+    clone = benchmark(roundtrip)
+    text = dsm_to_json(mall7)
+    print(f"\nDSM JSON: {len(text) / 1024:.0f} KiB, round-trip "
+          f"{benchmark.stats.stats.mean * 1e3:.1f} ms")
+    assert clone.entity_count == mall7.entity_count
+
+
+def test_zz_report(benchmark, mall7):
+    benchmark(lambda: None)  # anchor so --benchmark-only runs the report
+    rows = []
+    for floor in mall7.floor_numbers:
+        entities = [e for e in mall7.entities() if e.floor == floor]
+        regions = mall7.regions(floor=floor)
+        rows.append([f"{floor}F", len(entities), len(regions)])
+    print_table(
+        "Figure 2: the 7-floor demo venue produced by the Space Modeler",
+        ["floor", "entities", "regions"],
+        rows,
+    )
+    assert len(rows) == 7

@@ -1,0 +1,123 @@
+"""E-F3b — Figure 3, Annotation layer: event identification quality.
+
+Reproduces the annotation layer's two learnable claims: identification
+accuracy improves with the number of Event Editor designations before
+plateauing, and the model family is a free choice (classifier ablation).
+Expected shape: every learned model beats the zero-training heuristic on
+designated segments once training data is plentiful; accuracy rises with
+training size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import EventIdentifier, HeuristicEventIdentifier
+from repro.core.annotation import DensitySplitter
+from repro.events import EventEditor
+from repro.learning import accuracy, macro_f1
+
+from .conftest import print_table
+
+_SIZE_ROWS: list[list] = []
+_MODEL_ROWS: list[list] = []
+
+
+@pytest.fixture(scope="module")
+def designations(population):
+    """Training designations from 8 devices; test segments from 4 others."""
+    train_editor = EventEditor()
+    for device in population[:8]:
+        train_editor.designate_from_annotations(
+            device.raw,
+            [(s.event, s.time_range) for s in device.truth_semantics],
+        )
+    test_editor = EventEditor()
+    for device in population[8:]:
+        test_editor.designate_from_annotations(
+            device.raw,
+            [(s.event, s.time_range) for s in device.truth_semantics],
+        )
+    return train_editor.training_set(), test_editor.training_set()
+
+
+def _evaluate(identifier, test_set) -> tuple[float, float]:
+    predicted = [
+        identifier.identify(list(segment.records)).event
+        for segment in test_set.segments
+    ]
+    return accuracy(test_set.labels, predicted), macro_f1(
+        test_set.labels, predicted
+    )
+
+
+@pytest.mark.parametrize("size", [6, 12, 25, 50, 100])
+def test_training_size_sweep(benchmark, designations, size):
+    training, test = designations
+    subset = training.subset(size, seed=1)
+
+    def train():
+        return EventIdentifier("forest", seed=0).train(subset)
+
+    identifier = benchmark(train)
+    acc, f1 = _evaluate(identifier, test)
+    _SIZE_ROWS.append([len(subset), f"{acc:.3f}", f"{f1:.3f}"])
+    assert acc >= 0.6
+
+
+@pytest.mark.parametrize(
+    "model", ["heuristic", "logistic", "tree", "forest", "knn", "naive-bayes"]
+)
+def test_model_family_ablation(benchmark, designations, model):
+    training, test = designations
+
+    if model == "heuristic":
+        identifier = HeuristicEventIdentifier()
+        benchmark(lambda: _evaluate(identifier, test))
+    else:
+        identifier = EventIdentifier(model, seed=0).train(training)
+        benchmark(lambda: _evaluate(identifier, test))
+    acc, f1 = _evaluate(identifier, test)
+    _MODEL_ROWS.append([model, f"{acc:.3f}", f"{f1:.3f}"])
+    assert acc >= 0.55
+
+
+def test_splitting_throughput(benchmark, population):
+    splitter = DensitySplitter()
+    sequences = [d.raw for d in population]
+
+    def split_all():
+        return [splitter.split(s) for s in sequences]
+
+    results = benchmark(split_all)
+    total = sum(len(s) for s in sequences)
+    rate = total / benchmark.stats.stats.mean
+    snippet_count = sum(len(r) for r in results)
+    print(f"\nsplitting: {total} records -> {snippet_count} snippets "
+          f"at {rate:,.0f} records/s")
+    assert rate > 5000
+
+
+def test_zz_report(benchmark, designations):
+    benchmark(lambda: None)  # anchor so --benchmark-only runs the report
+    training, test = designations
+    print_table(
+        f"Figure 3 / Annotation: forest accuracy vs designated training "
+        f"segments (test = {len(test)} segments)",
+        ["training segments", "accuracy", "macro-F1"],
+        _SIZE_ROWS,
+    )
+    print_table(
+        f"Figure 3 / Annotation: classifier family ablation "
+        f"(train = {len(training)} segments)",
+        ["model", "accuracy", "macro-F1"],
+        _MODEL_ROWS,
+    )
+    # Expected shapes: accuracy grows with training size...
+    if len(_SIZE_ROWS) >= 2:
+        assert float(_SIZE_ROWS[-1][1]) >= float(_SIZE_ROWS[0][1]) - 0.05
+    # ...and the best learned model beats the fixed-threshold heuristic.
+    learned = [float(r[1]) for r in _MODEL_ROWS if r[0] != "heuristic"]
+    heuristic = [float(r[1]) for r in _MODEL_ROWS if r[0] == "heuristic"]
+    if learned and heuristic:
+        assert max(learned) >= heuristic[0] - 0.02

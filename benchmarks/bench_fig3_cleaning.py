@@ -1,0 +1,111 @@
+"""E-F3a — Figure 3, Cleaning layer: repair quality vs injected error rate.
+
+Sweeps floor-error and outlier rates over ground-truth trajectories and
+reports what the cleaning layer recovers: floor accuracy before/after,
+RMSE before/after, and cleaning throughput.  Expected shape: floor
+accuracy after cleaning stays near 1.0 across the sweep and RMSE drops
+whenever outliers are present.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import RawDataCleaner, score_positions
+from repro.positioning import (
+    inject_floor_errors,
+    inject_gaussian_noise,
+    inject_outliers,
+)
+
+from .conftest import print_table
+
+_FLOOR_ROWS: list[list] = []
+_OUTLIER_ROWS: list[list] = []
+
+
+@pytest.mark.parametrize("rate", [0.0, 0.05, 0.10, 0.20, 0.40])
+def test_floor_error_sweep(benchmark, mall3, device, rate):
+    truth = device.ground_truth
+    corrupted, _ = inject_floor_errors(
+        truth, rate, mall3.floor_numbers, seed=int(rate * 100)
+    )
+    cleaner = RawDataCleaner(mall3.topology)
+
+    result = benchmark(lambda: cleaner.clean(corrupted))
+
+    before = score_positions(corrupted, truth)
+    after = score_positions(result.cleaned, truth)
+    _FLOOR_ROWS.append(
+        [
+            f"{rate:.0%}",
+            f"{before.floor_accuracy:.3f}",
+            f"{after.floor_accuracy:.3f}",
+            result.report.invalid_count,
+            len(result.report.floor_corrected),
+        ]
+    )
+    # Cleaning must never make floors worse, and must recover most errors
+    # up to its design point (~20% corruption); beyond that, consecutive
+    # corrupted records anchor on each other and recovery saturates.
+    assert after.floor_accuracy >= before.floor_accuracy - 0.01
+    if 0 < rate <= 0.20:
+        assert after.floor_accuracy >= 0.95
+
+
+@pytest.mark.parametrize("rate", [0.0, 0.02, 0.05, 0.10, 0.20])
+def test_outlier_sweep(benchmark, mall3, device, rate):
+    truth = device.ground_truth
+    noisy = inject_gaussian_noise(truth, 1.0, seed=3)
+    corrupted, _ = inject_outliers(
+        noisy, rate, magnitude=30.0, seed=int(rate * 1000)
+    )
+    cleaner = RawDataCleaner(mall3.topology)
+
+    result = benchmark(lambda: cleaner.clean(corrupted))
+
+    before = score_positions(corrupted, truth)
+    after = score_positions(result.cleaned, truth)
+    _OUTLIER_ROWS.append(
+        [
+            f"{rate:.0%}",
+            f"{before.rmse:.2f}",
+            f"{after.rmse:.2f}",
+            f"{before.max_error:.1f}",
+            f"{after.max_error:.1f}",
+        ]
+    )
+    if rate > 0:
+        assert after.rmse < before.rmse
+
+
+def test_cleaning_throughput(benchmark, mall3, population):
+    sequences = [d.raw for d in population]
+    cleaner = RawDataCleaner(mall3.topology)
+
+    def clean_all():
+        return [cleaner.clean(s) for s in sequences]
+
+    benchmark(clean_all)
+    total = sum(len(s) for s in sequences)
+    rate = total / benchmark.stats.stats.mean
+    print(f"\ncleaning throughput: {total} records at {rate:,.0f} records/s")
+    assert rate > 1000
+
+
+def test_zz_report(benchmark):
+    benchmark(lambda: None)  # anchor so --benchmark-only runs the report
+    print_table(
+        "Figure 3 / Cleaning: floor value correction vs injected rate",
+        ["error rate", "floor-acc before", "floor-acc after",
+         "detected invalid", "floor-corrected"],
+        _FLOOR_ROWS,
+    )
+    print_table(
+        "Figure 3 / Cleaning: location interpolation vs outlier rate "
+        "(sigma = 1 m)",
+        ["outlier rate", "rmse before", "rmse after",
+         "max err before", "max err after"],
+        _OUTLIER_ROWS,
+    )
+    assert len(_FLOOR_ROWS) == 5 and len(_OUTLIER_ROWS) == 5

@@ -1,0 +1,132 @@
+"""E-F3c — Figure 3, Complementing layer: gap inference quality.
+
+Punches dropout windows of increasing length into raw sequences and
+measures how well the complementing layer reconstructs the missing
+semantics, against the distance-only (no-knowledge) baseline.  Expected
+shape: knowledge-based MAP inference fills at least as precisely as the
+distance-only arm, and recovered region-time grows with what was lost.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    DistanceOnlyGapFiller,
+    Translator,
+    score_gap_fill,
+    score_semantics,
+)
+from repro.positioning import inject_dropout
+
+from .conftest import print_table
+
+_GAP_ROWS: list[list] = []
+
+
+@pytest.mark.parametrize("gap_seconds", [120.0, 240.0, 480.0])
+def test_gap_length_sweep(benchmark, mall3, population, translator, gap_seconds):
+    degraded = []
+    for index, device in enumerate(population):
+        sequence, _ = inject_dropout(
+            device.raw, gap_seconds=gap_seconds, gap_count=1,
+            seed=int(gap_seconds) + index,
+        )
+        degraded.append(sequence)
+
+    batch = benchmark.pedantic(
+        lambda: translator.translate_batch(degraded), rounds=1, iterations=1
+    )
+
+    filler = DistanceOnlyGapFiller(mall3.topology)
+    knowledge_inferred = knowledge_correct = 0
+    distance_inferred = distance_correct = 0
+    region_time = 0.0
+    for result, device in zip(batch, population):
+        k = score_gap_fill(result.semantics, device.truth_semantics)
+        d = score_gap_fill(
+            filler.complement(result.original_semantics),
+            device.truth_semantics,
+        )
+        knowledge_inferred += k.inferred_count
+        knowledge_correct += k.correct_region_count
+        distance_inferred += d.inferred_count
+        distance_correct += d.correct_region_count
+        region_time += score_semantics(
+            result.semantics, device.truth_semantics
+        ).region_time_accuracy
+    k_precision = (
+        knowledge_correct / knowledge_inferred if knowledge_inferred else 0.0
+    )
+    d_precision = (
+        distance_correct / distance_inferred if distance_inferred else 0.0
+    )
+    _GAP_ROWS.append(
+        [
+            f"{gap_seconds:.0f}s",
+            knowledge_inferred,
+            f"{k_precision:.2f}",
+            distance_inferred,
+            f"{d_precision:.2f}",
+            f"{region_time / len(population):.3f}",
+        ]
+    )
+
+
+def test_knowledge_construction_throughput(benchmark, mall3, population, translator):
+    from repro.core import MobilityKnowledge
+
+    originals = [
+        translator.clean_and_annotate(d.raw)[1].sequence for d in population
+    ]
+    regions = [r.region_id for r in mall3.regions()]
+
+    knowledge = benchmark(
+        lambda: MobilityKnowledge.from_sequences(originals, regions)
+    )
+    observed = sum(
+        knowledge.transition_count(a, b)
+        for a in knowledge.regions
+        for b in knowledge.regions
+        if a != b
+    )
+    print(f"\nknowledge: {len(regions)} regions, {observed} observed "
+          f"transitions from {len(originals)} sequences, "
+          f"{benchmark.stats.stats.mean * 1e3:.2f} ms")
+    assert observed > 0
+
+
+def test_inference_latency(benchmark, mall3, population, translator):
+    """Latency of a single MAP gap inference (the interactive unit)."""
+    from repro.core import MobilityKnowledge, SemanticsInference
+    from repro.timeutil import TimeRange
+
+    originals = [
+        translator.clean_and_annotate(d.raw)[1].sequence for d in population
+    ]
+    regions = [r.region_id for r in mall3.regions()]
+    knowledge = MobilityKnowledge.from_sequences(originals, regions)
+    inference = SemanticsInference(knowledge, mall3.topology)
+    origin, destination = regions[0], regions[-1]
+
+    inferred = benchmark(
+        lambda: inference.infer_gap(origin, destination, TimeRange(0.0, 300.0))
+    )
+    print(f"\nsingle gap inference: {benchmark.stats.stats.mean * 1e3:.2f} ms "
+          f"({len(inferred)} inferred triplets)")
+
+
+def test_zz_report(benchmark):
+    benchmark(lambda: None)  # anchor so --benchmark-only runs the report
+    print_table(
+        "Figure 3 / Complementing: knowledge-based MAP vs distance-only "
+        "filling per dropout length",
+        ["gap", "MAP inferred", "MAP precision",
+         "distance inferred", "distance precision", "region-time acc"],
+        _GAP_ROWS,
+    )
+    assert len(_GAP_ROWS) == 3
+    # Expected shape: MAP filling is at least as precise as distance-only.
+    for row in _GAP_ROWS:
+        if int(row[1]) > 0 and int(row[3]) > 0:
+            assert float(row[2]) >= float(row[4]) - 0.25

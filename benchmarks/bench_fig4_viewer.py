@@ -1,0 +1,119 @@
+"""E-F4 — Figure 4: visualization of mobility data sequences.
+
+Reproduces the Viewer's mechanics as measurable operations: building the
+four-source timeline abstraction, the display-point policy switch
+(footnote 1), synchronized selection by time range, SVG map rendering
+with all overlays, visibility toggling, and animation playback.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.viewer import (
+    DataSourceKind,
+    DisplayPointPolicy,
+    ViewerSession,
+    build_timelines,
+)
+
+from .conftest import print_table
+
+
+@pytest.fixture(scope="module")
+def translated(translator, device):
+    return translator.translate(device.raw)
+
+
+@pytest.fixture(scope="module")
+def session(mall3, translated, device):
+    return ViewerSession(mall3, translated, ground_truth=device.ground_truth)
+
+
+def test_timeline_build(benchmark, mall3, translated, device):
+    def build():
+        return build_timelines(
+            raw=device.raw,
+            cleaned=translated.cleaned,
+            semantics=translated.semantics,
+            ground_truth=device.ground_truth,
+            model=mall3,
+        )
+
+    timelines = benchmark(build)
+    total = sum(len(t) for t in timelines.values())
+    rate = total / benchmark.stats.stats.mean
+    print(f"\ntimeline build: {total} entries at {rate:,.0f} entries/s")
+    assert set(timelines) == set(DataSourceKind)
+
+
+@pytest.mark.parametrize("policy", list(DisplayPointPolicy))
+def test_display_point_policies(benchmark, mall3, translated, device, policy):
+    from repro.viewer import timeline_from_semantics
+
+    timeline = benchmark(
+        lambda: timeline_from_semantics(
+            translated.semantics, translated.cleaned, policy, mall3
+        )
+    )
+    print(f"\n{policy.value}: {len(timeline)} semantics entries")
+    assert len(timeline) == len(translated.semantics)
+
+
+def test_synchronized_selection(benchmark, session):
+    indexes = list(range(len(session.semantics_timeline)))
+
+    def select_all():
+        total = 0
+        for index in indexes:
+            covered = session.select_semantic(index)
+            total += sum(len(v) for v in covered.values())
+        return total
+
+    covered_total = benchmark(select_all)
+    per_click = benchmark.stats.stats.mean / len(indexes) * 1e3
+    print(f"\nsynchronized selection: {len(indexes)} clicks, "
+          f"{covered_total} covered entries, {per_click:.2f} ms/click")
+    assert per_click < 50.0  # interactive budget
+
+
+def test_svg_render(benchmark, session):
+    document = benchmark(lambda: session.render())
+    text = document.to_string()
+    mean = benchmark.stats.stats.mean
+    print(f"\nSVG render: {len(text) / 1024:.0f} KiB in {mean * 1e3:.1f} ms")
+    assert "<svg" in text
+
+
+def test_visibility_toggle_render(benchmark, session):
+    def toggle_and_render():
+        session.toggle_source(DataSourceKind.RAW)
+        document = session.render()
+        session.toggle_source(DataSourceKind.RAW)
+        return document
+
+    document = benchmark(toggle_and_render)
+    assert document is not None
+
+
+def test_animation_playback(benchmark, session):
+    frames = benchmark(lambda: session.animate(step_seconds=15.0))
+    rate = len(frames) / benchmark.stats.stats.mean
+    print(f"\nanimation: {len(frames)} frames at {rate:,.0f} frames/s")
+    assert any(f.current_semantic_label for f in frames)
+
+
+def test_zz_report(benchmark, session, translated, device):
+    benchmark(lambda: None)  # anchor so --benchmark-only runs the report
+    rows = []
+    for source, timeline in session.timelines.items():
+        rows.append([source.value, len(timeline),
+                     "instant" if timeline.entries and timeline[0].is_instant
+                     else "ranged"])
+    print_table(
+        f"Figure 4: one device's data sources as timelines "
+        f"(device {device.device_id})",
+        ["source", "entries", "entry type"],
+        rows,
+    )
+    assert len(rows) == 4

@@ -1,0 +1,123 @@
+"""E-F5 — Figure 5: the five-step workflow in the shopping mall scenario.
+
+Runs the complete analyst workflow of paper §4 on the 7-floor venue —
+(1) select in operating hours, (2) import the DSM from its JSON file,
+(3) designate event training data, (4) submit the batch translation,
+(5) browse one device — and reports each step's latency plus the final
+translation quality against simulator ground truth.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core import EventIdentifier, Translator, score_semantics
+from repro.dsm import dsm_from_json, dsm_to_json
+from repro.events import EventEditor
+from repro.positioning import (
+    DailyHoursRule,
+    DataSelector,
+    DurationRule,
+    MemorySource,
+)
+from repro.simulation import BROWSER, SHOPPER, MobilitySimulator
+from repro.timeutil import HOUR, TimeRange
+from repro.viewer import ViewerSession
+
+from .conftest import print_table
+
+
+@pytest.fixture(scope="module")
+def mall_day(mall7):
+    simulator = MobilitySimulator(mall7, seed=20170101)
+    devices = simulator.simulate_population(
+        count=15,
+        profiles=[SHOPPER, BROWSER],
+        window=TimeRange(10 * HOUR, 21 * HOUR),
+        seed=20170101,
+    )
+    return devices
+
+
+def test_five_step_workflow(benchmark, mall7, mall_day):
+    records = sorted(r for d in mall_day for r in d.raw)
+    dsm_text = dsm_to_json(mall7)
+    steps: list[list] = []
+
+    def workflow():
+        timings = {}
+        t0 = time.perf_counter()
+        # Step (1): Data Selector, operating hours 10:00 AM - 10:00 PM.
+        rule = DailyHoursRule(10 * HOUR, 22 * HOUR) & DurationRule(
+            min_seconds=10 * 60
+        )
+        sequences = DataSelector([MemorySource(records)], rule=rule).select()
+        timings["1. select"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        # Step (2): import the DSM (saved earlier by the Space Modeler).
+        model = dsm_from_json(dsm_text)
+        timings["2. import DSM"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        # Step (3): define patterns + designate training data.
+        editor = EventEditor()
+        for device in mall_day[:4]:
+            editor.designate_from_annotations(
+                device.raw,
+                [(s.event, s.time_range) for s in device.truth_semantics],
+            )
+        identifier = EventIdentifier("forest", seed=0).train(
+            editor.training_set()
+        )
+        timings["3. designate+train"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        # Step (4): submit the translation task.
+        translator = Translator(model, identifier)
+        batch = translator.translate_batch(sequences)
+        timings["4. translate"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        # Step (5): browse the first device in the Viewer.
+        target = batch.results[0]
+        truth = next(
+            d for d in mall_day if d.device_id == target.device_id
+        )
+        session = ViewerSession(
+            model, target, ground_truth=truth.ground_truth
+        )
+        session.select_semantic(0)
+        svg = session.render()
+        timings["5. view"] = time.perf_counter() - t0
+        return timings, batch, svg
+
+    timings, batch, svg = benchmark.pedantic(workflow, rounds=1, iterations=1)
+
+    for step, seconds in timings.items():
+        steps.append([step, f"{seconds * 1e3:.0f} ms"])
+    print_table(
+        f"Figure 5: five-step workflow on the 7-floor mall "
+        f"({len(records)} records, {len(batch)} devices)",
+        ["workflow step", "latency"],
+        steps,
+    )
+
+    truth_by_device = {d.device_id: d.truth_semantics for d in mall_day}
+    scores = [
+        score_semantics(result.semantics, truth_by_device[result.device_id])
+        for result in batch
+    ]
+    mean_region = sum(s.region_time_accuracy for s in scores) / len(scores)
+    mean_event = sum(s.event_accuracy for s in scores) / len(scores)
+    conciseness = sum(
+        r.semantics.conciseness_ratio(len(r.raw)) for r in batch
+    ) / len(batch)
+    print(f"\nquality: region-time={mean_region:.3f} event={mean_event:.3f} "
+          f"conciseness={conciseness:.1f} records/triplet")
+    assert mean_region >= 0.8
+    assert mean_event >= 0.8
+    assert conciseness >= 10.0
+    assert svg.to_string().startswith("<?xml")

@@ -1,0 +1,83 @@
+"""E-F6 — Figure 6: interactive latency budget of the main UI loop.
+
+Every interaction in the paper's main interface maps to one API call
+here; for a web UI to feel responsive each must be comfortably sub-second
+on the single-device hot path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dsm import load_dsm, save_dsm
+from repro.viewer import ViewerSession
+
+from .conftest import print_table
+
+_ROWS: list[list] = []
+
+
+def _row(name, benchmark, budget_ms=1000.0):
+    mean_ms = benchmark.stats.stats.mean * 1e3
+    _ROWS.append([name, f"{mean_ms:.1f} ms", f"{budget_ms:.0f} ms"])
+    assert mean_ms < budget_ms
+
+
+def test_load_dsm_from_disk(benchmark, mall7, tmp_path_factory):
+    path = tmp_path_factory.mktemp("ui") / "mall.json"
+    save_dsm(mall7, path)
+
+    model = benchmark(lambda: load_dsm(path))
+    assert model.entity_count == mall7.entity_count
+    _row("open DSM file (7 floors)", benchmark)
+
+
+def test_translate_one_device(benchmark, translator, device):
+    result = benchmark(lambda: translator.translate(device.raw))
+    assert len(result.semantics) > 0
+    _row("translate one device", benchmark)
+
+
+def test_open_viewer_session(benchmark, mall3, translator, device):
+    result = translator.translate(device.raw)
+
+    session = benchmark(
+        lambda: ViewerSession(mall3, result, ground_truth=device.ground_truth)
+    )
+    assert session.semantics_timeline
+    _row("open viewer session", benchmark)
+
+
+def test_click_timeline_entry(benchmark, mall3, translator, device):
+    result = translator.translate(device.raw)
+    session = ViewerSession(mall3, result)
+
+    covered = benchmark(lambda: session.select_semantic(0))
+    assert covered
+    _row("click a semantics entry", benchmark, budget_ms=100.0)
+
+
+def test_switch_floor_and_render(benchmark, mall3, translator, device):
+    result = translator.translate(device.raw)
+    session = ViewerSession(mall3, result, ground_truth=device.ground_truth)
+    floors = mall3.floor_numbers
+
+    def switch_render():
+        for floor in floors:
+            session.switch_floor(floor)
+            session.render(show_labels=False)
+
+    benchmark(switch_render)
+    per_floor = benchmark.stats.stats.mean / len(floors) * 1e3
+    _ROWS.append(["switch floor + render", f"{per_floor:.1f} ms", "1000 ms"])
+    assert per_floor < 1000.0
+
+
+def test_zz_report(benchmark):
+    benchmark(lambda: None)  # anchor so --benchmark-only runs the report
+    print_table(
+        "Figure 6: interactive step latencies (single-device hot path)",
+        ["interaction", "mean latency", "budget"],
+        _ROWS,
+    )
+    assert len(_ROWS) == 5

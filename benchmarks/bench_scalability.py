@@ -1,0 +1,82 @@
+"""E-X1 — Scalability: translation throughput vs device count and length.
+
+The demo deployed the backend on a Xeon server for a week-long mall
+dataset; this bench characterizes how batch translation scales with the
+number of devices and with per-sequence length, on the simulator's data.
+Expected shape: near-linear in both dimensions (per-record cost roughly
+flat).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.positioning import subsample
+from repro.simulation import BROWSER, SHOPPER, MobilitySimulator
+from repro.timeutil import HOUR, TimeRange
+
+from .conftest import print_table
+
+_DEVICE_ROWS: list[list] = []
+_LENGTH_ROWS: list[list] = []
+
+
+@pytest.fixture(scope="module")
+def big_population(mall3):
+    simulator = MobilitySimulator(mall3, seed=77)
+    return simulator.simulate_population(
+        count=24,
+        profiles=[SHOPPER, BROWSER],
+        window=TimeRange(10 * HOUR, 20 * HOUR),
+        seed=77,
+    )
+
+
+@pytest.mark.parametrize("count", [3, 6, 12, 24])
+def test_device_count_scaling(benchmark, translator, big_population, count):
+    sequences = [d.raw for d in big_population[:count]]
+
+    batch = benchmark.pedantic(
+        lambda: translator.translate_batch(sequences), rounds=2, iterations=1
+    )
+    total = sum(len(s) for s in sequences)
+    mean = benchmark.stats.stats.mean
+    _DEVICE_ROWS.append(
+        [count, total, f"{mean:.2f} s", f"{total / mean:,.0f} rec/s"]
+    )
+    assert len(batch) == count
+
+
+@pytest.mark.parametrize("keep_every", [8, 4, 2, 1])
+def test_sequence_length_scaling(benchmark, translator, device, keep_every):
+    sequence = subsample(device.raw, keep_every)
+
+    result = benchmark(lambda: translator.translate(sequence))
+    mean = benchmark.stats.stats.mean
+    _LENGTH_ROWS.append(
+        [
+            len(sequence),
+            f"{mean * 1e3:.0f} ms",
+            f"{len(sequence) / mean:,.0f} rec/s",
+            len(result.semantics),
+        ]
+    )
+
+
+def test_zz_report(benchmark):
+    benchmark(lambda: None)  # anchor so --benchmark-only runs the report
+    print_table(
+        "Scalability: batch translation vs device count (3-floor mall)",
+        ["devices", "records", "batch time", "throughput"],
+        _DEVICE_ROWS,
+    )
+    print_table(
+        "Scalability: single-device translation vs sequence length",
+        ["records", "time", "throughput", "semantics"],
+        _LENGTH_ROWS,
+    )
+    assert len(_DEVICE_ROWS) == 4 and len(_LENGTH_ROWS) == 4
+    # Near-linear scaling: throughput at 24 devices within 4x of 3 devices.
+    first = float(_DEVICE_ROWS[0][3].replace(",", "").split()[0])
+    last = float(_DEVICE_ROWS[-1][3].replace(",", "").split()[0])
+    assert last >= first / 4.0

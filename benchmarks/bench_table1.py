@@ -1,0 +1,118 @@
+"""E-T1 — Table 1: raw indoor positioning data vs mobility semantics.
+
+Regenerates the paper's Table 1 for a scripted shopper who stays in Adidas,
+passes Nike, and stays at the Cashier: the raw record column, the semantics
+column, and the condensation factor between them.  The benchmark measures
+the translation that produces the right-hand column.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import EVENT_PASS_BY, EVENT_STAY, Translator
+from repro.geometry import Point
+from repro.positioning import PositioningSequence, RawPositioningRecord
+from repro.simulation import WifiErrorModel
+from repro.timeutil import parse_clock
+
+from .conftest import print_table
+from tests.conftest import make_two_shop_dsm
+
+
+def scripted_shopper() -> PositioningSequence:
+    """oi's afternoon: Adidas 1:02-1:18pm, Nike pass, Cashier 1:20-1:24pm."""
+    import numpy as np
+
+    rng = np.random.default_rng(42)
+    records: list[RawPositioningRecord] = []
+
+    def dwell(x, y, start, end, step=7.0):
+        t = parse_clock(start)
+        stop = parse_clock(end)
+        while t <= stop:
+            dx, dy = rng.normal(0, 0.6, 2)
+            records.append(
+                RawPositioningRecord(t, "oi", Point(x + dx, y + dy, 1))
+            )
+            t += step
+
+    def walk(x0, y0, x1, y1, start, end, step=4.0):
+        t0, t1 = parse_clock(start), parse_clock(end)
+        t = t0
+        while t <= t1:
+            f = (t - t0) / (t1 - t0)
+            records.append(
+                RawPositioningRecord(
+                    t, "oi", Point(x0 + (x1 - x0) * f, y0 + (y1 - y0) * f, 1)
+                )
+            )
+            t += step
+
+    dwell(5, 15, "1:02:05pm", "1:18:10pm")           # stay Adidas
+    walk(5, 15, 5, 7, "1:18:14pm", "1:18:21pm")      # out through the door
+    walk(5, 7, 14, 7, "1:18:24pm", "1:18:32pm")      # along the hall
+    walk(14, 7, 12, 12, "1:18:34pm", "1:18:40pm")    # into Nike
+    walk(12, 12, 19, 17, "1:18:44pm", "1:18:56pm", step=2.0)  # across Nike
+    walk(19, 17, 19, 11, "1:18:58pm", "1:19:04pm", step=2.0)  # back out
+    walk(19, 11, 25, 7, "1:19:08pm", "1:19:16pm", step=2.0)   # along the hall
+    walk(25, 7, 25, 14, "1:20:08pm", "1:20:15pm", step=2.0)   # into Cashier
+    dwell(25, 15, "1:20:40pm", "1:24:05pm")          # stay Cashier
+    return PositioningSequence("oi", records)
+
+
+@pytest.fixture(scope="module")
+def two_shop():
+    return make_two_shop_dsm()
+
+
+def test_table1_translation(benchmark, two_shop):
+    sequence = scripted_shopper()
+    translator = Translator(two_shop)
+
+    result = benchmark(lambda: translator.translate(sequence))
+
+    semantics = result.semantics
+    print_table(
+        "Table 1 (left): raw positioning records (first/last 2 of "
+        f"{len(sequence)})",
+        ["record"],
+        [[str(r)] for r in list(sequence)[:2] + list(sequence)[-2:]],
+    )
+    print_table(
+        "Table 1 (right): mobility semantics",
+        ["triplet"],
+        [[s.format()] for s in semantics],
+    )
+    ratio = semantics.conciseness_ratio(len(sequence))
+    print(f"condensation: {len(sequence)} records -> {len(semantics)} "
+          f"triplets ({ratio:.1f}x)")
+
+    # The paper's example shape: stay@Adidas, pass-by@Nike, stay@Cashier.
+    by_region = {s.region_name: s.event for s in semantics}
+    assert by_region.get("Adidas") == EVENT_STAY
+    assert by_region.get("Cashier") == EVENT_STAY
+    if "Nike" in by_region:
+        assert by_region["Nike"] == EVENT_PASS_BY
+    assert ratio >= 10.0
+
+
+def test_table1_with_noise_channel(benchmark, two_shop):
+    """The same trip observed through the Wi-Fi error model still
+    translates to the Table 1 shape."""
+    clean = scripted_shopper()
+    channel = WifiErrorModel(sigma=1.0, dropout_rate=0.05,
+                             outlier_rate=0.01, floor_error_rate=0.0)
+    noisy = channel.observe(clean, [1], seed=7)
+    translator = Translator(two_shop)
+
+    result = benchmark(lambda: translator.translate(noisy))
+
+    events = {s.region_name: s.event for s in result.semantics}
+    print_table(
+        "Table 1 under the Wi-Fi error model",
+        ["triplet"],
+        [[s.format()] for s in result.semantics],
+    )
+    assert events.get("Adidas") == EVENT_STAY
+    assert events.get("Cashier") == EVENT_STAY

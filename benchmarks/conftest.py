@@ -1,0 +1,83 @@
+"""Shared fixtures for the experiment benchmarks.
+
+Heavy artifacts (buildings, simulated populations, trained identifiers) are
+session-scoped and deterministic, so every bench run regenerates identical
+rows.  Each bench prints the rows/series it reproduces; run with
+
+    pytest benchmarks/ --benchmark-only -s
+
+to see both the tables and the timing columns.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.buildings import MallConfig, build_mall
+from repro.core import EventIdentifier, Translator
+from repro.events import EventEditor
+from repro.simulation import BROWSER, SHOPPER, MobilitySimulator
+from repro.timeutil import HOUR, TimeRange
+
+
+@pytest.fixture(scope="session")
+def mall3():
+    """The 3-floor mall used by most experiments."""
+    return build_mall(MallConfig(floors=3))
+
+
+@pytest.fixture(scope="session")
+def mall7():
+    """The full 7-floor demo venue (E-F5)."""
+    return build_mall(MallConfig(floors=7))
+
+
+@pytest.fixture(scope="session")
+def population(mall3):
+    """Twelve shoppers/browsers across a mall day."""
+    simulator = MobilitySimulator(mall3, seed=2017)
+    return simulator.simulate_population(
+        count=12,
+        profiles=[SHOPPER, BROWSER],
+        window=TimeRange(10 * HOUR, 20 * HOUR),
+        seed=2017,
+    )
+
+
+@pytest.fixture(scope="session")
+def device(population):
+    """One representative device."""
+    return population[0]
+
+
+@pytest.fixture(scope="session")
+def trained_identifier(population):
+    """A forest identifier trained on three browsed devices' truth."""
+    editor = EventEditor()
+    for simulated in population[:3]:
+        editor.designate_from_annotations(
+            simulated.raw,
+            [(s.event, s.time_range) for s in simulated.truth_semantics],
+        )
+    return EventIdentifier("forest", seed=0).train(editor.training_set())
+
+
+@pytest.fixture(scope="session")
+def translator(mall3, trained_identifier):
+    """The reference Translator configuration."""
+    return Translator(mall3, trained_identifier)
+
+
+def print_table(title: str, header: list[str], rows: list[list]) -> None:
+    """Uniform fixed-width table printing for every experiment."""
+    widths = [
+        max(len(str(header[i])), *(len(str(r[i])) for r in rows)) if rows
+        else len(str(header[i]))
+        for i in range(len(header))
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(header, widths))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))

@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Office scenario: ASCII floorplan import + user-defined event patterns.
+
+Demonstrates the Space Modeler's semi-automatic import path (the office is
+parsed from character-grid floorplans), an analyst-defined event pattern
+beyond stay/pass-by, and the mobility-knowledge the complementing layer
+builds from a population of workers.
+
+Run:  python examples/office_building.py
+"""
+
+from repro import EventEditor, MobilitySimulator, Translator, build_office
+from repro.core import EventIdentifier, score_semantics
+from repro.simulation import WORKER, WifiErrorModel
+from repro.timeutil import HOUR, TimeRange
+from repro.viewer import render_ascii
+
+
+def main() -> None:
+    office = build_office()
+    print(f"Imported from ASCII floorplans: {office}")
+    print("\nGround floor as the Viewer's ASCII map:")
+    print(render_ascii(office, 1, cell_size=2.0))
+
+    # Office Wi-Fi is usually denser than mall Wi-Fi: lower noise.
+    channel = WifiErrorModel(sigma=0.9, floor_error_rate=0.02,
+                             dropout_rate=0.04, interval_mean=4.0)
+    simulator = MobilitySimulator(office, error_model=channel, seed=11)
+    workers = simulator.simulate_population(
+        count=8, profiles=[WORKER], window=TimeRange(8 * HOUR, 10 * HOUR)
+    )
+    print(f"\nSimulated {len(workers)} workers")
+
+    # The analyst defines a custom pattern on top of the built-ins and
+    # designates meeting-room dwells as 'meeting'.
+    editor = EventEditor()
+    editor.define_pattern("meeting", "attends a scheduled meeting")
+    meeting_regions = {
+        r.region_id for r in office.regions(category="office")
+        if "Meeting" in r.name or "Board" in r.name
+    }
+    for worker in workers[:5]:
+        annotations = []
+        for semantic in worker.truth_semantics:
+            label = semantic.event
+            if label == "stay" and semantic.region_id in meeting_regions:
+                label = "meeting"
+            annotations.append((label, semantic.time_range))
+        editor.designate_from_annotations(worker.raw, annotations)
+    training = editor.training_set()
+    print(f"Event Editor: {len(training)} segments, labels {training.label_counts()}")
+
+    identifier = EventIdentifier("forest", seed=3).train(training)
+    translator = Translator(office, identifier)
+    batch = translator.translate_batch([w.raw for w in workers])
+
+    print(
+        f"\nBatch: {batch.total_records} records -> {batch.total_semantics} "
+        f"semantics; knowledge = {batch.knowledge}"
+    )
+    # What the mobility knowledge learned about the space.
+    kitchen = next(r for r in office.regions() if r.name == "Cafeteria")
+    likely = batch.knowledge.most_likely_next(kitchen.region_id, top_k=3)
+    print(f"Most likely after {kitchen.name}:")
+    for region_id, probability in likely:
+        print(f"  {office.region(region_id).name}: {probability:.3f}")
+
+    result = batch.results[0]
+    truth = workers[0]
+    print(f"\n{result.device_id} translated semantics:")
+    print(result.semantics.format_table())
+
+    # 'meeting' is movement-identical to 'stay'; the fair truth applies the
+    # same region-based relabeling the designations used.
+    from dataclasses import replace
+
+    from repro import MobilitySemanticsSequence
+
+    relabeled_truth = MobilitySemanticsSequence(
+        truth.device_id,
+        [
+            replace(s, event="meeting")
+            if s.event == "stay" and s.region_id in meeting_regions
+            else s
+            for s in truth.truth_semantics
+        ],
+    )
+    print(f"\nAssessment: {score_semantics(result.semantics, relabeled_truth)}")
+    print(
+        "note: 'meeting' and 'stay' are movement-identical patterns, so the\n"
+        "feature-based identifier cannot fully separate them — event accuracy\n"
+        "reflects that; region and triplet scores are unaffected."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""TRIPS reproduction: translating raw indoor positioning data into
+visual mobility semantics.
+
+A from-scratch Python implementation of the system demonstrated in
+*TRIPS: A System for Translating Raw Indoor Positioning Data into Visual
+Mobility Semantics* (Li, Lu, Shi, Chen, Chen, Shou — PVLDB 11(12), 2018),
+including every substrate the demo depends on: the Digital Space Model,
+the Space Modeler drawing tool, the Data Selector, the Event Editor, the
+three-layer translation framework (cleaning / annotation / complementing),
+the Viewer's timeline and map-view engine, and a Vita-style mobility
+simulator standing in for the paper's proprietary mall dataset.
+
+Quickstart::
+
+    from repro import build_mall, MobilitySimulator, Translator
+
+    mall = build_mall()
+    simulator = MobilitySimulator(mall, seed=7)
+    device = simulator.simulate_device("3a.0001.14")
+    result = Translator(mall).translate(device.raw)
+    print(result.semantics.format_table())
+"""
+
+from .buildings import build_airport, build_mall, build_office
+from .core import (
+    EVENT_PASS_BY,
+    EVENT_STAY,
+    EventIdentifier,
+    HeuristicEventIdentifier,
+    MobilityKnowledge,
+    MobilitySemantic,
+    MobilitySemanticsSequence,
+    RawDataCleaner,
+    TranslationResult,
+    Translator,
+    TranslatorConfig,
+    score_positions,
+    score_semantics,
+)
+from .dsm import DigitalSpaceModel, load_dsm, save_dsm, validate_dsm
+from .events import EventEditor, PatternRegistry
+from .geometry import Point
+from .positioning import (
+    DataSelector,
+    PositioningSequence,
+    RawPositioningRecord,
+)
+from .simulation import MobilitySimulator, SimulatedDevice, WifiErrorModel
+from .spacemodel import AsciiFloorplanParser, DrawingCanvas, build_dsm
+from .timeutil import TimeRange
+from .viewer import MapView, ViewerSession
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EVENT_PASS_BY",
+    "EVENT_STAY",
+    "AsciiFloorplanParser",
+    "DataSelector",
+    "DigitalSpaceModel",
+    "DrawingCanvas",
+    "EventEditor",
+    "EventIdentifier",
+    "HeuristicEventIdentifier",
+    "MapView",
+    "MobilityKnowledge",
+    "MobilitySemantic",
+    "MobilitySemanticsSequence",
+    "MobilitySimulator",
+    "PatternRegistry",
+    "Point",
+    "PositioningSequence",
+    "RawDataCleaner",
+    "RawPositioningRecord",
+    "SimulatedDevice",
+    "TimeRange",
+    "TranslationResult",
+    "Translator",
+    "TranslatorConfig",
+    "ViewerSession",
+    "WifiErrorModel",
+    "build_airport",
+    "build_dsm",
+    "build_mall",
+    "build_office",
+    "load_dsm",
+    "save_dsm",
+    "score_positions",
+    "score_semantics",
+    "validate_dsm",
+]

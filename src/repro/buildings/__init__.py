@@ -1,0 +1,18 @@
+"""Prebuilt buildings (substrate S4), all constructed via the Space Modeler.
+
+A 7-floor shopping mall (the paper's demo venue stand-in), a 3-floor office
+imported from ASCII floorplans, and a 2-floor airport terminal.
+"""
+
+from .airport import build_airport
+from .mall import FLOOR_CATALOG, MallConfig, build_mall, mall_region_id
+from .office import build_office
+
+__all__ = [
+    "FLOOR_CATALOG",
+    "MallConfig",
+    "build_airport",
+    "build_mall",
+    "build_office",
+    "mall_region_id",
+]

@@ -1,0 +1,119 @@
+"""A 2-floor airport terminal, built through the drawing canvas.
+
+The third demonstration scenario.  Departures (floor 2) has security,
+duty-free retail, restaurants and a row of gates; arrivals (floor 1) has
+baggage halls and the landside hall with entrances.  Gate regions make
+'pass-by vs stay' semantics interesting: travelers dwell at their own gate
+and pass the others.
+"""
+
+from __future__ import annotations
+
+from ..dsm import DigitalSpaceModel, EntityKind
+from ..spacemodel import DrawingCanvas, TagLibrary, build_dsm
+
+#: Terminal footprint in metres.
+_LENGTH = 180.0
+_CONCOURSE_DEPTH = 16.0
+_ROOM_DEPTH = 14.0
+
+
+def build_airport(gate_count: int = 8) -> DigitalSpaceModel:
+    """Build the airport DSM (floor 1 = arrivals, floor 2 = departures)."""
+    canvases = [_draw_arrivals(), _draw_departures(gate_count)]
+    return build_dsm(
+        canvases,
+        name="two-floor-airport",
+        tags=TagLibrary.airport_defaults(),
+        description=f"airport terminal with {gate_count} gates",
+    )
+
+
+def _draw_arrivals() -> DrawingCanvas:
+    canvas = DrawingCanvas(1, name="Arrivals")
+    canvas.import_floorplan("arrivals.png", _LENGTH, _CONCOURSE_DEPTH + _ROOM_DEPTH)
+    hall = canvas.draw_rectangle(
+        0.0, 0.0, _LENGTH, _CONCOURSE_DEPTH,
+        kind=EntityKind.HALLWAY, name="Landside Hall", layer="halls",
+    )
+    canvas.assign_tag(hall.shape_id, "hall", name="Landside Hall")
+    rooms = [
+        ("Baggage Hall A", "hall", 0.0, 60.0),
+        ("Baggage Hall B", "hall", 60.0, 120.0),
+        ("Arrivals Cafe", "restaurant", 120.0, 150.0),
+        ("Car Rental", "duty-free", 150.0, 180.0),
+    ]
+    for name, tag, min_x, max_x in rooms:
+        drawn = canvas.draw_rectangle(
+            min_x, _CONCOURSE_DEPTH, max_x, _CONCOURSE_DEPTH + _ROOM_DEPTH,
+            kind=EntityKind.ROOM, name=name, layer="rooms",
+        )
+        canvas.assign_tag(drawn.shape_id, tag, name=name)
+        canvas.draw_door(((min_x + max_x) / 2.0, _CONCOURSE_DEPTH - 0.35),
+                         name=f"door {name}", snap=False)
+    # Entrances from the curb.
+    for x in (30.0, 90.0, 150.0):
+        canvas.draw_door((x, 0.0), name="terminal entrance", entrance=True,
+                         snap=False)
+    _draw_stacks(canvas)
+    return canvas
+
+
+def _draw_departures(gate_count: int) -> DrawingCanvas:
+    canvas = DrawingCanvas(2, name="Departures")
+    canvas.import_floorplan(
+        "departures.png", _LENGTH, _CONCOURSE_DEPTH + _ROOM_DEPTH
+    )
+    concourse = canvas.draw_rectangle(
+        0.0, 0.0, _LENGTH, _CONCOURSE_DEPTH,
+        kind=EntityKind.HALLWAY, name="Concourse", layer="halls",
+    )
+    canvas.assign_tag(concourse.shape_id, "hall", name="Concourse")
+    # Security occupies the concourse's west end as an explicit region.
+    security = canvas.draw_rectangle(
+        0.0, 0.0, 25.0, _CONCOURSE_DEPTH,
+        kind=None, name="Security", layer="regions",
+    )
+    canvas.assign_tag(security.shape_id, "security", name="Security")
+
+    # Airside rooms: duty-free, restaurants, lounge, then the gate row.
+    fixtures = [
+        ("Duty Free", "duty-free", 0.0, 30.0),
+        ("Food Court", "restaurant", 30.0, 55.0),
+        ("Sky Lounge", "lounge", 55.0, 75.0),
+    ]
+    for name, tag, min_x, max_x in fixtures:
+        drawn = canvas.draw_rectangle(
+            min_x, _CONCOURSE_DEPTH, max_x, _CONCOURSE_DEPTH + _ROOM_DEPTH,
+            kind=EntityKind.ROOM, name=name, layer="rooms",
+        )
+        canvas.assign_tag(drawn.shape_id, tag, name=name)
+        canvas.draw_door(((min_x + max_x) / 2.0, _CONCOURSE_DEPTH - 0.35),
+                         name=f"door {name}", snap=False)
+    gate_zone_start = 80.0
+    gate_width = (_LENGTH - gate_zone_start) / gate_count
+    for index in range(gate_count):
+        min_x = gate_zone_start + index * gate_width
+        max_x = min_x + gate_width
+        name = f"Gate B{index + 1}"
+        drawn = canvas.draw_rectangle(
+            min_x, _CONCOURSE_DEPTH, max_x, _CONCOURSE_DEPTH + _ROOM_DEPTH,
+            kind=EntityKind.ROOM, name=name, layer="gates",
+        )
+        canvas.assign_tag(drawn.shape_id, "gate", name=name)
+        canvas.draw_door(((min_x + max_x) / 2.0, _CONCOURSE_DEPTH - 0.35),
+                         name=f"door {name}", snap=False)
+    _draw_stacks(canvas)
+    return canvas
+
+
+def _draw_stacks(canvas: DrawingCanvas) -> None:
+    canvas.draw_stack_connector((10.0, _CONCOURSE_DEPTH / 2.0),
+                                stack="stair-west")
+    canvas.draw_stack_connector((170.0, _CONCOURSE_DEPTH / 2.0),
+                                stack="stair-east")
+    canvas.draw_stack_connector(
+        (90.0, _CONCOURSE_DEPTH / 2.0),
+        stack="elevator-central",
+        kind=EntityKind.ELEVATOR,
+    )

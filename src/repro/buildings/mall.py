@@ -1,0 +1,212 @@
+"""A 7-floor shopping mall: the stand-in for the paper's demo dataset venue.
+
+The demonstration used "a Wi-Fi based positioning system in a 7-floor
+shopping mall in Hangzhou, China" (paper §4).  This factory builds a
+comparable venue entirely through the Space Modeler's drawing API: a
+central corridor per floor, shop units on both sides, a Center Hall region,
+cashier desks, staircase/elevator stacks, and ground-floor entrances.  The
+shop catalog deliberately puts Adidas and Nike on floor 3 so Table 1's
+walkthrough can be reproduced verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dsm import DigitalSpaceModel, EntityKind
+from ..errors import DSMError
+from ..spacemodel import DrawingCanvas, TagLibrary, build_dsm
+
+#: Shop names per floor (front-of-catalog units are nearest the west end).
+FLOOR_CATALOG: dict[int, tuple[str, list[str]]] = {
+    1: ("fashion", ["Zara", "H&M", "Uniqlo", "Gap", "Levis", "Mango",
+                    "Bershka", "Only", "Vero Moda", "Jack Jones", "Semir",
+                    "Peacebird", "GXG", "Metersbonwe"]),
+    2: ("beauty", ["Sephora", "Pandora", "Swatch", "Watsons", "Innisfree",
+                   "The Body Shop", "L'Occitane", "MAC", "Fossil",
+                   "Daniel Wellington", "Chow Tai Fook", "Luk Fook",
+                   "Aptamil", "Mannings"]),
+    3: ("sports", ["Adidas", "Nike", "Puma", "New Balance", "Asics",
+                   "Under Armour", "Li-Ning", "Anta", "Skechers", "Fila",
+                   "Converse", "Vans", "Columbia", "The North Face"]),
+    4: ("electronics", ["Apple Store", "Samsung", "Huawei", "Xiaomi", "Sony",
+                        "DJI", "Bose", "JBL", "Lenovo", "Dell", "Canon",
+                        "Nikon", "Dyson", "Philips"]),
+    5: ("kids", ["Lego", "Toys Castle", "Pop Mart", "Baby Care", "Balabala",
+                 "Mothercare", "Gymboree", "Disney Store", "Bandai",
+                 "Kidsland", "MiniPeace", "Paw Patrol", "Barbie",
+                 "Hot Wheels"]),
+    6: ("food", ["Starbucks", "KFC", "Pizza Hut", "Haidilao", "McDonald's",
+                 "Burger King", "Grandma's Kitchen", "Green Tea", "Nayuki",
+                 "HeyTea", "Saizeriya", "Yoshinoya", "Din Tai Fung",
+                 "CoCo Tea"]),
+    7: ("entertainment", ["Cinema", "Arcade Hall", "KTV Star",
+                          "Fitness Club", "Kids Playground", "Book City",
+                          "Board Games", "VR World", "Billiards", "Ice Rink",
+                          "Art Space", "Photo Studio", "Music House",
+                          "Dance Studio"]),
+}
+
+#: Tag applied to shop units per floor theme.
+_THEME_TAGS = {
+    "fashion": "shop",
+    "beauty": "shop",
+    "sports": "shop",
+    "electronics": "shop",
+    "kids": "shop",
+    "food": "restaurant",
+    "entertainment": "cinema",
+}
+
+
+@dataclass(frozen=True)
+class MallConfig:
+    """Dimensions of the generated mall."""
+
+    floors: int = 7
+    units_per_side: int = 7
+    unit_width: float = 16.0
+    unit_depth: float = 14.0
+    corridor_width: float = 10.0
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.floors <= 7:
+            raise DSMError(f"mall supports 1..7 floors, got {self.floors}")
+        if self.units_per_side < 2:
+            raise DSMError("mall needs at least 2 units per side")
+        if min(self.unit_width, self.unit_depth, self.corridor_width) <= 0:
+            raise DSMError("mall dimensions must be positive")
+
+    @property
+    def length(self) -> float:
+        """East-west extent of the building."""
+        return self.units_per_side * self.unit_width
+
+    @property
+    def width(self) -> float:
+        """North-south extent of the building."""
+        return 2 * self.unit_depth + self.corridor_width
+
+
+def build_mall(config: MallConfig | None = None) -> DigitalSpaceModel:
+    """Build the 7-floor mall DSM through the Space Modeler."""
+    config = config if config is not None else MallConfig()
+    tags = TagLibrary.mall_defaults()
+    canvases = [
+        _draw_floor(floor, config) for floor in range(1, config.floors + 1)
+    ]
+    model = build_dsm(
+        canvases,
+        name="hangzhou-style-mall",
+        tags=tags,
+        description=(
+            f"{config.floors}-floor shopping mall, "
+            f"{config.units_per_side * 2} units per floor"
+        ),
+    )
+    return model
+
+
+def _draw_floor(floor: int, config: MallConfig) -> DrawingCanvas:
+    canvas = DrawingCanvas(floor, name=f"{floor}F")
+    canvas.import_floorplan(
+        f"mall-floor-{floor}.png", config.length, config.width
+    )
+    corridor_min_y = config.unit_depth
+    corridor_max_y = config.unit_depth + config.corridor_width
+    # The corridor spine.
+    corridor = canvas.draw_rectangle(
+        0.0,
+        corridor_min_y,
+        config.length,
+        corridor_max_y,
+        kind=EntityKind.HALLWAY,
+        name=f"Corridor {floor}F",
+        layer="corridors",
+    )
+    canvas.assign_tag(corridor.shape_id, "hall", name=f"Corridor {floor}F")
+    # The Center Hall: an explicit region over the corridor's middle third.
+    center_min_x = config.length / 3.0
+    center_max_x = 2.0 * config.length / 3.0
+    center = canvas.draw_rectangle(
+        center_min_x,
+        corridor_min_y,
+        center_max_x,
+        corridor_max_y,
+        kind=None,  # region-only drawing
+        name=f"Center Hall {floor}F",
+        layer="regions",
+    )
+    canvas.assign_tag(center.shape_id, "hall", name=f"Center Hall {floor}F")
+
+    theme, names = FLOOR_CATALOG[((floor - 1) % 7) + 1]
+    shop_tag = _THEME_TAGS[theme]
+    name_iter = iter(names)
+    # North side (above the corridor) and south side (below).
+    for side in ("north", "south"):
+        for unit in range(config.units_per_side):
+            min_x = unit * config.unit_width
+            max_x = min_x + config.unit_width
+            # Door anchors sit 0.35 m inside the corridor so walking paths
+            # between doors never run exactly on the shop boundary line.
+            if side == "north":
+                min_y, max_y = corridor_max_y, corridor_max_y + config.unit_depth
+                door_y = corridor_max_y - 0.35
+            else:
+                min_y, max_y = 0.0, config.unit_depth
+                door_y = config.unit_depth + 0.35
+            is_cashier = side == "south" and unit == config.units_per_side - 1
+            if is_cashier:
+                unit_name = f"Cashier {floor}F"
+                unit_tag = "cashier"
+            else:
+                unit_name = next(name_iter, f"Unit {floor}F-{side}-{unit}")
+                unit_tag = shop_tag
+            drawn = canvas.draw_rectangle(
+                min_x, min_y, max_x, max_y,
+                kind=EntityKind.ROOM, name=unit_name, layer="shops",
+            )
+            canvas.assign_tag(drawn.shape_id, unit_tag, name=unit_name)
+            door_x = (min_x + max_x) / 2.0
+            canvas.draw_door((door_x, door_y), name=f"door {unit_name}",
+                             snap=False)
+
+    # Vertical stacks: two staircases near the ends, one central elevator.
+    # A single-floor mall has no stacks (a one-floor stack is invalid).
+    corridor_mid_y = (corridor_min_y + corridor_max_y) / 2.0
+    if config.floors > 1:
+        canvas.draw_stack_connector(
+            (config.unit_width * 0.5, corridor_mid_y), stack="stair-west"
+        )
+        canvas.draw_stack_connector(
+            (config.length - config.unit_width * 0.5, corridor_mid_y),
+            stack="stair-east",
+        )
+        canvas.draw_stack_connector(
+            (config.length / 2.0, corridor_mid_y),
+            stack="elevator-central",
+            kind=EntityKind.ELEVATOR,
+        )
+
+    # Ground-floor entrances at both corridor ends.
+    if floor == 1:
+        canvas.draw_door((0.0, corridor_mid_y), name="west entrance",
+                         entrance=True, snap=False)
+        canvas.draw_door(
+            (config.length, corridor_mid_y),
+            name="east entrance",
+            entrance=True,
+            snap=False,
+        )
+    return canvas
+
+
+def mall_region_id(model: DigitalSpaceModel, name: str) -> str:
+    """Region id of the region whose display name is ``name``.
+
+    Convenience for examples and tests ("Adidas" -> its region id).
+    """
+    for region in model.regions():
+        if region.name == name:
+            return region.region_id
+    raise DSMError(f"no region named {name!r} in {model.name}")

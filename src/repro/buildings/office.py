@@ -1,0 +1,76 @@
+"""A 3-floor office building, built via the ASCII floorplan parser.
+
+The second demonstration scenario (offices are the paper's first motivating
+environment: "office buildings, shopping malls, airports, and so on").
+Using the ASCII path here deliberately exercises the semi-automatic import
+pipeline end to end.
+"""
+
+from __future__ import annotations
+
+from ..dsm import DigitalSpaceModel
+from ..spacemodel import AsciiFloorplanParser, RoomLegend, TagLibrary, build_dsm
+
+#: One floor of the office: reception/kitchen west, meeting rooms center,
+#: open workspaces east; S = stairwell shared by all floors.
+_FLOOR_GRID = [
+    "########################",
+    "#AAAAA#BBBBB#CCCCCCCCCC#",
+    "#AAAAA#BBBBB#CCCCCCCCCC#",
+    "#AAAAA#BBBBB#CCCCCCCCCC#",
+    "#.D......D.....D.......#",
+    "#...S..................#",
+    "#.D......D.....D.......#",
+    "#FFFFF#GGGGG#EEEEEEEEEE#",
+    "#FFFFF#GGGGG#EEEEEEEEEE#",
+    "#FFFFF#GGGGG#EEEEEEEEEE#",
+    "########################",
+]
+
+#: Ground floor adds the entrance on the west corridor end.
+_GROUND_GRID = [row for row in _FLOOR_GRID]
+_GROUND_GRID[5] = "#@..S..................#"
+
+_LEGENDS = {
+    1: {
+        "A": RoomLegend("Reception", "reception"),
+        "B": RoomLegend("Mail Room", "workspace"),
+        "C": RoomLegend("Open Space 1F", "workspace"),
+        "E": RoomLegend("Cafeteria", "kitchen"),
+        "F": RoomLegend("Print Room", "workspace"),
+        "G": RoomLegend("Meeting Alpha", "meeting-room"),
+    },
+    2: {
+        "A": RoomLegend("Kitchen 2F", "kitchen"),
+        "B": RoomLegend("Meeting Beta", "meeting-room"),
+        "C": RoomLegend("Open Space 2F", "workspace"),
+        "E": RoomLegend("Engineering Bay", "workspace"),
+        "F": RoomLegend("Quiet Room", "workspace"),
+        "G": RoomLegend("Meeting Gamma", "meeting-room"),
+    },
+    3: {
+        "A": RoomLegend("Kitchen 3F", "kitchen"),
+        "B": RoomLegend("Meeting Delta", "meeting-room"),
+        "C": RoomLegend("Open Space 3F", "workspace"),
+        "E": RoomLegend("Sales Bay", "workspace"),
+        "F": RoomLegend("Server Room", "workspace"),
+        "G": RoomLegend("Board Room", "meeting-room"),
+    },
+}
+
+
+def build_office(floors: int = 3, cell_size: float = 2.0) -> DigitalSpaceModel:
+    """Build the office DSM by parsing one ASCII grid per floor."""
+    parser = AsciiFloorplanParser(cell_size=cell_size)
+    canvases = []
+    for floor in range(1, floors + 1):
+        grid = _GROUND_GRID if floor == 1 else _FLOOR_GRID
+        legend = _LEGENDS.get(floor, _LEGENDS[1])
+        parsed = parser.parse(grid, floor, legend)
+        canvases.append(parsed.canvas)
+    return build_dsm(
+        canvases,
+        name="three-floor-office",
+        tags=TagLibrary.office_defaults(),
+        description=f"{floors}-floor office via ASCII floorplan import",
+    )

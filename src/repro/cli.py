@@ -1,0 +1,133 @@
+"""Command-line interface: ``trips <command>``.
+
+Covers the headless slice of the demo workflow: generate a synthetic
+dataset, validate a DSM file, run a translation task from a config, and
+render a floor to SVG.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .errors import TripsError
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if not hasattr(args, "handler"):
+        parser.print_help()
+        return 2
+    try:
+        args.handler(args)
+    except TripsError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="trips",
+        description="TRIPS reproduction: indoor positioning -> mobility semantics",
+    )
+    commands = parser.add_subparsers(title="commands")
+
+    simulate = commands.add_parser(
+        "simulate", help="generate a synthetic mall dataset (CSV + DSM)"
+    )
+    simulate.add_argument("--devices", type=int, default=20)
+    simulate.add_argument("--floors", type=int, default=7)
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--out", type=Path, default=Path("trips-data"))
+    simulate.set_defaults(handler=_cmd_simulate)
+
+    validate = commands.add_parser("validate-dsm", help="validate a DSM JSON file")
+    validate.add_argument("dsm", type=Path)
+    validate.set_defaults(handler=_cmd_validate)
+
+    translate = commands.add_parser(
+        "translate", help="run a translation task from a config JSON"
+    )
+    translate.add_argument("config", type=Path)
+    translate.add_argument("--out", type=Path, default=Path("trips-results"))
+    translate.set_defaults(handler=_cmd_translate)
+
+    render = commands.add_parser("render", help="render a DSM floor to SVG")
+    render.add_argument("dsm", type=Path)
+    render.add_argument("--floor", type=int, default=1)
+    render.add_argument("--out", type=Path, default=Path("floor.svg"))
+    render.set_defaults(handler=_cmd_render)
+    return parser
+
+
+def _cmd_simulate(args) -> None:
+    from .buildings import MallConfig, build_mall
+    from .dsm import save_dsm
+    from .positioning import write_csv
+    from .simulation import BROWSER, SHOPPER, MobilitySimulator
+    from .timeutil import HOUR, TimeRange
+
+    args.out.mkdir(parents=True, exist_ok=True)
+    mall = build_mall(MallConfig(floors=args.floors))
+    save_dsm(mall, args.out / "mall-dsm.json")
+    simulator = MobilitySimulator(mall, seed=args.seed)
+    devices = simulator.simulate_population(
+        args.devices,
+        profiles=[SHOPPER, BROWSER],
+        window=TimeRange(10 * HOUR, 22 * HOUR),
+    )
+    records = [r for d in devices for r in d.raw]
+    count = write_csv(sorted(records), args.out / "positioning.csv")
+    truth = {d.device_id: d.truth_semantics.to_dict() for d in devices}
+    (args.out / "ground-truth.json").write_text(
+        json.dumps(truth, indent=2), encoding="utf-8"
+    )
+    print(
+        f"wrote {count} records for {len(devices)} devices to {args.out}/ "
+        f"(DSM + positioning.csv + ground-truth.json)"
+    )
+
+
+def _cmd_validate(args) -> None:
+    from .dsm import load_dsm, validate_dsm
+
+    model = load_dsm(args.dsm)
+    warnings = validate_dsm(model, require_connected=False)
+    print(f"{model}: OK ({len(warnings)} warning(s))")
+    for warning in warnings:
+        print(f"  warning: {warning}")
+
+
+def _cmd_translate(args) -> None:
+    from .config import load_task, run_task
+
+    config = load_task(args.config)
+    batch = run_task(config)
+    args.out.mkdir(parents=True, exist_ok=True)
+    for result in batch:
+        safe_id = result.device_id.replace("/", "_").replace(":", "_")
+        result.export(args.out / f"{safe_id}.json")
+    print(
+        f"translated {len(batch)} sequences "
+        f"({batch.total_records} records -> {batch.total_semantics} semantics) "
+        f"in {batch.elapsed_seconds:.2f}s -> {args.out}/"
+    )
+
+
+def _cmd_render(args) -> None:
+    from .dsm import load_dsm
+    from .viewer import MapView
+
+    model = load_dsm(args.dsm)
+    document = MapView(model).render(args.floor)
+    document.save(args.out)
+    print(f"rendered floor {args.floor} of {model.name} to {args.out}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,19 @@
+"""Configurator (substrate S10).
+
+Declarative translation-task configuration (sources, DSM, selection rules,
+event model, all layer knobs) with JSON round-trip, plus the task runner
+that executes workflow steps (1)–(4) from a single config object.
+"""
+
+from .loader import load_task, run_task, save_task, select_sequences
+from .schema import SelectionConfig, SourceConfig, TranslationTaskConfig
+
+__all__ = [
+    "SelectionConfig",
+    "SourceConfig",
+    "TranslationTaskConfig",
+    "load_task",
+    "run_task",
+    "save_task",
+    "select_sequences",
+]

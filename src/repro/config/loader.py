@@ -1,0 +1,80 @@
+"""Loading, saving and executing translation-task configurations."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..core.annotation import EventIdentifier, HeuristicEventIdentifier
+from ..core.translator import BatchTranslationResult, Translator
+from ..dsm import load_dsm
+from ..errors import ConfigError
+from ..events import TrainingSet
+from ..positioning import (
+    CsvFileSource,
+    DataSelector,
+    JsonlFileSource,
+    PositioningSequence,
+)
+from .schema import TranslationTaskConfig
+
+
+def save_task(config: TranslationTaskConfig, path: str | Path) -> None:
+    """Write a task config to JSON."""
+    Path(path).write_text(
+        json.dumps(config.to_dict(), indent=2), encoding="utf-8"
+    )
+
+
+def load_task(path: str | Path) -> TranslationTaskConfig:
+    """Read a task config from JSON."""
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ConfigError(f"cannot read task config {path}: {exc}") from exc
+    return TranslationTaskConfig.from_dict(data)
+
+
+def select_sequences(config: TranslationTaskConfig) -> list[PositioningSequence]:
+    """Run the configured Data Selector over the configured sources."""
+    if not config.sources:
+        raise ConfigError("task config lists no positioning sources")
+    sources = []
+    for source in config.sources:
+        if source.kind == "csv":
+            sources.append(CsvFileSource(source.path))
+        else:
+            sources.append(JsonlFileSource(source.path))
+    selector = DataSelector(
+        sources,
+        rule=config.selection.build_rule(),
+        visit_gap=config.selection.visit_gap,
+    )
+    return selector.select()
+
+
+def run_task(
+    config: TranslationTaskConfig,
+    training_set: TrainingSet | None = None,
+) -> BatchTranslationResult:
+    """Execute one translation task end to end (workflow steps 1–4).
+
+    A learned ``event_model`` requires Event Editor ``training_set``
+    designations; the heuristic identifier needs none.
+    """
+    model = load_dsm(config.dsm_path)
+    if config.event_model == "heuristic":
+        event_model = HeuristicEventIdentifier()
+    else:
+        if training_set is None or len(training_set) == 0:
+            raise ConfigError(
+                f"event model {config.event_model!r} needs Event Editor "
+                "training designations; pass a non-empty training_set"
+            )
+        event_model = EventIdentifier(config.event_model)
+        event_model.train(training_set)
+    translator = Translator(
+        model, event_model, config.build_translator_config()
+    )
+    sequences = select_sequences(config)
+    return translator.translate_batch(sequences)

@@ -1,0 +1,181 @@
+"""The Configurator's declarative translation-task configuration.
+
+"The Configurator provides a standard but concise means to configure
+multiple input sources, including the indoor positioning data, indoor space
+information, and relevant contexts" (paper abstract).  A
+:class:`TranslationTaskConfig` captures one task end to end — data sources,
+DSM file, selection rules, event model choice, and every layer's knobs —
+and round-trips through JSON so configured contexts can be "stored in the
+backend for the reuse in other translation tasks" (§4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Any
+
+from ..core.annotation import AnnotatorConfig, SplitterConfig
+from ..core.cleaning import CleaningConfig
+from ..core.complementing import ComplementorConfig, InferenceConfig
+from ..core.translator import TranslatorConfig
+from ..errors import ConfigError
+from ..learning import MODEL_FACTORIES
+
+
+@dataclass(frozen=True)
+class SourceConfig:
+    """One positioning data source."""
+
+    kind: str  # "csv" | "jsonl"
+    path: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("csv", "jsonl"):
+            raise ConfigError(
+                f"unknown source kind {self.kind!r} (expected csv or jsonl)"
+            )
+        if not self.path:
+            raise ConfigError("source requires a path")
+
+
+@dataclass(frozen=True)
+class SelectionConfig:
+    """The serializable subset of Data Selector rules."""
+
+    device_pattern: str | None = None
+    floors: list[int] | None = None
+    daily_open: float | None = None  # seconds into day
+    daily_close: float | None = None
+    min_duration: float = 0.0
+    min_records: int = 2
+    min_frequency: float = 0.0
+    visit_gap: float | None = 1800.0
+
+    def __post_init__(self) -> None:
+        if (self.daily_open is None) != (self.daily_close is None):
+            raise ConfigError("daily_open and daily_close must come together")
+        if self.min_records < 1:
+            raise ConfigError("min_records must be >= 1")
+
+    def build_rule(self):
+        """Materialize the configured rules as one combined rule."""
+        from ..positioning import (
+            DailyHoursRule,
+            DeviceIdRule,
+            DurationRule,
+            FrequencyRule,
+            RecordCountRule,
+            SpatialRangeRule,
+        )
+
+        rules = []
+        if self.device_pattern is not None:
+            rules.append(DeviceIdRule(self.device_pattern))
+        if self.floors is not None:
+            rules.append(SpatialRangeRule(floors=self.floors))
+        if self.daily_open is not None and self.daily_close is not None:
+            rules.append(DailyHoursRule(self.daily_open, self.daily_close))
+        if self.min_duration > 0:
+            rules.append(DurationRule(min_seconds=self.min_duration))
+        if self.min_records > 1:
+            rules.append(RecordCountRule(min_records=self.min_records))
+        if self.min_frequency > 0:
+            rules.append(FrequencyRule(min_per_minute=self.min_frequency))
+        if not rules:
+            return None
+        combined = rules[0]
+        for rule in rules[1:]:
+            combined = combined & rule
+        return combined
+
+
+@dataclass(frozen=True)
+class TranslationTaskConfig:
+    """One complete translation task."""
+
+    dsm_path: str
+    sources: list[SourceConfig] = field(default_factory=list)
+    selection: SelectionConfig = SelectionConfig()
+    event_model: str = "heuristic"  # "heuristic" or a MODEL_FACTORIES key
+    max_speed: float = 2.5
+    enable_floor_correction: bool = True
+    enable_interpolation: bool = True
+    eps_space: float = 4.5
+    eps_time: float = 120.0
+    min_pts: int = 4
+    gap_threshold: float = 120.0
+    max_hops: int = 4
+    knowledge_smoothing: float = 1.0
+    display_point_policy: str = "temporally-middle"
+
+    def __post_init__(self) -> None:
+        if not self.dsm_path:
+            raise ConfigError("task requires a DSM path")
+        if self.event_model != "heuristic" and self.event_model not in MODEL_FACTORIES:
+            raise ConfigError(
+                f"unknown event model {self.event_model!r}; choose 'heuristic' "
+                f"or one of {sorted(MODEL_FACTORIES)}"
+            )
+        if self.display_point_policy not in (
+            "temporally-middle",
+            "spatially-central",
+        ):
+            raise ConfigError(
+                f"unknown display point policy {self.display_point_policy!r}"
+            )
+
+    def build_translator_config(self) -> TranslatorConfig:
+        """Materialize the three-layer framework configuration."""
+        return TranslatorConfig(
+            cleaning=CleaningConfig(
+                max_speed=self.max_speed,
+                enable_floor_correction=self.enable_floor_correction,
+                enable_interpolation=self.enable_interpolation,
+            ),
+            annotation=AnnotatorConfig(
+                splitter=SplitterConfig(
+                    eps_space=self.eps_space,
+                    eps_time=self.eps_time,
+                    min_pts=self.min_pts,
+                )
+            ),
+            complementing=ComplementorConfig(
+                gap_threshold=self.gap_threshold,
+                inference=InferenceConfig(max_hops=self.max_hops),
+            ),
+            knowledge_smoothing=self.knowledge_smoothing,
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible representation."""
+        data = asdict(self)
+        data["selection"] = asdict(self.selection)
+        data["sources"] = [asdict(s) for s in self.sources]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "TranslationTaskConfig":
+        """Inverse of :meth:`to_dict` with field validation."""
+        try:
+            selection_data = dict(data.get("selection", {}))
+            if selection_data.get("floors") is not None:
+                selection_data["floors"] = [int(f) for f in selection_data["floors"]]
+            sources = [
+                SourceConfig(kind=s["kind"], path=s["path"])
+                for s in data.get("sources", [])
+            ]
+            known = {
+                k: v
+                for k, v in data.items()
+                if k not in ("selection", "sources")
+            }
+            return cls(
+                sources=sources,
+                selection=SelectionConfig(**selection_data),
+                **known,
+            )
+        except (KeyError, TypeError) as exc:
+            raise ConfigError(f"malformed task config: {exc}") from exc

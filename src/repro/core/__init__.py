@@ -1,0 +1,110 @@
+"""The paper's primary contribution: the three-layer translation framework.
+
+Cleaning (C1) -> Annotation (C2) -> Complementing (C3), orchestrated by the
+:class:`Translator` (C4), compared against GPS-era baselines (C5), and
+scored against ground truth (C6).
+"""
+
+from .annotation import (
+    FEATURE_NAMES,
+    AnnotationResult,
+    AnnotatorConfig,
+    DensitySplitter,
+    EventIdentifier,
+    EventPrediction,
+    HeuristicEventIdentifier,
+    MobilitySemanticsAnnotator,
+    Snippet,
+    SnippetKind,
+    SpatialMatch,
+    SpatialMatcher,
+    SplitterConfig,
+    extract_features,
+)
+from .assessment import (
+    CleaningScore,
+    GapFillScore,
+    SemanticsScore,
+    score_gap_fill,
+    score_positions,
+    score_semantics,
+)
+from .baselines import (
+    DistanceOnlyGapFiller,
+    NearestRegionAnnotator,
+    StopMoveConfig,
+    StopMoveReconstructor,
+)
+from .cleaning import (
+    CleaningConfig,
+    CleaningReport,
+    CleaningResult,
+    RawDataCleaner,
+    SpeedValidator,
+)
+from .complementing import (
+    ComplementorConfig,
+    ComplementResult,
+    InferenceConfig,
+    MobilityKnowledge,
+    MobilitySemanticsComplementor,
+    SemanticsInference,
+)
+from .semantics import (
+    EVENT_PASS_BY,
+    EVENT_STAY,
+    MobilitySemantic,
+    MobilitySemanticsSequence,
+)
+from .translator import (
+    BatchTranslationResult,
+    TranslationResult,
+    Translator,
+    TranslatorConfig,
+)
+
+__all__ = [
+    "EVENT_PASS_BY",
+    "EVENT_STAY",
+    "FEATURE_NAMES",
+    "AnnotationResult",
+    "AnnotatorConfig",
+    "BatchTranslationResult",
+    "CleaningConfig",
+    "CleaningReport",
+    "CleaningResult",
+    "CleaningScore",
+    "ComplementResult",
+    "ComplementorConfig",
+    "DensitySplitter",
+    "DistanceOnlyGapFiller",
+    "EventIdentifier",
+    "EventPrediction",
+    "GapFillScore",
+    "HeuristicEventIdentifier",
+    "InferenceConfig",
+    "MobilityKnowledge",
+    "MobilitySemantic",
+    "MobilitySemanticsAnnotator",
+    "MobilitySemanticsComplementor",
+    "MobilitySemanticsSequence",
+    "NearestRegionAnnotator",
+    "RawDataCleaner",
+    "SemanticsInference",
+    "SemanticsScore",
+    "Snippet",
+    "SnippetKind",
+    "SpatialMatch",
+    "SpatialMatcher",
+    "SpeedValidator",
+    "SplitterConfig",
+    "StopMoveConfig",
+    "StopMoveReconstructor",
+    "TranslationResult",
+    "Translator",
+    "TranslatorConfig",
+    "extract_features",
+    "score_gap_fill",
+    "score_positions",
+    "score_semantics",
+]

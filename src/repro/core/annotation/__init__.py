@@ -1,0 +1,44 @@
+"""Annotation layer (C2) of the three-layer translation framework.
+
+Density-based splitting into snippets, snippet feature extraction, the
+learning-based event identification model, spatial matching against
+semantic regions, and the annotator that assembles mobility semantics —
+paper §3, "Annotation" in Figure 3.
+"""
+
+from .annotator import (
+    AnnotationResult,
+    AnnotatorConfig,
+    MobilitySemanticsAnnotator,
+)
+from .event_model import (
+    EventIdentifier,
+    EventPrediction,
+    HeuristicEventIdentifier,
+)
+from .features import FEATURE_NAMES, extract_features, feature_index
+from .spatial import SpatialMatch, SpatialMatcher
+from .splitting import (
+    DensitySplitter,
+    Snippet,
+    SnippetKind,
+    SplitterConfig,
+)
+
+__all__ = [
+    "FEATURE_NAMES",
+    "AnnotationResult",
+    "AnnotatorConfig",
+    "DensitySplitter",
+    "EventIdentifier",
+    "EventPrediction",
+    "HeuristicEventIdentifier",
+    "MobilitySemanticsAnnotator",
+    "Snippet",
+    "SnippetKind",
+    "SpatialMatch",
+    "SpatialMatcher",
+    "SplitterConfig",
+    "extract_features",
+    "feature_index",
+]

@@ -1,0 +1,132 @@
+"""The Mobility Semantics Annotator.
+
+"The Annotator module reads the cleaned sequence from the Raw Data Cleaner,
+and extracts a sequence of mobility semantics by matching proper
+annotations according to the relevant contexts (i.e., semantic regions and
+mobility events)" (paper §2).  Splitting produces snippets; each snippet
+gets an event annotation from the identifier, a spatial annotation from the
+matcher, and its time range as the temporal annotation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from ...dsm import DigitalSpaceModel
+from ...errors import AnnotationError
+from ...positioning import PositioningSequence
+from ..semantics import MobilitySemantic, MobilitySemanticsSequence
+from .event_model import EventPrediction, HeuristicEventIdentifier
+from .spatial import SpatialMatcher
+from .splitting import DensitySplitter, Snippet, SnippetKind, SplitterConfig
+
+
+class EventModel(Protocol):
+    """What the annotator needs from an event identifier."""
+
+    @property
+    def is_trained(self) -> bool: ...
+
+    def identify(self, records) -> EventPrediction: ...
+
+
+@dataclass(frozen=True)
+class AnnotatorConfig:
+    """Knobs of the annotation layer."""
+
+    splitter: SplitterConfig = SplitterConfig()
+    #: Snippets shorter than this many seconds produce no semantics at all
+    #: (they are sensing flicker, not behavior).
+    min_semantic_duration: float = 10.0
+    #: Drop snippets whose spatial match is weaker than this coverage when
+    #: the snippet is a transit (pass-bys need to actually touch the region).
+    min_transit_coverage: float = 0.2
+    #: Merge adjacent same-region triplets into one visit after annotation.
+    merge_same_region: bool = True
+
+    def __post_init__(self) -> None:
+        if self.min_semantic_duration < 0:
+            raise AnnotationError("min_semantic_duration must be >= 0")
+        if not 0.0 <= self.min_transit_coverage <= 1.0:
+            raise AnnotationError("min_transit_coverage must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class AnnotationResult:
+    """Semantics plus the snippet partition (the viewer traces both)."""
+
+    sequence: MobilitySemanticsSequence
+    snippets: list[Snippet]
+    skipped_snippets: int
+
+
+class MobilitySemanticsAnnotator:
+    """The annotation layer of the three-layer framework."""
+
+    def __init__(
+        self,
+        model: DigitalSpaceModel,
+        event_model: EventModel | None = None,
+        config: AnnotatorConfig | None = None,
+    ):
+        self.model = model
+        self.config = config if config is not None else AnnotatorConfig()
+        self.splitter = DensitySplitter(self.config.splitter)
+        self.matcher = SpatialMatcher(model)
+        self.event_model: EventModel = (
+            event_model if event_model is not None else HeuristicEventIdentifier()
+        )
+
+    def annotate(self, cleaned: PositioningSequence) -> AnnotationResult:
+        """Translate a cleaned sequence into its original mobility semantics.
+
+        'Original' in the paper's sense: before the complementing layer
+        fills the gaps.
+        """
+        if not self.event_model.is_trained:
+            raise AnnotationError(
+                "event model is not trained; train it on Event Editor "
+                "designations or use the heuristic identifier"
+            )
+        snippets = self.splitter.split(cleaned)
+        semantics: list[MobilitySemantic] = []
+        skipped = 0
+        for snippet in snippets:
+            triplet = self._annotate_snippet(snippet)
+            if triplet is None:
+                skipped += 1
+            else:
+                semantics.append(triplet)
+        sequence = MobilitySemanticsSequence(
+            cleaned.device_id, semantics
+        ).merged_consecutive()
+        if self.config.merge_same_region:
+            sequence = sequence.merged_same_region()
+        return AnnotationResult(sequence, snippets, skipped)
+
+    def _annotate_snippet(self, snippet: Snippet) -> MobilitySemantic | None:
+        if (
+            len(snippet) >= 2
+            and snippet.duration < self.config.min_semantic_duration
+        ):
+            return None
+        if len(snippet) < 2:
+            return None  # a lone record carries no measurable behavior
+        match = self.matcher.match(list(snippet.records))
+        if match is None:
+            return None
+        if (
+            snippet.kind is SnippetKind.TRANSIT
+            and match.coverage < self.config.min_transit_coverage
+        ):
+            return None
+        prediction = self.event_model.identify(list(snippet.records))
+        return MobilitySemantic(
+            event=prediction.event,
+            region_id=match.region_id,
+            region_name=match.region_name,
+            time_range=snippet.time_range,
+            confidence=prediction.confidence,
+            record_indexes=tuple(snippet.indexes),
+        )

@@ -1,0 +1,139 @@
+"""Event identification: the learning-based model of the annotation layer.
+
+"The event and temporal annotations are made by a learning-based
+identification model, for which the training mobility event data is
+collected through the Event Editor" (paper §3).  :class:`EventIdentifier`
+wraps a scaler plus any :mod:`repro.learning` classifier; a calibrated
+heuristic fallback covers the zero-training bootstrap phase so the pipeline
+is usable before an analyst has designated anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...errors import AnnotationError, ModelNotFittedError
+from ...events import TrainingSet
+from ...learning import MODEL_FACTORIES, Classifier, StandardScaler
+from ...positioning import RawPositioningRecord
+from .features import FEATURE_NAMES, extract_features
+
+
+@dataclass(frozen=True)
+class EventPrediction:
+    """An event label plus the model's confidence in it."""
+
+    event: str
+    confidence: float
+
+
+class EventIdentifier:
+    """Learned snippet-to-event classifier with graceful fallback."""
+
+    def __init__(self, model: Classifier | str = "forest", seed: int = 0):
+        if isinstance(model, str):
+            factory = MODEL_FACTORIES.get(model)
+            if factory is None:
+                raise AnnotationError(
+                    f"unknown event model {model!r}; "
+                    f"choose from {sorted(MODEL_FACTORIES)}"
+                )
+            try:
+                model = factory(seed=seed)
+            except TypeError:  # models without a seed parameter (knn, nb)
+                model = factory()
+        self.model = model
+        self.scaler = StandardScaler()
+        self._trained = False
+
+    @property
+    def is_trained(self) -> bool:
+        """True once :meth:`train` has run."""
+        return self._trained
+
+    def train(self, training_set: TrainingSet) -> "EventIdentifier":
+        """Fit on Event Editor designations."""
+        features, labels = training_set.to_features(extract_features)
+        scaled = self.scaler.fit_transform(features)
+        self.model.fit(scaled, labels)
+        self._trained = True
+        return self
+
+    def identify(self, records: list[RawPositioningRecord]) -> EventPrediction:
+        """Predict the mobility event of a record segment."""
+        if not self._trained:
+            raise ModelNotFittedError(
+                "EventIdentifier.identify called before train(); use "
+                "HeuristicEventIdentifier for the zero-training phase"
+            )
+        features = extract_features(records).reshape(1, -1)
+        scaled = self.scaler.transform(features)
+        probabilities = self.model.predict_proba(scaled)[0]
+        best = int(np.argmax(probabilities))
+        return EventPrediction(
+            event=self.model.classes[best],
+            confidence=float(probabilities[best]),
+        )
+
+    @property
+    def known_events(self) -> list[str]:
+        """Event labels the model can emit."""
+        if not self._trained:
+            return []
+        return self.model.classes
+
+
+class HeuristicEventIdentifier:
+    """Threshold-based stay/pass-by discrimination (no training needed).
+
+    A snippet is a *stay* when it is slow and compact — low mean speed, low
+    straightness, small covering range relative to its duration.  This is
+    deliberately the kind of rule the GPS-era systems [10, 12] hard-code;
+    it doubles as the no-learning ablation arm in E-F3b.
+    """
+
+    def __init__(
+        self,
+        stay_speed_threshold: float = 0.7,
+        stay_straightness_threshold: float = 0.5,
+        min_stay_duration: float = 45.0,
+    ):
+        self.stay_speed_threshold = stay_speed_threshold
+        self.stay_straightness_threshold = stay_straightness_threshold
+        self.min_stay_duration = min_stay_duration
+        self._speed_idx = FEATURE_NAMES.index("mean_speed")
+        self._straightness_idx = FEATURE_NAMES.index("straightness")
+        self._duration_idx = FEATURE_NAMES.index("duration")
+
+    @property
+    def is_trained(self) -> bool:
+        """Always ready — there is nothing to train."""
+        return True
+
+    def identify(self, records: list[RawPositioningRecord]) -> EventPrediction:
+        """Rule-based stay/pass-by call with a margin-derived confidence."""
+        from ..semantics import EVENT_PASS_BY, EVENT_STAY
+
+        features = extract_features(records)
+        slow = features[self._speed_idx] <= self.stay_speed_threshold
+        wandering = (
+            features[self._straightness_idx] <= self.stay_straightness_threshold
+        )
+        long_enough = features[self._duration_idx] >= self.min_stay_duration
+        if slow and wandering and long_enough:
+            margin = 1.0 - features[self._speed_idx] / max(
+                self.stay_speed_threshold, 1e-9
+            )
+            return EventPrediction(EVENT_STAY, 0.5 + 0.5 * min(1.0, margin))
+        speed_excess = features[self._speed_idx] - self.stay_speed_threshold
+        margin = min(1.0, max(0.0, speed_excess) / self.stay_speed_threshold)
+        return EventPrediction(EVENT_PASS_BY, 0.5 + 0.5 * margin)
+
+    @property
+    def known_events(self) -> list[str]:
+        """The two built-in events."""
+        from ..semantics import EVENT_PASS_BY, EVENT_STAY
+
+        return [EVENT_PASS_BY, EVENT_STAY]

@@ -1,0 +1,79 @@
+"""Snippet feature extraction for event identification.
+
+"The feature extraction considers the information of positioning location
+variance, traveling distance and speed, covering range, number of turns,
+etc." (paper §3).  The extractor turns a record segment into a fixed-width
+vector; the same function serves both the Event Editor's training segments
+and the splitter's snippets at annotation time, so train/serve skew is
+impossible by construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import AnnotationError
+from ...geometry import (
+    count_turns,
+    covering_range,
+    floor_changes,
+    location_variance,
+    max_speed,
+    mean_speed,
+    path_length,
+    straightness,
+)
+from ...positioning import RawPositioningRecord
+
+#: Feature order produced by :func:`extract_features`.
+FEATURE_NAMES = (
+    "duration",
+    "record_count",
+    "location_variance",
+    "path_length",
+    "mean_speed",
+    "max_speed",
+    "covering_range",
+    "turn_count",
+    "straightness",
+    "mean_interval",
+    "floor_changes",
+    "point_density",
+)
+
+
+def extract_features(records: list[RawPositioningRecord]) -> np.ndarray:
+    """The paper's snippet feature vector, in :data:`FEATURE_NAMES` order."""
+    if len(records) < 1:
+        raise AnnotationError("cannot extract features from zero records")
+    points = [r.location for r in records]
+    timestamps = [r.timestamp for r in records]
+    duration = timestamps[-1] - timestamps[0]
+    count = len(records)
+    travel = path_length(points)
+    features = np.array(
+        [
+            duration,
+            float(count),
+            location_variance(points) if count > 1 else 0.0,
+            travel,
+            mean_speed(points, timestamps),
+            max_speed(points, timestamps),
+            covering_range(points),
+            float(count_turns(points)),
+            straightness(points),
+            duration / (count - 1) if count > 1 else 0.0,
+            float(floor_changes([p.floor for p in points])),
+            count / duration if duration > 0 else float(count),
+        ],
+        dtype=np.float64,
+    )
+    return features
+
+
+def feature_index(name: str) -> int:
+    """Column index of a named feature (raises on unknown names)."""
+    try:
+        return FEATURE_NAMES.index(name)
+    except ValueError:
+        raise AnnotationError(f"unknown feature name: {name!r}") from None

@@ -1,0 +1,90 @@
+"""Spatial matching: attaching semantic regions to snippets.
+
+"The spatial annotation is made by matching the semantic regions in the DSM
+created by the Space Modeler" (paper §3).  A snippet is matched to the
+region its records dwell in longest (duration-weighted vote), with a
+nearest-region fallback within a snap radius for records in unmodeled space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...dsm import DigitalSpaceModel
+from ...positioning import RawPositioningRecord
+
+
+@dataclass(frozen=True)
+class SpatialMatch:
+    """A region id/name plus the fraction of snippet time spent inside."""
+
+    region_id: str
+    region_name: str
+    coverage: float
+
+
+class SpatialMatcher:
+    """Duration-weighted region voting over a snippet's records."""
+
+    def __init__(self, model: DigitalSpaceModel, snap_distance: float = 4.0):
+        if snap_distance < 0:
+            raise ValueError(f"snap_distance must be >= 0, got {snap_distance}")
+        self.model = model
+        self.snap_distance = snap_distance
+
+    def match(self, records: list[RawPositioningRecord]) -> SpatialMatch | None:
+        """The best-matching semantic region, or None when nothing is near.
+
+        Each record votes for its primary region with a weight equal to the
+        time it represents (half the gap to each neighbor record), so a
+        handful of border fixes cannot outvote a long dwell.
+        """
+        if not records:
+            return None
+        weights = self._record_weights(records)
+        votes: dict[str, float] = {}
+        total = 0.0
+        for record, weight in zip(records, weights):
+            region = self.model.primary_region_at(record.location)
+            total += weight
+            if region is not None:
+                votes[region.region_id] = votes.get(region.region_id, 0.0) + weight
+        if not votes:
+            return self._nearest_fallback(records)
+        best_id = max(sorted(votes), key=lambda rid: votes[rid])
+        region = self.model.region(best_id)
+        coverage = votes[best_id] / total if total > 0 else 1.0
+        return SpatialMatch(region.region_id, region.name, coverage)
+
+    def _record_weights(self, records: list[RawPositioningRecord]) -> list[float]:
+        if len(records) == 1:
+            return [1.0]
+        weights = []
+        for i, record in enumerate(records):
+            left = records[i].timestamp - records[i - 1].timestamp if i > 0 else 0.0
+            right = (
+                records[i + 1].timestamp - record.timestamp
+                if i < len(records) - 1
+                else 0.0
+            )
+            weights.append(max((left + right) / 2.0, 1e-6))
+        return weights
+
+    def _nearest_fallback(
+        self, records: list[RawPositioningRecord]
+    ) -> SpatialMatch | None:
+        """Snap to the nearest region anchor within ``snap_distance``."""
+        middle = records[len(records) // 2].location
+        best_id: str | None = None
+        best_distance = self.snap_distance
+        for region in self.model.regions():
+            anchor = self.model.region_anchor(region.region_id)
+            if anchor.floor != middle.floor:
+                continue
+            distance = anchor.planar_distance_to(middle)
+            if distance <= best_distance:
+                best_id, best_distance = region.region_id, distance
+        if best_id is None:
+            return None
+        region = self.model.region(best_id)
+        return SpatialMatch(region.region_id, region.name, 0.0)

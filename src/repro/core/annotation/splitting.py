@@ -1,0 +1,318 @@
+"""Density-based splitting of cleaned sequences into snippets.
+
+"A density-based splitting obtains a number of data snippets by clustering
+positioning records with respect to their spatio-temporal attributes"
+(paper §3).  The splitter is an ST-DBSCAN variant restricted to temporal
+contiguity: a record is *core* when enough records fall within both a
+spatial radius and a temporal window around it; maximal contiguous runs of
+core/border records become DENSE snippets (stay-like), everything between
+becomes TRANSIT snippets (movement).
+
+Invariant (property-tested): the snippets partition the input sequence —
+their index ranges are ordered, non-overlapping, and cover every record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ...errors import AnnotationError
+from ...positioning import PositioningSequence, RawPositioningRecord
+from ...timeutil import TimeRange
+
+
+class SnippetKind(Enum):
+    """Density class of a snippet."""
+
+    DENSE = "dense"
+    TRANSIT = "transit"
+
+
+@dataclass(frozen=True)
+class Snippet:
+    """A contiguous run of records ``[start, end)`` of one density class."""
+
+    kind: SnippetKind
+    start: int
+    end: int  # exclusive
+    records: tuple[RawPositioningRecord, ...]
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise AnnotationError(
+                f"snippet range [{self.start}, {self.end}) is empty"
+            )
+        if len(self.records) != self.end - self.start:
+            raise AnnotationError("snippet records do not match its index range")
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def time_range(self) -> TimeRange:
+        """Closed interval from first to last record."""
+        return TimeRange(self.records[0].timestamp, self.records[-1].timestamp)
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds of the snippet."""
+        return self.time_range.duration
+
+    @property
+    def indexes(self) -> range:
+        """The record indexes in the parent cleaned sequence."""
+        return range(self.start, self.end)
+
+
+@dataclass(frozen=True)
+class SplitterConfig:
+    """Density parameters of the splitter.
+
+    A record is a *core* point when the device stays within ``eps_space``
+    of it, contiguously in time, for at least ``core_span`` seconds and at
+    least ``min_pts`` records.  Duration-within-radius is sampling-rate
+    invariant: a walker exits the disc in ``2*eps_space/speed`` seconds
+    (a few seconds at walking speed) regardless of how densely the channel
+    samples, while a dweller remains for minutes.  ``eps_time`` bounds the
+    gap between consecutive neighborhood records; ``min_dense_duration``
+    drops flickers (a 10-second cluster is not a stay).
+    """
+
+    eps_space: float = 4.5
+    eps_time: float = 120.0
+    min_pts: int = 4
+    core_span: float = 20.0
+    min_dense_duration: float = 30.0
+    #: Transit blips up to this long between two nearby dense snippets are
+    #: stitched into one dense snippet (a dweller crossing the shop floor).
+    bridge_span: float = 25.0
+
+    def __post_init__(self) -> None:
+        if self.eps_space <= 0 or self.eps_time <= 0:
+            raise AnnotationError("eps_space and eps_time must be positive")
+        if self.min_pts < 2:
+            raise AnnotationError(f"min_pts must be >= 2, got {self.min_pts}")
+        if self.core_span <= 0:
+            raise AnnotationError("core_span must be positive")
+        if self.min_dense_duration < 0:
+            raise AnnotationError("min_dense_duration must be >= 0")
+        if self.bridge_span < 0:
+            raise AnnotationError("bridge_span must be >= 0")
+
+
+class DensitySplitter:
+    """Splits a cleaned positioning sequence into snippets."""
+
+    def __init__(self, config: SplitterConfig | None = None):
+        self.config = config if config is not None else SplitterConfig()
+
+    def split(self, sequence: PositioningSequence) -> list[Snippet]:
+        """The snippet partition of ``sequence`` in timeline order."""
+        records = sequence.records
+        n = len(records)
+        if n == 1:
+            return [Snippet(SnippetKind.TRANSIT, 0, 1, records)]
+        core = self._core_flags(records)
+        assigned = self._expand_borders(records, core)
+        assigned = self._demote_short_runs(records, assigned)
+        snippets = self._runs_to_snippets(records, assigned)
+        return self._stitch(records, snippets)
+
+    # ------------------------------------------------------------------
+    # Density computation
+    # ------------------------------------------------------------------
+    def _core_flags(self, records) -> list[bool]:
+        cfg = self.config
+        n = len(records)
+        flags = [False] * n
+        for i in range(n):
+            count = 1  # the record itself
+            # Contiguous forward expansion: stop at the first record that
+            # leaves the disc or after a long silence.
+            first = last = records[i].timestamp
+            j = i + 1
+            while (
+                j < n
+                and self._near(records[i], records[j])
+                and records[j].timestamp - records[j - 1].timestamp
+                <= cfg.eps_time
+            ):
+                last = records[j].timestamp
+                count += 1
+                j += 1
+            # Contiguous backward expansion.
+            j = i - 1
+            while (
+                j >= 0
+                and self._near(records[i], records[j])
+                and records[j + 1].timestamp - records[j].timestamp
+                <= cfg.eps_time
+            ):
+                first = records[j].timestamp
+                count += 1
+                j -= 1
+            flags[i] = count >= cfg.min_pts and last - first >= cfg.core_span
+        return flags
+
+    def _near(self, a, b) -> bool:
+        return (
+            a.floor == b.floor
+            and a.location.planar_distance_to(b.location) <= self.config.eps_space
+        )
+
+    def _expand_borders(self, records, core: list[bool]) -> list[bool]:
+        """Border points join the dense mass of an adjacent core record."""
+        n = len(records)
+        assigned = list(core)
+        for i in range(n):
+            if assigned[i]:
+                continue
+            for j in (i - 1, i + 1):
+                if 0 <= j < n and core[j] and self._near(records[i], records[j]):
+                    time_gap = abs(records[i].timestamp - records[j].timestamp)
+                    if time_gap <= self.config.eps_time:
+                        assigned[i] = True
+                        break
+        return assigned
+
+    def _demote_short_runs(self, records, assigned: list[bool]) -> list[bool]:
+        """Dense runs shorter than ``min_dense_duration`` become transit."""
+        result = list(assigned)
+        for start, end in self._runs(assigned, True):
+            duration = records[end - 1].timestamp - records[start].timestamp
+            if duration < self.config.min_dense_duration:
+                for i in range(start, end):
+                    result[i] = False
+        return result
+
+    # ------------------------------------------------------------------
+    # Snippet assembly
+    # ------------------------------------------------------------------
+    def _runs_to_snippets(self, records, assigned: list[bool]) -> list[Snippet]:
+        snippets: list[Snippet] = []
+        for flag_value, (start, end) in self._flag_runs(assigned):
+            kind = SnippetKind.DENSE if flag_value else SnippetKind.TRANSIT
+            if kind is SnippetKind.DENSE:
+                # Two different clusters (a floor change, a far jump, a long
+                # silence) can sit back to back with the dense flag set on
+                # both; split them into separate snippets.
+                for piece_start, piece_end in self._cluster_breaks(
+                    records, start, end
+                ):
+                    snippets.append(
+                        Snippet(
+                            kind,
+                            piece_start,
+                            piece_end,
+                            tuple(records[piece_start:piece_end]),
+                        )
+                    )
+            else:
+                # Transit runs split at long silences too — otherwise a
+                # dropout hole hides *inside* one snippet's time range and
+                # the complementing layer never sees a gap to fill.
+                for piece_start, piece_end in self._silence_breaks(
+                    records, start, end
+                ):
+                    snippets.append(
+                        Snippet(
+                            kind,
+                            piece_start,
+                            piece_end,
+                            tuple(records[piece_start:piece_end]),
+                        )
+                    )
+        return snippets
+
+    def _silence_breaks(self, records, start: int, end: int):
+        piece_start = start
+        for i in range(start, end - 1):
+            gap = records[i + 1].timestamp - records[i].timestamp
+            if gap > self.config.eps_time:
+                yield piece_start, i + 1
+                piece_start = i + 1
+        yield piece_start, end
+
+    def _stitch(self, records, snippets: list[Snippet]) -> list[Snippet]:
+        """Merge [DENSE, short TRANSIT, DENSE] triples into one dense snippet.
+
+        A dweller crossing their shop between browse spots produces a
+        two-record transit blip that would otherwise fragment one visit
+        into duration-distorted pieces.  Stitching requires the blip to be
+        short, on the same floor, and spatially between nearby dense ends.
+        """
+        stitched = list(snippets)
+        changed = True
+        while changed:
+            changed = False
+            for i in range(1, len(stitched) - 1):
+                middle = stitched[i]
+                left, right = stitched[i - 1], stitched[i + 1]
+                if (
+                    middle.kind is SnippetKind.TRANSIT
+                    and left.kind is SnippetKind.DENSE
+                    and right.kind is SnippetKind.DENSE
+                    and middle.duration <= self.config.bridge_span
+                    and left.records[-1].floor == right.records[0].floor
+                    and self._centroid(left).planar_distance_to(
+                        self._centroid(right)
+                    )
+                    <= 2.0 * self.config.eps_space
+                ):
+                    merged = Snippet(
+                        SnippetKind.DENSE,
+                        left.start,
+                        right.end,
+                        tuple(records[left.start : right.end]),
+                    )
+                    stitched[i - 1 : i + 2] = [merged]
+                    changed = True
+                    break
+        return stitched
+
+    @staticmethod
+    def _centroid(snippet: Snippet):
+        from ...geometry import centroid_of
+
+        return centroid_of([r.location for r in snippet.records])
+
+    def _cluster_breaks(self, records, start: int, end: int):
+        # Only *strong* discontinuities split a dense run: a floor change,
+        # a jump well beyond the neighborhood radius, or a temporal gap.
+        # Ordinary positioning jitter between consecutive records must not
+        # fragment one long dwell into pass-by-sized pieces.
+        piece_start = start
+        for i in range(start, end - 1):
+            a, b = records[i], records[i + 1]
+            gap = b.timestamp - a.timestamp
+            jump = a.location.planar_distance_to(b.location)
+            broken = (
+                a.floor != b.floor
+                or jump > 2.0 * self.config.eps_space
+                or gap > self.config.eps_time
+            )
+            if broken:
+                yield piece_start, i + 1
+                piece_start = i + 1
+        yield piece_start, end
+
+    @staticmethod
+    def _runs(flags: list[bool], wanted: bool) -> list[tuple[int, int]]:
+        found: list[tuple[int, int]] = []
+        start = None
+        for i, flag in enumerate(list(flags) + [not wanted]):
+            if flag == wanted and start is None:
+                start = i
+            elif flag != wanted and start is not None:
+                found.append((start, i))
+                start = None
+        return found
+
+    @staticmethod
+    def _flag_runs(flags: list[bool]):
+        start = 0
+        for i in range(1, len(flags) + 1):
+            if i == len(flags) or flags[i] != flags[start]:
+                yield flags[start], (start, i)
+                start = i

@@ -1,0 +1,264 @@
+"""Assessment of translation quality against ground truth.
+
+The paper's third challenge is that "the translation result needs to be
+assessed properly"; TRIPS answers with visual comparison, and this module
+adds the quantitative counterpart our simulator's ground truth makes
+possible: time-weighted region/event accuracy, triplet-level precision and
+recall, sequence edit distance, and cleaning RMSE/floor metrics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..positioning import PositioningSequence
+from ..timeutil import TimeRange
+from .semantics import MobilitySemanticsSequence
+
+
+# ----------------------------------------------------------------------
+# Cleaning quality
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CleaningScore:
+    """Positional quality of a (possibly cleaned) sequence vs ground truth."""
+
+    rmse: float
+    mean_error: float
+    max_error: float
+    floor_accuracy: float
+    matched_records: int
+
+    def __str__(self) -> str:
+        return (
+            f"rmse={self.rmse:.2f}m mean={self.mean_error:.2f}m "
+            f"max={self.max_error:.2f}m floor-acc={self.floor_accuracy:.3f}"
+        )
+
+
+def score_positions(
+    candidate: PositioningSequence, truth: PositioningSequence
+) -> CleaningScore:
+    """Compare per-record positions, matching records by timestamp.
+
+    Records present in only one sequence (e.g. removed by dropout) are
+    ignored — they are the complementing layer's problem, not the
+    cleaner's.
+    """
+    truth_by_time = {round(r.timestamp, 6): r for r in truth}
+    squared = []
+    errors = []
+    floor_hits = 0
+    matched = 0
+    for record in candidate:
+        reference = truth_by_time.get(round(record.timestamp, 6))
+        if reference is None:
+            continue
+        matched += 1
+        error = record.location.planar_distance_to(reference.location)
+        errors.append(error)
+        squared.append(error * error)
+        if record.floor == reference.floor:
+            floor_hits += 1
+    if matched == 0:
+        return CleaningScore(math.nan, math.nan, math.nan, math.nan, 0)
+    return CleaningScore(
+        rmse=math.sqrt(sum(squared) / matched),
+        mean_error=sum(errors) / matched,
+        max_error=max(errors),
+        floor_accuracy=floor_hits / matched,
+        matched_records=matched,
+    )
+
+
+# ----------------------------------------------------------------------
+# Semantics quality
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SemanticsScore:
+    """How well an output semantics sequence matches the ground truth."""
+
+    #: Fraction of ground-truth time covered by the correct region.
+    region_time_accuracy: float
+    #: Fraction of correctly-regioned time whose event also matches.
+    event_accuracy: float
+    #: Triplet-level recall: truth triplets matched at IoU >= 0.5 + region.
+    triplet_recall: float
+    #: Triplet-level precision: output triplets that match some truth one.
+    triplet_precision: float
+    #: Levenshtein distance between deduplicated region strings.
+    edit_distance: int
+    #: Output triplets per truth triplet (1.0 = same granularity).
+    triplet_ratio: float
+
+    @property
+    def triplet_f1(self) -> float:
+        """Harmonic mean of triplet precision and recall."""
+        if self.triplet_precision + self.triplet_recall == 0:
+            return 0.0
+        return (
+            2.0
+            * self.triplet_precision
+            * self.triplet_recall
+            / (self.triplet_precision + self.triplet_recall)
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"region-time={self.region_time_accuracy:.3f} "
+            f"event={self.event_accuracy:.3f} "
+            f"triplet-F1={self.triplet_f1:.3f} edit={self.edit_distance}"
+        )
+
+
+def score_semantics(
+    output: MobilitySemanticsSequence,
+    truth: MobilitySemanticsSequence,
+    iou_threshold: float = 0.5,
+) -> SemanticsScore:
+    """Score an output semantics sequence against the ground truth."""
+    region_time, event_time, truth_time = _timeline_agreement(output, truth)
+    recall, precision = _triplet_match(output, truth, iou_threshold)
+    distance = _edit_distance(
+        _dedup([s.region_id for s in truth]),
+        _dedup([s.region_id for s in output]),
+    )
+    ratio = len(output) / len(truth) if len(truth) > 0 else 0.0
+    return SemanticsScore(
+        region_time_accuracy=region_time / truth_time if truth_time > 0 else 0.0,
+        event_accuracy=event_time / region_time if region_time > 0 else 0.0,
+        triplet_recall=recall,
+        triplet_precision=precision,
+        edit_distance=distance,
+        triplet_ratio=ratio,
+    )
+
+
+def _timeline_agreement(
+    output: MobilitySemanticsSequence, truth: MobilitySemanticsSequence
+) -> tuple[float, float, float]:
+    """(correct-region seconds, correct-region-and-event seconds, truth seconds)."""
+    region_time = 0.0
+    event_time = 0.0
+    truth_time = sum(s.duration for s in truth)
+    for truth_triplet in truth:
+        for out_triplet in output:
+            overlap = truth_triplet.time_range.intersection(
+                out_triplet.time_range
+            )
+            if overlap is None:
+                continue
+            if out_triplet.region_id == truth_triplet.region_id:
+                region_time += overlap.duration
+                if out_triplet.event == truth_triplet.event:
+                    event_time += overlap.duration
+    return region_time, event_time, truth_time
+
+
+def _triplet_match(
+    output: MobilitySemanticsSequence,
+    truth: MobilitySemanticsSequence,
+    iou_threshold: float,
+) -> tuple[float, float]:
+    if len(truth) == 0:
+        return 0.0, 0.0
+    matched_truth = 0
+    used_output: set[int] = set()
+    for truth_triplet in truth:
+        best_index = -1
+        best_iou = iou_threshold
+        for index, out_triplet in enumerate(output):
+            if index in used_output:
+                continue
+            if out_triplet.region_id != truth_triplet.region_id:
+                continue
+            iou = truth_triplet.time_range.iou(out_triplet.time_range)
+            if iou >= best_iou:
+                best_iou = iou
+                best_index = index
+        if best_index >= 0:
+            matched_truth += 1
+            used_output.add(best_index)
+    recall = matched_truth / len(truth)
+    precision = len(used_output) / len(output) if len(output) > 0 else 0.0
+    return recall, precision
+
+
+def _dedup(items: list[str]) -> list[str]:
+    """Collapse consecutive repeats."""
+    out: list[str] = []
+    for item in items:
+        if not out or out[-1] != item:
+            out.append(item)
+    return out
+
+
+def _edit_distance(a: list[str], b: list[str]) -> int:
+    """Levenshtein distance between two string lists."""
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    previous = list(range(len(b) + 1))
+    for i, item_a in enumerate(a, start=1):
+        current = [i] + [0] * len(b)
+        for j, item_b in enumerate(b, start=1):
+            cost = 0 if item_a == item_b else 1
+            current[j] = min(
+                previous[j] + 1,  # deletion
+                current[j - 1] + 1,  # insertion
+                previous[j - 1] + cost,  # substitution
+            )
+        previous = current
+    return previous[-1]
+
+
+# ----------------------------------------------------------------------
+# Gap-filling quality (E-F3c)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class GapFillScore:
+    """Quality of inferred semantics inside known gap windows."""
+
+    inferred_count: int
+    correct_region_count: int
+
+    @property
+    def region_precision(self) -> float:
+        """Fraction of inferred triplets whose region matches the truth."""
+        if self.inferred_count == 0:
+            return 0.0
+        return self.correct_region_count / self.inferred_count
+
+
+def score_gap_fill(
+    output: MobilitySemanticsSequence, truth: MobilitySemanticsSequence
+) -> GapFillScore:
+    """Check every *inferred* triplet against the truth timeline.
+
+    An inferred triplet counts as correct when the truth region occupying
+    the majority of its window matches.
+    """
+    inferred = [s for s in output if s.inferred]
+    correct = 0
+    for triplet in inferred:
+        dominant = _dominant_truth_region(triplet.time_range, truth)
+        if dominant == triplet.region_id:
+            correct += 1
+    return GapFillScore(len(inferred), correct)
+
+
+def _dominant_truth_region(
+    window: TimeRange, truth: MobilitySemanticsSequence
+) -> str | None:
+    overlap_by_region: dict[str, float] = {}
+    for triplet in truth:
+        overlap = window.intersection(triplet.time_range)
+        if overlap is not None:
+            overlap_by_region[triplet.region_id] = (
+                overlap_by_region.get(triplet.region_id, 0.0) + overlap.duration
+            )
+    if not overlap_by_region:
+        return None
+    return max(sorted(overlap_by_region), key=lambda r: overlap_by_region[r])

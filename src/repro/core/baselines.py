@@ -1,0 +1,276 @@
+"""Baseline translators from the paper's related-work comparison.
+
+TRIPS is motivated against GPS-era systems: the trajectory reconstruction
+manager of Marketos et al. [10] (threshold-driven stop/move detection with
+"temporal and spatial gaps, maximum speed, maximum noise duration, and
+tolerance distance in a stop") and the stop/move-only semantic annotation
+platform of Yan et al. [12].  These baselines make the comparison
+measurable (experiment E-X3): same inputs, same assessment, no indoor
+topology, no learning, no knowledge-based complementing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dsm import DigitalSpaceModel, Topology
+from ..errors import AnnotationError
+from ..positioning import PositioningSequence, RawPositioningRecord
+from ..timeutil import TimeRange
+from .annotation import SpatialMatcher
+from .complementing import MobilityKnowledge
+from .semantics import (
+    EVENT_PASS_BY,
+    EVENT_STAY,
+    MobilitySemantic,
+    MobilitySemanticsSequence,
+)
+
+
+@dataclass(frozen=True)
+class StopMoveConfig:
+    """The exact parameter set of the [10]-style reconstructor."""
+
+    temporal_gap: float = 300.0
+    spatial_gap: float = 50.0
+    max_speed: float = 2.5
+    max_noise_duration: float = 30.0
+    stop_tolerance_distance: float = 5.0
+    min_stop_duration: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.stop_tolerance_distance <= 0 or self.min_stop_duration <= 0:
+            raise AnnotationError("stop parameters must be positive")
+
+
+class StopMoveReconstructor:
+    """Threshold-based stop/move translation without indoor topology.
+
+    Noise filtering uses *straight-line* speed (the GPS assumption — this
+    is precisely what fails indoors, since walls make true paths longer);
+    stops are maximal runs staying within ``stop_tolerance_distance`` of
+    the run centroid for at least ``min_stop_duration``.  Stops map to
+    ``stay`` and moves to ``pass-by`` so the assessment can compare
+    like-for-like with TRIPS output.
+    """
+
+    def __init__(self, model: DigitalSpaceModel, config: StopMoveConfig | None = None):
+        self.model = model
+        self.config = config if config is not None else StopMoveConfig()
+        self.matcher = SpatialMatcher(model)
+
+    def translate(self, sequence: PositioningSequence) -> MobilitySemanticsSequence:
+        """Stop/move semantics for one raw sequence."""
+        records = self._filter_noise(list(sequence.records))
+        if len(records) < 2:
+            return MobilitySemanticsSequence(sequence.device_id, [])
+        segments = self._segment_stops(records)
+        semantics: list[MobilitySemantic] = []
+        for is_stop, segment in segments:
+            if len(segment) < 2:
+                continue
+            match = self.matcher.match(segment)
+            if match is None:
+                continue
+            semantics.append(
+                MobilitySemantic(
+                    event=EVENT_STAY if is_stop else EVENT_PASS_BY,
+                    region_id=match.region_id,
+                    region_name=match.region_name,
+                    time_range=TimeRange(
+                        segment[0].timestamp, segment[-1].timestamp
+                    ),
+                    confidence=1.0,
+                )
+            )
+        return MobilitySemanticsSequence(
+            sequence.device_id, semantics
+        ).merged_consecutive()
+
+    def _filter_noise(
+        self, records: list[RawPositioningRecord]
+    ) -> list[RawPositioningRecord]:
+        """Drop records implying straight-line speed above ``max_speed``.
+
+        Noise bursts longer than ``max_noise_duration`` are kept (per [10],
+        a long 'noise' episode is treated as real movement).
+        """
+        if not records:
+            return []
+        kept = [records[0]]
+        noise_started: float | None = None
+        for record in records[1:]:
+            previous = kept[-1]
+            elapsed = record.timestamp - previous.timestamp
+            distance = previous.location.planar_distance_to(record.location)
+            implied = distance / elapsed if elapsed > 0 else float("inf")
+            if implied <= self.config.max_speed or record.floor != previous.floor:
+                kept.append(record)
+                noise_started = None
+            else:
+                if noise_started is None:
+                    noise_started = record.timestamp
+                elif (
+                    record.timestamp - noise_started
+                    > self.config.max_noise_duration
+                ):
+                    kept.append(record)  # sustained: accept as real movement
+                    noise_started = None
+        return kept
+
+    def _segment_stops(
+        self, records: list[RawPositioningRecord]
+    ) -> list[tuple[bool, list[RawPositioningRecord]]]:
+        segments: list[tuple[bool, list[RawPositioningRecord]]] = []
+        index = 0
+        move_buffer: list[RawPositioningRecord] = []
+        while index < len(records):
+            stop_end = self._extend_stop(records, index)
+            duration = records[stop_end - 1].timestamp - records[index].timestamp
+            if duration >= self.config.min_stop_duration:
+                if move_buffer:
+                    segments.append((False, move_buffer))
+                    move_buffer = []
+                segments.append((True, records[index:stop_end]))
+                index = stop_end
+            else:
+                move_buffer.append(records[index])
+                index += 1
+        if move_buffer:
+            segments.append((False, move_buffer))
+        return segments
+
+    def _extend_stop(
+        self, records: list[RawPositioningRecord], start: int
+    ) -> int:
+        """Largest ``end`` with all records in ``[start, end)`` within
+        tolerance of their running centroid."""
+        sum_x = records[start].location.x
+        sum_y = records[start].location.y
+        count = 1
+        end = start + 1
+        while end < len(records):
+            candidate = records[end]
+            centroid_x = (sum_x + candidate.location.x) / (count + 1)
+            centroid_y = (sum_y + candidate.location.y) / (count + 1)
+            spread = max(
+                (
+                    ((r.location.x - centroid_x) ** 2 + (r.location.y - centroid_y) ** 2)
+                    ** 0.5
+                    for r in records[start : end + 1]
+                ),
+            )
+            if spread > self.config.stop_tolerance_distance:
+                break
+            sum_x += candidate.location.x
+            sum_y += candidate.location.y
+            count += 1
+            end += 1
+        return end
+
+
+class NearestRegionAnnotator:
+    """Rule-based per-record region annotation (the [12]-style arm).
+
+    Every record votes for its containing region; consecutive same-region
+    runs become triplets, with ``stay`` when the run lasts at least
+    ``stay_threshold`` seconds and ``pass-by`` otherwise.  No density
+    splitting, no learned event model.
+    """
+
+    def __init__(self, model: DigitalSpaceModel, stay_threshold: float = 90.0):
+        if stay_threshold <= 0:
+            raise AnnotationError("stay_threshold must be positive")
+        self.model = model
+        self.stay_threshold = stay_threshold
+
+    def translate(self, sequence: PositioningSequence) -> MobilitySemanticsSequence:
+        """Run-length region semantics for one sequence."""
+        runs: list[tuple[str, str, int, int]] = []  # (id, name, start, end)
+        current_id: str | None = None
+        current_name = ""
+        run_start = 0
+        for index, record in enumerate(sequence):
+            region = self.model.primary_region_at(record.location)
+            region_id = region.region_id if region is not None else None
+            if region_id != current_id:
+                if current_id is not None:
+                    runs.append((current_id, current_name, run_start, index))
+                current_id = region_id
+                current_name = region.name if region is not None else ""
+                run_start = index
+        if current_id is not None:
+            runs.append((current_id, current_name, run_start, len(sequence)))
+        semantics: list[MobilitySemantic] = []
+        for region_id, region_name, start, end in runs:
+            if end - start < 2:
+                continue
+            window = TimeRange(
+                sequence[start].timestamp, sequence[end - 1].timestamp
+            )
+            event = (
+                EVENT_STAY if window.duration >= self.stay_threshold else EVENT_PASS_BY
+            )
+            semantics.append(
+                MobilitySemantic(
+                    event=event,
+                    region_id=region_id,
+                    region_name=region_name,
+                    time_range=window,
+                    record_indexes=tuple(range(start, end)),
+                )
+            )
+        return MobilitySemanticsSequence(sequence.device_id, semantics)
+
+
+class DistanceOnlyGapFiller:
+    """Gap filling by shortest region path, ignoring mobility knowledge.
+
+    The no-knowledge ablation arm for E-F3c: intermediates come from the
+    region graph's weighted shortest path and the gap time is split
+    uniformly.  Everything the MAP inference adds (transition priors, dwell
+    statistics, duration fit) is absent by design.
+    """
+
+    def __init__(self, topology: Topology, gap_threshold: float = 120.0):
+        self.topology = topology
+        self.gap_threshold = gap_threshold
+
+    def complement(
+        self, original: MobilitySemanticsSequence
+    ) -> MobilitySemanticsSequence:
+        """Fill gaps with shortest-path regions, uniform time split."""
+        filled: list[MobilitySemantic] = list(original.semantics)
+        for index, gap in original.gaps(self.gap_threshold):
+            before = original[index]
+            after = original[index + 1]
+            try:
+                path = self.topology.region_path(
+                    before.region_id, after.region_id
+                )
+            except Exception:
+                continue
+            intermediates = path[1:-1]
+            if not intermediates:
+                continue
+            share = gap.duration / len(intermediates)
+            cursor = gap.start
+            for region_id in intermediates:
+                window = TimeRange(cursor, cursor + share)
+                cursor = window.end
+                name = (
+                    self.topology.model.region(region_id).name
+                    if self.topology.model.has_region(region_id)
+                    else region_id
+                )
+                filled.append(
+                    MobilitySemantic(
+                        event=EVENT_PASS_BY,
+                        region_id=region_id,
+                        region_name=name,
+                        time_range=window,
+                        confidence=0.5,
+                        inferred=True,
+                    )
+                )
+        return MobilitySemanticsSequence(original.device_id, filled)

@@ -1,0 +1,28 @@
+"""Cleaning layer (C1) of the three-layer translation framework.
+
+Speed-constraint violation detection against the minimum indoor walking
+distance, floor value correction, and DSM-constrained location
+interpolation — paper §3, "Cleaning" in Figure 3.
+"""
+
+from .cleaner import (
+    CleaningConfig,
+    CleaningReport,
+    CleaningResult,
+    RawDataCleaner,
+)
+from .floor import FloorCorrector
+from .interpolation import LocationInterpolator
+from .speed import DEFAULT_MAX_SPEED, SpeedValidator, SpeedViolation
+
+__all__ = [
+    "DEFAULT_MAX_SPEED",
+    "CleaningConfig",
+    "CleaningReport",
+    "CleaningResult",
+    "FloorCorrector",
+    "LocationInterpolator",
+    "RawDataCleaner",
+    "SpeedValidator",
+    "SpeedViolation",
+]

@@ -1,0 +1,211 @@
+"""The Raw Data Cleaner: orchestrates detection and the two repair steps.
+
+"The Raw Data Cleaner module reads the positioning sequence selected by the
+Data Selector, and eliminates the data errors by considering the indoor
+mobility constraints captured in the DSM" (paper §2).  Detection walks the
+sequence against the last *valid* record; each invalid record is repaired by
+floor correction first and location interpolation second, matching §3's
+two-step repair exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...dsm import Topology
+from ...errors import CleaningError
+from ...positioning import PositioningSequence, RawPositioningRecord
+from .floor import FloorCorrector
+from .interpolation import LocationInterpolator
+from .speed import DEFAULT_MAX_SPEED, SpeedValidator
+
+
+@dataclass(frozen=True)
+class CleaningConfig:
+    """Knobs of the cleaning layer."""
+
+    max_speed: float = DEFAULT_MAX_SPEED
+    enable_floor_correction: bool = True
+    enable_interpolation: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_speed <= 0:
+            raise CleaningError(f"max_speed must be positive, got {self.max_speed}")
+
+
+@dataclass
+class CleaningReport:
+    """What the cleaner detected and repaired in one sequence."""
+
+    total_records: int = 0
+    invalid_indexes: list[int] = field(default_factory=list)
+    floor_corrected: list[int] = field(default_factory=list)
+    interpolated: list[int] = field(default_factory=list)
+    unrepaired: list[int] = field(default_factory=list)
+
+    @property
+    def invalid_count(self) -> int:
+        """Number of records that violated the speed constraint."""
+        return len(self.invalid_indexes)
+
+    @property
+    def repaired_count(self) -> int:
+        """Records fixed by either repair step."""
+        return len(self.floor_corrected) + len(self.interpolated)
+
+    @property
+    def invalid_rate(self) -> float:
+        """Fraction of records detected invalid."""
+        if self.total_records == 0:
+            return 0.0
+        return self.invalid_count / self.total_records
+
+    def __str__(self) -> str:
+        return (
+            f"cleaning: {self.invalid_count}/{self.total_records} invalid, "
+            f"{len(self.floor_corrected)} floor-corrected, "
+            f"{len(self.interpolated)} interpolated, "
+            f"{len(self.unrepaired)} unrepaired"
+        )
+
+
+@dataclass(frozen=True)
+class CleaningResult:
+    """The cleaned sequence plus its report; the raw input is untouched."""
+
+    raw: PositioningSequence
+    cleaned: PositioningSequence
+    report: CleaningReport
+
+
+class RawDataCleaner:
+    """The cleaning layer of the three-layer translation framework."""
+
+    def __init__(self, topology: Topology, config: CleaningConfig | None = None):
+        self.topology = topology
+        self.config = config if config is not None else CleaningConfig()
+        self.validator = SpeedValidator(topology, self.config.max_speed)
+        self._floor_corrector = FloorCorrector(self.validator)
+        self._interpolator = LocationInterpolator(topology)
+
+    def clean(self, sequence: PositioningSequence) -> CleaningResult:
+        """Detect and repair invalid records in one positioning sequence."""
+        records = list(sequence.records)
+        report = CleaningReport(total_records=len(records))
+        if len(records) < 2:
+            return CleaningResult(sequence, sequence, report)
+
+        records = self._fix_leading_outlier(records, report)
+        repaired: list[RawPositioningRecord] = [records[0]]
+        pending_interpolation: list[int] = []
+        # The last record known to be good: an invalid record must never
+        # become the comparison anchor, or one outlier would cascade into
+        # flagging every record after it.
+        last_valid = records[0]
+
+        for index in range(1, len(records)):
+            current = records[index]
+            if self.validator.transition_feasible(last_valid, current):
+                repaired.append(current)
+                last_valid = current
+                continue
+            report.invalid_indexes.append(index)
+            following = self._next_consistent(records, index, last_valid)
+            corrected = None
+            if self.config.enable_floor_correction:
+                corrected = self._floor_corrector.try_correct(
+                    current, last_valid, following
+                )
+            if corrected is not None:
+                report.floor_corrected.append(index)
+                repaired.append(corrected)
+                last_valid = corrected
+            elif self.config.enable_interpolation:
+                # Defer: interpolation needs the *repaired* following anchor,
+                # but marking now keeps index bookkeeping simple because the
+                # record list length never changes.
+                repaired.append(current)
+                pending_interpolation.append(index)
+            else:
+                report.unrepaired.append(index)
+                repaired.append(current)
+
+        if pending_interpolation:
+            repaired = self._interpolate_pending(
+                repaired, pending_interpolation, report
+            )
+
+        cleaned = sequence.with_records(repaired)
+        return CleaningResult(sequence, cleaned, report)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _fix_leading_outlier(
+        self, records: list[RawPositioningRecord], report: CleaningReport
+    ) -> list[RawPositioningRecord]:
+        """Decide whether record 0 (rather than record 1) is the outlier.
+
+        The forward scan always trusts its first record; when the first
+        transition violates the constraint but records 1..2 are mutually
+        consistent, the evidence points at record 0, which is replaced by a
+        copy at record 1's location.
+        """
+        if len(records) < 3:
+            return records
+        first_bad = not self.validator.transition_feasible(records[0], records[1])
+        rest_fine = self.validator.transition_feasible(records[1], records[2])
+        if first_bad and rest_fine:
+            report.invalid_indexes.append(0)
+            report.interpolated.append(0)
+            repaired_first = records[0].moved(records[1].location)
+            return [repaired_first] + records[1:]
+        return records
+
+    def _next_consistent(
+        self,
+        records: list[RawPositioningRecord],
+        index: int,
+        previous_valid: RawPositioningRecord,
+        lookahead: int = 5,
+    ) -> RawPositioningRecord | None:
+        """The next record that is itself consistent with the last valid one.
+
+        Serves as the forward anchor for floor correction and
+        interpolation; bounded lookahead keeps cleaning linear.
+        """
+        for j in range(index + 1, min(index + 1 + lookahead, len(records))):
+            if self.validator.transition_feasible(previous_valid, records[j]):
+                return records[j]
+        return None
+
+    def _interpolate_pending(
+        self,
+        records: list[RawPositioningRecord],
+        pending: list[int],
+        report: CleaningReport,
+    ) -> list[RawPositioningRecord]:
+        pending_set = set(pending)
+        result = list(records)
+        for index in pending:
+            previous = self._nearest_anchor(result, index, pending_set, step=-1)
+            following = self._nearest_anchor(result, index, pending_set, step=+1)
+            result[index] = self._interpolator.interpolate(
+                result[index], previous, following
+            )
+            report.interpolated.append(index)
+        return result
+
+    @staticmethod
+    def _nearest_anchor(
+        records: list[RawPositioningRecord],
+        index: int,
+        pending: set[int],
+        step: int,
+    ) -> RawPositioningRecord | None:
+        j = index + step
+        while 0 <= j < len(records):
+            if j not in pending:
+                return records[j]
+            j += step
+        return None

@@ -1,0 +1,113 @@
+"""Speed-constraint validation of raw positioning records.
+
+"Considering the speed constraint that people cannot move too fast indoors,
+the invalid positioning records are identified by checking the speeds
+between consecutive positioning records based on the minimum indoor walking
+distance" (paper §3, citing [13]).  The minimum indoor walking distance is
+the DSM topology's shortest door-respecting path — straight-line distance
+would under-detect errors whenever the direct segment cuts through walls.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ...dsm import Topology
+from ...positioning import RawPositioningRecord
+
+#: Brisk indoor walking speed ceiling (m/s); faster implies a bad fix.
+DEFAULT_MAX_SPEED = 2.5
+
+
+@dataclass(frozen=True)
+class SpeedViolation:
+    """A consecutive-record pair whose implied speed is infeasible."""
+
+    from_index: int
+    to_index: int
+    distance: float
+    elapsed: float
+
+    @property
+    def speed(self) -> float:
+        """Implied speed in m/s (inf for unreachable or instantaneous)."""
+        if self.elapsed <= 0.0:
+            return math.inf
+        return self.distance / self.elapsed
+
+
+class SpeedValidator:
+    """Checks record transitions against the indoor speed constraint."""
+
+    def __init__(self, topology: Topology, max_speed: float = DEFAULT_MAX_SPEED):
+        if max_speed <= 0:
+            raise ValueError(f"max_speed must be positive, got {max_speed}")
+        self.topology = topology
+        self.max_speed = max_speed
+
+    def transition_feasible(
+        self, previous: RawPositioningRecord, current: RawPositioningRecord
+    ) -> bool:
+        """True when moving between the two fixes is humanly possible."""
+        distance = self.effective_distance(previous, current)
+        if not math.isfinite(distance):
+            return False
+        elapsed = current.timestamp - previous.timestamp
+        if elapsed <= 0.0:
+            # Simultaneous fixes are feasible only at (nearly) one location.
+            return distance <= 1e-6
+        return distance / elapsed <= self.max_speed
+
+    def effective_distance(
+        self, previous: RawPositioningRecord, current: RawPositioningRecord
+    ) -> float:
+        """Indoor distance with the vertical cost component excluded.
+
+        The stack's floor-change cost is a routing weight, not a horizontal
+        distance: a person mid-staircase legitimately produces consecutive
+        fixes on different floors at nearly the same (x, y).  Excluding the
+        vertical component keeps genuine stair transitions feasible while a
+        floor *error* far from any staircase still pays its long horizontal
+        detour legs and is detected.
+        """
+        distance = self.indoor_distance(previous, current)
+        floor_delta = abs(current.floor - previous.floor)
+        if floor_delta and math.isfinite(distance):
+            distance = max(
+                0.0,
+                distance - self.topology.floor_change_cost * floor_delta,
+            )
+        return distance
+
+    def indoor_distance(
+        self, previous: RawPositioningRecord, current: RawPositioningRecord
+    ) -> float:
+        """Minimum indoor walking distance between the two fixes.
+
+        Uses the cheap straight-line distance when both fixes share a
+        partition and the segment stays inside it; otherwise the topology's
+        door-graph shortest path.
+        """
+        a, b = previous.location, current.location
+        if a.floor == b.floor and self.topology.straight_move_allowed(a, b):
+            return a.planar_distance_to(b)
+        return self.topology.walking_distance(a, b)
+
+    def find_violations(
+        self, records: list[RawPositioningRecord]
+    ) -> list[SpeedViolation]:
+        """All infeasible consecutive transitions in a record list."""
+        violations: list[SpeedViolation] = []
+        for index in range(1, len(records)):
+            previous, current = records[index - 1], records[index]
+            if not self.transition_feasible(previous, current):
+                violations.append(
+                    SpeedViolation(
+                        index - 1,
+                        index,
+                        self.effective_distance(previous, current),
+                        current.timestamp - previous.timestamp,
+                    )
+                )
+        return violations

@@ -1,0 +1,31 @@
+"""Complementing layer (C3) of the three-layer translation framework.
+
+Mobility-knowledge construction (Laplace-smoothed region transition model
+plus dwell statistics) and MAP inference of the missing mobility semantics
+across temporal gaps — paper §3, "Complementing" in Figure 3.
+"""
+
+from .complementor import (
+    ComplementorConfig,
+    ComplementResult,
+    MobilitySemanticsComplementor,
+)
+from .inference import (
+    NOMINAL_WALK_SPEED,
+    InferenceConfig,
+    InferredPath,
+    SemanticsInference,
+)
+from .knowledge import MobilityKnowledge, RegionStats
+
+__all__ = [
+    "NOMINAL_WALK_SPEED",
+    "ComplementResult",
+    "ComplementorConfig",
+    "InferenceConfig",
+    "InferredPath",
+    "MobilityKnowledge",
+    "MobilitySemanticsComplementor",
+    "RegionStats",
+    "SemanticsInference",
+]

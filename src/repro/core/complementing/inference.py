@@ -1,0 +1,340 @@
+"""MAP inference of missing mobility semantics.
+
+"By a maximum a posteriori estimation, a mobility semantics inference
+utilizes the mobility knowledge to infer the most-likely mobility semantics
+between two semantic regions involved in the intermediate result" (paper
+§3).  The inference is a Viterbi-style dynamic program over the DSM's
+region graph: for each candidate intermediate-hop count ``k`` it finds the
+maximum-log-probability region path from the gap's start region to its end
+region, scores each ``k`` by how well the path's expected dwell+travel time
+explains the gap duration, and emits the winner as inferred triplets.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ...dsm import Topology
+from ...errors import InferenceError
+from ...timeutil import TimeRange
+from ..semantics import EVENT_PASS_BY, EVENT_STAY, MobilitySemantic
+from .knowledge import MobilityKnowledge
+
+#: Nominal indoor walking speed used to estimate travel time between regions.
+NOMINAL_WALK_SPEED = 1.2
+
+
+@dataclass(frozen=True)
+class InferenceConfig:
+    """Knobs of the MAP inference."""
+
+    max_hops: int = 4
+    #: Weight of the duration-fit term against the path log-probability.
+    #: Each extra leg costs roughly ``-log P(transition)`` (about 2-3 nats
+    #: under smoothing), so the likelihood term needs comparable scale or
+    #: the direct-transition explanation always wins regardless of how
+    #: badly it explains the gap duration.
+    duration_weight: float = 4.0
+    #: Dwell assumed for regions never observed in the knowledge (seconds).
+    default_dwell: float = 60.0
+    #: Below this allocated time an inferred visit is a pass-by, not a stay.
+    pass_by_threshold: float = 45.0
+
+    def __post_init__(self) -> None:
+        if self.max_hops < 0:
+            raise InferenceError(f"max_hops must be >= 0, got {self.max_hops}")
+        if self.duration_weight < 0:
+            raise InferenceError("duration_weight must be >= 0")
+
+
+@dataclass(frozen=True)
+class InferredPath:
+    """A scored candidate: intermediate regions plus diagnostic terms."""
+
+    regions: tuple[str, ...]
+    log_probability: float
+    duration_penalty: float
+
+    @property
+    def score(self) -> float:
+        """Combined MAP objective (higher is better).
+
+        The transition term is *length-normalized* (geometric-mean leg
+        probability): raw sums punish every extra leg by ~|log P| nats,
+        which would make the direct-transition hypothesis unbeatable no
+        matter how badly it explains the gap duration.  With the mean, the
+        prior ranks paths by how typical their legs are and the duration
+        likelihood arbitrates how many legs the gap can hold.
+        """
+        legs = len(self.regions) + 1
+        return self.log_probability / legs - self.duration_penalty
+
+
+class SemanticsInference:
+    """Infers the most likely region path across one semantics gap."""
+
+    def __init__(
+        self,
+        knowledge: MobilityKnowledge,
+        topology: Topology,
+        config: InferenceConfig | None = None,
+    ):
+        self.knowledge = knowledge
+        self.topology = topology
+        self.config = config if config is not None else InferenceConfig()
+
+    def infer_gap(
+        self,
+        origin_region: str,
+        destination_region: str,
+        gap: TimeRange,
+    ) -> list[MobilitySemantic]:
+        """Inferred triplets filling ``gap`` between the two known regions.
+
+        Returns an empty list when the best explanation is a direct
+        transition (no intermediate visit fits the gap).
+        """
+        path = self.best_path(origin_region, destination_region, gap.duration)
+        if path is None or not path.regions:
+            return []
+        return self._allocate_time(path, gap)
+
+    def infer_between(
+        self,
+        before: MobilitySemantic,
+        after: MobilitySemantic,
+        gap: TimeRange,
+    ) -> list[MobilitySemantic]:
+        """Gap filling aware of the flanking triplets' dwell statistics.
+
+        A positioning dropout usually truncates the visits on either side
+        of it, so the most likely explanation of the first and last parts
+        of the gap is *more of the same visit*: each flank is extended by
+        its region's dwell deficit (mean dwell minus observed duration),
+        capped to keep room for travel, and only the remaining middle
+        window goes to intermediate-path inference.
+        """
+        extend_before = self._dwell_deficit(before)
+        extend_after = self._dwell_deficit(after)
+        budget = 0.8 * gap.duration
+        if extend_before + extend_after > budget and (
+            extend_before + extend_after
+        ) > 0:
+            scale = budget / (extend_before + extend_after)
+            extend_before *= scale
+            extend_after *= scale
+        semantics: list[MobilitySemantic] = []
+        middle_start = gap.start
+        middle_end = gap.end
+        if extend_before >= 20.0:
+            middle_start = gap.start + extend_before
+            semantics.append(
+                MobilitySemantic(
+                    event=before.event,
+                    region_id=before.region_id,
+                    region_name=before.region_name,
+                    time_range=TimeRange(gap.start, middle_start),
+                    confidence=0.6,
+                    inferred=True,
+                )
+            )
+        if extend_after >= 20.0:
+            middle_end = gap.end - extend_after
+            semantics.append(
+                MobilitySemantic(
+                    event=after.event,
+                    region_id=after.region_id,
+                    region_name=after.region_name,
+                    time_range=TimeRange(middle_end, gap.end),
+                    confidence=0.6,
+                    inferred=True,
+                )
+            )
+        middle = TimeRange(middle_start, middle_end)
+        if middle.duration >= self.config.pass_by_threshold:
+            semantics.extend(
+                self.infer_gap(before.region_id, after.region_id, middle)
+            )
+        return sorted(semantics, key=lambda s: s.time_range)
+
+    def _dwell_deficit(self, triplet: MobilitySemantic) -> float:
+        """How much shorter than typical this visit was observed to be."""
+        if triplet.region_id not in self.knowledge._region_set:
+            return 0.0
+        stats = self.knowledge.region_stats(triplet.region_id)
+        if stats.visits == 0:
+            return 0.0
+        return max(0.0, stats.mean_dwell - triplet.duration)
+
+    def best_path(
+        self, origin: str, destination: str, gap_duration: float
+    ) -> InferredPath | None:
+        """The MAP intermediate-region path for a gap of ``gap_duration``.
+
+        Runs the hop-bounded Viterbi DP and scores each hop count by
+        path log-probability minus a duration-mismatch penalty.
+        """
+        if origin not in self.knowledge._region_set:
+            raise InferenceError(f"unknown origin region {origin!r}")
+        if destination not in self.knowledge._region_set:
+            raise InferenceError(f"unknown destination region {destination!r}")
+        candidates: list[InferredPath] = []
+        direct = InferredPath(
+            regions=(),
+            log_probability=self.knowledge.log_transition(origin, destination)
+            if origin != destination
+            else 0.0,
+            duration_penalty=self._duration_penalty((), origin, destination, gap_duration),
+        )
+        candidates.append(direct)
+        for hops in range(1, self.config.max_hops + 1):
+            best = self._viterbi_fixed_hops(origin, destination, hops)
+            if best is None:
+                continue
+            regions, log_probability = best
+            candidates.append(
+                InferredPath(
+                    regions=regions,
+                    log_probability=log_probability,
+                    duration_penalty=self._duration_penalty(
+                        regions, origin, destination, gap_duration
+                    ),
+                )
+            )
+        if not candidates:
+            return None
+        return max(candidates, key=lambda c: c.score)
+
+    # ------------------------------------------------------------------
+    # Viterbi over the region graph
+    # ------------------------------------------------------------------
+    def _viterbi_fixed_hops(
+        self, origin: str, destination: str, hops: int
+    ) -> tuple[tuple[str, ...], float] | None:
+        """Best log-probability path with exactly ``hops`` intermediates.
+
+        States are region-graph nodes; moves are restricted to region-graph
+        edges so the inference never proposes physically impossible visits.
+        """
+        graph = self.topology.region_graph
+        if origin not in graph or destination not in graph:
+            return None
+        # scores[region] = (best log-prob reaching region, back-pointer path)
+        scores: dict[str, tuple[float, tuple[str, ...]]] = {}
+        for neighbor in graph.neighbors(origin):
+            log_probability = self.knowledge.log_transition(origin, neighbor)
+            scores[neighbor] = (log_probability, (neighbor,))
+        for _ in range(hops - 1):
+            next_scores: dict[str, tuple[float, tuple[str, ...]]] = {}
+            for region, (log_probability, path) in scores.items():
+                for neighbor in graph.neighbors(region):
+                    if neighbor == origin or neighbor in path:
+                        continue  # no revisits inside one inferred excursion
+                    candidate = log_probability + self.knowledge.log_transition(
+                        region, neighbor
+                    )
+                    held = next_scores.get(neighbor)
+                    if held is None or candidate > held[0]:
+                        next_scores[neighbor] = (candidate, path + (neighbor,))
+            scores = next_scores
+            if not scores:
+                return None
+        best: tuple[tuple[str, ...], float] | None = None
+        for region, (log_probability, path) in scores.items():
+            if destination not in graph.neighbors(region):
+                continue
+            if destination in path:
+                continue
+            total = log_probability + self.knowledge.log_transition(
+                region, destination
+            )
+            if best is None or total > best[1]:
+                best = (path, total)
+        return best
+
+    # ------------------------------------------------------------------
+    # Duration model
+    # ------------------------------------------------------------------
+    def _duration_penalty(
+        self,
+        intermediates: tuple[str, ...],
+        origin: str,
+        destination: str,
+        gap_duration: float,
+    ) -> float:
+        """Penalty for how badly the path's expected time explains the gap.
+
+        Expected time = sum of mean dwells at intermediates + walking time
+        across all legs at nominal speed.  The penalty is the squared
+        relative mismatch, weighted by ``duration_weight``.
+        """
+        expected = 0.0
+        legs = [origin, *intermediates, destination]
+        for a, b in zip(legs, legs[1:]):
+            distance = self.topology.region_graph.get_edge_data(a, b, {}).get(
+                "weight"
+            )
+            if distance is None or not math.isfinite(distance):
+                distance = 25.0  # conservative unknown-leg estimate
+            expected += distance / NOMINAL_WALK_SPEED
+        for region in intermediates:
+            expected += self.knowledge.mean_dwell(
+                region, self.config.default_dwell
+            )
+        if gap_duration <= 0:
+            return self.config.duration_weight * (1.0 if intermediates else 0.0)
+        relative_error = (expected - gap_duration) / gap_duration
+        return self.config.duration_weight * relative_error * relative_error
+
+    # ------------------------------------------------------------------
+    # Emission
+    # ------------------------------------------------------------------
+    def _allocate_time(
+        self, path: InferredPath, gap: TimeRange
+    ) -> list[MobilitySemantic]:
+        """Split the gap across inferred visits proportional to mean dwell."""
+        dwells = [
+            max(self.knowledge.mean_dwell(region, self.config.default_dwell), 1.0)
+            for region in path.regions
+        ]
+        total_dwell = sum(dwells)
+        confidence = self._confidence(path)
+        semantics: list[MobilitySemantic] = []
+        cursor = gap.start
+        for region, dwell in zip(path.regions, dwells):
+            share = dwell / total_dwell
+            duration = gap.duration * share
+            window = TimeRange(cursor, min(gap.end, cursor + duration))
+            cursor = window.end
+            stats = self.knowledge.region_stats(region)
+            if duration < self.config.pass_by_threshold or (
+                stats.visits > 0 and stats.stay_fraction < 0.5
+            ):
+                event = EVENT_PASS_BY
+            else:
+                event = EVENT_STAY
+            region_name = self._region_name(region)
+            semantics.append(
+                MobilitySemantic(
+                    event=event,
+                    region_id=region,
+                    region_name=region_name,
+                    time_range=window,
+                    confidence=confidence,
+                    inferred=True,
+                )
+            )
+        return semantics
+
+    def _confidence(self, path: InferredPath) -> float:
+        """Geometric-mean transition probability of the inferred legs."""
+        leg_count = len(path.regions) + 1
+        mean_log = path.log_probability / leg_count
+        return max(0.0, min(1.0, math.exp(mean_log)))
+
+    def _region_name(self, region_id: str) -> str:
+        model = self.topology.model
+        if model.has_region(region_id):
+            return model.region(region_id).name
+        return region_id

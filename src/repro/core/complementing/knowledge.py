@@ -1,0 +1,166 @@
+"""Mobility knowledge: aggregated transition statistics between regions.
+
+"A knowledge construction aggregates the mobility semantics already
+annotated to build the prior mobility knowledge that captures the
+transition probabilities between semantic regions" (paper §3).  The
+knowledge is a Laplace-smoothed first-order Markov model over the DSM's
+region vocabulary, plus per-region dwell-duration and event statistics the
+inference step uses to allocate time and pick event annotations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ...errors import InferenceError
+from ..semantics import EVENT_STAY, MobilitySemanticsSequence
+
+
+@dataclass
+class RegionStats:
+    """Aggregates about one semantic region."""
+
+    visits: int = 0
+    total_dwell: float = 0.0
+    stay_count: int = 0
+
+    @property
+    def mean_dwell(self) -> float:
+        """Mean seconds spent per visit (0 when unvisited)."""
+        if self.visits == 0:
+            return 0.0
+        return self.total_dwell / self.visits
+
+    @property
+    def stay_fraction(self) -> float:
+        """Fraction of visits annotated as stays."""
+        if self.visits == 0:
+            return 0.0
+        return self.stay_count / self.visits
+
+
+@dataclass
+class MobilityKnowledge:
+    """The prior the complementing layer's MAP inference consults."""
+
+    regions: list[str]
+    smoothing: float = 1.0
+    _transitions: dict[str, dict[str, int]] = field(default_factory=dict)
+    _outgoing_totals: dict[str, int] = field(default_factory=dict)
+    _stats: dict[str, RegionStats] = field(default_factory=dict)
+    sequences_seen: int = 0
+
+    def __post_init__(self) -> None:
+        if self.smoothing <= 0:
+            raise InferenceError(f"smoothing must be positive, got {self.smoothing}")
+        if not self.regions:
+            raise InferenceError("mobility knowledge needs a region vocabulary")
+        self.regions = sorted(set(self.regions))
+        self._region_set = set(self.regions)
+        for region in self.regions:
+            self._stats.setdefault(region, RegionStats())
+
+    @classmethod
+    def from_sequences(
+        cls,
+        sequences: list[MobilitySemanticsSequence],
+        regions: list[str],
+        smoothing: float = 1.0,
+        max_transition_gap: float = 600.0,
+    ) -> "MobilityKnowledge":
+        """Build knowledge by aggregating annotated sequences.
+
+        Transitions across gaps longer than ``max_transition_gap`` are not
+        counted — the device plausibly visited unobserved regions in
+        between, so the pair is not evidence of a direct transition.
+        """
+        knowledge = cls(regions=regions, smoothing=smoothing)
+        for sequence in sequences:
+            knowledge.observe(sequence, max_transition_gap)
+        return knowledge
+
+    def observe(
+        self,
+        sequence: MobilitySemanticsSequence,
+        max_transition_gap: float = 600.0,
+    ) -> None:
+        """Fold one annotated sequence into the aggregates."""
+        self.sequences_seen += 1
+        semantics = [s for s in sequence if s.region_id in self._region_set]
+        for triplet in semantics:
+            stats = self._stats[triplet.region_id]
+            stats.visits += 1
+            stats.total_dwell += triplet.duration
+            if triplet.event == EVENT_STAY:
+                stats.stay_count += 1
+        for current, following in zip(semantics, semantics[1:]):
+            gap = following.time_range.start - current.time_range.end
+            if gap > max_transition_gap:
+                continue
+            if current.region_id == following.region_id:
+                continue
+            outgoing = self._transitions.setdefault(current.region_id, {})
+            outgoing[following.region_id] = outgoing.get(following.region_id, 0) + 1
+            self._outgoing_totals[current.region_id] = (
+                self._outgoing_totals.get(current.region_id, 0) + 1
+            )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def transition_probability(self, origin: str, destination: str) -> float:
+        """Laplace-smoothed P(destination | origin) over the vocabulary."""
+        self._check_region(origin)
+        self._check_region(destination)
+        if origin == destination:
+            return 0.0  # self-transitions were merged away during annotation
+        count = self._transitions.get(origin, {}).get(destination, 0)
+        total = self._outgoing_totals.get(origin, 0)
+        vocabulary = len(self.regions) - 1  # all possible destinations
+        return (count + self.smoothing) / (total + self.smoothing * vocabulary)
+
+    def log_transition(self, origin: str, destination: str) -> float:
+        """log P(destination | origin); -inf never occurs thanks to smoothing."""
+        return math.log(self.transition_probability(origin, destination))
+
+    def transition_count(self, origin: str, destination: str) -> int:
+        """Raw observed transition count."""
+        return self._transitions.get(origin, {}).get(destination, 0)
+
+    def region_stats(self, region_id: str) -> RegionStats:
+        """Dwell/event aggregates for one region."""
+        self._check_region(region_id)
+        return self._stats[region_id]
+
+    def mean_dwell(self, region_id: str, default: float = 60.0) -> float:
+        """Mean visit duration, with a default for unvisited regions."""
+        stats = self.region_stats(region_id)
+        return stats.mean_dwell if stats.visits > 0 else default
+
+    def most_likely_next(self, origin: str, top_k: int = 3) -> list[tuple[str, float]]:
+        """The ``top_k`` most probable successor regions of ``origin``."""
+        self._check_region(origin)
+        ranked = sorted(
+            (
+                (destination, self.transition_probability(origin, destination))
+                for destination in self.regions
+                if destination != origin
+            ),
+            key=lambda pair: (-pair[1], pair[0]),
+        )
+        return ranked[:top_k]
+
+    def _check_region(self, region_id: str) -> None:
+        if region_id not in self._region_set:
+            raise InferenceError(
+                f"region {region_id!r} not in the knowledge vocabulary"
+            )
+
+    def __str__(self) -> str:
+        observed = sum(self._outgoing_totals.values())
+        return (
+            f"MobilityKnowledge({len(self.regions)} regions, "
+            f"{observed} observed transitions, "
+            f"{self.sequences_seen} sequences)"
+        )

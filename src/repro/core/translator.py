@@ -1,0 +1,250 @@
+"""The Translator: three-layer pipeline orchestration.
+
+"The Translator constructs a sequence of mobility semantics for each
+individual positioning sequence" (paper §2) by chaining the Raw Data
+Cleaner, the Annotator and the Complementor (Figure 3).  Batch translation
+is two-phase: every sequence is cleaned and annotated first, the mobility
+knowledge is built from *all* original semantics ("referring to other
+generated mobility semantics sequences"), and only then is each sequence
+complemented.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..dsm import DigitalSpaceModel
+from ..errors import AnnotationError
+from ..positioning import PositioningSequence
+from .annotation import (
+    AnnotationResult,
+    AnnotatorConfig,
+    MobilitySemanticsAnnotator,
+)
+from .annotation.annotator import EventModel
+from .cleaning import CleaningConfig, CleaningResult, RawDataCleaner
+from .complementing import (
+    ComplementorConfig,
+    ComplementResult,
+    MobilityKnowledge,
+    MobilitySemanticsComplementor,
+)
+from .semantics import MobilitySemanticsSequence
+
+
+@dataclass(frozen=True)
+class TranslatorConfig:
+    """End-to-end configuration of the three-layer framework.
+
+    The enable flags exist for the ablation experiments (E-X2): disabling a
+    layer passes its input through unchanged.
+    """
+
+    cleaning: CleaningConfig = CleaningConfig()
+    annotation: AnnotatorConfig = AnnotatorConfig()
+    complementing: ComplementorConfig = ComplementorConfig()
+    knowledge_smoothing: float = 1.0
+    enable_cleaning: bool = True
+    enable_complementing: bool = True
+
+
+@dataclass(frozen=True)
+class TranslationResult:
+    """Everything the translation of one sequence produced.
+
+    All intermediate artifacts are kept because the Viewer must "trace the
+    input, output and intermediate data involved in the translation".
+    """
+
+    device_id: str
+    raw: PositioningSequence
+    cleaning: CleaningResult
+    annotation: AnnotationResult
+    complement: ComplementResult | None
+
+    @property
+    def cleaned(self) -> PositioningSequence:
+        """The cleaned positioning sequence."""
+        return self.cleaning.cleaned
+
+    @property
+    def original_semantics(self) -> MobilitySemanticsSequence:
+        """Annotator output, before complementing."""
+        return self.annotation.sequence
+
+    @property
+    def semantics(self) -> MobilitySemanticsSequence:
+        """The final mobility semantics sequence."""
+        if self.complement is not None:
+            return self.complement.sequence
+        return self.annotation.sequence
+
+    def export(self, path: str | Path) -> None:
+        """Write the translation-result file of workflow step (4)."""
+        payload = {
+            "device_id": self.device_id,
+            "raw_record_count": len(self.raw),
+            "cleaned_record_count": len(self.cleaned),
+            "cleaning_report": {
+                "invalid": self.cleaning.report.invalid_count,
+                "floor_corrected": len(self.cleaning.report.floor_corrected),
+                "interpolated": len(self.cleaning.report.interpolated),
+            },
+            "semantics": self.semantics.to_dict()["semantics"],
+        }
+        Path(path).write_text(json.dumps(payload, indent=2), encoding="utf-8")
+
+
+@dataclass
+class BatchTranslationResult:
+    """Results for a batch plus the shared mobility knowledge."""
+
+    results: list[TranslationResult] = field(default_factory=list)
+    knowledge: MobilityKnowledge | None = None
+    elapsed_seconds: float = 0.0
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def by_device(self, device_id: str) -> TranslationResult:
+        """The result for one device."""
+        for result in self.results:
+            if result.device_id == device_id:
+                return result
+        raise AnnotationError(f"no translation result for device {device_id!r}")
+
+    @property
+    def total_records(self) -> int:
+        """Raw records across the batch."""
+        return sum(len(r.raw) for r in self.results)
+
+    @property
+    def total_semantics(self) -> int:
+        """Final semantics triplets across the batch."""
+        return sum(len(r.semantics) for r in self.results)
+
+    @property
+    def records_per_second(self) -> float:
+        """Batch translation throughput."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.total_records / self.elapsed_seconds
+
+
+class Translator:
+    """The backend component of TRIPS (Figure 1, center)."""
+
+    def __init__(
+        self,
+        model: DigitalSpaceModel,
+        event_model: EventModel | None = None,
+        config: TranslatorConfig | None = None,
+    ):
+        self.model = model
+        self.config = config if config is not None else TranslatorConfig()
+        self.cleaner = RawDataCleaner(model.topology, self.config.cleaning)
+        self.annotator = MobilitySemanticsAnnotator(
+            model, event_model, self.config.annotation
+        )
+
+    # ------------------------------------------------------------------
+    # Single-sequence path
+    # ------------------------------------------------------------------
+    def clean_and_annotate(
+        self, sequence: PositioningSequence
+    ) -> tuple[CleaningResult, AnnotationResult]:
+        """Layers 1+2 for one sequence (phase one of batch translation)."""
+        if self.config.enable_cleaning:
+            cleaning = self.cleaner.clean(sequence)
+        else:
+            from .cleaning import CleaningReport
+
+            cleaning = CleaningResult(
+                sequence, sequence, CleaningReport(total_records=len(sequence))
+            )
+        annotation = self.annotator.annotate(cleaning.cleaned)
+        return cleaning, annotation
+
+    def translate(
+        self,
+        sequence: PositioningSequence,
+        knowledge: MobilityKnowledge | None = None,
+    ) -> TranslationResult:
+        """Full three-layer translation of one sequence.
+
+        Without pre-built ``knowledge`` the complementing layer falls back
+        to knowledge built from this sequence alone — batch translation is
+        the intended mode, exactly as in the paper.
+        """
+        cleaning, annotation = self.clean_and_annotate(sequence)
+        complement = None
+        if self.config.enable_complementing and self.model.region_count > 0:
+            if knowledge is None:
+                knowledge = self._build_knowledge([annotation.sequence])
+            complementor = MobilitySemanticsComplementor(
+                knowledge, self.model.topology, self.config.complementing
+            )
+            complement = complementor.complement(annotation.sequence)
+        return TranslationResult(
+            device_id=sequence.device_id,
+            raw=sequence,
+            cleaning=cleaning,
+            annotation=annotation,
+            complement=complement,
+        )
+
+    # ------------------------------------------------------------------
+    # Batch path
+    # ------------------------------------------------------------------
+    def translate_batch(
+        self, sequences: list[PositioningSequence]
+    ) -> BatchTranslationResult:
+        """Two-phase batch translation with shared mobility knowledge."""
+        started = time.perf_counter()
+        phase_one: list[tuple[PositioningSequence, CleaningResult, AnnotationResult]] = []
+        for sequence in sequences:
+            cleaning, annotation = self.clean_and_annotate(sequence)
+            phase_one.append((sequence, cleaning, annotation))
+
+        knowledge: MobilityKnowledge | None = None
+        complementor: MobilitySemanticsComplementor | None = None
+        if self.config.enable_complementing and self.model.region_count > 0:
+            knowledge = self._build_knowledge(
+                [annotation.sequence for _, _, annotation in phase_one]
+            )
+            complementor = MobilitySemanticsComplementor(
+                knowledge, self.model.topology, self.config.complementing
+            )
+
+        results: list[TranslationResult] = []
+        for sequence, cleaning, annotation in phase_one:
+            complement = (
+                complementor.complement(annotation.sequence)
+                if complementor is not None
+                else None
+            )
+            results.append(
+                TranslationResult(
+                    device_id=sequence.device_id,
+                    raw=sequence,
+                    cleaning=cleaning,
+                    annotation=annotation,
+                    complement=complement,
+                )
+            )
+        elapsed = time.perf_counter() - started
+        return BatchTranslationResult(results, knowledge, elapsed)
+
+    def _build_knowledge(
+        self, sequences: list[MobilitySemanticsSequence]
+    ) -> MobilityKnowledge:
+        regions = [r.region_id for r in self.model.regions()]
+        return MobilityKnowledge.from_sequences(
+            sequences, regions, smoothing=self.config.knowledge_smoothing
+        )

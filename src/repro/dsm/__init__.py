@@ -1,0 +1,53 @@
+"""Digital Space Model (substrate S2).
+
+The DSM is TRIPS' central data structure: indoor entities with geometry,
+semantic regions with tags, the entity↔region mapping, derived topology
+(door attachment, partition connectivity, walking distances, region
+adjacency), JSON persistence and structural validation.
+"""
+
+from .entities import (
+    ENTRANCE_PROPERTY,
+    STACK_PROPERTY,
+    EntityKind,
+    IndoorEntity,
+)
+from .index import GridIndex
+from .io import (
+    dsm_from_dict,
+    dsm_from_json,
+    dsm_to_dict,
+    dsm_to_json,
+    load_dsm,
+    save_dsm,
+    shape_from_json,
+    shape_to_json,
+)
+from .model import DigitalSpaceModel, FloorInfo
+from .regions import SemanticRegion, SemanticTag
+from .topology import DOOR_ATTACH_TOLERANCE, FLOOR_CHANGE_COST, Topology
+from .validate import validate_dsm
+
+__all__ = [
+    "DOOR_ATTACH_TOLERANCE",
+    "ENTRANCE_PROPERTY",
+    "FLOOR_CHANGE_COST",
+    "STACK_PROPERTY",
+    "DigitalSpaceModel",
+    "EntityKind",
+    "FloorInfo",
+    "GridIndex",
+    "IndoorEntity",
+    "SemanticRegion",
+    "SemanticTag",
+    "Topology",
+    "dsm_from_dict",
+    "dsm_from_json",
+    "dsm_to_dict",
+    "dsm_to_json",
+    "load_dsm",
+    "save_dsm",
+    "shape_from_json",
+    "shape_to_json",
+    "validate_dsm",
+]

@@ -1,0 +1,127 @@
+"""Indoor entities: the physical vocabulary of the Digital Space Model.
+
+The paper's DSM "captures the geometric properties and topological relations
+of unique entities (e.g., doors, walls, rooms, and staircases)" (§3).  Each
+entity couples a footprint shape from :mod:`repro.geometry` with a kind and
+free-form properties; topology between entities is *derived* geometrically
+by :mod:`repro.dsm.topology`, never stored redundantly on the entity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+from ..errors import DSMError
+from ..geometry import Point, Shape, shape_anchor, shape_area, shape_floor
+
+
+class EntityKind(Enum):
+    """Classification of indoor entities.
+
+    ``ROOM`` and ``HALLWAY`` are *partitions* — walkable areas bounded by
+    walls.  ``DOOR`` connects partitions; ``STAIRCASE``/``ELEVATOR`` connect
+    floors; ``WALL`` blocks straight-line movement; ``OBSTACLE`` is a
+    non-walkable area inside a partition (pillar, kiosk counter).
+    """
+
+    ROOM = "room"
+    HALLWAY = "hallway"
+    DOOR = "door"
+    WALL = "wall"
+    STAIRCASE = "staircase"
+    ELEVATOR = "elevator"
+    OBSTACLE = "obstacle"
+
+    @property
+    def is_partition(self) -> bool:
+        """True for walkable area entities."""
+        return self in (EntityKind.ROOM, EntityKind.HALLWAY)
+
+    @property
+    def is_vertical_connector(self) -> bool:
+        """True for entities that connect floors."""
+        return self in (EntityKind.STAIRCASE, EntityKind.ELEVATOR)
+
+
+#: Property key grouping vertical-connector entities into one shaft/stack.
+STACK_PROPERTY = "stack"
+
+#: Property key marking a door that leads outside the building.
+ENTRANCE_PROPERTY = "entrance"
+
+
+@dataclass
+class IndoorEntity:
+    """One drawn indoor entity.
+
+    Parameters
+    ----------
+    entity_id:
+        Unique identifier within the DSM, e.g. ``"f3-room-nike"``.
+    kind:
+        The :class:`EntityKind` classification.
+    shape:
+        Footprint geometry; partitions and obstacles need area shapes,
+        doors may be points or segments, walls are polylines/segments.
+    name:
+        Optional display name shown by the viewer's tooltips.
+    properties:
+        Free-form metadata; recognized keys include :data:`STACK_PROPERTY`
+        for staircases/elevators and :data:`ENTRANCE_PROPERTY` for exterior
+        doors.
+    """
+
+    entity_id: str
+    kind: EntityKind
+    shape: Shape
+    name: str = ""
+    properties: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.entity_id:
+            raise DSMError("entity requires a non-empty id")
+        if self.kind.is_partition and shape_area(self.shape) <= 0.0:
+            raise DSMError(
+                f"partition entity {self.entity_id!r} needs an area shape, "
+                f"got {type(self.shape).__name__}"
+            )
+        if self.kind is EntityKind.OBSTACLE and shape_area(self.shape) <= 0.0:
+            raise DSMError(
+                f"obstacle entity {self.entity_id!r} needs an area shape"
+            )
+
+    @property
+    def floor(self) -> int:
+        """The floor the entity's shape lies on."""
+        return shape_floor(self.shape)
+
+    @property
+    def anchor(self) -> Point:
+        """Representative point used for distances and rendering labels."""
+        return shape_anchor(self.shape)
+
+    @property
+    def is_partition(self) -> bool:
+        """True when the entity is a walkable area."""
+        return self.kind.is_partition
+
+    @property
+    def is_entrance(self) -> bool:
+        """True for doors flagged as building entrances."""
+        return self.kind is EntityKind.DOOR and bool(
+            self.properties.get(ENTRANCE_PROPERTY, False)
+        )
+
+    @property
+    def stack(self) -> str | None:
+        """Shaft identifier for vertical connectors, else None."""
+        if not self.kind.is_vertical_connector:
+            return None
+        value = self.properties.get(STACK_PROPERTY)
+        return str(value) if value is not None else None
+
+    def __str__(self) -> str:
+        label = self.name or self.entity_id
+        return f"{self.kind.value}:{label}@{self.floor}F"

@@ -1,0 +1,69 @@
+"""A per-floor uniform grid index over area entities.
+
+Point location (``which partition / region contains this record?``) is the
+hottest spatial operation in the whole pipeline — every cleaned positioning
+record is located at least once.  A uniform grid over bounding boxes keeps
+it O(candidates-in-cell) instead of O(entities).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from ..geometry import BoundingBox, Point
+
+
+class GridIndex:
+    """Maps planar bounding boxes to string keys, bucketed on a uniform grid.
+
+    The index answers *candidate* queries; callers must still run the exact
+    containment predicate on the returned keys.
+    """
+
+    def __init__(self, cell_size: float = 8.0):
+        if cell_size <= 0:
+            raise ValueError(f"cell size must be positive, got {cell_size}")
+        self.cell_size = cell_size
+        self._cells: dict[tuple[int, int], list[str]] = defaultdict(list)
+        self._bounds: dict[str, BoundingBox] = {}
+
+    def __len__(self) -> int:
+        return len(self._bounds)
+
+    def insert(self, key: str, bounds: BoundingBox) -> None:
+        """Register ``key`` under every grid cell its bounds touch."""
+        if key in self._bounds:
+            raise ValueError(f"duplicate grid index key: {key!r}")
+        self._bounds[key] = bounds
+        for cell in self._cells_for(bounds):
+            self._cells[cell].append(key)
+
+    def candidates_at(self, point: Point) -> list[str]:
+        """Keys whose bounds contain ``point`` (exact test still required)."""
+        cell = self._cell_of(point.x, point.y)
+        found = []
+        for key in self._cells.get(cell, ()):
+            if self._bounds[key].contains_point(point):
+                found.append(key)
+        return found
+
+    def candidates_in(self, query: BoundingBox) -> list[str]:
+        """Keys whose bounds intersect the query box (deduplicated)."""
+        seen: set[str] = set()
+        found: list[str] = []
+        for cell in self._cells_for(query):
+            for key in self._cells.get(cell, ()):
+                if key not in seen and self._bounds[key].intersects(query):
+                    seen.add(key)
+                    found.append(key)
+        return found
+
+    def _cell_of(self, x: float, y: float) -> tuple[int, int]:
+        return (int(x // self.cell_size), int(y // self.cell_size))
+
+    def _cells_for(self, bounds: BoundingBox):
+        min_cx, min_cy = self._cell_of(bounds.min_x, bounds.min_y)
+        max_cx, max_cy = self._cell_of(bounds.max_x, bounds.max_y)
+        for cx in range(min_cx, max_cx + 1):
+            for cy in range(min_cy, max_cy + 1):
+                yield (cx, cy)

@@ -1,0 +1,206 @@
+"""DSM JSON serialization.
+
+"All aforementioned information is stored in the DSM in JSON format, which
+is flexible to parse and manipulate" (paper §3).  The schema here is
+versioned and round-trip tested; topology is always recomputed on load so a
+hand-edited file can never carry stale connectivity.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from ..errors import DSMError
+from ..geometry import Circle, Point, Polygon, Polyline, Segment, Shape
+from .entities import EntityKind, IndoorEntity
+from .model import DigitalSpaceModel
+from .regions import SemanticRegion, SemanticTag
+
+SCHEMA_VERSION = 1
+
+
+def shape_to_json(shape: Shape) -> dict[str, Any]:
+    """Serialize any footprint shape to a JSON-compatible dict."""
+    if isinstance(shape, Point):
+        return {"type": "point", "x": shape.x, "y": shape.y, "floor": shape.floor}
+    if isinstance(shape, Segment):
+        return {
+            "type": "segment",
+            "floor": shape.floor,
+            "points": [[shape.a.x, shape.a.y], [shape.b.x, shape.b.y]],
+        }
+    if isinstance(shape, Polyline):
+        return {
+            "type": "polyline",
+            "floor": shape.floor,
+            "points": [[v.x, v.y] for v in shape.vertices],
+        }
+    if isinstance(shape, Polygon):
+        return {
+            "type": "polygon",
+            "floor": shape.floor,
+            "points": [[v.x, v.y] for v in shape.vertices],
+        }
+    if isinstance(shape, Circle):
+        return {
+            "type": "circle",
+            "floor": shape.floor,
+            "center": [shape.center.x, shape.center.y],
+            "radius": shape.radius,
+        }
+    raise DSMError(f"unserializable shape type: {type(shape).__name__}")
+
+
+def shape_from_json(data: dict[str, Any]) -> Shape:
+    """Deserialize a shape dict produced by :func:`shape_to_json`."""
+    try:
+        shape_type = data["type"]
+        floor = int(data.get("floor", 1))
+        if shape_type == "point":
+            return Point(float(data["x"]), float(data["y"]), floor)
+        if shape_type == "segment":
+            (ax, ay), (bx, by) = data["points"]
+            return Segment(Point(ax, ay, floor), Point(bx, by, floor))
+        if shape_type == "polyline":
+            return Polyline([Point(x, y, floor) for x, y in data["points"]])
+        if shape_type == "polygon":
+            return Polygon([Point(x, y, floor) for x, y in data["points"]])
+        if shape_type == "circle":
+            cx, cy = data["center"]
+            return Circle(Point(cx, cy, floor), float(data["radius"]))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise DSMError(f"malformed shape JSON: {data!r}") from exc
+    raise DSMError(f"unknown shape type: {shape_type!r}")
+
+
+def dsm_to_dict(model: DigitalSpaceModel) -> dict[str, Any]:
+    """The versioned JSON-compatible representation of a DSM."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "name": model.name,
+        "description": model.description,
+        "floors": [
+            {"number": info.number, "name": info.name} for info in model.floors
+        ],
+        "tags": [
+            {"name": tag.name, "category": tag.category, "style": tag.style}
+            for tag in model.tags
+        ],
+        "entities": [
+            {
+                "id": entity.entity_id,
+                "kind": entity.kind.value,
+                "name": entity.name,
+                "shape": shape_to_json(entity.shape),
+                "properties": entity.properties,
+            }
+            for entity in model.entities()
+        ],
+        "regions": [
+            {
+                "id": region.region_id,
+                "name": region.name,
+                "tag": region.tag.name,
+                "shape": (
+                    shape_to_json(region.shape) if region.shape is not None else None
+                ),
+                "entity_ids": list(region.entity_ids),
+                "properties": region.properties,
+            }
+            for region in model.regions()
+        ],
+    }
+
+
+def dsm_from_dict(data: dict[str, Any]) -> DigitalSpaceModel:
+    """Rebuild a DSM from its dict form; topology is recomputed lazily."""
+    version = data.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise DSMError(
+            f"unsupported DSM schema version {version!r} (expected {SCHEMA_VERSION})"
+        )
+    model = DigitalSpaceModel(
+        name=data.get("name", "indoor-space"),
+        description=data.get("description", ""),
+    )
+    for floor in data.get("floors", []):
+        model.add_floor(int(floor["number"]), floor.get("name", ""))
+    tags: dict[str, SemanticTag] = {}
+    for tag_data in data.get("tags", []):
+        tag = SemanticTag(
+            name=tag_data["name"],
+            category=tag_data.get("category", "generic"),
+            style=tag_data.get("style", ""),
+        )
+        tags[tag.name] = tag
+        model.register_tag(tag)
+    for entity_data in data.get("entities", []):
+        try:
+            kind = EntityKind(entity_data["kind"])
+        except ValueError as exc:
+            raise DSMError(
+                f"unknown entity kind: {entity_data.get('kind')!r}"
+            ) from exc
+        model.add_entity(
+            IndoorEntity(
+                entity_id=entity_data["id"],
+                kind=kind,
+                shape=shape_from_json(entity_data["shape"]),
+                name=entity_data.get("name", ""),
+                properties=dict(entity_data.get("properties", {})),
+            )
+        )
+    for region_data in data.get("regions", []):
+        tag_name = region_data["tag"]
+        tag = tags.get(tag_name)
+        if tag is None:
+            tag = SemanticTag(tag_name)
+            model.register_tag(tag)
+        shape_data = region_data.get("shape")
+        shape = shape_from_json(shape_data) if shape_data is not None else None
+        if shape is not None and not isinstance(shape, (Polygon, Circle)):
+            raise DSMError(
+                f"region {region_data['id']!r} shape must be an area shape"
+            )
+        model.add_region(
+            SemanticRegion(
+                region_id=region_data["id"],
+                name=region_data.get("name", region_data["id"]),
+                tag=tag,
+                shape=shape,
+                entity_ids=tuple(region_data.get("entity_ids", ())),
+                properties=dict(region_data.get("properties", {})),
+            )
+        )
+    return model
+
+
+def save_dsm(model: DigitalSpaceModel, path: str | Path, indent: int = 2) -> None:
+    """Write a DSM to a JSON file."""
+    payload = dsm_to_dict(model)
+    Path(path).write_text(json.dumps(payload, indent=indent), encoding="utf-8")
+
+
+def load_dsm(path: str | Path) -> DigitalSpaceModel:
+    """Read a DSM from a JSON file."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise DSMError(f"cannot read DSM file {path}: {exc}") from exc
+    return dsm_from_dict(payload)
+
+
+def dsm_to_json(model: DigitalSpaceModel, indent: int | None = None) -> str:
+    """The DSM as a JSON string."""
+    return json.dumps(dsm_to_dict(model), indent=indent)
+
+
+def dsm_from_json(text: str) -> DigitalSpaceModel:
+    """Parse a DSM from a JSON string."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise DSMError(f"malformed DSM JSON: {exc}") from exc
+    return dsm_from_dict(payload)

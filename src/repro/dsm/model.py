@@ -1,0 +1,401 @@
+"""The Digital Space Model (DSM) container.
+
+The DSM is the semi-structured model the Space Modeler produces and the
+Translator consumes: "the geometric attributes and topological relations for
+indoor entities, those for semantic regions, and the mapping between indoor
+entities and semantic regions" (paper §2).  This module holds the entity and
+region tables plus point-location queries; derived connectivity lives in
+:class:`repro.dsm.topology.Topology`, built lazily and invalidated on any
+mutation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator
+
+from ..errors import DSMError
+from ..geometry import BoundingBox, Point, shape_bounds, shape_contains
+from .entities import EntityKind, IndoorEntity
+from .index import GridIndex
+from .regions import SemanticRegion, SemanticTag
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .topology import Topology
+
+
+@dataclass(frozen=True)
+class FloorInfo:
+    """Descriptive metadata for one building floor."""
+
+    number: int
+    name: str = ""
+
+    @property
+    def label(self) -> str:
+        """Display label, e.g. ``3F``."""
+        return self.name or f"{self.number}F"
+
+
+@dataclass
+class DigitalSpaceModel:
+    """The complete digital model of one indoor space."""
+
+    name: str = "indoor-space"
+    description: str = ""
+    _floors: dict[int, FloorInfo] = field(default_factory=dict)
+    _entities: dict[str, IndoorEntity] = field(default_factory=dict)
+    _regions: dict[str, SemanticRegion] = field(default_factory=dict)
+    _tags: dict[str, SemanticTag] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._partition_index: dict[int, GridIndex] = {}
+        self._region_index: dict[int, GridIndex] = {}
+        self._regions_by_partition: dict[str, list[str]] = {}
+        self._topology: "Topology | None" = None
+        self._indexes_fresh = False
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_floor(self, number: int, name: str = "") -> FloorInfo:
+        """Register a floor; floors are auto-registered by add_entity too."""
+        info = FloorInfo(number, name)
+        self._floors[number] = info
+        self._invalidate()
+        return info
+
+    def add_entity(self, entity: IndoorEntity) -> IndoorEntity:
+        """Insert an entity; its floor is registered automatically."""
+        if entity.entity_id in self._entities:
+            raise DSMError(f"duplicate entity id: {entity.entity_id!r}")
+        self._entities[entity.entity_id] = entity
+        if entity.floor not in self._floors:
+            self._floors[entity.floor] = FloorInfo(entity.floor)
+        self._invalidate()
+        return entity
+
+    def add_region(self, region: SemanticRegion) -> SemanticRegion:
+        """Insert a semantic region; member entity ids must already exist."""
+        if region.region_id in self._regions:
+            raise DSMError(f"duplicate region id: {region.region_id!r}")
+        for entity_id in region.entity_ids:
+            if entity_id not in self._entities:
+                raise DSMError(
+                    f"region {region.region_id!r} references unknown entity "
+                    f"{entity_id!r}"
+                )
+        self._regions[region.region_id] = region
+        self._tags.setdefault(region.tag.name, region.tag)
+        self._invalidate()
+        return region
+
+    def register_tag(self, tag: SemanticTag) -> SemanticTag:
+        """Add a semantic tag to the reusable tag library."""
+        self._tags[tag.name] = tag
+        self._invalidate()
+        return tag
+
+    def remove_entity(self, entity_id: str) -> None:
+        """Delete an entity; fails if a region still references it."""
+        if entity_id not in self._entities:
+            raise DSMError(f"unknown entity id: {entity_id!r}")
+        for region in self._regions.values():
+            if entity_id in region.entity_ids:
+                raise DSMError(
+                    f"entity {entity_id!r} is referenced by region "
+                    f"{region.region_id!r}"
+                )
+        del self._entities[entity_id]
+        self._invalidate()
+
+    def remove_region(self, region_id: str) -> None:
+        """Delete a semantic region."""
+        if region_id not in self._regions:
+            raise DSMError(f"unknown region id: {region_id!r}")
+        del self._regions[region_id]
+        self._invalidate()
+
+    def _invalidate(self) -> None:
+        self._topology = None
+        self._indexes_fresh = False
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    @property
+    def floors(self) -> list[FloorInfo]:
+        """Floors sorted by number."""
+        return [self._floors[n] for n in sorted(self._floors)]
+
+    @property
+    def floor_numbers(self) -> list[int]:
+        """Sorted floor numbers."""
+        return sorted(self._floors)
+
+    def entity(self, entity_id: str) -> IndoorEntity:
+        """The entity with the given id (KeyError-free)."""
+        try:
+            return self._entities[entity_id]
+        except KeyError:
+            raise DSMError(f"unknown entity id: {entity_id!r}") from None
+
+    def region(self, region_id: str) -> SemanticRegion:
+        """The region with the given id."""
+        try:
+            return self._regions[region_id]
+        except KeyError:
+            raise DSMError(f"unknown region id: {region_id!r}") from None
+
+    def has_entity(self, entity_id: str) -> bool:
+        """True when an entity with this id exists."""
+        return entity_id in self._entities
+
+    def has_region(self, region_id: str) -> bool:
+        """True when a region with this id exists."""
+        return region_id in self._regions
+
+    def tag(self, name: str) -> SemanticTag:
+        """A tag from the tag library."""
+        try:
+            return self._tags[name]
+        except KeyError:
+            raise DSMError(f"unknown semantic tag: {name!r}") from None
+
+    @property
+    def tags(self) -> list[SemanticTag]:
+        """All registered tags sorted by name."""
+        return [self._tags[k] for k in sorted(self._tags)]
+
+    def entities(
+        self, kind: EntityKind | None = None, floor: int | None = None
+    ) -> list[IndoorEntity]:
+        """Entities filtered by kind and/or floor, in id order."""
+        found = [
+            e
+            for e in self._entities.values()
+            if (kind is None or e.kind is kind)
+            and (floor is None or e.floor == floor)
+        ]
+        found.sort(key=lambda e: e.entity_id)
+        return found
+
+    def partitions(self, floor: int | None = None) -> list[IndoorEntity]:
+        """Walkable area entities (rooms + hallways)."""
+        found = [
+            e
+            for e in self._entities.values()
+            if e.is_partition and (floor is None or e.floor == floor)
+        ]
+        found.sort(key=lambda e: e.entity_id)
+        return found
+
+    def doors(self, floor: int | None = None) -> list[IndoorEntity]:
+        """Door entities."""
+        return self.entities(EntityKind.DOOR, floor)
+
+    def walls(self, floor: int | None = None) -> list[IndoorEntity]:
+        """Wall entities."""
+        return self.entities(EntityKind.WALL, floor)
+
+    def vertical_connectors(self, floor: int | None = None) -> list[IndoorEntity]:
+        """Staircase and elevator entities."""
+        found = [
+            e
+            for e in self._entities.values()
+            if e.kind.is_vertical_connector and (floor is None or e.floor == floor)
+        ]
+        found.sort(key=lambda e: e.entity_id)
+        return found
+
+    def regions(
+        self, category: str | None = None, floor: int | None = None
+    ) -> list[SemanticRegion]:
+        """Semantic regions filtered by tag category and/or floor."""
+        found = []
+        for region in self._regions.values():
+            if category is not None and region.category != category:
+                continue
+            if floor is not None and self.region_floor(region.region_id) != floor:
+                continue
+            found.append(region)
+        found.sort(key=lambda r: r.region_id)
+        return found
+
+    def __iter__(self) -> Iterator[IndoorEntity]:
+        return iter(self.entities())
+
+    @property
+    def entity_count(self) -> int:
+        """Total number of entities."""
+        return len(self._entities)
+
+    @property
+    def region_count(self) -> int:
+        """Total number of semantic regions."""
+        return len(self._regions)
+
+    # ------------------------------------------------------------------
+    # Spatial queries
+    # ------------------------------------------------------------------
+    def floor_bounds(self, floor: int) -> BoundingBox:
+        """Union bounding box of everything drawn on a floor."""
+        boxes = [
+            shape_bounds(e.shape) for e in self._entities.values() if e.floor == floor
+        ]
+        if not boxes:
+            raise DSMError(f"floor {floor} has no entities")
+        box = boxes[0]
+        for other in boxes[1:]:
+            box = box.union(other)
+        return box
+
+    def partition_at(self, point: Point) -> IndoorEntity | None:
+        """The partition containing ``point``, or None.
+
+        When partitions overlap (drawing slack) the smallest containing
+        partition wins, so a shop inside a hallway outline resolves to the
+        shop.
+        """
+        self._refresh_indexes()
+        index = self._partition_index.get(point.floor)
+        if index is None:
+            return None
+        best: IndoorEntity | None = None
+        best_area = float("inf")
+        from ..geometry import shape_area  # local import to avoid cycle noise
+
+        for entity_id in index.candidates_at(point):
+            entity = self._entities[entity_id]
+            if shape_contains(entity.shape, point):
+                area = shape_area(entity.shape)
+                if area < best_area:
+                    best, best_area = entity, area
+        return best
+
+    def nearest_partition(
+        self, point: Point, max_distance: float = 10.0
+    ) -> tuple[IndoorEntity, float] | None:
+        """Closest partition on the point's floor within ``max_distance``.
+
+        Used to snap positioning records that noise pushed into a wall or
+        just outside the building outline.
+        """
+        inside = self.partition_at(point)
+        if inside is not None:
+            return inside, 0.0
+        from ..geometry import shape_distance_to_point
+
+        best: IndoorEntity | None = None
+        best_dist = max_distance
+        for entity in self.partitions(point.floor):
+            dist = shape_distance_to_point(entity.shape, point)
+            if dist <= best_dist:
+                best, best_dist = entity, dist
+        if best is None:
+            return None
+        return best, best_dist
+
+    def regions_at(self, point: Point) -> list[SemanticRegion]:
+        """All semantic regions covering ``point`` (shape or member match)."""
+        self._refresh_indexes()
+        found: dict[str, SemanticRegion] = {}
+        index = self._region_index.get(point.floor)
+        if index is not None:
+            for region_id in index.candidates_at(point):
+                region = self._regions[region_id]
+                if region.contains_point_in_shape(point):
+                    found[region_id] = region
+        partition = self.partition_at(point)
+        if partition is not None:
+            for region_id in self._regions_by_partition.get(
+                partition.entity_id, ()
+            ):
+                found.setdefault(region_id, self._regions[region_id])
+        return [found[k] for k in sorted(found)]
+
+    def primary_region_at(self, point: Point) -> SemanticRegion | None:
+        """The most specific region at ``point``: smallest explicit shape
+        first, then member-mapped regions."""
+        candidates = self.regions_at(point)
+        if not candidates:
+            return None
+        from ..geometry import shape_area
+
+        def specificity(region: SemanticRegion) -> tuple[int, float]:
+            if region.shape is not None and region.contains_point_in_shape(point):
+                return (0, shape_area(region.shape))
+            area = sum(
+                shape_area(self._entities[e].shape) for e in region.entity_ids
+            )
+            return (1, area)
+
+        return min(candidates, key=specificity)
+
+    def region_anchor(self, region_id: str) -> Point:
+        """Representative point of a region (shape centroid or member mean)."""
+        region = self.region(region_id)
+        member_anchors = [self._entities[e].anchor for e in region.entity_ids]
+        return region.anchor_from(member_anchors)
+
+    def region_floor(self, region_id: str) -> int:
+        """The floor a region lies on (anchor floor)."""
+        return self.region_anchor(region_id).floor
+
+    def regions_of_partition(self, partition_id: str) -> list[SemanticRegion]:
+        """Regions mapped to a partition via the entity↔region mapping or an
+        explicit shape that covers the partition's anchor."""
+        self._refresh_indexes()
+        region_ids = list(self._regions_by_partition.get(partition_id, ()))
+        partition = self.entity(partition_id)
+        for region in self._regions.values():
+            if region.region_id in region_ids:
+                continue
+            if region.shape is not None and region.contains_point_in_shape(
+                partition.anchor
+            ):
+                region_ids.append(region.region_id)
+        return [self._regions[r] for r in sorted(set(region_ids))]
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    @property
+    def topology(self) -> "Topology":
+        """The derived connectivity model, built lazily and cached."""
+        if self._topology is None:
+            from .topology import Topology
+
+            self._topology = Topology.build(self)
+        return self._topology
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _refresh_indexes(self) -> None:
+        if self._indexes_fresh:
+            return
+        self._partition_index = {}
+        self._region_index = {}
+        self._regions_by_partition = {}
+        for entity in self._entities.values():
+            if not entity.is_partition:
+                continue
+            index = self._partition_index.setdefault(entity.floor, GridIndex())
+            index.insert(entity.entity_id, shape_bounds(entity.shape))
+        for region in self._regions.values():
+            if region.shape is not None:
+                floor = region.shape.floor
+                index = self._region_index.setdefault(floor, GridIndex())
+                index.insert(region.region_id, shape_bounds(region.shape))
+            for entity_id in region.entity_ids:
+                self._regions_by_partition.setdefault(entity_id, []).append(
+                    region.region_id
+                )
+        self._indexes_fresh = True
+
+    def __str__(self) -> str:
+        return (
+            f"DSM({self.name!r}: {len(self._floors)} floors, "
+            f"{len(self._entities)} entities, {len(self._regions)} regions)"
+        )

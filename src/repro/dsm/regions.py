@@ -1,0 +1,95 @@
+"""Semantic regions: analyst-defined areas with practical meaning.
+
+"A semantic region refers to a region associated with some practical
+semantics" (paper §1) — a Nike Store, a Cashier desk, the Center Hall.  A
+region is defined either by an explicit drawn shape, by a set of member
+partition entities, or both; the DSM records "the mapping between indoor
+entities and semantic regions" (§2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import DSMError
+from ..geometry import AreaShape, Point, centroid_of, shape_anchor, shape_contains
+
+
+@dataclass(frozen=True)
+class SemanticTag:
+    """A reusable label applied to drawn shapes in the Space Modeler.
+
+    Tags carry a category (``"shop"``, ``"cashier"``, ``"facility"`` …) and
+    an optional display style so the drawing tool can "customize and apply
+    different styles to differentiate the indoor entities with different
+    semantic tags" (§3).
+    """
+
+    name: str
+    category: str = "generic"
+    style: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise DSMError("semantic tag requires a non-empty name")
+
+
+@dataclass
+class SemanticRegion:
+    """A named region of interest inside the indoor space.
+
+    Parameters
+    ----------
+    region_id:
+        Unique identifier within the DSM.
+    name:
+        Display name used in mobility semantics, e.g. ``"Nike"``.
+    tag:
+        The semantic tag attached in the Space Modeler.
+    shape:
+        Optional explicit area shape drawn by the analyst.
+    entity_ids:
+        Partition entities composing the region (entity↔region mapping).
+    properties:
+        Free-form metadata.
+    """
+
+    region_id: str
+    name: str
+    tag: SemanticTag
+    shape: AreaShape | None = None
+    entity_ids: tuple[str, ...] = ()
+    properties: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.region_id:
+            raise DSMError("semantic region requires a non-empty id")
+        if self.shape is None and not self.entity_ids:
+            raise DSMError(
+                f"region {self.region_id!r} needs an explicit shape or member entities"
+            )
+        self.entity_ids = tuple(self.entity_ids)
+
+    @property
+    def category(self) -> str:
+        """The tag category (``"shop"``, ``"cashier"``, …)."""
+        return self.tag.category
+
+    def contains_point_in_shape(self, point: Point) -> bool:
+        """Membership against the explicit shape only (members are checked
+        by the DSM, which owns the entity table)."""
+        if self.shape is None:
+            return False
+        return shape_contains(self.shape, point)
+
+    def anchor_from(self, member_anchors: list[Point]) -> Point:
+        """Representative point: explicit shape centroid, else member mean."""
+        if self.shape is not None:
+            return shape_anchor(self.shape)
+        if not member_anchors:
+            raise DSMError(f"region {self.region_id!r} has no resolvable anchor")
+        return centroid_of(member_anchors)
+
+    def __str__(self) -> str:
+        return f"region:{self.name}({self.tag.category})"

@@ -1,0 +1,149 @@
+"""Structural validation of a Digital Space Model.
+
+The Space Modeler runs this before saving, and loaders may run it after
+import, so a translation task never starts on a space model with dangling
+doors, unreachable partitions or degenerate shapes.  Problems are collected
+exhaustively rather than failing fast, matching how a drawing tool reports
+all issues at once.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from ..errors import DSMValidationError
+from ..geometry import Polygon, shape_area
+from .model import DigitalSpaceModel
+
+
+def validate_dsm(
+    model: DigitalSpaceModel,
+    require_regions: bool = False,
+    require_connected: bool = True,
+) -> list[str]:
+    """Collect structural problems; returns warnings, raises on errors.
+
+    Hard errors (raise :class:`DSMValidationError`): degenerate partition
+    shapes, dangling doors, stacks with a single floor, regions referencing
+    non-partition entities.
+
+    Soft warnings (returned): disconnected walkable space when
+    ``require_connected`` is False, missing regions when ``require_regions``
+    is False, partitions without any door.
+    """
+    errors: list[str] = []
+    warnings: list[str] = []
+
+    _check_partitions(model, errors, warnings)
+    _check_doors(model, errors, warnings)
+    _check_stacks(model, errors)
+    _check_regions(model, errors, warnings, require_regions)
+    _check_connectivity(model, errors, warnings, require_connected)
+
+    if errors:
+        raise DSMValidationError(errors)
+    return warnings
+
+
+def _check_partitions(
+    model: DigitalSpaceModel, errors: list[str], warnings: list[str]
+) -> None:
+    for partition in model.partitions():
+        area = shape_area(partition.shape)
+        if area < 0.5:
+            errors.append(
+                f"partition {partition.entity_id!r} has near-zero area ({area:.3f} m²)"
+            )
+        if isinstance(partition.shape, Polygon) and not partition.shape.is_simple():
+            errors.append(
+                f"partition {partition.entity_id!r} polygon self-intersects"
+            )
+
+
+def _check_doors(
+    model: DigitalSpaceModel, errors: list[str], warnings: list[str]
+) -> None:
+    topology = model.topology
+    for door in model.doors():
+        connected = topology.door_connections.get(door.entity_id, ())
+        if len(connected) == 0:
+            errors.append(
+                f"door {door.entity_id!r} attaches to no partition "
+                f"(anchor {door.anchor})"
+            )
+        elif len(connected) == 1 and not door.is_entrance:
+            warnings.append(
+                f"door {door.entity_id!r} attaches to a single partition "
+                f"{connected[0]!r} but is not flagged as an entrance"
+            )
+    door_partitions = {
+        pid for pids in topology.door_connections.values() for pid in pids
+    }
+    for partition in model.partitions():
+        if partition.entity_id not in door_partitions:
+            has_stack = any(
+                model.partition_at(connector.anchor) is partition
+                for connector in model.vertical_connectors(partition.floor)
+            )
+            if not has_stack:
+                warnings.append(
+                    f"partition {partition.entity_id!r} has no door or stair access"
+                )
+
+
+def _check_stacks(model: DigitalSpaceModel, errors: list[str]) -> None:
+    stacks: dict[str, set[int]] = {}
+    for connector in model.vertical_connectors():
+        stack_id = connector.stack or connector.entity_id
+        stacks.setdefault(stack_id, set()).add(connector.floor)
+    for stack_id, floors in stacks.items():
+        if len(floors) < 2:
+            errors.append(
+                f"vertical connector stack {stack_id!r} serves a single floor "
+                f"{sorted(floors)}"
+            )
+
+
+def _check_regions(
+    model: DigitalSpaceModel,
+    errors: list[str],
+    warnings: list[str],
+    require_regions: bool,
+) -> None:
+    if model.region_count == 0:
+        message = "DSM defines no semantic regions; annotation will be spatial-only"
+        if require_regions:
+            errors.append(message)
+        else:
+            warnings.append(message)
+        return
+    for region in model.regions():
+        for entity_id in region.entity_ids:
+            entity = model.entity(entity_id)
+            if not entity.is_partition:
+                errors.append(
+                    f"region {region.region_id!r} maps non-partition entity "
+                    f"{entity_id!r} ({entity.kind.value})"
+                )
+
+
+def _check_connectivity(
+    model: DigitalSpaceModel,
+    errors: list[str],
+    warnings: list[str],
+    require_connected: bool,
+) -> None:
+    graph = model.topology.partition_graph
+    if graph.number_of_nodes() <= 1:
+        return
+    components = list(nx.connected_components(graph))
+    if len(components) > 1:
+        sizes = sorted((len(c) for c in components), reverse=True)
+        message = (
+            f"walkable space splits into {len(components)} disconnected "
+            f"components (sizes {sizes})"
+        )
+        if require_connected:
+            errors.append(message)
+        else:
+            warnings.append(message)

@@ -1,0 +1,75 @@
+"""Exception hierarchy for the TRIPS reproduction.
+
+Every error raised by this library derives from :class:`TripsError`, so
+callers can guard an entire translation pipeline with a single ``except``
+clause while still being able to discriminate failure classes.
+"""
+
+from __future__ import annotations
+
+
+class TripsError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GeometryError(TripsError):
+    """Invalid geometric construction or degenerate shape."""
+
+
+class DSMError(TripsError):
+    """Digital Space Model construction or consistency failure."""
+
+
+class DSMValidationError(DSMError):
+    """A DSM failed structural validation.
+
+    Carries the list of human-readable problems found so tools can report
+    all of them at once instead of failing on the first.
+    """
+
+    def __init__(self, problems: list[str]):
+        self.problems = list(problems)
+        summary = "; ".join(self.problems[:5])
+        if len(self.problems) > 5:
+            summary += f" (+{len(self.problems) - 5} more)"
+        super().__init__(f"DSM validation failed: {summary}")
+
+
+class ConfigError(TripsError):
+    """Malformed or inconsistent configuration."""
+
+
+class DataSourceError(TripsError):
+    """A positioning data source could not be read or parsed."""
+
+
+class SelectorError(TripsError):
+    """Invalid Data Selector rule or rule combination."""
+
+
+class CleaningError(TripsError):
+    """The cleaning layer could not repair a positioning sequence."""
+
+
+class AnnotationError(TripsError):
+    """The annotation layer failed to produce mobility semantics."""
+
+
+class ModelNotFittedError(TripsError):
+    """A learning model was used before being fitted."""
+
+
+class LearningError(TripsError):
+    """Invalid training data or hyper-parameters for a learning model."""
+
+
+class InferenceError(TripsError):
+    """The complementing layer could not infer missing semantics."""
+
+
+class ViewerError(TripsError):
+    """The viewer could not build or render a view."""
+
+
+class SimulationError(TripsError):
+    """The mobility simulator was configured inconsistently."""

@@ -1,0 +1,22 @@
+"""Event Editor (substrate S7).
+
+Mobility event pattern registry (built-in ``stay``/``pass-by`` plus
+user-defined patterns), segment designation, and labeled training-set
+assembly for the annotation layer's event model.
+"""
+
+from .dataset import FeatureExtractor, LabeledSegment, TrainingSet
+from .editor import Designation, EventEditor
+from .patterns import PASS_BY, STAY, EventPattern, PatternRegistry
+
+__all__ = [
+    "PASS_BY",
+    "STAY",
+    "Designation",
+    "EventEditor",
+    "EventPattern",
+    "FeatureExtractor",
+    "LabeledSegment",
+    "PatternRegistry",
+    "TrainingSet",
+]

@@ -1,0 +1,123 @@
+"""Labeled training segments produced by the Event Editor.
+
+"The designated data segments will be used to train a learning-based model
+for identifying the user-defined event patterns from other positioning
+sequences" (paper §2).  A :class:`TrainingSet` is the bridge between the
+Editor (which owns designations) and the annotation layer (which owns the
+feature extractor): it stores raw record segments and converts them to a
+feature matrix on demand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..errors import AnnotationError
+from ..positioning import RawPositioningRecord
+
+#: A feature extractor: record segment -> 1-D feature vector.
+FeatureExtractor = Callable[[list[RawPositioningRecord]], np.ndarray]
+
+
+@dataclass(frozen=True)
+class LabeledSegment:
+    """One designated positioning-sequence segment with its event label."""
+
+    device_id: str
+    label: str
+    records: tuple[RawPositioningRecord, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.records) < 2:
+            raise AnnotationError(
+                f"designated segment needs >= 2 records, got {len(self.records)}"
+            )
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds of the segment."""
+        return self.records[-1].timestamp - self.records[0].timestamp
+
+
+class TrainingSet:
+    """A collection of labeled segments ready for model training."""
+
+    def __init__(self, segments: list[LabeledSegment] | None = None):
+        self._segments: list[LabeledSegment] = list(segments or [])
+
+    def add(self, segment: LabeledSegment) -> None:
+        """Append one designated segment."""
+        self._segments.append(segment)
+
+    def extend(self, segments: list[LabeledSegment]) -> None:
+        """Append many designated segments."""
+        self._segments.extend(segments)
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    @property
+    def segments(self) -> list[LabeledSegment]:
+        """All segments in designation order."""
+        return list(self._segments)
+
+    @property
+    def labels(self) -> list[str]:
+        """Label of each segment, aligned with :attr:`segments`."""
+        return [s.label for s in self._segments]
+
+    def label_counts(self) -> dict[str, int]:
+        """Segments per label, for balance checks."""
+        counts: dict[str, int] = {}
+        for segment in self._segments:
+            counts[segment.label] = counts.get(segment.label, 0) + 1
+        return counts
+
+    def to_features(
+        self, extractor: FeatureExtractor
+    ) -> tuple[np.ndarray, list[str]]:
+        """Extract the feature matrix and aligned labels.
+
+        Raises when empty — a model cannot be trained from zero
+        designations, and the error message says so in Editor terms.
+        """
+        if not self._segments:
+            raise AnnotationError(
+                "training set is empty; designate segments in the Event Editor first"
+            )
+        rows = [extractor(list(s.records)) for s in self._segments]
+        widths = {r.shape[0] for r in rows}
+        if len(widths) != 1:
+            raise AnnotationError(
+                f"feature extractor produced mixed widths: {sorted(widths)}"
+            )
+        return np.vstack(rows), self.labels
+
+    def subset(self, size: int, seed: int = 0) -> "TrainingSet":
+        """A random, label-stratified subset of ``size`` segments.
+
+        Used by the training-size sweep (E-F3b).  Guarantees at least one
+        segment per label when ``size`` allows.
+        """
+        if size >= len(self._segments):
+            return TrainingSet(self._segments)
+        if size < 1:
+            raise AnnotationError(f"subset size must be >= 1, got {size}")
+        rng = np.random.default_rng(seed)
+        by_label: dict[str, list[LabeledSegment]] = {}
+        for segment in self._segments:
+            by_label.setdefault(segment.label, []).append(segment)
+        chosen: list[LabeledSegment] = []
+        # One from each label first (as far as the budget allows).
+        for label in sorted(by_label):
+            if len(chosen) >= size:
+                break
+            members = by_label[label]
+            chosen.append(members[int(rng.integers(0, len(members)))])
+        remaining = [s for s in self._segments if s not in chosen]
+        rng.shuffle(remaining)
+        chosen.extend(remaining[: size - len(chosen)])
+        return TrainingSet(chosen[:size])

@@ -1,0 +1,160 @@
+"""The Event Editor: designating training segments for event patterns.
+
+Workflow step (3) of the paper: the analyst "defines the mobility event
+patterns and collects the training data" by browsing randomly selected raw
+positioning sequences on the map view and designating segments that exhibit
+each pattern (Figure 5(3)).  Here the map view becomes index/time-range
+designation calls; the output is a :class:`TrainingSet`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import AnnotationError
+from ..positioning import PositioningSequence
+from ..timeutil import TimeRange
+from .dataset import LabeledSegment, TrainingSet
+from .patterns import EventPattern, PatternRegistry
+
+
+@dataclass(frozen=True)
+class Designation:
+    """One analyst action: 'records [start, end) of this device show pattern X'."""
+
+    device_id: str
+    pattern: str
+    start_index: int
+    end_index: int  # exclusive
+
+    @property
+    def record_count(self) -> int:
+        """Number of records designated."""
+        return self.end_index - self.start_index
+
+
+class EventEditor:
+    """Collects event patterns and training designations."""
+
+    def __init__(self, registry: PatternRegistry | None = None):
+        self.registry = registry if registry is not None else PatternRegistry()
+        self._designations: list[Designation] = []
+        self._segments: list[LabeledSegment] = []
+
+    # ------------------------------------------------------------------
+    # Pattern definition
+    # ------------------------------------------------------------------
+    def define_pattern(self, name: str, description: str = "") -> EventPattern:
+        """Register a user-defined mobility event pattern."""
+        return self.registry.register(name, description)
+
+    # ------------------------------------------------------------------
+    # Designation
+    # ------------------------------------------------------------------
+    def designate(
+        self,
+        sequence: PositioningSequence,
+        pattern: str,
+        start_index: int,
+        end_index: int,
+    ) -> Designation:
+        """Label records ``[start_index, end_index)`` with ``pattern``."""
+        if pattern not in self.registry:
+            raise AnnotationError(
+                f"pattern {pattern!r} is not defined; call define_pattern first"
+            )
+        if not 0 <= start_index < end_index <= len(sequence):
+            raise AnnotationError(
+                f"designation [{start_index}, {end_index}) out of range for a "
+                f"sequence of {len(sequence)} records"
+            )
+        if end_index - start_index < 2:
+            raise AnnotationError("designation needs at least 2 records")
+        designation = Designation(
+            sequence.device_id, pattern, start_index, end_index
+        )
+        self._designations.append(designation)
+        self._segments.append(
+            LabeledSegment(
+                device_id=sequence.device_id,
+                label=pattern,
+                records=tuple(sequence.records[start_index:end_index]),
+            )
+        )
+        return designation
+
+    def designate_time(
+        self, sequence: PositioningSequence, pattern: str, window: TimeRange
+    ) -> Designation:
+        """Label all records whose timestamps fall in ``window``."""
+        indexes = [
+            i for i, r in enumerate(sequence) if window.contains(r.timestamp)
+        ]
+        if len(indexes) < 2:
+            raise AnnotationError(
+                f"time window {window.format()} covers {len(indexes)} record(s); "
+                "need at least 2"
+            )
+        return self.designate(sequence, pattern, indexes[0], indexes[-1] + 1)
+
+    def designate_from_annotations(
+        self,
+        sequence: PositioningSequence,
+        annotations: list[tuple[str, TimeRange]],
+    ) -> list[Designation]:
+        """Bulk-designate from ``(pattern, window)`` pairs.
+
+        The experiment harness uses this to replay simulator ground truth as
+        if an analyst had designated it; windows that cover fewer than two
+        records are skipped, exactly as an analyst would skip an unusable
+        segment.
+        """
+        made: list[Designation] = []
+        for pattern, window in annotations:
+            try:
+                made.append(self.designate_time(sequence, pattern, window))
+            except AnnotationError:
+                continue
+        return made
+
+    # ------------------------------------------------------------------
+    # Browsing support
+    # ------------------------------------------------------------------
+    @staticmethod
+    def browse_sample(
+        sequences: list[PositioningSequence], count: int, seed: int = 0
+    ) -> list[PositioningSequence]:
+        """A random sample of sequences to browse for designation.
+
+        Mirrors the walkthrough: "she browses a set of randomly selected
+        raw positioning sequences on the map view".
+        """
+        if count < 0:
+            raise AnnotationError(f"browse count must be >= 0, got {count}")
+        if count >= len(sequences):
+            return list(sequences)
+        rng = np.random.default_rng(seed)
+        chosen = rng.choice(len(sequences), size=count, replace=False)
+        return [sequences[int(i)] for i in sorted(chosen)]
+
+    # ------------------------------------------------------------------
+    # Output
+    # ------------------------------------------------------------------
+    @property
+    def designations(self) -> list[Designation]:
+        """All designations in the order they were made."""
+        return list(self._designations)
+
+    def training_set(self) -> TrainingSet:
+        """The designated segments as a model-ready training set."""
+        return TrainingSet(self._segments)
+
+    def clear(self) -> None:
+        """Discard all designations (patterns stay defined)."""
+        self._designations.clear()
+        self._segments.clear()
+
+    def __len__(self) -> int:
+        return len(self._designations)

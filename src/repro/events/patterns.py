@@ -1,0 +1,84 @@
+"""Mobility event patterns.
+
+"A mobility event refers to a generic movement pattern of some particular
+interest" (paper §1).  ``stay`` and ``pass-by`` are built in — they are the
+events of Table 1 — and analysts register their own patterns (``browse``,
+``queue``, …) through the Event Editor, which is exactly what distinguishes
+TRIPS from the stop/move-only GPS platforms it is compared against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import AnnotationError
+
+#: Built-in pattern names.
+STAY = "stay"
+PASS_BY = "pass-by"
+
+
+@dataclass(frozen=True)
+class EventPattern:
+    """A named movement pattern the event model learns to identify."""
+
+    name: str
+    description: str = ""
+    builtin: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise AnnotationError("event pattern requires a non-empty name")
+
+
+class PatternRegistry:
+    """The set of event patterns known to one TRIPS deployment.
+
+    Always contains the built-ins; user patterns are added via
+    :meth:`register`.  The Translator refuses to annotate with events that
+    are not registered, which catches label typos in designations early.
+    """
+
+    def __init__(self):
+        self._patterns: dict[str, EventPattern] = {}
+        self.register_builtin(
+            EventPattern(STAY, "remains within one semantic region", builtin=True)
+        )
+        self.register_builtin(
+            EventPattern(
+                PASS_BY, "passes through a semantic region without staying",
+                builtin=True,
+            )
+        )
+
+    def register_builtin(self, pattern: EventPattern) -> EventPattern:
+        self._patterns[pattern.name] = pattern
+        return pattern
+
+    def register(self, name: str, description: str = "") -> EventPattern:
+        """Define a new analyst pattern; duplicates are rejected."""
+        if name in self._patterns:
+            raise AnnotationError(f"event pattern {name!r} already registered")
+        pattern = EventPattern(name, description)
+        self._patterns[name] = pattern
+        return pattern
+
+    def get(self, name: str) -> EventPattern:
+        """Look up a pattern by name."""
+        try:
+            return self._patterns[name]
+        except KeyError:
+            raise AnnotationError(f"unknown event pattern: {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._patterns
+
+    @property
+    def names(self) -> list[str]:
+        """Registered pattern names, built-ins first then alphabetical."""
+        builtins = sorted(p.name for p in self._patterns.values() if p.builtin)
+        custom = sorted(p.name for p in self._patterns.values() if not p.builtin)
+        return builtins + custom
+
+    def __len__(self) -> int:
+        return len(self._patterns)

@@ -1,0 +1,69 @@
+"""Planar geometry engine for indoor spaces (substrate S1).
+
+Implements, from scratch, the shape types and predicates the rest of the
+library needs: points with floors, segments, polylines (walls), polygons
+(rooms/regions), circles (kiosks), bounding boxes, and the trajectory
+measurements behind the annotation layer's features.
+"""
+
+from .bbox import BoundingBox
+from .circle import Circle
+from .measure import (
+    count_turns,
+    covering_range,
+    floor_changes,
+    location_variance,
+    max_speed,
+    mean_speed,
+    path_length,
+    radius_of_gyration,
+    speeds,
+    straightness,
+)
+from .point import Point, centroid_of
+from .polygon import Polygon
+from .polyline import Polyline
+from .predicates import (
+    AreaShape,
+    Shape,
+    as_polygon,
+    shape_anchor,
+    shape_area,
+    shape_bounds,
+    shape_contains,
+    shape_distance_to_point,
+    shape_floor,
+    shapes_intersect,
+)
+from .segment import Segment, orientation
+
+__all__ = [
+    "AreaShape",
+    "BoundingBox",
+    "Circle",
+    "Point",
+    "Polygon",
+    "Polyline",
+    "Segment",
+    "Shape",
+    "as_polygon",
+    "centroid_of",
+    "count_turns",
+    "covering_range",
+    "floor_changes",
+    "location_variance",
+    "max_speed",
+    "mean_speed",
+    "orientation",
+    "path_length",
+    "radius_of_gyration",
+    "shape_anchor",
+    "shape_area",
+    "shape_bounds",
+    "shape_contains",
+    "shape_distance_to_point",
+    "shape_floor",
+    "shapes_intersect",
+    "speeds",
+    "straightness",
+]

@@ -1,0 +1,111 @@
+"""Axis-aligned bounding boxes.
+
+Used for spatial-range selection rules in the Data Selector, the covering-
+range feature of the annotation layer, and viewport computation in the
+viewer's map view.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import GeometryError
+from .point import Point
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """A closed planar axis-aligned rectangle ``[min_x, max_x] × [min_y, max_y]``."""
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self) -> None:
+        if self.max_x < self.min_x or self.max_y < self.min_y:
+            raise GeometryError(
+                f"inverted bounding box: ({self.min_x}, {self.min_y})"
+                f"..({self.max_x}, {self.max_y})"
+            )
+
+    @classmethod
+    def around(cls, points: list[Point]) -> "BoundingBox":
+        """The tightest box containing every point (floors ignored)."""
+        if not points:
+            raise GeometryError("bounding box of empty point list")
+        xs = [p.x for p in points]
+        ys = [p.y for p in points]
+        return cls(min(xs), min(ys), max(xs), max(ys))
+
+    @property
+    def width(self) -> float:
+        """Extent along x."""
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        """Extent along y."""
+        return self.max_y - self.min_y
+
+    @property
+    def area(self) -> float:
+        """Rectangle area."""
+        return self.width * self.height
+
+    @property
+    def diagonal(self) -> float:
+        """Corner-to-corner length — the paper's 'covering range' feature."""
+        return math.hypot(self.width, self.height)
+
+    @property
+    def center(self) -> Point:
+        """Geometric center on floor 1 (planar use only)."""
+        return Point((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
+
+    def contains_point(self, point: Point) -> bool:
+        """True if the planar coordinates fall inside the closed box."""
+        return (
+            self.min_x <= point.x <= self.max_x
+            and self.min_y <= point.y <= self.max_y
+        )
+
+    def intersects(self, other: "BoundingBox") -> bool:
+        """True if the two closed boxes overlap."""
+        return (
+            self.min_x <= other.max_x
+            and other.min_x <= self.max_x
+            and self.min_y <= other.max_y
+            and other.min_y <= self.max_y
+        )
+
+    def union(self, other: "BoundingBox") -> "BoundingBox":
+        """The smallest box covering both."""
+        return BoundingBox(
+            min(self.min_x, other.min_x),
+            min(self.min_y, other.min_y),
+            max(self.max_x, other.max_x),
+            max(self.max_y, other.max_y),
+        )
+
+    def expand(self, margin: float) -> "BoundingBox":
+        """A copy grown by ``margin`` on every side (clamped to a point box)."""
+        new_min_x = self.min_x - margin
+        new_min_y = self.min_y - margin
+        new_max_x = self.max_x + margin
+        new_max_y = self.max_y + margin
+        if new_max_x < new_min_x:
+            new_min_x = new_max_x = (self.min_x + self.max_x) / 2.0
+        if new_max_y < new_min_y:
+            new_min_y = new_max_y = (self.min_y + self.max_y) / 2.0
+        return BoundingBox(new_min_x, new_min_y, new_max_x, new_max_y)
+
+    def corners(self, floor: int = 1) -> list[Point]:
+        """CCW corner points starting at (min_x, min_y)."""
+        return [
+            Point(self.min_x, self.min_y, floor),
+            Point(self.max_x, self.min_y, floor),
+            Point(self.max_x, self.max_y, floor),
+            Point(self.min_x, self.max_y, floor),
+        ]

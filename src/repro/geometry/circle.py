@@ -1,0 +1,103 @@
+"""Circles: kiosks, pillars and round semantic regions in floorplans.
+
+The Space Modeler's drawing tool supports circles (paper §3, Figure 2); the
+DSM keeps them as first-class shapes and converts to polygon approximations
+only where ring topology is required.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import GeometryError
+from .bbox import BoundingBox
+from .point import Point
+from .polygon import Polygon
+from .segment import Segment
+
+
+@dataclass(frozen=True)
+class Circle:
+    """A circle with center and radius on the center's floor."""
+
+    center: Point
+    radius: float
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.radius) or self.radius <= 0:
+            raise GeometryError(f"circle needs positive finite radius, got {self.radius}")
+
+    @property
+    def floor(self) -> int:
+        """Floor of the circle's center."""
+        return self.center.floor
+
+    @property
+    def area(self) -> float:
+        """Disc area."""
+        return math.pi * self.radius * self.radius
+
+    @property
+    def perimeter(self) -> float:
+        """Circumference."""
+        return 2.0 * math.pi * self.radius
+
+    @property
+    def bounds(self) -> BoundingBox:
+        """Axis-aligned bounding box."""
+        return BoundingBox(
+            self.center.x - self.radius,
+            self.center.y - self.radius,
+            self.center.x + self.radius,
+            self.center.y + self.radius,
+        )
+
+    @property
+    def centroid(self) -> Point:
+        """The center (mirrors the Polygon interface)."""
+        return self.center
+
+    def contains_point(self, point: Point, include_boundary: bool = True) -> bool:
+        """Disc membership with an explicit boundary rule."""
+        if point.floor != self.floor:
+            return False
+        dist = self.center.planar_distance_to(point)
+        if include_boundary:
+            return dist <= self.radius + 1e-9
+        return dist < self.radius - 1e-9
+
+    def distance_to_point(self, point: Point) -> float:
+        """0 inside the disc; otherwise distance to the rim."""
+        dist = self.center.planar_distance_to(point)
+        return max(0.0, dist - self.radius)
+
+    def intersects_circle(self, other: "Circle") -> bool:
+        """True when the discs overlap."""
+        if self.floor != other.floor:
+            return False
+        return (
+            self.center.planar_distance_to(other.center)
+            <= self.radius + other.radius + 1e-9
+        )
+
+    def intersects_segment(self, segment: Segment) -> bool:
+        """True when the segment touches the disc."""
+        if segment.a.floor != self.floor:
+            return False
+        return segment.distance_to_point(self.center) <= self.radius + 1e-9
+
+    def to_polygon(self, sides: int = 24) -> Polygon:
+        """A regular-polygon approximation for topology computations."""
+        return Polygon.regular(self.center, self.radius, sides)
+
+    def translate(self, dx: float, dy: float) -> "Circle":
+        """A copy shifted by ``(dx, dy)``."""
+        return Circle(self.center.translate(dx, dy), self.radius)
+
+    def with_floor(self, floor: int) -> "Circle":
+        """A copy moved to another floor."""
+        return Circle(self.center.with_floor(floor), self.radius)
+
+    def __str__(self) -> str:
+        return f"Circle(center={self.center}, r={self.radius:g})"

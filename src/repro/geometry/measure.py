@@ -1,0 +1,129 @@
+"""Trajectory measurements shared by the annotation feature extractor.
+
+The TRIPS annotation layer extracts, per data snippet, "positioning location
+variance, traveling distance and speed, covering range, number of turns,
+etc." (paper §3).  The primitives live here so both the feature extractor
+and the assessment metrics use identical definitions.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import GeometryError
+from .bbox import BoundingBox
+from .point import Point
+
+
+def path_length(points: list[Point]) -> float:
+    """Total planar length of the chain through ``points`` in order.
+
+    Cross-floor steps contribute only their planar component; the floor
+    change itself is measured separately (see :func:`floor_changes`).
+    """
+    if len(points) < 2:
+        return 0.0
+    total = 0.0
+    for a, b in zip(points, points[1:]):
+        total += a.planar_distance_to(b)
+    return total
+
+
+def location_variance(points: list[Point]) -> float:
+    """Mean squared planar deviation from the centroid (m²)."""
+    if not points:
+        raise GeometryError("location variance of empty point list")
+    xs = np.array([p.x for p in points])
+    ys = np.array([p.y for p in points])
+    return float(np.var(xs) + np.var(ys))
+
+
+def radius_of_gyration(points: list[Point]) -> float:
+    """Root-mean-square distance from the centroid (m)."""
+    return math.sqrt(location_variance(points))
+
+
+def covering_range(points: list[Point]) -> float:
+    """Diagonal of the bounding box — the paper's covering-range feature."""
+    if not points:
+        raise GeometryError("covering range of empty point list")
+    if len(points) == 1:
+        return 0.0
+    return BoundingBox.around(points).diagonal
+
+
+def count_turns(points: list[Point], angle_threshold: float = math.pi / 4) -> int:
+    """Number of heading changes sharper than ``angle_threshold`` radians.
+
+    Zero-length steps are skipped so jittery stationary clouds do not count
+    every sample as a turn.
+    """
+    headings: list[float] = []
+    for a, b in zip(points, points[1:]):
+        if a.planar_distance_to(b) > 1e-9:
+            headings.append(a.heading_to(b))
+    turns = 0
+    for h1, h2 in zip(headings, headings[1:]):
+        delta = abs(_wrap_angle(h2 - h1))
+        if delta >= angle_threshold:
+            turns += 1
+    return turns
+
+
+def floor_changes(floors: list[int]) -> int:
+    """Number of consecutive floor transitions in the sequence."""
+    return sum(1 for a, b in zip(floors, floors[1:]) if a != b)
+
+
+def straightness(points: list[Point]) -> float:
+    """End-to-end displacement over path length, in [0, 1].
+
+    1 means a perfectly straight walk (pass-by-like); values near 0 mean
+    wandering or stationary jitter (stay-like).
+    """
+    length = path_length(points)
+    if length <= 1e-12:
+        return 0.0
+    displacement = points[0].planar_distance_to(points[-1])
+    return min(1.0, displacement / length)
+
+
+def speeds(points: list[Point], timestamps: list[float]) -> list[float]:
+    """Per-step planar speeds (m/s); zero-duration steps are skipped."""
+    if len(points) != len(timestamps):
+        raise GeometryError("points and timestamps must align")
+    values: list[float] = []
+    for (a, b), (t1, t2) in zip(
+        zip(points, points[1:]), zip(timestamps, timestamps[1:])
+    ):
+        dt = t2 - t1
+        if dt > 1e-12:
+            values.append(a.planar_distance_to(b) / dt)
+    return values
+
+
+def mean_speed(points: list[Point], timestamps: list[float]) -> float:
+    """Path length over elapsed time (m/s); 0 for instantaneous snippets."""
+    if len(points) < 2:
+        return 0.0
+    elapsed = timestamps[-1] - timestamps[0]
+    if elapsed <= 1e-12:
+        return 0.0
+    return path_length(points) / elapsed
+
+
+def max_speed(points: list[Point], timestamps: list[float]) -> float:
+    """Largest per-step speed (m/s); 0 when undefined."""
+    step_speeds = speeds(points, timestamps)
+    return max(step_speeds) if step_speeds else 0.0
+
+
+def _wrap_angle(angle: float) -> float:
+    """Wrap an angle to (-pi, pi]."""
+    while angle <= -math.pi:
+        angle += 2.0 * math.pi
+    while angle > math.pi:
+        angle -= 2.0 * math.pi
+    return angle

@@ -1,0 +1,113 @@
+"""Indoor points: planar coordinates plus a discrete floor number.
+
+The TRIPS data model locates an object as ``(x, y, floor)`` — see Table 1 of
+the paper, e.g. ``(5.1, 12.7, 3F)``.  :class:`Point` is the immutable value
+type used for positioning records, entity vertices and display points alike.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import GeometryError
+
+
+@dataclass(frozen=True)
+class Point:
+    """A point at planar coordinates ``(x, y)`` on a given ``floor``.
+
+    Coordinates are metres in the building's local frame.  Floors are small
+    integers (``1`` = ground floor, matching the paper's ``3F`` notation).
+    """
+
+    x: float
+    y: float
+    floor: int = 1
+
+    def __post_init__(self) -> None:
+        if not (math.isfinite(self.x) and math.isfinite(self.y)):
+            raise GeometryError(f"non-finite point coordinates: ({self.x}, {self.y})")
+
+    @property
+    def xy(self) -> tuple[float, float]:
+        """The planar coordinates as a tuple."""
+        return (self.x, self.y)
+
+    def distance_to(self, other: "Point") -> float:
+        """Planar Euclidean distance; raises when floors differ.
+
+        Cross-floor distances have no planar meaning — use the DSM's
+        walking-distance graph for those.
+        """
+        if self.floor != other.floor:
+            raise GeometryError(
+                f"planar distance undefined across floors {self.floor} and {other.floor}"
+            )
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def planar_distance_to(self, other: "Point") -> float:
+        """Euclidean distance ignoring the floor dimension."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def midpoint(self, other: "Point") -> "Point":
+        """Planar midpoint; keeps this point's floor."""
+        return Point((self.x + other.x) / 2.0, (self.y + other.y) / 2.0, self.floor)
+
+    def translate(self, dx: float, dy: float) -> "Point":
+        """A copy shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy, self.floor)
+
+    def with_floor(self, floor: int) -> "Point":
+        """A copy placed on a different floor."""
+        return Point(self.x, self.y, floor)
+
+    def lerp(self, other: "Point", fraction: float) -> "Point":
+        """Linear interpolation towards ``other`` (0 → self, 1 → other).
+
+        The floor snaps to whichever endpoint the fraction is closer to,
+        since a point cannot be between floors in the indoor model.
+        """
+        floor = self.floor if fraction < 0.5 else other.floor
+        return Point(
+            self.x + (other.x - self.x) * fraction,
+            self.y + (other.y - self.y) * fraction,
+            floor,
+        )
+
+    def heading_to(self, other: "Point") -> float:
+        """Planar heading (radians, CCW from +x axis) towards ``other``."""
+        return math.atan2(other.y - self.y, other.x - self.x)
+
+    def almost_equals(self, other: "Point", tolerance: float = 1e-9) -> bool:
+        """Coordinate equality within ``tolerance`` on the same floor."""
+        return (
+            self.floor == other.floor
+            and abs(self.x - other.x) <= tolerance
+            and abs(self.y - other.y) <= tolerance
+        )
+
+    def __iter__(self):
+        yield self.x
+        yield self.y
+
+    def __str__(self) -> str:  # paper style: (5.1, 12.7, 3F)
+        return f"({self.x:g}, {self.y:g}, {self.floor}F)"
+
+
+def centroid_of(points: list[Point]) -> Point:
+    """Arithmetic mean of points; floor is the majority floor.
+
+    Used for the spatially-central display-point policy and for region
+    anchor points.
+    """
+    if not points:
+        raise GeometryError("centroid of empty point list")
+    sum_x = sum(p.x for p in points)
+    sum_y = sum(p.y for p in points)
+    floor_counts: dict[int, int] = {}
+    for p in points:
+        floor_counts[p.floor] = floor_counts.get(p.floor, 0) + 1
+    majority_floor = max(floor_counts.items(), key=lambda kv: (kv[1], -kv[0]))[0]
+    count = len(points)
+    return Point(sum_x / count, sum_y / count, majority_floor)

@@ -1,0 +1,324 @@
+"""Simple polygons: the footprint shape of rooms, hallways and regions.
+
+The Space Modeler's drawing tool (paper Figure 2) produces polygons for
+rooms and semantic regions; the DSM stores them and the annotation layer
+tests cleaned positioning records against them.  Polygons here are simple
+(non-self-intersecting), stored as an ordered vertex ring without a repeated
+closing vertex, all on one floor.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..errors import GeometryError
+from .bbox import BoundingBox
+from .point import Point
+from .segment import Segment
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class Polygon:
+    """A simple polygon on a single floor.
+
+    Vertices may be given in either winding; ``signed_area`` exposes the
+    winding and ``normalized`` rewinds to counter-clockwise.
+    """
+
+    vertices: tuple[Point, ...]
+    _bbox: BoundingBox = field(init=False, repr=False, compare=False)
+
+    def __init__(self, vertices: list[Point] | tuple[Point, ...]):
+        vertices = tuple(vertices)
+        if len(vertices) < 3:
+            raise GeometryError(f"polygon needs >= 3 vertices, got {len(vertices)}")
+        floors = {v.floor for v in vertices}
+        if len(floors) != 1:
+            raise GeometryError(f"polygon vertices span floors {sorted(floors)}")
+        # Drop an explicitly repeated closing vertex for canonical storage.
+        if vertices[0].almost_equals(vertices[-1]) and len(vertices) > 3:
+            vertices = vertices[:-1]
+        object.__setattr__(self, "vertices", vertices)
+        object.__setattr__(self, "_bbox", BoundingBox.around(list(vertices)))
+
+    @classmethod
+    def rectangle(
+        cls, min_x: float, min_y: float, max_x: float, max_y: float, floor: int = 1
+    ) -> "Polygon":
+        """Axis-aligned rectangle, the most common room shape."""
+        if max_x <= min_x or max_y <= min_y:
+            raise GeometryError("rectangle needs positive width and height")
+        return cls(
+            [
+                Point(min_x, min_y, floor),
+                Point(max_x, min_y, floor),
+                Point(max_x, max_y, floor),
+                Point(min_x, max_y, floor),
+            ]
+        )
+
+    @classmethod
+    def regular(
+        cls, center: Point, radius: float, sides: int, floor: int | None = None
+    ) -> "Polygon":
+        """Regular polygon approximation used when rasterizing circles."""
+        if sides < 3:
+            raise GeometryError("regular polygon needs >= 3 sides")
+        if radius <= 0:
+            raise GeometryError("regular polygon needs positive radius")
+        if floor is None:
+            floor = center.floor
+        step = 2.0 * math.pi / sides
+        return cls(
+            [
+                Point(
+                    center.x + radius * math.cos(i * step),
+                    center.y + radius * math.sin(i * step),
+                    floor,
+                )
+                for i in range(sides)
+            ]
+        )
+
+    @property
+    def floor(self) -> int:
+        """Floor the polygon lies on."""
+        return self.vertices[0].floor
+
+    @property
+    def bounds(self) -> BoundingBox:
+        """Cached axis-aligned bounding box."""
+        return self._bbox
+
+    @property
+    def signed_area(self) -> float:
+        """Shoelace area; positive for counter-clockwise winding."""
+        total = 0.0
+        verts = self.vertices
+        for i, v in enumerate(verts):
+            w = verts[(i + 1) % len(verts)]
+            total += v.x * w.y - w.x * v.y
+        return total / 2.0
+
+    @property
+    def area(self) -> float:
+        """Unsigned polygon area."""
+        return abs(self.signed_area)
+
+    @property
+    def perimeter(self) -> float:
+        """Total edge length."""
+        return sum(edge.length for edge in self.edges())
+
+    @property
+    def centroid(self) -> Point:
+        """Area centroid (falls back to vertex mean when degenerate)."""
+        signed = self.signed_area
+        if abs(signed) <= _EPS:
+            sum_x = sum(v.x for v in self.vertices)
+            sum_y = sum(v.y for v in self.vertices)
+            count = len(self.vertices)
+            return Point(sum_x / count, sum_y / count, self.floor)
+        cx = cy = 0.0
+        verts = self.vertices
+        for i, v in enumerate(verts):
+            w = verts[(i + 1) % len(verts)]
+            cross = v.x * w.y - w.x * v.y
+            cx += (v.x + w.x) * cross
+            cy += (v.y + w.y) * cross
+        factor = 1.0 / (6.0 * signed)
+        return Point(cx * factor, cy * factor, self.floor)
+
+    def edges(self) -> list[Segment]:
+        """The boundary segments in ring order."""
+        verts = self.vertices
+        return [
+            Segment(verts[i], verts[(i + 1) % len(verts)]) for i in range(len(verts))
+        ]
+
+    def normalized(self) -> "Polygon":
+        """A counter-clockwise copy (reverses clockwise rings)."""
+        if self.signed_area < 0:
+            return Polygon(tuple(reversed(self.vertices)))
+        return self
+
+    def is_simple(self) -> bool:
+        """True when no two non-adjacent edges intersect."""
+        edge_list = self.edges()
+        count = len(edge_list)
+        for i in range(count):
+            for j in range(i + 1, count):
+                if j == i + 1 or (i == 0 and j == count - 1):
+                    continue  # adjacent edges legitimately share a vertex
+                if edge_list[i].intersects(edge_list[j]):
+                    return False
+        return True
+
+    def is_convex(self) -> bool:
+        """True when every interior angle turns the same way."""
+        verts = self.vertices
+        count = len(verts)
+        sign = 0
+        for i in range(count):
+            a, b, c = verts[i], verts[(i + 1) % count], verts[(i + 2) % count]
+            cross = (b.x - a.x) * (c.y - b.y) - (b.y - a.y) * (c.x - b.x)
+            if abs(cross) <= _EPS:
+                continue
+            current = 1 if cross > 0 else -1
+            if sign == 0:
+                sign = current
+            elif sign != current:
+                return False
+        return True
+
+    def contains_point(self, point: Point, include_boundary: bool = True) -> bool:
+        """Ray-casting point-in-polygon with an explicit boundary rule."""
+        if point.floor != self.floor:
+            return False
+        if not self._bbox.contains_point(point):
+            return False
+        on_boundary = any(
+            edge.distance_to_point(point) <= 1e-9 for edge in self.edges()
+        )
+        if on_boundary:
+            return include_boundary
+        inside = False
+        verts = self.vertices
+        j = len(verts) - 1
+        for i in range(len(verts)):
+            vi, vj = verts[i], verts[j]
+            if (vi.y > point.y) != (vj.y > point.y):
+                x_cross = vj.x + (point.y - vj.y) * (vi.x - vj.x) / (vi.y - vj.y)
+                if point.x < x_cross:
+                    inside = not inside
+            j = i
+        return inside
+
+    def distance_to_point(self, point: Point) -> float:
+        """0 inside; otherwise the distance to the nearest boundary point."""
+        if self.contains_point(point):
+            return 0.0
+        return min(edge.distance_to_point(point) for edge in self.edges())
+
+    def boundary_distance(self, point: Point) -> float:
+        """Distance from ``point`` to the boundary ring (inside or out)."""
+        return min(edge.distance_to_point(point) for edge in self.edges())
+
+    def intersects(self, other: "Polygon") -> bool:
+        """True when the two polygons share interior or boundary points."""
+        if self.floor != other.floor:
+            return False
+        if not self._bbox.intersects(other._bbox):
+            return False
+        for edge in self.edges():
+            for other_edge in other.edges():
+                if edge.intersects(other_edge):
+                    return True
+        return other.contains_point(self.vertices[0]) or self.contains_point(
+            other.vertices[0]
+        )
+
+    def contains_polygon(self, other: "Polygon") -> bool:
+        """True when every vertex of ``other`` lies inside and no edges cross."""
+        if self.floor != other.floor:
+            return False
+        if not all(self.contains_point(v) for v in other.vertices):
+            return False
+        for edge in self.edges():
+            for other_edge in other.edges():
+                hit = edge.intersection(other_edge)
+                if hit is not None:
+                    # A shared boundary point is fine; a proper crossing is not.
+                    if not (
+                        edge.contains_point(hit, 1e-7)
+                        and any(
+                            hit.almost_equals(v, 1e-7)
+                            for v in (edge.a, edge.b, other_edge.a, other_edge.b)
+                        )
+                    ):
+                        if not edge.contains_point(hit, 1e-7):
+                            continue
+                        return False
+        return True
+
+    def shared_boundary_with(
+        self, other: "Polygon", tolerance: float = 1e-6
+    ) -> list[Segment]:
+        """Edge pieces of ``self`` that lie on ``other``'s boundary.
+
+        The DSM topology builder uses this to decide whether two partitions
+        are wall-adjacent (and hence whether a door between them is valid).
+        """
+        if self.floor != other.floor:
+            return []
+        shared: list[Segment] = []
+        for edge in self.edges():
+            samples = 8
+            on_count = 0
+            for i in range(samples + 1):
+                pt = edge.point_at(i / samples)
+                if other.boundary_distance(pt) <= tolerance:
+                    on_count += 1
+            if on_count == samples + 1 and edge.length > tolerance:
+                shared.append(edge)
+            elif on_count >= 2:
+                # Partial overlap: keep the longest run of on-boundary samples.
+                run = self._longest_on_boundary_run(edge, other, samples, tolerance)
+                if run is not None:
+                    shared.append(run)
+        return shared
+
+    def _longest_on_boundary_run(
+        self, edge: Segment, other: "Polygon", samples: int, tolerance: float
+    ) -> Segment | None:
+        flags = [
+            other.boundary_distance(edge.point_at(i / samples)) <= tolerance
+            for i in range(samples + 1)
+        ]
+        best_len, best_range = 0, None
+        start = None
+        for i, flag in enumerate(flags + [False]):
+            if flag and start is None:
+                start = i
+            elif not flag and start is not None:
+                if i - start > best_len:
+                    best_len, best_range = i - start, (start, i - 1)
+                start = None
+        if best_range is None or best_len < 2:
+            return None
+        a = edge.point_at(best_range[0] / samples)
+        b = edge.point_at(best_range[1] / samples)
+        seg = Segment(a, b)
+        if seg.length <= tolerance:
+            return None
+        return seg
+
+    def translate(self, dx: float, dy: float) -> "Polygon":
+        """A copy shifted by ``(dx, dy)``."""
+        return Polygon([v.translate(dx, dy) for v in self.vertices])
+
+    def with_floor(self, floor: int) -> "Polygon":
+        """A copy moved to another floor (same footprint)."""
+        return Polygon([v.with_floor(floor) for v in self.vertices])
+
+    def sample_interior_point(self) -> Point:
+        """Some point strictly inside the polygon.
+
+        Prefers the centroid; for non-convex shapes where the centroid falls
+        outside, probes midpoints between the centroid and each vertex.
+        """
+        candidate = self.centroid
+        if self.contains_point(candidate, include_boundary=False):
+            return candidate
+        for vertex in self.vertices:
+            for fraction in (0.5, 0.25, 0.75):
+                probe = candidate.lerp(vertex, fraction)
+                if self.contains_point(probe, include_boundary=False):
+                    return probe
+        raise GeometryError("could not find interior point; polygon degenerate?")
+
+    def __str__(self) -> str:
+        return f"Polygon({len(self.vertices)} vertices, floor {self.floor})"

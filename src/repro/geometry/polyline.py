@@ -1,0 +1,98 @@
+"""Polylines: walls and drawn path strokes in the Space Modeler.
+
+A polyline is an open chain of vertices on one floor.  Walls in the DSM are
+polylines; the cleaning layer checks whether a straight-line move crosses a
+wall to decide if the indoor walking path must detour through doors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import GeometryError
+from .bbox import BoundingBox
+from .point import Point
+from .segment import Segment
+
+
+@dataclass(frozen=True)
+class Polyline:
+    """An open chain of two or more vertices on a single floor."""
+
+    vertices: tuple[Point, ...]
+    _bbox: BoundingBox = field(init=False, repr=False, compare=False)
+
+    def __init__(self, vertices: list[Point] | tuple[Point, ...]):
+        vertices = tuple(vertices)
+        if len(vertices) < 2:
+            raise GeometryError(f"polyline needs >= 2 vertices, got {len(vertices)}")
+        floors = {v.floor for v in vertices}
+        if len(floors) != 1:
+            raise GeometryError(f"polyline vertices span floors {sorted(floors)}")
+        object.__setattr__(self, "vertices", vertices)
+        object.__setattr__(self, "_bbox", BoundingBox.around(list(vertices)))
+
+    @property
+    def floor(self) -> int:
+        """Floor the polyline lies on."""
+        return self.vertices[0].floor
+
+    @property
+    def bounds(self) -> BoundingBox:
+        """Cached axis-aligned bounding box."""
+        return self._bbox
+
+    @property
+    def length(self) -> float:
+        """Total chain length."""
+        return sum(seg.length for seg in self.segments())
+
+    def segments(self) -> list[Segment]:
+        """Consecutive vertex-to-vertex segments."""
+        return [
+            Segment(self.vertices[i], self.vertices[i + 1])
+            for i in range(len(self.vertices) - 1)
+        ]
+
+    def point_at_fraction(self, fraction: float) -> Point:
+        """The point at arc-length ``fraction`` in [0, 1] along the chain."""
+        fraction = max(0.0, min(1.0, fraction))
+        target = self.length * fraction
+        walked = 0.0
+        for seg in self.segments():
+            if walked + seg.length >= target or seg is self.segments()[-1]:
+                remaining = target - walked
+                if seg.length == 0.0:
+                    return seg.a
+                return seg.point_at(min(1.0, remaining / seg.length))
+            walked += seg.length
+        return self.vertices[-1]
+
+    def distance_to_point(self, point: Point) -> float:
+        """Shortest distance from ``point`` to the chain."""
+        return min(seg.distance_to_point(point) for seg in self.segments())
+
+    def crosses_segment(self, other: Segment) -> bool:
+        """True when any chain segment intersects ``other``.
+
+        This is the wall-crossing test: a straight move whose segment
+        crosses a wall polyline is infeasible indoors.
+        """
+        if other.a.floor != self.floor:
+            return False
+        if not self._bbox.expand(1e-9).intersects(
+            BoundingBox.around([other.a, other.b])
+        ):
+            return False
+        return any(seg.intersects(other) for seg in self.segments())
+
+    def translate(self, dx: float, dy: float) -> "Polyline":
+        """A copy shifted by ``(dx, dy)``."""
+        return Polyline([v.translate(dx, dy) for v in self.vertices])
+
+    def with_floor(self, floor: int) -> "Polyline":
+        """A copy moved to another floor."""
+        return Polyline([v.with_floor(floor) for v in self.vertices])
+
+    def __str__(self) -> str:
+        return f"Polyline({len(self.vertices)} vertices, floor {self.floor})"

@@ -1,0 +1,145 @@
+"""Shape-generic predicates over the geometry value types.
+
+The DSM stores entity footprints as polygons, polylines, circles or bare
+points; these helpers dispatch on the shape type so DSM and annotation code
+never needs per-type branching.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from ..errors import GeometryError
+from .bbox import BoundingBox
+from .circle import Circle
+from .point import Point
+from .polygon import Polygon
+from .polyline import Polyline
+from .segment import Segment
+
+#: Any drawable footprint shape.
+Shape = Union[Point, Segment, Polyline, Polygon, Circle]
+
+#: Shapes that enclose area and can contain points.
+AreaShape = Union[Polygon, Circle]
+
+
+def shape_floor(shape: Shape) -> int:
+    """The floor a shape lies on."""
+    if isinstance(shape, Point):
+        return shape.floor
+    return shape.floor
+
+
+def shape_bounds(shape: Shape) -> BoundingBox:
+    """Axis-aligned bounding box of any shape."""
+    if isinstance(shape, Point):
+        return BoundingBox(shape.x, shape.y, shape.x, shape.y)
+    if isinstance(shape, Segment):
+        return BoundingBox.around([shape.a, shape.b])
+    return shape.bounds
+
+
+def shape_anchor(shape: Shape) -> Point:
+    """A representative point: centroid for areas, midpoint for lines."""
+    if isinstance(shape, Point):
+        return shape
+    if isinstance(shape, Segment):
+        return shape.midpoint
+    if isinstance(shape, Polyline):
+        return shape.point_at_fraction(0.5)
+    return shape.centroid
+
+
+def shape_contains(shape: Shape, point: Point, tolerance: float = 1e-9) -> bool:
+    """Membership test: interior for area shapes, proximity for lines/points."""
+    if isinstance(shape, Point):
+        return shape.almost_equals(point, tolerance)
+    if isinstance(shape, Segment):
+        return shape.contains_point(point, tolerance)
+    if isinstance(shape, Polyline):
+        return (
+            point.floor == shape.floor and shape.distance_to_point(point) <= tolerance
+        )
+    return shape.contains_point(point)
+
+
+def shape_distance_to_point(shape: Shape, point: Point) -> float:
+    """Planar distance from a shape to a point (0 if contained)."""
+    if point.floor != shape_floor(shape):
+        raise GeometryError("shape-point distance undefined across floors")
+    if isinstance(shape, Point):
+        return shape.planar_distance_to(point)
+    return shape.distance_to_point(point)
+
+
+def shape_area(shape: Shape) -> float:
+    """Enclosed area; 0 for points and line shapes."""
+    if isinstance(shape, (Polygon, Circle)):
+        return shape.area
+    return 0.0
+
+
+def as_polygon(shape: Shape, circle_sides: int = 24) -> Polygon:
+    """A polygon view of an area shape (circles are approximated)."""
+    if isinstance(shape, Polygon):
+        return shape
+    if isinstance(shape, Circle):
+        return shape.to_polygon(circle_sides)
+    raise GeometryError(f"shape {type(shape).__name__} has no polygon form")
+
+
+def shapes_intersect(first: Shape, second: Shape) -> bool:
+    """True when the two shapes share at least one point (same floor)."""
+    if shape_floor(first) != shape_floor(second):
+        return False
+    if not shape_bounds(first).expand(1e-9).intersects(shape_bounds(second)):
+        return False
+    # Normalize ordering so we only implement each unordered pair once.
+    rank = {Point: 0, Segment: 1, Polyline: 2, Circle: 3, Polygon: 4}
+    if rank[type(first)] > rank[type(second)]:
+        first, second = second, first
+    if isinstance(first, Point):
+        return shape_contains(second, first)
+    if isinstance(first, Segment):
+        return _segment_intersects(first, second)
+    if isinstance(first, Polyline):
+        return _polyline_intersects(first, second)
+    if isinstance(first, Circle):
+        if isinstance(second, Circle):
+            return first.intersects_circle(second)
+        return _circle_intersects_polygon(first, second)
+    assert isinstance(first, Polygon) and isinstance(second, Polygon)
+    return first.intersects(second)
+
+
+def _segment_intersects(segment: Segment, other: Shape) -> bool:
+    if isinstance(other, Segment):
+        return segment.intersects(other)
+    if isinstance(other, Polyline):
+        return other.crosses_segment(segment)
+    if isinstance(other, Circle):
+        return other.intersects_segment(segment)
+    assert isinstance(other, Polygon)
+    if other.contains_point(segment.a) or other.contains_point(segment.b):
+        return True
+    return any(edge.intersects(segment) for edge in other.edges())
+
+
+def _polyline_intersects(polyline: Polyline, other: Shape) -> bool:
+    if isinstance(other, Polyline):
+        return any(other.crosses_segment(seg) for seg in polyline.segments())
+    if isinstance(other, Circle):
+        return any(other.intersects_segment(seg) for seg in polyline.segments())
+    assert isinstance(other, Polygon)
+    if any(other.contains_point(v) for v in polyline.vertices):
+        return True
+    return any(
+        edge.intersects(seg) for seg in polyline.segments() for edge in other.edges()
+    )
+
+
+def _circle_intersects_polygon(circle: Circle, polygon: Polygon) -> bool:
+    if polygon.contains_point(circle.center):
+        return True
+    return any(circle.intersects_segment(edge) for edge in polygon.edges())

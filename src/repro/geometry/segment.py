@@ -1,0 +1,129 @@
+"""Line segments and the planar predicates built on them.
+
+These routines back point-in-polygon tests, wall-crossing checks in the
+cleaning layer, and door placement validation in the DSM.  All computations
+are planar: callers are responsible for comparing only same-floor geometry.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import GeometryError
+from .point import Point
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A closed line segment between two points on the same floor."""
+
+    a: Point
+    b: Point
+
+    def __post_init__(self) -> None:
+        if self.a.floor != self.b.floor:
+            raise GeometryError("segment endpoints must share a floor")
+
+    @property
+    def floor(self) -> int:
+        """Floor both endpoints lie on."""
+        return self.a.floor
+
+    @property
+    def length(self) -> float:
+        """Euclidean length."""
+        return self.a.planar_distance_to(self.b)
+
+    @property
+    def midpoint(self) -> Point:
+        """The segment's midpoint."""
+        return self.a.midpoint(self.b)
+
+    def point_at(self, fraction: float) -> Point:
+        """The point at parametric position ``fraction`` in [0, 1]."""
+        return Point(
+            self.a.x + (self.b.x - self.a.x) * fraction,
+            self.a.y + (self.b.y - self.a.y) * fraction,
+            self.a.floor,
+        )
+
+    def distance_to_point(self, point: Point) -> float:
+        """Shortest distance from ``point`` to the closed segment."""
+        return point.planar_distance_to(self.closest_point_to(point))
+
+    def closest_point_to(self, point: Point) -> Point:
+        """The segment point nearest to ``point``."""
+        ax, ay = self.a.x, self.a.y
+        bx, by = self.b.x, self.b.y
+        dx, dy = bx - ax, by - ay
+        norm_sq = dx * dx + dy * dy
+        if norm_sq <= _EPS * _EPS:
+            return self.a
+        t = ((point.x - ax) * dx + (point.y - ay) * dy) / norm_sq
+        t = max(0.0, min(1.0, t))
+        return Point(ax + t * dx, ay + t * dy, self.a.floor)
+
+    def contains_point(self, point: Point, tolerance: float = 1e-9) -> bool:
+        """True if ``point`` lies on the segment within ``tolerance``."""
+        if point.floor != self.a.floor:
+            return False
+        return self.distance_to_point(point) <= tolerance
+
+    def intersects(self, other: "Segment") -> bool:
+        """True if the closed segments share at least one point."""
+        return self.intersection(other) is not None
+
+    def intersection(self, other: "Segment") -> Point | None:
+        """A shared point of the two segments, or None.
+
+        For overlapping collinear segments an arbitrary shared point (the
+        midpoint of the overlap) is returned.
+        """
+        if self.a.floor != other.a.floor:
+            return None
+        p, r = self.a, (self.b.x - self.a.x, self.b.y - self.a.y)
+        q, s = other.a, (other.b.x - other.a.x, other.b.y - other.a.y)
+        r_cross_s = r[0] * s[1] - r[1] * s[0]
+        qp = (q.x - p.x, q.y - p.y)
+        qp_cross_r = qp[0] * r[1] - qp[1] * r[0]
+
+        if abs(r_cross_s) <= _EPS:
+            if abs(qp_cross_r) > _EPS:
+                return None  # parallel, non-collinear
+            # Collinear: project onto the dominant axis and test overlap.
+            r_norm_sq = r[0] * r[0] + r[1] * r[1]
+            if r_norm_sq <= _EPS * _EPS:
+                # Degenerate self; treat as a point.
+                if other.contains_point(p):
+                    return p
+                return None
+            t0 = (qp[0] * r[0] + qp[1] * r[1]) / r_norm_sq
+            t1 = t0 + (s[0] * r[0] + s[1] * r[1]) / r_norm_sq
+            lo, hi = min(t0, t1), max(t0, t1)
+            overlap_lo, overlap_hi = max(0.0, lo), min(1.0, hi)
+            if overlap_lo > overlap_hi + _EPS:
+                return None
+            mid = (overlap_lo + overlap_hi) / 2.0
+            return self.point_at(mid)
+
+        t = (qp[0] * s[1] - qp[1] * s[0]) / r_cross_s
+        u = qp_cross_r / r_cross_s
+        if -_EPS <= t <= 1.0 + _EPS and -_EPS <= u <= 1.0 + _EPS:
+            return self.point_at(max(0.0, min(1.0, t)))
+        return None
+
+    def __str__(self) -> str:
+        return f"[{self.a} -> {self.b}]"
+
+
+def orientation(p: Point, q: Point, r: Point) -> int:
+    """Orientation of the ordered triple: +1 CCW, -1 CW, 0 collinear."""
+    cross = (q.x - p.x) * (r.y - p.y) - (q.y - p.y) * (r.x - p.x)
+    if cross > _EPS:
+        return 1
+    if cross < -_EPS:
+        return -1
+    return 0

@@ -1,0 +1,54 @@
+"""Learning library (substrate S8).
+
+From-scratch classifiers for the annotation layer's event identification
+model: softmax regression, CART tree, random forest, k-NN and Gaussian
+naive Bayes, plus scaling, metrics and cross-validation.  All models share
+the :class:`Classifier` interface.
+"""
+
+from .base import Classifier, LabelEncoder
+from .forest import RandomForestClassifier
+from .knn import KNeighborsClassifier
+from .logistic import SoftmaxRegression
+from .metrics import (
+    ClassReport,
+    accuracy,
+    confusion_matrix,
+    macro_f1,
+    per_class_report,
+    weighted_f1,
+)
+from .model_selection import cross_val_score, k_fold_indexes, train_test_split
+from .naive_bayes import GaussianNB
+from .scaling import StandardScaler
+from .tree import DecisionTreeClassifier
+
+#: Model registry used by the Configurator's ``event_model`` knob.
+MODEL_FACTORIES = {
+    "logistic": SoftmaxRegression,
+    "tree": DecisionTreeClassifier,
+    "forest": RandomForestClassifier,
+    "knn": KNeighborsClassifier,
+    "naive-bayes": GaussianNB,
+}
+
+__all__ = [
+    "MODEL_FACTORIES",
+    "ClassReport",
+    "Classifier",
+    "DecisionTreeClassifier",
+    "GaussianNB",
+    "KNeighborsClassifier",
+    "LabelEncoder",
+    "RandomForestClassifier",
+    "SoftmaxRegression",
+    "StandardScaler",
+    "accuracy",
+    "confusion_matrix",
+    "cross_val_score",
+    "k_fold_indexes",
+    "macro_f1",
+    "per_class_report",
+    "train_test_split",
+    "weighted_f1",
+]

@@ -1,0 +1,128 @@
+"""Common classifier interface and label handling.
+
+The annotation layer's event identifier is "a learning-based identification
+model" (paper §3) trained on Event Editor designations.  The paper does not
+fix a model family, so this package ships several; they all implement the
+:class:`Classifier` interface below and work on dense numpy feature
+matrices with string labels.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..errors import LearningError, ModelNotFittedError
+
+
+class LabelEncoder:
+    """Maps string class labels to contiguous integer codes and back."""
+
+    def __init__(self):
+        self.classes_: list[str] = []
+        self._index: dict[str, int] = {}
+
+    def fit(self, labels: list[str]) -> "LabelEncoder":
+        """Learn the label vocabulary (sorted for determinism)."""
+        self.classes_ = sorted(set(labels))
+        self._index = {label: i for i, label in enumerate(self.classes_)}
+        return self
+
+    def transform(self, labels: list[str]) -> np.ndarray:
+        """Encode labels to integer codes."""
+        try:
+            return np.array([self._index[label] for label in labels], dtype=np.int64)
+        except KeyError as exc:
+            raise LearningError(f"unseen label {exc} at transform time") from exc
+
+    def inverse_transform(self, codes: np.ndarray) -> list[str]:
+        """Decode integer codes back to labels."""
+        return [self.classes_[int(code)] for code in codes]
+
+    @property
+    def n_classes(self) -> int:
+        """Number of distinct labels."""
+        return len(self.classes_)
+
+
+class Classifier(ABC):
+    """Interface shared by every model in :mod:`repro.learning`."""
+
+    def __init__(self):
+        self._encoder: LabelEncoder | None = None
+
+    @property
+    def is_fitted(self) -> bool:
+        """True once :meth:`fit` has completed."""
+        return self._encoder is not None
+
+    @property
+    def classes(self) -> list[str]:
+        """The label vocabulary seen at fit time."""
+        self._require_fitted()
+        assert self._encoder is not None
+        return list(self._encoder.classes_)
+
+    def fit(self, features: np.ndarray, labels: list[str]) -> "Classifier":
+        """Train on an ``(n_samples, n_features)`` matrix and labels."""
+        features = _as_matrix(features)
+        if features.shape[0] != len(labels):
+            raise LearningError(
+                f"{features.shape[0]} samples but {len(labels)} labels"
+            )
+        if features.shape[0] == 0:
+            raise LearningError("cannot fit on an empty training set")
+        encoder = LabelEncoder().fit(list(labels))
+        if encoder.n_classes < 2:
+            raise LearningError(
+                f"training set has {encoder.n_classes} class(es); need >= 2"
+            )
+        codes = encoder.transform(list(labels))
+        self._encoder = encoder
+        self._fit_encoded(features, codes, encoder.n_classes)
+        return self
+
+    def predict(self, features: np.ndarray) -> list[str]:
+        """Predicted labels for an ``(n_samples, n_features)`` matrix."""
+        probabilities = self.predict_proba(features)
+        codes = np.argmax(probabilities, axis=1)
+        assert self._encoder is not None
+        return self._encoder.inverse_transform(codes)
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Per-class probabilities, shape ``(n_samples, n_classes)``."""
+        self._require_fitted()
+        features = _as_matrix(features)
+        return self._predict_proba_encoded(features)
+
+    def predict_one(self, feature_vector: np.ndarray) -> str:
+        """Predicted label for a single feature vector."""
+        return self.predict(np.asarray(feature_vector).reshape(1, -1))[0]
+
+    @abstractmethod
+    def _fit_encoded(
+        self, features: np.ndarray, codes: np.ndarray, n_classes: int
+    ) -> None:
+        """Model-specific training on encoded labels."""
+
+    @abstractmethod
+    def _predict_proba_encoded(self, features: np.ndarray) -> np.ndarray:
+        """Model-specific probability prediction."""
+
+    def _require_fitted(self) -> None:
+        if not self.is_fitted:
+            raise ModelNotFittedError(
+                f"{type(self).__name__} used before fit()"
+            )
+
+
+def _as_matrix(features: np.ndarray) -> np.ndarray:
+    matrix = np.asarray(features, dtype=np.float64)
+    if matrix.ndim == 1:
+        matrix = matrix.reshape(1, -1)
+    if matrix.ndim != 2:
+        raise LearningError(f"feature matrix must be 2-D, got shape {matrix.shape}")
+    if not np.all(np.isfinite(matrix)):
+        raise LearningError("feature matrix contains NaN or infinite values")
+    return matrix

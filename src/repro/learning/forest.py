@@ -1,0 +1,87 @@
+"""Random forest over the CART trees: bagging + feature subsampling."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import LearningError
+from .base import Classifier
+from .tree import DecisionTreeClassifier
+
+
+class RandomForestClassifier(Classifier):
+    """Averaged ensemble of bootstrapped decision trees.
+
+    The strongest model in the ablation (E-F3b) once the Event Editor has
+    designated a few hundred segments.
+    """
+
+    def __init__(
+        self,
+        n_trees: int = 25,
+        max_depth: int = 12,
+        min_samples_leaf: int = 1,
+        max_features: int | None = None,
+        seed: int = 0,
+    ):
+        super().__init__()
+        if n_trees < 1:
+            raise LearningError(f"n_trees must be >= 1, got {n_trees}")
+        self.n_trees = n_trees
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.seed = seed
+        self._trees: list[DecisionTreeClassifier] = []
+
+    def _fit_encoded(
+        self, features: np.ndarray, codes: np.ndarray, n_classes: int
+    ) -> None:
+        rng = np.random.default_rng(self.seed)
+        n_samples, n_features = features.shape
+        max_features = self.max_features
+        if max_features is None:
+            max_features = max(1, int(math.sqrt(n_features)))
+        self._trees = []
+        labels = codes  # already encoded; trees re-encode internally via fit
+        for tree_index in range(self.n_trees):
+            sample_indexes = rng.integers(0, n_samples, size=n_samples)
+            # Guarantee every class appears in the bootstrap so each tree's
+            # label encoder matches the ensemble's vocabulary.
+            present = set(np.unique(labels[sample_indexes]).tolist())
+            missing = [c for c in range(n_classes) if c not in present]
+            if missing:
+                extras = []
+                for code in missing:
+                    owners = np.flatnonzero(labels == code)
+                    extras.append(int(owners[rng.integers(0, owners.shape[0])]))
+                sample_indexes = np.concatenate(
+                    [sample_indexes, np.array(extras, dtype=np.int64)]
+                )
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=max_features,
+                seed=self.seed + 7919 * tree_index,
+            )
+            tree.fit(
+                features[sample_indexes],
+                [str(int(c)) for c in labels[sample_indexes]],
+            )
+            self._trees.append(tree)
+        self._tree_class_order = [
+            [int(c) for c in tree.classes] for tree in self._trees
+        ]
+        self._n_classes = n_classes
+
+    def _predict_proba_encoded(self, features: np.ndarray) -> np.ndarray:
+        if not self._trees:
+            raise LearningError("forest has no trees (fit not run?)")
+        total = np.zeros((features.shape[0], self._n_classes))
+        for tree, class_order in zip(self._trees, self._tree_class_order):
+            tree_probabilities = tree.predict_proba(features)
+            for column, code in enumerate(class_order):
+                total[:, code] += tree_probabilities[:, column]
+        return total / len(self._trees)

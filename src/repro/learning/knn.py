@@ -1,0 +1,63 @@
+"""k-nearest-neighbors classifier (brute force, Euclidean).
+
+A zero-training baseline for the event-model ablation; pairs naturally with
+:class:`repro.learning.scaling.StandardScaler`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import LearningError
+from .base import Classifier
+
+
+class KNeighborsClassifier(Classifier):
+    """Majority vote over the ``k`` nearest training samples.
+
+    Votes can be distance-weighted (``weighted=True``), which breaks ties
+    smoothly and improves small-training-set accuracy.
+    """
+
+    def __init__(self, k: int = 5, weighted: bool = True):
+        super().__init__()
+        if k < 1:
+            raise LearningError(f"k must be >= 1, got {k}")
+        self.k = k
+        self.weighted = weighted
+        self._train_features: np.ndarray | None = None
+        self._train_codes: np.ndarray | None = None
+        self._n_classes = 0
+
+    def _fit_encoded(
+        self, features: np.ndarray, codes: np.ndarray, n_classes: int
+    ) -> None:
+        self._train_features = features
+        self._train_codes = codes
+        self._n_classes = n_classes
+
+    def _predict_proba_encoded(self, features: np.ndarray) -> np.ndarray:
+        assert self._train_features is not None and self._train_codes is not None
+        if features.shape[1] != self._train_features.shape[1]:
+            raise LearningError(
+                f"model fitted on {self._train_features.shape[1]} features, "
+                f"got {features.shape[1]}"
+            )
+        k = min(self.k, self._train_features.shape[0])
+        # (n_query, n_train) squared distances via the expansion trick.
+        cross = features @ self._train_features.T
+        query_sq = np.sum(features**2, axis=1, keepdims=True)
+        train_sq = np.sum(self._train_features**2, axis=1)
+        distances_sq = np.maximum(query_sq - 2.0 * cross + train_sq, 0.0)
+        neighbor_indexes = np.argpartition(distances_sq, k - 1, axis=1)[:, :k]
+        probabilities = np.zeros((features.shape[0], self._n_classes))
+        for row in range(features.shape[0]):
+            neighbors = neighbor_indexes[row]
+            if self.weighted:
+                weights = 1.0 / (np.sqrt(distances_sq[row, neighbors]) + 1e-9)
+            else:
+                weights = np.ones(neighbors.shape[0])
+            for neighbor, weight in zip(neighbors, weights):
+                probabilities[row, self._train_codes[neighbor]] += weight
+            probabilities[row] /= probabilities[row].sum()
+        return probabilities

@@ -1,0 +1,73 @@
+"""Multinomial (softmax) logistic regression trained by gradient descent.
+
+The default event-identification model: linear, calibrated probabilities
+(useful for the annotator's confidence field), fast on the small designated
+training sets the Event Editor produces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import LearningError
+from .base import Classifier
+
+
+class SoftmaxRegression(Classifier):
+    """L2-regularized multinomial logistic regression.
+
+    Full-batch gradient descent is plenty for Event Editor-scale training
+    sets (tens to a few thousand designated segments).
+    """
+
+    def __init__(
+        self,
+        learning_rate: float = 0.1,
+        epochs: int = 400,
+        l2: float = 1e-3,
+        seed: int = 0,
+    ):
+        super().__init__()
+        if learning_rate <= 0:
+            raise LearningError(f"learning_rate must be positive, got {learning_rate}")
+        if epochs < 1:
+            raise LearningError(f"epochs must be >= 1, got {epochs}")
+        if l2 < 0:
+            raise LearningError(f"l2 must be >= 0, got {l2}")
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self.l2 = l2
+        self.seed = seed
+        self.weights_: np.ndarray | None = None  # (n_features + 1, n_classes)
+
+    def _fit_encoded(
+        self, features: np.ndarray, codes: np.ndarray, n_classes: int
+    ) -> None:
+        n_samples, n_features = features.shape
+        design = np.hstack([features, np.ones((n_samples, 1))])
+        rng = np.random.default_rng(self.seed)
+        weights = rng.normal(0.0, 0.01, size=(n_features + 1, n_classes))
+        one_hot = np.zeros((n_samples, n_classes))
+        one_hot[np.arange(n_samples), codes] = 1.0
+        for _ in range(self.epochs):
+            probabilities = _softmax(design @ weights)
+            gradient = design.T @ (probabilities - one_hot) / n_samples
+            gradient[:-1] += self.l2 * weights[:-1]  # don't regularize bias
+            weights -= self.learning_rate * gradient
+        self.weights_ = weights
+
+    def _predict_proba_encoded(self, features: np.ndarray) -> np.ndarray:
+        assert self.weights_ is not None
+        if features.shape[1] != self.weights_.shape[0] - 1:
+            raise LearningError(
+                f"model fitted on {self.weights_.shape[0] - 1} features, "
+                f"got {features.shape[1]}"
+            )
+        design = np.hstack([features, np.ones((features.shape[0], 1))])
+        return _softmax(design @ self.weights_)
+
+
+def _softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exponentials = np.exp(shifted)
+    return exponentials / exponentials.sum(axis=1, keepdims=True)

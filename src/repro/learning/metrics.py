@@ -1,0 +1,89 @@
+"""Classification metrics for the event-identification experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import LearningError
+
+
+def accuracy(truth: list[str], predicted: list[str]) -> float:
+    """Fraction of exact label matches."""
+    _check_aligned(truth, predicted)
+    if not truth:
+        return 0.0
+    return sum(1 for t, p in zip(truth, predicted) if t == p) / len(truth)
+
+
+@dataclass(frozen=True)
+class ClassReport:
+    """Precision / recall / F1 and support for one class."""
+
+    label: str
+    precision: float
+    recall: float
+    f1: float
+    support: int
+
+
+def confusion_matrix(
+    truth: list[str], predicted: list[str], labels: list[str] | None = None
+) -> tuple[np.ndarray, list[str]]:
+    """Counts matrix ``[true, predicted]`` plus its label order."""
+    _check_aligned(truth, predicted)
+    if labels is None:
+        labels = sorted(set(truth) | set(predicted))
+    index = {label: i for i, label in enumerate(labels)}
+    matrix = np.zeros((len(labels), len(labels)), dtype=np.int64)
+    for t, p in zip(truth, predicted):
+        matrix[index[t], index[p]] += 1
+    return matrix, labels
+
+
+def per_class_report(
+    truth: list[str], predicted: list[str], labels: list[str] | None = None
+) -> list[ClassReport]:
+    """Precision/recall/F1 per class, in label order."""
+    matrix, ordered = confusion_matrix(truth, predicted, labels)
+    reports: list[ClassReport] = []
+    for i, label in enumerate(ordered):
+        true_positive = float(matrix[i, i])
+        predicted_positive = float(matrix[:, i].sum())
+        actual_positive = float(matrix[i, :].sum())
+        precision = true_positive / predicted_positive if predicted_positive else 0.0
+        recall = true_positive / actual_positive if actual_positive else 0.0
+        f1 = (
+            2.0 * precision * recall / (precision + recall)
+            if precision + recall
+            else 0.0
+        )
+        reports.append(
+            ClassReport(label, precision, recall, f1, int(actual_positive))
+        )
+    return reports
+
+
+def macro_f1(truth: list[str], predicted: list[str]) -> float:
+    """Unweighted mean F1 across classes present in the truth."""
+    reports = [r for r in per_class_report(truth, predicted) if r.support > 0]
+    if not reports:
+        return 0.0
+    return sum(r.f1 for r in reports) / len(reports)
+
+
+def weighted_f1(truth: list[str], predicted: list[str]) -> float:
+    """Support-weighted mean F1."""
+    reports = per_class_report(truth, predicted)
+    total = sum(r.support for r in reports)
+    if total == 0:
+        return 0.0
+    return sum(r.f1 * r.support for r in reports) / total
+
+
+def _check_aligned(truth: list[str], predicted: list[str]) -> None:
+    if len(truth) != len(predicted):
+        raise LearningError(
+            f"{len(truth)} truth labels but {len(predicted)} predictions"
+        )

@@ -1,0 +1,102 @@
+"""Data splitting and cross-validation for the event model experiments."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+import numpy as np
+
+from ..errors import LearningError
+from .base import Classifier
+from .metrics import accuracy
+
+
+def train_test_split(
+    features: np.ndarray,
+    labels: list[str],
+    test_fraction: float = 0.25,
+    stratified: bool = True,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray, list[str], list[str]]:
+    """Split into train/test, stratified by label by default.
+
+    Stratification guarantees every class appears in the training part, so
+    a classifier's label vocabulary always covers the test set.
+    """
+    features = np.asarray(features, dtype=np.float64)
+    if features.shape[0] != len(labels):
+        raise LearningError(
+            f"{features.shape[0]} samples but {len(labels)} labels"
+        )
+    if not 0.0 < test_fraction < 1.0:
+        raise LearningError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    rng = np.random.default_rng(seed)
+    n_samples = features.shape[0]
+    test_mask = np.zeros(n_samples, dtype=bool)
+    if stratified:
+        labels_array = np.array(labels)
+        for label in np.unique(labels_array):
+            members = np.flatnonzero(labels_array == label)
+            rng.shuffle(members)
+            n_test = int(round(len(members) * test_fraction))
+            n_test = min(n_test, len(members) - 1)  # keep >= 1 in train
+            test_mask[members[:n_test]] = True
+    else:
+        order = rng.permutation(n_samples)
+        n_test = max(1, int(round(n_samples * test_fraction)))
+        test_mask[order[:n_test]] = True
+    train_idx = np.flatnonzero(~test_mask)
+    test_idx = np.flatnonzero(test_mask)
+    return (
+        features[train_idx],
+        features[test_idx],
+        [labels[i] for i in train_idx],
+        [labels[i] for i in test_idx],
+    )
+
+
+def k_fold_indexes(
+    n_samples: int, k: int = 5, seed: int = 0
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Yield ``(train_indexes, test_indexes)`` for each of ``k`` folds."""
+    if k < 2:
+        raise LearningError(f"k must be >= 2, got {k}")
+    if n_samples < k:
+        raise LearningError(f"cannot make {k} folds from {n_samples} samples")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(n_samples)
+    folds = np.array_split(order, k)
+    for fold_index in range(k):
+        test_idx = folds[fold_index]
+        train_idx = np.concatenate(
+            [folds[j] for j in range(k) if j != fold_index]
+        )
+        yield train_idx, test_idx
+
+
+def cross_val_score(
+    make_model: Callable[[], Classifier],
+    features: np.ndarray,
+    labels: list[str],
+    k: int = 5,
+    seed: int = 0,
+    score: Callable[[list[str], list[str]], float] = accuracy,
+) -> list[float]:
+    """Per-fold scores of a freshly constructed model on each split.
+
+    Folds where the training part collapses to a single class are skipped
+    (possible with tiny designated sets); at least one fold must survive.
+    """
+    features = np.asarray(features, dtype=np.float64)
+    scores: list[float] = []
+    for train_idx, test_idx in k_fold_indexes(features.shape[0], k, seed):
+        train_labels = [labels[i] for i in train_idx]
+        if len(set(train_labels)) < 2:
+            continue
+        model = make_model()
+        model.fit(features[train_idx], train_labels)
+        predicted = model.predict(features[test_idx])
+        scores.append(score([labels[i] for i in test_idx], predicted))
+    if not scores:
+        raise LearningError("every fold had a single-class training part")
+    return scores

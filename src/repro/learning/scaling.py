@@ -1,0 +1,55 @@
+"""Feature standardization.
+
+Snippet features mix scales wildly (variance in m² next to turn counts), so
+distance- and gradient-based models need standardization.  The scaler is
+fit on training data only and applied to everything downstream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import LearningError, ModelNotFittedError
+
+
+class StandardScaler:
+    """Removes the mean and scales to unit variance, column-wise.
+
+    Constant columns (zero variance) are left centered but unscaled, so
+    degenerate features cannot produce NaNs.
+    """
+
+    def __init__(self):
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, features: np.ndarray) -> "StandardScaler":
+        """Learn per-column mean and standard deviation."""
+        matrix = np.asarray(features, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[0] == 0:
+            raise LearningError(
+                f"scaler needs a non-empty 2-D matrix, got shape {matrix.shape}"
+            )
+        self.mean_ = matrix.mean(axis=0)
+        deviation = matrix.std(axis=0)
+        deviation[deviation == 0.0] = 1.0
+        self.scale_ = deviation
+        return self
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        """Standardize a matrix with the fitted statistics."""
+        if self.mean_ is None or self.scale_ is None:
+            raise ModelNotFittedError("StandardScaler used before fit()")
+        matrix = np.asarray(features, dtype=np.float64)
+        if matrix.ndim == 1:
+            matrix = matrix.reshape(1, -1)
+        if matrix.shape[1] != self.mean_.shape[0]:
+            raise LearningError(
+                f"scaler fitted on {self.mean_.shape[0]} features, "
+                f"got {matrix.shape[1]}"
+            )
+        return (matrix - self.mean_) / self.scale_
+
+    def fit_transform(self, features: np.ndarray) -> np.ndarray:
+        """Fit then transform in one call."""
+        return self.fit(features).transform(features)

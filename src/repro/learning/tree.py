@@ -1,0 +1,159 @@
+"""CART decision tree classifier (Gini impurity, binary splits).
+
+Trees handle the snippet features' mixed scales without standardization and
+give the random forest its base learner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import LearningError
+from .base import Classifier
+
+
+@dataclass
+class _Node:
+    """One tree node; leaves carry a class distribution."""
+
+    distribution: np.ndarray  # normalized class frequencies at this node
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+class DecisionTreeClassifier(Classifier):
+    """Greedy CART with Gini impurity and exhaustive threshold search."""
+
+    def __init__(
+        self,
+        max_depth: int = 12,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | None = None,
+        seed: int = 0,
+    ):
+        super().__init__()
+        if max_depth < 1:
+            raise LearningError(f"max_depth must be >= 1, got {max_depth}")
+        if min_samples_split < 2:
+            raise LearningError(
+                f"min_samples_split must be >= 2, got {min_samples_split}"
+            )
+        if min_samples_leaf < 1:
+            raise LearningError(
+                f"min_samples_leaf must be >= 1, got {min_samples_leaf}"
+            )
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.seed = seed
+        self._root: _Node | None = None
+        self._n_classes = 0
+        self._rng = np.random.default_rng(seed)
+
+    def _fit_encoded(
+        self, features: np.ndarray, codes: np.ndarray, n_classes: int
+    ) -> None:
+        self._n_classes = n_classes
+        self._rng = np.random.default_rng(self.seed)
+        self._root = self._grow(features, codes, depth=0)
+
+    def _predict_proba_encoded(self, features: np.ndarray) -> np.ndarray:
+        assert self._root is not None
+        output = np.empty((features.shape[0], self._n_classes))
+        for i, row in enumerate(features):
+            node = self._root
+            while not node.is_leaf:
+                assert node.left is not None and node.right is not None
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            output[i] = node.distribution
+        return output
+
+    # ------------------------------------------------------------------
+    # Tree growth
+    # ------------------------------------------------------------------
+    def _grow(self, features: np.ndarray, codes: np.ndarray, depth: int) -> _Node:
+        distribution = self._distribution(codes)
+        node = _Node(distribution=distribution)
+        if (
+            depth >= self.max_depth
+            or codes.shape[0] < self.min_samples_split
+            or np.unique(codes).shape[0] == 1
+        ):
+            return node
+        split = self._best_split(features, codes)
+        if split is None:
+            return node
+        feature, threshold = split
+        mask = features[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._grow(features[mask], codes[mask], depth + 1)
+        node.right = self._grow(features[~mask], codes[~mask], depth + 1)
+        return node
+
+    def _best_split(
+        self, features: np.ndarray, codes: np.ndarray
+    ) -> tuple[int, float] | None:
+        n_samples, n_features = features.shape
+        parent_gini = _gini(codes, self._n_classes)
+        best_gain = 1e-12
+        best: tuple[int, float] | None = None
+        if self.max_features is not None and self.max_features < n_features:
+            candidates = self._rng.choice(
+                n_features, size=self.max_features, replace=False
+            )
+        else:
+            candidates = np.arange(n_features)
+        for feature in candidates:
+            order = np.argsort(features[:, feature], kind="stable")
+            values = features[order, feature]
+            ordered_codes = codes[order]
+            left_counts = np.zeros(self._n_classes)
+            right_counts = np.bincount(ordered_codes, minlength=self._n_classes).astype(
+                float
+            )
+            for i in range(n_samples - 1):
+                code = ordered_codes[i]
+                left_counts[code] += 1.0
+                right_counts[code] -= 1.0
+                if values[i] == values[i + 1]:
+                    continue
+                left_n = i + 1
+                right_n = n_samples - left_n
+                if left_n < self.min_samples_leaf or right_n < self.min_samples_leaf:
+                    continue
+                gini_split = (
+                    left_n * _gini_from_counts(left_counts, left_n)
+                    + right_n * _gini_from_counts(right_counts, right_n)
+                ) / n_samples
+                gain = parent_gini - gini_split
+                if gain > best_gain:
+                    best_gain = gain
+                    best = (int(feature), float((values[i] + values[i + 1]) / 2.0))
+        return best
+
+    def _distribution(self, codes: np.ndarray) -> np.ndarray:
+        counts = np.bincount(codes, minlength=self._n_classes).astype(np.float64)
+        return counts / counts.sum()
+
+
+def _gini(codes: np.ndarray, n_classes: int) -> float:
+    counts = np.bincount(codes, minlength=n_classes).astype(np.float64)
+    return _gini_from_counts(counts, codes.shape[0])
+
+
+def _gini_from_counts(counts: np.ndarray, total: int) -> float:
+    if total == 0:
+        return 0.0
+    proportions = counts / total
+    return float(1.0 - np.sum(proportions * proportions))

@@ -1,0 +1,77 @@
+"""Positioning data layer (substrate S5).
+
+Raw positioning records and per-device sequences, multi-source ingestion
+(CSV, JSON-lines, DB-style tables, streams), the Data Selector's combinable
+rule algebra, and controlled error injection for the cleaning experiments.
+"""
+
+from .io import (
+    CSV_COLUMNS,
+    CsvFileSource,
+    DataSource,
+    JsonlFileSource,
+    MemorySource,
+    TableSource,
+    write_csv,
+    write_jsonl,
+)
+from .quality import (
+    InjectionReport,
+    inject_dropout,
+    inject_floor_errors,
+    inject_gaussian_noise,
+    inject_outliers,
+    subsample,
+)
+from .record import RawPositioningRecord
+from .selector import (
+    AndRule,
+    DailyHoursRule,
+    DataSelector,
+    DeviceIdRule,
+    DurationRule,
+    FrequencyRule,
+    NotRule,
+    OrRule,
+    PeriodicPatternRule,
+    RecordCountRule,
+    SelectionRule,
+    SpatialRangeRule,
+    TemporalRangeRule,
+)
+from .sequence import PositioningSequence
+from .stream import RecordStream, windowed_sequences
+
+__all__ = [
+    "CSV_COLUMNS",
+    "AndRule",
+    "CsvFileSource",
+    "DailyHoursRule",
+    "DataSelector",
+    "DataSource",
+    "DeviceIdRule",
+    "DurationRule",
+    "FrequencyRule",
+    "InjectionReport",
+    "JsonlFileSource",
+    "MemorySource",
+    "NotRule",
+    "OrRule",
+    "PeriodicPatternRule",
+    "PositioningSequence",
+    "RawPositioningRecord",
+    "RecordCountRule",
+    "RecordStream",
+    "SelectionRule",
+    "SpatialRangeRule",
+    "TableSource",
+    "TemporalRangeRule",
+    "inject_dropout",
+    "inject_floor_errors",
+    "inject_gaussian_noise",
+    "inject_outliers",
+    "subsample",
+    "windowed_sequences",
+    "write_csv",
+    "write_jsonl",
+]

@@ -1,0 +1,171 @@
+"""Controlled degradation of positioning sequences.
+
+The cleaning experiments (E-F3a) need sequences with *known* injected
+errors: the paper's raw data "is uncertain and discrete in nature due to
+the limitations of indoor positioning" (§1).  These utilities corrupt a
+clean (e.g. ground-truth) sequence with each error class independently so
+benchmarks can sweep one error rate at a time.
+
+Every function is pure and seeded: the input sequence is never mutated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import DataSourceError
+from .record import RawPositioningRecord
+from .sequence import PositioningSequence
+
+
+@dataclass(frozen=True)
+class InjectionReport:
+    """What an injection pass actually changed, for ground-truth scoring."""
+
+    affected_indexes: tuple[int, ...]
+    description: str
+
+    @property
+    def count(self) -> int:
+        """Number of corrupted records."""
+        return len(self.affected_indexes)
+
+
+def inject_gaussian_noise(
+    sequence: PositioningSequence, sigma: float, seed: int = 0
+) -> PositioningSequence:
+    """Add isotropic Gaussian noise of ``sigma`` metres to every record."""
+    if sigma < 0:
+        raise DataSourceError(f"sigma must be >= 0, got {sigma}")
+    rng = np.random.default_rng(seed)
+    noisy: list[RawPositioningRecord] = []
+    offsets = rng.normal(0.0, sigma, size=(len(sequence), 2)) if sigma > 0 else None
+    for index, record in enumerate(sequence):
+        if offsets is None:
+            noisy.append(record)
+        else:
+            dx, dy = offsets[index]
+            noisy.append(record.moved(record.location.translate(dx, dy)))
+    return sequence.with_records(noisy)
+
+
+def inject_floor_errors(
+    sequence: PositioningSequence,
+    rate: float,
+    floors: list[int],
+    seed: int = 0,
+) -> tuple[PositioningSequence, InjectionReport]:
+    """Flip the floor value of a ``rate`` fraction of records.
+
+    Each corrupted record gets a uniformly chosen *wrong* floor from
+    ``floors``, mimicking the barometer/AP-ambiguity floor misreads that the
+    cleaning layer's floor value correction targets.
+    """
+    _check_rate(rate)
+    if len(floors) < 2:
+        raise DataSourceError("floor errors need at least two distinct floors")
+    rng = np.random.default_rng(seed)
+    corrupted: list[RawPositioningRecord] = []
+    affected: list[int] = []
+    for index, record in enumerate(sequence):
+        if rng.random() < rate:
+            wrong_choices = [f for f in floors if f != record.floor]
+            wrong = int(rng.choice(wrong_choices))
+            corrupted.append(record.refloored(wrong))
+            affected.append(index)
+        else:
+            corrupted.append(record)
+    report = InjectionReport(tuple(affected), f"floor errors at rate {rate}")
+    return sequence.with_records(corrupted), report
+
+
+def inject_outliers(
+    sequence: PositioningSequence,
+    rate: float,
+    magnitude: float = 30.0,
+    seed: int = 0,
+) -> tuple[PositioningSequence, InjectionReport]:
+    """Teleport a ``rate`` fraction of records by ~``magnitude`` metres.
+
+    Models the multipath "jumps" indoor Wi-Fi positioning produces — the
+    speed-constraint violations the cleaning layer detects.
+    """
+    _check_rate(rate)
+    if magnitude <= 0:
+        raise DataSourceError(f"magnitude must be positive, got {magnitude}")
+    rng = np.random.default_rng(seed)
+    corrupted: list[RawPositioningRecord] = []
+    affected: list[int] = []
+    for index, record in enumerate(sequence):
+        if rng.random() < rate:
+            angle = rng.uniform(0.0, 2.0 * np.pi)
+            distance = magnitude * (0.75 + 0.5 * rng.random())
+            moved = record.location.translate(
+                distance * np.cos(angle), distance * np.sin(angle)
+            )
+            corrupted.append(record.moved(moved))
+            affected.append(index)
+        else:
+            corrupted.append(record)
+    report = InjectionReport(tuple(affected), f"outliers at rate {rate}")
+    return sequence.with_records(corrupted), report
+
+
+def inject_dropout(
+    sequence: PositioningSequence,
+    gap_seconds: float,
+    gap_count: int = 1,
+    seed: int = 0,
+) -> tuple[PositioningSequence, InjectionReport]:
+    """Delete all records inside ``gap_count`` windows of ``gap_seconds``.
+
+    Produces the discontinuities the complementing layer must repair.
+    Windows are placed uniformly at random inside the sequence span without
+    touching the first and last records (so the sequence endpoints anchor
+    the inference).
+    """
+    if gap_seconds <= 0:
+        raise DataSourceError(f"gap_seconds must be positive, got {gap_seconds}")
+    if gap_count < 1:
+        raise DataSourceError(f"gap_count must be >= 1, got {gap_count}")
+    rng = np.random.default_rng(seed)
+    span = sequence.time_range
+    dropped: set[int] = set()
+    for _ in range(gap_count):
+        latest_start = span.end - gap_seconds
+        if latest_start <= span.start:
+            break
+        gap_start = rng.uniform(span.start, latest_start)
+        gap_end = gap_start + gap_seconds
+        for index, record in enumerate(sequence):
+            if index in (0, len(sequence) - 1):
+                continue
+            if gap_start <= record.timestamp <= gap_end:
+                dropped.add(index)
+    kept = [r for i, r in enumerate(sequence) if i not in dropped]
+    if len(kept) < 2:
+        raise DataSourceError("dropout would leave fewer than two records")
+    report = InjectionReport(
+        tuple(sorted(dropped)),
+        f"{gap_count} dropout window(s) of {gap_seconds}s",
+    )
+    return sequence.with_records(kept), report
+
+
+def subsample(
+    sequence: PositioningSequence, keep_every: int
+) -> PositioningSequence:
+    """Keep every ``keep_every``-th record (sampling-interval degradation)."""
+    if keep_every < 1:
+        raise DataSourceError(f"keep_every must be >= 1, got {keep_every}")
+    kept = [r for i, r in enumerate(sequence) if i % keep_every == 0]
+    if sequence.records[-1] not in kept:
+        kept.append(sequence.records[-1])
+    return sequence.with_records(kept)
+
+
+def _check_rate(rate: float) -> None:
+    if not 0.0 <= rate <= 1.0:
+        raise DataSourceError(f"rate must be in [0, 1], got {rate}")

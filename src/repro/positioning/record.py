@@ -1,0 +1,50 @@
+"""Raw positioning records: the left-hand side of the paper's Table 1.
+
+Each record "captures the object location as a geometric point at a
+timestamp" — ``oi, (5.1, 12.7, 3F), 1:02:05pm``.  Records are immutable;
+the cleaning layer produces *new* records rather than mutating, so the
+viewer can always show raw and cleaned sequences side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..errors import DataSourceError
+from ..geometry import Point
+from ..timeutil import format_clock
+
+
+@dataclass(frozen=True, order=True)
+class RawPositioningRecord:
+    """One positioning fix for one device.
+
+    Ordered by ``(timestamp, device_id)`` so sorting a mixed batch yields
+    global time order.  ``location`` carries planar coordinates plus the
+    reported floor, which may be wrong — floor correction is the cleaning
+    layer's job.
+    """
+
+    timestamp: float
+    device_id: str
+    location: Point
+
+    def __post_init__(self) -> None:
+        if not self.device_id:
+            raise DataSourceError("positioning record requires a device id")
+
+    @property
+    def floor(self) -> int:
+        """The reported floor value."""
+        return self.location.floor
+
+    def moved(self, location: Point) -> "RawPositioningRecord":
+        """A copy at a different location (used by repairs)."""
+        return replace(self, location=location)
+
+    def refloored(self, floor: int) -> "RawPositioningRecord":
+        """A copy with only the floor value changed (floor correction)."""
+        return replace(self, location=self.location.with_floor(floor))
+
+    def __str__(self) -> str:  # paper style: oi, (5.1, 12.7, 3F), 1:02:05pm
+        return f"{self.device_id}, {self.location}, {format_clock(self.timestamp)}"

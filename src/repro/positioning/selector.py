@@ -1,0 +1,297 @@
+"""The Data Selector: configurable, combinable sequence-selection rules.
+
+The paper's Configurator "offers users a set of configurable and combinable
+rules to select the (device) positioning sequences of particular interest.
+Typical rules include device ID pattern, spatial range, temporal range,
+positioning frequency, and periodic pattern" (§2).  Rules compose with
+``&``, ``|`` and ``~``; record-level rules also *trim* sequences (a temporal
+range keeps only in-window records), while sequence-level rules accept or
+reject whole sequences.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import re
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from ..errors import SelectorError
+from ..geometry import BoundingBox
+from ..timeutil import DAY, TimeRange
+from .io import DataSource
+from .record import RawPositioningRecord
+from .sequence import PositioningSequence
+
+
+class SelectionRule(ABC):
+    """Base class for all Data Selector rules.
+
+    A rule may act at the record level (``keeps_record``), the sequence
+    level (``accepts_sequence``), or both.  The defaults keep everything,
+    so concrete rules override only the level they care about.
+    """
+
+    def keeps_record(self, record: RawPositioningRecord) -> bool:
+        """Record-level predicate; True keeps the record."""
+        return True
+
+    def accepts_sequence(self, sequence: PositioningSequence) -> bool:
+        """Sequence-level predicate; True keeps the whole sequence."""
+        return True
+
+    def __and__(self, other: "SelectionRule") -> "SelectionRule":
+        return AndRule(self, other)
+
+    def __or__(self, other: "SelectionRule") -> "SelectionRule":
+        return OrRule(self, other)
+
+    def __invert__(self) -> "SelectionRule":
+        return NotRule(self)
+
+
+@dataclass
+class AndRule(SelectionRule):
+    """Both operands must keep the record / accept the sequence."""
+
+    left: SelectionRule
+    right: SelectionRule
+
+    def keeps_record(self, record: RawPositioningRecord) -> bool:
+        return self.left.keeps_record(record) and self.right.keeps_record(record)
+
+    def accepts_sequence(self, sequence: PositioningSequence) -> bool:
+        return self.left.accepts_sequence(sequence) and self.right.accepts_sequence(
+            sequence
+        )
+
+
+@dataclass
+class OrRule(SelectionRule):
+    """Either operand suffices, evaluated per level."""
+
+    left: SelectionRule
+    right: SelectionRule
+
+    def keeps_record(self, record: RawPositioningRecord) -> bool:
+        return self.left.keeps_record(record) or self.right.keeps_record(record)
+
+    def accepts_sequence(self, sequence: PositioningSequence) -> bool:
+        return self.left.accepts_sequence(sequence) or self.right.accepts_sequence(
+            sequence
+        )
+
+
+@dataclass
+class NotRule(SelectionRule):
+    """Logical negation at both levels."""
+
+    inner: SelectionRule
+
+    def keeps_record(self, record: RawPositioningRecord) -> bool:
+        return not self.inner.keeps_record(record)
+
+    def accepts_sequence(self, sequence: PositioningSequence) -> bool:
+        return not self.inner.accepts_sequence(sequence)
+
+
+class DeviceIdRule(SelectionRule):
+    """Keep records whose device id matches a glob or regular expression.
+
+    Glob is the default (``"3a.*"`` in the paper's walkthrough reads
+    naturally as a prefix pattern); pass ``regex=True`` for full regular
+    expressions.
+    """
+
+    def __init__(self, pattern: str, regex: bool = False):
+        if not pattern:
+            raise SelectorError("device id pattern must be non-empty")
+        self.pattern = pattern
+        if regex:
+            try:
+                self._matcher = re.compile(pattern)
+            except re.error as exc:
+                raise SelectorError(f"bad device id regex {pattern!r}: {exc}") from exc
+        else:
+            self._matcher = re.compile(fnmatch.translate(pattern))
+
+    def keeps_record(self, record: RawPositioningRecord) -> bool:
+        return self._matcher.match(record.device_id) is not None
+
+
+class SpatialRangeRule(SelectionRule):
+    """Keep records inside a planar box, optionally on specific floors.
+
+    "one can select the positioning sequences that ... appear on the ground
+    floor in the target indoor space" (§2).
+    """
+
+    def __init__(self, bounds: BoundingBox | None = None, floors: list[int] | None = None):
+        if bounds is None and floors is None:
+            raise SelectorError("spatial rule needs bounds and/or floors")
+        self.bounds = bounds
+        self.floors = set(floors) if floors is not None else None
+
+    def keeps_record(self, record: RawPositioningRecord) -> bool:
+        if self.floors is not None and record.floor not in self.floors:
+            return False
+        if self.bounds is not None and not self.bounds.contains_point(
+            record.location
+        ):
+            return False
+        return True
+
+
+class TemporalRangeRule(SelectionRule):
+    """Keep records inside an absolute time window."""
+
+    def __init__(self, window: TimeRange):
+        self.window = window
+
+    def keeps_record(self, record: RawPositioningRecord) -> bool:
+        return self.window.contains(record.timestamp)
+
+
+class DailyHoursRule(SelectionRule):
+    """Keep records whose time-of-day falls in ``[open, close]`` seconds.
+
+    This is the walkthrough's "only appear during the mall's operating
+    hours 10:00 AM - 10:00 PM" selection applied to multi-day data.
+    """
+
+    def __init__(self, open_seconds: float, close_seconds: float):
+        if not 0 <= open_seconds < close_seconds <= DAY:
+            raise SelectorError(
+                f"invalid daily hours [{open_seconds}, {close_seconds}]"
+            )
+        self.open_seconds = open_seconds
+        self.close_seconds = close_seconds
+
+    def keeps_record(self, record: RawPositioningRecord) -> bool:
+        day_time = record.timestamp % DAY
+        return self.open_seconds <= day_time <= self.close_seconds
+
+
+class DurationRule(SelectionRule):
+    """Accept sequences lasting at least / at most the given seconds.
+
+    "one can select the positioning sequences that last for more than one
+    hour" (§2).
+    """
+
+    def __init__(self, min_seconds: float = 0.0, max_seconds: float = float("inf")):
+        if min_seconds < 0 or max_seconds < min_seconds:
+            raise SelectorError(
+                f"invalid duration bounds [{min_seconds}, {max_seconds}]"
+            )
+        self.min_seconds = min_seconds
+        self.max_seconds = max_seconds
+
+    def accepts_sequence(self, sequence: PositioningSequence) -> bool:
+        return self.min_seconds <= sequence.duration <= self.max_seconds
+
+
+class FrequencyRule(SelectionRule):
+    """Accept sequences by positioning frequency (records per minute)."""
+
+    def __init__(
+        self, min_per_minute: float = 0.0, max_per_minute: float = float("inf")
+    ):
+        if min_per_minute < 0 or max_per_minute < min_per_minute:
+            raise SelectorError(
+                f"invalid frequency bounds [{min_per_minute}, {max_per_minute}]"
+            )
+        self.min_per_minute = min_per_minute
+        self.max_per_minute = max_per_minute
+
+    def accepts_sequence(self, sequence: PositioningSequence) -> bool:
+        return self.min_per_minute <= sequence.frequency <= self.max_per_minute
+
+
+class RecordCountRule(SelectionRule):
+    """Accept sequences with at least / at most the given record count."""
+
+    def __init__(self, min_records: int = 1, max_records: int | None = None):
+        if min_records < 1 or (max_records is not None and max_records < min_records):
+            raise SelectorError(
+                f"invalid record count bounds [{min_records}, {max_records}]"
+            )
+        self.min_records = min_records
+        self.max_records = max_records
+
+    def accepts_sequence(self, sequence: PositioningSequence) -> bool:
+        count = len(sequence)
+        if count < self.min_records:
+            return False
+        return self.max_records is None or count <= self.max_records
+
+
+class PeriodicPatternRule(SelectionRule):
+    """Accept devices that reappear periodically.
+
+    The device must be present (have at least one record) in at least
+    ``min_periods`` distinct periods of ``period_seconds`` (default: days).
+    This captures the paper's "periodic pattern" rule — e.g. mall staff who
+    show up every day versus one-off visitors.
+    """
+
+    def __init__(self, min_periods: int, period_seconds: float = DAY):
+        if min_periods < 1:
+            raise SelectorError(f"min_periods must be >= 1, got {min_periods}")
+        if period_seconds <= 0:
+            raise SelectorError(
+                f"period_seconds must be positive, got {period_seconds}"
+            )
+        self.min_periods = min_periods
+        self.period_seconds = period_seconds
+
+    def accepts_sequence(self, sequence: PositioningSequence) -> bool:
+        periods = {int(t // self.period_seconds) for t in sequence.timestamps}
+        return len(periods) >= self.min_periods
+
+
+class DataSelector:
+    """Applies a rule tree to one or more data sources.
+
+    ``select`` streams records from every source, drops records the rule's
+    record-level predicates reject, groups the survivors into per-device
+    sequences (optionally splitting on long gaps so separate visits become
+    separate sequences), and finally applies the sequence-level predicates.
+    """
+
+    def __init__(
+        self,
+        sources: list[DataSource],
+        rule: SelectionRule | None = None,
+        visit_gap: float | None = None,
+    ):
+        if not sources:
+            raise SelectorError("DataSelector needs at least one source")
+        self.sources = list(sources)
+        self.rule = rule
+        self.visit_gap = visit_gap
+
+    def select(self) -> list[PositioningSequence]:
+        """The selected positioning sequences, in device order."""
+        kept: list[RawPositioningRecord] = []
+        for source in self.sources:
+            for record in source.iter_records():
+                if self.rule is None or self.rule.keeps_record(record):
+                    kept.append(record)
+        if not kept:
+            return []
+        sequences = PositioningSequence.group_records(kept)
+        if self.visit_gap is not None:
+            split: list[PositioningSequence] = []
+            for sequence in sequences:
+                split.extend(sequence.split_on_gaps(self.visit_gap))
+            sequences = split
+        if self.rule is not None:
+            sequences = [
+                s for s in sequences if self.rule.accepts_sequence(s)
+            ]
+        return sequences
+
+    def count_records(self) -> int:
+        """Total records across sources, before any filtering."""
+        return sum(1 for source in self.sources for _ in source.iter_records())

@@ -1,0 +1,113 @@
+"""Streaming positioning source: the paper's "streams APIs" input.
+
+A :class:`RecordStream` wraps any record iterator and exposes windowed
+consumption, so the Configurator can attach TRIPS to a live positioning
+feed and the Data Selector can still operate on bounded chunks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator
+
+from ..errors import DataSourceError
+from .record import RawPositioningRecord
+from .sequence import PositioningSequence
+
+
+class RecordStream:
+    """A pull-based stream of positioning records.
+
+    The stream is single-pass: records are consumed as they are read,
+    mirroring a network feed.  ``take``/``take_window`` return bounded
+    batches; ``drain`` empties the rest.
+    """
+
+    def __init__(self, records: Iterable[RawPositioningRecord]):
+        self._iterator: Iterator[RawPositioningRecord] = iter(records)
+        self._consumed = 0
+        self._pushed_back: list[RawPositioningRecord] = []
+
+    @property
+    def consumed(self) -> int:
+        """Number of records handed out so far."""
+        return self._consumed
+
+    def iter_records(self) -> Iterator[RawPositioningRecord]:
+        """DataSource protocol: yields the remaining records."""
+        while True:
+            record = self._next_or_none()
+            if record is None:
+                return
+            yield record
+
+    def take(self, count: int) -> list[RawPositioningRecord]:
+        """Up to ``count`` records (fewer when the stream ends)."""
+        if count < 0:
+            raise DataSourceError(f"take count must be >= 0, got {count}")
+        batch: list[RawPositioningRecord] = []
+        while len(batch) < count:
+            record = self._next_or_none()
+            if record is None:
+                break
+            batch.append(record)
+        return batch
+
+    def take_window(self, window_seconds: float) -> list[RawPositioningRecord]:
+        """Records until the stream's timestamps advance ``window_seconds``.
+
+        Assumes the feed is approximately time-ordered, as positioning
+        streams are.  The first record beyond the window is pushed back.
+        """
+        if window_seconds <= 0:
+            raise DataSourceError(
+                f"window must be positive, got {window_seconds}"
+            )
+        batch: list[RawPositioningRecord] = []
+        window_start: float | None = None
+        while True:
+            record = self._next_or_none()
+            if record is None:
+                break
+            if window_start is None:
+                window_start = record.timestamp
+            if record.timestamp - window_start > window_seconds:
+                self._pushed_back.append(record)
+                break
+            batch.append(record)
+        return batch
+
+    def drain(self) -> list[RawPositioningRecord]:
+        """All remaining records."""
+        return list(self.iter_records())
+
+    def _next_or_none(self) -> RawPositioningRecord | None:
+        if self._pushed_back:
+            record = self._pushed_back.pop()
+        else:
+            try:
+                record = next(self._iterator)
+            except StopIteration:
+                return None
+        self._consumed += 1
+        return record
+
+
+def windowed_sequences(
+    stream: RecordStream,
+    window_seconds: float,
+    on_window: Callable[[list[PositioningSequence]], None] | None = None,
+) -> Iterator[list[PositioningSequence]]:
+    """Yield per-device sequences for each consecutive stream window.
+
+    This is the incremental path: each window's records are grouped by
+    device and handed to the caller (or ``on_window``), letting the
+    Translator run continuously over a live feed.
+    """
+    while True:
+        batch = stream.take_window(window_seconds)
+        if not batch:
+            return
+        sequences = PositioningSequence.group_records(batch)
+        if on_window is not None:
+            on_window(sequences)
+        yield sequences

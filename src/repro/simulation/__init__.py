@@ -1,0 +1,39 @@
+"""Mobility simulator (substrate S6).
+
+Vita-style synthetic indoor mobility: agent profiles, DSM-constrained
+movement, the Wi-Fi positioning error model, and devices with aligned
+ground truth / raw data / ground-truth semantics.
+"""
+
+from .movement import MovementSimulator
+from .profiles import (
+    BROWSER,
+    PROFILE_PRESETS,
+    SHOPPER,
+    STAFF,
+    TRAVELER,
+    WORKER,
+    AgentProfile,
+)
+from .simulator import (
+    MobilitySimulator,
+    SimulatedDevice,
+    SimulationConfig,
+)
+from .wifi import PERFECT_CHANNEL, WifiErrorModel
+
+__all__ = [
+    "BROWSER",
+    "PERFECT_CHANNEL",
+    "PROFILE_PRESETS",
+    "SHOPPER",
+    "STAFF",
+    "TRAVELER",
+    "WORKER",
+    "AgentProfile",
+    "MobilitySimulator",
+    "MovementSimulator",
+    "SimulatedDevice",
+    "SimulationConfig",
+    "WifiErrorModel",
+]

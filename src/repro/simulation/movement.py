@@ -1,0 +1,189 @@
+"""Ground-truth movement generation: walking and dwelling.
+
+Produces densely-sampled, physically consistent trajectories: walking legs
+follow the DSM topology's door-respecting paths (so ground truth never cuts
+through walls), floor changes take time proportional to the stack cost, and
+dwells wander gently inside the region's footprint.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..dsm import DigitalSpaceModel
+from ..errors import SimulationError
+from ..geometry import Circle, Point, Polygon, shape_contains
+from ..positioning import RawPositioningRecord
+
+
+class MovementSimulator:
+    """Sample-level movement primitives shared by all agent profiles."""
+
+    def __init__(
+        self,
+        model: DigitalSpaceModel,
+        sample_interval: float = 2.0,
+    ):
+        if sample_interval <= 0:
+            raise SimulationError(
+                f"sample_interval must be positive, got {sample_interval}"
+            )
+        self.model = model
+        self.topology = model.topology
+        self.sample_interval = sample_interval
+
+    # ------------------------------------------------------------------
+    # Walking
+    # ------------------------------------------------------------------
+    def walk(
+        self,
+        device_id: str,
+        start: Point,
+        goal: Point,
+        speed: float,
+        start_time: float,
+    ) -> tuple[list[RawPositioningRecord], float]:
+        """Ground-truth samples of a walk; returns (samples, arrival_time).
+
+        The walk follows the topology's waypoints.  A leg between waypoints
+        on different floors consumes ``floor_change_cost`` metres-equivalent
+        per floor at the same walking speed.
+        """
+        if speed <= 0:
+            raise SimulationError(f"walk speed must be positive, got {speed}")
+        waypoints = self.topology.walking_path(start, goal)
+        if not waypoints:
+            # Unreachable goal: stand still for one sample so time advances.
+            return (
+                [RawPositioningRecord(start_time, device_id, start)],
+                start_time + self.sample_interval,
+            )
+        samples: list[RawPositioningRecord] = []
+        clock = start_time
+        for a, b in zip(waypoints, waypoints[1:]):
+            leg_distance = self._leg_distance(a, b)
+            if leg_distance <= 1e-9:
+                continue
+            leg_time = leg_distance / speed
+            steps = max(1, int(leg_time / self.sample_interval))
+            for step in range(steps):
+                fraction = (step + 1) / steps
+                moment = clock + leg_time * fraction
+                samples.append(
+                    RawPositioningRecord(
+                        moment, device_id, self._leg_point(a, b, fraction)
+                    )
+                )
+            clock += leg_time
+        if not samples:
+            samples = [RawPositioningRecord(start_time, device_id, goal)]
+        return samples, clock
+
+    def _leg_distance(self, a: Point, b: Point) -> float:
+        planar = a.planar_distance_to(b)
+        if a.floor == b.floor:
+            return planar
+        vertical = self.topology.floor_change_cost * abs(a.floor - b.floor)
+        return max(planar, vertical)
+
+    @staticmethod
+    def _leg_point(a: Point, b: Point, fraction: float) -> Point:
+        floor = a.floor if fraction < 0.5 else b.floor
+        return Point(
+            a.x + (b.x - a.x) * fraction,
+            a.y + (b.y - a.y) * fraction,
+            floor,
+        )
+
+    # ------------------------------------------------------------------
+    # Dwelling
+    # ------------------------------------------------------------------
+    def dwell(
+        self,
+        device_id: str,
+        region_id: str,
+        around: Point,
+        duration: float,
+        start_time: float,
+        rng: np.random.Generator,
+        wander_speed: float = 0.25,
+    ) -> tuple[list[RawPositioningRecord], float]:
+        """Samples of a dwell inside a region; returns (samples, end_time).
+
+        The agent drifts between random interior points at browsing speed,
+        which gives dwells the low-variance, low-straightness signature the
+        event identifier learns as *stay*.
+        """
+        if duration <= 0:
+            raise SimulationError(f"dwell duration must be positive, got {duration}")
+        shape = self._region_shape(region_id)
+        samples: list[RawPositioningRecord] = []
+        clock = start_time
+        position = around
+        target = self._interior_point(shape, around, rng)
+        end_time = start_time + duration
+        while clock < end_time:
+            clock = min(clock + self.sample_interval, end_time)
+            step = wander_speed * self.sample_interval
+            distance = position.planar_distance_to(target)
+            if distance <= step:
+                position = target
+                target = self._interior_point(shape, around, rng)
+            else:
+                fraction = step / distance
+                position = Point(
+                    position.x + (target.x - position.x) * fraction,
+                    position.y + (target.y - position.y) * fraction,
+                    position.floor,
+                )
+            samples.append(RawPositioningRecord(clock, device_id, position))
+        return samples, end_time
+
+    def region_entry_point(
+        self, region_id: str, rng: np.random.Generator
+    ) -> Point:
+        """A random interior point of the region, used as the walk goal."""
+        shape = self._region_shape(region_id)
+        anchor = self.model.region_anchor(region_id)
+        return self._interior_point(shape, anchor, rng)
+
+    def _region_shape(self, region_id: str):
+        region = self.model.region(region_id)
+        if region.shape is not None:
+            return region.shape
+        if region.entity_ids:
+            return self.model.entity(region.entity_ids[0]).shape
+        raise SimulationError(f"region {region_id!r} has no usable shape")
+
+    @staticmethod
+    def _interior_point(shape, fallback: Point, rng: np.random.Generator) -> Point:
+        """Rejection-sample a point inside the shape (fallback: anchor)."""
+        if isinstance(shape, Circle):
+            for _ in range(16):
+                angle = rng.uniform(0.0, 2.0 * math.pi)
+                radius = shape.radius * 0.85 * math.sqrt(rng.random())
+                candidate = Point(
+                    shape.center.x + radius * math.cos(angle),
+                    shape.center.y + radius * math.sin(angle),
+                    shape.floor,
+                )
+                if shape.contains_point(candidate):
+                    return candidate
+            return shape.center
+        if isinstance(shape, Polygon):
+            bounds = shape.bounds
+            for _ in range(32):
+                candidate = Point(
+                    rng.uniform(bounds.min_x, bounds.max_x),
+                    rng.uniform(bounds.min_y, bounds.max_y),
+                    shape.floor,
+                )
+                if shape.contains_point(candidate, include_boundary=False):
+                    # Shrink towards centroid so samples stay off the walls.
+                    return candidate.lerp(shape.centroid, 0.15)
+            return shape.centroid
+        if shape_contains(shape, fallback):
+            return fallback
+        return fallback

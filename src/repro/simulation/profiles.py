@@ -1,0 +1,104 @@
+"""Agent behavior profiles for the mobility simulator.
+
+Each profile shapes how a simulated device moves: how many regions it
+visits, how long it dwells, how fast it walks, and which region categories
+attract it.  The presets cover the paper's three motivating environments
+(mall shoppers, office workers, airport travelers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import SimulationError
+
+
+@dataclass(frozen=True)
+class AgentProfile:
+    """Behavioral parameters of one simulated device class."""
+
+    name: str
+    #: Inclusive range of target regions visited per session.
+    visits: tuple[int, int] = (3, 6)
+    #: Stay duration range in seconds at each visited region.
+    stay_duration: tuple[float, float] = (180.0, 900.0)
+    #: Walking speed range in m/s.
+    walk_speed: tuple[float, float] = (0.9, 1.5)
+    #: Category -> preference weight when choosing target regions.
+    category_weights: dict[str, float] = field(
+        default_factory=lambda: {"shop": 1.0}
+    )
+    #: Probability that a chosen target sits on a different floor.
+    floor_change_bias: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.visits[0] < 1 or self.visits[1] < self.visits[0]:
+            raise SimulationError(f"invalid visits range {self.visits}")
+        if self.stay_duration[0] <= 0 or self.stay_duration[1] < self.stay_duration[0]:
+            raise SimulationError(
+                f"invalid stay duration range {self.stay_duration}"
+            )
+        if self.walk_speed[0] <= 0 or self.walk_speed[1] < self.walk_speed[0]:
+            raise SimulationError(f"invalid walk speed range {self.walk_speed}")
+        if not self.category_weights:
+            raise SimulationError("profile needs at least one category weight")
+        if not 0.0 <= self.floor_change_bias <= 1.0:
+            raise SimulationError("floor_change_bias must be in [0, 1]")
+
+
+#: A typical mall shopper: several shops, medium dwells, cashier at the end.
+SHOPPER = AgentProfile(
+    name="shopper",
+    visits=(3, 7),
+    stay_duration=(240.0, 1200.0),
+    walk_speed=(0.9, 1.4),
+    category_weights={"shop": 3.0, "food": 1.0, "cashier": 0.4,
+                      "entertainment": 0.6},
+    floor_change_bias=0.35,
+)
+
+#: A window browser: many short visits, rarely buys.
+BROWSER = AgentProfile(
+    name="browser",
+    visits=(5, 10),
+    stay_duration=(60.0, 300.0),
+    walk_speed=(1.0, 1.6),
+    category_weights={"shop": 2.0, "food": 0.5, "entertainment": 1.0},
+    floor_change_bias=0.5,
+)
+
+#: Mall staff: few regions, very long dwells (their own unit).
+STAFF = AgentProfile(
+    name="staff",
+    visits=(1, 2),
+    stay_duration=(3600.0, 14400.0),
+    walk_speed=(1.1, 1.6),
+    category_weights={"shop": 1.0, "cashier": 1.0},
+    floor_change_bias=0.1,
+)
+
+#: Office worker: desk, meetings, kitchen.
+WORKER = AgentProfile(
+    name="worker",
+    visits=(3, 6),
+    stay_duration=(600.0, 5400.0),
+    walk_speed=(1.0, 1.5),
+    category_weights={"office": 3.0, "facility": 1.0},
+    floor_change_bias=0.25,
+)
+
+#: Airport traveler: security, a shop or two, the gate.
+TRAVELER = AgentProfile(
+    name="traveler",
+    visits=(2, 5),
+    stay_duration=(300.0, 2400.0),
+    walk_speed=(1.0, 1.7),
+    category_weights={"gate": 2.0, "shop": 1.0, "food": 1.0, "facility": 0.6},
+    floor_change_bias=0.4,
+)
+
+#: Registry for config-file lookups.
+PROFILE_PRESETS = {
+    profile.name: profile
+    for profile in (SHOPPER, BROWSER, STAFF, WORKER, TRAVELER)
+}

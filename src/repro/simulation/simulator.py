@@ -1,0 +1,303 @@
+"""The mobility simulator: synthetic devices with known ground truth.
+
+This is the Vita-style data substrate (the authors' own prior tool [7]
+generated indoor mobility data for real buildings): agents enter through an
+entrance, visit a profile-driven sequence of semantic regions, dwell, and
+leave.  Each simulated device yields three aligned artifacts:
+
+* dense **ground-truth** positions (what really happened),
+* **raw** positioning records (ground truth pushed through the Wi-Fi error
+  model — the Translator's input),
+* **ground-truth mobility semantics** (run-length region occupancy of the
+  true trajectory — what the Translator should recover).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.semantics import (
+    EVENT_PASS_BY,
+    EVENT_STAY,
+    MobilitySemantic,
+    MobilitySemanticsSequence,
+)
+from ..dsm import DigitalSpaceModel
+from ..errors import SimulationError
+from ..positioning import PositioningSequence, RawPositioningRecord
+from ..timeutil import TimeRange
+from .movement import MovementSimulator
+from .profiles import SHOPPER, AgentProfile
+from .wifi import WifiErrorModel
+
+
+@dataclass(frozen=True)
+class SimulatedDevice:
+    """Everything known about one synthetic device."""
+
+    device_id: str
+    profile_name: str
+    ground_truth: PositioningSequence
+    raw: PositioningSequence
+    truth_semantics: MobilitySemanticsSequence
+    visited_region_ids: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Global knobs of the simulator."""
+
+    sample_interval: float = 2.0
+    #: Ground-truth runs at least this long count as stays; shorter as pass-bys.
+    stay_threshold: float = 60.0
+    #: Ignore region runs shorter than this (boundary flicker).
+    min_run_duration: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.sample_interval <= 0:
+            raise SimulationError("sample_interval must be positive")
+        if self.stay_threshold <= 0:
+            raise SimulationError("stay_threshold must be positive")
+
+
+class MobilitySimulator:
+    """Simulates device visits inside one DSM."""
+
+    def __init__(
+        self,
+        model: DigitalSpaceModel,
+        error_model: WifiErrorModel | None = None,
+        config: SimulationConfig | None = None,
+        seed: int = 0,
+    ):
+        self.model = model
+        self.error_model = error_model if error_model is not None else WifiErrorModel()
+        self.config = config if config is not None else SimulationConfig()
+        self.seed = seed
+        self.movement = MovementSimulator(model, self.config.sample_interval)
+        self._entrances = [d for d in model.doors() if d.is_entrance]
+        if not self._entrances:
+            raise SimulationError(
+                f"DSM {model.name!r} has no entrance doors; flag at least one "
+                "door with the 'entrance' property"
+            )
+        self._targets = self._target_regions()
+        if not self._targets:
+            raise SimulationError(
+                f"DSM {model.name!r} has no non-hallway regions to visit"
+            )
+
+    def _target_regions(self) -> list[str]:
+        targets = []
+        for region in self.model.regions():
+            if region.category == "hallway":
+                continue
+            targets.append(region.region_id)
+        return targets
+
+    # ------------------------------------------------------------------
+    # Single device
+    # ------------------------------------------------------------------
+    def simulate_device(
+        self,
+        device_id: str,
+        profile: AgentProfile = SHOPPER,
+        start_time: float = 0.0,
+        seed: int | None = None,
+    ) -> SimulatedDevice:
+        """Simulate one device session (enter -> visits -> exit)."""
+        rng = np.random.default_rng(self.seed if seed is None else seed)
+        entrance = self._entrances[int(rng.integers(0, len(self._entrances)))]
+        start = self._entry_position(entrance)
+        itinerary = self._choose_itinerary(profile, start.floor, rng)
+        speed = float(rng.uniform(*profile.walk_speed))
+
+        samples: list[RawPositioningRecord] = [
+            RawPositioningRecord(start_time, device_id, start)
+        ]
+        clock = start_time
+        position = start
+        for region_id in itinerary:
+            goal = self.movement.region_entry_point(region_id, rng)
+            walk_samples, clock = self.movement.walk(
+                device_id, position, goal, speed, clock
+            )
+            samples.extend(walk_samples)
+            position = samples[-1].location
+            dwell_duration = float(rng.uniform(*profile.stay_duration))
+            dwell_samples, clock = self.movement.dwell(
+                device_id, region_id, position, dwell_duration, clock, rng
+            )
+            samples.extend(dwell_samples)
+            position = samples[-1].location
+        exit_samples, clock = self.movement.walk(
+            device_id, position, start, speed, clock
+        )
+        samples.extend(exit_samples)
+
+        ground_truth = PositioningSequence(device_id, self._dedup_times(samples))
+        raw = self.error_model.observe(
+            ground_truth,
+            self.model.floor_numbers,
+            seed=int(rng.integers(0, 2**31 - 1)),
+        )
+        truth_semantics = self.derive_truth_semantics(ground_truth)
+        return SimulatedDevice(
+            device_id=device_id,
+            profile_name=profile.name,
+            ground_truth=ground_truth,
+            raw=raw,
+            truth_semantics=truth_semantics,
+            visited_region_ids=tuple(itinerary),
+        )
+
+    # ------------------------------------------------------------------
+    # Population
+    # ------------------------------------------------------------------
+    def simulate_population(
+        self,
+        count: int,
+        profiles: list[AgentProfile] | None = None,
+        window: TimeRange | None = None,
+        seed: int | None = None,
+    ) -> list[SimulatedDevice]:
+        """Simulate ``count`` devices with staggered arrival times.
+
+        Device ids follow the paper's anonymized-MAC look (``3a.x.14``).
+        """
+        if count < 1:
+            raise SimulationError(f"population count must be >= 1, got {count}")
+        rng = np.random.default_rng(self.seed if seed is None else seed)
+        chosen_profiles = profiles if profiles else [SHOPPER]
+        window = window if window is not None else TimeRange(0.0, 8 * 3600.0)
+        devices = []
+        for index in range(count):
+            profile = chosen_profiles[int(rng.integers(0, len(chosen_profiles)))]
+            arrival = float(rng.uniform(window.start, max(window.start + 1.0,
+                                                          window.end - 1800.0)))
+            device_id = f"3a.{index:04x}.14"
+            devices.append(
+                self.simulate_device(
+                    device_id,
+                    profile,
+                    start_time=arrival,
+                    seed=int(rng.integers(0, 2**31 - 1)),
+                )
+            )
+        return devices
+
+    # ------------------------------------------------------------------
+    # Ground-truth semantics
+    # ------------------------------------------------------------------
+    def derive_truth_semantics(
+        self, ground_truth: PositioningSequence
+    ) -> MobilitySemanticsSequence:
+        """Run-length region occupancy of the true trajectory.
+
+        Runs lasting at least ``stay_threshold`` become ``stay``; shorter
+        ones become ``pass-by``; sub-``min_run_duration`` flickers are
+        dropped.
+        """
+        runs: list[tuple[str, str, float, float]] = []
+        current_id: str | None = None
+        current_name = ""
+        run_start = 0.0
+        last_time = 0.0
+        for record in ground_truth:
+            region = self.model.primary_region_at(record.location)
+            region_id = region.region_id if region is not None else None
+            if region_id != current_id:
+                if current_id is not None:
+                    runs.append((current_id, current_name, run_start, last_time))
+                current_id = region_id
+                current_name = region.name if region is not None else ""
+                run_start = record.timestamp
+            last_time = record.timestamp
+        if current_id is not None:
+            runs.append((current_id, current_name, run_start, last_time))
+
+        semantics = []
+        for region_id, region_name, start, end in runs:
+            duration = end - start
+            if duration < self.config.min_run_duration:
+                continue
+            event = EVENT_STAY if duration >= self.config.stay_threshold else EVENT_PASS_BY
+            semantics.append(
+                MobilitySemantic(
+                    event=event,
+                    region_id=region_id,
+                    region_name=region_name,
+                    time_range=TimeRange(start, end),
+                )
+            )
+        return MobilitySemanticsSequence(ground_truth.device_id, semantics)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _entry_position(self, entrance) -> "Point":
+        from ..geometry import Point
+
+        anchor = entrance.anchor
+        partition = self.model.partition_at(anchor)
+        if partition is not None:
+            return anchor
+        snapped = self.model.nearest_partition(anchor, max_distance=5.0)
+        if snapped is None:
+            raise SimulationError(
+                f"entrance {entrance.entity_id!r} is not near walkable space"
+            )
+        target = snapped[0].anchor
+        return Point(
+            anchor.x + (target.x - anchor.x) * 0.1,
+            anchor.y + (target.y - anchor.y) * 0.1,
+            anchor.floor,
+        )
+
+    def _choose_itinerary(
+        self, profile: AgentProfile, start_floor: int, rng: np.random.Generator
+    ) -> list[str]:
+        count = int(rng.integers(profile.visits[0], profile.visits[1] + 1))
+        weights = []
+        for region_id in self._targets:
+            region = self.model.region(region_id)
+            weight = profile.category_weights.get(region.category, 0.05)
+            floor = self.model.region_floor(region_id)
+            if floor != start_floor:
+                # Far floors are less likely unless the profile roams.
+                distance = abs(floor - start_floor)
+                weight *= profile.floor_change_bias ** min(distance, 2)
+            weights.append(weight)
+        total = sum(weights)
+        if total <= 0:
+            raise SimulationError("no region matches the profile's preferences")
+        probabilities = np.array(weights) / total
+        chosen = rng.choice(
+            len(self._targets),
+            size=min(count, len(self._targets)),
+            replace=False,
+            p=probabilities,
+        )
+        return [self._targets[int(i)] for i in chosen]
+
+    @staticmethod
+    def _dedup_times(
+        samples: list[RawPositioningRecord],
+        min_spacing: float = 0.5,
+    ) -> list[RawPositioningRecord]:
+        """Drop samples closer than ``min_spacing`` to the previous one.
+
+        Walk/dwell seams can emit near-coincident samples whose tiny time
+        delta turns an ordinary step into an apparent speed spike; thinning
+        them keeps the ground truth consistent with the speed constraint.
+        """
+        out: list[RawPositioningRecord] = []
+        for record in samples:
+            if out and record.timestamp - out[-1].timestamp < min_spacing:
+                continue
+            out.append(record)
+        if len(out) < 2 and samples:
+            out = [samples[0], samples[-1]]
+        return out

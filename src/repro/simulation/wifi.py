@@ -1,0 +1,129 @@
+"""Wi-Fi positioning error model.
+
+Converts dense ground-truth movement into the kind of data a mall Wi-Fi
+positioning system actually produces: sparser, jittered sampling; Gaussian
+planar noise; occasional floor misreads; heavy-tailed outlier jumps; and
+missing fixes.  These are precisely the error classes the paper's cleaning
+layer targets ("such locations feature inherently errors and such
+timestamps are discrete", §1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..positioning import PositioningSequence, RawPositioningRecord
+
+
+@dataclass(frozen=True)
+class WifiErrorModel:
+    """Parameters of the synthetic positioning channel."""
+
+    #: Std-dev of isotropic Gaussian planar noise (metres).
+    sigma: float = 1.2
+    #: Probability a fix reports a wrong floor.
+    floor_error_rate: float = 0.03
+    #: Probability a fix teleports by ~``outlier_magnitude``.
+    outlier_rate: float = 0.01
+    outlier_magnitude: float = 25.0
+    #: Probability a scheduled fix is simply missing.
+    dropout_rate: float = 0.05
+    #: Mean / jitter of the sampling interval (seconds).
+    interval_mean: float = 5.0
+    interval_jitter: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0:
+            raise SimulationError(f"sigma must be >= 0, got {self.sigma}")
+        for rate_name in ("floor_error_rate", "outlier_rate", "dropout_rate"):
+            rate = getattr(self, rate_name)
+            if not 0.0 <= rate <= 1.0:
+                raise SimulationError(f"{rate_name} must be in [0, 1], got {rate}")
+        if self.interval_mean <= 0:
+            raise SimulationError("interval_mean must be positive")
+        if self.outlier_magnitude <= 0:
+            raise SimulationError("outlier_magnitude must be positive")
+
+    def observe(
+        self,
+        ground_truth: PositioningSequence,
+        floors: list[int],
+        seed: int = 0,
+    ) -> PositioningSequence:
+        """Produce the raw positioning sequence a Wi-Fi system would log.
+
+        Fix times advance by a jittered interval; each fix reads the
+        nearest ground-truth sample and corrupts it.  At least two fixes
+        always survive so downstream sequence invariants hold.
+        """
+        rng = np.random.default_rng(seed)
+        truth = ground_truth.records
+        times = ground_truth.timestamps
+        records: list[RawPositioningRecord] = []
+        cursor = times[0]
+        end = times[-1]
+        while cursor <= end:
+            if rng.random() >= self.dropout_rate:
+                nearest = self._nearest_index(times, cursor)
+                records.append(
+                    self._corrupt(truth[nearest], cursor, floors, rng)
+                )
+            step = rng.normal(self.interval_mean, self.interval_jitter)
+            cursor += max(0.5, step)
+        if len(records) < 2:
+            first = self._corrupt(truth[0], times[0], floors, rng)
+            last = self._corrupt(truth[-1], times[-1], floors, rng)
+            records = [first, last]
+        return PositioningSequence(ground_truth.device_id, records)
+
+    @staticmethod
+    def _nearest_index(times: list[float], moment: float) -> int:
+        import bisect
+
+        position = bisect.bisect_left(times, moment)
+        if position == 0:
+            return 0
+        if position >= len(times):
+            return len(times) - 1
+        before, after = times[position - 1], times[position]
+        return position if after - moment < moment - before else position - 1
+
+    def _corrupt(
+        self,
+        truth: RawPositioningRecord,
+        at_time: float,
+        floors: list[int],
+        rng: np.random.Generator,
+    ) -> RawPositioningRecord:
+        location = truth.location
+        if self.sigma > 0:
+            dx, dy = rng.normal(0.0, self.sigma, size=2)
+            location = location.translate(float(dx), float(dy))
+        if rng.random() < self.outlier_rate:
+            angle = rng.uniform(0.0, 2.0 * np.pi)
+            jump = self.outlier_magnitude * (0.6 + 0.8 * rng.random())
+            location = location.translate(
+                float(jump * np.cos(angle)), float(jump * np.sin(angle))
+            )
+        if len(floors) > 1 and rng.random() < self.floor_error_rate:
+            wrong = [f for f in floors if f != location.floor]
+            location = location.with_floor(int(rng.choice(wrong)))
+        return RawPositioningRecord(
+            timestamp=at_time,
+            device_id=truth.device_id,
+            location=location,
+        )
+
+
+#: A clean channel for debugging and unit tests.
+PERFECT_CHANNEL = WifiErrorModel(
+    sigma=0.0,
+    floor_error_rate=0.0,
+    outlier_rate=0.0,
+    dropout_rate=0.0,
+    interval_mean=5.0,
+    interval_jitter=0.0,
+)

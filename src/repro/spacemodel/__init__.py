@@ -1,0 +1,38 @@
+"""Space Modeler (substrate S3).
+
+The headless drawing tool of paper Figure 2: a canvas with polygons,
+polylines, circles, doors and stack connectors; undo/redo, snapping,
+layers/groups and styles; a semantic tag library; the canvas-to-DSM
+builder; and an ASCII floorplan parser as the semi-automatic import path.
+"""
+
+from .ascii_plan import AsciiFloorplanParser, ParsedFloor, RoomLegend
+from .builder import build_dsm
+from .canvas import DrawingCanvas, FloorplanImage
+from .commands import (
+    AddShape,
+    Command,
+    CommandStack,
+    RemoveShape,
+    ReplaceShape,
+)
+from .shapes import DrawnShape, ShapeStyle
+from .tags import DEFAULT_STYLES, TagLibrary
+
+__all__ = [
+    "DEFAULT_STYLES",
+    "AddShape",
+    "AsciiFloorplanParser",
+    "Command",
+    "CommandStack",
+    "DrawingCanvas",
+    "DrawnShape",
+    "FloorplanImage",
+    "ParsedFloor",
+    "RemoveShape",
+    "ReplaceShape",
+    "RoomLegend",
+    "ShapeStyle",
+    "TagLibrary",
+    "build_dsm",
+]

@@ -1,0 +1,360 @@
+"""ASCII floorplan parser: the semi-automatic DSM import path.
+
+"In many applications, the only information provided is a floorplan image
+without any meta-data.  In such a case, we need a semi-automatic tool to
+assist creating the DSM" (paper §3).  Headless, the closest equivalent of
+tracing a raster image is parsing a character grid:
+
+* ``#``  wall (non-walkable)
+* ``.``  hallway / corridor cell
+* ``A-Z`` room cell (contiguous same letters form one room)
+* ``D``  door cell (walkable; connects the adjacent room to the corridor)
+* ``S`` / ``V`` staircase / elevator cell (walkable, stacked across floors)
+* ``@``  building entrance door cell (walkable, on the outer boundary)
+
+A legend maps room letters to ``(display name, semantic tag)`` so parsed
+rooms become tagged — i.e. semantic regions — in one pass.  Walkable mass
+is decomposed into maximal rectangles; adjacent rectangles are joined by
+auto-generated opening "doors" so the derived topology is connected exactly
+where the drawing is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..dsm import EntityKind
+from ..errors import DSMError
+from ..geometry import Point
+from .canvas import DrawingCanvas
+
+#: Cells the parser treats as corridor-walkable.
+_CORRIDOR_CHARS = {".", "D", "@", "S", "V"}
+_ROOM_DOOR_CHAR = "D"
+_ENTRANCE_CHAR = "@"
+_STAIR_CHAR = "S"
+_ELEVATOR_CHAR = "V"
+_WALL_CHAR = "#"
+
+
+@dataclass(frozen=True)
+class RoomLegend:
+    """Display name and semantic tag for one room letter."""
+
+    name: str
+    tag: str | None = None
+
+
+@dataclass
+class ParsedFloor:
+    """The canvas plus bookkeeping produced from one ASCII grid."""
+
+    canvas: DrawingCanvas
+    room_shape_ids: dict[str, str] = field(default_factory=dict)
+    door_count: int = 0
+    corridor_count: int = 0
+
+
+class AsciiFloorplanParser:
+    """Parses character-grid floorplans into drawing canvases."""
+
+    def __init__(self, cell_size: float = 2.0, hall_tag: str | None = "hall"):
+        if cell_size <= 0:
+            raise DSMError(f"cell_size must be positive, got {cell_size}")
+        self.cell_size = cell_size
+        self.hall_tag = hall_tag
+
+    def parse(
+        self,
+        grid: list[str],
+        floor: int,
+        legend: dict[str, RoomLegend] | None = None,
+    ) -> ParsedFloor:
+        """Parse one floor's grid into a ready-to-build canvas."""
+        rows = self._normalize(grid)
+        legend = legend or {}
+        canvas = DrawingCanvas(floor)
+        canvas.import_floorplan(
+            f"ascii-floor-{floor}",
+            len(rows[0]) * self.cell_size,
+            len(rows) * self.cell_size,
+        )
+        parsed = ParsedFloor(canvas=canvas)
+        self._trace_rooms(rows, canvas, legend, parsed)
+        self._trace_corridors(rows, canvas, parsed)
+        self._trace_doors(rows, canvas, parsed)
+        self._trace_connectors(rows, canvas, floor)
+        return parsed
+
+    # ------------------------------------------------------------------
+    # Grid handling
+    # ------------------------------------------------------------------
+    def _normalize(self, grid: list[str]) -> list[str]:
+        if not grid:
+            raise DSMError("empty ASCII floorplan")
+        width = max(len(row) for row in grid)
+        if width == 0:
+            raise DSMError("ASCII floorplan has zero width")
+        return [row.ljust(width, _WALL_CHAR) for row in grid]
+
+    def _cell_rect(
+        self, col0: int, row0: int, col1: int, row1: int, n_rows: int
+    ) -> tuple[float, float, float, float]:
+        """Metric rectangle of cells [col0..col1] x [row0..row1] (inclusive).
+
+        Grid row 0 is the top of the drawing; y grows upward in metric
+        space, so rows are flipped.
+        """
+        size = self.cell_size
+        min_x = col0 * size
+        max_x = (col1 + 1) * size
+        min_y = (n_rows - row1 - 1) * size
+        max_y = (n_rows - row0) * size
+        return min_x, min_y, max_x, max_y
+
+    def _cell_center(self, col: int, row: int, n_rows: int) -> tuple[float, float]:
+        size = self.cell_size
+        return (
+            (col + 0.5) * size,
+            (n_rows - row - 0.5) * size,
+        )
+
+    # ------------------------------------------------------------------
+    # Rooms
+    # ------------------------------------------------------------------
+    def _trace_rooms(
+        self,
+        rows: list[str],
+        canvas: DrawingCanvas,
+        legend: dict[str, RoomLegend],
+        parsed: ParsedFloor,
+    ) -> None:
+        n_rows = len(rows)
+        letters = sorted(
+            {
+                ch
+                for row in rows
+                for ch in row
+                if ch.isalpha()
+                and ch
+                not in (_ROOM_DOOR_CHAR, _STAIR_CHAR, _ELEVATOR_CHAR)
+            }
+        )
+        for letter in letters:
+            cells = [
+                (col, row)
+                for row, line in enumerate(rows)
+                for col, ch in enumerate(line)
+                if ch == letter
+            ]
+            min_col = min(c for c, _ in cells)
+            max_col = max(c for c, _ in cells)
+            min_row = min(r for _, r in cells)
+            max_row = max(r for _, r in cells)
+            expected = (max_col - min_col + 1) * (max_row - min_row + 1)
+            if expected != len(cells):
+                raise DSMError(
+                    f"room {letter!r} is not rectangular "
+                    f"({len(cells)} cells in a {expected}-cell bounding box)"
+                )
+            rect = self._cell_rect(min_col, min_row, max_col, max_row, n_rows)
+            entry = legend.get(letter, RoomLegend(name=f"Room {letter}"))
+            drawn = canvas.draw_rectangle(
+                *rect, kind=EntityKind.ROOM, name=entry.name, layer="rooms"
+            )
+            if entry.tag is not None:
+                canvas.assign_tag(drawn.shape_id, entry.tag)
+            parsed.room_shape_ids[letter] = drawn.shape_id
+
+    # ------------------------------------------------------------------
+    # Corridors (maximal-rectangle decomposition of walkable mass)
+    # ------------------------------------------------------------------
+    def _trace_corridors(
+        self, rows: list[str], canvas: DrawingCanvas, parsed: ParsedFloor
+    ) -> None:
+        n_rows = len(rows)
+        n_cols = len(rows[0])
+        walkable = [
+            [rows[r][c] in _CORRIDOR_CHARS for c in range(n_cols)]
+            for r in range(n_rows)
+        ]
+        used = [[False] * n_cols for _ in range(n_rows)]
+        rectangles: list[tuple[int, int, int, int]] = []
+        for row in range(n_rows):
+            for col in range(n_cols):
+                if not walkable[row][col] or used[row][col]:
+                    continue
+                # Extend right.
+                end_col = col
+                while end_col + 1 < n_cols and walkable[row][end_col + 1] and (
+                    not used[row][end_col + 1]
+                ):
+                    end_col += 1
+                # Extend down while the identical run stays walkable/unused.
+                end_row = row
+                while end_row + 1 < n_rows and all(
+                    walkable[end_row + 1][c] and not used[end_row + 1][c]
+                    for c in range(col, end_col + 1)
+                ):
+                    end_row += 1
+                for r in range(row, end_row + 1):
+                    for c in range(col, end_col + 1):
+                        used[r][c] = True
+                rectangles.append((col, row, end_col, end_row))
+        # Draw hallway partitions.
+        shape_ids: list[str] = []
+        for index, (col0, row0, col1, row1) in enumerate(rectangles):
+            rect = self._cell_rect(col0, row0, col1, row1, n_rows)
+            drawn = canvas.draw_rectangle(
+                *rect,
+                kind=EntityKind.HALLWAY,
+                name=f"Corridor {index + 1}",
+                layer="corridors",
+            )
+            if self.hall_tag is not None:
+                canvas.assign_tag(drawn.shape_id, self.hall_tag)
+            shape_ids.append(drawn.shape_id)
+        parsed.corridor_count = len(rectangles)
+        # Openings between adjacent corridor rectangles.
+        self._join_adjacent_rectangles(rectangles, canvas, n_rows, parsed)
+
+    def _join_adjacent_rectangles(
+        self,
+        rectangles: list[tuple[int, int, int, int]],
+        canvas: DrawingCanvas,
+        n_rows: int,
+        parsed: ParsedFloor,
+    ) -> None:
+        size = self.cell_size
+        for i, a in enumerate(rectangles):
+            for b in rectangles[i + 1 :]:
+                edge = self._shared_edge(a, b)
+                if edge is None:
+                    continue
+                axis, fixed, lo, hi = edge
+                mid = (lo + hi + 1) / 2.0
+                if axis == "h":  # horizontal shared edge at grid row `fixed`
+                    x = mid * size
+                    y = (n_rows - fixed) * size
+                else:  # vertical shared edge at grid col `fixed`
+                    x = fixed * size
+                    y = (n_rows - mid) * size
+                canvas.draw_door((x, y), name="opening", snap=False)
+                parsed.door_count += 1
+
+    @staticmethod
+    def _shared_edge(
+        a: tuple[int, int, int, int], b: tuple[int, int, int, int]
+    ) -> tuple[str, int, int, int] | None:
+        a_col0, a_row0, a_col1, a_row1 = a
+        b_col0, b_row0, b_col1, b_row1 = b
+        # b directly below a (shared horizontal edge).
+        if b_row0 == a_row1 + 1 or a_row0 == b_row1 + 1:
+            fixed = max(a_row0, b_row0)
+            lo = max(a_col0, b_col0)
+            hi = min(a_col1, b_col1)
+            if lo <= hi:
+                return ("h", fixed, lo, hi)
+        # b directly right of a (shared vertical edge).
+        if b_col0 == a_col1 + 1 or a_col0 == b_col1 + 1:
+            fixed = max(a_col0, b_col0)
+            lo = max(a_row0, b_row0)
+            hi = min(a_row1, b_row1)
+            if lo <= hi:
+                return ("v", fixed, lo, hi)
+        return None
+
+    # ------------------------------------------------------------------
+    # Doors
+    # ------------------------------------------------------------------
+    def _trace_doors(
+        self, rows: list[str], canvas: DrawingCanvas, parsed: ParsedFloor
+    ) -> None:
+        n_rows = len(rows)
+        n_cols = len(rows[0])
+        for row, line in enumerate(rows):
+            for col, ch in enumerate(line):
+                if ch == _ROOM_DOOR_CHAR:
+                    placed = self._place_room_door(
+                        rows, canvas, col, row, n_rows, n_cols
+                    )
+                    if not placed:
+                        raise DSMError(
+                            f"door cell at ({col}, {row}) touches no room"
+                        )
+                    parsed.door_count += 1
+                elif ch == _ENTRANCE_CHAR:
+                    x, y = self._cell_center(col, row, n_rows)
+                    canvas.draw_door((x, y), name="entrance", entrance=True,
+                                     snap=False)
+                    parsed.door_count += 1
+
+    def _place_room_door(
+        self,
+        rows: list[str],
+        canvas: DrawingCanvas,
+        col: int,
+        row: int,
+        n_rows: int,
+        n_cols: int,
+    ) -> bool:
+        """Place the door point on the edge shared with the adjacent room."""
+        size = self.cell_size
+        neighbors = [
+            (col, row - 1, "top"),
+            (col, row + 1, "bottom"),
+            (col - 1, row, "left"),
+            (col + 1, row, "right"),
+        ]
+        for n_col, n_row, side in neighbors:
+            if not (0 <= n_row < n_rows and 0 <= n_col < n_cols):
+                continue
+            ch = rows[n_row][n_col]
+            is_room = ch.isalpha() and ch not in (
+                _ROOM_DOOR_CHAR,
+                _STAIR_CHAR,
+                _ELEVATOR_CHAR,
+            )
+            if not is_room:
+                continue
+            # The anchor sits a quarter cell inside the corridor (the D
+            # cell), so corridor walking paths never run exactly on the
+            # room boundary line.
+            center_x, center_y = self._cell_center(col, row, n_rows)
+            if side == "top":
+                point = (center_x, center_y + size / 4.0)
+            elif side == "bottom":
+                point = (center_x, center_y - size / 4.0)
+            elif side == "left":
+                point = (center_x - size / 4.0, center_y)
+            else:
+                point = (center_x + size / 4.0, center_y)
+            canvas.draw_door(point, snap=False)
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Vertical connectors
+    # ------------------------------------------------------------------
+    def _trace_connectors(
+        self, rows: list[str], canvas: DrawingCanvas, floor: int
+    ) -> None:
+        n_rows = len(rows)
+        for row, line in enumerate(rows):
+            for col, ch in enumerate(line):
+                if ch == _STAIR_CHAR:
+                    x, y = self._cell_center(col, row, n_rows)
+                    canvas.draw_stack_connector(
+                        (x, y),
+                        stack=f"stair-{col}-{row}",
+                        kind=EntityKind.STAIRCASE,
+                        radius=self.cell_size * 0.4,
+                    )
+                elif ch == _ELEVATOR_CHAR:
+                    x, y = self._cell_center(col, row, n_rows)
+                    canvas.draw_stack_connector(
+                        (x, y),
+                        stack=f"elevator-{col}-{row}",
+                        kind=EntityKind.ELEVATOR,
+                        radius=self.cell_size * 0.4,
+                    )

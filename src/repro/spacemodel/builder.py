@@ -1,0 +1,107 @@
+"""Canvas-to-DSM builder: the final step of Space Modeler's workflow.
+
+"Once the three steps are done, the system reads the drawn indoor entities'
+geometric properties and semantic tags, and computes the topological
+relations between the entities and those between the semantic regions"
+(paper §3).  The builder converts every drawn shape with an entity kind
+into an :class:`IndoorEntity`; tagged partitions additionally produce
+:class:`SemanticRegion` records mapped to their entity; tagged shapes
+*without* an entity kind become explicit-shape regions (a region drawn over
+multiple rooms).
+"""
+
+from __future__ import annotations
+
+from ..dsm import (
+    DigitalSpaceModel,
+    IndoorEntity,
+    SemanticRegion,
+    validate_dsm,
+)
+from ..errors import DSMError
+from ..geometry import Circle, Polygon
+from .canvas import DrawingCanvas
+from .tags import TagLibrary
+
+
+def build_dsm(
+    canvases: list[DrawingCanvas],
+    name: str = "indoor-space",
+    tags: TagLibrary | None = None,
+    validate: bool = True,
+    description: str = "",
+) -> DigitalSpaceModel:
+    """Assemble a DSM from one drawing canvas per floor.
+
+    Topology is computed lazily by the DSM itself; with ``validate=True``
+    (the default) structural validation runs before the model is returned,
+    so a broken drawing fails here rather than mid-translation.
+    """
+    if not canvases:
+        raise DSMError("build_dsm needs at least one canvas")
+    floors = [c.floor for c in canvases]
+    if len(set(floors)) != len(floors):
+        raise DSMError(f"duplicate canvas floors: {sorted(floors)}")
+    library = tags if tags is not None else TagLibrary.mall_defaults()
+    model = DigitalSpaceModel(name=name, description=description)
+    for canvas in sorted(canvases, key=lambda c: c.floor):
+        model.add_floor(canvas.floor, canvas.name)
+        _add_canvas(model, canvas, library)
+    if validate:
+        validate_dsm(model, require_connected=False)
+    return model
+
+
+def _add_canvas(
+    model: DigitalSpaceModel, canvas: DrawingCanvas, library: TagLibrary
+) -> None:
+    region_counter = 0
+    for drawn in canvas.shapes():
+        if drawn.kind is not None:
+            entity = IndoorEntity(
+                entity_id=drawn.shape_id,
+                kind=drawn.kind,
+                shape=drawn.shape,
+                name=drawn.name,
+                properties=dict(drawn.properties),
+            )
+            model.add_entity(entity)
+            if drawn.semantic_tag is not None and drawn.kind.is_partition:
+                region_counter += 1
+                tag = _resolve_tag(model, library, drawn.semantic_tag)
+                model.add_region(
+                    SemanticRegion(
+                        region_id=f"r-{drawn.shape_id}",
+                        name=drawn.name or drawn.shape_id,
+                        tag=tag,
+                        entity_ids=(drawn.shape_id,),
+                    )
+                )
+        elif drawn.semantic_tag is not None:
+            # Region-only drawing: an explicit area over existing entities.
+            if not isinstance(drawn.shape, (Polygon, Circle)):
+                raise DSMError(
+                    f"region-only shape {drawn.shape_id!r} must be an area "
+                    f"shape, got {type(drawn.shape).__name__}"
+                )
+            region_counter += 1
+            tag = _resolve_tag(model, library, drawn.semantic_tag)
+            model.add_region(
+                SemanticRegion(
+                    region_id=f"r-{drawn.shape_id}",
+                    name=drawn.name or drawn.shape_id,
+                    tag=tag,
+                    shape=drawn.shape,
+                )
+            )
+
+
+def _resolve_tag(model: DigitalSpaceModel, library: TagLibrary, tag_name: str):
+    if tag_name in library:
+        tag = library.get(tag_name)
+    else:
+        from ..dsm import SemanticTag
+
+        tag = SemanticTag(tag_name)
+    model.register_tag(tag)
+    return tag

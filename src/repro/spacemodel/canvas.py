@@ -1,0 +1,335 @@
+"""The Space Modeler's drawing canvas (headless).
+
+This is the programmatic equivalent of the paper's drawing tool
+(Figure 2): import a floorplan, trace it with polygons / polylines /
+circles, edit with undo/redo and snapping, organize shapes into layers and
+groups, and attach semantic tags.  The product is a set of
+:class:`DrawnShape` objects the builder converts into a DSM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dsm import EntityKind
+from ..errors import DSMError
+from ..geometry import Circle, Point, Polygon, Polyline, Segment, Shape
+from .commands import AddShape, CommandStack, RemoveShape, ReplaceShape
+from .shapes import DrawnShape, ShapeStyle
+
+
+@dataclass(frozen=True)
+class FloorplanImage:
+    """Metadata of an imported floorplan raster (the tracing background)."""
+
+    name: str
+    width: float
+    height: float
+    floor: int
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise DSMError("floorplan image needs positive dimensions")
+
+
+class DrawingCanvas:
+    """A per-floor drawing surface with full edit history."""
+
+    def __init__(self, floor: int, name: str = ""):
+        self.floor = floor
+        self.name = name or f"floor-{floor}"
+        self.floorplan: FloorplanImage | None = None
+        self._shapes: dict[str, DrawnShape] = {}
+        self._stack = CommandStack()
+        self._counter = 0
+        self.snap_tolerance = 0.25
+
+    # ------------------------------------------------------------------
+    # Step (1): import the floorplan image
+    # ------------------------------------------------------------------
+    def import_floorplan(
+        self, name: str, width: float, height: float
+    ) -> FloorplanImage:
+        """Attach the background image the analyst traces over."""
+        self.floorplan = FloorplanImage(name, width, height, self.floor)
+        return self.floorplan
+
+    # ------------------------------------------------------------------
+    # Step (2): trace with geometric elements
+    # ------------------------------------------------------------------
+    def draw_polygon(
+        self,
+        points: list[tuple[float, float]],
+        kind: EntityKind | None = None,
+        name: str = "",
+        layer: str = "default",
+        style: ShapeStyle | None = None,
+        snap: bool = True,
+    ) -> DrawnShape:
+        """Draw a polygon; vertices may snap to existing geometry."""
+        vertices = [self._to_point(x, y, snap) for x, y in points]
+        return self._add(Polygon(vertices), kind, name, layer, style)
+
+    def draw_rectangle(
+        self,
+        min_x: float,
+        min_y: float,
+        max_x: float,
+        max_y: float,
+        kind: EntityKind | None = None,
+        name: str = "",
+        layer: str = "default",
+        style: ShapeStyle | None = None,
+    ) -> DrawnShape:
+        """Draw an axis-aligned rectangle (the most common trace)."""
+        return self._add(
+            Polygon.rectangle(min_x, min_y, max_x, max_y, self.floor),
+            kind,
+            name,
+            layer,
+            style,
+        )
+
+    def draw_polyline(
+        self,
+        points: list[tuple[float, float]],
+        kind: EntityKind | None = EntityKind.WALL,
+        name: str = "",
+        layer: str = "default",
+        style: ShapeStyle | None = None,
+        snap: bool = True,
+    ) -> DrawnShape:
+        """Draw an open polyline (walls, usually)."""
+        vertices = [self._to_point(x, y, snap) for x, y in points]
+        return self._add(Polyline(vertices), kind, name, layer, style)
+
+    def draw_circle(
+        self,
+        center: tuple[float, float],
+        radius: float,
+        kind: EntityKind | None = None,
+        name: str = "",
+        layer: str = "default",
+        style: ShapeStyle | None = None,
+    ) -> DrawnShape:
+        """Draw a circle (kiosks, pillars, round regions)."""
+        return self._add(
+            Circle(Point(center[0], center[1], self.floor), radius),
+            kind,
+            name,
+            layer,
+            style,
+        )
+
+    def draw_door(
+        self,
+        at: tuple[float, float],
+        name: str = "",
+        entrance: bool = False,
+        snap: bool = True,
+    ) -> DrawnShape:
+        """Place a door point, optionally flagged as a building entrance."""
+        point = self._to_point(at[0], at[1], snap)
+        shape = self._add(point, EntityKind.DOOR, name, "doors", None)
+        if entrance:
+            updated = shape.with_tag(shape.semantic_tag)
+            updated = DrawnShape(
+                shape_id=shape.shape_id,
+                shape=shape.shape,
+                kind=shape.kind,
+                name=shape.name,
+                layer=shape.layer,
+                group=shape.group,
+                style=shape.style,
+                semantic_tag=shape.semantic_tag,
+                properties={**shape.properties, "entrance": True},
+            )
+            self._stack.execute(ReplaceShape(shape.shape_id, updated), self)
+            return updated
+        return shape
+
+    def draw_stack_connector(
+        self,
+        at: tuple[float, float],
+        stack: str,
+        kind: EntityKind = EntityKind.STAIRCASE,
+        radius: float = 1.5,
+        name: str = "",
+    ) -> DrawnShape:
+        """Place a staircase/elevator footprint bound to a shaft id."""
+        if not kind.is_vertical_connector:
+            raise DSMError(f"{kind.value} is not a vertical connector")
+        shape = Circle(Point(at[0], at[1], self.floor), radius)
+        drawn = DrawnShape(
+            shape_id=self._next_id(kind.value),
+            shape=shape,
+            kind=kind,
+            name=name or f"{kind.value}-{stack}",
+            layer="connectors",
+            properties={"stack": stack},
+        )
+        self._stack.execute(AddShape(drawn), self)
+        return drawn
+
+    # ------------------------------------------------------------------
+    # Edit mode: move / resize / rename / style / layer / group
+    # ------------------------------------------------------------------
+    def move_shape(self, shape_id: str, dx: float, dy: float) -> DrawnShape:
+        """Translate a shape (free-transformation edit mode)."""
+        shape = self.get(shape_id)
+        geometry = self._translated(shape.shape, dx, dy)
+        replacement = shape.with_shape(geometry)
+        self._stack.execute(ReplaceShape(shape_id, replacement), self)
+        return replacement
+
+    def rename_shape(self, shape_id: str, name: str) -> DrawnShape:
+        """Change a shape's display name."""
+        replacement = self.get(shape_id).with_name(name)
+        self._stack.execute(ReplaceShape(shape_id, replacement), self)
+        return replacement
+
+    def set_style(self, shape_id: str, style: ShapeStyle) -> DrawnShape:
+        """Apply a custom style to one shape."""
+        replacement = self.get(shape_id).with_style(style)
+        self._stack.execute(ReplaceShape(shape_id, replacement), self)
+        return replacement
+
+    def set_layer(self, shape_id: str, layer: str) -> DrawnShape:
+        """Move a shape to another layer."""
+        replacement = self.get(shape_id).with_layer(layer)
+        self._stack.execute(ReplaceShape(shape_id, replacement), self)
+        return replacement
+
+    def group_shapes(self, shape_ids: list[str], group: str) -> None:
+        """Assign shapes to a named group (group control)."""
+        for shape_id in shape_ids:
+            replacement = self.get(shape_id).with_group(group)
+            self._stack.execute(ReplaceShape(shape_id, replacement), self)
+
+    def delete_shape(self, shape_id: str) -> None:
+        """Remove a shape (undoable)."""
+        self.get(shape_id)  # raises on unknown id
+        self._stack.execute(RemoveShape(shape_id), self)
+
+    # ------------------------------------------------------------------
+    # Step (3): attach semantic tags
+    # ------------------------------------------------------------------
+    def assign_tag(
+        self, shape_id: str, tag: str, name: str | None = None
+    ) -> DrawnShape:
+        """Attach a semantic tag (and optionally rename in the same action).
+
+        Tagged area shapes become semantic regions when the DSM is built.
+        """
+        shape = self.get(shape_id)
+        replacement = shape.with_tag(tag)
+        if name is not None:
+            replacement = replacement.with_name(name)
+        self._stack.execute(ReplaceShape(shape_id, replacement), self)
+        return replacement
+
+    # ------------------------------------------------------------------
+    # History
+    # ------------------------------------------------------------------
+    def undo(self) -> bool:
+        """Undo the last drawing action."""
+        return self._stack.undo(self)
+
+    def redo(self) -> bool:
+        """Redo the last undone action."""
+        return self._stack.redo(self)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def get(self, shape_id: str) -> DrawnShape:
+        """The drawn shape with the given id."""
+        try:
+            return self._shapes[shape_id]
+        except KeyError:
+            raise DSMError(f"unknown shape id: {shape_id!r}") from None
+
+    def shapes(
+        self, layer: str | None = None, group: str | None = None
+    ) -> list[DrawnShape]:
+        """All shapes, optionally filtered by layer/group, in id order."""
+        found = [
+            s
+            for s in self._shapes.values()
+            if (layer is None or s.layer == layer)
+            and (group is None or s.group == group)
+        ]
+        found.sort(key=lambda s: s.shape_id)
+        return found
+
+    def layers(self) -> list[str]:
+        """Distinct layer names in use."""
+        return sorted({s.layer for s in self._shapes.values()})
+
+    def __len__(self) -> int:
+        return len(self._shapes)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _add(
+        self,
+        geometry: Shape,
+        kind: EntityKind | None,
+        name: str,
+        layer: str,
+        style: ShapeStyle | None,
+    ) -> DrawnShape:
+        drawn = DrawnShape(
+            shape_id=self._next_id(kind.value if kind else "shape"),
+            shape=geometry,
+            kind=kind,
+            name=name,
+            layer=layer,
+            style=style if style is not None else ShapeStyle(),
+        )
+        self._stack.execute(AddShape(drawn), self)
+        return drawn
+
+    def _next_id(self, prefix: str) -> str:
+        self._counter += 1
+        return f"f{self.floor}-{prefix}-{self._counter}"
+
+    def _to_point(self, x: float, y: float, snap: bool) -> Point:
+        point = Point(x, y, self.floor)
+        if snap:
+            snapped = self.auto_adjust(point)
+            if snapped is not None:
+                return snapped
+        return point
+
+    def auto_adjust(self, point: Point) -> Point | None:
+        """The auto-adjust hint: snap to a nearby existing vertex."""
+        best: Point | None = None
+        best_distance = self.snap_tolerance
+        for shape in self._shapes.values():
+            for vertex in self._vertices(shape.shape):
+                distance = vertex.planar_distance_to(point)
+                if 0.0 < distance <= best_distance:
+                    best, best_distance = vertex, distance
+        return best
+
+    @staticmethod
+    def _vertices(shape: Shape) -> list[Point]:
+        if isinstance(shape, Point):
+            return [shape]
+        if isinstance(shape, Segment):
+            return [shape.a, shape.b]
+        if isinstance(shape, (Polygon, Polyline)):
+            return list(shape.vertices)
+        if isinstance(shape, Circle):
+            return [shape.center]
+        return []
+
+    @staticmethod
+    def _translated(shape: Shape, dx: float, dy: float) -> Shape:
+        if isinstance(shape, Point):
+            return shape.translate(dx, dy)
+        if isinstance(shape, Segment):
+            return Segment(shape.a.translate(dx, dy), shape.b.translate(dx, dy))
+        return shape.translate(dx, dy)

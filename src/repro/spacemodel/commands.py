@@ -1,0 +1,125 @@
+"""Undo/redo command stack for the drawing canvas.
+
+"Multiple features are available to facilitate the drawing, such as
+keyboard shortcuts, redo/undo, auto-adjust hint, edit-mode of free
+transformation/resizing/moving, and layer/group control" (paper §3).  Every
+canvas mutation goes through a :class:`Command`, so undo/redo is exact by
+construction.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING
+
+from ..errors import DSMError
+from .shapes import DrawnShape
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .canvas import DrawingCanvas
+
+
+class Command(ABC):
+    """One reversible canvas mutation."""
+
+    @abstractmethod
+    def apply(self, canvas: "DrawingCanvas") -> None:
+        """Perform the mutation."""
+
+    @abstractmethod
+    def revert(self, canvas: "DrawingCanvas") -> None:
+        """Exactly undo the mutation."""
+
+
+class AddShape(Command):
+    """Insert a new drawn shape."""
+
+    def __init__(self, shape: DrawnShape):
+        self.shape = shape
+
+    def apply(self, canvas: "DrawingCanvas") -> None:
+        canvas._shapes[self.shape.shape_id] = self.shape
+
+    def revert(self, canvas: "DrawingCanvas") -> None:
+        del canvas._shapes[self.shape.shape_id]
+
+
+class RemoveShape(Command):
+    """Delete an existing drawn shape."""
+
+    def __init__(self, shape_id: str):
+        self.shape_id = shape_id
+        self._removed: DrawnShape | None = None
+
+    def apply(self, canvas: "DrawingCanvas") -> None:
+        self._removed = canvas._shapes.pop(self.shape_id)
+
+    def revert(self, canvas: "DrawingCanvas") -> None:
+        assert self._removed is not None
+        canvas._shapes[self.shape_id] = self._removed
+
+
+class ReplaceShape(Command):
+    """Swap a shape for an edited copy (move, resize, retag, restyle...)."""
+
+    def __init__(self, shape_id: str, replacement: DrawnShape):
+        if shape_id != replacement.shape_id:
+            raise DSMError("replacement must keep the shape id")
+        self.shape_id = shape_id
+        self.replacement = replacement
+        self._original: DrawnShape | None = None
+
+    def apply(self, canvas: "DrawingCanvas") -> None:
+        self._original = canvas._shapes[self.shape_id]
+        canvas._shapes[self.shape_id] = self.replacement
+
+    def revert(self, canvas: "DrawingCanvas") -> None:
+        assert self._original is not None
+        canvas._shapes[self.shape_id] = self._original
+
+
+class CommandStack:
+    """Classic undo/redo stack with a bounded history."""
+
+    def __init__(self, limit: int = 1000):
+        if limit < 1:
+            raise DSMError(f"history limit must be >= 1, got {limit}")
+        self.limit = limit
+        self._done: list[Command] = []
+        self._undone: list[Command] = []
+
+    def execute(self, command: Command, canvas: "DrawingCanvas") -> None:
+        """Apply a command and make it undoable; clears the redo branch."""
+        command.apply(canvas)
+        self._done.append(command)
+        if len(self._done) > self.limit:
+            self._done.pop(0)
+        self._undone.clear()
+
+    def undo(self, canvas: "DrawingCanvas") -> bool:
+        """Revert the most recent command; False when nothing to undo."""
+        if not self._done:
+            return False
+        command = self._done.pop()
+        command.revert(canvas)
+        self._undone.append(command)
+        return True
+
+    def redo(self, canvas: "DrawingCanvas") -> bool:
+        """Re-apply the most recently undone command."""
+        if not self._undone:
+            return False
+        command = self._undone.pop()
+        command.apply(canvas)
+        self._done.append(command)
+        return True
+
+    @property
+    def can_undo(self) -> bool:
+        """True when the undo stack is non-empty."""
+        return bool(self._done)
+
+    @property
+    def can_redo(self) -> bool:
+        """True when the redo stack is non-empty."""
+        return bool(self._undone)

@@ -1,0 +1,79 @@
+"""Drawn shapes: what lives on the Space Modeler's canvas.
+
+A drawn shape couples footprint geometry with presentation state (style,
+layer, group) and semantic intent (target entity kind, semantic tag) — the
+same information the paper's drawing tool collects before the DSM is built
+(Figure 2, steps 2–3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..dsm import EntityKind
+from ..errors import DSMError
+from ..geometry import Shape
+
+
+@dataclass(frozen=True)
+class ShapeStyle:
+    """Presentation style applied per semantic tag or per shape."""
+
+    fill: str = "#d0d0d0"
+    stroke: str = "#404040"
+    stroke_width: float = 0.15
+    opacity: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.opacity <= 1.0:
+            raise DSMError(f"opacity must be in [0, 1], got {self.opacity}")
+
+
+@dataclass(frozen=True)
+class DrawnShape:
+    """One element drawn on the canvas."""
+
+    shape_id: str
+    shape: Shape
+    kind: EntityKind | None = None
+    name: str = ""
+    layer: str = "default"
+    group: str | None = None
+    style: ShapeStyle = field(default_factory=ShapeStyle)
+    semantic_tag: str | None = None
+    properties: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.shape_id:
+            raise DSMError("drawn shape requires a non-empty id")
+
+    @property
+    def floor(self) -> int:
+        """The floor the geometry lies on."""
+        from ..geometry import shape_floor
+
+        return shape_floor(self.shape)
+
+    def with_shape(self, shape: Shape) -> "DrawnShape":
+        """A copy with different geometry (move/resize edits)."""
+        return replace(self, shape=shape)
+
+    def with_tag(self, tag: str | None) -> "DrawnShape":
+        """A copy with a different semantic tag."""
+        return replace(self, semantic_tag=tag)
+
+    def with_style(self, style: ShapeStyle) -> "DrawnShape":
+        """A copy with a different style."""
+        return replace(self, style=style)
+
+    def with_name(self, name: str) -> "DrawnShape":
+        """A copy with a different display name."""
+        return replace(self, name=name)
+
+    def with_layer(self, layer: str) -> "DrawnShape":
+        """A copy on a different layer."""
+        return replace(self, layer=layer)
+
+    def with_group(self, group: str | None) -> "DrawnShape":
+        """A copy in a different group."""
+        return replace(self, group=group)

@@ -1,0 +1,140 @@
+"""Semantic tag library for the Space Modeler.
+
+The drawing tool's semantic tab ("Load and attach the semantic tags to the
+drawn entities", paper §3) loads tags from a reusable library; analysts can
+add their own and give each tag a display style so tagged entities render
+distinctly on the map view.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..dsm import SemanticTag
+from ..errors import DSMError
+from .shapes import ShapeStyle
+
+#: Default styles keyed by tag category.
+DEFAULT_STYLES = {
+    "shop": ShapeStyle(fill="#ffd9a0", stroke="#b87700", opacity=0.85),
+    "cashier": ShapeStyle(fill="#ffb3b3", stroke="#a03030", opacity=0.85),
+    "hallway": ShapeStyle(fill="#eef2f5", stroke="#8899aa", opacity=0.6),
+    "facility": ShapeStyle(fill="#c9e7c9", stroke="#2f7a2f", opacity=0.8),
+    "food": ShapeStyle(fill="#ffe0ef", stroke="#aa3377", opacity=0.85),
+    "entertainment": ShapeStyle(fill="#d7c9f2", stroke="#5533aa", opacity=0.85),
+    "office": ShapeStyle(fill="#cfe0f5", stroke="#2a5599", opacity=0.85),
+    "gate": ShapeStyle(fill="#f5ddc9", stroke="#995522", opacity=0.85),
+    "generic": ShapeStyle(fill="#e0e0e0", stroke="#606060", opacity=0.7),
+}
+
+
+class TagLibrary:
+    """A named collection of semantic tags with styles."""
+
+    def __init__(self, tags: list[SemanticTag] | None = None):
+        self._tags: dict[str, SemanticTag] = {}
+        for tag in tags or []:
+            self.add(tag)
+
+    @classmethod
+    def mall_defaults(cls) -> "TagLibrary":
+        """The tag set a shopping-mall deployment starts from."""
+        return cls(
+            [
+                SemanticTag("shop", "shop", "shop"),
+                SemanticTag("cashier", "cashier", "cashier"),
+                SemanticTag("hall", "hallway", "hallway"),
+                SemanticTag("restroom", "facility", "facility"),
+                SemanticTag("restaurant", "food", "food"),
+                SemanticTag("cinema", "entertainment", "entertainment"),
+                SemanticTag("service-desk", "facility", "facility"),
+            ]
+        )
+
+    @classmethod
+    def office_defaults(cls) -> "TagLibrary":
+        """The tag set an office deployment starts from."""
+        return cls(
+            [
+                SemanticTag("workspace", "office", "office"),
+                SemanticTag("meeting-room", "office", "office"),
+                SemanticTag("kitchen", "facility", "facility"),
+                SemanticTag("reception", "facility", "facility"),
+                SemanticTag("hall", "hallway", "hallway"),
+            ]
+        )
+
+    @classmethod
+    def airport_defaults(cls) -> "TagLibrary":
+        """The tag set an airport deployment starts from."""
+        return cls(
+            [
+                SemanticTag("gate", "gate", "gate"),
+                SemanticTag("security", "facility", "facility"),
+                SemanticTag("duty-free", "shop", "shop"),
+                SemanticTag("restaurant", "food", "food"),
+                SemanticTag("lounge", "facility", "facility"),
+                SemanticTag("hall", "hallway", "hallway"),
+            ]
+        )
+
+    def add(self, tag: SemanticTag) -> SemanticTag:
+        """Register a tag (duplicates rejected)."""
+        if tag.name in self._tags:
+            raise DSMError(f"tag {tag.name!r} already in library")
+        self._tags[tag.name] = tag
+        return tag
+
+    def get(self, name: str) -> SemanticTag:
+        """Look up a tag by name."""
+        try:
+            return self._tags[name]
+        except KeyError:
+            raise DSMError(f"unknown semantic tag: {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tags
+
+    def __len__(self) -> int:
+        return len(self._tags)
+
+    @property
+    def tags(self) -> list[SemanticTag]:
+        """All tags sorted by name."""
+        return [self._tags[k] for k in sorted(self._tags)]
+
+    def style_for(self, tag_name: str) -> ShapeStyle:
+        """The display style of a tag (category default, generic fallback)."""
+        if tag_name in self._tags:
+            category = self._tags[tag_name].category
+            return DEFAULT_STYLES.get(category, DEFAULT_STYLES["generic"])
+        return DEFAULT_STYLES["generic"]
+
+    # ------------------------------------------------------------------
+    # Persistence ("Load ... the semantic tags")
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        """Write the library to a JSON file."""
+        payload = [
+            {"name": t.name, "category": t.category, "style": t.style}
+            for t in self.tags
+        ]
+        Path(path).write_text(json.dumps(payload, indent=2), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "TagLibrary":
+        """Read a library from a JSON file."""
+        try:
+            payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise DSMError(f"cannot read tag library {path}: {exc}") from exc
+        return cls(
+            [
+                SemanticTag(
+                    item["name"], item.get("category", "generic"),
+                    item.get("style", ""),
+                )
+                for item in payload
+            ]
+        )

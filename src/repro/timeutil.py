@@ -1,0 +1,181 @@
+"""Time handling shared across the library.
+
+Internally every timestamp is a ``float`` of seconds since the Unix epoch
+(UTC) and every time span is a closed interval ``[start, end]``.  This module
+provides parsing/formatting helpers for the human-facing notations used in
+the TRIPS paper (``1:02:05pm``-style clock strings and ISO-8601), plus a
+small :class:`TimeRange` value type used by the viewer's timeline and by the
+temporal annotations of mobility semantics.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import re
+from dataclasses import dataclass
+
+from .errors import TripsError
+
+#: Seconds in common units, for readable parameter defaults.
+SECOND = 1.0
+MINUTE = 60.0
+HOUR = 3600.0
+DAY = 86400.0
+
+_CLOCK_RE = re.compile(
+    r"^\s*(\d{1,2}):(\d{2})(?::(\d{2}))?\s*(am|pm|AM|PM)?\s*$"
+)
+
+
+def parse_clock(text: str, base_day: float = 0.0) -> float:
+    """Parse a clock string like ``"1:02:05pm"`` or ``"13:02:05"``.
+
+    ``base_day`` is the epoch timestamp of the midnight the clock time is
+    relative to; the default of ``0.0`` yields seconds-into-day values,
+    which is what the examples and benchmarks use.
+    """
+    match = _CLOCK_RE.match(text)
+    if match is None:
+        raise TripsError(f"unparseable clock string: {text!r}")
+    hour = int(match.group(1))
+    minute = int(match.group(2))
+    second = int(match.group(3) or 0)
+    meridiem = match.group(4)
+    if meridiem is not None:
+        meridiem = meridiem.lower()
+        if not 1 <= hour <= 12:
+            raise TripsError(f"hour out of range for 12h clock: {text!r}")
+        if meridiem == "pm" and hour != 12:
+            hour += 12
+        elif meridiem == "am" and hour == 12:
+            hour = 0
+    if not (0 <= hour <= 23 and 0 <= minute <= 59 and 0 <= second <= 59):
+        raise TripsError(f"clock fields out of range: {text!r}")
+    return base_day + hour * HOUR + minute * MINUTE + second
+
+
+def format_clock(timestamp: float, twelve_hour: bool = True) -> str:
+    """Format seconds-into-day as a paper-style clock string.
+
+    >>> format_clock(parse_clock("1:02:05pm"))
+    '1:02:05pm'
+    """
+    day_seconds = timestamp % DAY
+    hour = int(day_seconds // HOUR)
+    minute = int(day_seconds % HOUR // MINUTE)
+    second = int(day_seconds % MINUTE)
+    if not twelve_hour:
+        return f"{hour:02d}:{minute:02d}:{second:02d}"
+    meridiem = "am" if hour < 12 else "pm"
+    display_hour = hour % 12
+    if display_hour == 0:
+        display_hour = 12
+    return f"{display_hour}:{minute:02d}:{second:02d}{meridiem}"
+
+
+def parse_iso(text: str) -> float:
+    """Parse an ISO-8601 datetime (naive values are taken as UTC)."""
+    try:
+        parsed = _dt.datetime.fromisoformat(text)
+    except ValueError as exc:
+        raise TripsError(f"unparseable ISO datetime: {text!r}") from exc
+    if parsed.tzinfo is None:
+        parsed = parsed.replace(tzinfo=_dt.timezone.utc)
+    return parsed.timestamp()
+
+
+def format_iso(timestamp: float) -> str:
+    """Format an epoch timestamp as an ISO-8601 UTC string."""
+    moment = _dt.datetime.fromtimestamp(timestamp, tz=_dt.timezone.utc)
+    return moment.isoformat().replace("+00:00", "Z")
+
+
+@dataclass(frozen=True, order=True)
+class TimeRange:
+    """A closed time interval ``[start, end]`` in epoch seconds.
+
+    Ordered by ``(start, end)`` so sorting a list of ranges yields timeline
+    order.  Used both for temporal annotations of mobility semantics and for
+    viewer timeline entries.
+    """
+
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise TripsError(
+                f"TimeRange end ({self.end}) precedes start ({self.start})"
+            )
+
+    @property
+    def duration(self) -> float:
+        """Length of the interval in seconds."""
+        return self.end - self.start
+
+    @property
+    def middle(self) -> float:
+        """Temporal midpoint, used by the temporally-middle display policy."""
+        return (self.start + self.end) / 2.0
+
+    def contains(self, timestamp: float) -> bool:
+        """True if ``timestamp`` falls inside the closed interval."""
+        return self.start <= timestamp <= self.end
+
+    def overlaps(self, other: "TimeRange") -> bool:
+        """True if the two closed intervals share at least one instant."""
+        return self.start <= other.end and other.start <= self.end
+
+    def intersection(self, other: "TimeRange") -> "TimeRange | None":
+        """The overlapping sub-interval, or None when disjoint."""
+        if not self.overlaps(other):
+            return None
+        return TimeRange(max(self.start, other.start), min(self.end, other.end))
+
+    def union_span(self, other: "TimeRange") -> "TimeRange":
+        """The smallest interval covering both (ignores any gap between)."""
+        return TimeRange(min(self.start, other.start), max(self.end, other.end))
+
+    def iou(self, other: "TimeRange") -> float:
+        """Interval intersection-over-union, used by assessment metrics."""
+        inter = self.intersection(other)
+        if inter is None:
+            return 0.0
+        union = self.union_span(other).duration
+        if union == 0.0:
+            # Two identical zero-length instants overlap perfectly.
+            return 1.0
+        return inter.duration / union
+
+    def shift(self, offset: float) -> "TimeRange":
+        """A copy translated by ``offset`` seconds."""
+        return TimeRange(self.start + offset, self.end + offset)
+
+    def clip(self, bounds: "TimeRange") -> "TimeRange | None":
+        """This range clipped to ``bounds``, or None if fully outside."""
+        return self.intersection(bounds)
+
+    def format(self, twelve_hour: bool = True) -> str:
+        """Paper-style rendering, e.g. ``1:02:05-1:18:15pm``."""
+        start_text = format_clock(self.start, twelve_hour)
+        end_text = format_clock(self.end, twelve_hour)
+        if twelve_hour and start_text[-2:] == end_text[-2:]:
+            return f"{start_text[:-2]}-{end_text}"
+        return f"{start_text}-{end_text}"
+
+
+def ranges_cover(ranges: list[TimeRange]) -> float:
+    """Total covered duration of possibly-overlapping ranges (merged)."""
+    if not ranges:
+        return 0.0
+    ordered = sorted(ranges)
+    total = 0.0
+    current_start, current_end = ordered[0].start, ordered[0].end
+    for rng in ordered[1:]:
+        if rng.start <= current_end:
+            current_end = max(current_end, rng.end)
+        else:
+            total += current_end - current_start
+            current_start, current_end = rng.start, rng.end
+    total += current_end - current_start
+    return total

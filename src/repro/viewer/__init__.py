@@ -1,0 +1,38 @@
+"""Viewer engine (substrate S9).
+
+The headless counterpart of the paper's Viewer: the timeline-of-entries
+abstraction with display-point policies, the SVG map view with per-source
+overlays and visibility toggles, synchronized selection, floor switching,
+ASCII rendering and animated playback.
+"""
+
+from .ascii_map import render_ascii
+from .mapview import SOURCE_COLORS, LegendPanel, MapView
+from .session import AnimationFrame, ViewerSession
+from .svg import SvgDocument
+from .timeline import (
+    DataSourceKind,
+    DisplayPointPolicy,
+    Timeline,
+    TimelineEntry,
+    build_timelines,
+    timeline_from_positioning,
+    timeline_from_semantics,
+)
+
+__all__ = [
+    "SOURCE_COLORS",
+    "AnimationFrame",
+    "DataSourceKind",
+    "DisplayPointPolicy",
+    "LegendPanel",
+    "MapView",
+    "SvgDocument",
+    "Timeline",
+    "TimelineEntry",
+    "ViewerSession",
+    "build_timelines",
+    "render_ascii",
+    "timeline_from_positioning",
+    "timeline_from_semantics",
+]

@@ -1,0 +1,76 @@
+"""ASCII rendering of a floor: the terminal-friendly map view.
+
+Useful in tests and examples where inspecting SVG text is awkward: rooms
+print as letter blocks, corridors as dots, doors as ``+``, stairs as ``S``,
+and overlay points as ``*``.
+"""
+
+from __future__ import annotations
+
+from ..dsm import DigitalSpaceModel, EntityKind
+from ..errors import ViewerError
+from ..geometry import Point
+
+
+def render_ascii(
+    model: DigitalSpaceModel,
+    floor: int,
+    cell_size: float = 2.0,
+    overlay: list[Point] | None = None,
+) -> str:
+    """A character-grid rendering of one floor."""
+    if cell_size <= 0:
+        raise ViewerError(f"cell_size must be positive, got {cell_size}")
+    bounds = model.floor_bounds(floor)
+    n_cols = max(1, int(bounds.width / cell_size + 0.5))
+    n_rows = max(1, int(bounds.height / cell_size + 0.5))
+    grid = [["#"] * n_cols for _ in range(n_rows)]
+
+    def cell_of(point: Point) -> tuple[int, int] | None:
+        col = int((point.x - bounds.min_x) / cell_size)
+        row = int((bounds.max_y - point.y) / cell_size)
+        if 0 <= row < n_rows and 0 <= col < n_cols:
+            return row, col
+        return None
+
+    room_letters = _room_letters(model, floor)
+    for row in range(n_rows):
+        for col in range(n_cols):
+            x = bounds.min_x + (col + 0.5) * cell_size
+            y = bounds.max_y - (row + 0.5) * cell_size
+            partition = model.partition_at(Point(x, y, floor))
+            if partition is None:
+                continue
+            if partition.kind is EntityKind.HALLWAY:
+                grid[row][col] = "."
+            else:
+                grid[row][col] = room_letters.get(partition.entity_id, "o")
+
+    for connector in model.vertical_connectors(floor):
+        cell = cell_of(connector.anchor)
+        if cell is not None:
+            grid[cell[0]][cell[1]] = (
+                "S" if connector.kind is EntityKind.STAIRCASE else "V"
+            )
+    for door in model.doors(floor):
+        cell = cell_of(door.anchor)
+        if cell is not None:
+            grid[cell[0]][cell[1]] = "@" if door.is_entrance else "+"
+    for point in overlay or []:
+        if point.floor != floor:
+            continue
+        cell = cell_of(point)
+        if cell is not None:
+            grid[cell[0]][cell[1]] = "*"
+    return "\n".join("".join(row) for row in grid)
+
+
+def _room_letters(model: DigitalSpaceModel, floor: int) -> dict[str, str]:
+    letters = {}
+    alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz"
+    index = 0
+    for entity in model.partitions(floor):
+        if entity.kind is EntityKind.ROOM:
+            letters[entity.entity_id] = alphabet[index % len(alphabet)]
+            index += 1
+    return letters

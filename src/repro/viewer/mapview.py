@@ -1,0 +1,285 @@
+"""The Indoor Map Visualizer and Mobility Data Visualizer.
+
+Renders one floor of the DSM plus any subset of the four mobility data
+sources onto an SVG map view (paper Figure 4): entities and semantic
+regions with tooltips, per-source trajectory overlays, semantics markers at
+their display points, and the legend panel's visibility toggles.  Floor
+switching is a parameter of ``render``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..dsm import DigitalSpaceModel, EntityKind
+from ..errors import ViewerError
+from ..geometry import Circle, Point, Polygon, Polyline, Segment
+from .svg import SvgDocument
+from .timeline import DataSourceKind, Timeline, TimelineEntry
+
+#: Per-source overlay colors (raw red, cleaned blue, truth green,
+#: semantics amber) — one color per legend row.
+SOURCE_COLORS = {
+    DataSourceKind.RAW: "#d62728",
+    DataSourceKind.CLEANED: "#1f77b4",
+    DataSourceKind.GROUND_TRUTH: "#2ca02c",
+    DataSourceKind.SEMANTICS: "#ff9900",
+}
+
+_KIND_FILL = {
+    EntityKind.ROOM: "#f2ede4",
+    EntityKind.HALLWAY: "#e8eef2",
+    EntityKind.OBSTACLE: "#b0a89e",
+    EntityKind.STAIRCASE: "#c9d8c9",
+    EntityKind.ELEVATOR: "#c9cfe0",
+}
+
+
+@dataclass
+class LegendPanel:
+    """Visibility toggles per data source (the left panel in Figure 4)."""
+
+    _visible: dict[DataSourceKind, bool] = field(
+        default_factory=lambda: {kind: True for kind in DataSourceKind}
+    )
+
+    def toggle(self, source: DataSourceKind) -> bool:
+        """Flip a source's visibility; returns the new state."""
+        self._visible[source] = not self._visible[source]
+        return self._visible[source]
+
+    def set_visible(self, source: DataSourceKind, visible: bool) -> None:
+        """Set a source's visibility explicitly."""
+        self._visible[source] = visible
+
+    def is_visible(self, source: DataSourceKind) -> bool:
+        """Current visibility of a source."""
+        return self._visible.get(source, True)
+
+    def visible_sources(self) -> list[DataSourceKind]:
+        """Sources currently shown, in enum order."""
+        return [k for k in DataSourceKind if self._visible.get(k, True)]
+
+
+class MapView:
+    """Renders floors of one DSM with mobility-data overlays."""
+
+    def __init__(
+        self,
+        model: DigitalSpaceModel,
+        scale: float = 6.0,
+        margin: float = 2.0,
+    ):
+        if scale <= 0:
+            raise ViewerError(f"scale must be positive, got {scale}")
+        self.model = model
+        self.scale = scale
+        self.margin = margin
+        self.legend = LegendPanel()
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def render(
+        self,
+        floor: int,
+        timelines: dict[DataSourceKind, Timeline] | None = None,
+        selection: list[TimelineEntry] | None = None,
+        show_labels: bool = True,
+    ) -> SvgDocument:
+        """One floor as an SVG document with the visible overlays.
+
+        ``selection`` (from a synchronized timeline click) is rendered
+        highlighted on top of everything else.
+        """
+        if floor not in self.model.floor_numbers:
+            raise ViewerError(f"model has no floor {floor}")
+        bounds = self.model.floor_bounds(floor).expand(self.margin)
+        width = bounds.width * self.scale
+        height = bounds.height * self.scale
+        doc = SvgDocument(width=width, height=height)
+        transform = _Transform(bounds, self.scale)
+
+        self._draw_entities(doc, transform, floor, show_labels)
+        self._draw_regions(doc, transform, floor, show_labels)
+        if timelines:
+            for source in self.legend.visible_sources():
+                timeline = timelines.get(source)
+                if timeline is not None:
+                    self._draw_timeline(doc, transform, timeline, floor)
+        if selection:
+            self._draw_selection(doc, transform, selection, floor)
+        return doc
+
+    # ------------------------------------------------------------------
+    # Layers
+    # ------------------------------------------------------------------
+    def _draw_entities(
+        self, doc: SvgDocument, tf: "_Transform", floor: int, labels: bool
+    ) -> None:
+        doc.open_group("entities")
+        for entity in self.model.partitions(floor):
+            self._draw_shape(
+                doc, tf, entity.shape,
+                fill=_KIND_FILL.get(entity.kind, "#eeeeee"),
+                stroke="#555555",
+                title=entity.name or entity.entity_id,
+            )
+        for entity in self.model.vertical_connectors(floor):
+            self._draw_shape(
+                doc, tf, entity.shape,
+                fill=_KIND_FILL.get(entity.kind, "#cccccc"),
+                stroke="#336633",
+                title=entity.name or entity.entity_id,
+            )
+        for wall in self.model.walls(floor):
+            if isinstance(wall.shape, Polyline):
+                doc.polyline(
+                    [tf.to_px(v) for v in wall.shape.vertices],
+                    stroke="#222222",
+                    stroke_width=0.3 * self.scale / 6.0,
+                )
+        for door in self.model.doors(floor):
+            anchor = door.anchor
+            doc.circle(
+                tf.to_px(anchor),
+                radius=0.35 * self.scale,
+                fill="#8b5a2b" if not door.is_entrance else "#b22222",
+                title=door.name or door.entity_id,
+            )
+        doc.close_group()
+
+    def _draw_regions(
+        self, doc: SvgDocument, tf: "_Transform", floor: int, labels: bool
+    ) -> None:
+        doc.open_group("regions", opacity=0.55)
+        for region in self.model.regions(floor=floor):
+            shape = region.shape
+            if shape is None:
+                # Member-mapped region: outline its first member entity.
+                if not region.entity_ids:
+                    continue
+                shape = self.model.entity(region.entity_ids[0]).shape
+            fill = _category_color(region.category)
+            self._draw_shape(doc, tf, shape, fill=fill, stroke="#885511")
+            if labels:
+                anchor = self.model.region_anchor(region.region_id)
+                doc.text(
+                    tf.to_px(anchor), region.name, size=0.28 * self.scale * 6.0 / 6.0
+                )
+        doc.close_group()
+
+    def _draw_timeline(
+        self, doc: SvgDocument, tf: "_Transform", timeline: Timeline, floor: int
+    ) -> None:
+        entries = timeline.on_floor(floor)
+        if not entries:
+            return
+        color = SOURCE_COLORS[timeline.source]
+        doc.open_group(f"overlay-{timeline.source.value}")
+        if timeline.source is DataSourceKind.SEMANTICS:
+            for entry in entries:
+                center = tf.to_px(entry.display_point)
+                doc.circle(
+                    center,
+                    radius=0.8 * self.scale,
+                    fill=color,
+                    stroke="#663300",
+                    stroke_width=0.1 * self.scale,
+                    opacity=0.9,
+                    title=entry.label,
+                )
+        else:
+            points = [tf.to_px(e.display_point) for e in entries]
+            if len(points) >= 2:
+                doc.polyline(
+                    points,
+                    stroke=color,
+                    stroke_width=0.18 * self.scale,
+                    opacity=0.8,
+                    dashed=timeline.source is DataSourceKind.RAW,
+                )
+            for point in points:
+                doc.circle(point, radius=0.2 * self.scale, fill=color,
+                           opacity=0.85)
+        doc.close_group()
+
+    def _draw_selection(
+        self,
+        doc: SvgDocument,
+        tf: "_Transform",
+        selection: list[TimelineEntry],
+        floor: int,
+    ) -> None:
+        doc.open_group("selection")
+        for entry in selection:
+            if entry.display_point.floor != floor:
+                continue
+            doc.circle(
+                tf.to_px(entry.display_point),
+                radius=1.1 * self.scale,
+                fill="none",
+                stroke="#ff00ff",
+                stroke_width=0.22 * self.scale,
+                title=entry.label,
+            )
+        doc.close_group()
+
+    def _draw_shape(
+        self,
+        doc: SvgDocument,
+        tf: "_Transform",
+        shape,
+        fill: str,
+        stroke: str,
+        title: str | None = None,
+    ) -> None:
+        if isinstance(shape, Polygon):
+            doc.polygon(
+                [tf.to_px(v) for v in shape.vertices],
+                fill=fill,
+                stroke=stroke,
+                stroke_width=0.08 * self.scale,
+                title=title,
+            )
+        elif isinstance(shape, Circle):
+            doc.circle(
+                tf.to_px(shape.center),
+                radius=shape.radius * self.scale,
+                fill=fill,
+                stroke=stroke,
+                stroke_width=0.08 * self.scale,
+                title=title,
+            )
+        elif isinstance(shape, Segment):
+            doc.line(
+                tf.to_px(shape.a), tf.to_px(shape.b), stroke=stroke,
+                stroke_width=0.15 * self.scale,
+            )
+
+
+@dataclass(frozen=True)
+class _Transform:
+    """Metres to pixels, with the y axis flipped for SVG."""
+
+    bounds: object
+    scale: float
+
+    def to_px(self, point: Point) -> tuple[float, float]:
+        x = (point.x - self.bounds.min_x) * self.scale
+        y = (self.bounds.max_y - point.y) * self.scale
+        return (x, y)
+
+
+def _category_color(category: str) -> str:
+    palette = {
+        "shop": "#ffd9a0",
+        "cashier": "#ffb3b3",
+        "hallway": "#dfe8ef",
+        "facility": "#c9e7c9",
+        "food": "#ffe0ef",
+        "entertainment": "#d7c9f2",
+        "office": "#cfe0f5",
+        "gate": "#f5ddc9",
+    }
+    return palette.get(category, "#e0e0e0")

@@ -1,0 +1,165 @@
+"""The interactive Viewer session: navigation, selection, playback.
+
+Binds the timelines of one device's translation to a map view and
+implements the paper's interactions: the semantics timeline as the primary
+navigator, synchronized selection of all entries covered by a clicked
+triplet's time range, floor switching, visibility toggles, and sliding the
+timeline to play "an animated, semantics-enriched movement".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.translator import TranslationResult
+from ..dsm import DigitalSpaceModel
+from ..errors import ViewerError
+from ..positioning import PositioningSequence
+from ..timeutil import TimeRange
+from .mapview import MapView
+from .svg import SvgDocument
+from .timeline import (
+    DataSourceKind,
+    DisplayPointPolicy,
+    Timeline,
+    TimelineEntry,
+    build_timelines,
+)
+
+
+@dataclass(frozen=True)
+class AnimationFrame:
+    """One playback frame: the moment plus each source's active entry."""
+
+    moment: float
+    active: dict[DataSourceKind, TimelineEntry]
+    current_semantic_label: str
+
+
+class ViewerSession:
+    """Interactive browsing of one device's translation artifacts."""
+
+    def __init__(
+        self,
+        model: DigitalSpaceModel,
+        result: TranslationResult,
+        ground_truth: PositioningSequence | None = None,
+        policy: DisplayPointPolicy = DisplayPointPolicy.TEMPORALLY_MIDDLE,
+        scale: float = 6.0,
+    ):
+        self.model = model
+        self.result = result
+        self.map_view = MapView(model, scale=scale)
+        self.timelines = build_timelines(
+            raw=result.raw,
+            cleaned=result.cleaned,
+            semantics=result.semantics,
+            ground_truth=ground_truth,
+            policy=policy,
+            model=model,
+        )
+        self.current_floor = model.floor_numbers[0]
+        self._selected_index: int | None = None
+
+    # ------------------------------------------------------------------
+    # Navigation
+    # ------------------------------------------------------------------
+    @property
+    def semantics_timeline(self) -> Timeline:
+        """The primary navigator ("the most concise" source)."""
+        timeline = self.timelines.get(DataSourceKind.SEMANTICS)
+        if timeline is None:
+            raise ViewerError("translation produced no semantics timeline")
+        return timeline
+
+    def switch_floor(self, floor: int) -> None:
+        """The map view's floor switch."""
+        if floor not in self.model.floor_numbers:
+            raise ViewerError(f"model has no floor {floor}")
+        self.current_floor = floor
+
+    def toggle_source(self, source: DataSourceKind) -> bool:
+        """Legend-panel visibility toggle."""
+        return self.map_view.legend.toggle(source)
+
+    # ------------------------------------------------------------------
+    # Synchronized selection
+    # ------------------------------------------------------------------
+    def select_semantic(
+        self, index: int
+    ) -> dict[DataSourceKind, list[TimelineEntry]]:
+        """Click a semantics entry: gather covered entries from all sources.
+
+        Also moves the current floor to the clicked entry's display floor,
+        exactly as clicking in the UI recenters the map.
+        """
+        timeline = self.semantics_timeline
+        if not 0 <= index < len(timeline):
+            raise ViewerError(
+                f"semantic index {index} out of range 0..{len(timeline) - 1}"
+            )
+        entry = timeline[index]
+        self._selected_index = index
+        self.current_floor = entry.display_point.floor
+        window = entry.time_range
+        covered: dict[DataSourceKind, list[TimelineEntry]] = {}
+        for source, source_timeline in self.timelines.items():
+            covered[source] = source_timeline.covered_by(window)
+        return covered
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def render(self, show_labels: bool = True) -> SvgDocument:
+        """The current map view (floor + visible overlays + selection)."""
+        selection: list[TimelineEntry] = []
+        if self._selected_index is not None:
+            covered = self.select_semantic(self._selected_index)
+            selection = [e for entries in covered.values() for e in entries]
+        return self.map_view.render(
+            self.current_floor,
+            timelines=self.timelines,
+            selection=selection or None,
+            show_labels=show_labels,
+        )
+
+    # ------------------------------------------------------------------
+    # Playback
+    # ------------------------------------------------------------------
+    def animate(self, step_seconds: float = 10.0) -> list[AnimationFrame]:
+        """Slide the timeline, emitting one frame per step.
+
+        Each frame names the active entry per source and the current
+        semantics label, which is what makes the playback
+        "semantics-enriched".
+        """
+        if step_seconds <= 0:
+            raise ViewerError(f"step must be positive, got {step_seconds}")
+        span = self._full_span()
+        frames: list[AnimationFrame] = []
+        moment = span.start
+        while moment <= span.end:
+            active: dict[DataSourceKind, TimelineEntry] = {}
+            for source, timeline in self.timelines.items():
+                entry = timeline.at_time(moment)
+                if entry is not None:
+                    active[source] = entry
+            semantic = active.get(DataSourceKind.SEMANTICS)
+            frames.append(
+                AnimationFrame(
+                    moment=moment,
+                    active=active,
+                    current_semantic_label=semantic.label if semantic else "",
+                )
+            )
+            moment += step_seconds
+        return frames
+
+    def _full_span(self) -> TimeRange:
+        spans = [t.time_range for t in self.timelines.values() if len(t) > 0]
+        if not spans:
+            raise ViewerError("no timeline data to animate")
+        span = spans[0]
+        for other in spans[1:]:
+            span = span.union_span(other)
+        return span

@@ -1,0 +1,202 @@
+"""A minimal SVG document builder.
+
+The Viewer's map view renders to SVG text — the headless stand-in for the
+paper's browser canvas.  Only the handful of primitives the map view needs
+are implemented; the builder keeps elements in insertion order (SVG paints
+back-to-front) and supports named groups for layer visibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from xml.sax.saxutils import escape, quoteattr
+
+from ..errors import ViewerError
+
+
+@dataclass
+class SvgDocument:
+    """An SVG scene graph flattened to ordered element strings."""
+
+    width: float
+    height: float
+    view_box: tuple[float, float, float, float] | None = None
+    background: str | None = "#ffffff"
+    _elements: list[str] = field(default_factory=list)
+    _open_groups: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ViewerError("SVG document needs positive dimensions")
+
+    # ------------------------------------------------------------------
+    # Groups (map-view layers)
+    # ------------------------------------------------------------------
+    def open_group(self, group_id: str, opacity: float = 1.0) -> None:
+        """Start a named group; elements until close_group nest inside."""
+        self._elements.append(
+            f'<g id={quoteattr(group_id)} opacity="{opacity:g}">'
+        )
+        self._open_groups.append(group_id)
+
+    def close_group(self) -> None:
+        """Close the innermost open group."""
+        if not self._open_groups:
+            raise ViewerError("close_group with no open group")
+        self._open_groups.pop()
+        self._elements.append("</g>")
+
+    # ------------------------------------------------------------------
+    # Primitives
+    # ------------------------------------------------------------------
+    def polygon(
+        self,
+        points: list[tuple[float, float]],
+        fill: str = "none",
+        stroke: str = "#000000",
+        stroke_width: float = 0.1,
+        opacity: float = 1.0,
+        title: str | None = None,
+    ) -> None:
+        """A closed polygon."""
+        if len(points) < 3:
+            raise ViewerError("polygon needs >= 3 points")
+        coordinates = " ".join(f"{x:.3f},{y:.3f}" for x, y in points)
+        body = self._title(title)
+        closing = f">{body}</polygon>" if body else " />"
+        self._elements.append(
+            f'<polygon points="{coordinates}" fill={quoteattr(fill)} '
+            f'stroke={quoteattr(stroke)} stroke-width="{stroke_width:g}" '
+            f'opacity="{opacity:g}"{closing}'
+        )
+
+    def polyline(
+        self,
+        points: list[tuple[float, float]],
+        stroke: str = "#000000",
+        stroke_width: float = 0.15,
+        opacity: float = 1.0,
+        dashed: bool = False,
+    ) -> None:
+        """An open polyline."""
+        if len(points) < 2:
+            raise ViewerError("polyline needs >= 2 points")
+        coordinates = " ".join(f"{x:.3f},{y:.3f}" for x, y in points)
+        dash = ' stroke-dasharray="0.8,0.5"' if dashed else ""
+        self._elements.append(
+            f'<polyline points="{coordinates}" fill="none" '
+            f'stroke={quoteattr(stroke)} stroke-width="{stroke_width:g}" '
+            f'opacity="{opacity:g}"{dash} />'
+        )
+
+    def circle(
+        self,
+        center: tuple[float, float],
+        radius: float,
+        fill: str = "#000000",
+        stroke: str = "none",
+        stroke_width: float = 0.0,
+        opacity: float = 1.0,
+        title: str | None = None,
+    ) -> None:
+        """A circle marker."""
+        if radius <= 0:
+            raise ViewerError("circle needs positive radius")
+        body = self._title(title)
+        closing = f">{body}</circle>" if body else " />"
+        self._elements.append(
+            f'<circle cx="{center[0]:.3f}" cy="{center[1]:.3f}" '
+            f'r="{radius:g}" fill={quoteattr(fill)} stroke={quoteattr(stroke)} '
+            f'stroke-width="{stroke_width:g}" opacity="{opacity:g}"{closing}'
+        )
+
+    def line(
+        self,
+        start: tuple[float, float],
+        end: tuple[float, float],
+        stroke: str = "#000000",
+        stroke_width: float = 0.1,
+        opacity: float = 1.0,
+    ) -> None:
+        """A line segment."""
+        self._elements.append(
+            f'<line x1="{start[0]:.3f}" y1="{start[1]:.3f}" '
+            f'x2="{end[0]:.3f}" y2="{end[1]:.3f}" stroke={quoteattr(stroke)} '
+            f'stroke-width="{stroke_width:g}" opacity="{opacity:g}" />'
+        )
+
+    def text(
+        self,
+        at: tuple[float, float],
+        content: str,
+        size: float = 1.6,
+        fill: str = "#202020",
+        anchor: str = "middle",
+    ) -> None:
+        """A text label."""
+        self._elements.append(
+            f'<text x="{at[0]:.3f}" y="{at[1]:.3f}" font-size="{size:g}" '
+            f'fill={quoteattr(fill)} text-anchor={quoteattr(anchor)} '
+            f'font-family="sans-serif">{escape(content)}</text>'
+        )
+
+    def rect(
+        self,
+        min_x: float,
+        min_y: float,
+        width: float,
+        height: float,
+        fill: str = "none",
+        stroke: str = "#000000",
+        stroke_width: float = 0.1,
+        opacity: float = 1.0,
+    ) -> None:
+        """An axis-aligned rectangle."""
+        self._elements.append(
+            f'<rect x="{min_x:.3f}" y="{min_y:.3f}" width="{width:.3f}" '
+            f'height="{height:.3f}" fill={quoteattr(fill)} '
+            f'stroke={quoteattr(stroke)} stroke-width="{stroke_width:g}" '
+            f'opacity="{opacity:g}" />'
+        )
+
+    @staticmethod
+    def _title(title: str | None) -> str:
+        # <title> renders as a hover tooltip — the map view's "necessary
+        # tooltips" from the paper.
+        if title is None:
+            return ""
+        return f"<title>{escape(title)}</title>"
+
+    # ------------------------------------------------------------------
+    # Output
+    # ------------------------------------------------------------------
+    def to_string(self) -> str:
+        """The complete SVG document."""
+        if self._open_groups:
+            raise ViewerError(
+                f"unclosed SVG groups: {self._open_groups}"
+            )
+        if self.view_box is not None:
+            min_x, min_y, width, height = self.view_box
+            box = f'viewBox="{min_x:g} {min_y:g} {width:g} {height:g}" '
+        else:
+            box = f'viewBox="0 0 {self.width:g} {self.height:g}" '
+        parts = [
+            '<?xml version="1.0" encoding="UTF-8"?>',
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.width:g}" height="{self.height:g}" {box}>',
+        ]
+        if self.background is not None:
+            parts.append(
+                f'<rect x="-1e6" y="-1e6" width="2e6" height="2e6" '
+                f'fill={quoteattr(self.background)} />'
+            )
+        parts.extend(self._elements)
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+    def save(self, path) -> None:
+        """Write the document to a file."""
+        from pathlib import Path
+
+        Path(path).write_text(self.to_string(), encoding="utf-8")

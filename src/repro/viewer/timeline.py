@@ -1,0 +1,208 @@
+"""The Viewer's timeline abstraction over heterogeneous mobility data.
+
+"We abstract each data sequence as a timeline of entries, each consists of
+a display point and a time range" (paper §3).  Positioning records map to
+(location, instant); mobility semantics map to (a display point selected
+from their corresponding cleaned records, their temporal annotation) with
+the temporally-middle / spatially-central policy switch of footnote 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..core.semantics import MobilitySemantic, MobilitySemanticsSequence
+from ..dsm import DigitalSpaceModel
+from ..errors import ViewerError
+from ..geometry import Point, centroid_of
+from ..positioning import PositioningSequence
+from ..timeutil import TimeRange
+
+
+class DataSourceKind(Enum):
+    """The mobility data sources the paper's Figure 4 renders together."""
+
+    RAW = "raw"
+    CLEANED = "cleaned"
+    SEMANTICS = "semantics"
+    GROUND_TRUTH = "ground-truth"
+
+
+class DisplayPointPolicy(Enum):
+    """Footnote 1: how a semantics entry picks its display point."""
+
+    TEMPORALLY_MIDDLE = "temporally-middle"
+    SPATIALLY_CENTRAL = "spatially-central"
+
+
+@dataclass(frozen=True)
+class TimelineEntry:
+    """One renderable entry: a display point plus a time range."""
+
+    source: DataSourceKind
+    display_point: Point
+    time_range: TimeRange
+    label: str = ""
+    #: Index into the underlying sequence (record index or semantics index).
+    index: int = -1
+
+    @property
+    def is_instant(self) -> bool:
+        """True for point-in-time entries (positioning records)."""
+        return self.time_range.duration == 0.0
+
+
+@dataclass(frozen=True)
+class Timeline:
+    """An ordered list of entries from one data source."""
+
+    source: DataSourceKind
+    entries: tuple[TimelineEntry, ...]
+
+    def __init__(self, source: DataSourceKind, entries) -> None:
+        ordered = tuple(sorted(entries, key=lambda e: e.time_range))
+        object.__setattr__(self, "source", source)
+        object.__setattr__(self, "entries", ordered)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def __getitem__(self, index: int) -> TimelineEntry:
+        return self.entries[index]
+
+    @property
+    def time_range(self) -> TimeRange:
+        """Span covered by all entries."""
+        if not self.entries:
+            raise ViewerError("empty timeline has no time range")
+        return TimeRange(
+            self.entries[0].time_range.start, self.entries[-1].time_range.end
+        )
+
+    def covered_by(self, window: TimeRange) -> list[TimelineEntry]:
+        """Entries overlapping ``window`` — the synchronized-selection query.
+
+        "When clicking a mobility semantics entry on the timeline, all
+        relevant data entries covered by its time range will be displayed
+        on map view synchronously."
+        """
+        return [e for e in self.entries if e.time_range.overlaps(window)]
+
+    def at_time(self, moment: float) -> TimelineEntry | None:
+        """The entry active at ``moment`` (latest starting at or before it)."""
+        active = None
+        for entry in self.entries:
+            if entry.time_range.start <= moment:
+                if entry.time_range.contains(moment) or entry.is_instant:
+                    active = entry
+            else:
+                break
+        return active
+
+    def on_floor(self, floor: int) -> list[TimelineEntry]:
+        """Entries whose display point is on ``floor`` (floor switching)."""
+        return [e for e in self.entries if e.display_point.floor == floor]
+
+
+# ----------------------------------------------------------------------
+# Builders
+# ----------------------------------------------------------------------
+def timeline_from_positioning(
+    sequence: PositioningSequence, source: DataSourceKind
+) -> Timeline:
+    """Each record becomes an instant entry at its own location."""
+    entries = [
+        TimelineEntry(
+            source=source,
+            display_point=record.location,
+            time_range=TimeRange(record.timestamp, record.timestamp),
+            label=f"{source.value} fix",
+            index=index,
+        )
+        for index, record in enumerate(sequence)
+    ]
+    return Timeline(source, entries)
+
+
+def timeline_from_semantics(
+    semantics: MobilitySemanticsSequence,
+    cleaned: PositioningSequence | None = None,
+    policy: DisplayPointPolicy = DisplayPointPolicy.TEMPORALLY_MIDDLE,
+    model: DigitalSpaceModel | None = None,
+) -> Timeline:
+    """Each triplet becomes an entry with a policy-selected display point.
+
+    Backed triplets pick from their corresponding cleaned records; inferred
+    triplets (no backing records) fall back to the region anchor, which
+    requires ``model``.
+    """
+    entries = []
+    for index, triplet in enumerate(semantics):
+        point = _semantic_display_point(triplet, cleaned, policy, model)
+        if point is None:
+            continue
+        entries.append(
+            TimelineEntry(
+                source=DataSourceKind.SEMANTICS,
+                display_point=point,
+                time_range=triplet.time_range,
+                label=triplet.format(),
+                index=index,
+            )
+        )
+    return Timeline(DataSourceKind.SEMANTICS, entries)
+
+
+def _semantic_display_point(
+    triplet: MobilitySemantic,
+    cleaned: PositioningSequence | None,
+    policy: DisplayPointPolicy,
+    model: DigitalSpaceModel | None,
+) -> Point | None:
+    records = []
+    if cleaned is not None and triplet.record_indexes:
+        records = [
+            cleaned[i] for i in triplet.record_indexes if 0 <= i < len(cleaned)
+        ]
+    if records:
+        if policy is DisplayPointPolicy.TEMPORALLY_MIDDLE:
+            middle_time = triplet.time_range.middle
+            best = min(records, key=lambda r: abs(r.timestamp - middle_time))
+            return best.location
+        return centroid_of([r.location for r in records])
+    if model is not None and model.has_region(triplet.region_id):
+        return model.region_anchor(triplet.region_id)
+    return None
+
+
+def build_timelines(
+    raw: PositioningSequence | None = None,
+    cleaned: PositioningSequence | None = None,
+    semantics: MobilitySemanticsSequence | None = None,
+    ground_truth: PositioningSequence | None = None,
+    policy: DisplayPointPolicy = DisplayPointPolicy.TEMPORALLY_MIDDLE,
+    model: DigitalSpaceModel | None = None,
+) -> dict[DataSourceKind, Timeline]:
+    """All available sources as timelines, keyed by kind."""
+    timelines: dict[DataSourceKind, Timeline] = {}
+    if raw is not None:
+        timelines[DataSourceKind.RAW] = timeline_from_positioning(
+            raw, DataSourceKind.RAW
+        )
+    if cleaned is not None:
+        timelines[DataSourceKind.CLEANED] = timeline_from_positioning(
+            cleaned, DataSourceKind.CLEANED
+        )
+    if ground_truth is not None:
+        timelines[DataSourceKind.GROUND_TRUTH] = timeline_from_positioning(
+            ground_truth, DataSourceKind.GROUND_TRUTH
+        )
+    if semantics is not None:
+        timelines[DataSourceKind.SEMANTICS] = timeline_from_semantics(
+            semantics, cleaned, policy, model
+        )
+    return timelines

@@ -1,0 +1,199 @@
+"""Unit tests for features, event identification and spatial matching."""
+
+import numpy as np
+import pytest
+
+from repro.core.annotation import (
+    FEATURE_NAMES,
+    EventIdentifier,
+    HeuristicEventIdentifier,
+    SpatialMatcher,
+    extract_features,
+    feature_index,
+)
+from repro.core.semantics import EVENT_PASS_BY, EVENT_STAY
+from repro.errors import AnnotationError, ModelNotFittedError
+from repro.events import LabeledSegment, TrainingSet
+
+from .conftest import stationary_sequence, walk_sequence
+
+
+class TestFeatures:
+    def test_width_matches_names(self):
+        seq = walk_sequence()
+        assert extract_features(list(seq.records)).shape == (len(FEATURE_NAMES),)
+
+    def test_feature_index(self):
+        assert FEATURE_NAMES[feature_index("mean_speed")] == "mean_speed"
+        with pytest.raises(AnnotationError):
+            feature_index("bogus")
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnnotationError):
+            extract_features([])
+
+    def test_single_record_finite(self):
+        seq = walk_sequence()
+        features = extract_features([seq.records[0]])
+        assert np.all(np.isfinite(features))
+
+    def test_dwell_vs_walk_separable(self):
+        dwell = extract_features(list(stationary_sequence(count=30).records))
+        walk = extract_features(
+            list(walk_sequence(points=[(i * 6.0, 0, 1) for i in range(30)]).records)
+        )
+        speed = feature_index("mean_speed")
+        straight = feature_index("straightness")
+        variance = feature_index("location_variance")
+        assert dwell[speed] < walk[speed]
+        assert dwell[straight] < walk[straight]
+        assert dwell[variance] < walk[variance]
+
+    def test_duration_and_count(self):
+        seq = walk_sequence(points=[(i, 0, 1) for i in range(5)], interval=10)
+        features = extract_features(list(seq.records))
+        assert features[feature_index("duration")] == 40.0
+        assert features[feature_index("record_count")] == 5.0
+
+
+def make_training(stays=10, passes=10):
+    training = TrainingSet()
+    for i in range(stays):
+        seq = stationary_sequence(f"s{i}", count=25, seed=i)
+        training.add(LabeledSegment(seq.device_id, EVENT_STAY, tuple(seq.records)))
+    for i in range(passes):
+        seq = walk_sequence(
+            f"p{i}", points=[(j * 6.0, i, 1) for j in range(15)]
+        )
+        training.add(
+            LabeledSegment(seq.device_id, EVENT_PASS_BY, tuple(seq.records))
+        )
+    return training
+
+
+class TestEventIdentifier:
+    def test_untrained_identify_raises(self):
+        with pytest.raises(ModelNotFittedError):
+            EventIdentifier("logistic").identify(list(walk_sequence().records))
+
+    def test_unknown_model_name(self):
+        with pytest.raises(AnnotationError):
+            EventIdentifier("svm")
+
+    @pytest.mark.parametrize(
+        "model", ["logistic", "tree", "forest", "knn", "naive-bayes"]
+    )
+    def test_learns_stay_vs_pass_by(self, model):
+        identifier = EventIdentifier(model, seed=0).train(make_training())
+        stay = identifier.identify(
+            list(stationary_sequence("q", count=25, seed=77).records)
+        )
+        move = identifier.identify(
+            list(walk_sequence("q", points=[(i * 6.0, 3, 1) for i in range(15)]).records)
+        )
+        assert stay.event == EVENT_STAY
+        assert move.event == EVENT_PASS_BY
+        assert 0.0 <= stay.confidence <= 1.0
+
+    def test_known_events(self):
+        identifier = EventIdentifier("logistic")
+        assert identifier.known_events == []
+        identifier.train(make_training())
+        assert set(identifier.known_events) == {EVENT_STAY, EVENT_PASS_BY}
+
+    def test_custom_classifier_instance(self):
+        from repro.learning import GaussianNB
+
+        identifier = EventIdentifier(GaussianNB()).train(make_training())
+        assert identifier.is_trained
+
+
+class TestHeuristicIdentifier:
+    def test_always_trained(self):
+        assert HeuristicEventIdentifier().is_trained
+
+    def test_dwell_is_stay(self):
+        heuristic = HeuristicEventIdentifier()
+        prediction = heuristic.identify(
+            list(stationary_sequence(count=30).records)
+        )
+        assert prediction.event == EVENT_STAY
+        assert prediction.confidence > 0.5
+
+    def test_walk_is_pass_by(self):
+        heuristic = HeuristicEventIdentifier()
+        prediction = heuristic.identify(
+            list(walk_sequence(points=[(i * 6.0, 0, 1) for i in range(15)]).records)
+        )
+        assert prediction.event == EVENT_PASS_BY
+
+    def test_short_dwell_not_stay(self):
+        heuristic = HeuristicEventIdentifier(min_stay_duration=120.0)
+        prediction = heuristic.identify(
+            list(stationary_sequence(count=5).records)
+        )
+        assert prediction.event == EVENT_PASS_BY
+
+    def test_known_events(self):
+        assert set(HeuristicEventIdentifier().known_events) == {
+            EVENT_STAY, EVENT_PASS_BY,
+        }
+
+
+class TestSpatialMatcher:
+    def test_dwell_matches_containing_region(self, two_shop_shared):
+        matcher = SpatialMatcher(two_shop_shared)
+        records = list(stationary_sequence(at=(5, 15, 1), count=20).records)
+        match = matcher.match(records)
+        assert match is not None and match.region_name == "Adidas"
+        assert match.coverage > 0.9
+
+    def test_majority_wins(self, two_shop_shared):
+        matcher = SpatialMatcher(two_shop_shared)
+        adidas = list(stationary_sequence(at=(5, 15, 1), count=20).records)
+        nike = list(
+            stationary_sequence(at=(15, 15, 1), count=3, start=100.0).records
+        )
+        match = matcher.match(adidas + nike)
+        assert match.region_name == "Adidas"
+
+    def test_duration_weighting_beats_count(self, two_shop_shared):
+        # 3 records spanning 300 s in Adidas vs 10 records spanning 10 s in
+        # Nike: time in Adidas dominates.
+        matcher = SpatialMatcher(two_shop_shared)
+        adidas = list(
+            stationary_sequence(at=(5, 15, 1), count=3, interval=150.0).records
+        )
+        nike = list(
+            stationary_sequence(
+                at=(15, 15, 1), count=10, interval=1.0, start=500.0
+            ).records
+        )
+        match = matcher.match(adidas + nike)
+        assert match.region_name == "Adidas"
+
+    def test_no_region_far_away_is_none(self, two_shop_shared):
+        matcher = SpatialMatcher(two_shop_shared, snap_distance=2.0)
+        records = list(stationary_sequence(at=(200, 200, 1), count=5).records)
+        assert matcher.match(records) is None
+
+    def test_nearest_fallback(self, two_shop_shared):
+        matcher = SpatialMatcher(two_shop_shared, snap_distance=50.0)
+        # Just outside the building, nearest anchor is the hall's.
+        records = list(stationary_sequence(at=(-3, 5, 1), count=5).records)
+        match = matcher.match(records)
+        assert match is not None
+        assert match.coverage == 0.0
+
+    def test_empty_records(self, two_shop_shared):
+        assert SpatialMatcher(two_shop_shared).match([]) is None
+
+    def test_single_record(self, two_shop_shared):
+        matcher = SpatialMatcher(two_shop_shared)
+        records = list(stationary_sequence(at=(15, 15, 1), count=1).records)
+        match = matcher.match(records)
+        assert match.region_name == "Nike"
+
+    def test_negative_snap_rejected(self, two_shop_shared):
+        with pytest.raises(ValueError):
+            SpatialMatcher(two_shop_shared, snap_distance=-1)

@@ -1,0 +1,134 @@
+"""Unit + property tests for density-based splitting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.annotation import (
+    DensitySplitter,
+    SnippetKind,
+    SplitterConfig,
+)
+from repro.errors import AnnotationError
+from repro.geometry import Point
+from repro.positioning import PositioningSequence, RawPositioningRecord
+
+from .conftest import stationary_sequence, walk_sequence
+
+
+def dwell_then_walk(seed=0):
+    """30 dwell records, 10 walking records, 30 dwell records."""
+    dwell_a = stationary_sequence("dev", at=(5, 5, 1), count=30, seed=seed)
+    walk = [
+        RawPositioningRecord(150 + i * 5.0, "dev", Point(5 + i * 3.0, 5, 1))
+        for i in range(10)
+    ]
+    dwell_b = stationary_sequence(
+        "dev", at=(35, 5, 1), count=30, start=200.0, seed=seed + 1
+    )
+    return PositioningSequence(
+        "dev", list(dwell_a) + walk + list(dwell_b)
+    )
+
+
+class TestSplitting:
+    def test_dense_transit_dense(self):
+        snippets = DensitySplitter().split(dwell_then_walk())
+        kinds = [s.kind for s in snippets]
+        assert kinds[0] is SnippetKind.DENSE
+        assert kinds[-1] is SnippetKind.DENSE
+        assert SnippetKind.TRANSIT in kinds
+
+    def test_pure_dwell_single_dense(self):
+        seq = stationary_sequence(count=40)
+        snippets = DensitySplitter().split(seq)
+        assert len(snippets) == 1
+        assert snippets[0].kind is SnippetKind.DENSE
+
+    def test_pure_walk_single_transit(self):
+        seq = walk_sequence(points=[(i * 6.0, 0, 1) for i in range(30)])
+        snippets = DensitySplitter().split(seq)
+        assert all(s.kind is SnippetKind.TRANSIT for s in snippets)
+
+    def test_single_record_is_transit(self):
+        seq = PositioningSequence(
+            "dev", [RawPositioningRecord(0.0, "dev", Point(0, 0))]
+        )
+        snippets = DensitySplitter().split(seq)
+        assert len(snippets) == 1 and snippets[0].kind is SnippetKind.TRANSIT
+
+    def test_short_flicker_demoted(self):
+        # A 3-record cluster lasting 10 s is too short for a stay.
+        config = SplitterConfig(min_dense_duration=30.0)
+        records = [
+            RawPositioningRecord(i * 5.0, "dev", Point(i * 6.0, 0, 1))
+            for i in range(10)
+        ]
+        records[5] = RawPositioningRecord(25.0, "dev", Point(24.0, 0, 1))
+        seq = PositioningSequence("dev", records)
+        snippets = DensitySplitter(config).split(seq)
+        assert all(s.kind is SnippetKind.TRANSIT for s in snippets)
+
+    def test_snippet_time_range(self):
+        snippets = DensitySplitter().split(dwell_then_walk())
+        first = snippets[0]
+        assert first.time_range.start == first.records[0].timestamp
+        assert first.duration > 0
+
+    def test_floor_split_separates_clusters(self):
+        # Same (x, y) on two floors cannot be one dense cluster.
+        a = stationary_sequence("dev", at=(5, 5, 1), count=20)
+        b = stationary_sequence("dev", at=(5, 5, 2), count=20, start=100.0)
+        seq = PositioningSequence("dev", list(a) + list(b))
+        snippets = DensitySplitter().split(seq)
+        dense = [s for s in snippets if s.kind is SnippetKind.DENSE]
+        assert len(dense) == 2
+
+    def test_config_validation(self):
+        with pytest.raises(AnnotationError):
+            SplitterConfig(eps_space=0)
+        with pytest.raises(AnnotationError):
+            SplitterConfig(min_pts=1)
+        with pytest.raises(AnnotationError):
+            SplitterConfig(min_dense_duration=-1)
+
+
+class TestPartitionInvariant:
+    """The snippets must partition the sequence exactly (DESIGN.md)."""
+
+    def check_partition(self, sequence):
+        snippets = DensitySplitter().split(sequence)
+        assert snippets[0].start == 0
+        assert snippets[-1].end == len(sequence)
+        for before, after in zip(snippets, snippets[1:]):
+            assert before.end == after.start
+        rebuilt = [r for s in snippets for r in s.records]
+        assert rebuilt == list(sequence.records)
+
+    def test_partition_on_mixed(self):
+        self.check_partition(dwell_then_walk())
+
+    def test_partition_on_dwell(self):
+        self.check_partition(stationary_sequence(count=25))
+
+    def test_partition_on_simulated(self, simulated):
+        self.check_partition(simulated.raw)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=50),
+                st.floats(min_value=0, max_value=50),
+            ),
+            min_size=2,
+            max_size=40,
+        ),
+        st.floats(min_value=1.0, max_value=20.0),
+    )
+    def test_partition_property(self, coordinates, interval):
+        records = [
+            RawPositioningRecord(i * interval, "dev", Point(x, y, 1))
+            for i, (x, y) in enumerate(coordinates)
+        ]
+        self.check_partition(PositioningSequence("dev", records))

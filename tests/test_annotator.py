@@ -1,0 +1,121 @@
+"""Unit tests for the Mobility Semantics Annotator."""
+
+import pytest
+
+from repro.core.annotation import (
+    AnnotatorConfig,
+    MobilitySemanticsAnnotator,
+    SplitterConfig,
+)
+from repro.core.semantics import EVENT_PASS_BY, EVENT_STAY
+from repro.errors import AnnotationError
+from repro.geometry import Point
+from repro.positioning import PositioningSequence, RawPositioningRecord
+
+from .conftest import stationary_sequence
+
+
+def shopping_trip():
+    """Dwell in Adidas -> walk through the hall -> dwell in Cashier."""
+    dwell_a = stationary_sequence("oi", at=(5, 15, 1), count=40, seed=1)
+    walk = [
+        RawPositioningRecord(
+            200 + i * 4.0, "oi", Point(5 + i * 2.2, 5.0, 1)
+        )
+        for i in range(10)
+    ]
+    dwell_b = stationary_sequence(
+        "oi", at=(25, 15, 1), count=40, start=250.0, seed=2
+    )
+    return PositioningSequence("oi", list(dwell_a) + walk + list(dwell_b))
+
+
+class TestAnnotator:
+    def test_produces_stay_hall_stay(self, two_shop_shared):
+        annotator = MobilitySemanticsAnnotator(two_shop_shared)
+        result = annotator.annotate(shopping_trip())
+        sequence = result.sequence
+        names = [s.region_name for s in sequence]
+        assert names[0] == "Adidas"
+        assert names[-1] == "Cashier"
+        assert sequence[0].event == EVENT_STAY
+        assert sequence[-1].event == EVENT_STAY
+
+    def test_hall_transit_is_pass_by(self, two_shop_shared):
+        annotator = MobilitySemanticsAnnotator(two_shop_shared)
+        sequence = annotator.annotate(shopping_trip()).sequence
+        hall = [s for s in sequence if s.region_name == "Hall"]
+        assert hall and all(s.event == EVENT_PASS_BY for s in hall)
+
+    def test_record_indexes_point_into_cleaned(self, two_shop_shared):
+        annotator = MobilitySemanticsAnnotator(two_shop_shared)
+        trip = shopping_trip()
+        sequence = annotator.annotate(trip).sequence
+        for semantic in sequence:
+            assert semantic.record_indexes
+            for index in semantic.record_indexes:
+                assert 0 <= index < len(trip)
+
+    def test_timeline_ordering(self, two_shop_shared):
+        annotator = MobilitySemanticsAnnotator(two_shop_shared)
+        sequence = annotator.annotate(shopping_trip()).sequence
+        starts = [s.time_range.start for s in sequence]
+        assert starts == sorted(starts)
+
+    def test_snippets_are_reported(self, two_shop_shared):
+        annotator = MobilitySemanticsAnnotator(two_shop_shared)
+        result = annotator.annotate(shopping_trip())
+        assert len(result.snippets) >= 3
+
+    def test_min_duration_filters_flicker(self, two_shop_shared):
+        config = AnnotatorConfig(min_semantic_duration=1e6)
+        annotator = MobilitySemanticsAnnotator(two_shop_shared, config=config)
+        result = annotator.annotate(shopping_trip())
+        assert len(result.sequence) == 0
+        assert result.skipped_snippets == len(result.snippets)
+
+    def test_untrained_model_rejected(self, two_shop_shared):
+        from repro.core.annotation import EventIdentifier
+
+        annotator = MobilitySemanticsAnnotator(
+            two_shop_shared, event_model=EventIdentifier("logistic")
+        )
+        with pytest.raises(AnnotationError):
+            annotator.annotate(shopping_trip())
+
+    def test_unmapped_space_skipped(self, two_shop):
+        # Remove the hall region: transits through it produce no semantics.
+        two_shop.remove_region("r-hall")
+        annotator = MobilitySemanticsAnnotator(two_shop)
+        sequence = annotator.annotate(shopping_trip()).sequence
+        assert all(s.region_name != "Hall" for s in sequence)
+
+    def test_merge_same_region_config(self, two_shop_shared):
+        loose = AnnotatorConfig(
+            splitter=SplitterConfig(eps_space=1.5, min_pts=6),
+            merge_same_region=False,
+        )
+        merged_config = AnnotatorConfig(
+            splitter=SplitterConfig(eps_space=1.5, min_pts=6),
+            merge_same_region=True,
+        )
+        trip = shopping_trip()
+        loose_result = MobilitySemanticsAnnotator(
+            two_shop_shared, config=loose
+        ).annotate(trip)
+        merged_result = MobilitySemanticsAnnotator(
+            two_shop_shared, config=merged_config
+        ).annotate(trip)
+        assert len(merged_result.sequence) <= len(loose_result.sequence)
+
+    def test_config_validation(self):
+        with pytest.raises(AnnotationError):
+            AnnotatorConfig(min_semantic_duration=-1)
+        with pytest.raises(AnnotationError):
+            AnnotatorConfig(min_transit_coverage=2.0)
+
+    def test_conciseness_on_simulated(self, mall3, simulated):
+        annotator = MobilitySemanticsAnnotator(mall3)
+        sequence = annotator.annotate(simulated.raw).sequence
+        # Table 1's "more condensed form": >= 10x fewer triplets.
+        assert sequence.conciseness_ratio(len(simulated.raw)) >= 10.0

@@ -1,0 +1,239 @@
+"""Unit tests for the GPS-era baselines and the assessment metrics."""
+
+import pytest
+
+from repro.core import (
+    DistanceOnlyGapFiller,
+    NearestRegionAnnotator,
+    StopMoveConfig,
+    StopMoveReconstructor,
+    Translator,
+    score_gap_fill,
+    score_positions,
+    score_semantics,
+)
+from repro.core.semantics import (
+    EVENT_PASS_BY,
+    EVENT_STAY,
+    MobilitySemantic,
+    MobilitySemanticsSequence,
+)
+from repro.positioning import inject_gaussian_noise
+from repro.timeutil import TimeRange
+
+from .conftest import stationary_sequence, walk_sequence
+from .test_annotator import shopping_trip
+
+
+def triplet(event, region_id, start, end, **kwargs):
+    return MobilitySemantic(
+        event=event, region_id=region_id, region_name=region_id,
+        time_range=TimeRange(start, end), **kwargs,
+    )
+
+
+class TestStopMoveBaseline:
+    def test_detects_stops(self, two_shop_shared):
+        reconstructor = StopMoveReconstructor(two_shop_shared)
+        semantics = reconstructor.translate(shopping_trip())
+        stays = [s for s in semantics if s.event == EVENT_STAY]
+        assert {s.region_name for s in stays} >= {"Adidas", "Cashier"}
+
+    def test_pure_walk_no_stops(self, two_shop_shared):
+        reconstructor = StopMoveReconstructor(two_shop_shared)
+        seq = walk_sequence(points=[(1 + i * 1.5, 5, 1) for i in range(20)])
+        semantics = reconstructor.translate(seq)
+        assert all(s.event == EVENT_PASS_BY for s in semantics)
+
+    def test_noise_filter_drops_straightline_jumps(self, two_shop_shared):
+        reconstructor = StopMoveReconstructor(two_shop_shared)
+        seq = stationary_sequence(at=(5, 15, 1), count=30)
+        noisy = inject_gaussian_noise(seq, 0.2, seed=1)
+        semantics = reconstructor.translate(noisy)
+        assert len(semantics) >= 1
+        assert semantics[0].event == EVENT_STAY
+
+    def test_config_validation(self):
+        with pytest.raises(Exception):
+            StopMoveConfig(stop_tolerance_distance=0)
+
+    def test_worse_than_trips_on_noisy_data(self, mall3, simulated):
+        """The paper's motivating claim, measured."""
+        trips_result = Translator(mall3).translate(simulated.raw)
+        trips_score = score_semantics(
+            trips_result.semantics, simulated.truth_semantics
+        )
+        baseline = StopMoveReconstructor(mall3).translate(simulated.raw)
+        baseline_score = score_semantics(baseline, simulated.truth_semantics)
+        assert (
+            trips_score.region_time_accuracy
+            >= baseline_score.region_time_accuracy - 0.02
+        )
+
+
+class TestNearestRegionBaseline:
+    def test_run_length_semantics(self, two_shop_shared):
+        annotator = NearestRegionAnnotator(two_shop_shared)
+        semantics = annotator.translate(shopping_trip())
+        names = [s.region_name for s in semantics]
+        assert names[0] == "Adidas" and names[-1] == "Cashier"
+
+    def test_stay_threshold(self, two_shop_shared):
+        annotator = NearestRegionAnnotator(two_shop_shared, stay_threshold=1e6)
+        semantics = annotator.translate(shopping_trip())
+        assert all(s.event == EVENT_PASS_BY for s in semantics)
+
+    def test_validation(self, two_shop_shared):
+        with pytest.raises(Exception):
+            NearestRegionAnnotator(two_shop_shared, stay_threshold=0)
+
+
+class TestDistanceOnlyGapFiller:
+    def test_fills_with_shortest_path(self, two_shop_shared):
+        filler = DistanceOnlyGapFiller(two_shop_shared.topology)
+        original = MobilitySemanticsSequence(
+            "d",
+            [
+                triplet(EVENT_STAY, "r-adidas", 0, 600),
+                triplet(EVENT_STAY, "r-nike", 900, 1500),
+            ],
+        )
+        filled = filler.complement(original)
+        assert filled.region_ids == ["r-adidas", "r-hall", "r-nike"]
+        inferred = [s for s in filled if s.inferred]
+        assert len(inferred) == 1
+        assert inferred[0].event == EVENT_PASS_BY
+
+    def test_short_gaps_untouched(self, two_shop_shared):
+        filler = DistanceOnlyGapFiller(two_shop_shared.topology)
+        original = MobilitySemanticsSequence(
+            "d",
+            [
+                triplet(EVENT_STAY, "r-adidas", 0, 600),
+                triplet(EVENT_PASS_BY, "r-hall", 650, 700),
+            ],
+        )
+        assert len(filler.complement(original)) == 2
+
+
+class TestScorePositions:
+    def test_perfect_match(self, simulated):
+        score = score_positions(simulated.ground_truth, simulated.ground_truth)
+        assert score.rmse == 0.0
+        assert score.floor_accuracy == 1.0
+        assert score.matched_records == len(simulated.ground_truth)
+
+    def test_noise_increases_rmse(self, simulated):
+        noisy = inject_gaussian_noise(simulated.ground_truth, 2.0, seed=0)
+        score = score_positions(noisy, simulated.ground_truth)
+        assert 1.0 < score.rmse < 4.0
+        assert score.mean_error > 0
+
+    def test_unmatched_timestamps_ignored(self):
+        a = walk_sequence("d", interval=5)
+        b = walk_sequence("d", interval=7)
+        score = score_positions(a, b)
+        assert score.matched_records < len(a)
+
+
+class TestScoreSemantics:
+    TRUTH = MobilitySemanticsSequence(
+        "d",
+        [
+            triplet(EVENT_STAY, "A", 0, 100),
+            triplet(EVENT_PASS_BY, "B", 110, 130),
+            triplet(EVENT_STAY, "C", 140, 300),
+        ],
+    )
+
+    def test_perfect_output(self):
+        score = score_semantics(self.TRUTH, self.TRUTH)
+        assert score.region_time_accuracy == pytest.approx(1.0)
+        assert score.event_accuracy == pytest.approx(1.0)
+        assert score.triplet_f1 == 1.0
+        assert score.edit_distance == 0
+        assert score.triplet_ratio == 1.0
+
+    def test_wrong_region_penalized(self):
+        output = MobilitySemanticsSequence(
+            "d",
+            [
+                triplet(EVENT_STAY, "X", 0, 100),
+                triplet(EVENT_PASS_BY, "B", 110, 130),
+                triplet(EVENT_STAY, "C", 140, 300),
+            ],
+        )
+        score = score_semantics(output, self.TRUTH)
+        assert score.region_time_accuracy < 0.8
+        assert score.edit_distance == 1
+
+    def test_wrong_event_only_hits_event_accuracy(self):
+        output = MobilitySemanticsSequence(
+            "d",
+            [
+                triplet(EVENT_PASS_BY, "A", 0, 100),  # should be stay
+                triplet(EVENT_PASS_BY, "B", 110, 130),
+                triplet(EVENT_STAY, "C", 140, 300),
+            ],
+        )
+        score = score_semantics(output, self.TRUTH)
+        assert score.region_time_accuracy == pytest.approx(1.0)
+        assert score.event_accuracy < 1.0
+
+    def test_empty_output(self):
+        empty = MobilitySemanticsSequence("d", [])
+        score = score_semantics(empty, self.TRUTH)
+        assert score.region_time_accuracy == 0.0
+        assert score.triplet_recall == 0.0
+
+    def test_fragmented_output_hurts_precision_not_recall(self):
+        fragments = MobilitySemanticsSequence(
+            "d",
+            [
+                triplet(EVENT_STAY, "A", 0, 45),
+                triplet(EVENT_STAY, "A", 50, 100),
+                triplet(EVENT_PASS_BY, "B", 110, 130),
+                triplet(EVENT_STAY, "C", 140, 300),
+            ],
+        )
+        score = score_semantics(fragments, self.TRUTH)
+        assert score.triplet_ratio > 1.0
+        assert score.triplet_precision < 1.0
+
+
+class TestScoreGapFill:
+    def test_correct_inference_counted(self):
+        truth = MobilitySemanticsSequence(
+            "d",
+            [
+                triplet(EVENT_STAY, "A", 0, 100),
+                triplet(EVENT_PASS_BY, "H", 100, 160),
+                triplet(EVENT_STAY, "B", 160, 300),
+            ],
+        )
+        output = MobilitySemanticsSequence(
+            "d",
+            [
+                triplet(EVENT_STAY, "A", 0, 100),
+                triplet(EVENT_PASS_BY, "H", 105, 155, inferred=True),
+                triplet(EVENT_STAY, "B", 160, 300),
+            ],
+        )
+        score = score_gap_fill(output, truth)
+        assert score.inferred_count == 1
+        assert score.correct_region_count == 1
+        assert score.region_precision == 1.0
+
+    def test_wrong_inference_counted(self):
+        truth = MobilitySemanticsSequence(
+            "d", [triplet(EVENT_STAY, "A", 0, 300)]
+        )
+        output = MobilitySemanticsSequence(
+            "d", [triplet(EVENT_PASS_BY, "Z", 50, 100, inferred=True)]
+        )
+        score = score_gap_fill(output, truth)
+        assert score.region_precision == 0.0
+
+    def test_no_inferred(self):
+        truth = MobilitySemanticsSequence("d", [triplet(EVENT_STAY, "A", 0, 10)])
+        assert score_gap_fill(truth, truth).inferred_count == 0

@@ -1,0 +1,209 @@
+"""Unit tests for the cleaning layer: detection, floor fix, interpolation."""
+
+import pytest
+
+from repro.core.cleaning import (
+    CleaningConfig,
+    RawDataCleaner,
+    SpeedValidator,
+)
+from repro.errors import CleaningError
+from repro.geometry import Point
+from repro.positioning import (
+    PositioningSequence,
+    RawPositioningRecord,
+    inject_floor_errors,
+    inject_gaussian_noise,
+    inject_outliers,
+)
+
+from .conftest import walk_sequence
+
+
+def rec(t, x, y, floor=1, device="dev"):
+    return RawPositioningRecord(t, device, Point(x, y, floor))
+
+
+class TestSpeedValidator:
+    def test_feasible_walk(self, two_shop_shared):
+        validator = SpeedValidator(two_shop_shared.topology)
+        assert validator.transition_feasible(rec(0, 1, 5), rec(5, 6, 5))
+
+    def test_too_fast_straight_line(self, two_shop_shared):
+        validator = SpeedValidator(two_shop_shared.topology)
+        assert not validator.transition_feasible(rec(0, 1, 5), rec(1, 25, 5))
+
+    def test_wall_detour_detection(self, two_shop_shared):
+        # Adidas interior to Nike interior: 10 m apart straight-line, but
+        # the walking path through doors is ~20 m.  4 seconds is enough at
+        # straight-line speed (2.5 m/s) yet infeasible indoors.
+        validator = SpeedValidator(two_shop_shared.topology)
+        assert not validator.transition_feasible(
+            rec(0, 5, 15), rec(4.5, 15, 15)
+        )
+        # The same pair with enough time is fine.
+        assert validator.transition_feasible(rec(0, 5, 15), rec(20, 15, 15))
+
+    def test_indoor_distance_exceeds_euclidean(self, two_shop_shared):
+        validator = SpeedValidator(two_shop_shared.topology)
+        indoor = validator.indoor_distance(rec(0, 5, 15), rec(10, 15, 15))
+        assert indoor > 10.0
+
+    def test_simultaneous_fixes(self, two_shop_shared):
+        validator = SpeedValidator(two_shop_shared.topology)
+        assert validator.transition_feasible(rec(5, 1, 5), rec(5, 1, 5))
+        assert not validator.transition_feasible(rec(5, 1, 5), rec(5, 9, 5))
+
+    def test_find_violations(self, two_shop_shared):
+        # Only the jump into record 2 violates; the pair (2, 3) is slow.
+        validator = SpeedValidator(two_shop_shared.topology)
+        records = [rec(0, 1, 5), rec(5, 2, 5), rec(6, 25, 5), rec(30, 26, 5)]
+        violations = validator.find_violations(records)
+        assert [v.to_index for v in violations] == [2]
+        assert violations[0].speed > 2.5
+
+    def test_stair_transition_feasible(self, mall3):
+        # Consecutive fixes on different floors at the staircase are a
+        # person mid-stairs, not an error.
+        validator = SpeedValidator(mall3.topology)
+        stair = mall3.vertical_connectors(1)[0].anchor
+        below = rec(0.0, stair.x, stair.y, floor=1)
+        above = rec(2.0, stair.x, stair.y, floor=2)
+        assert validator.transition_feasible(below, above)
+
+    def test_floor_error_far_from_stairs_detected(self, mall3):
+        # A wrong-floor fix in the middle of a shop pays long horizontal
+        # detour legs to any staircase and is flagged.
+        validator = SpeedValidator(mall3.topology)
+        inside_shop = rec(0.0, 8.0, 7.0, floor=1)
+        wrong_floor = rec(2.0, 8.0, 7.0, floor=2)
+        assert not validator.transition_feasible(inside_shop, wrong_floor)
+
+    def test_bad_max_speed(self, two_shop_shared):
+        with pytest.raises(ValueError):
+            SpeedValidator(two_shop_shared.topology, max_speed=0)
+
+
+class TestFloorCorrection:
+    def test_wrong_floor_fixed(self, two_shop_shared):
+        cleaner = RawDataCleaner(two_shop_shared.topology)
+        records = [rec(i * 5.0, 1 + i, 5) for i in range(10)]
+        # Record 4 reports a bogus floor (no stairs at all in this DSM).
+        records[4] = rec(20.0, 5, 5, floor=2)
+        result = cleaner.clean(PositioningSequence("dev", records))
+        assert result.report.floor_corrected == [4]
+        assert result.cleaned[4].floor == 1
+        assert result.cleaned[4].location.xy == (5, 5)
+
+    def test_all_records_valid_untouched(self, two_shop_shared):
+        cleaner = RawDataCleaner(two_shop_shared.topology)
+        sequence = walk_sequence(points=[(1 + i, 5, 1) for i in range(10)])
+        result = cleaner.clean(sequence)
+        assert result.report.invalid_count == 0
+        assert result.cleaned.records == sequence.records
+
+    def test_floor_correction_disabled(self, two_shop_shared):
+        config = CleaningConfig(enable_floor_correction=False)
+        cleaner = RawDataCleaner(two_shop_shared.topology, config)
+        records = [rec(i * 5.0, 1 + i, 5) for i in range(10)]
+        records[4] = rec(20.0, 5, 5, floor=2)
+        result = cleaner.clean(PositioningSequence("dev", records))
+        assert result.report.floor_corrected == []
+        # Interpolation still repairs it (back onto floor 1).
+        assert result.cleaned[4].floor == 1
+
+
+class TestInterpolation:
+    def test_outlier_pulled_back(self, two_shop_shared):
+        cleaner = RawDataCleaner(two_shop_shared.topology)
+        records = [rec(i * 5.0, 1 + i, 5) for i in range(10)]
+        records[5] = rec(25.0, 300, 300)  # teleport far outside
+        result = cleaner.clean(PositioningSequence("dev", records))
+        assert 5 in result.report.interpolated
+        repaired = result.cleaned[5].location
+        # Repaired fix lies between its neighbors, inside the hall.
+        assert 5 <= repaired.x <= 8
+        assert two_shop_shared.partition_at(repaired) is not None
+
+    def test_interpolation_respects_walls(self, two_shop_shared):
+        cleaner = RawDataCleaner(two_shop_shared.topology)
+        # Dwell in Adidas, outlier, then dwell in Nike: the repaired point
+        # must lie on the door path, never inside the wall between shops.
+        records = (
+            [rec(i * 5.0, 5, 15) for i in range(5)]
+            + [rec(25.0, 200, 200)]
+            + [rec(30.0 + i * 5.0, 15, 15) for i in range(5)]
+        )
+        result = cleaner.clean(PositioningSequence("dev", records))
+        repaired = result.cleaned[5].location
+        partition = two_shop_shared.partition_at(repaired)
+        assert partition is not None
+
+    def test_leading_outlier_repaired(self, two_shop_shared):
+        cleaner = RawDataCleaner(two_shop_shared.topology)
+        records = [rec(0.0, 300, 300)] + [
+            rec(5.0 + i * 5.0, 1 + i, 5) for i in range(6)
+        ]
+        result = cleaner.clean(PositioningSequence("dev", records))
+        assert 0 in result.report.invalid_indexes
+        assert result.cleaned[0].location.xy == (1, 5)
+
+    def test_interpolation_disabled_keeps_outlier(self, two_shop_shared):
+        config = CleaningConfig(
+            enable_floor_correction=False, enable_interpolation=False
+        )
+        cleaner = RawDataCleaner(two_shop_shared.topology, config)
+        records = [rec(i * 5.0, 1 + i, 5) for i in range(6)]
+        records[3] = rec(15.0, 300, 300)
+        result = cleaner.clean(PositioningSequence("dev", records))
+        assert result.report.unrepaired == [3]
+        assert result.cleaned[3].location.xy == (300, 300)
+
+    def test_short_sequence_passthrough(self, two_shop_shared):
+        cleaner = RawDataCleaner(two_shop_shared.topology)
+        sequence = PositioningSequence("dev", [rec(0, 1, 5)])
+        result = cleaner.clean(sequence)
+        assert result.cleaned is sequence
+
+
+class TestCleaningQuality:
+    """Injected-error recovery on realistic simulated data."""
+
+    def test_recovers_injected_floor_errors(self, mall3, simulated):
+        from repro.core import score_positions
+
+        corrupted, report = inject_floor_errors(
+            simulated.ground_truth, 0.10, mall3.floor_numbers, seed=5
+        )
+        cleaner = RawDataCleaner(mall3.topology)
+        result = cleaner.clean(corrupted)
+        before = score_positions(corrupted, simulated.ground_truth)
+        after = score_positions(result.cleaned, simulated.ground_truth)
+        assert after.floor_accuracy > before.floor_accuracy
+        assert after.floor_accuracy >= 0.97
+
+    def test_reduces_outlier_rmse(self, mall3, simulated):
+        from repro.core import score_positions
+
+        noisy = inject_gaussian_noise(simulated.ground_truth, 1.0, seed=1)
+        corrupted, _ = inject_outliers(noisy, 0.05, magnitude=30, seed=2)
+        cleaner = RawDataCleaner(mall3.topology)
+        result = cleaner.clean(corrupted)
+        before = score_positions(corrupted, simulated.ground_truth)
+        after = score_positions(result.cleaned, simulated.ground_truth)
+        assert after.rmse < before.rmse
+
+    def test_report_arithmetic(self, two_shop_shared):
+        cleaner = RawDataCleaner(two_shop_shared.topology)
+        records = [rec(i * 5.0, 1 + i, 5) for i in range(10)]
+        records[4] = rec(20.0, 300, 300)
+        result = cleaner.clean(PositioningSequence("dev", records))
+        report = result.report
+        assert report.total_records == 10
+        assert report.invalid_rate == pytest.approx(0.1)
+        assert report.repaired_count == report.invalid_count
+        assert "invalid" in str(report)
+
+    def test_config_validation(self):
+        with pytest.raises(CleaningError):
+            CleaningConfig(max_speed=0)

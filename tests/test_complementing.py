@@ -1,0 +1,255 @@
+"""Unit tests for mobility knowledge and MAP gap inference."""
+
+import pytest
+
+from repro.core.complementing import (
+    ComplementorConfig,
+    InferenceConfig,
+    MobilityKnowledge,
+    MobilitySemanticsComplementor,
+    SemanticsInference,
+)
+from repro.core.semantics import (
+    EVENT_PASS_BY,
+    EVENT_STAY,
+    MobilitySemantic,
+    MobilitySemanticsSequence,
+)
+from repro.errors import InferenceError
+from repro.timeutil import TimeRange
+
+REGIONS = ["r-adidas", "r-cashier", "r-hall", "r-nike"]
+
+
+def triplet(event, region_id, start, end, **kwargs):
+    return MobilitySemantic(
+        event=event,
+        region_id=region_id,
+        region_name=region_id[2:].title(),
+        time_range=TimeRange(start, end),
+        **kwargs,
+    )
+
+
+def corpus():
+    """Many shoppers: Adidas -> Hall -> Nike is the dominant route."""
+    sequences = []
+    for i in range(10):
+        base = i * 10000.0
+        sequences.append(
+            MobilitySemanticsSequence(
+                f"d{i}",
+                [
+                    triplet(EVENT_STAY, "r-adidas", base, base + 600),
+                    triplet(EVENT_PASS_BY, "r-hall", base + 610, base + 680),
+                    triplet(EVENT_STAY, "r-nike", base + 690, base + 1200),
+                ],
+            )
+        )
+    # A couple of detours to the cashier so it is not unseen.
+    for i in range(2):
+        base = 1e6 + i * 10000.0
+        sequences.append(
+            MobilitySemanticsSequence(
+                f"c{i}",
+                [
+                    triplet(EVENT_STAY, "r-nike", base, base + 300),
+                    triplet(EVENT_PASS_BY, "r-hall", base + 310, base + 350),
+                    triplet(EVENT_STAY, "r-cashier", base + 360, base + 500),
+                ],
+            )
+        )
+    return sequences
+
+
+@pytest.fixture
+def knowledge():
+    return MobilityKnowledge.from_sequences(corpus(), REGIONS)
+
+
+class TestKnowledge:
+    def test_vocabulary_validation(self):
+        with pytest.raises(InferenceError):
+            MobilityKnowledge(regions=[])
+        with pytest.raises(InferenceError):
+            MobilityKnowledge(regions=REGIONS, smoothing=0)
+
+    def test_transition_counts(self, knowledge):
+        assert knowledge.transition_count("r-adidas", "r-hall") == 10
+        assert knowledge.transition_count("r-hall", "r-nike") == 10
+        assert knowledge.transition_count("r-adidas", "r-cashier") == 0
+
+    def test_probabilities_normalized(self, knowledge):
+        for origin in REGIONS:
+            total = sum(
+                knowledge.transition_probability(origin, dest)
+                for dest in REGIONS
+                if dest != origin
+            )
+            assert total == pytest.approx(1.0)
+
+    def test_smoothing_no_zero_probability(self, knowledge):
+        assert knowledge.transition_probability("r-adidas", "r-cashier") > 0.0
+
+    def test_self_transition_zero(self, knowledge):
+        assert knowledge.transition_probability("r-hall", "r-hall") == 0.0
+
+    def test_unknown_region_raises(self, knowledge):
+        with pytest.raises(InferenceError):
+            knowledge.transition_probability("r-adidas", "r-ghost")
+
+    def test_dwell_statistics(self, knowledge):
+        stats = knowledge.region_stats("r-adidas")
+        assert stats.visits == 10
+        assert stats.mean_dwell == pytest.approx(600.0)
+        assert stats.stay_fraction == 1.0
+        hall = knowledge.region_stats("r-hall")
+        assert hall.stay_fraction == 0.0
+
+    def test_mean_dwell_default_for_unvisited(self):
+        knowledge = MobilityKnowledge(regions=REGIONS)
+        assert knowledge.mean_dwell("r-nike", default=42.0) == 42.0
+
+    def test_most_likely_next(self, knowledge):
+        ranked = knowledge.most_likely_next("r-adidas", top_k=2)
+        assert ranked[0][0] == "r-hall"
+        assert ranked[0][1] > ranked[1][1]
+
+    def test_long_gap_transitions_not_counted(self):
+        sequence = MobilitySemanticsSequence(
+            "d",
+            [
+                triplet(EVENT_STAY, "r-adidas", 0, 100),
+                triplet(EVENT_STAY, "r-nike", 10000, 10100),  # huge gap
+            ],
+        )
+        knowledge = MobilityKnowledge.from_sequences(
+            [sequence], REGIONS, max_transition_gap=600.0
+        )
+        assert knowledge.transition_count("r-adidas", "r-nike") == 0
+
+
+class TestInference:
+    def test_infers_hall_between_shops(self, knowledge, two_shop_shared):
+        inference = SemanticsInference(knowledge, two_shop_shared.topology)
+        gap = TimeRange(1000.0, 1090.0)  # ~90 s: walk through the hall
+        inferred = inference.infer_gap("r-adidas", "r-nike", gap)
+        assert [s.region_id for s in inferred] == ["r-hall"]
+        assert all(s.inferred for s in inferred)
+        assert inferred[0].time_range.start >= gap.start
+        assert inferred[0].time_range.end <= gap.end
+
+    def test_adjacent_regions_short_gap_nothing(self, knowledge, two_shop_shared):
+        inference = SemanticsInference(knowledge, two_shop_shared.topology)
+        gap = TimeRange(1000.0, 1015.0)
+        inferred = inference.infer_gap("r-adidas", "r-hall", gap)
+        assert inferred == []
+
+    def test_inferred_events_follow_region_stats(
+        self, knowledge, two_shop_shared
+    ):
+        inference = SemanticsInference(knowledge, two_shop_shared.topology)
+        gap = TimeRange(1000.0, 1120.0)
+        inferred = inference.infer_gap("r-adidas", "r-nike", gap)
+        # The hall is never stayed in (stay_fraction 0) -> pass-by.
+        assert inferred[0].event == EVENT_PASS_BY
+
+    def test_confidence_in_unit_interval(self, knowledge, two_shop_shared):
+        inference = SemanticsInference(knowledge, two_shop_shared.topology)
+        inferred = inference.infer_gap(
+            "r-adidas", "r-nike", TimeRange(0.0, 100.0)
+        )
+        for semantic in inferred:
+            assert 0.0 <= semantic.confidence <= 1.0
+
+    def test_unknown_region_raises(self, knowledge, two_shop_shared):
+        inference = SemanticsInference(knowledge, two_shop_shared.topology)
+        with pytest.raises(InferenceError):
+            inference.infer_gap("r-ghost", "r-nike", TimeRange(0, 10))
+
+    def test_max_hops_zero_never_infers(self, knowledge, two_shop_shared):
+        inference = SemanticsInference(
+            knowledge, two_shop_shared.topology, InferenceConfig(max_hops=0)
+        )
+        assert inference.infer_gap(
+            "r-adidas", "r-nike", TimeRange(0, 500)
+        ) == []
+
+    def test_config_validation(self):
+        with pytest.raises(InferenceError):
+            InferenceConfig(max_hops=-1)
+        with pytest.raises(InferenceError):
+            InferenceConfig(duration_weight=-0.1)
+
+    def test_best_path_prefers_duration_fit(self, knowledge, two_shop_shared):
+        inference = SemanticsInference(knowledge, two_shop_shared.topology)
+        # A very long gap should prefer a path with an intermediate visit
+        # over the direct hop.
+        long_gap_path = inference.best_path("r-adidas", "r-nike", 400.0)
+        assert long_gap_path is not None
+        assert len(long_gap_path.regions) >= 1
+
+
+class TestComplementor:
+    def _original(self):
+        return MobilitySemanticsSequence(
+            "oi",
+            [
+                triplet(EVENT_STAY, "r-adidas", 0, 600),
+                # 300 s unobserved gap (walked through the hall, dropout).
+                triplet(EVENT_STAY, "r-nike", 900, 1500),
+            ],
+        )
+
+    def test_fills_gap(self, knowledge, two_shop_shared):
+        complementor = MobilitySemanticsComplementor(
+            knowledge, two_shop_shared.topology
+        )
+        result = complementor.complement(self._original())
+        assert result.gaps_found == 1
+        assert result.gaps_filled == 1
+        assert result.inferred_semantics >= 1
+        regions = result.sequence.region_ids
+        assert regions == ["r-adidas", "r-hall", "r-nike"]
+
+    def test_no_gaps_untouched(self, knowledge, two_shop_shared):
+        sequence = MobilitySemanticsSequence(
+            "oi",
+            [
+                triplet(EVENT_STAY, "r-adidas", 0, 600),
+                triplet(EVENT_PASS_BY, "r-hall", 610, 680),
+            ],
+        )
+        complementor = MobilitySemanticsComplementor(
+            knowledge, two_shop_shared.topology
+        )
+        result = complementor.complement(sequence)
+        assert result.gaps_found == 0
+        assert result.sequence is sequence
+
+    def test_unknown_region_gap_skipped(self, knowledge, two_shop_shared):
+        sequence = MobilitySemanticsSequence(
+            "oi",
+            [
+                MobilitySemantic(EVENT_STAY, "r-ghost", "Ghost",
+                                 TimeRange(0, 100)),
+                triplet(EVENT_STAY, "r-nike", 900, 1000),
+            ],
+        )
+        complementor = MobilitySemanticsComplementor(
+            knowledge, two_shop_shared.topology
+        )
+        result = complementor.complement(sequence)
+        assert result.gaps_filled == 0
+
+    def test_threshold_config(self, knowledge, two_shop_shared):
+        config = ComplementorConfig(gap_threshold=1000.0)
+        complementor = MobilitySemanticsComplementor(
+            knowledge, two_shop_shared.topology, config
+        )
+        result = complementor.complement(self._original())
+        assert result.gaps_found == 0
+
+    def test_config_validation(self):
+        with pytest.raises(InferenceError):
+            ComplementorConfig(gap_threshold=0)

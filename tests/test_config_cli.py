@@ -1,0 +1,192 @@
+"""Unit tests for the Configurator (task configs) and the CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.config import (
+    SelectionConfig,
+    SourceConfig,
+    TranslationTaskConfig,
+    load_task,
+    run_task,
+    save_task,
+    select_sequences,
+)
+from repro.dsm import save_dsm
+from repro.errors import ConfigError
+from repro.positioning import write_csv
+from repro.timeutil import HOUR
+
+
+class TestConfigSchema:
+    def test_defaults_valid(self):
+        config = TranslationTaskConfig(dsm_path="model.json")
+        assert config.event_model == "heuristic"
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            TranslationTaskConfig(dsm_path="")
+        with pytest.raises(ConfigError):
+            TranslationTaskConfig(dsm_path="x", event_model="svm")
+        with pytest.raises(ConfigError):
+            TranslationTaskConfig(dsm_path="x", display_point_policy="left")
+        with pytest.raises(ConfigError):
+            SourceConfig(kind="xml", path="x")
+        with pytest.raises(ConfigError):
+            SelectionConfig(daily_open=10.0)  # close missing
+
+    def test_dict_roundtrip(self):
+        config = TranslationTaskConfig(
+            dsm_path="model.json",
+            sources=[SourceConfig("csv", "a.csv"),
+                     SourceConfig("jsonl", "b.jsonl")],
+            selection=SelectionConfig(
+                device_pattern="3a.*",
+                floors=[1, 2],
+                daily_open=10 * HOUR,
+                daily_close=22 * HOUR,
+                min_duration=900.0,
+            ),
+            event_model="forest",
+            eps_space=3.5,
+        )
+        clone = TranslationTaskConfig.from_dict(config.to_dict())
+        assert clone == config
+
+    def test_from_dict_malformed(self):
+        with pytest.raises(ConfigError):
+            TranslationTaskConfig.from_dict({"sources": [{"kind": "csv"}]})
+
+    def test_build_rule_combines(self):
+        selection = SelectionConfig(
+            device_pattern="3a.*", floors=[1], min_duration=60.0
+        )
+        rule = selection.build_rule()
+        assert rule is not None
+
+    def test_build_rule_empty(self):
+        assert SelectionConfig(min_records=1).build_rule() is None
+
+    def test_build_translator_config(self):
+        config = TranslationTaskConfig(
+            dsm_path="x", max_speed=3.0, eps_space=2.0, gap_threshold=200.0
+        )
+        translator_config = config.build_translator_config()
+        assert translator_config.cleaning.max_speed == 3.0
+        assert translator_config.annotation.splitter.eps_space == 2.0
+        assert translator_config.complementing.gap_threshold == 200.0
+
+    def test_file_roundtrip(self, tmp_path):
+        config = TranslationTaskConfig(dsm_path="model.json")
+        path = tmp_path / "task.json"
+        save_task(config, path)
+        assert load_task(path) == config
+
+    def test_load_missing(self, tmp_path):
+        with pytest.raises(ConfigError):
+            load_task(tmp_path / "absent.json")
+
+
+@pytest.fixture(scope="module")
+def task_workspace(tmp_path_factory, mall3, population):
+    """A DSM file + CSV data + task config on disk."""
+    root = tmp_path_factory.mktemp("task")
+    dsm_path = root / "mall.json"
+    save_dsm(mall3, dsm_path)
+    csv_path = root / "data.csv"
+    records = sorted(r for d in population for r in d.raw)
+    write_csv(records, csv_path)
+    config = TranslationTaskConfig(
+        dsm_path=str(dsm_path),
+        sources=[SourceConfig("csv", str(csv_path))],
+        selection=SelectionConfig(device_pattern="3a.*", min_records=10),
+    )
+    config_path = root / "task.json"
+    save_task(config, config_path)
+    return root, config, config_path
+
+
+class TestRunTask:
+    def test_select_sequences(self, task_workspace, population):
+        _, config, _ = task_workspace
+        sequences = select_sequences(config)
+        assert len(sequences) == len(population)
+
+    def test_no_sources_rejected(self):
+        config = TranslationTaskConfig(dsm_path="x")
+        with pytest.raises(ConfigError):
+            select_sequences(config)
+
+    def test_run_heuristic_task(self, task_workspace, population):
+        _, config, _ = task_workspace
+        batch = run_task(config)
+        assert len(batch) == len(population)
+        assert batch.total_semantics > 0
+
+    def test_learned_model_requires_training(self, task_workspace):
+        root, config, _ = task_workspace
+        learned = TranslationTaskConfig.from_dict(
+            {**config.to_dict(), "event_model": "forest"}
+        )
+        with pytest.raises(ConfigError):
+            run_task(learned)
+
+    def test_learned_model_with_training(self, task_workspace, population):
+        from repro.events import EventEditor
+
+        root, config, _ = task_workspace
+        editor = EventEditor()
+        for device in population[:3]:
+            editor.designate_from_annotations(
+                device.raw,
+                [(s.event, s.time_range) for s in device.truth_semantics],
+            )
+        learned = TranslationTaskConfig.from_dict(
+            {**config.to_dict(), "event_model": "naive-bayes"}
+        )
+        batch = run_task(learned, training_set=editor.training_set())
+        assert batch.total_semantics > 0
+
+
+class TestCli:
+    def test_no_command_shows_help(self, capsys):
+        assert cli_main([]) == 2
+
+    def test_simulate_validate_render_translate(self, tmp_path, capsys):
+        out = tmp_path / "data"
+        code = cli_main(
+            ["simulate", "--devices", "2", "--floors", "1",
+             "--out", str(out), "--seed", "3"]
+        )
+        assert code == 0
+        assert (out / "mall-dsm.json").exists()
+        assert (out / "positioning.csv").exists()
+        assert (out / "ground-truth.json").exists()
+
+        assert cli_main(["validate-dsm", str(out / "mall-dsm.json")]) == 0
+
+        svg_path = tmp_path / "floor.svg"
+        assert cli_main(
+            ["render", str(out / "mall-dsm.json"), "--out", str(svg_path)]
+        ) == 0
+        assert svg_path.read_text().endswith("</svg>")
+
+        config = TranslationTaskConfig(
+            dsm_path=str(out / "mall-dsm.json"),
+            sources=[SourceConfig("csv", str(out / "positioning.csv"))],
+        )
+        config_path = tmp_path / "task.json"
+        save_task(config, config_path)
+        results = tmp_path / "results"
+        assert cli_main(
+            ["translate", str(config_path), "--out", str(results)]
+        ) == 0
+        outputs = list(results.glob("*.json"))
+        assert len(outputs) == 2
+        payload = json.loads(outputs[0].read_text())
+        assert "semantics" in payload
+
+    def test_error_exit_code(self, tmp_path, capsys):
+        assert cli_main(["validate-dsm", str(tmp_path / "absent.json")]) == 1

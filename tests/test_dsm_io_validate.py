@@ -1,0 +1,187 @@
+"""Unit tests for DSM JSON round-trip and structural validation."""
+
+import json
+
+import pytest
+
+from repro.dsm import (
+    DigitalSpaceModel,
+    EntityKind,
+    IndoorEntity,
+    SemanticRegion,
+    SemanticTag,
+    dsm_from_dict,
+    dsm_from_json,
+    dsm_to_dict,
+    dsm_to_json,
+    load_dsm,
+    save_dsm,
+    shape_from_json,
+    shape_to_json,
+    validate_dsm,
+)
+from repro.errors import DSMError, DSMValidationError
+from repro.geometry import Circle, Point, Polygon, Polyline, Segment
+
+
+class TestShapeJson:
+    @pytest.mark.parametrize(
+        "shape",
+        [
+            Point(1.5, 2.5, 3),
+            Segment(Point(0, 0, 2), Point(5, 5, 2)),
+            Polyline([Point(0, 0), Point(1, 0), Point(1, 1)]),
+            Polygon.rectangle(0, 0, 10, 5, floor=4),
+            Circle(Point(3, 3, 2), 1.5),
+        ],
+    )
+    def test_roundtrip(self, shape):
+        assert shape_from_json(shape_to_json(shape)) == shape
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(DSMError):
+            shape_from_json({"type": "blob"})
+
+    def test_malformed_raises(self):
+        with pytest.raises(DSMError):
+            shape_from_json({"type": "circle", "center": [1]})
+
+
+class TestDsmJson:
+    def test_roundtrip_preserves_structure(self, two_shop_shared):
+        clone = dsm_from_dict(dsm_to_dict(two_shop_shared))
+        assert clone.entity_count == two_shop_shared.entity_count
+        assert clone.region_count == two_shop_shared.region_count
+        assert clone.name == two_shop_shared.name
+        assert [r.region_id for r in clone.regions()] == [
+            r.region_id for r in two_shop_shared.regions()
+        ]
+
+    def test_roundtrip_preserves_behavior(self, two_shop_shared):
+        clone = dsm_from_json(dsm_to_json(two_shop_shared))
+        assert clone.partition_at(Point(5, 15)).entity_id == "shop-adidas"
+        assert clone.topology.regions_adjacent("r-adidas", "r-hall")
+
+    def test_entrance_property_survives(self, two_shop_shared):
+        clone = dsm_from_json(dsm_to_json(two_shop_shared))
+        assert clone.entity("door-main").is_entrance
+
+    def test_bad_schema_version(self, two_shop_shared):
+        data = dsm_to_dict(two_shop_shared)
+        data["schema_version"] = 99
+        with pytest.raises(DSMError):
+            dsm_from_dict(data)
+
+    def test_unknown_entity_kind(self, two_shop_shared):
+        data = dsm_to_dict(two_shop_shared)
+        data["entities"][0]["kind"] = "spaceship"
+        with pytest.raises(DSMError):
+            dsm_from_dict(data)
+
+    def test_region_with_line_shape_rejected(self, two_shop_shared):
+        data = dsm_to_dict(two_shop_shared)
+        data["regions"][0]["shape"] = {
+            "type": "polyline", "floor": 1, "points": [[0, 0], [1, 1]],
+        }
+        data["regions"][0]["entity_ids"] = []
+        with pytest.raises(DSMError):
+            dsm_from_dict(data)
+
+    def test_file_roundtrip(self, two_shop_shared, tmp_path):
+        path = tmp_path / "model.json"
+        save_dsm(two_shop_shared, path)
+        clone = load_dsm(path)
+        assert clone.entity_count == two_shop_shared.entity_count
+        # The file is plain JSON, editable by hand.
+        payload = json.loads(path.read_text())
+        assert payload["name"] == "two-shop"
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(DSMError):
+            load_dsm(tmp_path / "absent.json")
+
+    def test_malformed_json_string(self):
+        with pytest.raises(DSMError):
+            dsm_from_json("{not json")
+
+    def test_mall_roundtrip(self, mall):
+        clone = dsm_from_json(dsm_to_json(mall))
+        assert clone.entity_count == mall.entity_count
+        assert clone.region_count == mall.region_count
+
+
+class TestValidation:
+    def test_clean_model_passes(self, two_shop_shared):
+        assert validate_dsm(two_shop_shared) == []
+
+    def test_mall_passes(self, mall):
+        assert validate_dsm(mall) == []
+
+    def test_dangling_door_is_error(self, two_shop):
+        two_shop.add_entity(
+            IndoorEntity("door-lost", EntityKind.DOOR, Point(100, 100))
+        )
+        with pytest.raises(DSMValidationError) as info:
+            validate_dsm(two_shop)
+        assert any("door-lost" in p for p in info.value.problems)
+
+    def test_single_floor_stack_is_error(self, two_shop):
+        two_shop.add_entity(
+            IndoorEntity(
+                "stair-x", EntityKind.STAIRCASE,
+                Polygon.rectangle(1, 1, 3, 3),
+                properties={"stack": "X"},
+            )
+        )
+        with pytest.raises(DSMValidationError):
+            validate_dsm(two_shop)
+
+    def test_unflagged_single_sided_door_warns(self, two_shop):
+        two_shop.add_entity(
+            # In the middle of the hall: attaches only to the hall.
+            IndoorEntity("door-odd", EntityKind.DOOR, Point(15, 5))
+        )
+        warnings = validate_dsm(two_shop)
+        assert any("door-odd" in w for w in warnings)
+
+    def test_doorless_partition_warns(self, two_shop):
+        two_shop.add_entity(
+            IndoorEntity(
+                "vault", EntityKind.ROOM, Polygon.rectangle(40, 40, 50, 50)
+            )
+        )
+        warnings = validate_dsm(two_shop, require_connected=False)
+        assert any("vault" in w for w in warnings)
+
+    def test_disconnected_space_is_error_when_required(self, two_shop):
+        two_shop.add_entity(
+            IndoorEntity(
+                "annex", EntityKind.ROOM, Polygon.rectangle(40, 40, 50, 50)
+            )
+        )
+        two_shop.add_entity(
+            IndoorEntity("door-annex", EntityKind.DOOR, Point(45, 40),
+                         properties={"entrance": True})
+        )
+        with pytest.raises(DSMValidationError):
+            validate_dsm(two_shop, require_connected=True)
+        assert validate_dsm(two_shop, require_connected=False)
+
+    def test_no_regions_warns_or_errors(self):
+        model = DigitalSpaceModel()
+        model.add_entity(
+            IndoorEntity("hall", EntityKind.HALLWAY,
+                         Polygon.rectangle(0, 0, 10, 10))
+        )
+        warnings = validate_dsm(model, require_connected=False)
+        assert any("no semantic regions" in w for w in warnings)
+        with pytest.raises(DSMValidationError):
+            validate_dsm(model, require_regions=True, require_connected=False)
+
+    def test_region_mapping_non_partition_is_error(self, two_shop):
+        region = SemanticRegion(
+            "r-bad", "Bad", SemanticTag("t"), entity_ids=("door-main",)
+        )
+        two_shop.add_region(region)
+        with pytest.raises(DSMValidationError):
+            validate_dsm(two_shop)

@@ -1,0 +1,218 @@
+"""Unit tests for entities, regions and the DigitalSpaceModel container."""
+
+import pytest
+
+from repro.dsm import (
+    DigitalSpaceModel,
+    EntityKind,
+    GridIndex,
+    IndoorEntity,
+    SemanticRegion,
+    SemanticTag,
+)
+from repro.errors import DSMError
+from repro.geometry import BoundingBox, Point, Polygon
+
+
+class TestEntityKind:
+    def test_partitions(self):
+        assert EntityKind.ROOM.is_partition
+        assert EntityKind.HALLWAY.is_partition
+        assert not EntityKind.DOOR.is_partition
+
+    def test_vertical_connectors(self):
+        assert EntityKind.STAIRCASE.is_vertical_connector
+        assert EntityKind.ELEVATOR.is_vertical_connector
+        assert not EntityKind.ROOM.is_vertical_connector
+
+
+class TestIndoorEntity:
+    def test_requires_id(self):
+        with pytest.raises(DSMError):
+            IndoorEntity("", EntityKind.DOOR, Point(0, 0))
+
+    def test_partition_needs_area_shape(self):
+        with pytest.raises(DSMError):
+            IndoorEntity("r", EntityKind.ROOM, Point(0, 0))
+
+    def test_door_point_allowed(self):
+        door = IndoorEntity("d", EntityKind.DOOR, Point(1, 2, 3))
+        assert door.floor == 3 and door.anchor == Point(1, 2, 3)
+
+    def test_entrance_flag(self):
+        plain = IndoorEntity("d1", EntityKind.DOOR, Point(0, 0))
+        flagged = IndoorEntity(
+            "d2", EntityKind.DOOR, Point(0, 0), properties={"entrance": True}
+        )
+        assert not plain.is_entrance and flagged.is_entrance
+
+    def test_stack_property(self):
+        stair = IndoorEntity(
+            "s", EntityKind.STAIRCASE, Polygon.rectangle(0, 0, 2, 2),
+            properties={"stack": "A"},
+        )
+        assert stair.stack == "A"
+        room = IndoorEntity("r", EntityKind.ROOM, Polygon.rectangle(0, 0, 2, 2))
+        assert room.stack is None
+
+
+class TestSemanticRegion:
+    def test_needs_shape_or_members(self):
+        with pytest.raises(DSMError):
+            SemanticRegion("r", "R", SemanticTag("t"))
+
+    def test_category_from_tag(self):
+        region = SemanticRegion(
+            "r", "Nike", SemanticTag("shop", "shop"),
+            shape=Polygon.rectangle(0, 0, 5, 5),
+        )
+        assert region.category == "shop"
+
+    def test_contains_point_in_shape(self):
+        region = SemanticRegion(
+            "r", "R", SemanticTag("t"), shape=Polygon.rectangle(0, 0, 5, 5)
+        )
+        assert region.contains_point_in_shape(Point(1, 1))
+        assert not region.contains_point_in_shape(Point(9, 9))
+
+
+class TestModelMutation:
+    def test_duplicate_entity_rejected(self, two_shop):
+        with pytest.raises(DSMError):
+            two_shop.add_entity(
+                IndoorEntity("hall", EntityKind.HALLWAY,
+                             Polygon.rectangle(0, 0, 1, 1))
+            )
+
+    def test_duplicate_region_rejected(self, two_shop):
+        with pytest.raises(DSMError):
+            two_shop.add_region(
+                SemanticRegion("r-adidas", "X", SemanticTag("t"),
+                               entity_ids=("hall",))
+            )
+
+    def test_region_unknown_member_rejected(self, two_shop):
+        with pytest.raises(DSMError):
+            two_shop.add_region(
+                SemanticRegion("r-x", "X", SemanticTag("t"),
+                               entity_ids=("nope",))
+            )
+
+    def test_floor_autoregistered(self, two_shop):
+        two_shop.add_entity(
+            IndoorEntity("up", EntityKind.ROOM,
+                         Polygon.rectangle(0, 0, 5, 5, floor=9))
+        )
+        assert 9 in two_shop.floor_numbers
+
+    def test_remove_entity_referenced_by_region_fails(self, two_shop):
+        with pytest.raises(DSMError):
+            two_shop.remove_entity("shop-nike")
+
+    def test_remove_region_then_entity(self, two_shop):
+        two_shop.remove_region("r-nike")
+        two_shop.remove_entity("shop-nike")
+        assert not two_shop.has_entity("shop-nike")
+
+    def test_remove_unknown_raises(self, two_shop):
+        with pytest.raises(DSMError):
+            two_shop.remove_entity("ghost")
+        with pytest.raises(DSMError):
+            two_shop.remove_region("ghost")
+
+
+class TestModelQueries:
+    def test_counts(self, two_shop_shared):
+        assert two_shop_shared.entity_count == 8
+        assert two_shop_shared.region_count == 4
+
+    def test_kind_filters(self, two_shop_shared):
+        assert len(two_shop_shared.doors()) == 4
+        assert len(two_shop_shared.partitions()) == 4
+        assert two_shop_shared.partitions(floor=2) == []
+
+    def test_unknown_lookup_raises(self, two_shop_shared):
+        with pytest.raises(DSMError):
+            two_shop_shared.entity("nope")
+        with pytest.raises(DSMError):
+            two_shop_shared.region("nope")
+
+    def test_regions_by_category(self, two_shop_shared):
+        shops = two_shop_shared.regions(category="shop")
+        assert [r.name for r in shops] == ["Adidas", "Nike"]
+
+    def test_partition_at(self, two_shop_shared):
+        assert two_shop_shared.partition_at(Point(5, 15)).entity_id == "shop-adidas"
+        assert two_shop_shared.partition_at(Point(15, 5)).entity_id == "hall"
+        assert two_shop_shared.partition_at(Point(50, 50)) is None
+
+    def test_partition_at_prefers_smallest(self, two_shop):
+        # An overlapping kiosk inside the hall should win point queries.
+        two_shop.add_entity(
+            IndoorEntity("kiosk", EntityKind.ROOM,
+                         Polygon.rectangle(12, 2, 14, 4))
+        )
+        assert two_shop.partition_at(Point(13, 3)).entity_id == "kiosk"
+
+    def test_nearest_partition_snaps(self, two_shop_shared):
+        found = two_shop_shared.nearest_partition(Point(-2, 5), max_distance=5)
+        assert found is not None
+        partition, distance = found
+        assert partition.entity_id == "hall" and distance == 2.0
+
+    def test_nearest_partition_out_of_range(self, two_shop_shared):
+        assert two_shop_shared.nearest_partition(Point(-50, 5), 5.0) is None
+
+    def test_regions_at(self, two_shop_shared):
+        names = [r.name for r in two_shop_shared.regions_at(Point(5, 15))]
+        assert names == ["Adidas"]
+
+    def test_primary_region_at(self, two_shop_shared):
+        region = two_shop_shared.primary_region_at(Point(25, 15))
+        assert region.name == "Cashier"
+        assert two_shop_shared.primary_region_at(Point(50, 50)) is None
+
+    def test_region_anchor_from_members(self, two_shop_shared):
+        anchor = two_shop_shared.region_anchor("r-adidas")
+        assert anchor.almost_equals(Point(5, 15))
+
+    def test_region_floor(self, two_shop_shared):
+        assert two_shop_shared.region_floor("r-nike") == 1
+
+    def test_floor_bounds(self, two_shop_shared):
+        bounds = two_shop_shared.floor_bounds(1)
+        assert bounds.max_x == 30 and bounds.max_y == 20
+
+    def test_floor_bounds_empty_floor_raises(self, two_shop_shared):
+        with pytest.raises(DSMError):
+            two_shop_shared.floor_bounds(99)
+
+    def test_regions_of_partition(self, two_shop_shared):
+        regions = two_shop_shared.regions_of_partition("shop-nike")
+        assert [r.region_id for r in regions] == ["r-nike"]
+
+
+class TestGridIndex:
+    def test_insert_and_query(self):
+        index = GridIndex(cell_size=5.0)
+        index.insert("a", BoundingBox(0, 0, 10, 10))
+        index.insert("b", BoundingBox(20, 20, 30, 30))
+        assert index.candidates_at(Point(5, 5)) == ["a"]
+        assert index.candidates_at(Point(25, 25)) == ["b"]
+        assert index.candidates_at(Point(15, 15)) == []
+
+    def test_duplicate_key_rejected(self):
+        index = GridIndex()
+        index.insert("a", BoundingBox(0, 0, 1, 1))
+        with pytest.raises(ValueError):
+            index.insert("a", BoundingBox(0, 0, 1, 1))
+
+    def test_range_query_deduplicates(self):
+        index = GridIndex(cell_size=2.0)
+        index.insert("big", BoundingBox(0, 0, 20, 20))
+        found = index.candidates_in(BoundingBox(1, 1, 15, 15))
+        assert found == ["big"]
+
+    def test_bad_cell_size(self):
+        with pytest.raises(ValueError):
+            GridIndex(cell_size=0.0)

@@ -1,0 +1,160 @@
+"""Unit tests for event patterns, the Event Editor and training sets."""
+
+import numpy as np
+import pytest
+
+from repro.core.annotation import extract_features
+from repro.errors import AnnotationError
+from repro.events import (
+    PASS_BY,
+    STAY,
+    EventEditor,
+    LabeledSegment,
+    PatternRegistry,
+    TrainingSet,
+)
+from repro.timeutil import TimeRange
+
+from .conftest import stationary_sequence, walk_sequence
+
+
+class TestPatternRegistry:
+    def test_builtins_present(self):
+        registry = PatternRegistry()
+        assert STAY in registry and PASS_BY in registry
+        assert registry.get(STAY).builtin
+
+    def test_register_custom(self):
+        registry = PatternRegistry()
+        pattern = registry.register("queue", "waits in a line")
+        assert not pattern.builtin
+        assert registry.names == [PASS_BY, STAY, "queue"]
+
+    def test_duplicate_rejected(self):
+        registry = PatternRegistry()
+        with pytest.raises(AnnotationError):
+            registry.register(STAY)
+
+    def test_unknown_lookup(self):
+        with pytest.raises(AnnotationError):
+            PatternRegistry().get("ghost")
+
+
+class TestEventEditor:
+    def test_designate_by_index(self):
+        editor = EventEditor()
+        seq = walk_sequence()
+        designation = editor.designate(seq, STAY, 0, 5)
+        assert designation.record_count == 5
+        assert len(editor) == 1
+        assert editor.training_set().labels == [STAY]
+
+    def test_designate_unknown_pattern(self):
+        editor = EventEditor()
+        with pytest.raises(AnnotationError):
+            editor.designate(walk_sequence(), "ghost", 0, 5)
+
+    def test_designate_bad_range(self):
+        editor = EventEditor()
+        seq = walk_sequence()
+        with pytest.raises(AnnotationError):
+            editor.designate(seq, STAY, 5, 2)
+        with pytest.raises(AnnotationError):
+            editor.designate(seq, STAY, 0, 100)
+        with pytest.raises(AnnotationError):
+            editor.designate(seq, STAY, 3, 4)  # single record
+
+    def test_designate_time(self):
+        editor = EventEditor()
+        seq = walk_sequence(interval=5)
+        designation = editor.designate_time(seq, PASS_BY, TimeRange(0, 20))
+        assert designation.record_count == 5
+
+    def test_designate_time_too_narrow(self):
+        editor = EventEditor()
+        with pytest.raises(AnnotationError):
+            editor.designate_time(walk_sequence(), STAY, TimeRange(0, 1))
+
+    def test_designate_from_annotations_skips_unusable(self):
+        editor = EventEditor()
+        seq = walk_sequence(interval=5)
+        made = editor.designate_from_annotations(
+            seq,
+            [(STAY, TimeRange(0, 20)), (PASS_BY, TimeRange(1000, 2000))],
+        )
+        assert len(made) == 1
+
+    def test_define_pattern_then_designate(self):
+        editor = EventEditor()
+        editor.define_pattern("browse")
+        editor.designate(walk_sequence(), "browse", 0, 4)
+        assert editor.training_set().label_counts() == {"browse": 1}
+
+    def test_browse_sample_deterministic(self):
+        sequences = [walk_sequence(f"dev{i}") for i in range(10)]
+        a = EventEditor.browse_sample(sequences, 3, seed=1)
+        b = EventEditor.browse_sample(sequences, 3, seed=1)
+        assert [s.device_id for s in a] == [s.device_id for s in b]
+        assert len(a) == 3
+
+    def test_browse_sample_all_when_count_large(self):
+        sequences = [walk_sequence("a"), walk_sequence("b")]
+        assert len(EventEditor.browse_sample(sequences, 10)) == 2
+
+    def test_clear(self):
+        editor = EventEditor()
+        editor.designate(walk_sequence(), STAY, 0, 5)
+        editor.clear()
+        assert len(editor) == 0
+        assert STAY in editor.registry  # patterns survive
+
+
+class TestTrainingSet:
+    def _set(self, stays=3, passes=3):
+        training = TrainingSet()
+        for i in range(stays):
+            seq = stationary_sequence(f"s{i}", seed=i)
+            training.add(
+                LabeledSegment(seq.device_id, STAY, tuple(seq.records))
+            )
+        for i in range(passes):
+            seq = walk_sequence(f"p{i}")
+            training.add(
+                LabeledSegment(seq.device_id, PASS_BY, tuple(seq.records))
+            )
+        return training
+
+    def test_label_counts(self):
+        assert self._set(2, 3).label_counts() == {STAY: 2, PASS_BY: 3}
+
+    def test_to_features_shape(self):
+        from repro.core.annotation import FEATURE_NAMES
+
+        features, labels = self._set().to_features(extract_features)
+        assert features.shape == (6, len(FEATURE_NAMES))
+        assert len(labels) == 6
+        assert np.all(np.isfinite(features))
+
+    def test_to_features_empty_raises(self):
+        with pytest.raises(AnnotationError):
+            TrainingSet().to_features(extract_features)
+
+    def test_segment_needs_two_records(self):
+        seq = walk_sequence()
+        with pytest.raises(AnnotationError):
+            LabeledSegment("d", STAY, (seq.records[0],))
+
+    def test_subset_stratified(self):
+        training = self._set(5, 5)
+        subset = training.subset(4, seed=0)
+        counts = subset.label_counts()
+        assert len(subset) == 4
+        assert counts.get(STAY, 0) >= 1 and counts.get(PASS_BY, 0) >= 1
+
+    def test_subset_full_when_large(self):
+        training = self._set(2, 2)
+        assert len(training.subset(100)) == 4
+
+    def test_subset_validation(self):
+        with pytest.raises(AnnotationError):
+            self._set().subset(0)

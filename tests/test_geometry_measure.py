@@ -1,0 +1,131 @@
+"""Unit tests for trajectory measurements (the feature primitives)."""
+
+import math
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import (
+    Point,
+    count_turns,
+    covering_range,
+    floor_changes,
+    location_variance,
+    max_speed,
+    mean_speed,
+    path_length,
+    radius_of_gyration,
+    speeds,
+    straightness,
+)
+
+
+def line_points(n=5, step=1.0):
+    return [Point(i * step, 0) for i in range(n)]
+
+
+class TestPathLength:
+    def test_straight(self):
+        assert path_length(line_points(5)) == 4.0
+
+    def test_single_point(self):
+        assert path_length([Point(0, 0)]) == 0.0
+
+    def test_zigzag(self):
+        pts = [Point(0, 0), Point(3, 4), Point(6, 0)]
+        assert path_length(pts) == 10.0
+
+
+class TestVariance:
+    def test_identical_points_zero(self):
+        assert location_variance([Point(2, 3)] * 5) == 0.0
+
+    def test_known_value(self):
+        pts = [Point(-1, 0), Point(1, 0)]
+        assert location_variance(pts) == pytest.approx(1.0)
+
+    def test_radius_of_gyration(self):
+        pts = [Point(-1, 0), Point(1, 0)]
+        assert radius_of_gyration(pts) == pytest.approx(1.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(GeometryError):
+            location_variance([])
+
+
+class TestCoveringRange:
+    def test_single_point(self):
+        assert covering_range([Point(3, 3)]) == 0.0
+
+    def test_diagonal(self):
+        assert covering_range([Point(0, 0), Point(3, 4)]) == 5.0
+
+
+class TestTurns:
+    def test_straight_walk_no_turns(self):
+        assert count_turns(line_points(10)) == 0
+
+    def test_right_angle(self):
+        pts = [Point(0, 0), Point(5, 0), Point(5, 5)]
+        assert count_turns(pts) == 1
+
+    def test_u_turn(self):
+        pts = [Point(0, 0), Point(5, 0), Point(0, 0.001)]
+        assert count_turns(pts) == 1
+
+    def test_threshold_filters_gentle_curves(self):
+        pts = [Point(0, 0), Point(5, 0), Point(10, 1)]
+        assert count_turns(pts, angle_threshold=math.pi / 4) == 0
+
+    def test_stationary_jitter_ignored(self):
+        pts = [Point(0, 0), Point(0, 0), Point(0, 0)]
+        assert count_turns(pts) == 0
+
+
+class TestFloorChanges:
+    def test_no_changes(self):
+        assert floor_changes([1, 1, 1]) == 0
+
+    def test_counts_transitions(self):
+        assert floor_changes([1, 2, 2, 3, 2]) == 3
+
+
+class TestStraightness:
+    def test_straight_is_one(self):
+        assert straightness(line_points(5)) == pytest.approx(1.0)
+
+    def test_round_trip_is_zero(self):
+        pts = [Point(0, 0), Point(10, 0), Point(0, 0)]
+        assert straightness(pts) == pytest.approx(0.0)
+
+    def test_stationary_is_zero(self):
+        assert straightness([Point(1, 1)] * 3) == 0.0
+
+
+class TestSpeeds:
+    def test_per_step(self):
+        pts = [Point(0, 0), Point(10, 0), Point(10, 5)]
+        times = [0.0, 5.0, 10.0]
+        assert speeds(pts, times) == [2.0, 1.0]
+
+    def test_zero_duration_steps_skipped(self):
+        pts = [Point(0, 0), Point(10, 0)]
+        assert speeds(pts, [0.0, 0.0]) == []
+
+    def test_misaligned_raises(self):
+        with pytest.raises(GeometryError):
+            speeds([Point(0, 0)], [0.0, 1.0])
+
+    def test_mean_speed(self):
+        pts = [Point(0, 0), Point(10, 0), Point(10, 10)]
+        assert mean_speed(pts, [0.0, 5.0, 10.0]) == 2.0
+
+    def test_mean_speed_single(self):
+        assert mean_speed([Point(0, 0)], [0.0]) == 0.0
+
+    def test_max_speed(self):
+        pts = [Point(0, 0), Point(10, 0), Point(10, 5)]
+        assert max_speed(pts, [0.0, 5.0, 10.0]) == 2.0
+
+    def test_max_speed_empty(self):
+        assert max_speed([Point(0, 0)], [0.0]) == 0.0

@@ -1,0 +1,83 @@
+"""Unit tests for Point."""
+
+import math
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import Point, centroid_of
+
+
+class TestPoint:
+    def test_paper_notation(self):
+        assert str(Point(5.1, 12.7, 3)) == "(5.1, 12.7, 3F)"
+
+    def test_default_floor_is_ground(self):
+        assert Point(0, 0).floor == 1
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(GeometryError):
+            Point(float("nan"), 0.0)
+        with pytest.raises(GeometryError):
+            Point(0.0, float("inf"))
+
+    def test_distance_same_floor(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == 5.0
+
+    def test_distance_cross_floor_raises(self):
+        with pytest.raises(GeometryError):
+            Point(0, 0, 1).distance_to(Point(0, 0, 2))
+
+    def test_planar_distance_ignores_floor(self):
+        assert Point(0, 0, 1).planar_distance_to(Point(3, 4, 5)) == 5.0
+
+    def test_midpoint(self):
+        assert Point(0, 0).midpoint(Point(2, 4)) == Point(1, 2)
+
+    def test_translate(self):
+        assert Point(1, 1, 2).translate(2, -1) == Point(3, 0, 2)
+
+    def test_with_floor(self):
+        assert Point(1, 1, 1).with_floor(3) == Point(1, 1, 3)
+
+    def test_lerp_midway_snaps_to_far_floor(self):
+        result = Point(0, 0, 1).lerp(Point(10, 0, 2), 0.5)
+        assert result == Point(5, 0, 2)
+
+    def test_lerp_near_start_keeps_floor(self):
+        result = Point(0, 0, 1).lerp(Point(10, 0, 2), 0.25)
+        assert result == Point(2.5, 0, 1)
+
+    def test_heading_east(self):
+        assert Point(0, 0).heading_to(Point(1, 0)) == 0.0
+
+    def test_heading_north(self):
+        assert Point(0, 0).heading_to(Point(0, 1)) == pytest.approx(math.pi / 2)
+
+    def test_almost_equals_tolerance(self):
+        assert Point(1, 1).almost_equals(Point(1 + 1e-10, 1))
+        assert not Point(1, 1).almost_equals(Point(1.01, 1))
+
+    def test_almost_equals_needs_same_floor(self):
+        assert not Point(1, 1, 1).almost_equals(Point(1, 1, 2))
+
+    def test_iterable(self):
+        x, y = Point(3, 4)
+        assert (x, y) == (3, 4)
+
+    def test_hashable(self):
+        assert len({Point(1, 2), Point(1, 2), Point(1, 3)}) == 2
+
+
+class TestCentroidOf:
+    def test_mean(self):
+        c = centroid_of([Point(0, 0), Point(2, 0), Point(1, 3)])
+        assert c == Point(1, 1)
+
+    def test_majority_floor(self):
+        c = centroid_of([Point(0, 0, 2), Point(2, 0, 2), Point(1, 3, 5)])
+        assert c.floor == 2
+
+    def test_empty_raises(self):
+        with pytest.raises(GeometryError):
+            centroid_of([])

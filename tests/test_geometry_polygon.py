@@ -1,0 +1,163 @@
+"""Unit tests for Polygon."""
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import Point, Polygon
+
+
+@pytest.fixture
+def unit_square():
+    return Polygon.rectangle(0, 0, 10, 10)
+
+
+@pytest.fixture
+def l_shape():
+    # An L: 10x10 square with the top-right 5x5 quadrant removed.
+    return Polygon(
+        [
+            Point(0, 0), Point(10, 0), Point(10, 5), Point(5, 5),
+            Point(5, 10), Point(0, 10),
+        ]
+    )
+
+
+class TestConstruction:
+    def test_too_few_vertices(self):
+        with pytest.raises(GeometryError):
+            Polygon([Point(0, 0), Point(1, 1)])
+
+    def test_mixed_floors_rejected(self):
+        with pytest.raises(GeometryError):
+            Polygon([Point(0, 0, 1), Point(1, 0, 1), Point(1, 1, 2)])
+
+    def test_repeated_closing_vertex_dropped(self):
+        poly = Polygon([Point(0, 0), Point(1, 0), Point(1, 1), Point(0, 0)])
+        assert len(poly.vertices) == 3
+
+    def test_rectangle_validation(self):
+        with pytest.raises(GeometryError):
+            Polygon.rectangle(5, 5, 5, 10)
+
+    def test_regular_polygon_area_approaches_circle(self):
+        import math
+
+        poly = Polygon.regular(Point(0, 0), 10.0, 64)
+        assert poly.area == pytest.approx(math.pi * 100, rel=0.01)
+
+
+class TestMeasures:
+    def test_area(self, unit_square):
+        assert unit_square.area == 100.0
+
+    def test_l_shape_area(self, l_shape):
+        assert l_shape.area == 75.0
+
+    def test_signed_area_winding(self, unit_square):
+        assert unit_square.signed_area > 0  # rectangle() is CCW
+        reversed_poly = Polygon(tuple(reversed(unit_square.vertices)))
+        assert reversed_poly.signed_area < 0
+
+    def test_normalized_rewinds(self, unit_square):
+        clockwise = Polygon(tuple(reversed(unit_square.vertices)))
+        assert clockwise.normalized().signed_area > 0
+
+    def test_perimeter(self, unit_square):
+        assert unit_square.perimeter == 40.0
+
+    def test_centroid(self, unit_square):
+        assert unit_square.centroid.almost_equals(Point(5, 5))
+
+    def test_centroid_l_shape(self, l_shape):
+        c = l_shape.centroid
+        # Centroid of the L leans towards the filled corner.
+        assert c.x < 5 or c.y < 5
+
+
+class TestPredicates:
+    def test_contains_interior(self, unit_square):
+        assert unit_square.contains_point(Point(5, 5))
+
+    def test_contains_boundary_default(self, unit_square):
+        assert unit_square.contains_point(Point(0, 5))
+
+    def test_boundary_excluded_when_asked(self, unit_square):
+        assert not unit_square.contains_point(
+            Point(0, 5), include_boundary=False
+        )
+
+    def test_outside(self, unit_square):
+        assert not unit_square.contains_point(Point(11, 5))
+
+    def test_other_floor(self, unit_square):
+        assert not unit_square.contains_point(Point(5, 5, 2))
+
+    def test_l_shape_concave_notch(self, l_shape):
+        assert not l_shape.contains_point(Point(7.5, 7.5))
+        assert l_shape.contains_point(Point(2.5, 7.5))
+        assert l_shape.contains_point(Point(7.5, 2.5))
+
+    def test_is_simple(self, unit_square, l_shape):
+        assert unit_square.is_simple()
+        assert l_shape.is_simple()
+
+    def test_bowtie_not_simple(self):
+        bowtie = Polygon([Point(0, 0), Point(10, 10), Point(10, 0), Point(0, 10)])
+        assert not bowtie.is_simple()
+
+    def test_convexity(self, unit_square, l_shape):
+        assert unit_square.is_convex()
+        assert not l_shape.is_convex()
+
+    def test_distance_inside_is_zero(self, unit_square):
+        assert unit_square.distance_to_point(Point(5, 5)) == 0.0
+
+    def test_distance_outside(self, unit_square):
+        assert unit_square.distance_to_point(Point(13, 5)) == 3.0
+
+    def test_boundary_distance_inside(self, unit_square):
+        assert unit_square.boundary_distance(Point(5, 5)) == 5.0
+
+
+class TestPolygonPolygon:
+    def test_overlapping(self, unit_square):
+        other = Polygon.rectangle(5, 5, 15, 15)
+        assert unit_square.intersects(other)
+
+    def test_disjoint(self, unit_square):
+        other = Polygon.rectangle(20, 20, 30, 30)
+        assert not unit_square.intersects(other)
+
+    def test_touching_edge(self, unit_square):
+        other = Polygon.rectangle(10, 0, 20, 10)
+        assert unit_square.intersects(other)
+
+    def test_containment(self, unit_square):
+        inner = Polygon.rectangle(2, 2, 8, 8)
+        assert unit_square.intersects(inner)
+        assert unit_square.contains_polygon(inner)
+        assert not inner.contains_polygon(unit_square)
+
+    def test_different_floors_disjoint(self, unit_square):
+        other = Polygon.rectangle(0, 0, 10, 10, floor=2)
+        assert not unit_square.intersects(other)
+
+    def test_shared_boundary_adjacent_rooms(self):
+        left = Polygon.rectangle(0, 0, 10, 10)
+        right = Polygon.rectangle(10, 0, 20, 10)
+        shared = left.shared_boundary_with(right)
+        assert len(shared) == 1
+        assert shared[0].length == pytest.approx(10.0, abs=0.1)
+
+
+class TestTransforms:
+    def test_translate(self, unit_square):
+        moved = unit_square.translate(5, -2)
+        assert moved.centroid.almost_equals(Point(10, 3))
+
+    def test_with_floor(self, unit_square):
+        assert unit_square.with_floor(4).floor == 4
+
+    def test_sample_interior_point(self, l_shape):
+        point = l_shape.sample_interior_point()
+        assert l_shape.contains_point(point, include_boundary=False)

@@ -1,0 +1,114 @@
+"""Unit tests for the shape-generic predicates."""
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import (
+    Circle,
+    Point,
+    Polygon,
+    Polyline,
+    Segment,
+    as_polygon,
+    shape_anchor,
+    shape_area,
+    shape_bounds,
+    shape_contains,
+    shape_distance_to_point,
+    shape_floor,
+    shapes_intersect,
+)
+
+SQUARE = Polygon.rectangle(0, 0, 10, 10)
+CIRCLE = Circle(Point(20, 5), 3.0)
+WALL = Polyline([Point(0, 15), Point(30, 15)])
+DOOR = Point(5, 10)
+SEG = Segment(Point(0, 0), Point(10, 10))
+
+
+class TestBasics:
+    def test_floor_dispatch(self):
+        assert shape_floor(SQUARE) == 1
+        assert shape_floor(DOOR) == 1
+        assert shape_floor(Point(0, 0, 3)) == 3
+
+    def test_bounds_dispatch(self):
+        assert shape_bounds(DOOR).area == 0.0
+        assert shape_bounds(SEG).diagonal == pytest.approx(200**0.5)
+        assert shape_bounds(CIRCLE).width == 6.0
+
+    def test_anchor(self):
+        assert shape_anchor(SQUARE).almost_equals(Point(5, 5))
+        assert shape_anchor(CIRCLE) == Point(20, 5)
+        assert shape_anchor(SEG).almost_equals(Point(5, 5))
+        assert shape_anchor(WALL).almost_equals(Point(15, 15))
+        assert shape_anchor(DOOR) == DOOR
+
+    def test_area(self):
+        assert shape_area(SQUARE) == 100.0
+        assert shape_area(CIRCLE) == pytest.approx(3.0**2 * 3.14159, rel=1e-3)
+        assert shape_area(WALL) == 0.0
+        assert shape_area(DOOR) == 0.0
+
+    def test_contains(self):
+        assert shape_contains(SQUARE, Point(5, 5))
+        assert shape_contains(CIRCLE, Point(21, 5))
+        assert shape_contains(SEG, Point(5, 5))
+        assert shape_contains(WALL, Point(15, 15))
+        assert shape_contains(DOOR, Point(5, 10))
+        assert not shape_contains(DOOR, Point(5, 11))
+
+    def test_distance(self):
+        assert shape_distance_to_point(SQUARE, Point(5, 5)) == 0.0
+        assert shape_distance_to_point(SQUARE, Point(15, 5)) == 5.0
+        assert shape_distance_to_point(DOOR, Point(5, 13)) == 3.0
+
+    def test_distance_cross_floor_raises(self):
+        with pytest.raises(GeometryError):
+            shape_distance_to_point(SQUARE, Point(5, 5, 2))
+
+    def test_as_polygon(self):
+        assert as_polygon(SQUARE) is SQUARE
+        assert as_polygon(CIRCLE).area == pytest.approx(CIRCLE.area, rel=0.05)
+        with pytest.raises(GeometryError):
+            as_polygon(WALL)
+
+
+class TestShapesIntersect:
+    def test_polygon_polygon(self):
+        assert shapes_intersect(SQUARE, Polygon.rectangle(5, 5, 15, 15))
+        assert not shapes_intersect(SQUARE, Polygon.rectangle(50, 50, 60, 60))
+
+    def test_circle_polygon(self):
+        assert shapes_intersect(Circle(Point(10, 5), 2.0), SQUARE)
+        assert not shapes_intersect(Circle(Point(20, 5), 3.0), SQUARE)
+
+    def test_circle_circle(self):
+        assert shapes_intersect(CIRCLE, Circle(Point(25, 5), 3.0))
+
+    def test_segment_polygon(self):
+        assert shapes_intersect(Segment(Point(-5, 5), Point(5, 5)), SQUARE)
+        assert shapes_intersect(Segment(Point(2, 2), Point(3, 3)), SQUARE)
+        assert not shapes_intersect(Segment(Point(-5, 50), Point(5, 50)), SQUARE)
+
+    def test_polyline_polygon(self):
+        crossing = Polyline([Point(5, -5), Point(5, 20)])
+        assert shapes_intersect(crossing, SQUARE)
+        assert not shapes_intersect(WALL, SQUARE)
+
+    def test_point_any(self):
+        assert shapes_intersect(Point(5, 5), SQUARE)
+        assert shapes_intersect(Point(20, 5), CIRCLE)
+        assert not shapes_intersect(Point(50, 50), SQUARE)
+
+    def test_cross_floor_never_intersects(self):
+        assert not shapes_intersect(SQUARE, Polygon.rectangle(0, 0, 10, 10, floor=2))
+
+    def test_order_independent(self):
+        pairs = [
+            (SQUARE, Circle(Point(10, 5), 2.0)),
+            (SEG, SQUARE),
+            (DOOR, SQUARE),
+        ]
+        for a, b in pairs:
+            assert shapes_intersect(a, b) == shapes_intersect(b, a)

@@ -1,0 +1,129 @@
+"""Property-based tests of geometry invariants (hypothesis)."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    BoundingBox,
+    Point,
+    Polygon,
+    Segment,
+    path_length,
+    straightness,
+)
+
+finite = st.floats(
+    min_value=-1e4, max_value=1e4, allow_nan=False, allow_infinity=False
+)
+small = st.floats(min_value=0.1, max_value=100.0)
+
+
+@st.composite
+def points(draw, floor=st.just(1)):
+    return Point(draw(finite), draw(finite), draw(floor))
+
+
+@st.composite
+def rectangles(draw):
+    x = draw(finite)
+    y = draw(finite)
+    w = draw(small)
+    h = draw(small)
+    return Polygon.rectangle(x, y, x + w, y + h)
+
+
+class TestPointProperties:
+    @given(points(), points())
+    def test_distance_symmetry(self, a, b):
+        assert a.planar_distance_to(b) == b.planar_distance_to(a)
+
+    @given(points(), points(), points())
+    def test_triangle_inequality(self, a, b, c):
+        direct = a.planar_distance_to(c)
+        via = a.planar_distance_to(b) + b.planar_distance_to(c)
+        assert direct <= via + 1e-6
+
+    @given(points(), points())
+    def test_midpoint_equidistant(self, a, b):
+        mid = a.midpoint(b)
+        d1 = mid.planar_distance_to(a)
+        d2 = mid.planar_distance_to(b)
+        assert math.isclose(d1, d2, rel_tol=1e-6, abs_tol=1e-6)
+
+    @given(points(), finite, finite)
+    def test_translate_inverse(self, p, dx, dy):
+        assert p.translate(dx, dy).translate(-dx, -dy).almost_equals(p, 1e-6)
+
+
+class TestSegmentProperties:
+    @given(points(), points(), points())
+    def test_closest_point_is_nearest_vertexwise(self, a, b, q):
+        segment = Segment(a, b)
+        closest = segment.closest_point_to(q)
+        d = q.planar_distance_to(closest)
+        assert d <= q.planar_distance_to(a) + 1e-6
+        assert d <= q.planar_distance_to(b) + 1e-6
+
+    @given(points(), points(), st.floats(min_value=0, max_value=1))
+    def test_point_at_stays_on_segment(self, a, b, t):
+        segment = Segment(a, b)
+        point = segment.point_at(t)
+        assert segment.distance_to_point(point) <= 1e-5
+
+
+class TestPolygonProperties:
+    @given(rectangles())
+    def test_rectangle_area_matches_bbox(self, poly):
+        # Shoelace on large coordinates cancels ~1e-9 absolute error.
+        assert math.isclose(poly.area, poly.bounds.area,
+                            rel_tol=1e-6, abs_tol=1e-6)
+
+    @given(rectangles())
+    def test_centroid_inside(self, poly):
+        assert poly.contains_point(poly.centroid)
+
+    @given(rectangles(), finite, finite)
+    def test_translation_preserves_area(self, poly, dx, dy):
+        assert math.isclose(poly.translate(dx, dy).area, poly.area,
+                            rel_tol=1e-6, abs_tol=1e-6)
+
+    @given(rectangles())
+    def test_vertices_on_boundary(self, poly):
+        for vertex in poly.vertices:
+            assert poly.contains_point(vertex)
+            assert poly.boundary_distance(vertex) <= 1e-9
+
+    @given(rectangles())
+    def test_normalized_is_ccw(self, poly):
+        assert poly.normalized().signed_area >= 0
+
+
+class TestMeasureProperties:
+    @settings(max_examples=50)
+    @given(st.lists(points(), min_size=2, max_size=20))
+    def test_path_length_at_least_displacement(self, pts):
+        displacement = pts[0].planar_distance_to(pts[-1])
+        assert path_length(pts) >= displacement - 1e-6
+
+    @settings(max_examples=50)
+    @given(st.lists(points(), min_size=2, max_size=20))
+    def test_straightness_bounded(self, pts):
+        value = straightness(pts)
+        assert 0.0 <= value <= 1.0
+
+
+class TestBoundingBoxProperties:
+    @given(st.lists(points(), min_size=1, max_size=30))
+    def test_around_contains_all(self, pts):
+        box = BoundingBox.around(pts)
+        assert all(box.contains_point(p) for p in pts)
+
+    @given(st.lists(points(), min_size=1, max_size=10),
+           st.lists(points(), min_size=1, max_size=10))
+    def test_union_contains_both(self, pts_a, pts_b):
+        box_a = BoundingBox.around(pts_a)
+        box_b = BoundingBox.around(pts_b)
+        union = box_a.union(box_b)
+        assert all(union.contains_point(p) for p in pts_a + pts_b)

@@ -1,0 +1,86 @@
+"""Unit tests for Segment and orientation."""
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import Point, Segment, orientation
+
+
+def seg(ax, ay, bx, by, floor=1):
+    return Segment(Point(ax, ay, floor), Point(bx, by, floor))
+
+
+class TestSegmentBasics:
+    def test_cross_floor_rejected(self):
+        with pytest.raises(GeometryError):
+            Segment(Point(0, 0, 1), Point(1, 1, 2))
+
+    def test_length(self):
+        assert seg(0, 0, 3, 4).length == 5.0
+
+    def test_midpoint(self):
+        assert seg(0, 0, 4, 2).midpoint == Point(2, 1)
+
+    def test_point_at(self):
+        assert seg(0, 0, 10, 0).point_at(0.3) == Point(3, 0)
+
+    def test_closest_point_inside(self):
+        assert seg(0, 0, 10, 0).closest_point_to(Point(4, 5)) == Point(4, 0)
+
+    def test_closest_point_clamps_to_endpoint(self):
+        assert seg(0, 0, 10, 0).closest_point_to(Point(-5, 3)) == Point(0, 0)
+
+    def test_distance_to_point(self):
+        assert seg(0, 0, 10, 0).distance_to_point(Point(5, 2)) == 2.0
+
+    def test_contains_point_on_segment(self):
+        assert seg(0, 0, 10, 10).contains_point(Point(5, 5))
+
+    def test_contains_point_off_segment(self):
+        assert not seg(0, 0, 10, 10).contains_point(Point(5, 5.1))
+
+    def test_contains_point_other_floor(self):
+        assert not seg(0, 0, 10, 10).contains_point(Point(5, 5, 2))
+
+
+class TestSegmentIntersection:
+    def test_crossing(self):
+        hit = seg(0, 0, 10, 10).intersection(seg(0, 10, 10, 0))
+        assert hit is not None and hit.almost_equals(Point(5, 5))
+
+    def test_parallel_non_collinear(self):
+        assert seg(0, 0, 10, 0).intersection(seg(0, 1, 10, 1)) is None
+
+    def test_collinear_overlapping(self):
+        hit = seg(0, 0, 10, 0).intersection(seg(5, 0, 15, 0))
+        assert hit is not None and 5 <= hit.x <= 10 and hit.y == 0
+
+    def test_collinear_disjoint(self):
+        assert seg(0, 0, 1, 0).intersection(seg(2, 0, 3, 0)) is None
+
+    def test_touching_at_endpoint(self):
+        hit = seg(0, 0, 5, 5).intersection(seg(5, 5, 10, 0))
+        assert hit is not None and hit.almost_equals(Point(5, 5), 1e-6)
+
+    def test_near_miss(self):
+        assert not seg(0, 0, 4.99, 4.99).intersects(seg(5, 5.01, 10, 10))
+
+    def test_different_floors_never_intersect(self):
+        a = seg(0, 0, 10, 10, floor=1)
+        b = seg(0, 10, 10, 0, floor=2)
+        assert a.intersection(b) is None
+
+    def test_t_shape(self):
+        hit = seg(0, 0, 10, 0).intersection(seg(5, -5, 5, 0))
+        assert hit is not None and hit.almost_equals(Point(5, 0), 1e-6)
+
+
+class TestOrientation:
+    def test_counter_clockwise(self):
+        assert orientation(Point(0, 0), Point(1, 0), Point(1, 1)) == 1
+
+    def test_clockwise(self):
+        assert orientation(Point(0, 0), Point(1, 1), Point(1, 0)) == -1
+
+    def test_collinear(self):
+        assert orientation(Point(0, 0), Point(1, 1), Point(2, 2)) == 0

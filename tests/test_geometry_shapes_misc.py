@@ -1,0 +1,150 @@
+"""Unit tests for Polyline, Circle and BoundingBox."""
+
+import math
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import BoundingBox, Circle, Point, Polyline, Segment
+
+
+class TestPolyline:
+    def test_needs_two_vertices(self):
+        with pytest.raises(GeometryError):
+            Polyline([Point(0, 0)])
+
+    def test_mixed_floors_rejected(self):
+        with pytest.raises(GeometryError):
+            Polyline([Point(0, 0, 1), Point(1, 1, 2)])
+
+    def test_length(self):
+        line = Polyline([Point(0, 0), Point(3, 4), Point(3, 9)])
+        assert line.length == 10.0
+
+    def test_point_at_fraction(self):
+        line = Polyline([Point(0, 0), Point(10, 0), Point(10, 10)])
+        assert line.point_at_fraction(0.25).almost_equals(Point(5, 0))
+        assert line.point_at_fraction(0.75).almost_equals(Point(10, 5))
+
+    def test_point_at_fraction_clamped(self):
+        line = Polyline([Point(0, 0), Point(10, 0)])
+        assert line.point_at_fraction(-1.0) == Point(0, 0)
+        assert line.point_at_fraction(2.0).almost_equals(Point(10, 0))
+
+    def test_distance_to_point(self):
+        line = Polyline([Point(0, 0), Point(10, 0)])
+        assert line.distance_to_point(Point(5, 3)) == 3.0
+
+    def test_crosses_segment_wall_check(self):
+        wall = Polyline([Point(0, 5), Point(10, 5)])
+        crossing = Segment(Point(5, 0), Point(5, 10))
+        parallel = Segment(Point(0, 6), Point(10, 6))
+        assert wall.crosses_segment(crossing)
+        assert not wall.crosses_segment(parallel)
+
+    def test_crosses_segment_other_floor(self):
+        wall = Polyline([Point(0, 5), Point(10, 5)])
+        other = Segment(Point(5, 0, 2), Point(5, 10, 2))
+        assert not wall.crosses_segment(other)
+
+    def test_translate(self):
+        line = Polyline([Point(0, 0), Point(1, 1)]).translate(10, 0)
+        assert line.vertices[0] == Point(10, 0)
+
+
+class TestCircle:
+    def test_positive_radius_required(self):
+        with pytest.raises(GeometryError):
+            Circle(Point(0, 0), 0.0)
+        with pytest.raises(GeometryError):
+            Circle(Point(0, 0), -2.0)
+
+    def test_area_perimeter(self):
+        circle = Circle(Point(0, 0), 2.0)
+        assert circle.area == pytest.approx(4 * math.pi)
+        assert circle.perimeter == pytest.approx(4 * math.pi)
+
+    def test_contains(self):
+        circle = Circle(Point(0, 0), 5.0)
+        assert circle.contains_point(Point(3, 0))
+        assert circle.contains_point(Point(5, 0))  # boundary
+        assert not circle.contains_point(Point(5.1, 0))
+        assert not circle.contains_point(Point(0, 0, 2))
+
+    def test_boundary_excluded(self):
+        circle = Circle(Point(0, 0), 5.0)
+        assert not circle.contains_point(Point(5, 0), include_boundary=False)
+
+    def test_distance(self):
+        circle = Circle(Point(0, 0), 5.0)
+        assert circle.distance_to_point(Point(0, 0)) == 0.0
+        assert circle.distance_to_point(Point(8, 0)) == 3.0
+
+    def test_circle_circle(self):
+        a = Circle(Point(0, 0), 3.0)
+        assert a.intersects_circle(Circle(Point(5, 0), 3.0))
+        assert not a.intersects_circle(Circle(Point(10, 0), 3.0))
+        assert not a.intersects_circle(Circle(Point(0, 0, 2), 3.0))
+
+    def test_intersects_segment(self):
+        circle = Circle(Point(0, 0), 2.0)
+        assert circle.intersects_segment(Segment(Point(-5, 1), Point(5, 1)))
+        assert not circle.intersects_segment(Segment(Point(-5, 3), Point(5, 3)))
+
+    def test_to_polygon(self):
+        poly = Circle(Point(3, 3), 2.0, ).to_polygon(32)
+        assert poly.area == pytest.approx(math.pi * 4, rel=0.02)
+        assert poly.centroid.almost_equals(Point(3, 3), 1e-6)
+
+    def test_bounds(self):
+        box = Circle(Point(5, 5), 2.0).bounds
+        assert (box.min_x, box.min_y, box.max_x, box.max_y) == (3, 3, 7, 7)
+
+
+class TestBoundingBox:
+    def test_inverted_rejected(self):
+        with pytest.raises(GeometryError):
+            BoundingBox(5, 0, 0, 5)
+
+    def test_around_points(self):
+        box = BoundingBox.around([Point(1, 2), Point(5, -1), Point(3, 7)])
+        assert (box.min_x, box.min_y, box.max_x, box.max_y) == (1, -1, 5, 7)
+
+    def test_around_empty_raises(self):
+        with pytest.raises(GeometryError):
+            BoundingBox.around([])
+
+    def test_dimensions(self):
+        box = BoundingBox(0, 0, 3, 4)
+        assert box.width == 3 and box.height == 4
+        assert box.area == 12 and box.diagonal == 5.0
+
+    def test_contains_closed(self):
+        box = BoundingBox(0, 0, 10, 10)
+        assert box.contains_point(Point(0, 0))
+        assert box.contains_point(Point(10, 10))
+        assert not box.contains_point(Point(10.01, 5))
+
+    def test_intersects(self):
+        a = BoundingBox(0, 0, 10, 10)
+        assert a.intersects(BoundingBox(5, 5, 15, 15))
+        assert a.intersects(BoundingBox(10, 0, 20, 10))  # touching
+        assert not a.intersects(BoundingBox(11, 0, 20, 10))
+
+    def test_union(self):
+        union = BoundingBox(0, 0, 1, 1).union(BoundingBox(5, 5, 6, 6))
+        assert (union.min_x, union.max_x) == (0, 6)
+
+    def test_expand(self):
+        grown = BoundingBox(0, 0, 10, 10).expand(2)
+        assert (grown.min_x, grown.max_y) == (-2, 12)
+
+    def test_expand_negative_clamps(self):
+        shrunk = BoundingBox(0, 0, 2, 2).expand(-5)
+        assert shrunk.width == 0 and shrunk.height == 0
+
+    def test_corners_ccw(self):
+        corners = BoundingBox(0, 0, 2, 3).corners()
+        assert corners[0] == Point(0, 0)
+        assert corners[2] == Point(2, 3)
+        assert len(corners) == 4

@@ -1,0 +1,262 @@
+"""Unit tests for the learning library: all models, metrics, selection."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LearningError, ModelNotFittedError
+from repro.learning import (
+    MODEL_FACTORIES,
+    DecisionTreeClassifier,
+    GaussianNB,
+    KNeighborsClassifier,
+    LabelEncoder,
+    RandomForestClassifier,
+    SoftmaxRegression,
+    StandardScaler,
+    accuracy,
+    confusion_matrix,
+    cross_val_score,
+    k_fold_indexes,
+    macro_f1,
+    per_class_report,
+    train_test_split,
+    weighted_f1,
+)
+
+
+def blobs(n_per_class=40, n_classes=3, spread=0.6, seed=0):
+    """Well-separated Gaussian blobs: every sane model should ace these."""
+    rng = np.random.default_rng(seed)
+    centers = np.array([[0, 0], [6, 0], [0, 6], [6, 6]])[:n_classes]
+    features = []
+    labels = []
+    for code, center in enumerate(centers):
+        features.append(rng.normal(center, spread, size=(n_per_class, 2)))
+        labels.extend([f"class-{code}"] * n_per_class)
+    return np.vstack(features), labels
+
+
+ALL_MODELS = sorted(MODEL_FACTORIES)
+
+
+class TestLabelEncoder:
+    def test_roundtrip(self):
+        encoder = LabelEncoder().fit(["b", "a", "b", "c"])
+        codes = encoder.transform(["a", "b", "c"])
+        assert codes.tolist() == [0, 1, 2]
+        assert encoder.inverse_transform(codes) == ["a", "b", "c"]
+
+    def test_unseen_label_raises(self):
+        encoder = LabelEncoder().fit(["a", "b"])
+        with pytest.raises(LearningError):
+            encoder.transform(["z"])
+
+
+class TestScaler:
+    def test_standardizes(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(5.0, 3.0, size=(200, 4))
+        scaled = StandardScaler().fit_transform(data)
+        assert np.allclose(scaled.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(scaled.std(axis=0), 1.0, atol=1e-9)
+
+    def test_constant_column_no_nan(self):
+        data = np.array([[1.0, 5.0], [1.0, 7.0], [1.0, 9.0]])
+        scaled = StandardScaler().fit_transform(data)
+        assert np.all(np.isfinite(scaled))
+        assert np.allclose(scaled[:, 0], 0.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(ModelNotFittedError):
+            StandardScaler().transform(np.zeros((1, 2)))
+
+    def test_width_mismatch(self):
+        scaler = StandardScaler().fit(np.zeros((5, 3)))
+        with pytest.raises(LearningError):
+            scaler.transform(np.zeros((2, 4)))
+
+
+class TestModelsOnBlobs:
+    @pytest.mark.parametrize("name", ALL_MODELS)
+    def test_high_accuracy_on_separable_data(self, name):
+        features, labels = blobs()
+        model = MODEL_FACTORIES[name]()
+        model.fit(features, labels)
+        predicted = model.predict(features)
+        assert accuracy(labels, predicted) >= 0.95
+
+    @pytest.mark.parametrize("name", ALL_MODELS)
+    def test_generalizes_to_test_split(self, name):
+        features, labels = blobs(seed=1)
+        train_x, test_x, train_y, test_y = train_test_split(
+            features, labels, seed=1
+        )
+        model = MODEL_FACTORIES[name]()
+        model.fit(train_x, train_y)
+        assert accuracy(test_y, model.predict(test_x)) >= 0.9
+
+    @pytest.mark.parametrize("name", ALL_MODELS)
+    def test_probabilities_valid(self, name):
+        features, labels = blobs(n_per_class=20)
+        model = MODEL_FACTORIES[name]()
+        model.fit(features, labels)
+        probabilities = model.predict_proba(features[:7])
+        assert probabilities.shape == (7, 3)
+        assert np.allclose(probabilities.sum(axis=1), 1.0, atol=1e-6)
+        assert np.all(probabilities >= 0.0)
+
+    @pytest.mark.parametrize("name", ALL_MODELS)
+    def test_unfitted_predict_raises(self, name):
+        with pytest.raises(ModelNotFittedError):
+            MODEL_FACTORIES[name]().predict(np.zeros((1, 2)))
+
+    @pytest.mark.parametrize("name", ALL_MODELS)
+    def test_single_class_rejected(self, name):
+        with pytest.raises(LearningError):
+            MODEL_FACTORIES[name]().fit(np.zeros((5, 2)), ["same"] * 5)
+
+    @pytest.mark.parametrize("name", ALL_MODELS)
+    def test_misaligned_labels_rejected(self, name):
+        with pytest.raises(LearningError):
+            MODEL_FACTORIES[name]().fit(np.zeros((5, 2)), ["a", "b"])
+
+    def test_predict_one(self):
+        features, labels = blobs(n_per_class=15)
+        model = SoftmaxRegression().fit(features, labels)
+        assert model.predict_one(np.array([0.0, 0.0])) == "class-0"
+
+    def test_nan_features_rejected(self):
+        bad = np.array([[0.0, np.nan], [1.0, 1.0]])
+        with pytest.raises(LearningError):
+            GaussianNB().fit(bad, ["a", "b"])
+
+    def test_feature_width_mismatch_at_predict(self):
+        features, labels = blobs(n_per_class=10)
+        model = KNeighborsClassifier().fit(features, labels)
+        with pytest.raises(LearningError):
+            model.predict(np.zeros((1, 5)))
+
+
+class TestModelSpecifics:
+    def test_tree_respects_max_depth(self):
+        features, labels = blobs(n_per_class=30, seed=2)
+        stump = DecisionTreeClassifier(max_depth=1)
+        stump.fit(features, labels)
+        # A depth-1 tree on 3 classes cannot be perfect.
+        assert accuracy(labels, stump.predict(features)) < 1.0
+
+    def test_forest_beats_or_ties_single_stump_on_noise(self):
+        features, labels = blobs(spread=2.5, seed=3)
+        stump = DecisionTreeClassifier(max_depth=2, seed=0)
+        forest = RandomForestClassifier(n_trees=20, max_depth=6, seed=0)
+        stump.fit(features, labels)
+        forest.fit(features, labels)
+        assert accuracy(labels, forest.predict(features)) >= accuracy(
+            labels, stump.predict(features)
+        )
+
+    def test_forest_deterministic_by_seed(self):
+        features, labels = blobs(seed=4)
+        a = RandomForestClassifier(n_trees=5, seed=1).fit(features, labels)
+        b = RandomForestClassifier(n_trees=5, seed=1).fit(features, labels)
+        assert a.predict(features) == b.predict(features)
+
+    def test_knn_k_larger_than_train(self):
+        features = np.array([[0.0, 0.0], [5.0, 5.0], [5.1, 5.0]])
+        model = KNeighborsClassifier(k=50)
+        model.fit(features, ["a", "b", "b"])
+        assert model.predict_one(np.array([5.0, 5.1])) == "b"
+
+    def test_logistic_hyperparameter_validation(self):
+        with pytest.raises(LearningError):
+            SoftmaxRegression(learning_rate=0)
+        with pytest.raises(LearningError):
+            SoftmaxRegression(epochs=0)
+
+    def test_binary_problem(self):
+        features, labels = blobs(n_classes=2)
+        model = SoftmaxRegression().fit(features, labels)
+        assert set(model.classes) == {"class-0", "class-1"}
+
+
+class TestMetrics:
+    TRUTH = ["a", "a", "a", "b", "b", "c"]
+    PRED = ["a", "a", "b", "b", "b", "a"]
+
+    def test_accuracy(self):
+        assert accuracy(self.TRUTH, self.PRED) == pytest.approx(4 / 6)
+
+    def test_misaligned_raises(self):
+        with pytest.raises(LearningError):
+            accuracy(["a"], ["a", "b"])
+
+    def test_confusion_matrix(self):
+        matrix, labels = confusion_matrix(self.TRUTH, self.PRED)
+        assert labels == ["a", "b", "c"]
+        assert matrix[0].tolist() == [2, 1, 0]  # truth=a
+        assert matrix[2].tolist() == [1, 0, 0]  # truth=c
+        assert matrix.sum() == 6
+
+    def test_per_class_report(self):
+        reports = {r.label: r for r in per_class_report(self.TRUTH, self.PRED)}
+        assert reports["a"].precision == pytest.approx(2 / 3)
+        assert reports["a"].recall == pytest.approx(2 / 3)
+        assert reports["b"].recall == pytest.approx(1.0)
+        assert reports["c"].f1 == 0.0
+        assert reports["c"].support == 1
+
+    def test_macro_vs_weighted(self):
+        assert macro_f1(self.TRUTH, self.PRED) < weighted_f1(
+            self.TRUTH, self.PRED
+        ) + 0.25
+        assert 0.0 <= macro_f1(self.TRUTH, self.PRED) <= 1.0
+
+    def test_perfect_prediction(self):
+        assert macro_f1(self.TRUTH, self.TRUTH) == 1.0
+        assert accuracy(self.TRUTH, self.TRUTH) == 1.0
+
+
+class TestModelSelection:
+    def test_split_fractions(self):
+        features, labels = blobs(n_per_class=20)
+        train_x, test_x, train_y, test_y = train_test_split(
+            features, labels, test_fraction=0.25, seed=0
+        )
+        assert len(train_y) + len(test_y) == 60
+        assert len(test_y) == pytest.approx(15, abs=2)
+
+    def test_split_stratified_keeps_all_classes_in_train(self):
+        features, labels = blobs(n_per_class=4)
+        _, _, train_y, _ = train_test_split(
+            features, labels, test_fraction=0.5, seed=3
+        )
+        assert set(train_y) == set(labels)
+
+    def test_split_validation(self):
+        features, labels = blobs(n_per_class=5)
+        with pytest.raises(LearningError):
+            train_test_split(features, labels, test_fraction=1.5)
+        with pytest.raises(LearningError):
+            train_test_split(features, labels[:-1])
+
+    def test_k_fold_partition(self):
+        folds = list(k_fold_indexes(20, k=4, seed=0))
+        assert len(folds) == 4
+        all_test = np.concatenate([test for _, test in folds])
+        assert sorted(all_test.tolist()) == list(range(20))
+        for train, test in folds:
+            assert set(train) & set(test) == set()
+
+    def test_k_fold_validation(self):
+        with pytest.raises(LearningError):
+            list(k_fold_indexes(3, k=5))
+        with pytest.raises(LearningError):
+            list(k_fold_indexes(10, k=1))
+
+    def test_cross_val_score(self):
+        features, labels = blobs(n_per_class=20)
+        scores = cross_val_score(
+            lambda: GaussianNB(), features, labels, k=4, seed=0
+        )
+        assert len(scores) == 4
+        assert min(scores) >= 0.9

@@ -1,0 +1,173 @@
+"""Property-based tests of cross-module pipeline invariants."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import RawDataCleaner, Translator, score_semantics
+from repro.core.semantics import (
+    EVENT_PASS_BY,
+    EVENT_STAY,
+    MobilitySemantic,
+    MobilitySemanticsSequence,
+)
+from repro.geometry import Point
+from repro.positioning import (
+    PositioningSequence,
+    RawPositioningRecord,
+    inject_gaussian_noise,
+)
+from repro.timeutil import TimeRange
+
+from .conftest import make_two_shop_dsm
+
+TWO_SHOP = make_two_shop_dsm()
+_ = TWO_SHOP.topology  # build once for all examples
+
+
+@st.composite
+def indoor_sequences(draw):
+    """Random sequences whose points lie inside the two-shop building."""
+    count = draw(st.integers(min_value=2, max_value=40))
+    interval = draw(st.floats(min_value=2.0, max_value=15.0))
+    records = []
+    for i in range(count):
+        x = draw(st.floats(min_value=0.5, max_value=29.5))
+        y = draw(st.floats(min_value=0.5, max_value=19.5))
+        records.append(
+            RawPositioningRecord(i * interval, "dev", Point(x, y, 1))
+        )
+    return PositioningSequence("dev", records)
+
+
+class TestCleaningInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(indoor_sequences())
+    def test_cleaning_preserves_structure(self, sequence):
+        """Cleaning never changes count, order, timestamps or device."""
+        result = RawDataCleaner(TWO_SHOP.topology).clean(sequence)
+        cleaned = result.cleaned
+        assert len(cleaned) == len(sequence)
+        assert cleaned.device_id == sequence.device_id
+        assert cleaned.timestamps == sequence.timestamps
+
+    @settings(max_examples=25, deadline=None)
+    @given(indoor_sequences())
+    def test_untouched_records_identical(self, sequence):
+        """Records not flagged invalid pass through bit-identically."""
+        result = RawDataCleaner(TWO_SHOP.topology).clean(sequence)
+        touched = set(result.report.invalid_indexes)
+        for index in range(len(sequence)):
+            if index not in touched:
+                assert result.cleaned[index] == sequence[index]
+
+    @settings(max_examples=15, deadline=None)
+    @given(indoor_sequences(), st.floats(min_value=0.0, max_value=2.0))
+    def test_cleaning_idempotent_on_clean_output(self, sequence, sigma):
+        """Cleaning an already-cleaned sequence finds little to repair."""
+        noisy = inject_gaussian_noise(sequence, sigma, seed=1)
+        cleaner = RawDataCleaner(TWO_SHOP.topology)
+        once = cleaner.clean(noisy).cleaned
+        twice = cleaner.clean(once)
+        assert twice.report.invalid_count <= max(2, len(sequence) // 10)
+
+
+class TestTranslationInvariants:
+    @settings(max_examples=10, deadline=None)
+    @given(indoor_sequences())
+    def test_semantics_sorted_and_bounded(self, sequence):
+        result = Translator(TWO_SHOP).translate(sequence)
+        starts = [s.time_range.start for s in result.semantics]
+        assert starts == sorted(starts)
+        window = sequence.time_range
+        for semantic in result.semantics:
+            if not semantic.inferred:
+                assert semantic.time_range.start >= window.start - 1e-6
+                assert semantic.time_range.end <= window.end + 1e-6
+
+    @settings(max_examples=10, deadline=None)
+    @given(indoor_sequences())
+    def test_semantics_regions_exist(self, sequence):
+        result = Translator(TWO_SHOP).translate(sequence)
+        for semantic in result.semantics:
+            assert TWO_SHOP.has_region(semantic.region_id)
+
+    @settings(max_examples=10, deadline=None)
+    @given(indoor_sequences())
+    def test_record_indexes_valid_and_disjoint(self, sequence):
+        result = Translator(TWO_SHOP).translate(sequence)
+        seen: set[int] = set()
+        for semantic in result.semantics:
+            for index in semantic.record_indexes:
+                assert 0 <= index < len(sequence)
+                assert index not in seen
+                seen.add(index)
+
+
+@st.composite
+def semantics_sequences(draw):
+    count = draw(st.integers(min_value=1, max_value=12))
+    cursor = 0.0
+    triplets = []
+    for _ in range(count):
+        gap = draw(st.floats(min_value=0.0, max_value=300.0))
+        duration = draw(st.floats(min_value=1.0, max_value=900.0))
+        region = draw(st.sampled_from(["r-a", "r-b", "r-c"]))
+        event = draw(st.sampled_from([EVENT_STAY, EVENT_PASS_BY]))
+        start = cursor + gap
+        triplets.append(
+            MobilitySemantic(
+                event=event,
+                region_id=region,
+                region_name=region.upper(),
+                time_range=TimeRange(start, start + duration),
+                confidence=draw(st.floats(min_value=0.0, max_value=1.0)),
+                inferred=draw(st.booleans()),
+            )
+        )
+        cursor = start + duration
+    return MobilitySemanticsSequence("dev", triplets)
+
+
+class TestSemanticsProperties:
+    @settings(max_examples=50)
+    @given(semantics_sequences())
+    def test_dict_roundtrip(self, sequence):
+        clone = MobilitySemanticsSequence.from_dict(sequence.to_dict())
+        assert clone == sequence
+
+    @settings(max_examples=50)
+    @given(semantics_sequences())
+    def test_merge_never_grows(self, sequence):
+        assert len(sequence.merged_consecutive()) <= len(sequence)
+        assert len(sequence.merged_same_region()) <= len(sequence)
+
+    @settings(max_examples=50)
+    @given(semantics_sequences())
+    def test_merge_preserves_span_and_regions(self, sequence):
+        merged = sequence.merged_same_region()
+        assert merged.time_range == sequence.time_range
+        # Deduplicated region order is invariant under merging.
+        def dedup(ids):
+            out = []
+            for item in ids:
+                if not out or out[-1] != item:
+                    out.append(item)
+            return out
+
+        assert dedup(merged.region_ids) == dedup(sequence.region_ids)
+
+    @settings(max_examples=50)
+    @given(semantics_sequences())
+    def test_self_score_is_perfect(self, sequence):
+        score = score_semantics(sequence, sequence)
+        assert score.region_time_accuracy == pytest.approx(1.0)
+        assert score.edit_distance == 0
+
+    @settings(max_examples=30)
+    @given(semantics_sequences(), st.floats(min_value=1.0, max_value=500.0))
+    def test_gaps_respect_threshold(self, sequence, threshold):
+        for _, gap in sequence.gaps(threshold):
+            assert gap.duration > threshold

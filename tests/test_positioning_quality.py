@@ -1,0 +1,137 @@
+"""Unit tests for error injection utilities."""
+
+import pytest
+
+from repro.errors import DataSourceError
+from repro.positioning import (
+    inject_dropout,
+    inject_floor_errors,
+    inject_gaussian_noise,
+    inject_outliers,
+    subsample,
+)
+
+from .conftest import walk_sequence
+
+
+@pytest.fixture
+def seq():
+    return walk_sequence(points=[(i, 0, 1) for i in range(60)], interval=5)
+
+
+class TestGaussianNoise:
+    def test_zero_sigma_is_identity(self, seq):
+        noisy = inject_gaussian_noise(seq, 0.0)
+        assert noisy.points == seq.points
+
+    def test_noise_perturbs_every_record(self, seq):
+        noisy = inject_gaussian_noise(seq, 1.0, seed=1)
+        moved = sum(
+            1
+            for a, b in zip(seq.points, noisy.points)
+            if a.planar_distance_to(b) > 1e-9
+        )
+        assert moved == len(seq)
+
+    def test_deterministic_by_seed(self, seq):
+        a = inject_gaussian_noise(seq, 1.0, seed=5)
+        b = inject_gaussian_noise(seq, 1.0, seed=5)
+        c = inject_gaussian_noise(seq, 1.0, seed=6)
+        assert a.points == b.points
+        assert a.points != c.points
+
+    def test_original_untouched(self, seq):
+        before = list(seq.points)
+        inject_gaussian_noise(seq, 2.0, seed=0)
+        assert seq.points == before
+
+    def test_negative_sigma_rejected(self, seq):
+        with pytest.raises(DataSourceError):
+            inject_gaussian_noise(seq, -1.0)
+
+
+class TestFloorErrors:
+    def test_rate_zero_changes_nothing(self, seq):
+        corrupted, report = inject_floor_errors(seq, 0.0, [1, 2, 3])
+        assert report.count == 0
+        assert corrupted.floors_visited == [1]
+
+    def test_rate_one_changes_everything(self, seq):
+        corrupted, report = inject_floor_errors(seq, 1.0, [1, 2, 3], seed=2)
+        assert report.count == len(seq)
+        assert all(r.floor != 1 for r in corrupted)
+
+    def test_report_indexes_match(self, seq):
+        corrupted, report = inject_floor_errors(seq, 0.3, [1, 2], seed=3)
+        for index in report.affected_indexes:
+            assert corrupted[index].floor != seq[index].floor
+
+    def test_needs_two_floors(self, seq):
+        with pytest.raises(DataSourceError):
+            inject_floor_errors(seq, 0.5, [1])
+
+    def test_bad_rate(self, seq):
+        with pytest.raises(DataSourceError):
+            inject_floor_errors(seq, 1.5, [1, 2])
+
+
+class TestOutliers:
+    def test_outliers_jump_far(self, seq):
+        corrupted, report = inject_outliers(seq, 0.2, magnitude=30, seed=4)
+        assert report.count > 0
+        for index in report.affected_indexes:
+            jump = seq[index].location.planar_distance_to(
+                corrupted[index].location
+            )
+            assert jump > 20.0
+
+    def test_untouched_records_identical(self, seq):
+        corrupted, report = inject_outliers(seq, 0.2, seed=4)
+        affected = set(report.affected_indexes)
+        for index in range(len(seq)):
+            if index not in affected:
+                assert corrupted[index] == seq[index]
+
+    def test_bad_magnitude(self, seq):
+        with pytest.raises(DataSourceError):
+            inject_outliers(seq, 0.1, magnitude=0)
+
+
+class TestDropout:
+    def test_gap_removes_inner_records(self, seq):
+        corrupted, report = inject_dropout(seq, gap_seconds=50, seed=5)
+        assert report.count > 0
+        assert len(corrupted) == len(seq) - report.count
+
+    def test_endpoints_survive(self, seq):
+        corrupted, _ = inject_dropout(seq, gap_seconds=100, gap_count=3, seed=6)
+        assert corrupted[0] == seq[0]
+        assert corrupted.records[-1] == seq.records[-1]
+
+    def test_creates_temporal_gap(self, seq):
+        corrupted, report = inject_dropout(seq, gap_seconds=60, seed=7)
+        if report.count:
+            assert corrupted.gaps_longer_than(30)
+
+    def test_validation(self, seq):
+        with pytest.raises(DataSourceError):
+            inject_dropout(seq, gap_seconds=0)
+        with pytest.raises(DataSourceError):
+            inject_dropout(seq, gap_seconds=10, gap_count=0)
+
+
+class TestSubsample:
+    def test_keep_every_two(self, seq):
+        thinned = subsample(seq, 2)
+        assert len(thinned) == pytest.approx(len(seq) / 2, abs=1)
+
+    def test_last_record_kept(self, seq):
+        thinned = subsample(seq, 7)
+        assert thinned.records[-1] == seq.records[-1]
+
+    def test_identity(self, seq):
+        assert len(subsample(seq, 1)) == len(seq)
+
+    def test_validation(self, seq):
+        with pytest.raises(DataSourceError):
+            subsample(seq, 0)

@@ -1,0 +1,223 @@
+"""Unit + property tests for the Data Selector rule algebra."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SelectorError
+from repro.geometry import BoundingBox, Point
+from repro.positioning import (
+    DailyHoursRule,
+    DataSelector,
+    DeviceIdRule,
+    DurationRule,
+    FrequencyRule,
+    MemorySource,
+    PeriodicPatternRule,
+    PositioningSequence,
+    RawPositioningRecord,
+    RecordCountRule,
+    SpatialRangeRule,
+    TemporalRangeRule,
+)
+from repro.timeutil import DAY, HOUR, TimeRange
+
+from .conftest import walk_sequence
+
+
+def rec(t, device="dev", x=0.0, y=0.0, floor=1):
+    return RawPositioningRecord(t, device, Point(x, y, floor))
+
+
+class TestDeviceIdRule:
+    def test_glob(self):
+        rule = DeviceIdRule("3a.*")
+        assert rule.keeps_record(rec(0, "3a.0001.14"))
+        assert not rule.keeps_record(rec(0, "4b.0001.14"))
+
+    def test_regex(self):
+        rule = DeviceIdRule(r"3a\.\d{4}\.14", regex=True)
+        assert rule.keeps_record(rec(0, "3a.0001.14"))
+        assert not rule.keeps_record(rec(0, "3a.x.14"))
+
+    def test_bad_regex(self):
+        with pytest.raises(SelectorError):
+            DeviceIdRule("([", regex=True)
+
+    def test_empty_pattern(self):
+        with pytest.raises(SelectorError):
+            DeviceIdRule("")
+
+
+class TestSpatialTemporalRules:
+    def test_spatial_bounds(self):
+        rule = SpatialRangeRule(bounds=BoundingBox(0, 0, 10, 10))
+        assert rule.keeps_record(rec(0, x=5, y=5))
+        assert not rule.keeps_record(rec(0, x=15, y=5))
+
+    def test_spatial_floors(self):
+        rule = SpatialRangeRule(floors=[1, 2])
+        assert rule.keeps_record(rec(0, floor=1))
+        assert not rule.keeps_record(rec(0, floor=3))
+
+    def test_spatial_needs_something(self):
+        with pytest.raises(SelectorError):
+            SpatialRangeRule()
+
+    def test_temporal_range(self):
+        rule = TemporalRangeRule(TimeRange(10, 20))
+        assert rule.keeps_record(rec(15))
+        assert not rule.keeps_record(rec(25))
+
+    def test_daily_hours(self):
+        rule = DailyHoursRule(10 * HOUR, 22 * HOUR)
+        assert rule.keeps_record(rec(12 * HOUR))
+        assert rule.keeps_record(rec(DAY + 12 * HOUR))  # next day too
+        assert not rule.keeps_record(rec(3 * HOUR))
+
+    def test_daily_hours_validation(self):
+        with pytest.raises(SelectorError):
+            DailyHoursRule(22 * HOUR, 10 * HOUR)
+
+
+class TestSequenceLevelRules:
+    def test_duration(self):
+        rule = DurationRule(min_seconds=30)
+        short = walk_sequence(points=[(0, 0, 1), (1, 0, 1)], interval=5)
+        long = walk_sequence(points=[(i, 0, 1) for i in range(10)], interval=5)
+        assert not rule.accepts_sequence(short)
+        assert rule.accepts_sequence(long)
+
+    def test_duration_validation(self):
+        with pytest.raises(SelectorError):
+            DurationRule(min_seconds=10, max_seconds=5)
+
+    def test_frequency(self):
+        dense = walk_sequence(points=[(i, 0, 1) for i in range(20)], interval=1)
+        sparse = walk_sequence(points=[(i, 0, 1) for i in range(5)], interval=60)
+        rule = FrequencyRule(min_per_minute=10)
+        assert rule.accepts_sequence(dense)
+        assert not rule.accepts_sequence(sparse)
+
+    def test_record_count(self):
+        rule = RecordCountRule(min_records=5, max_records=15)
+        assert rule.accepts_sequence(walk_sequence())
+        assert not rule.accepts_sequence(
+            walk_sequence(points=[(0, 0, 1), (1, 0, 1)])
+        )
+
+    def test_periodic_pattern(self):
+        staff_records = [rec(day * DAY + 10 * HOUR, "staff") for day in range(5)]
+        visitor_records = [rec(10 * HOUR + i, "visitor") for i in range(5)]
+        rule = PeriodicPatternRule(min_periods=3)
+        assert rule.accepts_sequence(PositioningSequence("staff", staff_records))
+        assert not rule.accepts_sequence(
+            PositioningSequence("visitor", visitor_records)
+        )
+
+    def test_periodic_validation(self):
+        with pytest.raises(SelectorError):
+            PeriodicPatternRule(0)
+
+
+class TestCombinators:
+    def test_and(self):
+        rule = DeviceIdRule("a*") & SpatialRangeRule(floors=[1])
+        assert rule.keeps_record(rec(0, "abc", floor=1))
+        assert not rule.keeps_record(rec(0, "abc", floor=2))
+        assert not rule.keeps_record(rec(0, "xbc", floor=1))
+
+    def test_or(self):
+        rule = DeviceIdRule("a*") | DeviceIdRule("b*")
+        assert rule.keeps_record(rec(0, "a1"))
+        assert rule.keeps_record(rec(0, "b1"))
+        assert not rule.keeps_record(rec(0, "c1"))
+
+    def test_not(self):
+        rule = ~DeviceIdRule("a*")
+        assert not rule.keeps_record(rec(0, "a1"))
+        assert rule.keeps_record(rec(0, "b1"))
+
+    def test_mixed_levels(self):
+        rule = SpatialRangeRule(floors=[1]) & DurationRule(min_seconds=30)
+        seq = walk_sequence(points=[(i, 0, 1) for i in range(10)], interval=5)
+        assert rule.accepts_sequence(seq)
+        assert rule.keeps_record(rec(0, floor=1))
+
+    @given(st.booleans(), st.booleans())
+    def test_demorgan_on_records(self, use_a, use_b):
+        record = rec(0, "abc" if use_a else "xyz", floor=1 if use_b else 2)
+        a = DeviceIdRule("a*")
+        b = SpatialRangeRule(floors=[1])
+        left = (~(a & b)).keeps_record(record)
+        right = ((~a) | (~b)).keeps_record(record)
+        assert left == right
+
+    @given(st.booleans())
+    def test_double_negation(self, flag):
+        record = rec(0, "abc" if flag else "xyz")
+        rule = DeviceIdRule("a*")
+        assert (~~rule).keeps_record(record) == rule.keeps_record(record)
+
+
+class TestDataSelector:
+    def _source(self):
+        records = []
+        # Device A: just over one hour on floor 1 (dense).
+        records += [rec(10 * HOUR + i * 30, "3a.0001.14", x=i % 10)
+                    for i in range(125)]
+        # Device B: five minutes on floor 2.
+        records += [rec(11 * HOUR + i * 30, "4b.0002.99", floor=2)
+                    for i in range(10)]
+        # Device C: two separate visits (gap of 3 hours).
+        records += [rec(9 * HOUR + i * 30, "3a.0003.14") for i in range(10)]
+        records += [rec(13 * HOUR + i * 30, "3a.0003.14") for i in range(10)]
+        return MemorySource(records)
+
+    def test_no_rule_keeps_everything(self):
+        selector = DataSelector([self._source()])
+        sequences = selector.select()
+        assert {s.device_id for s in sequences} == {
+            "3a.0001.14", "4b.0002.99", "3a.0003.14",
+        }
+
+    def test_paper_example_rule(self):
+        # "sequences that last for more than one hour and appear on the
+        # ground floor" (paper §2).  Visit-gap splitting keeps device C's
+        # two short visits from pooling into one long sequence.
+        rule = DurationRule(min_seconds=HOUR) & SpatialRangeRule(floors=[1])
+        sequences = DataSelector(
+            [self._source()], rule=rule, visit_gap=HOUR
+        ).select()
+        assert [s.device_id for s in sequences] == ["3a.0001.14"]
+
+    def test_visit_gap_splitting(self):
+        selector = DataSelector(
+            [self._source()], rule=DeviceIdRule("3a.0003.*"),
+            visit_gap=HOUR,
+        )
+        sequences = selector.select()
+        assert len(sequences) == 2
+
+    def test_record_trimming(self):
+        rule = TemporalRangeRule(TimeRange(10 * HOUR, 10 * HOUR + 600))
+        sequences = DataSelector([self._source()], rule=rule).select()
+        assert len(sequences) == 1
+        assert len(sequences[0]) == 21
+
+    def test_empty_result(self):
+        rule = DeviceIdRule("zz.*")
+        assert DataSelector([self._source()], rule=rule).select() == []
+
+    def test_multiple_sources_merged(self):
+        selector = DataSelector([self._source(), self._source()])
+        sequences = selector.select()
+        by_device = {s.device_id: len(s) for s in sequences}
+        assert by_device["4b.0002.99"] == 20
+
+    def test_needs_sources(self):
+        with pytest.raises(SelectorError):
+            DataSelector([])
+
+    def test_count_records(self):
+        assert DataSelector([self._source()]).count_records() == 155

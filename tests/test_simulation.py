@@ -1,0 +1,160 @@
+"""Unit tests for the mobility simulator and the Wi-Fi error model."""
+
+import pytest
+
+from repro.core.cleaning import SpeedValidator
+from repro.errors import SimulationError
+from repro.simulation import (
+    BROWSER,
+    PERFECT_CHANNEL,
+    SHOPPER,
+    STAFF,
+    AgentProfile,
+    MobilitySimulator,
+    SimulationConfig,
+    WifiErrorModel,
+)
+from repro.timeutil import TimeRange
+
+
+class TestProfiles:
+    def test_presets_valid(self):
+        for profile in (SHOPPER, BROWSER, STAFF):
+            assert profile.visits[0] >= 1
+            assert profile.walk_speed[0] > 0
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            AgentProfile("x", visits=(0, 3))
+        with pytest.raises(SimulationError):
+            AgentProfile("x", stay_duration=(10.0, 5.0))
+        with pytest.raises(SimulationError):
+            AgentProfile("x", category_weights={})
+        with pytest.raises(SimulationError):
+            AgentProfile("x", floor_change_bias=2.0)
+
+
+class TestWifiErrorModel:
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            WifiErrorModel(sigma=-1)
+        with pytest.raises(SimulationError):
+            WifiErrorModel(dropout_rate=1.5)
+        with pytest.raises(SimulationError):
+            WifiErrorModel(interval_mean=0)
+
+    def test_perfect_channel_identity_positions(self, simulated):
+        observed = PERFECT_CHANNEL.observe(
+            simulated.ground_truth, [1, 2, 3], seed=0
+        )
+        # Samples align with some ground-truth record exactly.
+        truth_points = {
+            (round(p.x, 6), round(p.y, 6), p.floor)
+            for p in simulated.ground_truth.points
+        }
+        hits = sum(
+            1
+            for p in observed.points
+            if (round(p.x, 6), round(p.y, 6), p.floor) in truth_points
+        )
+        assert hits == len(observed)
+
+    def test_noise_channel_perturbs(self, simulated):
+        channel = WifiErrorModel(sigma=2.0, dropout_rate=0.0,
+                                 floor_error_rate=0.0, outlier_rate=0.0)
+        observed = channel.observe(simulated.ground_truth, [1, 2, 3], seed=1)
+        assert len(observed) >= 2
+        assert observed.device_id == simulated.device_id
+
+    def test_dropout_thins_sequence(self, simulated):
+        dense = WifiErrorModel(dropout_rate=0.0, interval_mean=5.0)
+        sparse = WifiErrorModel(dropout_rate=0.5, interval_mean=5.0)
+        n_dense = len(dense.observe(simulated.ground_truth, [1], seed=2))
+        n_sparse = len(sparse.observe(simulated.ground_truth, [1], seed=2))
+        assert n_sparse < n_dense
+
+    def test_floor_errors_appear(self, simulated):
+        channel = WifiErrorModel(floor_error_rate=0.5, sigma=0.0,
+                                 outlier_rate=0.0, dropout_rate=0.0)
+        observed = channel.observe(simulated.ground_truth, [1, 2, 3], seed=3)
+        truth_floors = {r.timestamp: r.floor for r in simulated.ground_truth}
+        assert len(observed.floors_visited) >= 2
+
+    def test_deterministic_by_seed(self, simulated):
+        channel = WifiErrorModel()
+        a = channel.observe(simulated.ground_truth, [1, 2, 3], seed=9)
+        b = channel.observe(simulated.ground_truth, [1, 2, 3], seed=9)
+        assert a.points == b.points
+
+
+class TestSimulator:
+    def test_needs_entrance(self, two_shop):
+        two_shop.remove_entity("door-main")
+        with pytest.raises(SimulationError):
+            MobilitySimulator(two_shop)
+
+    def test_ground_truth_physically_consistent(self, mall3, simulated):
+        """Ground truth never violates the indoor speed constraint."""
+        validator = SpeedValidator(mall3.topology, max_speed=2.5)
+        violations = validator.find_violations(
+            list(simulated.ground_truth.records)
+        )
+        assert violations == []
+
+    def test_ground_truth_inside_walkable_space(self, mall3, simulated):
+        outside = sum(
+            1
+            for p in simulated.ground_truth.points
+            if mall3.partition_at(p) is None
+        )
+        assert outside / len(simulated.ground_truth) < 0.02
+
+    def test_visits_match_itinerary(self, mall3, simulated):
+        visited_names = {
+            mall3.region(r).name for r in simulated.visited_region_ids
+        }
+        truth_regions = {
+            s.region_name for s in simulated.truth_semantics
+            if s.event == "stay"
+        }
+        # Every scheduled visit long enough to be a stay shows up.
+        assert visited_names & truth_regions
+
+    def test_truth_semantics_cover_stays(self, simulated):
+        stays = [s for s in simulated.truth_semantics if s.event == "stay"]
+        assert stays
+        assert all(s.duration >= 60.0 for s in stays)
+
+    def test_device_deterministic_by_seed(self, mall3):
+        simulator = MobilitySimulator(mall3, seed=5)
+        a = simulator.simulate_device("d", SHOPPER, seed=1)
+        b = simulator.simulate_device("d", SHOPPER, seed=1)
+        assert a.ground_truth.points == b.ground_truth.points
+        assert a.visited_region_ids == b.visited_region_ids
+
+    def test_population_ids_and_window(self, mall3):
+        simulator = MobilitySimulator(mall3, seed=6)
+        window = TimeRange(1000.0, 20000.0)
+        devices = simulator.simulate_population(3, window=window, seed=6)
+        assert [d.device_id for d in devices] == [
+            "3a.0000.14", "3a.0001.14", "3a.0002.14",
+        ]
+        for device in devices:
+            assert device.ground_truth.time_range.start >= window.start
+
+    def test_population_validation(self, mall3):
+        simulator = MobilitySimulator(mall3, seed=0)
+        with pytest.raises(SimulationError):
+            simulator.simulate_population(0)
+
+    def test_config_validation(self):
+        with pytest.raises(SimulationError):
+            SimulationConfig(sample_interval=0)
+        with pytest.raises(SimulationError):
+            SimulationConfig(stay_threshold=0)
+
+    def test_staff_profile_long_dwells(self, mall3):
+        simulator = MobilitySimulator(mall3, seed=8)
+        staff = simulator.simulate_device("staff", STAFF, seed=4)
+        longest = max(s.duration for s in staff.truth_semantics)
+        assert longest >= 3600.0

@@ -1,0 +1,241 @@
+"""Unit tests for the drawing canvas, undo/redo, tags and the DSM builder."""
+
+import pytest
+
+from repro.dsm import EntityKind, SemanticTag
+from repro.errors import DSMError
+from repro.geometry import Point
+from repro.spacemodel import (
+    DrawingCanvas,
+    ShapeStyle,
+    TagLibrary,
+    build_dsm,
+)
+
+
+@pytest.fixture
+def canvas():
+    c = DrawingCanvas(1)
+    c.import_floorplan("plan.png", 40, 30)
+    return c
+
+
+class TestDrawing:
+    def test_draw_rectangle_room(self, canvas):
+        shape = canvas.draw_rectangle(0, 0, 10, 10, kind=EntityKind.ROOM,
+                                      name="A")
+        assert shape.kind is EntityKind.ROOM
+        assert shape.floor == 1
+        assert len(canvas) == 1
+
+    def test_draw_polygon(self, canvas):
+        shape = canvas.draw_polygon(
+            [(0, 0), (10, 0), (10, 10)], kind=EntityKind.ROOM
+        )
+        assert len(shape.shape.vertices) == 3
+
+    def test_draw_polyline_wall(self, canvas):
+        shape = canvas.draw_polyline([(0, 0), (10, 0)])
+        assert shape.kind is EntityKind.WALL
+
+    def test_draw_circle(self, canvas):
+        shape = canvas.draw_circle((5, 5), 2.0, kind=EntityKind.OBSTACLE)
+        assert shape.shape.radius == 2.0
+
+    def test_draw_door_and_entrance(self, canvas):
+        door = canvas.draw_door((5, 0))
+        entrance = canvas.draw_door((0, 5), entrance=True)
+        assert not door.properties.get("entrance")
+        assert entrance.properties.get("entrance") is True
+
+    def test_draw_stack_connector(self, canvas):
+        stair = canvas.draw_stack_connector((5, 5), stack="A")
+        assert stair.properties["stack"] == "A"
+        with pytest.raises(DSMError):
+            canvas.draw_stack_connector((5, 5), stack="B", kind=EntityKind.DOOR)
+
+    def test_unique_ids(self, canvas):
+        a = canvas.draw_rectangle(0, 0, 1, 1, kind=EntityKind.ROOM)
+        b = canvas.draw_rectangle(1, 0, 2, 1, kind=EntityKind.ROOM)
+        assert a.shape_id != b.shape_id
+
+    def test_floorplan_metadata(self, canvas):
+        assert canvas.floorplan.width == 40
+        assert canvas.floorplan.floor == 1
+
+
+class TestSnapping:
+    def test_auto_adjust_snaps_to_existing_vertex(self, canvas):
+        canvas.draw_rectangle(0, 0, 10, 10, kind=EntityKind.ROOM)
+        # A vertex drawn within tolerance of (10, 10) snaps onto it.
+        shape = canvas.draw_polygon(
+            [(10.1, 10.1), (20, 10), (20, 20)], kind=EntityKind.ROOM
+        )
+        assert shape.shape.vertices[0] == Point(10, 10)
+
+    def test_snap_disabled(self, canvas):
+        canvas.draw_rectangle(0, 0, 10, 10, kind=EntityKind.ROOM)
+        shape = canvas.draw_polygon(
+            [(10.1, 10.1), (20, 10), (20, 20)],
+            kind=EntityKind.ROOM,
+            snap=False,
+        )
+        assert shape.shape.vertices[0] == Point(10.1, 10.1)
+
+
+class TestEditing:
+    def test_move_shape(self, canvas):
+        shape = canvas.draw_rectangle(0, 0, 10, 10, kind=EntityKind.ROOM)
+        moved = canvas.move_shape(shape.shape_id, 5, 5)
+        assert moved.shape.centroid.almost_equals(Point(10, 10))
+
+    def test_rename_and_style_and_layer(self, canvas):
+        shape = canvas.draw_rectangle(0, 0, 5, 5, kind=EntityKind.ROOM)
+        canvas.rename_shape(shape.shape_id, "Nike")
+        canvas.set_style(shape.shape_id, ShapeStyle(fill="#ff0000"))
+        canvas.set_layer(shape.shape_id, "shops")
+        final = canvas.get(shape.shape_id)
+        assert final.name == "Nike"
+        assert final.style.fill == "#ff0000"
+        assert canvas.layers() == ["shops"]
+
+    def test_group_shapes(self, canvas):
+        a = canvas.draw_rectangle(0, 0, 5, 5, kind=EntityKind.ROOM)
+        b = canvas.draw_rectangle(5, 0, 10, 5, kind=EntityKind.ROOM)
+        canvas.group_shapes([a.shape_id, b.shape_id], "west-wing")
+        assert len(canvas.shapes(group="west-wing")) == 2
+
+    def test_delete(self, canvas):
+        shape = canvas.draw_rectangle(0, 0, 5, 5, kind=EntityKind.ROOM)
+        canvas.delete_shape(shape.shape_id)
+        assert len(canvas) == 0
+        with pytest.raises(DSMError):
+            canvas.get(shape.shape_id)
+
+    def test_assign_tag(self, canvas):
+        shape = canvas.draw_rectangle(0, 0, 5, 5, kind=EntityKind.ROOM)
+        tagged = canvas.assign_tag(shape.shape_id, "shop", name="Adidas")
+        assert tagged.semantic_tag == "shop"
+        assert tagged.name == "Adidas"
+
+
+class TestUndoRedo:
+    def test_undo_draw(self, canvas):
+        canvas.draw_rectangle(0, 0, 5, 5, kind=EntityKind.ROOM)
+        assert canvas.undo()
+        assert len(canvas) == 0
+
+    def test_redo_draw(self, canvas):
+        canvas.draw_rectangle(0, 0, 5, 5, kind=EntityKind.ROOM)
+        canvas.undo()
+        assert canvas.redo()
+        assert len(canvas) == 1
+
+    def test_undo_edit_restores_previous(self, canvas):
+        shape = canvas.draw_rectangle(0, 0, 5, 5, kind=EntityKind.ROOM,
+                                      name="old")
+        canvas.rename_shape(shape.shape_id, "new")
+        canvas.undo()
+        assert canvas.get(shape.shape_id).name == "old"
+
+    def test_undo_delete_restores(self, canvas):
+        shape = canvas.draw_rectangle(0, 0, 5, 5, kind=EntityKind.ROOM)
+        canvas.delete_shape(shape.shape_id)
+        canvas.undo()
+        assert canvas.get(shape.shape_id).shape_id == shape.shape_id
+
+    def test_new_action_clears_redo(self, canvas):
+        canvas.draw_rectangle(0, 0, 5, 5, kind=EntityKind.ROOM)
+        canvas.undo()
+        canvas.draw_rectangle(1, 1, 2, 2, kind=EntityKind.ROOM)
+        assert not canvas.redo()
+
+    def test_undo_empty_returns_false(self, canvas):
+        assert not canvas.undo()
+        assert not canvas.redo()
+
+    def test_deep_undo_chain(self, canvas):
+        for i in range(10):
+            canvas.draw_rectangle(i, 0, i + 1, 1, kind=EntityKind.ROOM)
+        for _ in range(10):
+            assert canvas.undo()
+        assert len(canvas) == 0
+        for _ in range(10):
+            assert canvas.redo()
+        assert len(canvas) == 10
+
+
+class TestTagLibrary:
+    def test_mall_defaults(self):
+        library = TagLibrary.mall_defaults()
+        assert "shop" in library and "cashier" in library
+        assert library.get("shop").category == "shop"
+
+    def test_duplicate_rejected(self):
+        library = TagLibrary()
+        library.add(SemanticTag("x"))
+        with pytest.raises(DSMError):
+            library.add(SemanticTag("x"))
+
+    def test_style_fallback(self):
+        library = TagLibrary.mall_defaults()
+        assert library.style_for("shop").fill != library.style_for("nope").fill
+
+    def test_save_load(self, tmp_path):
+        library = TagLibrary.office_defaults()
+        path = tmp_path / "tags.json"
+        library.save(path)
+        loaded = TagLibrary.load(path)
+        assert len(loaded) == len(library)
+        assert loaded.get("kitchen").category == "facility"
+
+
+class TestBuildDsm:
+    def _draw_floor(self):
+        canvas = DrawingCanvas(1)
+        hall = canvas.draw_rectangle(0, 0, 30, 10, kind=EntityKind.HALLWAY,
+                                     name="Hall")
+        canvas.assign_tag(hall.shape_id, "hall")
+        shop = canvas.draw_rectangle(0, 10, 15, 20, kind=EntityKind.ROOM)
+        canvas.assign_tag(shop.shape_id, "shop", name="Adidas")
+        canvas.draw_door((7.5, 9.7), snap=False)
+        canvas.draw_door((0, 5), entrance=True, snap=False)
+        return canvas
+
+    def test_builds_entities_and_regions(self):
+        model = build_dsm([self._draw_floor()], name="built")
+        assert model.entity_count == 4
+        assert model.region_count == 2
+        adidas = next(r for r in model.regions() if r.name == "Adidas")
+        assert adidas.category == "shop"
+
+    def test_region_only_shape(self):
+        canvas = self._draw_floor()
+        zone = canvas.draw_rectangle(10, 0, 20, 10, kind=None, name="Center")
+        canvas.assign_tag(zone.shape_id, "hall")
+        model = build_dsm([canvas])
+        center = next(r for r in model.regions() if r.name == "Center")
+        assert center.shape is not None
+
+    def test_region_only_line_rejected(self):
+        canvas = self._draw_floor()
+        stroke = canvas.draw_polyline([(0, 0), (5, 5)], kind=None)
+        canvas.assign_tag(stroke.shape_id, "shop")
+        with pytest.raises(DSMError):
+            build_dsm([canvas])
+
+    def test_duplicate_floors_rejected(self):
+        with pytest.raises(DSMError):
+            build_dsm([self._draw_floor(), self._draw_floor()])
+
+    def test_empty_rejected(self):
+        with pytest.raises(DSMError):
+            build_dsm([])
+
+    def test_unknown_tag_autoregistered(self):
+        canvas = self._draw_floor()
+        exotic = canvas.draw_rectangle(15, 10, 30, 20, kind=EntityKind.ROOM)
+        canvas.assign_tag(exotic.shape_id, "aquarium", name="Shark Tank")
+        model = build_dsm([canvas])
+        tank = next(r for r in model.regions() if r.name == "Shark Tank")
+        assert tank.tag.name == "aquarium"

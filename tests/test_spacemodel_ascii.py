@@ -1,0 +1,214 @@
+"""Unit tests for the ASCII floorplan parser."""
+
+import pytest
+
+from repro.dsm import EntityKind, validate_dsm
+from repro.errors import DSMError
+from repro.geometry import Point
+from repro.spacemodel import AsciiFloorplanParser, RoomLegend, build_dsm
+
+SIMPLE = [
+    "##########",
+    "#AAA#BBBB#",
+    "#AAA#BBBB#",
+    "#.D....D.#",
+    "#@.......#",
+    "##########",
+]
+
+
+@pytest.fixture
+def parsed():
+    parser = AsciiFloorplanParser(cell_size=2.0)
+    legend = {
+        "A": RoomLegend("Adidas", "shop"),
+        "B": RoomLegend("Nike", "shop"),
+    }
+    return parser.parse(SIMPLE, floor=1, legend=legend)
+
+
+class TestParsing:
+    def test_rooms_extracted(self, parsed):
+        rooms = [
+            s for s in parsed.canvas.shapes() if s.kind is EntityKind.ROOM
+        ]
+        assert sorted(s.name for s in rooms) == ["Adidas", "Nike"]
+
+    def test_room_dimensions(self, parsed):
+        adidas = next(
+            s for s in parsed.canvas.shapes() if s.name == "Adidas"
+        )
+        # 3 cells x 2 cells at cell_size 2.0.
+        assert adidas.shape.bounds.width == 6.0
+        assert adidas.shape.bounds.height == 4.0
+
+    def test_rooms_tagged(self, parsed):
+        adidas = next(
+            s for s in parsed.canvas.shapes() if s.name == "Adidas"
+        )
+        assert adidas.semantic_tag == "shop"
+
+    def test_corridors_cover_walkable(self, parsed):
+        assert parsed.corridor_count >= 1
+
+    def test_doors_present(self, parsed):
+        doors = [
+            s for s in parsed.canvas.shapes() if s.kind is EntityKind.DOOR
+        ]
+        # Two room doors + one entrance.
+        assert len(doors) >= 3
+        assert any(s.properties.get("entrance") for s in doors)
+
+    def test_non_rectangular_room_rejected(self):
+        grid = [
+            "#####",
+            "#AA.#",
+            "#.AA#",
+            "#####",
+        ]
+        with pytest.raises(DSMError):
+            AsciiFloorplanParser().parse(grid, floor=1)
+
+    def test_door_touching_no_room_rejected(self):
+        grid = [
+            "#####",
+            "#...#",
+            "#.D.#",
+            "#...#",
+            "#####",
+        ]
+        with pytest.raises(DSMError):
+            AsciiFloorplanParser().parse(grid, floor=1)
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(DSMError):
+            AsciiFloorplanParser().parse([], floor=1)
+
+    def test_ragged_rows_padded(self):
+        grid = [
+            "######",
+            "#AA..#",
+            "#AA.@#",
+            "####",  # short row treated as wall-padded
+        ]
+        parsed = AsciiFloorplanParser().parse(
+            grid, 1, {"A": RoomLegend("A-room")}
+        )
+        assert parsed.canvas is not None
+
+    def test_bad_cell_size(self):
+        with pytest.raises(DSMError):
+            AsciiFloorplanParser(cell_size=0)
+
+
+class TestParsedTopology:
+    def test_builds_valid_connected_dsm(self, parsed):
+        model = build_dsm([parsed.canvas], name="ascii-test")
+        assert validate_dsm(model, require_connected=True) == []
+
+    def test_room_reachable_from_entrance(self, parsed):
+        model = build_dsm([parsed.canvas])
+        adidas = next(
+            e for e in model.partitions() if e.name == "Adidas"
+        )
+        entrance = next(d for d in model.doors() if d.is_entrance)
+        assert model.topology.reachable(entrance.anchor, adidas.anchor)
+
+    def test_door_anchor_attaches_to_room_and_corridor(self, parsed):
+        model = build_dsm([parsed.canvas])
+        topology = model.topology
+        interior_doors = [
+            d for d in model.doors() if not d.is_entrance
+            and "opening" not in (d.name or "")
+        ]
+        for door in interior_doors:
+            connected = topology.partitions_of_door(door.entity_id)
+            kinds = {model.entity(p).kind for p in connected}
+            assert EntityKind.ROOM in kinds
+
+    def test_stairs_across_floors(self):
+        grid = [
+            "#####",
+            "#AA.#",
+            "#.D.#".replace("D", "."),  # plain corridor
+            "#.S.#",
+            "#####",
+        ]
+        parser = AsciiFloorplanParser(cell_size=2.0)
+        floors = [parser.parse(grid, floor=f).canvas for f in (1, 2)]
+        model = build_dsm(floors, validate=False)
+        stairs = model.vertical_connectors()
+        assert len(stairs) == 2
+        assert stairs[0].stack == stairs[1].stack
+        hall_1 = model.partition_at(stairs[0].anchor)
+        hall_2 = model.partition_at(stairs[1].anchor)
+        assert model.topology.partitions_connected(
+            hall_1.entity_id, hall_2.entity_id
+        )
+
+    def test_elevator_char(self):
+        grid = [
+            "####",
+            "#V.#",
+            "#..#",
+            "####",
+        ]
+        parsed = AsciiFloorplanParser().parse(grid, floor=1)
+        shapes = parsed.canvas.shapes()
+        assert any(s.kind is EntityKind.ELEVATOR for s in shapes)
+
+
+class TestBuildings:
+    def test_mall_structure(self, mall):
+        assert mall.name == "hangzhou-style-mall"
+        assert len(mall.floor_numbers) == 2
+        # Adidas and Nike are on a sports floor somewhere in the catalog.
+        names = {r.name for r in mall.regions()}
+        assert "Center Hall 1F" in names
+        assert "Cashier 1F" in names
+
+    def test_mall_seven_floors_has_adidas_nike(self):
+        from repro.buildings import build_mall
+
+        full = build_mall()
+        names = {r.name for r in full.regions()}
+        assert {"Adidas", "Nike"} <= names
+        assert len(full.floor_numbers) == 7
+
+    def test_mall_validates(self, mall):
+        assert validate_dsm(mall, require_connected=True) == []
+
+    def test_mall_entrances_on_ground(self, mall):
+        entrances = [d for d in mall.doors() if d.is_entrance]
+        assert entrances and all(d.floor == 1 for d in entrances)
+
+    def test_office_builds_and_validates(self):
+        from repro.buildings import build_office
+
+        office = build_office()
+        assert validate_dsm(office, require_connected=True) == []
+        assert office.region_count >= 15
+
+    def test_airport_builds_and_validates(self):
+        from repro.buildings import build_airport
+
+        airport = build_airport(gate_count=4)
+        assert validate_dsm(airport, require_connected=True) == []
+        gates = airport.regions(category="gate")
+        assert len(gates) == 4
+
+    def test_mall_region_id_helper(self, mall):
+        from repro.buildings import mall_region_id
+
+        region_id = mall_region_id(mall, "Cashier 1F")
+        assert mall.region(region_id).name == "Cashier 1F"
+        with pytest.raises(DSMError):
+            mall_region_id(mall, "Nonexistent Shop")
+
+    def test_mall_config_validation(self):
+        from repro.buildings import MallConfig
+
+        with pytest.raises(DSMError):
+            MallConfig(floors=9)
+        with pytest.raises(DSMError):
+            MallConfig(units_per_side=1)

@@ -1,0 +1,154 @@
+"""Unit tests for time parsing, formatting and TimeRange."""
+
+import pytest
+
+from repro.errors import TripsError
+from repro.timeutil import (
+    DAY,
+    HOUR,
+    MINUTE,
+    TimeRange,
+    format_clock,
+    format_iso,
+    parse_clock,
+    parse_iso,
+    ranges_cover,
+)
+
+
+class TestParseClock:
+    def test_twelve_hour_pm(self):
+        assert parse_clock("1:02:05pm") == 13 * HOUR + 2 * MINUTE + 5
+
+    def test_twelve_hour_am(self):
+        assert parse_clock("1:02:05am") == HOUR + 2 * MINUTE + 5
+
+    def test_noon(self):
+        assert parse_clock("12:00:00pm") == 12 * HOUR
+
+    def test_midnight(self):
+        assert parse_clock("12:00:00am") == 0.0
+
+    def test_twenty_four_hour(self):
+        assert parse_clock("22:15:30") == 22 * HOUR + 15 * MINUTE + 30
+
+    def test_without_seconds(self):
+        assert parse_clock("10:30am") == 10 * HOUR + 30 * MINUTE
+
+    def test_base_day_offset(self):
+        assert parse_clock("1:00:00am", base_day=DAY) == DAY + HOUR
+
+    def test_invalid_text_raises(self):
+        with pytest.raises(TripsError):
+            parse_clock("not a time")
+
+    def test_hour_out_of_range_12h(self):
+        with pytest.raises(TripsError):
+            parse_clock("13:00:00pm")
+
+    def test_minutes_out_of_range(self):
+        with pytest.raises(TripsError):
+            parse_clock("10:61:00")
+
+
+class TestFormatClock:
+    def test_roundtrip_pm(self):
+        assert format_clock(parse_clock("1:02:05pm")) == "1:02:05pm"
+
+    def test_roundtrip_am(self):
+        assert format_clock(parse_clock("11:59:59am")) == "11:59:59am"
+
+    def test_midnight_renders_as_12am(self):
+        assert format_clock(0.0) == "12:00:00am"
+
+    def test_24h_format(self):
+        assert format_clock(13 * HOUR + 5, twelve_hour=False) == "13:00:05"
+
+    def test_wraps_multi_day_timestamps(self):
+        assert format_clock(DAY + HOUR) == "1:00:00am"
+
+
+class TestIso:
+    def test_roundtrip(self):
+        stamp = parse_iso("2017-01-01T10:00:00")
+        assert format_iso(stamp) == "2017-01-01T10:00:00Z"
+
+    def test_bad_iso_raises(self):
+        with pytest.raises(TripsError):
+            parse_iso("2017-99-99")
+
+
+class TestTimeRange:
+    def test_duration_and_middle(self):
+        rng = TimeRange(10.0, 30.0)
+        assert rng.duration == 20.0
+        assert rng.middle == 20.0
+
+    def test_inverted_raises(self):
+        with pytest.raises(TripsError):
+            TimeRange(5.0, 1.0)
+
+    def test_contains_is_closed(self):
+        rng = TimeRange(1.0, 2.0)
+        assert rng.contains(1.0) and rng.contains(2.0)
+        assert not rng.contains(0.999)
+
+    def test_overlaps_touching(self):
+        assert TimeRange(0, 1).overlaps(TimeRange(1, 2))
+
+    def test_disjoint(self):
+        assert not TimeRange(0, 1).overlaps(TimeRange(1.1, 2))
+
+    def test_intersection(self):
+        inter = TimeRange(0, 10).intersection(TimeRange(5, 20))
+        assert inter == TimeRange(5, 10)
+
+    def test_intersection_disjoint_is_none(self):
+        assert TimeRange(0, 1).intersection(TimeRange(2, 3)) is None
+
+    def test_union_span_covers_gap(self):
+        assert TimeRange(0, 1).union_span(TimeRange(5, 6)) == TimeRange(0, 6)
+
+    def test_iou_identical(self):
+        assert TimeRange(3, 7).iou(TimeRange(3, 7)) == 1.0
+
+    def test_iou_half(self):
+        assert TimeRange(0, 2).iou(TimeRange(1, 3)) == pytest.approx(1 / 3)
+
+    def test_iou_disjoint(self):
+        assert TimeRange(0, 1).iou(TimeRange(5, 6)) == 0.0
+
+    def test_iou_zero_length_identical(self):
+        assert TimeRange(4, 4).iou(TimeRange(4, 4)) == 1.0
+
+    def test_shift(self):
+        assert TimeRange(1, 2).shift(10) == TimeRange(11, 12)
+
+    def test_clip(self):
+        assert TimeRange(0, 10).clip(TimeRange(5, 20)) == TimeRange(5, 10)
+
+    def test_sorting_is_timeline_order(self):
+        ranges = [TimeRange(5, 6), TimeRange(1, 9), TimeRange(1, 2)]
+        assert sorted(ranges) == [TimeRange(1, 2), TimeRange(1, 9), TimeRange(5, 6)]
+
+    def test_paper_style_format(self):
+        rng = TimeRange(parse_clock("1:02:05pm"), parse_clock("1:18:15pm"))
+        assert rng.format() == "1:02:05-1:18:15pm"
+
+    def test_format_across_meridiem(self):
+        rng = TimeRange(parse_clock("11:50:00am"), parse_clock("12:10:00pm"))
+        assert rng.format() == "11:50:00am-12:10:00pm"
+
+
+class TestRangesCover:
+    def test_empty(self):
+        assert ranges_cover([]) == 0.0
+
+    def test_disjoint_sum(self):
+        assert ranges_cover([TimeRange(0, 1), TimeRange(2, 3)]) == 2.0
+
+    def test_overlapping_merge(self):
+        assert ranges_cover([TimeRange(0, 5), TimeRange(3, 8)]) == 8.0
+
+    def test_nested(self):
+        assert ranges_cover([TimeRange(0, 10), TimeRange(2, 3)]) == 10.0

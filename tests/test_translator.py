@@ -1,0 +1,100 @@
+"""Unit tests for the Translator pipeline and batch translation."""
+
+import json
+
+import pytest
+
+from repro.core import (
+    Translator,
+    TranslatorConfig,
+)
+from repro.core.cleaning import CleaningConfig
+from repro.errors import AnnotationError
+from repro.positioning import inject_dropout
+
+
+class TestSingleTranslation:
+    def test_end_to_end_artifacts(self, mall3, simulated):
+        result = Translator(mall3).translate(simulated.raw)
+        assert result.device_id == simulated.device_id
+        assert result.raw is simulated.raw
+        assert len(result.cleaned) == len(simulated.raw)
+        assert len(result.semantics) > 0
+        assert result.annotation.snippets
+
+    def test_semantics_within_observation_window(self, mall3, simulated):
+        result = Translator(mall3).translate(simulated.raw)
+        window = simulated.raw.time_range
+        for semantic in result.semantics:
+            assert semantic.time_range.start >= window.start - 1.0
+            assert semantic.time_range.end <= window.end + 1.0
+
+    def test_cleaning_disabled_passthrough(self, mall3, simulated):
+        config = TranslatorConfig(enable_cleaning=False)
+        result = Translator(mall3, config=config).translate(simulated.raw)
+        assert result.cleaned.records == simulated.raw.records
+        assert result.cleaning.report.invalid_count == 0
+
+    def test_complementing_disabled(self, mall3, simulated):
+        config = TranslatorConfig(enable_complementing=False)
+        result = Translator(mall3, config=config).translate(simulated.raw)
+        assert result.complement is None
+        assert result.semantics is result.original_semantics
+
+    def test_export_file(self, mall3, simulated, tmp_path):
+        result = Translator(mall3).translate(simulated.raw)
+        path = tmp_path / "out.json"
+        result.export(path)
+        payload = json.loads(path.read_text())
+        assert payload["device_id"] == simulated.device_id
+        assert payload["raw_record_count"] == len(simulated.raw)
+        assert len(payload["semantics"]) == len(result.semantics)
+
+
+class TestBatchTranslation:
+    def test_batch_covers_all_devices(self, mall3, population):
+        translator = Translator(mall3)
+        batch = translator.translate_batch([d.raw for d in population])
+        assert len(batch) == len(population)
+        assert batch.knowledge is not None
+        assert batch.total_records == sum(len(d.raw) for d in population)
+        assert batch.elapsed_seconds > 0
+        assert batch.records_per_second > 0
+
+    def test_by_device(self, mall3, population):
+        translator = Translator(mall3)
+        batch = translator.translate_batch([d.raw for d in population])
+        target = population[2].device_id
+        assert batch.by_device(target).device_id == target
+        with pytest.raises(AnnotationError):
+            batch.by_device("ghost")
+
+    def test_batch_knowledge_reflects_corpus(self, mall3, population):
+        translator = Translator(mall3)
+        batch = translator.translate_batch([d.raw for d in population])
+        assert batch.knowledge.sequences_seen == len(population)
+
+    def test_batch_complements_dropout_gaps(self, mall3, population):
+        degraded = []
+        for device in population:
+            seq, _ = inject_dropout(
+                device.raw, gap_seconds=240.0, gap_count=1, seed=3
+            )
+            degraded.append(seq)
+        batch = Translator(mall3).translate_batch(degraded)
+        inferred_total = sum(r.semantics.inferred_count for r in batch)
+        original_gaps = sum(
+            1 for r in batch if r.complement and r.complement.gaps_found
+        )
+        # At least some dropout windows cross region boundaries and get filled.
+        assert original_gaps >= 1
+        assert inferred_total >= 0  # inference may decline, but must not crash
+
+    def test_cleaning_config_propagates(self, mall3, simulated):
+        # Ground truth is always in walkable space, so with an absurd speed
+        # limit nothing is invalid; out-of-building fixes would still be.
+        config = TranslatorConfig(cleaning=CleaningConfig(max_speed=1e9))
+        result = Translator(mall3, config=config).translate(
+            simulated.ground_truth
+        )
+        assert result.cleaning.report.invalid_count == 0

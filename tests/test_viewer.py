@@ -1,0 +1,261 @@
+"""Unit tests for the viewer: timelines, map view, session, animation."""
+
+import pytest
+
+from repro.core import Translator
+from repro.errors import ViewerError
+from repro.timeutil import TimeRange
+from repro.viewer import (
+    DataSourceKind,
+    DisplayPointPolicy,
+    MapView,
+    SvgDocument,
+    Timeline,
+    TimelineEntry,
+    ViewerSession,
+    build_timelines,
+    render_ascii,
+    timeline_from_positioning,
+    timeline_from_semantics,
+)
+
+
+@pytest.fixture(scope="module")
+def translated(mall3, simulated):
+    return Translator(mall3).translate(simulated.raw)
+
+
+class TestSvgDocument:
+    def test_minimal_document(self):
+        doc = SvgDocument(100, 50)
+        doc.circle((10, 10), 2, fill="#ff0000", title="a dot")
+        doc.text((20, 20), "hello & <world>")
+        text = doc.to_string()
+        assert text.startswith('<?xml version="1.0"')
+        assert "<circle" in text and "<title>a dot</title>" in text
+        assert "hello &amp; &lt;world&gt;" in text
+
+    def test_groups_must_close(self):
+        doc = SvgDocument(10, 10)
+        doc.open_group("layer")
+        with pytest.raises(ViewerError):
+            doc.to_string()
+        doc.close_group()
+        assert '<g id="layer"' in doc.to_string()
+
+    def test_close_without_open(self):
+        with pytest.raises(ViewerError):
+            SvgDocument(10, 10).close_group()
+
+    def test_validation(self):
+        with pytest.raises(ViewerError):
+            SvgDocument(0, 10)
+        doc = SvgDocument(10, 10)
+        with pytest.raises(ViewerError):
+            doc.polygon([(0, 0), (1, 1)])
+        with pytest.raises(ViewerError):
+            doc.circle((0, 0), 0)
+
+    def test_save(self, tmp_path):
+        doc = SvgDocument(10, 10)
+        path = tmp_path / "out.svg"
+        doc.save(path)
+        assert path.read_text().endswith("</svg>")
+
+
+class TestTimelines:
+    def test_positioning_entries_are_instants(self, simulated):
+        timeline = timeline_from_positioning(
+            simulated.raw, DataSourceKind.RAW
+        )
+        assert len(timeline) == len(simulated.raw)
+        assert all(e.is_instant for e in timeline)
+        assert timeline[0].display_point == simulated.raw[0].location
+
+    def test_semantics_temporally_middle(self, translated):
+        timeline = timeline_from_semantics(
+            translated.semantics,
+            translated.cleaned,
+            DisplayPointPolicy.TEMPORALLY_MIDDLE,
+        )
+        backed = [
+            (entry, semantic)
+            for entry, semantic in zip(timeline, translated.semantics)
+            if semantic.record_indexes
+        ]
+        entry, semantic = backed[0]
+        # Display point is one of the backing records' locations.
+        backing = {translated.cleaned[i].location for i in semantic.record_indexes}
+        assert entry.display_point in backing
+
+    def test_semantics_spatially_central(self, translated):
+        timeline = timeline_from_semantics(
+            translated.semantics,
+            translated.cleaned,
+            DisplayPointPolicy.SPATIALLY_CENTRAL,
+        )
+        assert len(timeline) >= 1
+
+    def test_inferred_semantics_use_region_anchor(self, mall3, translated):
+        timeline = timeline_from_semantics(
+            translated.semantics, translated.cleaned, model=mall3
+        )
+        # Every semantic must have produced an entry when a model is given.
+        assert len(timeline) == len(translated.semantics)
+
+    def test_covered_by_window(self, simulated):
+        timeline = timeline_from_positioning(
+            simulated.raw, DataSourceKind.RAW
+        )
+        span = simulated.raw.time_range
+        window = TimeRange(span.start, span.start + span.duration / 10)
+        covered = timeline.covered_by(window)
+        assert 0 < len(covered) < len(timeline)
+        assert all(e.time_range.overlaps(window) for e in covered)
+
+    def test_at_time(self, translated):
+        timeline = timeline_from_semantics(
+            translated.semantics, translated.cleaned
+        )
+        first = timeline[0]
+        found = timeline.at_time(first.time_range.middle)
+        assert found is not None
+        assert found.time_range.contains(first.time_range.middle)
+
+    def test_at_time_before_start(self, translated):
+        timeline = timeline_from_semantics(
+            translated.semantics, translated.cleaned
+        )
+        assert timeline.at_time(timeline.time_range.start - 1e6) is None
+
+    def test_on_floor(self, simulated):
+        timeline = timeline_from_positioning(
+            simulated.raw, DataSourceKind.RAW
+        )
+        per_floor = sum(
+            len(timeline.on_floor(f)) for f in simulated.raw.floors_visited
+        )
+        assert per_floor == len(timeline)
+
+    def test_build_timelines_all_sources(self, simulated, translated):
+        timelines = build_timelines(
+            raw=simulated.raw,
+            cleaned=translated.cleaned,
+            semantics=translated.semantics,
+            ground_truth=simulated.ground_truth,
+        )
+        assert set(timelines) == set(DataSourceKind)
+
+    def test_empty_timeline_time_range_raises(self):
+        timeline = Timeline(DataSourceKind.RAW, [])
+        with pytest.raises(ViewerError):
+            timeline.time_range
+
+
+class TestMapView:
+    def test_renders_entities_and_regions(self, mall3):
+        doc = MapView(mall3).render(1)
+        text = doc.to_string()
+        assert 'id="entities"' in text
+        assert 'id="regions"' in text
+        assert "Cashier 1F" in text
+
+    def test_overlays_respect_visibility(self, mall3, simulated, translated):
+        view = MapView(mall3)
+        timelines = build_timelines(
+            raw=simulated.raw, semantics=translated.semantics,
+            cleaned=translated.cleaned,
+        )
+        with_raw = view.render(1, timelines).to_string()
+        view.legend.set_visible(DataSourceKind.RAW, False)
+        without_raw = view.render(1, timelines).to_string()
+        assert "overlay-raw" in with_raw
+        assert "overlay-raw" not in without_raw
+
+    def test_unknown_floor_rejected(self, mall3):
+        with pytest.raises(ViewerError):
+            MapView(mall3).render(99)
+
+    def test_scale_validation(self, mall3):
+        with pytest.raises(ViewerError):
+            MapView(mall3, scale=0)
+
+    def test_legend_toggle(self, mall3):
+        view = MapView(mall3)
+        assert view.legend.is_visible(DataSourceKind.RAW)
+        assert view.legend.toggle(DataSourceKind.RAW) is False
+        assert DataSourceKind.RAW not in view.legend.visible_sources()
+
+
+class TestViewerSession:
+    def test_select_semantic_synchronizes(self, mall3, simulated, translated):
+        session = ViewerSession(
+            mall3, translated, ground_truth=simulated.ground_truth
+        )
+        covered = session.select_semantic(0)
+        window = session.semantics_timeline[0].time_range
+        for source, entries in covered.items():
+            for entry in entries:
+                assert entry.time_range.overlaps(window)
+        assert len(covered[DataSourceKind.SEMANTICS]) >= 1
+
+    def test_select_switches_floor(self, mall3, simulated, translated):
+        session = ViewerSession(mall3, translated)
+        entry = session.semantics_timeline[0]
+        session.select_semantic(0)
+        assert session.current_floor == entry.display_point.floor
+
+    def test_select_out_of_range(self, mall3, translated):
+        session = ViewerSession(mall3, translated)
+        with pytest.raises(ViewerError):
+            session.select_semantic(10**6)
+
+    def test_switch_floor_validation(self, mall3, translated):
+        session = ViewerSession(mall3, translated)
+        session.switch_floor(2)
+        assert session.current_floor == 2
+        with pytest.raises(ViewerError):
+            session.switch_floor(42)
+
+    def test_render_with_selection(self, mall3, simulated, translated):
+        session = ViewerSession(
+            mall3, translated, ground_truth=simulated.ground_truth
+        )
+        session.select_semantic(0)
+        text = session.render().to_string()
+        assert 'id="selection"' in text
+
+    def test_animation_frames(self, mall3, simulated, translated):
+        session = ViewerSession(
+            mall3, translated, ground_truth=simulated.ground_truth
+        )
+        frames = session.animate(step_seconds=60.0)
+        expected = int(simulated.ground_truth.duration // 60) + 1
+        assert len(frames) == pytest.approx(expected, abs=2)
+        assert any(f.current_semantic_label for f in frames)
+
+    def test_animation_validation(self, mall3, translated):
+        session = ViewerSession(mall3, translated)
+        with pytest.raises(ViewerError):
+            session.animate(step_seconds=0)
+
+
+class TestAsciiMap:
+    def test_renders_rooms_and_doors(self, two_shop_shared):
+        art = render_ascii(two_shop_shared, 1, cell_size=2.0)
+        assert "@" in art  # entrance
+        assert "+" in art  # doors
+        assert "." in art  # hall
+        assert "A" in art  # first room letter
+
+    def test_overlay_points(self, two_shop_shared):
+        from repro.geometry import Point
+
+        art = render_ascii(
+            two_shop_shared, 1, cell_size=2.0, overlay=[Point(15, 5, 1)]
+        )
+        assert "*" in art
+
+    def test_validation(self, two_shop_shared):
+        with pytest.raises(ViewerError):
+            render_ascii(two_shop_shared, 1, cell_size=0)
