@@ -1,0 +1,5 @@
+"""Benchmark suite package marker.
+
+Required so pytest imports bench modules as ``benchmarks.<name>`` and the
+``from .conftest import ...`` helper imports resolve.
+"""

@@ -38,6 +38,7 @@ from .core import (
     score_semantics,
 )
 from .dsm import DigitalSpaceModel, load_dsm, save_dsm, validate_dsm
+from .engine import Engine, EngineConfig
 from .events import EventEditor, PatternRegistry
 from .geometry import Point
 from .positioning import (
@@ -59,6 +60,8 @@ __all__ = [
     "DataSelector",
     "DigitalSpaceModel",
     "DrawingCanvas",
+    "Engine",
+    "EngineConfig",
     "EventEditor",
     "EventIdentifier",
     "HeuristicEventIdentifier",

@@ -55,6 +55,26 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     translate.add_argument("config", type=Path)
     translate.add_argument("--out", type=Path, default=Path("trips-results"))
+    translate.add_argument(
+        "--backend",
+        choices=("serial", "threads", "processes"),
+        default=None,
+        help="run the batch through the parallel engine with this "
+        "execution backend (default: serial translator)",
+    )
+    translate.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="engine worker pool size; requires --backend "
+        "(default: one per CPU)",
+    )
+    translate.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help="sequences per engine work chunk; requires --backend",
+    )
     translate.set_defaults(handler=_cmd_translate)
 
     render = commands.add_parser("render", help="render a DSM floor to SVG")
@@ -106,8 +126,23 @@ def _cmd_validate(args) -> None:
 def _cmd_translate(args) -> None:
     from .config import load_task, run_task
 
+    from .errors import ConfigError
+
+    engine = None
+    if args.backend is not None:
+        from .engine import EngineConfig
+
+        kwargs = {"backend": args.backend, "workers": args.workers}
+        if args.chunk_size is not None:
+            kwargs["chunk_size"] = args.chunk_size
+        engine = EngineConfig(**kwargs)
+    elif args.workers is not None or args.chunk_size is not None:
+        raise ConfigError(
+            "--workers/--chunk-size tune the parallel engine; pass "
+            "--backend (serial, threads or processes) to enable it"
+        )
     config = load_task(args.config)
-    batch = run_task(config)
+    batch = run_task(config, engine=engine)
     args.out.mkdir(parents=True, exist_ok=True)
     for result in batch:
         safe_id = result.device_id.replace("/", "_").replace(":", "_")
@@ -117,6 +152,8 @@ def _cmd_translate(args) -> None:
         f"({batch.total_records} records -> {batch.total_semantics} semantics) "
         f"in {batch.elapsed_seconds:.2f}s -> {args.out}/"
     )
+    if batch.stats is not None:
+        print(batch.stats.format_table())
 
 
 def _cmd_render(args) -> None:

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from ..core.annotation import EventIdentifier, HeuristicEventIdentifier
 from ..core.translator import BatchTranslationResult, Translator
@@ -17,6 +18,9 @@ from ..positioning import (
     PositioningSequence,
 )
 from .schema import TranslationTaskConfig
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..engine import EngineConfig
 
 
 def save_task(config: TranslationTaskConfig, path: str | Path) -> None:
@@ -56,11 +60,15 @@ def select_sequences(config: TranslationTaskConfig) -> list[PositioningSequence]
 def run_task(
     config: TranslationTaskConfig,
     training_set: TrainingSet | None = None,
+    engine: "EngineConfig | None" = None,
 ) -> BatchTranslationResult:
     """Execute one translation task end to end (workflow steps 1–4).
 
     A learned ``event_model`` requires Event Editor ``training_set``
-    designations; the heuristic identifier needs none.
+    designations; the heuristic identifier needs none.  Passing an
+    ``engine`` config routes the batch through the parallel engine
+    (``repro.engine.Engine``) instead of the serial translator; the
+    results are identical either way.
     """
     model = load_dsm(config.dsm_path)
     if config.event_model == "heuristic":
@@ -77,4 +85,8 @@ def run_task(
         model, event_model, config.build_translator_config()
     )
     sequences = select_sequences(config)
+    if engine is not None:
+        from ..engine import Engine
+
+        return Engine(translator, engine).translate_batch(sequences)
     return translator.translate_batch(sequences)

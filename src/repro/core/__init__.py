@@ -57,7 +57,9 @@ from .semantics import (
     MobilitySemanticsSequence,
 )
 from .translator import (
+    BatchStats,
     BatchTranslationResult,
+    PhaseStats,
     TranslationResult,
     Translator,
     TranslatorConfig,
@@ -69,6 +71,7 @@ __all__ = [
     "FEATURE_NAMES",
     "AnnotationResult",
     "AnnotatorConfig",
+    "BatchStats",
     "BatchTranslationResult",
     "CleaningConfig",
     "CleaningReport",
@@ -89,6 +92,7 @@ __all__ = [
     "MobilitySemanticsComplementor",
     "MobilitySemanticsSequence",
     "NearestRegionAnnotator",
+    "PhaseStats",
     "RawDataCleaner",
     "SemanticsInference",
     "SemanticsScore",

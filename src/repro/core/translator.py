@@ -7,6 +7,12 @@ is two-phase: every sequence is cleaned and annotated first, the mobility
 knowledge is built from *all* original semantics ("referring to other
 generated mobility semantics sequences"), and only then is each sequence
 complemented.
+
+The two phases are exposed as module-level pure functions
+(:func:`run_phase_one`, :func:`run_phase_two`, :func:`build_batch_knowledge`,
+:func:`assemble_results`) so the parallel batch engine in
+:mod:`repro.engine` can fan them out across worker pools while reproducing
+``Translator.translate_batch`` exactly.
 """
 
 from __future__ import annotations
@@ -98,6 +104,63 @@ class TranslationResult:
         Path(path).write_text(json.dumps(payload, indent=2), encoding="utf-8")
 
 
+@dataclass(frozen=True)
+class PhaseStats:
+    """Timing of one batch-translation phase."""
+
+    name: str
+    seconds: float
+    items: int
+
+    @property
+    def items_per_second(self) -> float:
+        """Phase throughput in items (sequences) per second."""
+        if self.seconds <= 0:
+            return 0.0
+        return self.items / self.seconds
+
+
+@dataclass(frozen=True)
+class BatchStats:
+    """Execution profile of one batch translation.
+
+    Filled by both the serial :meth:`Translator.translate_batch` path
+    (``backend="inline"``) and the parallel :class:`repro.engine.Engine`,
+    so serial-vs-parallel comparisons read off the same structure.
+    """
+
+    backend: str
+    workers: int
+    chunk_size: int
+    chunk_count: int
+    phases: tuple[PhaseStats, ...] = ()
+
+    def phase(self, name: str) -> PhaseStats:
+        """The stats of the named phase."""
+        for stats in self.phases:
+            if stats.name == name:
+                return stats
+        raise KeyError(f"no phase named {name!r} in batch stats")
+
+    @property
+    def total_seconds(self) -> float:
+        """Wall time summed across phases."""
+        return sum(stats.seconds for stats in self.phases)
+
+    def format_table(self) -> str:
+        """Small fixed-width rendering for CLI / bench output."""
+        lines = [
+            f"backend={self.backend} workers={self.workers} "
+            f"chunk_size={self.chunk_size} chunks={self.chunk_count}"
+        ]
+        for stats in self.phases:
+            lines.append(
+                f"  {stats.name:<16} {stats.seconds:8.3f}s  "
+                f"{stats.items:6d} items  {stats.items_per_second:10.1f} items/s"
+            )
+        return "\n".join(lines)
+
+
 @dataclass
 class BatchTranslationResult:
     """Results for a batch plus the shared mobility knowledge."""
@@ -105,6 +168,13 @@ class BatchTranslationResult:
     results: list[TranslationResult] = field(default_factory=list)
     knowledge: MobilityKnowledge | None = None
     elapsed_seconds: float = 0.0
+    stats: BatchStats | None = None
+    _device_index: dict[str, TranslationResult] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+    _indexed_count: int = field(
+        default=-1, init=False, repr=False, compare=False
+    )
 
     def __iter__(self):
         return iter(self.results)
@@ -113,11 +183,26 @@ class BatchTranslationResult:
         return len(self.results)
 
     def by_device(self, device_id: str) -> TranslationResult:
-        """The result for one device."""
-        for result in self.results:
-            if result.device_id == device_id:
-                return result
-        raise AnnotationError(f"no translation result for device {device_id!r}")
+        """The first result for one device (O(1) via a lazily built index).
+
+        A device id can legitimately appear more than once — streaming
+        translation yields one result per device per window — so the
+        index keeps the *first* occurrence, matching iteration order.
+        The index is rebuilt when ``results`` grows or shrinks; replacing
+        an element in place is not tracked.
+        """
+        if self._indexed_count != len(self.results):
+            index: dict[str, TranslationResult] = {}
+            for result in self.results:
+                index.setdefault(result.device_id, result)
+            self._device_index = index
+            self._indexed_count = len(self.results)
+        try:
+            return self._device_index[device_id]
+        except KeyError:
+            raise AnnotationError(
+                f"no translation result for device {device_id!r}"
+            ) from None
 
     @property
     def total_records(self) -> int:
@@ -135,6 +220,97 @@ class BatchTranslationResult:
         if self.elapsed_seconds <= 0:
             return 0.0
         return self.total_records / self.elapsed_seconds
+
+
+# ----------------------------------------------------------------------
+# Phase functions
+#
+# Pure per-sequence / per-chunk units of work: all state comes in through
+# the arguments, so the batch engine can run them on any worker (including
+# a forked process, where ``translator`` is the worker's own copy).
+# ----------------------------------------------------------------------
+def run_phase_one(
+    translator: "Translator", sequence: PositioningSequence
+) -> tuple[CleaningResult, AnnotationResult]:
+    """Phase one (clean + annotate) for one sequence."""
+    return translator.clean_and_annotate(sequence)
+
+
+def run_phase_one_chunk(
+    translator: "Translator", sequences: list[PositioningSequence]
+) -> list[tuple[CleaningResult, AnnotationResult]]:
+    """Phase one for a chunk of sequences, preserving chunk order."""
+    return [run_phase_one(translator, sequence) for sequence in sequences]
+
+
+def build_batch_knowledge(
+    translator: "Translator",
+    annotated: list[MobilitySemanticsSequence],
+) -> MobilityKnowledge | None:
+    """The barrier phase: global knowledge from every annotated sequence.
+
+    Returns ``None`` when the complementing layer is disabled or the model
+    has no semantic regions — exactly the conditions under which
+    ``translate_batch`` skips phase two.
+    """
+    if not translator.config.enable_complementing:
+        return None
+    if translator.model.region_count == 0:
+        return None
+    return translator._build_knowledge(annotated)
+
+
+def run_phase_two(
+    translator: "Translator",
+    knowledge: MobilityKnowledge,
+    sequence: MobilitySemanticsSequence,
+) -> ComplementResult:
+    """Phase two (complementing) for one annotated sequence."""
+    return run_phase_two_chunk(translator, (knowledge, [sequence]))[0]
+
+
+def run_phase_two_chunk(
+    translator: "Translator",
+    payload: tuple[MobilityKnowledge, list[MobilitySemanticsSequence]],
+) -> list[ComplementResult]:
+    """Phase two for a chunk of annotated sequences, preserving order."""
+    knowledge, sequences = payload
+    complementor = MobilitySemanticsComplementor(
+        knowledge, translator.model.topology, translator.config.complementing
+    )
+    return [complementor.complement(sequence) for sequence in sequences]
+
+
+def assemble_results(
+    sequences: list[PositioningSequence],
+    phase_one: list[tuple[CleaningResult, AnnotationResult]],
+    complements: list[ComplementResult] | None,
+) -> list[TranslationResult]:
+    """Zip the phases back into per-device results, in input order."""
+    if len(phase_one) != len(sequences):
+        raise AnnotationError(
+            f"phase one produced {len(phase_one)} results for "
+            f"{len(sequences)} sequences"
+        )
+    if complements is not None and len(complements) != len(sequences):
+        raise AnnotationError(
+            f"phase two produced {len(complements)} results for "
+            f"{len(sequences)} sequences"
+        )
+    results: list[TranslationResult] = []
+    for index, (sequence, (cleaning, annotation)) in enumerate(
+        zip(sequences, phase_one)
+    ):
+        results.append(
+            TranslationResult(
+                device_id=sequence.device_id,
+                raw=sequence,
+                cleaning=cleaning,
+                annotation=annotation,
+                complement=complements[index] if complements is not None else None,
+            )
+        )
+    return results
 
 
 class Translator:
@@ -187,10 +363,7 @@ class Translator:
         if self.config.enable_complementing and self.model.region_count > 0:
             if knowledge is None:
                 knowledge = self._build_knowledge([annotation.sequence])
-            complementor = MobilitySemanticsComplementor(
-                knowledge, self.model.topology, self.config.complementing
-            )
-            complement = complementor.complement(annotation.sequence)
+            complement = run_phase_two(self, knowledge, annotation.sequence)
         return TranslationResult(
             device_id=sequence.device_id,
             raw=sequence,
@@ -207,39 +380,39 @@ class Translator:
     ) -> BatchTranslationResult:
         """Two-phase batch translation with shared mobility knowledge."""
         started = time.perf_counter()
-        phase_one: list[tuple[PositioningSequence, CleaningResult, AnnotationResult]] = []
-        for sequence in sequences:
-            cleaning, annotation = self.clean_and_annotate(sequence)
-            phase_one.append((sequence, cleaning, annotation))
+        sequences = list(sequences)
+        phase_one = run_phase_one_chunk(self, sequences)
+        phase_one_done = time.perf_counter()
 
-        knowledge: MobilityKnowledge | None = None
-        complementor: MobilitySemanticsComplementor | None = None
-        if self.config.enable_complementing and self.model.region_count > 0:
-            knowledge = self._build_knowledge(
-                [annotation.sequence for _, _, annotation in phase_one]
-            )
-            complementor = MobilitySemanticsComplementor(
-                knowledge, self.model.topology, self.config.complementing
-            )
+        knowledge = build_batch_knowledge(
+            self, [annotation.sequence for _, annotation in phase_one]
+        )
+        knowledge_done = time.perf_counter()
 
-        results: list[TranslationResult] = []
-        for sequence, cleaning, annotation in phase_one:
-            complement = (
-                complementor.complement(annotation.sequence)
-                if complementor is not None
-                else None
+        complements: list[ComplementResult] | None = None
+        if knowledge is not None:
+            complements = run_phase_two_chunk(
+                self,
+                (knowledge, [annotation.sequence for _, annotation in phase_one]),
             )
-            results.append(
-                TranslationResult(
-                    device_id=sequence.device_id,
-                    raw=sequence,
-                    cleaning=cleaning,
-                    annotation=annotation,
-                    complement=complement,
-                )
-            )
-        elapsed = time.perf_counter() - started
-        return BatchTranslationResult(results, knowledge, elapsed)
+        finished = time.perf_counter()
+
+        results = assemble_results(sequences, phase_one, complements)
+        count = len(sequences)
+        stats = BatchStats(
+            backend="inline",
+            workers=1,
+            chunk_size=max(count, 1),
+            chunk_count=1 if count else 0,
+            phases=(
+                PhaseStats("clean+annotate", phase_one_done - started, count),
+                PhaseStats("knowledge", knowledge_done - phase_one_done, count),
+                PhaseStats("complement", finished - knowledge_done, count),
+            ),
+        )
+        return BatchTranslationResult(
+            results, knowledge, finished - started, stats
+        )
 
     def _build_knowledge(
         self, sequences: list[MobilitySemanticsSequence]

@@ -1,0 +1,36 @@
+"""Parallel batch-translation engine (scale-out layer over the Translator).
+
+Partitions a batch of positioning sequences into chunks, fans the
+per-sequence phases out across a pluggable worker pool, runs the global
+mobility-knowledge build as the barrier phase, and merges results
+deterministically in input order — semantically identical results and
+knowledge to the serial ``Translator.translate_batch`` (only the timing
+stats differ), but bounded by the hardware instead of a single core.
+"""
+
+from .backends import (
+    BACKENDS,
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    create_backend,
+    default_worker_count,
+)
+from .chunking import iter_chunks, partition
+from .engine import DEFAULT_CHUNK_SIZE, Engine, EngineConfig
+
+__all__ = [
+    "BACKENDS",
+    "DEFAULT_CHUNK_SIZE",
+    "Engine",
+    "EngineConfig",
+    "ExecutionBackend",
+    "ProcessBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "create_backend",
+    "default_worker_count",
+    "iter_chunks",
+    "partition",
+]

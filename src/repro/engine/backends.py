@@ -1,0 +1,239 @@
+"""Pluggable execution backends for the batch engine.
+
+A backend owns the worker pool and exposes one operation: map a pure
+worker function ``fn(context, payload) -> result`` over an iterable of
+payloads, yielding results **in submission order**.  The context is the
+shared read-only state (the :class:`~repro.core.Translator`); how it
+reaches each worker is the backend's business:
+
+- ``serial``     — no pool; runs inline on the caller's thread.
+- ``threads``    — a :class:`~concurrent.futures.ThreadPoolExecutor`
+  sharing the context directly.  Best when phase work releases the GIL
+  (numpy-heavy identifiers) or the workload is I/O bound.
+- ``processes``  — a :class:`~concurrent.futures.ProcessPoolExecutor`;
+  the context is pickled once and installed per worker process via the
+  pool initializer, so per-task payloads stay small.  Best for the
+  pure-Python CPU-bound phases, which is most TRIPS workloads.
+
+Mapping is windowed: at most ``workers * window_factor`` tasks are in
+flight at once, so a streaming input iterator is consumed incrementally
+instead of being drained eagerly into the pool queue.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from abc import ABC, abstractmethod
+from collections import deque
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from functools import partial
+from typing import Any, Callable, Iterable, Iterator, TypeVar
+
+from ..errors import ConfigError
+
+P = TypeVar("P")
+R = TypeVar("R")
+
+#: In-flight task window per worker; bounds memory on streaming inputs
+#: while keeping every worker saturated.
+WINDOW_FACTOR = 4
+
+
+def default_worker_count() -> int:
+    """One worker per available CPU (at least one)."""
+    return max(os.cpu_count() or 1, 1)
+
+
+class ExecutionBackend(ABC):
+    """A bounded pool that maps worker functions over payloads in order."""
+
+    name: str = "abstract"
+
+    def __init__(self, workers: int | None = None):
+        if workers is not None and workers < 1:
+            raise ConfigError(f"worker count must be >= 1, got {workers}")
+        self.workers = workers if workers is not None else default_worker_count()
+        self._context: Any = None
+
+    # -- lifecycle ------------------------------------------------------
+    def open(self, context: Any) -> None:
+        """Bind the shared context and start the pool."""
+        self._context = context
+
+    def rebind(self, context: Any) -> None:
+        """Replace the shared context between mapping phases.
+
+        Cheap for in-memory backends; the process backend re-ships the
+        context to its workers (once per worker, not once per task).
+        """
+        self._context = context
+
+    def close(self) -> None:
+        """Shut the pool down; the backend may be re-opened afterwards."""
+        self._context = None
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- mapping --------------------------------------------------------
+    @abstractmethod
+    def map(
+        self, fn: Callable[[Any, P], R], payloads: Iterable[P]
+    ) -> Iterator[R]:
+        """Apply ``fn(context, payload)`` to every payload, in order."""
+
+
+class SerialBackend(ExecutionBackend):
+    """Inline execution — the reference backend, zero dispatch overhead.
+
+    Always one worker: a requested pool size is validated but ignored,
+    and the reported ``workers`` stays 1 so stats never misattribute
+    serial timings to a pool.
+    """
+
+    name = "serial"
+
+    def __init__(self, workers: int | None = None):
+        super().__init__(workers=workers)
+        self.workers = 1
+
+    def map(
+        self, fn: Callable[[Any, P], R], payloads: Iterable[P]
+    ) -> Iterator[R]:
+        for payload in payloads:
+            yield fn(self._context, payload)
+
+
+class _PoolBackend(ExecutionBackend):
+    """Shared windowed-submission logic over a ``concurrent.futures`` pool."""
+
+    _pool: Executor | None = None
+
+    @abstractmethod
+    def _make_pool(self) -> Executor:
+        """Create the executor for this backend."""
+
+    def _submit_callable(
+        self, fn: Callable[[Any, P], R]
+    ) -> Callable[[P], R]:
+        """The single-argument callable actually submitted to the pool."""
+        context = self._context
+        return lambda payload: fn(context, payload)
+
+    def open(self, context: Any) -> None:
+        super().open(context)
+        if self._pool is None:
+            self._pool = self._make_pool()
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        super().close()
+
+    def map(
+        self, fn: Callable[[Any, P], R], payloads: Iterable[P]
+    ) -> Iterator[R]:
+        if self._pool is None:
+            raise ConfigError(
+                f"backend {self.name!r} is not open; call open() first"
+            )
+        call = self._submit_callable(fn)
+        window = self.workers * WINDOW_FACTOR
+        pending: deque = deque()
+        iterator = iter(payloads)
+        try:
+            for payload in iterator:
+                pending.append(self._pool.submit(call, payload))
+                if len(pending) >= window:
+                    yield pending.popleft().result()
+            while pending:
+                yield pending.popleft().result()
+        finally:
+            for future in pending:
+                future.cancel()
+
+
+class ThreadBackend(_PoolBackend):
+    """Thread-pool execution sharing the context in memory."""
+
+    name = "threads"
+
+    def _make_pool(self) -> Executor:
+        return ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="trips-engine"
+        )
+
+
+# -- process backend plumbing ------------------------------------------
+# The submitted callable must be picklable, so it is a module-level
+# function; the context travels once per worker through the initializer
+# and lands in this per-process global.
+_PROCESS_CONTEXT: Any = None
+
+
+def _install_process_context(blob: bytes) -> None:
+    global _PROCESS_CONTEXT
+    _PROCESS_CONTEXT = pickle.loads(blob)
+
+
+def _call_in_process(fn: Callable[[Any, P], R], payload: P) -> R:
+    return fn(_PROCESS_CONTEXT, payload)
+
+
+class ProcessBackend(_PoolBackend):
+    """Process-pool execution; sidesteps the GIL for CPU-bound phases."""
+
+    name = "processes"
+
+    def _make_pool(self) -> Executor:
+        try:
+            blob = pickle.dumps(self._context)
+        except Exception as exc:  # pragma: no cover - context-dependent
+            raise ConfigError(
+                "the 'processes' backend requires a picklable translator "
+                f"(model + event model + config): {exc}"
+            ) from exc
+        return ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=_install_process_context,
+            initargs=(blob,),
+        )
+
+    def _submit_callable(
+        self, fn: Callable[[Any, P], R]
+    ) -> Callable[[P], R]:
+        return partial(_call_in_process, fn)
+
+    def rebind(self, context: Any) -> None:
+        """Workers hold a pickled copy of the context, so rebinding
+        restarts the pool: one initializer transfer per worker, keeping
+        per-task payloads small."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        super().rebind(context)
+        self._pool = self._make_pool()
+
+
+BACKENDS: dict[str, type[ExecutionBackend]] = {
+    SerialBackend.name: SerialBackend,
+    ThreadBackend.name: ThreadBackend,
+    ProcessBackend.name: ProcessBackend,
+}
+
+
+def create_backend(name: str, workers: int | None = None) -> ExecutionBackend:
+    """Instantiate a backend by registry name."""
+    try:
+        backend_cls = BACKENDS[name]
+    except KeyError:
+        known = ", ".join(sorted(BACKENDS))
+        raise ConfigError(
+            f"unknown execution backend {name!r} (known: {known})"
+        ) from None
+    return backend_cls(workers=workers)

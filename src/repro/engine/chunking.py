@@ -1,0 +1,42 @@
+"""Chunk partitioning for the batch engine.
+
+Chunks are the engine's unit of work: coarse enough to amortize task
+dispatch (and, for the process backend, payload pickling), fine enough to
+keep every worker busy.  Both helpers preserve input order, which is what
+lets the engine merge results back deterministically.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, TypeVar
+
+from ..errors import ConfigError
+
+T = TypeVar("T")
+
+
+def partition(items: list[T], chunk_size: int) -> list[list[T]]:
+    """Split ``items`` into consecutive chunks of ``chunk_size``.
+
+    The final chunk may be shorter; an empty input yields no chunks.
+    """
+    return list(iter_chunks(items, chunk_size))
+
+
+def iter_chunks(items: Iterable[T], chunk_size: int) -> Iterator[list[T]]:
+    """Lazily chunk any iterable, consuming it only as chunks are pulled.
+
+    This is the streaming-ingestion path: the engine can translate an
+    unbounded iterator of sequences without materializing the full batch
+    up front.
+    """
+    if chunk_size < 1:
+        raise ConfigError(f"chunk size must be >= 1, got {chunk_size}")
+    chunk: list[T] = []
+    for item in items:
+        chunk.append(item)
+        if len(chunk) >= chunk_size:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk

@@ -40,7 +40,7 @@ from .selector import (
     TemporalRangeRule,
 )
 from .sequence import PositioningSequence
-from .stream import RecordStream, windowed_sequences
+from .stream import RecordStream, sequence_stream, windowed_sequences
 
 __all__ = [
     "CSV_COLUMNS",
@@ -70,6 +70,7 @@ __all__ = [
     "inject_floor_errors",
     "inject_gaussian_noise",
     "inject_outliers",
+    "sequence_stream",
     "subsample",
     "windowed_sequences",
     "write_csv",

@@ -111,3 +111,20 @@ def windowed_sequences(
         if on_window is not None:
             on_window(sequences)
         yield sequences
+
+
+def sequence_stream(
+    stream: RecordStream, window_seconds: float
+) -> Iterator[PositioningSequence]:
+    """Flatten a windowed stream into one lazy iterator of sequences.
+
+    This is the ingestion shape ``repro.engine.Engine.translate_stream``
+    expects: each window's per-device sequences are yielded one at a time
+    as the underlying stream is consumed, so ingestion overlaps phase one
+    instead of waiting for the whole feed.  Note the engine still retains
+    every phase-one result until its knowledge barrier, so the feed must
+    be finite; truly unbounded feeds need per-window translation (see the
+    ROADMAP's async-ingestion item).
+    """
+    for window in windowed_sequences(stream, window_seconds):
+        yield from window

@@ -1,0 +1,5 @@
+"""Test suite package marker.
+
+Required so pytest imports test modules as ``tests.<name>`` and the
+``from .conftest import ...`` helper imports resolve.
+"""

@@ -1,0 +1,144 @@
+"""GridIndex: the uniform grid behind every point-location query.
+
+Every cleaned positioning record is located through this structure at
+least once, so its edge behavior (closed-box boundaries, cell-boundary
+points, multi-cell spans, duplicate keys) must be exact — a candidate
+missed here is a record silently annotated to the wrong region.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dsm.index import GridIndex
+from repro.geometry import BoundingBox, Point
+
+
+def make_index(cell_size: float = 8.0) -> GridIndex:
+    return GridIndex(cell_size=cell_size)
+
+
+# ----------------------------------------------------------------------
+# Construction
+# ----------------------------------------------------------------------
+def test_cell_size_must_be_positive():
+    with pytest.raises(ValueError):
+        GridIndex(cell_size=0.0)
+    with pytest.raises(ValueError):
+        GridIndex(cell_size=-3.0)
+
+
+def test_empty_index():
+    index = make_index()
+    assert len(index) == 0
+    assert index.candidates_at(Point(1.0, 1.0)) == []
+    assert index.candidates_in(BoundingBox(0, 0, 100, 100)) == []
+
+
+def test_duplicate_key_rejected():
+    index = make_index()
+    index.insert("a", BoundingBox(0, 0, 4, 4))
+    with pytest.raises(ValueError):
+        index.insert("a", BoundingBox(10, 10, 14, 14))
+    # The failed insert must not have clobbered the original bounds.
+    assert index.candidates_at(Point(2.0, 2.0)) == ["a"]
+    assert index.candidates_at(Point(12.0, 12.0)) == []
+
+
+# ----------------------------------------------------------------------
+# Point location, including exact cell/box boundaries
+# ----------------------------------------------------------------------
+def test_candidates_at_inside_and_outside():
+    index = make_index()
+    index.insert("box", BoundingBox(2, 2, 6, 6))
+    assert index.candidates_at(Point(4.0, 4.0)) == ["box"]
+    assert index.candidates_at(Point(7.0, 4.0)) == []
+    assert index.candidates_at(Point(100.0, 100.0)) == []
+
+
+def test_point_exactly_on_box_boundary_is_contained():
+    """Boxes are closed, so edge and corner points are hits."""
+    index = make_index()
+    index.insert("box", BoundingBox(2, 2, 6, 6))
+    for x, y in [(2, 2), (6, 6), (2, 6), (6, 2), (4, 2), (2, 4), (6, 4)]:
+        assert index.candidates_at(Point(float(x), float(y))) == ["box"]
+
+
+def test_point_exactly_on_cell_boundary():
+    """A box touching a grid line is registered in both adjacent cells.
+
+    With cell_size=8 the point (8, 8) falls in cell (1, 1); a box spanning
+    [0, 8]² also touches that cell, so the boundary point still finds it.
+    """
+    index = make_index(cell_size=8.0)
+    index.insert("box", BoundingBox(0, 0, 8, 8))
+    assert index.candidates_at(Point(8.0, 8.0)) == ["box"]
+    assert index.candidates_at(Point(0.0, 8.0)) == ["box"]
+    assert index.candidates_at(Point(8.0, 0.0)) == ["box"]
+    # Just past the closed edge: same grid cell, but the exact test fails.
+    assert index.candidates_at(Point(8.0001, 8.0)) == []
+
+
+def test_box_ending_exactly_at_cell_line_does_not_leak():
+    """A box [0, 8)² closed at 8 registers in cell (1, 1) but only the
+    boundary line is contained there — interior points of the next cell
+    must not report it."""
+    index = make_index(cell_size=8.0)
+    index.insert("box", BoundingBox(0, 0, 8, 8))
+    assert index.candidates_at(Point(9.0, 9.0)) == []
+
+
+def test_negative_coordinates():
+    index = make_index(cell_size=8.0)
+    index.insert("neg", BoundingBox(-12, -12, -4, -4))
+    assert index.candidates_at(Point(-8.0, -8.0)) == ["neg"]
+    assert index.candidates_at(Point(-3.0, -3.0)) == []
+    assert index.candidates_in(BoundingBox(-100, -100, 0, 0)) == ["neg"]
+
+
+def test_overlapping_entries_all_reported():
+    index = make_index()
+    index.insert("a", BoundingBox(0, 0, 10, 10))
+    index.insert("b", BoundingBox(5, 5, 15, 15))
+    assert sorted(index.candidates_at(Point(7.0, 7.0))) == ["a", "b"]
+    assert index.candidates_at(Point(1.0, 1.0)) == ["a"]
+    assert index.candidates_at(Point(14.0, 14.0)) == ["b"]
+
+
+# ----------------------------------------------------------------------
+# Range queries spanning many cells
+# ----------------------------------------------------------------------
+def test_candidates_in_spanning_many_cells():
+    index = make_index(cell_size=8.0)
+    for i in range(10):
+        index.insert(f"k{i}", BoundingBox(i * 10, 0, i * 10 + 4, 4))
+    assert len(index) == 10
+    hits = index.candidates_in(BoundingBox(0, 0, 100, 10))
+    assert sorted(hits) == sorted(f"k{i}" for i in range(10))
+    # Partial span picks up only the intersecting boxes.
+    some = index.candidates_in(BoundingBox(18, 0, 42, 10))
+    assert sorted(some) == ["k2", "k3", "k4"]
+
+
+def test_candidates_in_deduplicates_multicell_entries():
+    """An entry spanning many cells appears exactly once per query."""
+    index = make_index(cell_size=8.0)
+    index.insert("wide", BoundingBox(0, 0, 50, 50))
+    hits = index.candidates_in(BoundingBox(0, 0, 50, 50))
+    assert hits == ["wide"]
+
+
+def test_candidates_in_touching_edges_count_as_intersecting():
+    index = make_index()
+    index.insert("box", BoundingBox(0, 0, 4, 4))
+    assert index.candidates_in(BoundingBox(4, 4, 8, 8)) == ["box"]
+    assert index.candidates_in(BoundingBox(4.0001, 4.0001, 8, 8)) == []
+
+
+def test_tiny_cell_size_large_box():
+    """A box covering thousands of tiny cells still answers correctly."""
+    index = make_index(cell_size=0.5)
+    index.insert("big", BoundingBox(0, 0, 20, 20))
+    index.insert("small", BoundingBox(30, 30, 30.2, 30.2))
+    assert index.candidates_at(Point(10.25, 19.75)) == ["big"]
+    assert index.candidates_in(BoundingBox(29, 29, 31, 31)) == ["small"]

@@ -1,0 +1,306 @@
+"""The parallel batch-translation engine.
+
+The engine's contract is strict: for every backend, worker count and chunk
+size, its output must be *semantically identical* to the serial
+``Translator.translate_batch`` — same per-device results in the same input
+order, same shared mobility knowledge — and repeated runs must be
+deterministic.  Every comparison here leans on the dataclass equality of
+the result objects, which covers cleaning reports, annotations, inferred
+complements and confidences field by field.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Translator
+from repro.core.translator import BatchStats, BatchTranslationResult, PhaseStats
+from repro.engine import (
+    BACKENDS,
+    DEFAULT_CHUNK_SIZE,
+    Engine,
+    EngineConfig,
+    ThreadBackend,
+    create_backend,
+    iter_chunks,
+    partition,
+)
+from repro.errors import AnnotationError, ConfigError
+
+from .conftest import make_two_shop_dsm, stationary_sequence, walk_sequence
+
+ALL_BACKENDS = sorted(BACKENDS)
+
+
+@pytest.fixture(scope="module")
+def shop_translator():
+    return Translator(make_two_shop_dsm())
+
+
+@pytest.fixture(scope="module")
+def shop_sequences():
+    """Seven small sequences: dwellers in both shops plus hall walkers."""
+    sequences = []
+    for i in range(4):
+        sequences.append(
+            stationary_sequence(
+                f"dwell-{i}",
+                at=(5.0 if i % 2 == 0 else 15.0, 15.0, 1),
+                seed=i,
+                start=100.0 * i,
+            )
+        )
+    for i in range(3):
+        sequences.append(walk_sequence(f"walk-{i}", start=50.0 * i))
+    return sequences
+
+
+@pytest.fixture(scope="module")
+def shop_serial(shop_translator, shop_sequences):
+    return shop_translator.translate_batch(shop_sequences)
+
+
+def assert_batches_identical(
+    batch: BatchTranslationResult, reference: BatchTranslationResult
+) -> None:
+    assert [r.device_id for r in batch] == [r.device_id for r in reference]
+    assert batch.results == reference.results
+    assert batch.knowledge == reference.knowledge
+
+
+# ----------------------------------------------------------------------
+# Equivalence: engine output == serial translate_batch
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
+@pytest.mark.parametrize("chunk_size", [1, 3, 100])
+def test_engine_matches_serial_all_backends(
+    shop_translator, shop_sequences, shop_serial, backend, chunk_size
+):
+    engine = Engine(
+        shop_translator,
+        EngineConfig(backend=backend, workers=2, chunk_size=chunk_size),
+    )
+    batch = engine.translate_batch(shop_sequences)
+    assert_batches_identical(batch, shop_serial)
+
+
+@pytest.mark.parametrize("workers", [1, 2, 5])
+def test_engine_worker_counts(
+    shop_translator, shop_sequences, shop_serial, workers
+):
+    engine = Engine(
+        shop_translator,
+        EngineConfig(backend="threads", workers=workers, chunk_size=2),
+    )
+    assert_batches_identical(
+        engine.translate_batch(shop_sequences), shop_serial
+    )
+
+
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
+def test_engine_matches_serial_mall_population(
+    mall3, population, backend
+):
+    """The acceptance benchmark: mall population, every backend."""
+    translator = Translator(mall3)
+    sequences = [device.raw for device in population]
+    reference = translator.translate_batch(sequences)
+    engine = Engine(
+        translator, EngineConfig(backend=backend, workers=2, chunk_size=2)
+    )
+    batch = engine.translate_batch(sequences)
+    assert_batches_identical(batch, reference)
+    assert batch.total_records == reference.total_records
+    assert batch.total_semantics == reference.total_semantics
+
+
+def test_engine_deterministic_across_runs(shop_translator, shop_sequences):
+    engine = Engine(
+        shop_translator,
+        EngineConfig(backend="threads", workers=3, chunk_size=2),
+    )
+    first = engine.translate_batch(shop_sequences)
+    second = engine.translate_batch(shop_sequences)
+    assert_batches_identical(first, second)
+
+
+def test_engine_streaming_matches_batch(
+    shop_translator, shop_sequences, shop_serial
+):
+    engine = Engine(
+        shop_translator,
+        EngineConfig(backend="threads", workers=2, chunk_size=2),
+    )
+    batch = engine.translate_stream(iter(shop_sequences))
+    assert_batches_identical(batch, shop_serial)
+
+
+def test_engine_empty_batch(shop_translator):
+    engine = Engine(shop_translator, EngineConfig(backend="serial"))
+    batch = engine.translate_batch([])
+    reference = shop_translator.translate_batch([])
+    assert len(batch) == 0
+    assert batch.results == reference.results
+    assert batch.knowledge == reference.knowledge
+    assert batch.stats.chunk_count == 0
+
+
+def test_engine_single_sequence(shop_translator, shop_sequences, shop_serial):
+    engine = Engine(
+        shop_translator, EngineConfig(backend="threads", chunk_size=1)
+    )
+    batch = engine.translate_batch(shop_sequences[:1])
+    assert batch.results == shop_serial.results[:1]
+
+
+# ----------------------------------------------------------------------
+# Stats
+# ----------------------------------------------------------------------
+def test_engine_stats_phases(shop_translator, shop_sequences):
+    engine = Engine(
+        shop_translator,
+        EngineConfig(backend="threads", workers=2, chunk_size=3),
+    )
+    batch = engine.translate_batch(shop_sequences)
+    stats = batch.stats
+    assert stats.backend == "threads"
+    assert stats.workers == 2
+    assert stats.chunk_size == 3
+    assert stats.chunk_count == 3  # 7 sequences in chunks of 3
+    assert [p.name for p in stats.phases] == [
+        "clean+annotate",
+        "knowledge",
+        "complement",
+    ]
+    assert all(p.items == len(shop_sequences) for p in stats.phases)
+    assert stats.phase("knowledge").seconds >= 0.0
+    assert stats.total_seconds == pytest.approx(
+        sum(p.seconds for p in stats.phases)
+    )
+    assert "threads" in stats.format_table()
+    with pytest.raises(KeyError):
+        stats.phase("no-such-phase")
+
+
+def test_serial_translate_batch_reports_inline_stats(shop_serial):
+    assert shop_serial.stats is not None
+    assert shop_serial.stats.backend == "inline"
+    assert shop_serial.stats.workers == 1
+
+
+def test_phase_stats_throughput():
+    stats = PhaseStats("clean+annotate", seconds=2.0, items=10)
+    assert stats.items_per_second == 5.0
+    assert PhaseStats("x", seconds=0.0, items=10).items_per_second == 0.0
+    empty = BatchStats(backend="serial", workers=1, chunk_size=1, chunk_count=0)
+    assert empty.total_seconds == 0.0
+
+
+# ----------------------------------------------------------------------
+# by_device index
+# ----------------------------------------------------------------------
+def test_by_device_lookup(shop_serial, shop_sequences):
+    for sequence in shop_sequences:
+        assert shop_serial.by_device(sequence.device_id).raw is sequence
+    with pytest.raises(AnnotationError):
+        shop_serial.by_device("no-such-device")
+
+
+def test_by_device_duplicate_ids_first_match(shop_translator):
+    """Streaming yields one result per device per window, so duplicate
+    device ids are legal — by_device keeps the first, in iteration order,
+    and stays O(1) (no per-call rebuild) despite the duplicates."""
+    first = stationary_sequence("dup", at=(5.0, 15.0, 1), seed=1, start=0.0)
+    second = stationary_sequence(
+        "dup", at=(15.0, 15.0, 1), seed=2, start=1000.0
+    )
+    batch = shop_translator.translate_batch([first, second])
+    assert batch.by_device("dup").raw is first
+    assert batch._indexed_count == len(batch.results)
+    # A second lookup must not trigger a rebuild.
+    index = batch._device_index
+    assert batch.by_device("dup").raw is first
+    assert batch._device_index is index
+
+
+def test_by_device_index_tracks_mutation(shop_translator, shop_sequences):
+    batch = shop_translator.translate_batch(shop_sequences[:2])
+    assert batch.by_device(shop_sequences[0].device_id)
+    extra = shop_translator.translate_batch(shop_sequences[2:3])
+    batch.results.append(extra.results[0])
+    assert (
+        batch.by_device(shop_sequences[2].device_id) is extra.results[0]
+    )
+
+
+# ----------------------------------------------------------------------
+# Configuration and backend registry
+# ----------------------------------------------------------------------
+def test_engine_config_validation():
+    with pytest.raises(ConfigError):
+        EngineConfig(backend="bogus")
+    with pytest.raises(ConfigError):
+        EngineConfig(workers=0)
+    with pytest.raises(ConfigError):
+        EngineConfig(chunk_size=0)
+    assert EngineConfig().chunk_size == DEFAULT_CHUNK_SIZE
+
+
+def test_create_backend_registry():
+    for name in ALL_BACKENDS:
+        backend = create_backend(name, workers=2)
+        assert backend.name == name
+    with pytest.raises(ConfigError):
+        create_backend("bogus")
+    with pytest.raises(ConfigError):
+        create_backend("threads", workers=0)
+
+
+def test_pool_backend_requires_open():
+    backend = ThreadBackend(workers=2)
+    with pytest.raises(ConfigError):
+        list(backend.map(lambda ctx, p: p, [1, 2]))
+    backend.open(None)
+    assert list(backend.map(lambda ctx, p: p * 2, [1, 2, 3])) == [2, 4, 6]
+    backend.close()
+
+
+def test_backend_map_preserves_order():
+    backend = create_backend("threads", workers=4)
+    backend.open("ctx")
+    payloads = list(range(50))
+    assert list(backend.map(lambda ctx, p: (ctx, p), payloads)) == [
+        ("ctx", p) for p in payloads
+    ]
+    backend.close()
+
+
+# ----------------------------------------------------------------------
+# Chunking
+# ----------------------------------------------------------------------
+def test_partition_shapes():
+    assert partition([], 3) == []
+    assert partition([1, 2, 3, 4, 5], 2) == [[1, 2], [3, 4], [5]]
+    assert partition([1, 2, 3], 3) == [[1, 2, 3]]
+    assert partition([1, 2], 100) == [[1, 2]]
+    assert partition([1, 2, 3], 1) == [[1], [2], [3]]
+
+
+def test_iter_chunks_is_lazy():
+    pulled: list[int] = []
+
+    def source():
+        for i in range(10):
+            pulled.append(i)
+            yield i
+
+    chunks = iter_chunks(source(), 3)
+    assert next(chunks) == [0, 1, 2]
+    assert pulled == [0, 1, 2]
+    assert next(chunks) == [3, 4, 5]
+    assert pulled == [0, 1, 2, 3, 4, 5]
+
+
+def test_iter_chunks_rejects_bad_size():
+    with pytest.raises(ConfigError):
+        list(iter_chunks([1, 2], 0))
