@@ -1,0 +1,115 @@
+"""Knowledge barrier — sharded merge vs serial rebuild.
+
+After PR 1 the knowledge build was the only serial phase left: every
+population funnelled through one core at the barrier while the worker
+pool idled.  The sharded strategy moves the aggregation onto the
+phase-one workers (each chunk emits a ``PartialKnowledge``) and leaves
+the caller an O(#regions + #edges) merge per chunk.  This bench
+translates the mall, airport and office populations under both
+strategies and reports the barrier-phase time, asserting byte-identical
+knowledge and results either way.
+
+Expected shape: the ``rebuild`` barrier grows with the number of
+annotated triplets in the batch; the ``sharded`` barrier grows only with
+#chunks × (#regions + #edges), so its share of the run collapses as
+populations grow.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.buildings import build_airport, build_office
+from repro.core import Translator
+from repro.engine import Engine, EngineConfig
+from repro.simulation import (
+    BROWSER,
+    SHOPPER,
+    TRAVELER,
+    WORKER,
+    MobilitySimulator,
+)
+from repro.timeutil import HOUR, TimeRange
+
+from .conftest import print_table
+
+STRATEGIES = ("rebuild", "sharded")
+_ROWS: list[list] = []
+_REBUILD_BARRIER: dict[str, float] = {}
+
+
+def _population(model, profiles, count, seed):
+    simulator = MobilitySimulator(model, seed=seed)
+    return [
+        device.raw
+        for device in simulator.simulate_population(
+            count=count,
+            profiles=profiles,
+            window=TimeRange(9 * HOUR, 19 * HOUR),
+            seed=seed,
+        )
+    ]
+
+
+@pytest.fixture(scope="module")
+def venues(mall3):
+    """(translator, sequences, serial reference batch) per demo venue."""
+    airport = build_airport(gate_count=6)
+    office = build_office(floors=2)
+    venues = {
+        "mall": (Translator(mall3), _population(mall3, [SHOPPER, BROWSER], 16, 41)),
+        "airport": (Translator(airport), _population(airport, [TRAVELER], 12, 42)),
+        "office": (Translator(office), _population(office, [WORKER], 12, 43)),
+    }
+    return {
+        name: (translator, sequences, translator.translate_batch(sequences))
+        for name, (translator, sequences) in venues.items()
+    }
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+@pytest.mark.parametrize("venue", ["mall", "airport", "office"])
+def test_knowledge_barrier(benchmark, venues, venue, strategy):
+    translator, sequences, serial = venues[venue]
+    engine = Engine(
+        translator,
+        EngineConfig(
+            backend="serial", chunk_size=2, knowledge_build=strategy
+        ),
+    )
+
+    batch = benchmark.pedantic(
+        lambda: engine.translate_batch(sequences), rounds=3, iterations=1
+    )
+
+    # Correctness first: both strategies must reproduce the serial
+    # translator exactly — knowledge included, bit for bit.
+    assert batch.results == serial.results
+    assert batch.knowledge == serial.knowledge
+
+    barrier = batch.stats.phase("knowledge").seconds
+    if strategy == "rebuild":
+        _REBUILD_BARRIER[venue] = barrier
+    baseline = _REBUILD_BARRIER.get(venue, barrier)
+    speedup = baseline / barrier if barrier > 0 else float("inf")
+    _ROWS.append(
+        [
+            venue,
+            strategy,
+            len(batch),
+            batch.total_semantics,
+            batch.stats.chunk_count,
+            f"{barrier * 1e3:.3f} ms",
+            f"{batch.elapsed_seconds:.2f} s",
+            f"{speedup:.2f}x",
+        ]
+    )
+
+
+def teardown_module(module) -> None:
+    print_table(
+        "Knowledge barrier: sharded merge vs serial rebuild",
+        ["venue", "strategy", "devices", "semantics", "chunks",
+         "barrier", "total", "barrier speedup"],
+        _ROWS,
+    )

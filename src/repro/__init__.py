@@ -30,6 +30,7 @@ from .core import (
     MobilityKnowledge,
     MobilitySemantic,
     MobilitySemanticsSequence,
+    PartialKnowledge,
     RawDataCleaner,
     TranslationResult,
     Translator,
@@ -70,6 +71,7 @@ __all__ = [
     "MobilitySemantic",
     "MobilitySemanticsSequence",
     "MobilitySimulator",
+    "PartialKnowledge",
     "PatternRegistry",
     "Point",
     "PositioningSequence",

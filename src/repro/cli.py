@@ -75,6 +75,14 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="sequences per engine work chunk; requires --backend",
     )
+    translate.add_argument(
+        "--knowledge-build",
+        choices=("rebuild", "sharded"),
+        default=None,
+        help="engine barrier strategy: 'sharded' (default) merges per-chunk "
+        "knowledge shards built on the workers, 'rebuild' re-observes every "
+        "annotated sequence on the caller; requires --backend",
+    )
     translate.set_defaults(handler=_cmd_translate)
 
     render = commands.add_parser("render", help="render a DSM floor to SVG")
@@ -135,11 +143,18 @@ def _cmd_translate(args) -> None:
         kwargs = {"backend": args.backend, "workers": args.workers}
         if args.chunk_size is not None:
             kwargs["chunk_size"] = args.chunk_size
+        if args.knowledge_build is not None:
+            kwargs["knowledge_build"] = args.knowledge_build
         engine = EngineConfig(**kwargs)
-    elif args.workers is not None or args.chunk_size is not None:
+    elif (
+        args.workers is not None
+        or args.chunk_size is not None
+        or args.knowledge_build is not None
+    ):
         raise ConfigError(
-            "--workers/--chunk-size tune the parallel engine; pass "
-            "--backend (serial, threads or processes) to enable it"
+            "--workers/--chunk-size/--knowledge-build tune the parallel "
+            "engine; pass --backend (serial, threads or processes) to "
+            "enable it"
         )
     config = load_task(args.config)
     batch = run_task(config, engine=engine)

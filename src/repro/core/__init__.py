@@ -48,7 +48,9 @@ from .complementing import (
     InferenceConfig,
     MobilityKnowledge,
     MobilitySemanticsComplementor,
+    PartialKnowledge,
     SemanticsInference,
+    merge_partials,
 )
 from .semantics import (
     EVENT_PASS_BY,
@@ -92,6 +94,7 @@ __all__ = [
     "MobilitySemanticsComplementor",
     "MobilitySemanticsSequence",
     "NearestRegionAnnotator",
+    "PartialKnowledge",
     "PhaseStats",
     "RawDataCleaner",
     "SemanticsInference",
@@ -108,6 +111,7 @@ __all__ = [
     "Translator",
     "TranslatorConfig",
     "extract_features",
+    "merge_partials",
     "score_gap_fill",
     "score_positions",
     "score_semantics",

@@ -16,16 +16,25 @@ from .inference import (
     InferredPath,
     SemanticsInference,
 )
-from .knowledge import MobilityKnowledge, RegionStats
+from .knowledge import (
+    ExactSum,
+    MobilityKnowledge,
+    PartialKnowledge,
+    RegionStats,
+    merge_partials,
+)
 
 __all__ = [
     "NOMINAL_WALK_SPEED",
     "ComplementResult",
     "ComplementorConfig",
+    "ExactSum",
     "InferenceConfig",
     "InferredPath",
     "MobilityKnowledge",
     "MobilitySemanticsComplementor",
+    "PartialKnowledge",
     "RegionStats",
     "SemanticsInference",
+    "merge_partials",
 ]

@@ -6,24 +6,114 @@ transition probabilities between semantic regions" (paper §3).  The
 knowledge is a Laplace-smoothed first-order Markov model over the DSM's
 region vocabulary, plus per-region dwell-duration and event statistics the
 inference step uses to allocate time and pick event annotations.
+
+The aggregation side is factored into :class:`PartialKnowledge`, a purely
+additive shard of raw counts with a commutative, associative
+:meth:`~PartialKnowledge.merge`.  Independent workers can each observe a
+slice of the batch and the shards merge in O(#regions + #edges) — the
+basis of the engine's sharded knowledge build — while
+:class:`MobilityKnowledge` keeps the smoothed-query layer
+(:meth:`~MobilityKnowledge.transition_probability` and friends) on top of
+the same aggregates.  Dwell seconds accumulate through :class:`ExactSum`,
+so merged totals are bit-for-bit identical no matter how the batch was
+sharded.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from ...errors import InferenceError
 from ..semantics import EVENT_STAY, MobilitySemanticsSequence
 
+#: Transitions across gaps longer than this are not counted — the device
+#: plausibly visited unobserved regions in between, so the pair is not
+#: evidence of a direct transition.
+DEFAULT_TRANSITION_GAP = 600.0
 
-@dataclass
+
+class ExactSum:
+    """Exact, order-independent float accumulator (Shewchuk expansions).
+
+    Keeps the running total as a list of non-overlapping partials whose
+    mathematical sum is *exactly* the sum of everything added — the same
+    representation :func:`math.fsum` uses internally.  :attr:`value` is
+    therefore the correctly-rounded true sum regardless of how the
+    additions were grouped or ordered, which is what makes knowledge-shard
+    merges associative bit for bit (plain float ``+=`` is not).
+    """
+
+    __slots__ = ("_partials",)
+
+    def __init__(self, values: Iterable[float] = ()):
+        self._partials: list[float] = []
+        for value in values:
+            self.add(value)
+
+    def add(self, value: float) -> None:
+        """Add one float exactly."""
+        partials = self._partials
+        x = float(value)
+        count = 0
+        for y in partials:
+            if abs(x) < abs(y):
+                x, y = y, x
+            high = x + y
+            low = y - (high - x)
+            if low:
+                partials[count] = low
+                count += 1
+            x = high
+        partials[count:] = [x]
+
+    def merge(self, other: "ExactSum") -> None:
+        """Fold another accumulator in; exact, so grouping never matters."""
+        for partial in other._partials:
+            self.add(partial)
+
+    def copy(self) -> "ExactSum":
+        clone = ExactSum()
+        clone._partials = list(self._partials)
+        return clone
+
+    @property
+    def value(self) -> float:
+        """The correctly-rounded total."""
+        return math.fsum(self._partials)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ExactSum):
+            return NotImplemented
+        return self.value == other.value
+
+    def __repr__(self) -> str:
+        return f"ExactSum({self.value!r})"
+
+
 class RegionStats:
-    """Aggregates about one semantic region."""
+    """Aggregates about one semantic region.
 
-    visits: int = 0
-    total_dwell: float = 0.0
-    stay_count: int = 0
+    Dwell seconds go through an :class:`ExactSum`, so two stats built from
+    the same visits compare equal however the visits were sharded.
+    """
+
+    __slots__ = ("visits", "stay_count", "_dwell")
+
+    def __init__(
+        self, visits: int = 0, total_dwell: float = 0.0, stay_count: int = 0
+    ):
+        self.visits = visits
+        self.stay_count = stay_count
+        self._dwell = ExactSum()
+        if total_dwell:
+            self._dwell.add(total_dwell)
+
+    @property
+    def total_dwell(self) -> float:
+        """Total seconds spent across all visits."""
+        return self._dwell.value
 
     @property
     def mean_dwell(self) -> float:
@@ -38,6 +128,190 @@ class RegionStats:
         if self.visits == 0:
             return 0.0
         return self.stay_count / self.visits
+
+    def add_visit(self, duration: float, stay: bool) -> None:
+        """Record one visit."""
+        self.visits += 1
+        self._dwell.add(duration)
+        if stay:
+            self.stay_count += 1
+
+    def add(self, other: "RegionStats") -> None:
+        """Fold another region's aggregates in (additive, exact)."""
+        self.visits += other.visits
+        self.stay_count += other.stay_count
+        self._dwell.merge(other._dwell)
+
+    def copy(self) -> "RegionStats":
+        clone = RegionStats(visits=self.visits, stay_count=self.stay_count)
+        clone._dwell = self._dwell.copy()
+        return clone
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RegionStats):
+            return NotImplemented
+        return (
+            self.visits == other.visits
+            and self.stay_count == other.stay_count
+            and self.total_dwell == other.total_dwell
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"RegionStats(visits={self.visits}, "
+            f"total_dwell={self.total_dwell!r}, stay_count={self.stay_count})"
+        )
+
+
+def _observe_sequence(
+    sequence: MobilitySemanticsSequence,
+    region_set: set[str],
+    stats: dict[str, RegionStats],
+    transitions: dict[str, dict[str, int]],
+    outgoing_totals: dict[str, int],
+    max_transition_gap: float,
+) -> None:
+    """Accumulate one annotated sequence into the raw aggregates.
+
+    Shared by :meth:`PartialKnowledge.observe` and
+    :meth:`MobilityKnowledge.observe`, so the sharded and rebuild paths
+    count by exactly the same rules.
+    """
+    semantics = [s for s in sequence if s.region_id in region_set]
+    for triplet in semantics:
+        stats[triplet.region_id].add_visit(
+            triplet.duration, triplet.event == EVENT_STAY
+        )
+    for current, following in zip(semantics, semantics[1:]):
+        gap = following.time_range.start - current.time_range.end
+        if gap > max_transition_gap:
+            continue
+        if current.region_id == following.region_id:
+            continue
+        outgoing = transitions.setdefault(current.region_id, {})
+        outgoing[following.region_id] = outgoing.get(following.region_id, 0) + 1
+        outgoing_totals[current.region_id] = (
+            outgoing_totals.get(current.region_id, 0) + 1
+        )
+
+
+def _add_counts(
+    source: "PartialKnowledge",
+    transitions: dict[str, dict[str, int]],
+    outgoing_totals: dict[str, int],
+    stats: dict[str, RegionStats],
+) -> int:
+    """Element-wise add a shard's raw counts into target aggregates.
+
+    Shared by :meth:`PartialKnowledge.add` and
+    :meth:`MobilityKnowledge.fold`, so shard-to-shard and
+    shard-to-knowledge merges apply identical rules.  Returns the shard's
+    ``sequences_seen`` for the caller to add.
+    """
+    for origin, outgoing in source.transitions.items():
+        destinations = transitions.setdefault(origin, {})
+        for destination, count in outgoing.items():
+            destinations[destination] = destinations.get(destination, 0) + count
+    for origin, total in source.outgoing_totals.items():
+        outgoing_totals[origin] = outgoing_totals.get(origin, 0) + total
+    for region, shard_stats in source.stats.items():
+        stats[region].add(shard_stats)
+    return source.sequences_seen
+
+
+@dataclass
+class PartialKnowledge:
+    """One shard's additive slice of the mobility-knowledge aggregates.
+
+    Raw counts only — no smoothing, no queries — so every field is
+    additive: merging two shards is element-wise addition over transition
+    counts, outgoing totals, per-region :class:`RegionStats` and
+    ``sequences_seen``.  That makes :meth:`merge` commutative and
+    associative, and :meth:`MobilityKnowledge.from_partials` over any
+    sharding of a batch identical to
+    :meth:`MobilityKnowledge.from_sequences` over the concatenation.
+
+    The shard is a plain picklable dataclass, so the engine's process
+    backend can build one per chunk in a worker and ship it back to the
+    caller for the O(#regions + #edges) barrier merge.
+    """
+
+    regions: list[str]
+    transitions: dict[str, dict[str, int]] = field(default_factory=dict)
+    outgoing_totals: dict[str, int] = field(default_factory=dict)
+    stats: dict[str, RegionStats] = field(default_factory=dict)
+    sequences_seen: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.regions:
+            raise InferenceError("partial knowledge needs a region vocabulary")
+        self.regions = sorted(set(self.regions))
+        self._region_set = set(self.regions)
+        for region in self.regions:
+            self.stats.setdefault(region, RegionStats())
+
+    @classmethod
+    def from_sequences(
+        cls,
+        sequences: Iterable[MobilitySemanticsSequence],
+        regions: list[str],
+        max_transition_gap: float = DEFAULT_TRANSITION_GAP,
+    ) -> "PartialKnowledge":
+        """Build one shard by observing a slice of the batch."""
+        partial = cls(regions=list(regions))
+        for sequence in sequences:
+            partial.observe(sequence, max_transition_gap)
+        return partial
+
+    def observe(
+        self,
+        sequence: MobilitySemanticsSequence,
+        max_transition_gap: float = DEFAULT_TRANSITION_GAP,
+    ) -> None:
+        """Fold one annotated sequence into the shard."""
+        self.sequences_seen += 1
+        _observe_sequence(
+            sequence,
+            self._region_set,
+            self.stats,
+            self.transitions,
+            self.outgoing_totals,
+            max_transition_gap,
+        )
+
+    def merge(self, *others: "PartialKnowledge") -> "PartialKnowledge":
+        """A new shard equal to this one plus ``others`` (non-mutating)."""
+        merged = PartialKnowledge(regions=list(self.regions))
+        for shard in (self, *others):
+            merged.add(shard)
+        return merged
+
+    def add(self, other: "PartialKnowledge") -> None:
+        """Fold another shard's counts into this one (in place)."""
+        if other.regions != self.regions:
+            raise InferenceError(
+                "cannot merge partial knowledge over different region "
+                f"vocabularies ({len(self.regions)} vs {len(other.regions)} "
+                "regions)"
+            )
+        self.sequences_seen += _add_counts(
+            other, self.transitions, self.outgoing_totals, self.stats
+        )
+
+    def __str__(self) -> str:
+        observed = sum(self.outgoing_totals.values())
+        return (
+            f"PartialKnowledge({len(self.regions)} regions, "
+            f"{observed} observed transitions, "
+            f"{self.sequences_seen} sequences)"
+        )
+
+
+def merge_partials(*partials: PartialKnowledge) -> PartialKnowledge:
+    """Merge any number of shards into one (at least one required)."""
+    if not partials:
+        raise InferenceError("merge_partials needs at least one shard")
+    return partials[0].merge(*partials[1:])
 
 
 @dataclass
@@ -67,7 +341,7 @@ class MobilityKnowledge:
         sequences: list[MobilitySemanticsSequence],
         regions: list[str],
         smoothing: float = 1.0,
-        max_transition_gap: float = 600.0,
+        max_transition_gap: float = DEFAULT_TRANSITION_GAP,
     ) -> "MobilityKnowledge":
         """Build knowledge by aggregating annotated sequences.
 
@@ -80,31 +354,82 @@ class MobilityKnowledge:
             knowledge.observe(sequence, max_transition_gap)
         return knowledge
 
+    @classmethod
+    def from_partials(
+        cls,
+        partials: Iterable[PartialKnowledge],
+        regions: list[str] | None = None,
+        smoothing: float = 1.0,
+    ) -> "MobilityKnowledge":
+        """Merge independently built shards into queryable knowledge.
+
+        Equal to :meth:`from_sequences` over the concatenated shard inputs,
+        but O(#regions + #edges) per shard instead of re-observing every
+        sequence — the engine's sharded barrier.  ``regions`` defaults to
+        the first shard's vocabulary; pass it explicitly when ``partials``
+        may be empty.
+        """
+        partials = list(partials)
+        if regions is None:
+            if not partials:
+                raise InferenceError(
+                    "from_partials needs at least one shard or an explicit "
+                    "region vocabulary"
+                )
+            regions = partials[0].regions
+        knowledge = cls(regions=list(regions), smoothing=smoothing)
+        for partial in partials:
+            knowledge.fold(partial)
+        return knowledge
+
     def observe(
         self,
         sequence: MobilitySemanticsSequence,
-        max_transition_gap: float = 600.0,
+        max_transition_gap: float = DEFAULT_TRANSITION_GAP,
     ) -> None:
         """Fold one annotated sequence into the aggregates."""
         self.sequences_seen += 1
-        semantics = [s for s in sequence if s.region_id in self._region_set]
-        for triplet in semantics:
-            stats = self._stats[triplet.region_id]
-            stats.visits += 1
-            stats.total_dwell += triplet.duration
-            if triplet.event == EVENT_STAY:
-                stats.stay_count += 1
-        for current, following in zip(semantics, semantics[1:]):
-            gap = following.time_range.start - current.time_range.end
-            if gap > max_transition_gap:
-                continue
-            if current.region_id == following.region_id:
-                continue
-            outgoing = self._transitions.setdefault(current.region_id, {})
-            outgoing[following.region_id] = outgoing.get(following.region_id, 0) + 1
-            self._outgoing_totals[current.region_id] = (
-                self._outgoing_totals.get(current.region_id, 0) + 1
+        _observe_sequence(
+            sequence,
+            self._region_set,
+            self._stats,
+            self._transitions,
+            self._outgoing_totals,
+            max_transition_gap,
+        )
+
+    def fold(self, partial: PartialKnowledge) -> None:
+        """Fold one shard's counts into this knowledge, in place.
+
+        This is the incremental path: a long-running engine can build a
+        :class:`PartialKnowledge` per stream window and fold it into the
+        existing knowledge without rebuilding from scratch.
+        """
+        if partial.regions != self.regions:
+            raise InferenceError(
+                "cannot fold partial knowledge over a different region "
+                f"vocabulary ({len(self.regions)} vs {len(partial.regions)} "
+                "regions)"
             )
+        self.sequences_seen += _add_counts(
+            partial, self._transitions, self._outgoing_totals, self._stats
+        )
+
+    def to_partial(self) -> PartialKnowledge:
+        """Export the raw counts as an independent shard (deep copy)."""
+        partial = PartialKnowledge(
+            regions=list(self.regions),
+            transitions={
+                origin: dict(outgoing)
+                for origin, outgoing in self._transitions.items()
+            },
+            outgoing_totals=dict(self._outgoing_totals),
+            stats={
+                region: stats.copy() for region, stats in self._stats.items()
+            },
+            sequences_seen=self.sequences_seen,
+        )
+        return partial
 
     # ------------------------------------------------------------------
     # Queries

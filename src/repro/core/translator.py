@@ -10,9 +10,13 @@ complemented.
 
 The two phases are exposed as module-level pure functions
 (:func:`run_phase_one`, :func:`run_phase_two`, :func:`build_batch_knowledge`,
-:func:`assemble_results`) so the parallel batch engine in
-:mod:`repro.engine` can fan them out across worker pools while reproducing
-``Translator.translate_batch`` exactly.
+:func:`build_partial_knowledge`, :func:`assemble_results`) so the parallel
+batch engine in :mod:`repro.engine` can fan them out across worker pools
+while reproducing ``Translator.translate_batch`` exactly.  Phase-one
+workers can additionally emit a per-chunk
+:class:`~repro.core.complementing.PartialKnowledge` shard
+(``run_phase_one_chunk(..., emit_partial=True)``), turning the knowledge
+barrier into a cheap shard merge.
 """
 
 from __future__ import annotations
@@ -37,6 +41,7 @@ from .complementing import (
     ComplementResult,
     MobilityKnowledge,
     MobilitySemanticsComplementor,
+    PartialKnowledge,
 )
 from .semantics import MobilitySemanticsSequence
 
@@ -236,28 +241,99 @@ def run_phase_one(
     return translator.clean_and_annotate(sequence)
 
 
+@dataclass(frozen=True)
+class PhaseOneChunk:
+    """One chunk's phase-one output.
+
+    ``pairs`` holds the per-sequence (cleaning, annotation) results in
+    chunk order; ``partial`` is the chunk's pre-aggregated knowledge shard
+    when the caller asked for one (the engine's sharded barrier), else
+    ``None``.
+    """
+
+    pairs: list[tuple[CleaningResult, AnnotationResult]]
+    partial: PartialKnowledge | None = None
+
+    @property
+    def annotated(self) -> list[MobilitySemanticsSequence]:
+        """The chunk's annotator outputs, in chunk order."""
+        return [annotation.sequence for _, annotation in self.pairs]
+
+
 def run_phase_one_chunk(
-    translator: "Translator", sequences: list[PositioningSequence]
-) -> list[tuple[CleaningResult, AnnotationResult]]:
-    """Phase one for a chunk of sequences, preserving chunk order."""
-    return [run_phase_one(translator, sequence) for sequence in sequences]
+    translator: "Translator",
+    sequences: list[PositioningSequence],
+    emit_partial: bool = False,
+) -> PhaseOneChunk:
+    """Phase one for a chunk of sequences, preserving chunk order.
+
+    With ``emit_partial=True`` the worker also aggregates its chunk's
+    :class:`~repro.core.complementing.PartialKnowledge` shard, so the
+    caller's knowledge barrier becomes an O(#regions + #edges) merge per
+    chunk instead of re-observing every annotated sequence.
+    """
+    pairs = [run_phase_one(translator, sequence) for sequence in sequences]
+    partial = None
+    if emit_partial:
+        partial = build_partial_knowledge(
+            translator, [annotation.sequence for _, annotation in pairs]
+        )
+    return PhaseOneChunk(pairs, partial)
+
+
+def build_partial_knowledge(
+    translator: "Translator",
+    annotated: list[MobilitySemanticsSequence],
+) -> PartialKnowledge | None:
+    """One chunk's additive knowledge shard.
+
+    ``None`` under the same conditions :func:`build_batch_knowledge`
+    returns ``None`` (complementing disabled, or no semantic regions) —
+    both read the gate from :meth:`Translator.knowledge_regions`.
+    """
+    regions = translator.knowledge_regions()
+    if regions is None:
+        return None
+    return PartialKnowledge.from_sequences(annotated, regions)
 
 
 def build_batch_knowledge(
     translator: "Translator",
-    annotated: list[MobilitySemanticsSequence],
+    annotated: list[MobilitySemanticsSequence] | None = None,
+    partials: list[PartialKnowledge] | None = None,
 ) -> MobilityKnowledge | None:
-    """The barrier phase: global knowledge from every annotated sequence.
+    """The barrier phase: global knowledge for the whole batch.
+
+    Two paths produce identical knowledge:
+
+    - **rebuild** — pass ``annotated``: re-observe every annotated
+      sequence on the caller (the serial reference behaviour);
+    - **merge** — pass ``partials``: fold pre-aggregated per-chunk shards,
+      O(#regions + #edges) per shard regardless of batch size.
 
     Returns ``None`` when the complementing layer is disabled or the model
     has no semantic regions — exactly the conditions under which
     ``translate_batch`` skips phase two.
     """
-    if not translator.config.enable_complementing:
+    regions = translator.knowledge_regions()
+    if regions is None:
         return None
-    if translator.model.region_count == 0:
-        return None
-    return translator._build_knowledge(annotated)
+    if partials is not None:
+        return MobilityKnowledge.from_partials(
+            partials,
+            regions=regions,
+            smoothing=translator.config.knowledge_smoothing,
+        )
+    if annotated is None:
+        raise AnnotationError(
+            "build_batch_knowledge needs annotated sequences or partial "
+            "knowledge shards"
+        )
+    return MobilityKnowledge.from_sequences(
+        annotated,
+        regions,
+        smoothing=translator.config.knowledge_smoothing,
+    )
 
 
 def run_phase_two(
@@ -347,6 +423,20 @@ class Translator:
         annotation = self.annotator.annotate(cleaning.cleaned)
         return cleaning, annotation
 
+    def knowledge_regions(self) -> list[str] | None:
+        """The knowledge vocabulary, or ``None`` when knowledge is off.
+
+        The single source of truth for the gate every knowledge build
+        shares (complementing enabled, at least one semantic region) and
+        for the region-id vocabulary, so the sharded and rebuild paths
+        cannot drift apart.
+        """
+        if not self.config.enable_complementing:
+            return None
+        if self.model.region_count == 0:
+            return None
+        return [region.region_id for region in self.model.regions()]
+
     def translate(
         self,
         sequence: PositioningSequence,
@@ -360,9 +450,11 @@ class Translator:
         """
         cleaning, annotation = self.clean_and_annotate(sequence)
         complement = None
-        if self.config.enable_complementing and self.model.region_count > 0:
+        if self.knowledge_regions() is not None:
             if knowledge is None:
-                knowledge = self._build_knowledge([annotation.sequence])
+                knowledge = build_batch_knowledge(
+                    self, [annotation.sequence]
+                )
             complement = run_phase_two(self, knowledge, annotation.sequence)
         return TranslationResult(
             device_id=sequence.device_id,
@@ -381,7 +473,7 @@ class Translator:
         """Two-phase batch translation with shared mobility knowledge."""
         started = time.perf_counter()
         sequences = list(sequences)
-        phase_one = run_phase_one_chunk(self, sequences)
+        phase_one = run_phase_one_chunk(self, sequences).pairs
         phase_one_done = time.perf_counter()
 
         knowledge = build_batch_knowledge(
@@ -412,12 +504,4 @@ class Translator:
         )
         return BatchTranslationResult(
             results, knowledge, finished - started, stats
-        )
-
-    def _build_knowledge(
-        self, sequences: list[MobilitySemanticsSequence]
-    ) -> MobilityKnowledge:
-        regions = [r.region_id for r in self.model.regions()]
-        return MobilityKnowledge.from_sequences(
-            sequences, regions, smoothing=self.config.knowledge_smoothing
         )

@@ -6,6 +6,11 @@ mobility-knowledge build as the barrier phase, and merges results
 deterministically in input order — semantically identical results and
 knowledge to the serial ``Translator.translate_batch`` (only the timing
 stats differ), but bounded by the hardware instead of a single core.
+
+By default the barrier itself is sharded too: phase-one workers emit
+per-chunk ``PartialKnowledge`` aggregates and the caller only merges them
+(``EngineConfig.knowledge_build="sharded"``; see the strategy notes in
+:mod:`repro.engine.engine`).
 """
 
 from .backends import (
@@ -18,11 +23,17 @@ from .backends import (
     default_worker_count,
 )
 from .chunking import iter_chunks, partition
-from .engine import DEFAULT_CHUNK_SIZE, Engine, EngineConfig
+from .engine import (
+    DEFAULT_CHUNK_SIZE,
+    KNOWLEDGE_BUILDS,
+    Engine,
+    EngineConfig,
+)
 
 __all__ = [
     "BACKENDS",
     "DEFAULT_CHUNK_SIZE",
+    "KNOWLEDGE_BUILDS",
     "Engine",
     "EngineConfig",
     "ExecutionBackend",

@@ -18,6 +18,15 @@ reaches each worker is the backend's business:
 Mapping is windowed: at most ``workers * window_factor`` tasks are in
 flight at once, so a streaming input iterator is consumed incrementally
 instead of being drained eagerly into the pool queue.
+
+Results travel back whole: whatever the worker function returns is
+yielded to the caller unchanged, which is how the engine's sharded
+knowledge build ships each chunk's ``PhaseOneChunk`` — per-sequence
+results *plus* the chunk's ``PartialKnowledge`` shard — back to the
+barrier.  On the ``processes`` backend both the submitted callable (a
+module-level function, possibly wrapped in ``functools.partial``) and the
+returned values must be picklable; ``PartialKnowledge`` is a plain
+dataclass of counts for exactly that reason.
 """
 
 from __future__ import annotations

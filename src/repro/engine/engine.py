@@ -18,12 +18,38 @@ exploits exactly that structure:
 chunks it lazily, so a live feed (see
 :func:`repro.positioning.stream.sequence_stream`) can be translated
 without materializing the full batch before phase one starts.
+
+Knowledge build strategies
+--------------------------
+
+The barrier in step 2 supports two strategies
+(``EngineConfig.knowledge_build``), both producing byte-identical
+knowledge and results:
+
+- ``"sharded"`` (default) — each phase-one worker also aggregates its
+  chunk's :class:`~repro.core.complementing.PartialKnowledge` shard (raw
+  transition counts, outgoing totals, per-region stats); the barrier then
+  merges the shards in O(#regions + #edges) per chunk.  The knowledge
+  build scales out with phase one instead of re-observing every sequence
+  on one core, so the ``knowledge`` phase in :class:`BatchStats` reports
+  pure merge time.
+- ``"rebuild"`` — the pre-sharding behaviour: the caller re-observes every
+  annotated sequence serially at the barrier.  Kept as the reference path
+  and for A/B benchmarks (``benchmarks/bench_knowledge_shard.py``).
+
+Sharding is exact, not approximate: dwell totals accumulate through
+:class:`~repro.core.complementing.ExactSum`, so the merged aggregates are
+bit-for-bit independent of the chunking.  The same shard type powers
+incremental updates — a long-running engine can fold a new stream
+window's :class:`~repro.core.complementing.PartialKnowledge` into existing
+knowledge via :meth:`MobilityKnowledge.fold` without a rebuild.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from functools import partial as _bind
 from typing import Iterable, Iterator
 
 from ..core.complementing import ComplementResult, MobilityKnowledge
@@ -45,6 +71,9 @@ from .chunking import iter_chunks, partition
 #: Default sequences per chunk: coarse enough to amortize dispatch,
 #: fine enough to load-balance uneven sequence lengths.
 DEFAULT_CHUNK_SIZE = 8
+
+#: The two barrier strategies; both yield byte-identical knowledge.
+KNOWLEDGE_BUILDS = ("rebuild", "sharded")
 
 
 def _phase_two_with_knowledge(
@@ -68,6 +97,7 @@ class EngineConfig:
     backend: str = "serial"
     workers: int | None = None
     chunk_size: int = DEFAULT_CHUNK_SIZE
+    knowledge_build: str = "sharded"
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -80,6 +110,12 @@ class EngineConfig:
         if self.chunk_size < 1:
             raise ConfigError(
                 f"chunk size must be >= 1, got {self.chunk_size}"
+            )
+        if self.knowledge_build not in KNOWLEDGE_BUILDS:
+            known = ", ".join(KNOWLEDGE_BUILDS)
+            raise ConfigError(
+                f"unknown knowledge build strategy "
+                f"{self.knowledge_build!r} (known: {known})"
             )
 
 
@@ -116,7 +152,11 @@ class Engine:
         self, chunks: Iterator[list[PositioningSequence]]
     ) -> BatchTranslationResult:
         started = time.perf_counter()
+        sharded = self.config.knowledge_build == "sharded"
         backend = create_backend(self.config.backend, self.config.workers)
+        # Captured up front: stats must not depend on reading the backend
+        # after close() has torn the pool down.
+        backend_name, backend_workers = backend.name, backend.workers
         backend.open(self.translator)
         try:
             # Phase one: fan out clean + annotate.  The payload generator
@@ -130,18 +170,39 @@ class Engine:
                     consumed.append(chunk)
                     yield chunk
 
-            phase_one_chunks = list(
-                backend.map(run_phase_one_chunk, payloads())
+            phase_one_fn = (
+                _bind(run_phase_one_chunk, emit_partial=True)
+                if sharded
+                else run_phase_one_chunk
             )
+            phase_one_chunks = list(backend.map(phase_one_fn, payloads()))
             phase_one_done = time.perf_counter()
 
             sequences = [s for chunk in consumed for s in chunk]
-            phase_one = [pair for chunk in phase_one_chunks for pair in chunk]
-            annotated = [annotation.sequence for _, annotation in phase_one]
+            phase_one = [
+                pair for chunk in phase_one_chunks for pair in chunk.pairs
+            ]
+            annotated = [
+                sequence
+                for chunk in phase_one_chunks
+                for sequence in chunk.annotated
+            ]
 
-            # Barrier: the global knowledge build needs every annotated
-            # sequence, so it runs once, on the caller.
-            knowledge = build_batch_knowledge(self.translator, annotated)
+            # Barrier: sharded mode merges the per-chunk shards the
+            # workers already aggregated — O(#regions + #edges) per chunk;
+            # rebuild mode re-observes every annotated sequence on the
+            # caller.  Both produce byte-identical knowledge.
+            if sharded:
+                knowledge = build_batch_knowledge(
+                    self.translator,
+                    partials=[
+                        chunk.partial
+                        for chunk in phase_one_chunks
+                        if chunk.partial is not None
+                    ],
+                )
+            else:
+                knowledge = build_batch_knowledge(self.translator, annotated)
             knowledge_done = time.perf_counter()
 
             # Phase two: fan out complementing with the shared knowledge.
@@ -164,8 +225,8 @@ class Engine:
         results = assemble_results(sequences, phase_one, complements)
         count = len(sequences)
         stats = BatchStats(
-            backend=backend.name,
-            workers=backend.workers,
+            backend=backend_name,
+            workers=backend_workers,
             chunk_size=self.config.chunk_size,
             chunk_count=len(consumed),
             phases=(

@@ -188,5 +188,31 @@ class TestCli:
         payload = json.loads(outputs[0].read_text())
         assert "semantics" in payload
 
+    def test_translate_knowledge_build_flag(
+        self, task_workspace, tmp_path, capsys
+    ):
+        """--knowledge-build picks the engine barrier strategy; both
+        strategies write identical per-device result files."""
+        _, _, config_path = task_workspace
+        exports = {}
+        for strategy in ("rebuild", "sharded"):
+            out = tmp_path / strategy
+            assert cli_main(
+                ["translate", str(config_path), "--backend", "serial",
+                 "--knowledge-build", strategy, "--out", str(out)]
+            ) == 0
+            exports[strategy] = {
+                path.name: path.read_bytes() for path in out.glob("*.json")
+            }
+        assert exports["sharded"] == exports["rebuild"]
+        assert len(exports["sharded"]) > 0
+
+    def test_knowledge_build_requires_backend(self, task_workspace, capsys):
+        _, _, config_path = task_workspace
+        assert cli_main(
+            ["translate", str(config_path), "--knowledge-build", "sharded"]
+        ) == 1
+        assert "--backend" in capsys.readouterr().err
+
     def test_error_exit_code(self, tmp_path, capsys):
         assert cli_main(["validate-dsm", str(tmp_path / "absent.json")]) == 1

@@ -18,14 +18,17 @@ from repro.core.translator import BatchStats, BatchTranslationResult, PhaseStats
 from repro.engine import (
     BACKENDS,
     DEFAULT_CHUNK_SIZE,
+    KNOWLEDGE_BUILDS,
     Engine,
     EngineConfig,
+    SerialBackend,
     ThreadBackend,
     create_backend,
     iter_chunks,
     partition,
 )
 from repro.errors import AnnotationError, ConfigError
+from repro.positioning import RecordStream, sequence_stream
 
 from .conftest import make_two_shop_dsm, stationary_sequence, walk_sequence
 
@@ -154,6 +157,121 @@ def test_engine_single_sequence(shop_translator, shop_sequences, shop_serial):
 
 
 # ----------------------------------------------------------------------
+# Knowledge build strategies: sharded merge vs serial rebuild
+# ----------------------------------------------------------------------
+def _export_bytes(batch: BatchTranslationResult, root) -> dict[str, bytes]:
+    """The per-device result files a run would write, keyed by device."""
+    root.mkdir(exist_ok=True)
+    exported: dict[str, bytes] = {}
+    for index, result in enumerate(batch):
+        path = root / f"{index}-{result.device_id}.json"
+        result.export(path)
+        exported[f"{index}-{result.device_id}"] = path.read_bytes()
+    return exported
+
+
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
+@pytest.mark.parametrize("chunk_size", [1, 5, 100])
+def test_sharded_matches_rebuild_all_backends(
+    shop_translator, shop_sequences, backend, chunk_size, tmp_path
+):
+    """Chunk sizes cover the degenerate (1), prime (5) and single-chunk
+    (100 > batch) shardings; results must be byte-identical either way."""
+    rebuild = Engine(
+        shop_translator,
+        EngineConfig(
+            backend=backend,
+            workers=2,
+            chunk_size=chunk_size,
+            knowledge_build="rebuild",
+        ),
+    ).translate_batch(shop_sequences)
+    sharded = Engine(
+        shop_translator,
+        EngineConfig(
+            backend=backend,
+            workers=2,
+            chunk_size=chunk_size,
+            knowledge_build="sharded",
+        ),
+    ).translate_batch(shop_sequences)
+    assert_batches_identical(sharded, rebuild)
+    assert _export_bytes(sharded, tmp_path / "sharded") == _export_bytes(
+        rebuild, tmp_path / "rebuild"
+    )
+
+
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
+def test_sharded_matches_serial_mall_population(mall3, population, backend):
+    """The default (sharded) engine still reproduces the serial reference
+    on the simulated mall population, where dwell durations are arbitrary
+    floats — the exact-accumulation guarantee at work."""
+    translator = Translator(mall3)
+    sequences = [device.raw for device in population]
+    reference = translator.translate_batch(sequences)
+    batch = Engine(
+        translator, EngineConfig(backend=backend, workers=2, chunk_size=2)
+    ).translate_batch(sequences)
+    assert_batches_identical(batch, reference)
+
+
+def test_sharded_is_default_strategy(shop_translator, shop_sequences):
+    assert EngineConfig().knowledge_build == "sharded"
+    assert set(KNOWLEDGE_BUILDS) == {"rebuild", "sharded"}
+    batch = Engine(shop_translator, EngineConfig()).translate_batch(
+        shop_sequences
+    )
+    assert batch.knowledge is not None
+    assert batch.knowledge.sequences_seen == len(shop_sequences)
+
+
+def test_sharded_empty_batch_matches_rebuild(shop_translator):
+    sharded = Engine(
+        shop_translator, EngineConfig(knowledge_build="sharded")
+    ).translate_batch([])
+    rebuild = Engine(
+        shop_translator, EngineConfig(knowledge_build="rebuild")
+    ).translate_batch([])
+    assert sharded.results == rebuild.results == []
+    assert sharded.knowledge == rebuild.knowledge
+
+
+def test_sharded_streaming_duplicate_devices(shop_translator):
+    """Regression: streaming yields one result per device per window, so a
+    device can appear twice; the sharded build must preserve input order
+    and by_device's first-match semantics."""
+    first = stationary_sequence("dup", at=(5.0, 15.0, 1), seed=1, start=0.0)
+    second = stationary_sequence(
+        "dup", at=(15.0, 15.0, 1), seed=2, start=1000.0
+    )
+    records = sorted(
+        [*first.records, *second.records], key=lambda r: r.timestamp
+    )
+
+    def windowed():
+        return sequence_stream(
+            RecordStream(iter(records)), window_seconds=500.0
+        )
+
+    sharded = Engine(
+        shop_translator,
+        EngineConfig(backend="threads", workers=2, chunk_size=1),
+    ).translate_stream(windowed())
+    rebuild = Engine(
+        shop_translator,
+        EngineConfig(chunk_size=1, knowledge_build="rebuild"),
+    ).translate_stream(windowed())
+    assert_batches_identical(sharded, rebuild)
+    assert [r.device_id for r in sharded] == ["dup", "dup"]
+    # First match wins, and it is the first *window*, not the last.
+    hit = sharded.by_device("dup")
+    assert hit is sharded.results[0]
+    assert hit.raw.records[0].timestamp == records[0].timestamp
+    # The shared knowledge saw both windows.
+    assert sharded.knowledge.sequences_seen == 2
+
+
+# ----------------------------------------------------------------------
 # Stats
 # ----------------------------------------------------------------------
 def test_engine_stats_phases(shop_translator, shop_sequences):
@@ -180,6 +298,32 @@ def test_engine_stats_phases(shop_translator, shop_sequences):
     assert "threads" in stats.format_table()
     with pytest.raises(KeyError):
         stats.phase("no-such-phase")
+
+
+class _AmnesiacBackend(SerialBackend):
+    """A backend that forgets its identity once closed.
+
+    Pins the fix for BatchStats being filled from ``backend.name`` /
+    ``backend.workers`` *after* ``backend.close()``: the engine must
+    capture both before the pool is torn down.
+    """
+
+    name = "amnesiac"
+
+    def close(self) -> None:
+        super().close()
+        self.name = "closed"  # instance attr shadows the class attr
+        self.workers = -1
+
+
+def test_stats_captured_before_backend_close(
+    shop_translator, shop_sequences, monkeypatch
+):
+    monkeypatch.setitem(BACKENDS, _AmnesiacBackend.name, _AmnesiacBackend)
+    engine = Engine(shop_translator, EngineConfig(backend="amnesiac"))
+    batch = engine.translate_batch(shop_sequences)
+    assert batch.stats.backend == "amnesiac"
+    assert batch.stats.workers == 1
 
 
 def test_serial_translate_batch_reports_inline_stats(shop_serial):
@@ -243,6 +387,8 @@ def test_engine_config_validation():
         EngineConfig(workers=0)
     with pytest.raises(ConfigError):
         EngineConfig(chunk_size=0)
+    with pytest.raises(ConfigError):
+        EngineConfig(knowledge_build="bogus")
     assert EngineConfig().chunk_size == DEFAULT_CHUNK_SIZE
 
 
