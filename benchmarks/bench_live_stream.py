@@ -1,0 +1,160 @@
+"""Live streaming service — sustained window throughput vs one-shot batch.
+
+The live service's pitch: the same records, translated window by window
+with incremental knowledge folds, should cost little over a one-shot
+batch — the price of being *online* is the per-window dispatch plus the
+end-of-stream re-complement, not a knowledge rebuild per window.  This
+bench replays the mall, airport and office populations as timestamp-
+ordered feeds through the live service, reports sustained windows/sec and
+records/sec, and compares wall time against ``Engine.translate_batch``
+over the identical windowed sequences — asserting, as always, that the
+finalized live output is *identical* to the batch reference.
+
+The run also writes a JSON summary (``TRIPS_BENCH_JSON`` env var, default
+``bench-live-stream.json`` in the working directory) so CI can archive
+the numbers as an artifact and trend them across commits.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.buildings import build_airport, build_office
+from repro.core import Translator
+from repro.engine import Engine, EngineConfig
+from repro.live import LiveConfig, LiveTranslationService
+from repro.positioning import RecordStream, sequence_stream
+from repro.simulation import (
+    BROWSER,
+    SHOPPER,
+    TRAVELER,
+    WORKER,
+    MobilitySimulator,
+)
+from repro.timeutil import HOUR, TimeRange
+
+from .conftest import print_table
+
+WINDOW_SECONDS = 1800.0
+_ROWS: list[list] = []
+_SUMMARY: list[dict] = []
+
+
+def _records(model, profiles, count, seed):
+    simulator = MobilitySimulator(model, seed=seed)
+    devices = simulator.simulate_population(
+        count=count,
+        profiles=profiles,
+        window=TimeRange(9 * HOUR, 19 * HOUR),
+        seed=seed,
+    )
+    return sorted(
+        (record for device in devices for record in device.raw),
+        key=lambda record: (record.timestamp, record.device_id),
+    )
+
+
+@pytest.fixture(scope="module")
+def feeds(mall3):
+    """(translator, time-sorted records, batch reference) per demo venue.
+
+    The reference is ``Engine.translate_batch`` over the same windowed
+    sequence split the live service will see.
+    """
+    venues = {
+        "mall": (Translator(mall3), _records(mall3, [SHOPPER, BROWSER], 16, 51)),
+        "airport": (
+            Translator(airport := build_airport(gate_count=6)),
+            _records(airport, [TRAVELER], 12, 52),
+        ),
+        "office": (
+            Translator(office := build_office(floors=2)),
+            _records(office, [WORKER], 12, 53),
+        ),
+    }
+    prepared = {}
+    for name, (translator, records) in venues.items():
+        sequences = list(
+            sequence_stream(RecordStream(iter(records)), WINDOW_SECONDS)
+        )
+        started = time.perf_counter()
+        reference = Engine(
+            translator, EngineConfig(chunk_size=4)
+        ).translate_batch(sequences)
+        batch_seconds = time.perf_counter() - started
+        prepared[name] = (translator, records, reference, batch_seconds)
+    return prepared
+
+
+@pytest.mark.parametrize("venue", ["mall", "airport", "office"])
+def test_live_stream_throughput(benchmark, feeds, venue):
+    translator, records, reference, batch_seconds = feeds[venue]
+
+    def replay():
+        service = LiveTranslationService(
+            {venue: translator},
+            EngineConfig(chunk_size=4),
+            LiveConfig(window_seconds=WINDOW_SECONDS),
+        )
+        with service:
+            service.run_stream(RecordStream(iter(records)), venue_id=venue)
+            finalized = service.finalize()
+        return service.stats, finalized[venue]
+
+    stats, finalized = benchmark.pedantic(replay, rounds=2, iterations=1)
+
+    # Correctness first: the finalized live output must be identical to
+    # the one-shot batch over the same windowed sequences.
+    assert finalized.results == reference.results
+    assert finalized.knowledge == reference.knowledge
+
+    overhead = (
+        stats.elapsed_seconds / batch_seconds if batch_seconds > 0 else 0.0
+    )
+    _ROWS.append(
+        [
+            venue,
+            stats.windows,
+            stats.records,
+            stats.sequences,
+            f"{stats.windows_per_second:.1f} win/s",
+            f"{stats.records_per_second:,.0f} rec/s",
+            f"{stats.elapsed_seconds:.2f} s",
+            f"{batch_seconds:.2f} s",
+            f"{overhead:.2f}x",
+        ]
+    )
+    _SUMMARY.append(
+        {
+            "venue": venue,
+            "window_seconds": WINDOW_SECONDS,
+            "windows": stats.windows,
+            "records": stats.records,
+            "sequences": stats.sequences,
+            "semantics": stats.semantics,
+            "windows_per_second": stats.windows_per_second,
+            "records_per_second": stats.records_per_second,
+            "live_seconds": stats.elapsed_seconds,
+            "batch_seconds": batch_seconds,
+            "live_vs_batch": overhead,
+            "identical_to_batch": True,
+        }
+    )
+
+
+def teardown_module(module) -> None:
+    print_table(
+        "Live streaming: sustained windows vs one-shot batch",
+        ["venue", "windows", "records", "sequences", "window rate",
+         "record rate", "live", "batch", "live/batch"],
+        _ROWS,
+    )
+    if _SUMMARY:
+        out = Path(os.environ.get("TRIPS_BENCH_JSON", "bench-live-stream.json"))
+        out.write_text(json.dumps(_SUMMARY, indent=2), encoding="utf-8")
+        print(f"wrote live-stream bench summary to {out}")

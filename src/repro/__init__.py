@@ -41,6 +41,12 @@ from .core import (
 from .dsm import DigitalSpaceModel, load_dsm, save_dsm, validate_dsm
 from .engine import Engine, EngineConfig
 from .events import EventEditor, PatternRegistry
+from .live import (
+    LiveConfig,
+    LiveStats,
+    LiveTranslationService,
+    VenueDispatcher,
+)
 from .geometry import Point
 from .positioning import (
     DataSelector,
@@ -66,6 +72,9 @@ __all__ = [
     "EventEditor",
     "EventIdentifier",
     "HeuristicEventIdentifier",
+    "LiveConfig",
+    "LiveStats",
+    "LiveTranslationService",
     "MapView",
     "MobilityKnowledge",
     "MobilitySemantic",
@@ -82,6 +91,7 @@ __all__ = [
     "TranslationResult",
     "Translator",
     "TranslatorConfig",
+    "VenueDispatcher",
     "ViewerSession",
     "WifiErrorModel",
     "build_airport",

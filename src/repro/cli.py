@@ -85,6 +85,53 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     translate.set_defaults(handler=_cmd_translate)
 
+    serve = commands.add_parser(
+        "serve",
+        help="replay task configs as live feeds through the streaming "
+        "translation service (one venue per config)",
+    )
+    serve.add_argument(
+        "venues",
+        nargs="+",
+        metavar="[VENUE=]CONFIG",
+        help="translation-task config JSON per venue; the venue id "
+        "defaults to the config file's stem",
+    )
+    serve.add_argument(
+        "--window-seconds",
+        type=float,
+        default=300.0,
+        help="time span of one ingestion window (default: 300)",
+    )
+    serve.add_argument(
+        "--max-window-records",
+        type=int,
+        default=None,
+        help="optional record-count bound per window",
+    )
+    serve.add_argument(
+        "--backend",
+        choices=("serial", "threads", "processes"),
+        default="threads",
+        help="shared worker pool backend (default: threads)",
+    )
+    serve.add_argument("--workers", type=int, default=None)
+    serve.add_argument("--chunk-size", type=int, default=None)
+    serve.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="directory for finalized per-device result JSONs "
+        "(one subdirectory per venue)",
+    )
+    serve.add_argument(
+        "--no-finalize",
+        action="store_true",
+        help="skip the end-of-stream re-complement against the final "
+        "knowledge (per-window live output only)",
+    )
+    serve.set_defaults(handler=_cmd_serve)
+
     render = commands.add_parser("render", help="render a DSM floor to SVG")
     render.add_argument("dsm", type=Path)
     render.add_argument("--floor", type=int, default=1)
@@ -169,6 +216,79 @@ def _cmd_translate(args) -> None:
     )
     if batch.stats is not None:
         print(batch.stats.format_table())
+
+
+def _cmd_serve(args) -> None:
+    from .config import build_translator, load_task, select_sequences
+    from .engine import EngineConfig
+    from .errors import ConfigError
+    from .live import LiveConfig, LiveTranslationService
+    from .positioning import RecordStream
+
+    translators = {}
+    feeds = {}
+    for spec in args.venues:
+        venue_id, separator, path = spec.partition("=")
+        if not separator:
+            venue_id, path = Path(spec).stem, spec
+        if venue_id in translators:
+            raise ConfigError(f"duplicate venue id {venue_id!r}")
+        task = load_task(Path(path))
+        translators[venue_id] = build_translator(task)
+        records = sorted(
+            (
+                record
+                for sequence in select_sequences(task)
+                for record in sequence.records
+            ),
+            key=lambda record: (record.timestamp, record.device_id),
+        )
+        feeds[venue_id] = RecordStream(iter(records))
+
+    engine_kwargs = {"backend": args.backend, "workers": args.workers}
+    if args.chunk_size is not None:
+        engine_kwargs["chunk_size"] = args.chunk_size
+    service = LiveTranslationService(
+        translators,
+        EngineConfig(**engine_kwargs),
+        LiveConfig(
+            window_seconds=args.window_seconds,
+            max_window_records=args.max_window_records,
+        ),
+    )
+
+    def report(window) -> None:
+        venues = ", ".join(
+            f"{vid}: {len(batch)} seq -> {batch.total_semantics} sem"
+            for vid, batch in sorted(window.venues.items())
+        )
+        print(
+            f"window {window.index:4d}  {window.records:6d} records  "
+            f"{window.elapsed_seconds * 1e3:7.1f} ms  [{venues}]"
+        )
+
+    with service:
+        stats = service.serve(feeds, on_window=report)
+        print(stats.format_table())
+        if not args.no_finalize:
+            finalized = service.finalize()
+            for venue_id, batch in sorted(finalized.items()):
+                print(
+                    f"finalized {venue_id}: {len(batch)} sequences, "
+                    f"{batch.total_semantics} semantics "
+                    f"(knowledge over "
+                    f"{batch.knowledge.sequences_seen if batch.knowledge else 0}"
+                    f" sequences)"
+                )
+                if args.out is not None:
+                    venue_dir = args.out / venue_id
+                    venue_dir.mkdir(parents=True, exist_ok=True)
+                    for index, result in enumerate(batch):
+                        safe_id = result.device_id.replace("/", "_").replace(
+                            ":", "_"
+                        )
+                        result.export(venue_dir / f"{index}-{safe_id}.json")
+                    print(f"  wrote {len(batch)} result files to {venue_dir}/")
 
 
 def _cmd_render(args) -> None:

@@ -5,13 +5,20 @@ event model, all layer knobs) with JSON round-trip, plus the task runner
 that executes workflow steps (1)–(4) from a single config object.
 """
 
-from .loader import load_task, run_task, save_task, select_sequences
+from .loader import (
+    build_translator,
+    load_task,
+    run_task,
+    save_task,
+    select_sequences,
+)
 from .schema import SelectionConfig, SourceConfig, TranslationTaskConfig
 
 __all__ = [
     "SelectionConfig",
     "SourceConfig",
     "TranslationTaskConfig",
+    "build_translator",
     "load_task",
     "run_task",
     "save_task",

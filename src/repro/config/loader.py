@@ -57,18 +57,16 @@ def select_sequences(config: TranslationTaskConfig) -> list[PositioningSequence]
     return selector.select()
 
 
-def run_task(
+def build_translator(
     config: TranslationTaskConfig,
     training_set: TrainingSet | None = None,
-    engine: "EngineConfig | None" = None,
-) -> BatchTranslationResult:
-    """Execute one translation task end to end (workflow steps 1–4).
+) -> Translator:
+    """Construct the configured Translator (DSM + event model + config).
 
     A learned ``event_model`` requires Event Editor ``training_set``
-    designations; the heuristic identifier needs none.  Passing an
-    ``engine`` config routes the batch through the parallel engine
-    (``repro.engine.Engine``) instead of the serial translator; the
-    results are identical either way.
+    designations; the heuristic identifier needs none.  Shared by
+    :func:`run_task` and the live service's ``trips serve`` entry point,
+    which builds one translator per venue config.
     """
     model = load_dsm(config.dsm_path)
     if config.event_model == "heuristic":
@@ -81,9 +79,21 @@ def run_task(
             )
         event_model = EventIdentifier(config.event_model)
         event_model.train(training_set)
-    translator = Translator(
-        model, event_model, config.build_translator_config()
-    )
+    return Translator(model, event_model, config.build_translator_config())
+
+
+def run_task(
+    config: TranslationTaskConfig,
+    training_set: TrainingSet | None = None,
+    engine: "EngineConfig | None" = None,
+) -> BatchTranslationResult:
+    """Execute one translation task end to end (workflow steps 1–4).
+
+    Passing an ``engine`` config routes the batch through the parallel
+    engine (``repro.engine.Engine``) instead of the serial translator;
+    the results are identical either way.
+    """
+    translator = build_translator(config, training_set)
     sequences = select_sequences(config)
     if engine is not None:
         from ..engine import Engine

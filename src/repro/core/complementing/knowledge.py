@@ -401,9 +401,14 @@ class MobilityKnowledge:
     def fold(self, partial: PartialKnowledge) -> None:
         """Fold one shard's counts into this knowledge, in place.
 
-        This is the incremental path: a long-running engine can build a
-        :class:`PartialKnowledge` per stream window and fold it into the
-        existing knowledge without rebuilding from scratch.
+        This is the incremental path: a long-running engine builds a
+        :class:`PartialKnowledge` per stream window and folds it into the
+        existing knowledge without rebuilding from scratch — the barrier
+        of :meth:`repro.engine.Engine.translate_increment`, which the
+        live streaming service (:mod:`repro.live`) drives once per
+        ingestion window per venue.  Folding is exact, so a finite
+        stream's windows fold to the same knowledge, bit for bit, as a
+        one-shot batch build over the concatenation.
         """
         if partial.regions != self.regions:
             raise InferenceError(

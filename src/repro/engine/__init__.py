@@ -18,13 +18,16 @@ from .backends import (
     ExecutionBackend,
     ProcessBackend,
     SerialBackend,
+    SharedValue,
     ThreadBackend,
     create_backend,
     default_worker_count,
+    resolve_shared,
 )
 from .chunking import iter_chunks, partition
 from .engine import (
     DEFAULT_CHUNK_SIZE,
+    DEFAULT_CONTEXT_KEY,
     KNOWLEDGE_BUILDS,
     Engine,
     EngineConfig,
@@ -33,15 +36,18 @@ from .engine import (
 __all__ = [
     "BACKENDS",
     "DEFAULT_CHUNK_SIZE",
+    "DEFAULT_CONTEXT_KEY",
     "KNOWLEDGE_BUILDS",
     "Engine",
     "EngineConfig",
     "ExecutionBackend",
     "ProcessBackend",
     "SerialBackend",
+    "SharedValue",
     "ThreadBackend",
     "create_backend",
     "default_worker_count",
     "iter_chunks",
     "partition",
+    "resolve_shared",
 ]

@@ -27,15 +27,34 @@ barrier.  On the ``processes`` backend both the submitted callable (a
 module-level function, possibly wrapped in ``functools.partial``) and the
 returned values must be picklable; ``PartialKnowledge`` is a plain
 dataclass of counts for exactly that reason.
+
+Warm pools and shared per-phase values
+--------------------------------------
+
+Pools stay warm across phases: the context installed by :meth:`open`
+(the translator, or a venue map of translators) is shipped to each worker
+exactly once, at pool startup.  Phase-specific state that only exists
+*after* a barrier — the batch's mobility knowledge — travels through
+:meth:`ExecutionBackend.share` instead: the caller publishes the value
+and embeds the returned :class:`SharedValue` token in its task payloads;
+workers resolve it with :func:`resolve_shared`.  On in-process backends
+the token is a registry key (nothing is copied); on the process backend
+the value is pickled **once**, keyed by a generation id, and each worker
+unpickles it at most once per generation (a small per-process cache).
+This replaces the old ``rebind`` protocol, which restarted the process
+pool at the phase-two barrier and re-pickled the translator the
+discarded workers already held.
 """
 
 from __future__ import annotations
 
+import itertools
 import os
 import pickle
 from abc import ABC, abstractmethod
-from collections import deque
+from collections import OrderedDict, deque
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
 from functools import partial
 from typing import Any, Callable, Iterable, Iterator, TypeVar
 
@@ -47,6 +66,57 @@ R = TypeVar("R")
 #: In-flight task window per worker; bounds memory on streaming inputs
 #: while keeping every worker saturated.
 WINDOW_FACTOR = 4
+
+
+# -- shared per-phase values -------------------------------------------
+#: Generation ids for shared values; allocated caller-side, unique for
+#: the process lifetime so a worker's cache can never confuse two values.
+_SHARE_KEYS = itertools.count(1)
+
+#: In-process registry backing "inproc" tokens (serial/thread backends).
+_INPROC_SHARED: dict[int, Any] = {}
+
+#: Worker-side cache of unpickled "pickled" tokens, keyed by generation.
+#: Bounded so interleaved phases (e.g. several venues complementing on
+#: one shared pool) at most re-unpickle, never grow without limit.
+_PICKLED_CACHE: "OrderedDict[int, Any]" = OrderedDict()
+_PICKLED_CACHE_LIMIT = 16
+
+
+@dataclass(frozen=True)
+class SharedValue:
+    """A handle to a value published to every worker for one phase.
+
+    Embed the token in task payloads and call :func:`resolve_shared` in
+    the worker function.  ``inproc`` tokens reference the caller's own
+    registry (serial/thread backends); ``pickled`` tokens carry the
+    pickled bytes, produced once, which each worker process unpickles at
+    most once per generation ``key``.
+    """
+
+    kind: str  # "inproc" | "pickled"
+    key: int
+    blob: bytes | None = field(default=None, repr=False)
+
+
+def resolve_shared(token: SharedValue) -> Any:
+    """Worker-side lookup of a value published via ``backend.share``."""
+    if token.kind == "inproc":
+        try:
+            return _INPROC_SHARED[token.key]
+        except KeyError:
+            raise ConfigError(
+                f"shared value {token.key} was released before use"
+            ) from None
+    try:
+        value = _PICKLED_CACHE[token.key]
+        _PICKLED_CACHE.move_to_end(token.key)
+    except KeyError:
+        value = pickle.loads(token.blob)
+        _PICKLED_CACHE[token.key] = value
+        while len(_PICKLED_CACHE) > _PICKLED_CACHE_LIMIT:
+            _PICKLED_CACHE.popitem(last=False)
+    return value
 
 
 def default_worker_count() -> int:
@@ -64,23 +134,37 @@ class ExecutionBackend(ABC):
             raise ConfigError(f"worker count must be >= 1, got {workers}")
         self.workers = workers if workers is not None else default_worker_count()
         self._context: Any = None
+        self._issued_tokens: set[int] = set()
 
     # -- lifecycle ------------------------------------------------------
     def open(self, context: Any) -> None:
         """Bind the shared context and start the pool."""
         self._context = context
 
-    def rebind(self, context: Any) -> None:
-        """Replace the shared context between mapping phases.
-
-        Cheap for in-memory backends; the process backend re-ships the
-        context to its workers (once per worker, not once per task).
-        """
-        self._context = context
-
     def close(self) -> None:
         """Shut the pool down; the backend may be re-opened afterwards."""
+        for key in self._issued_tokens:
+            _INPROC_SHARED.pop(key, None)
+        self._issued_tokens.clear()
         self._context = None
+
+    # -- shared per-phase values ---------------------------------------
+    def share(self, value: Any) -> SharedValue:
+        """Publish a per-phase value without restarting the pool.
+
+        The returned token travels inside task payloads; the worker
+        function resolves it with :func:`resolve_shared`.  Release the
+        token after the phase (``close`` releases any stragglers).
+        """
+        token = SharedValue("inproc", next(_SHARE_KEYS))
+        _INPROC_SHARED[token.key] = value
+        self._issued_tokens.add(token.key)
+        return token
+
+    def release(self, token: SharedValue) -> None:
+        """Drop a shared value once its phase is done."""
+        _INPROC_SHARED.pop(token.key, None)
+        self._issued_tokens.discard(token.key)
 
     def __enter__(self) -> "ExecutionBackend":
         return self
@@ -218,15 +302,34 @@ class ProcessBackend(_PoolBackend):
     ) -> Callable[[P], R]:
         return partial(_call_in_process, fn)
 
-    def rebind(self, context: Any) -> None:
-        """Workers hold a pickled copy of the context, so rebinding
-        restarts the pool: one initializer transfer per worker, keeping
-        per-task payloads small."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
-        super().rebind(context)
-        self._pool = self._make_pool()
+    def share(self, value: Any) -> SharedValue:
+        """Pickle the value once; workers unpickle it once per generation.
+
+        The pool keeps running — the static context installed at
+        :meth:`open` (the expensive part) is never re-shipped.  The blob
+        rides along inside each task payload, but pickling happened
+        exactly once here and each worker caches the unpickled value by
+        generation key, so per-task cost is a bytes copy.
+
+        The per-task transfer is a deliberate trade-off:
+        ``ProcessPoolExecutor`` offers no way to target each worker once
+        (the old protocol managed it only by restarting the pool, paying
+        a full pool spin-up plus a translator re-pickle at every
+        barrier), and shared values are small per-phase state — count
+        aggregates, not the model-laden translator — so copying the
+        bytes per chunk is far cheaper than either restart or rebuild.
+        """
+        try:
+            blob = pickle.dumps(value)
+        except Exception as exc:  # pragma: no cover - context-dependent
+            raise ConfigError(
+                f"the 'processes' backend requires picklable shared "
+                f"values: {exc}"
+            ) from exc
+        return SharedValue("pickled", next(_SHARE_KEYS), blob)
+
+    def release(self, token: SharedValue) -> None:
+        """Nothing held caller-side; worker caches evict by generation."""
 
 
 BACKENDS: dict[str, type[ExecutionBackend]] = {

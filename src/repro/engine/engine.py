@@ -18,6 +18,11 @@ exploits exactly that structure:
 chunks it lazily, so a live feed (see
 :func:`repro.positioning.stream.sequence_stream`) can be translated
 without materializing the full batch before phase one starts.
+:meth:`Engine.translate_increment` is the truly-online shape: it
+translates one bounded stream window and **folds** the window's
+:class:`~repro.core.complementing.PartialKnowledge` into long-running
+knowledge instead of rebuilding — the unit of work of the live streaming
+service in :mod:`repro.live`.
 
 Knowledge build strategies
 --------------------------
@@ -39,33 +44,68 @@ knowledge and results:
 
 Sharding is exact, not approximate: dwell totals accumulate through
 :class:`~repro.core.complementing.ExactSum`, so the merged aggregates are
-bit-for-bit independent of the chunking.  The same shard type powers
-incremental updates — a long-running engine can fold a new stream
-window's :class:`~repro.core.complementing.PartialKnowledge` into existing
-knowledge via :meth:`MobilityKnowledge.fold` without a rebuild.
+bit-for-bit independent of the chunking.
+
+Warm pools and shared backends
+------------------------------
+
+Worker pools stay warm across phases: the backend context installed at
+``open`` is a **venue map** ``{context_key: translator}``, shipped to each
+worker once at pool startup, and the phase-two knowledge travels through
+the backend's generation-keyed :meth:`~ExecutionBackend.share` channel —
+pickled once, cached per worker — instead of restarting the pool at the
+barrier.  Because the context is a map, several engines (one per venue,
+each with its own ``context_key``) can share a single externally-managed
+backend: pass ``backend=`` to the constructor and the engine maps its
+phases onto that pool without opening or closing it.  This is how the
+live service in :mod:`repro.live` serves heterogeneous multi-building
+traffic from one worker pool.
+
+Phase-one caching
+-----------------
+
+``EngineConfig.phase_one_cache`` (off by default) memoizes clean+annotate
+per ``(device id, records)`` in a small engine-owned LRU.  Re-translating
+the same sequences — overlapping stream windows, or a re-run after
+tweaking the complementing config — then skips phase one entirely for the
+cached sequences while still producing the exact batch output (phase one
+is deterministic per sequence).
 """
 
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
 from dataclasses import dataclass
 from functools import partial as _bind
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Mapping
 
-from ..core.complementing import ComplementResult, MobilityKnowledge
+from ..core.complementing import (
+    ComplementResult,
+    MobilityKnowledge,
+    PartialKnowledge,
+)
+from ..core.semantics import MobilitySemanticsSequence
 from ..core.translator import (
     BatchStats,
     BatchTranslationResult,
+    PhaseOneChunk,
     PhaseStats,
     Translator,
     assemble_results,
     build_batch_knowledge,
+    build_partial_knowledge,
     run_phase_one_chunk,
     run_phase_two_chunk,
 )
 from ..errors import ConfigError
 from ..positioning import PositioningSequence
-from .backends import BACKENDS, create_backend
+from .backends import (
+    BACKENDS,
+    ExecutionBackend,
+    create_backend,
+    resolve_shared,
+)
 from .chunking import iter_chunks, partition
 
 #: Default sequences per chunk: coarse enough to amortize dispatch,
@@ -75,19 +115,38 @@ DEFAULT_CHUNK_SIZE = 8
 #: The two barrier strategies; both yield byte-identical knowledge.
 KNOWLEDGE_BUILDS = ("rebuild", "sharded")
 
+#: Context key of a stand-alone engine in its single-entry venue map.
+DEFAULT_CONTEXT_KEY = "default"
 
-def _phase_two_with_knowledge(
-    context: tuple[Translator, MobilityKnowledge],
-    chunk: list,
-) -> list[ComplementResult]:
-    """Phase-two worker bound to a (translator, knowledge) context.
 
-    The knowledge travels inside the context — installed once per worker
-    by the backend — so per-chunk payloads stay small on the process
-    backend instead of re-pickling the full knowledge for every task.
+def _phase_one_task(
+    venues: Mapping[str, Translator],
+    payload: tuple[str, list[PositioningSequence]],
+    emit_partial: bool = False,
+) -> PhaseOneChunk:
+    """Phase-one worker task: resolve the venue translator, run the chunk.
+
+    The context is a venue map so one pool can serve several translators;
+    a stand-alone engine opens the map with a single entry.
     """
-    translator, knowledge = context
-    return run_phase_two_chunk(translator, (knowledge, chunk))
+    key, chunk = payload
+    return run_phase_one_chunk(venues[key], chunk, emit_partial=emit_partial)
+
+
+def _phase_two_task(
+    venues: Mapping[str, Translator],
+    payload: "tuple[str, object, list[MobilitySemanticsSequence]]",
+) -> list[ComplementResult]:
+    """Phase-two worker task bound to shared knowledge.
+
+    The knowledge travels as a :class:`~repro.engine.backends.SharedValue`
+    token — published once by the caller, resolved (and cached) per
+    worker — so the translator installed at pool startup is never
+    re-shipped at the barrier.
+    """
+    key, token, chunk = payload
+    knowledge = resolve_shared(token)
+    return run_phase_two_chunk(venues[key], (knowledge, chunk))
 
 
 @dataclass(frozen=True)
@@ -98,6 +157,7 @@ class EngineConfig:
     workers: int | None = None
     chunk_size: int = DEFAULT_CHUNK_SIZE
     knowledge_build: str = "sharded"
+    phase_one_cache: int = 0
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -117,16 +177,54 @@ class EngineConfig:
                 f"unknown knowledge build strategy "
                 f"{self.knowledge_build!r} (known: {known})"
             )
+        if self.phase_one_cache < 0:
+            raise ConfigError(
+                f"phase-one cache size must be >= 0, got "
+                f"{self.phase_one_cache}"
+            )
+
+
+def _phase_one_cache_key(sequence: PositioningSequence) -> tuple:
+    """Exact memoization key: device id plus every record's coordinates.
+
+    The full coordinate tuple (not a hash digest) is used so lookups can
+    never collide; the LRU is small, so holding the key tuples is cheap.
+    """
+    return (
+        sequence.device_id,
+        tuple(
+            (r.timestamp, r.location.x, r.location.y, r.location.floor)
+            for r in sequence.records
+        ),
+    )
 
 
 class Engine:
-    """Parallel drop-in for ``Translator.translate_batch``."""
+    """Parallel drop-in for ``Translator.translate_batch``.
+
+    ``backend`` attaches an externally-managed (already open) pool whose
+    context is a venue map containing ``context_key``; the engine then
+    never opens or closes it, which lets several engines — one per venue —
+    interleave phases on a single warm pool.  Without ``backend`` the
+    engine creates, opens and closes its own pool per call, registering
+    itself under ``context_key`` (default ``"default"``).
+    """
 
     def __init__(
-        self, translator: Translator, config: EngineConfig | None = None
+        self,
+        translator: Translator,
+        config: EngineConfig | None = None,
+        *,
+        backend: ExecutionBackend | None = None,
+        context_key: str = DEFAULT_CONTEXT_KEY,
     ):
         self.translator = translator
         self.config = config if config is not None else EngineConfig()
+        self.context_key = context_key
+        self._attached = backend
+        self._phase_one_cache: "OrderedDict[tuple, tuple]" | None = (
+            OrderedDict() if self.config.phase_one_cache > 0 else None
+        )
 
     def translate_batch(
         self, sequences: Iterable[PositioningSequence]
@@ -143,63 +241,243 @@ class Engine:
         up (the backends keep a bounded submission window), so phase one
         overlaps ingestion instead of waiting for the full batch.  The
         knowledge barrier still needs every phase-one result, so results
-        accumulate until the input ends — the feed must be finite.
+        accumulate until the input ends — the feed must be finite.  For
+        unbounded feeds, cut windows and call
+        :meth:`translate_increment` per window (or use
+        :class:`repro.live.LiveTranslationService`).
         """
         return self._run(iter_chunks(sequences, self.config.chunk_size))
 
+    def translate_increment(
+        self,
+        sequences: Iterable[PositioningSequence],
+        knowledge: MobilityKnowledge | None = None,
+    ) -> tuple[BatchTranslationResult, MobilityKnowledge | None]:
+        """Translate one stream window, folding its shard into ``knowledge``.
+
+        The incremental path of the live streaming service: phase one
+        runs as usual, but instead of building fresh batch knowledge at
+        the barrier, the window's :class:`PartialKnowledge` is **folded**
+        into the given long-running ``knowledge`` (created on first call
+        when ``None``), and phase two complements the window against the
+        folded cumulative state.  Returns ``(window result, knowledge)``;
+        the returned knowledge is the same evolving object — pass it back
+        in for the next window.
+
+        Folding is exact (see :class:`~repro.core.complementing.ExactSum`),
+        so after the final window the cumulative knowledge is bit-for-bit
+        identical to a one-shot batch build over all windows' sequences.
+        Note the *per-window* complements are computed against the
+        knowledge as of that window; re-complement at end of stream (see
+        ``LiveTranslationService.finalize``) to reproduce the one-shot
+        batch output exactly.
+        """
+        result = self._run(
+            partition(list(sequences), self.config.chunk_size),
+            fold_into=knowledge,
+            incremental=True,
+        )
+        return result, result.knowledge
+
+    def complement(
+        self,
+        annotated: list[MobilitySemanticsSequence],
+        knowledge: MobilityKnowledge,
+    ) -> list[ComplementResult]:
+        """Run the complementing phase alone, fanned out over the pool.
+
+        Reusable phase plumbing: given already-annotated sequences and a
+        knowledge object, produce the per-sequence complements exactly as
+        the batch path would.  The live service uses this to re-complement
+        every retained window against the final cumulative knowledge,
+        which is what makes a replayed finite stream reproduce the
+        one-shot batch output.
+        """
+        backend, owns = self._backend()
+        if owns:
+            backend.open({self.context_key: self.translator})
+        try:
+            return self._map_phase_two(backend, annotated, knowledge)
+        finally:
+            if owns:
+                backend.close()
+
+    # ------------------------------------------------------------------
+    def _backend(self) -> tuple[ExecutionBackend, bool]:
+        """The backend to run on, and whether this engine owns it."""
+        if self._attached is not None:
+            return self._attached, False
+        return create_backend(self.config.backend, self.config.workers), True
+
+    def _map_phase_two(
+        self,
+        backend: ExecutionBackend,
+        annotated: list[MobilitySemanticsSequence],
+        knowledge: MobilityKnowledge,
+    ) -> list[ComplementResult]:
+        """Fan complementing out over the pool via a shared-knowledge token."""
+        complements: list[ComplementResult] = []
+        chunks = partition(annotated, self.config.chunk_size)
+        if not chunks:
+            return complements
+        token = backend.share(knowledge)
+        try:
+            key = self.context_key
+            for chunk_result in backend.map(
+                _phase_two_task, [(key, token, chunk) for chunk in chunks]
+            ):
+                complements.extend(chunk_result)
+        finally:
+            backend.release(token)
+        return complements
+
+    def _map_phase_one(
+        self,
+        backend: ExecutionBackend,
+        chunks: Iterator[list[PositioningSequence]],
+        emit_partial: bool,
+    ) -> tuple[list[list[PositioningSequence]], list, list[PartialKnowledge]]:
+        """Fan phase one out; returns (consumed chunks, pairs, partials).
+
+        The payload generator records every chunk it hands to the pool;
+        ``map()`` yields chunk results in the same submission order,
+        keeping the lists aligned for the deterministic input-order merge.
+        """
+        if self._phase_one_cache is not None:
+            return self._map_phase_one_cached(backend, chunks, emit_partial)
+        consumed: list[list[PositioningSequence]] = []
+        key = self.context_key
+
+        def payloads() -> Iterator[tuple[str, list[PositioningSequence]]]:
+            for chunk in chunks:
+                consumed.append(chunk)
+                yield (key, chunk)
+
+        fn = _bind(_phase_one_task, emit_partial=emit_partial)
+        phase_one_chunks = list(backend.map(fn, payloads()))
+        pairs = [pair for chunk in phase_one_chunks for pair in chunk.pairs]
+        partials = [
+            chunk.partial
+            for chunk in phase_one_chunks
+            if chunk.partial is not None
+        ]
+        return consumed, pairs, partials
+
+    def _map_phase_one_cached(
+        self,
+        backend: ExecutionBackend,
+        chunks: Iterator[list[PositioningSequence]],
+        emit_partial: bool,
+    ) -> tuple[list[list[PositioningSequence]], list, list[PartialKnowledge]]:
+        """Phase one with the engine-owned clean+annotate LRU consulted.
+
+        Cache misses are re-grouped into pure-miss payloads (so worker
+        shards cover exactly the sequences they annotated); the cached
+        sequences contribute one caller-built shard instead.  Shard
+        merging is exact and order-independent, so the regrouping cannot
+        change the knowledge.
+        """
+        cache = self._phase_one_cache
+        assert cache is not None
+        limit = self.config.phase_one_cache
+        consumed: list[list[PositioningSequence]] = []
+        slots: list[list] = []
+        hit_pairs: list = []
+        miss_positions: list[tuple[int, list[int]]] = []
+        miss_keys: list[list[tuple]] = []
+
+        def payloads() -> Iterator[tuple[str, list[PositioningSequence]]]:
+            # Generated lazily, like the uncached path: the cache is
+            # consulted chunk by chunk as the input iterator is pulled,
+            # so streaming ingestion still overlaps phase one.
+            for chunk in chunks:
+                chunk_index = len(consumed)
+                consumed.append(chunk)
+                row: list = []
+                misses: list[int] = []
+                keys: list[tuple] = []
+                for position, sequence in enumerate(chunk):
+                    cache_key = _phase_one_cache_key(sequence)
+                    hit = cache.get(cache_key)
+                    if hit is not None:
+                        cache.move_to_end(cache_key)
+                        hit_pairs.append(hit)
+                    else:
+                        misses.append(position)
+                        keys.append(cache_key)
+                    row.append(hit)
+                slots.append(row)
+                if misses:
+                    miss_positions.append((chunk_index, misses))
+                    miss_keys.append(keys)
+                    yield (self.context_key, [chunk[p] for p in misses])
+
+        fn = _bind(_phase_one_task, emit_partial=emit_partial)
+        mapped = list(backend.map(fn, payloads()))
+
+        partials: list[PartialKnowledge] = []
+        for (chunk_index, misses), keys, chunk_result in zip(
+            miss_positions, miss_keys, mapped
+        ):
+            for position, cache_key, pair in zip(
+                misses, keys, chunk_result.pairs
+            ):
+                slots[chunk_index][position] = pair
+                cache[cache_key] = pair
+                cache.move_to_end(cache_key)
+                while len(cache) > limit:
+                    cache.popitem(last=False)
+            if chunk_result.partial is not None:
+                partials.append(chunk_result.partial)
+
+        if emit_partial and hit_pairs:
+            hit_shard = build_partial_knowledge(
+                self.translator,
+                [annotation.sequence for _, annotation in hit_pairs],
+            )
+            if hit_shard is not None:
+                partials.append(hit_shard)
+
+        pairs = [pair for row in slots for pair in row]
+        return consumed, pairs, partials
+
     # ------------------------------------------------------------------
     def _run(
-        self, chunks: Iterator[list[PositioningSequence]]
+        self,
+        chunks: Iterator[list[PositioningSequence]],
+        fold_into: MobilityKnowledge | None = None,
+        incremental: bool = False,
     ) -> BatchTranslationResult:
         started = time.perf_counter()
         sharded = self.config.knowledge_build == "sharded"
-        backend = create_backend(self.config.backend, self.config.workers)
+        backend, owns = self._backend()
         # Captured up front: stats must not depend on reading the backend
         # after close() has torn the pool down.
         backend_name, backend_workers = backend.name, backend.workers
-        backend.open(self.translator)
+        if owns:
+            backend.open({self.context_key: self.translator})
         try:
-            # Phase one: fan out clean + annotate.  The payload generator
-            # records every chunk it hands to the pool; map() yields chunk
-            # results in the same submission order, keeping the two lists
-            # aligned for the deterministic input-order merge below.
-            consumed: list[list[PositioningSequence]] = []
-
-            def payloads() -> Iterator[list[PositioningSequence]]:
-                for chunk in chunks:
-                    consumed.append(chunk)
-                    yield chunk
-
-            phase_one_fn = (
-                _bind(run_phase_one_chunk, emit_partial=True)
-                if sharded
-                else run_phase_one_chunk
+            consumed, phase_one, partials = self._map_phase_one(
+                backend, chunks, emit_partial=sharded
             )
-            phase_one_chunks = list(backend.map(phase_one_fn, payloads()))
             phase_one_done = time.perf_counter()
 
             sequences = [s for chunk in consumed for s in chunk]
-            phase_one = [
-                pair for chunk in phase_one_chunks for pair in chunk.pairs
-            ]
             annotated = [
-                sequence
-                for chunk in phase_one_chunks
-                for sequence in chunk.annotated
+                annotation.sequence for _, annotation in phase_one
             ]
 
             # Barrier: sharded mode merges the per-chunk shards the
             # workers already aggregated — O(#regions + #edges) per chunk;
             # rebuild mode re-observes every annotated sequence on the
-            # caller.  Both produce byte-identical knowledge.
-            if sharded:
+            # caller.  Both produce byte-identical knowledge.  Incremental
+            # mode folds the window's shard into the long-running
+            # knowledge instead of building from scratch.
+            if incremental:
+                knowledge = self._fold_window(fold_into, annotated, partials)
+            elif sharded:
                 knowledge = build_batch_knowledge(
-                    self.translator,
-                    partials=[
-                        chunk.partial
-                        for chunk in phase_one_chunks
-                        if chunk.partial is not None
-                    ],
+                    self.translator, partials=partials
                 )
             else:
                 knowledge = build_batch_knowledge(self.translator, annotated)
@@ -208,19 +486,13 @@ class Engine:
             # Phase two: fan out complementing with the shared knowledge.
             complements: list[ComplementResult] | None = None
             if knowledge is not None:
-                complements = []
-                phase_two_chunks = partition(
-                    annotated, self.config.chunk_size
+                complements = self._map_phase_two(
+                    backend, annotated, knowledge
                 )
-                if phase_two_chunks:
-                    backend.rebind((self.translator, knowledge))
-                    for chunk_result in backend.map(
-                        _phase_two_with_knowledge, phase_two_chunks
-                    ):
-                        complements.extend(chunk_result)
             finished = time.perf_counter()
         finally:
-            backend.close()
+            if owns:
+                backend.close()
 
         results = assemble_results(sequences, phase_one, complements)
         count = len(sequences)
@@ -240,3 +512,33 @@ class Engine:
         return BatchTranslationResult(
             results, knowledge, finished - started, stats
         )
+
+    def _fold_window(
+        self,
+        fold_into: MobilityKnowledge | None,
+        annotated: list[MobilitySemanticsSequence],
+        partials: list[PartialKnowledge],
+    ) -> MobilityKnowledge | None:
+        """The incremental barrier: fold the window into the knowledge.
+
+        Under the ``rebuild`` strategy the workers did not aggregate
+        shards, so the window's shard is built on the caller; either way
+        the fold applies exactly the same counting rules as a batch
+        build, so replaying all windows reproduces the one-shot batch
+        knowledge bit for bit.
+        """
+        regions = self.translator.knowledge_regions()
+        if regions is None:
+            return fold_into
+        if not partials:
+            window = build_partial_knowledge(self.translator, annotated)
+            partials = [window] if window is not None else []
+        knowledge = fold_into
+        if knowledge is None:
+            knowledge = MobilityKnowledge(
+                regions=regions,
+                smoothing=self.translator.config.knowledge_smoothing,
+            )
+        for partial in partials:
+            knowledge.fold(partial)
+        return knowledge

@@ -67,6 +67,10 @@ class InferenceError(TripsError):
     """The complementing layer could not infer missing semantics."""
 
 
+class DispatchError(TripsError):
+    """The live service could not route a record to a venue."""
+
+
 class ViewerError(TripsError):
     """The viewer could not build or render a view."""
 

@@ -1,0 +1,113 @@
+"""Multi-building dispatch: route positioning records to venue translators.
+
+One live service instance serves heterogeneous traffic — a mall feed, an
+airport feed and an office feed can share one worker pool — so records
+must be routed to the right building's :class:`~repro.core.Translator`.
+The :class:`VenueDispatcher` owns that mapping.  Routing happens at
+*record* granularity before sequences are formed, so a mixed feed is
+split per venue and each venue's records group into per-device sequences
+independently (the same device id at two venues never merges).
+
+Routing rules, in order of precedence:
+
+1. an explicit ``venue_id`` passed by the caller (tagged feeds);
+2. a custom ``router`` callable ``record -> venue_id``;
+3. the default prefix router: device ids of the form ``"<venue>:<id>"``
+   route to ``<venue>``;
+4. a single-venue dispatcher routes everything to its only venue.
+
+Unknown venue ids raise :class:`~repro.errors.DispatchError` — a live
+service must fail loudly on misrouted traffic, not silently drop it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Mapping
+
+from ..core.translator import Translator
+from ..errors import DispatchError
+from ..positioning import RawPositioningRecord
+
+#: Separator of the default ``"<venue>:<device>"`` prefix routing scheme.
+VENUE_SEPARATOR = ":"
+
+Router = Callable[[RawPositioningRecord], str]
+
+
+def prefix_router(separator: str = VENUE_SEPARATOR) -> Router:
+    """A router reading the venue id from the device-id prefix."""
+
+    def route(record: RawPositioningRecord) -> str:
+        venue_id, found, _ = record.device_id.partition(separator)
+        if not found:
+            raise DispatchError(
+                f"device id {record.device_id!r} carries no "
+                f"{separator!r}-separated venue prefix; tag the feed with a "
+                "venue id or pass a custom router"
+            )
+        return venue_id
+
+    return route
+
+
+class VenueDispatcher:
+    """Routes records to per-building translators by venue id."""
+
+    def __init__(
+        self,
+        translators: Mapping[str, Translator],
+        router: Router | None = None,
+    ):
+        if not translators:
+            raise DispatchError("dispatcher needs at least one venue")
+        self.translators = dict(translators)
+        if router is not None:
+            self._router = router
+        elif len(self.translators) == 1:
+            only = next(iter(self.translators))
+            self._router = lambda record: only
+        else:
+            self._router = prefix_router()
+
+    @property
+    def venue_ids(self) -> list[str]:
+        """All venue ids, sorted for deterministic iteration."""
+        return sorted(self.translators)
+
+    def translator(self, venue_id: str) -> Translator:
+        """The translator serving one venue."""
+        self._check_venue(venue_id)
+        return self.translators[venue_id]
+
+    def route(self, record: RawPositioningRecord) -> str:
+        """The venue id one record belongs to."""
+        venue_id = self._router(record)
+        self._check_venue(venue_id)
+        return venue_id
+
+    def split(
+        self, records: Iterable[RawPositioningRecord]
+    ) -> dict[str, list[RawPositioningRecord]]:
+        """Partition a mixed record batch per venue, preserving order.
+
+        The returned dict is keyed in sorted venue order (only venues
+        that actually received records appear), so window processing is
+        deterministic regardless of feed interleaving.
+        """
+        routed: dict[str, list[RawPositioningRecord]] = {}
+        for record in records:
+            routed.setdefault(self.route(record), []).append(record)
+        return {venue_id: routed[venue_id] for venue_id in sorted(routed)}
+
+    def _check_venue(self, venue_id: str) -> None:
+        if venue_id not in self.translators:
+            known = ", ".join(self.venue_ids)
+            raise DispatchError(
+                f"no translator for venue {venue_id!r} (known: {known})"
+            )
+
+    def __len__(self) -> int:
+        return len(self.translators)
+
+    def __str__(self) -> str:
+        return f"VenueDispatcher({', '.join(self.venue_ids)})"

@@ -1,0 +1,125 @@
+"""Asyncio ingestion front-end: bounded queues over blocking feeds.
+
+:class:`~repro.positioning.RecordStream` is pull-based and blocking — a
+network feed parks the reader until records arrive.  The front-end here
+turns one or more such feeds into a windowed producer/consumer pipeline:
+
+- one **producer** task per feed cuts time/count-bounded windows off the
+  feed in a worker thread (``asyncio.to_thread``), so a slow feed never
+  stalls the event loop;
+- cut windows queue onto one bounded :class:`asyncio.Queue`
+  (``LiveConfig.max_pending_windows`` deep).  When translation falls
+  behind, ``put`` blocks the producers — **backpressure**: in-flight
+  memory is bounded by queue depth × window size, never by feed length;
+- one **consumer** task pops windows in arrival order and runs the
+  (blocking, pool-backed) window translation off the event loop.
+
+Tagged feeds (``{venue_id: RecordStream}``) skip per-record routing —
+every window carries its venue id; a single untagged feed is routed
+record by record through the service's dispatcher.  A consumer failure
+(e.g. a record routed to an unknown venue) cancels the producers instead
+of deadlocking them against a full queue.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+from typing import TYPE_CHECKING, Callable, Mapping, Union
+
+from ..positioning import RawPositioningRecord, RecordStream
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .service import LiveStats, LiveTranslationService, LiveWindowResult
+
+#: What :meth:`LiveTranslationService.serve` accepts: one untagged feed
+#: (dispatcher-routed) or a map of venue-tagged feeds.
+FeedSet = Union[RecordStream, Mapping[str, RecordStream]]
+
+#: End-of-feeds marker on the window queue.
+_SENTINEL = None
+
+
+def _as_feed_map(
+    feeds: FeedSet,
+) -> "dict[str | None, RecordStream]":
+    """Normalize to ``{venue_id_or_None: stream}``."""
+    if isinstance(feeds, RecordStream):
+        return {None: feeds}
+    if not feeds:
+        from ..errors import DispatchError
+
+        raise DispatchError("serve() needs at least one feed")
+    return dict(feeds)
+
+
+async def serve_async(
+    service: "LiveTranslationService",
+    feeds: FeedSet,
+    on_window: "Callable[[LiveWindowResult], None] | None" = None,
+) -> "LiveStats":
+    """Run feeds to exhaustion through the windowed ingestion pipeline."""
+    config = service.live_config
+    queue: "asyncio.Queue" = asyncio.Queue(maxsize=config.max_pending_windows)
+    feed_map = _as_feed_map(feeds)
+
+    async def produce(venue_id: "str | None", stream: RecordStream) -> None:
+        while True:
+            batch: list[RawPositioningRecord] = await asyncio.to_thread(
+                stream.take_window,
+                config.window_seconds,
+                config.max_window_records,
+            )
+            if not batch:
+                return
+            await queue.put((venue_id, batch))
+
+    async def consume() -> None:
+        while True:
+            item = await queue.get()
+            if item is _SENTINEL:
+                return
+            venue_id, records = item
+            window = await asyncio.to_thread(
+                service.process_window, records, venue_id
+            )
+            if on_window is not None:
+                on_window(window)
+
+    producer_tasks = [
+        asyncio.create_task(produce(vid, stream))
+        for vid, stream in feed_map.items()
+    ]
+    producers = asyncio.ensure_future(asyncio.gather(*producer_tasks))
+    consumer = asyncio.create_task(consume())
+
+    async def cancel_producers() -> None:
+        # gather() with the default return_exceptions=False completes on
+        # the first failure but leaves sibling tasks running — cancel the
+        # individual tasks, not the (already done) gather future.
+        for task in producer_tasks:
+            task.cancel()
+        with contextlib.suppress(asyncio.CancelledError):
+            await asyncio.gather(*producer_tasks, return_exceptions=True)
+
+    await asyncio.wait(
+        {producers, consumer}, return_when=asyncio.FIRST_COMPLETED
+    )
+    if consumer.done():
+        # The consumer only returns on the sentinel, which has not been
+        # sent yet — it must have failed.  Unblock and stop the
+        # producers, then surface the failure.
+        await cancel_producers()
+        consumer.result()
+        return service.stats  # pragma: no cover - defensive
+    try:
+        producers.result()
+    except BaseException:
+        # One feed failed: stop the siblings before re-raising, or they
+        # would block forever on a full queue once the consumer exits.
+        await cancel_producers()
+        raise
+    finally:
+        await queue.put(_SENTINEL)
+        await consumer
+    return service.stats

@@ -1,0 +1,108 @@
+"""Merging one device's windowed translations into a single viewable one.
+
+The live service emits one :class:`TranslationResult` per device per
+window.  The Viewer, however, browses *one* device's full history — raw,
+cleaned and semantics timelines side by side — so the windowed results
+must be stitched back together.  Windows are disjoint, consecutive time
+slices, which makes the merge a concatenation: records and semantics
+append in window order, and the cleaning/annotation bookkeeping indexes
+(which are positions inside each window's own sequence) shift by the
+number of records in the preceding windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Iterable
+
+from ..core.annotation import AnnotationResult
+from ..core.cleaning import CleaningReport, CleaningResult
+from ..core.complementing import ComplementResult
+from ..core.semantics import MobilitySemanticsSequence
+from ..core.translator import TranslationResult
+from ..errors import ViewerError
+from ..positioning import PositioningSequence
+
+
+def merge_device_results(
+    results: Iterable[TranslationResult], device_id: str
+) -> TranslationResult:
+    """Stitch one device's windowed results into a single result.
+
+    ``results`` is any iterable of translation results — typically a
+    venue's retained live results, or one finalized batch — possibly
+    holding many devices and many windows per device.  Only windows of
+    ``device_id`` participate, in the order they appear (the live
+    service retains arrival order, which is time order).
+    """
+    windows = [r for r in results if r.device_id == device_id]
+    if not windows:
+        raise ViewerError(
+            f"no translation results for device {device_id!r}"
+        )
+    if len(windows) == 1:
+        return windows[0]
+
+    raw_records = []
+    cleaned_records = []
+    report = CleaningReport()
+    snippets = []
+    skipped_snippets = 0
+    original_semantics = []
+    final_semantics = []
+    gaps_found = gaps_filled = inferred = 0
+    complemented = False
+    offset = 0
+    for window in windows:
+        raw_records.extend(window.raw.records)
+        cleaned_records.extend(window.cleaned.records)
+        window_report = window.cleaning.report
+        report.total_records += window_report.total_records
+        report.invalid_indexes.extend(
+            i + offset for i in window_report.invalid_indexes
+        )
+        report.floor_corrected.extend(
+            i + offset for i in window_report.floor_corrected
+        )
+        report.interpolated.extend(
+            i + offset for i in window_report.interpolated
+        )
+        report.unrepaired.extend(
+            i + offset for i in window_report.unrepaired
+        )
+        snippets.extend(
+            replace(s, start=s.start + offset, end=s.end + offset)
+            for s in window.annotation.snippets
+        )
+        skipped_snippets += window.annotation.skipped_snippets
+        original_semantics.extend(window.original_semantics)
+        final_semantics.extend(window.semantics)
+        if window.complement is not None:
+            complemented = True
+            gaps_found += window.complement.gaps_found
+            gaps_filled += window.complement.gaps_filled
+            inferred += window.complement.inferred_semantics
+        offset += len(window.raw)
+
+    raw = PositioningSequence(device_id, raw_records)
+    cleaned = PositioningSequence(device_id, cleaned_records)
+    annotation = AnnotationResult(
+        MobilitySemanticsSequence(device_id, original_semantics),
+        snippets,
+        skipped_snippets,
+    )
+    complement = None
+    if complemented:
+        complement = ComplementResult(
+            MobilitySemanticsSequence(device_id, final_semantics),
+            gaps_found,
+            gaps_filled,
+            inferred,
+        )
+    return TranslationResult(
+        device_id=device_id,
+        raw=raw,
+        cleaning=CleaningResult(raw, cleaned, report),
+        annotation=annotation,
+        complement=complement,
+    )

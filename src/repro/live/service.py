@@ -1,0 +1,458 @@
+"""The live translation service: windowed, incremental, multi-building.
+
+One :class:`LiveTranslationService` owns a single warm worker pool (one
+:class:`~repro.engine.backends.ExecutionBackend`, opened once with the
+full venue map) and one per-venue :class:`~repro.engine.Engine` mapped
+onto it.  Each incoming window of records is routed per venue, grouped
+into per-device sequences, pushed through the engine's incremental path
+(:meth:`~repro.engine.Engine.translate_increment`) and **folded** into
+that venue's long-running :class:`~repro.core.complementing.MobilityKnowledge`
+— no knowledge rebuild, ever.  The per-window output is an ordinary
+:class:`~repro.core.translator.BatchTranslationResult` per venue; the
+service additionally accumulates cumulative :class:`LiveStats`.
+
+Live versus batch semantics
+---------------------------
+
+Per-window complements are inferred against the knowledge *as of that
+window* — that is what "live" means; early windows see less evidence.
+Knowledge folding itself is exact, so once a finite stream has been fully
+replayed the cumulative knowledge is bit-for-bit identical to a one-shot
+batch build over the same windowed sequences, and :meth:`finalize`
+re-complements every retained window against it — reproducing exactly
+what ``Engine.translate_batch`` over those sequences would have returned.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping
+
+from ..core.complementing import MobilityKnowledge
+from ..core.translator import (
+    BatchTranslationResult,
+    TranslationResult,
+    Translator,
+    assemble_results,
+)
+from ..engine import Engine, EngineConfig, ExecutionBackend, create_backend
+from ..errors import ConfigError
+from ..positioning import (
+    PositioningSequence,
+    RawPositioningRecord,
+    RecordStream,
+    windowed_records,
+)
+from .dispatch import Router, VenueDispatcher
+from .ingest import FeedSet, serve_async
+
+
+@dataclass(frozen=True)
+class LiveConfig:
+    """Windowing and ingestion knobs of the live service."""
+
+    #: Time span of one ingestion window.
+    window_seconds: float = 300.0
+    #: Optional per-window record bound (whichever bound closes first).
+    max_window_records: int | None = None
+    #: Bounded ingestion queue depth: at most this many cut windows wait
+    #: for translation before the feed readers block (backpressure).
+    max_pending_windows: int = 4
+    #: Keep every window's per-device results for :meth:`finalize` /
+    #: viewer construction.  Disable for truly unbounded feeds, where
+    #: only per-window emissions and the folded knowledge are retained.
+    retain_results: bool = True
+
+    def __post_init__(self) -> None:
+        if self.window_seconds <= 0:
+            raise ConfigError(
+                f"window_seconds must be positive, got {self.window_seconds}"
+            )
+        if self.max_window_records is not None and self.max_window_records < 1:
+            raise ConfigError(
+                f"max_window_records must be >= 1, got "
+                f"{self.max_window_records}"
+            )
+        if self.max_pending_windows < 1:
+            raise ConfigError(
+                f"max_pending_windows must be >= 1, got "
+                f"{self.max_pending_windows}"
+            )
+
+
+@dataclass
+class VenueStats:
+    """Cumulative per-venue counters."""
+
+    venue_id: str
+    windows: int = 0
+    records: int = 0
+    sequences: int = 0
+    semantics: int = 0
+    #: Sequences folded into the venue's knowledge so far.
+    knowledge_sequences: int = 0
+
+
+@dataclass
+class LiveStats:
+    """Cumulative service counters across all venues."""
+
+    windows: int = 0
+    records: int = 0
+    sequences: int = 0
+    semantics: int = 0
+    #: Wall time spent inside window translation.
+    translate_seconds: float = 0.0
+    #: Wall time from the first window to the latest one.
+    elapsed_seconds: float = 0.0
+    venues: dict[str, VenueStats] = field(default_factory=dict)
+
+    @property
+    def windows_per_second(self) -> float:
+        """Sustained window throughput over the service's lifetime."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.windows / self.elapsed_seconds
+
+    @property
+    def records_per_second(self) -> float:
+        """Sustained record throughput over the service's lifetime."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.records / self.elapsed_seconds
+
+    def format_table(self) -> str:
+        """Small fixed-width rendering for CLI / bench output."""
+        lines = [
+            f"windows={self.windows} records={self.records} "
+            f"sequences={self.sequences} semantics={self.semantics} "
+            f"({self.windows_per_second:.2f} windows/s, "
+            f"{self.records_per_second:,.0f} records/s)"
+        ]
+        for venue_id in sorted(self.venues):
+            venue = self.venues[venue_id]
+            lines.append(
+                f"  {venue_id:<12} {venue.windows:4d} windows  "
+                f"{venue.records:7d} records  {venue.sequences:5d} sequences  "
+                f"{venue.semantics:6d} semantics  "
+                f"knowledge over {venue.knowledge_sequences} sequences"
+            )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class LiveWindowResult:
+    """One ingestion window's translation, split per venue."""
+
+    index: int
+    venues: dict[str, BatchTranslationResult]
+    records: int
+    elapsed_seconds: float
+
+    @property
+    def sequences(self) -> int:
+        """Per-device sequences translated in this window."""
+        return sum(len(batch) for batch in self.venues.values())
+
+    @property
+    def semantics(self) -> int:
+        """Final semantics triplets emitted in this window."""
+        return sum(
+            batch.total_semantics for batch in self.venues.values()
+        )
+
+
+@dataclass
+class _VenueState:
+    """Everything the service accumulates for one venue."""
+
+    venue_id: str
+    engine: Engine
+    knowledge: MobilityKnowledge | None = None
+    results: list[TranslationResult] = field(default_factory=list)
+    stats: VenueStats = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.stats is None:
+            self.stats = VenueStats(self.venue_id)
+
+
+class LiveTranslationService:
+    """Continuous windowed translation over one shared worker pool.
+
+    Construct with ``{venue_id: Translator}`` — one entry per building —
+    plus the engine and live configs; then either drive it window by
+    window (:meth:`process_window`), replay a finite stream on the
+    calling thread (:meth:`run_stream`), or serve one or more feeds
+    through the asyncio ingestion front-end (:meth:`serve` /
+    :meth:`aserve`).  The worker pool opens lazily on the first window
+    and stays warm until :meth:`close`; the service is a context manager.
+    """
+
+    def __init__(
+        self,
+        translators: Mapping[str, Translator] | Translator,
+        engine_config: EngineConfig | None = None,
+        live_config: LiveConfig | None = None,
+        router: Router | None = None,
+    ):
+        if isinstance(translators, Translator):
+            translators = {"default": translators}
+        self.dispatcher = VenueDispatcher(translators, router=router)
+        self.engine_config = (
+            engine_config if engine_config is not None else EngineConfig()
+        )
+        self.live_config = (
+            live_config if live_config is not None else LiveConfig()
+        )
+        self._backend: ExecutionBackend | None = None
+        self._states: dict[str, _VenueState] = {}
+        self._windows = 0
+        self._started: float | None = None
+        self._elapsed = 0.0
+        self._translate_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def open(self) -> "LiveTranslationService":
+        """Start the shared pool and bind one engine per venue.
+
+        The backend context is the full venue map, shipped to each
+        worker exactly once; every venue's engine then maps its phases
+        onto the same warm pool under its own context key.
+        """
+        if self._backend is not None:
+            return self
+        backend = create_backend(
+            self.engine_config.backend, self.engine_config.workers
+        )
+        backend.open(dict(self.dispatcher.translators))
+        self._backend = backend
+        for venue_id in self.dispatcher.venue_ids:
+            if venue_id not in self._states:
+                engine = Engine(
+                    self.dispatcher.translator(venue_id),
+                    self.engine_config,
+                    backend=backend,
+                    context_key=venue_id,
+                )
+                self._states[venue_id] = _VenueState(venue_id, engine)
+            else:
+                self._states[venue_id].engine = Engine(
+                    self.dispatcher.translator(venue_id),
+                    self.engine_config,
+                    backend=backend,
+                    context_key=venue_id,
+                )
+        return self
+
+    def close(self) -> None:
+        """Tear the shared pool down; accumulated state is kept."""
+        if self._backend is not None:
+            self._backend.close()
+            self._backend = None
+
+    def __enter__(self) -> "LiveTranslationService":
+        return self.open()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _ensure_open(self) -> None:
+        if self._backend is None:
+            self.open()
+
+    # ------------------------------------------------------------------
+    # Window processing
+    # ------------------------------------------------------------------
+    def process_window(
+        self,
+        records: list[RawPositioningRecord],
+        venue_id: str | None = None,
+    ) -> LiveWindowResult:
+        """Translate one cut window of records.
+
+        With ``venue_id`` the whole window belongs to one tagged feed;
+        otherwise the dispatcher routes each record.  Per venue, the
+        window's records group into per-device sequences, run through the
+        incremental engine path, and the window's knowledge shard folds
+        into the venue's cumulative knowledge.
+        """
+        self._ensure_open()
+        started = time.perf_counter()
+        if self._started is None:
+            self._started = started
+        if venue_id is not None:
+            self.dispatcher.translator(venue_id)  # validate the tag
+            routed = {venue_id: records} if records else {}
+        else:
+            routed = self.dispatcher.split(records)
+
+        window_batches: dict[str, BatchTranslationResult] = {}
+        for vid, venue_records in routed.items():
+            state = self._states[vid]
+            sequences = PositioningSequence.group_records(venue_records)
+            batch, knowledge = state.engine.translate_increment(
+                sequences, state.knowledge
+            )
+            state.knowledge = knowledge
+            if self.live_config.retain_results:
+                state.results.extend(batch.results)
+            stats = state.stats
+            stats.windows += 1
+            stats.records += len(venue_records)
+            stats.sequences += len(batch)
+            stats.semantics += batch.total_semantics
+            if knowledge is not None:
+                stats.knowledge_sequences = knowledge.sequences_seen
+            window_batches[vid] = batch
+
+        finished = time.perf_counter()
+        elapsed = finished - started
+        self._windows += 1
+        self._translate_seconds += elapsed
+        self._elapsed = finished - self._started
+        return LiveWindowResult(
+            index=self._windows - 1,
+            venues=window_batches,
+            records=len(records),
+            elapsed_seconds=elapsed,
+        )
+
+    # ------------------------------------------------------------------
+    # Drivers
+    # ------------------------------------------------------------------
+    def run_stream(
+        self,
+        stream: RecordStream,
+        venue_id: str | None = None,
+        on_window: Callable[[LiveWindowResult], None] | None = None,
+    ) -> LiveStats:
+        """Replay one finite feed window by window on the calling thread.
+
+        The synchronous driver: no asyncio, same windowing and fold
+        semantics as :meth:`serve`.  Leaves the service open so the
+        caller can :meth:`finalize` against the warm pool.
+        """
+        self._ensure_open()
+        for records in windowed_records(
+            stream,
+            self.live_config.window_seconds,
+            max_records=self.live_config.max_window_records,
+        ):
+            window = self.process_window(records, venue_id)
+            if on_window is not None:
+                on_window(window)
+        return self.stats
+
+    def serve(
+        self,
+        feeds: FeedSet,
+        on_window: Callable[[LiveWindowResult], None] | None = None,
+    ) -> LiveStats:
+        """Drive the asyncio ingestion front-end to feed exhaustion.
+
+        ``feeds`` is a single (router-dispatched) :class:`RecordStream`
+        or a ``{venue_id: RecordStream}`` map of tagged feeds.  Blocking
+        convenience wrapper over :meth:`aserve`.
+        """
+        import asyncio
+
+        return asyncio.run(self.aserve(feeds, on_window=on_window))
+
+    async def aserve(
+        self,
+        feeds: FeedSet,
+        on_window: Callable[[LiveWindowResult], None] | None = None,
+    ) -> LiveStats:
+        """Async ingestion: windows are cut per feed and queued with
+        backpressure (``LiveConfig.max_pending_windows``), translation
+        runs off the event loop, and the call returns once every feed is
+        exhausted and every queued window translated."""
+        self._ensure_open()
+        return await serve_async(self, feeds, on_window=on_window)
+
+    # ------------------------------------------------------------------
+    # Accumulated state
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> LiveStats:
+        """Cumulative counters across every processed window."""
+        venues = {
+            vid: state.stats for vid, state in self._states.items()
+        }
+        return LiveStats(
+            windows=self._windows,
+            records=sum(v.records for v in venues.values()),
+            sequences=sum(v.sequences for v in venues.values()),
+            semantics=sum(v.semantics for v in venues.values()),
+            translate_seconds=self._translate_seconds,
+            elapsed_seconds=self._elapsed,
+            venues=venues,
+        )
+
+    def knowledge(self, venue_id: str) -> MobilityKnowledge | None:
+        """One venue's cumulative folded knowledge (``None`` before any
+        window reached it, or when its complementing layer is off)."""
+        self.dispatcher.translator(venue_id)
+        state = self._states.get(venue_id)
+        return state.knowledge if state is not None else None
+
+    def results(self, venue_id: str) -> list[TranslationResult]:
+        """One venue's retained per-window results, in arrival order."""
+        self.dispatcher.translator(venue_id)
+        state = self._states.get(venue_id)
+        return list(state.results) if state is not None else []
+
+    def viewer_session(self, venue_id: str, device_id: str, **kwargs):
+        """A :class:`~repro.viewer.ViewerSession` over one device's
+        accumulated live results at one venue — the device's windowed
+        translations stitched into a single browsable history."""
+        from ..viewer import ViewerSession
+
+        translator = self.dispatcher.translator(venue_id)
+        return ViewerSession.from_live(
+            translator.model, self.results(venue_id), device_id, **kwargs
+        )
+
+    def finalize(self) -> dict[str, BatchTranslationResult]:
+        """Batch-equivalent cumulative results per venue.
+
+        Re-complements every retained windowed sequence against the
+        venue's *final* cumulative knowledge, on the shared pool.  For a
+        finite, fully-replayed stream the returned batches are exactly —
+        result for result, knowledge bit for bit — what
+        ``Engine.translate_batch`` would produce over the same windowed
+        sequences.  Per-window emissions remain the live (knowledge-as-of
+        -window) view; this is the consolidated one.
+        """
+        if not self.live_config.retain_results:
+            raise ConfigError(
+                "finalize() needs retained results; this service runs "
+                "with LiveConfig(retain_results=False)"
+            )
+        self._ensure_open()
+        finalized: dict[str, BatchTranslationResult] = {}
+        for venue_id in self.dispatcher.venue_ids:
+            state = self._states[venue_id]
+            started = time.perf_counter()
+            sequences = [result.raw for result in state.results]
+            pairs = [
+                (result.cleaning, result.annotation)
+                for result in state.results
+            ]
+            complements = None
+            if state.knowledge is not None:
+                complements = state.engine.complement(
+                    [pair[1].sequence for pair in pairs], state.knowledge
+                )
+            results = assemble_results(sequences, pairs, complements)
+            finalized[venue_id] = BatchTranslationResult(
+                results,
+                state.knowledge,
+                time.perf_counter() - started,
+                None,
+            )
+        return finalized

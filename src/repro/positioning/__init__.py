@@ -40,7 +40,12 @@ from .selector import (
     TemporalRangeRule,
 )
 from .sequence import PositioningSequence
-from .stream import RecordStream, sequence_stream, windowed_sequences
+from .stream import (
+    RecordStream,
+    sequence_stream,
+    windowed_records,
+    windowed_sequences,
+)
 
 __all__ = [
     "CSV_COLUMNS",
@@ -72,6 +77,7 @@ __all__ = [
     "inject_outliers",
     "sequence_stream",
     "subsample",
+    "windowed_records",
     "windowed_sequences",
     "write_csv",
     "write_jsonl",

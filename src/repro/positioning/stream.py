@@ -52,26 +52,35 @@ class RecordStream:
             batch.append(record)
         return batch
 
-    def take_window(self, window_seconds: float) -> list[RawPositioningRecord]:
+    def take_window(
+        self, window_seconds: float, max_records: int | None = None
+    ) -> list[RawPositioningRecord]:
         """Records until the stream's timestamps advance ``window_seconds``.
 
         Assumes the feed is approximately time-ordered, as positioning
         streams are.  The first record beyond the window is pushed back.
+        ``max_records`` additionally bounds the window by count, so a
+        burst of traffic cannot grow one window without limit — the
+        window closes on whichever bound is hit first.
         """
         if window_seconds <= 0:
             raise DataSourceError(
                 f"window must be positive, got {window_seconds}"
             )
+        if max_records is not None and max_records < 1:
+            raise DataSourceError(
+                f"max_records must be >= 1, got {max_records}"
+            )
         batch: list[RawPositioningRecord] = []
         window_start: float | None = None
-        while True:
+        while max_records is None or len(batch) < max_records:
             record = self._next_or_none()
             if record is None:
                 break
             if window_start is None:
                 window_start = record.timestamp
             if record.timestamp - window_start > window_seconds:
-                self._pushed_back.append(record)
+                self._push_back(record)
                 break
             batch.append(record)
         return batch
@@ -91,11 +100,35 @@ class RecordStream:
         self._consumed += 1
         return record
 
+    def _push_back(self, record: RawPositioningRecord) -> None:
+        """Return a record to the stream; it was never really handed out."""
+        self._pushed_back.append(record)
+        self._consumed -= 1
+
+
+def windowed_records(
+    stream: RecordStream,
+    window_seconds: float,
+    max_records: int | None = None,
+) -> Iterator[list[RawPositioningRecord]]:
+    """Yield consecutive raw-record windows until the stream ends.
+
+    Each window is bounded by time (``window_seconds``) and optionally by
+    count (``max_records``) — whichever closes first.  This is the unit
+    the live streaming service translates and folds incrementally.
+    """
+    while True:
+        batch = stream.take_window(window_seconds, max_records=max_records)
+        if not batch:
+            return
+        yield batch
+
 
 def windowed_sequences(
     stream: RecordStream,
     window_seconds: float,
     on_window: Callable[[list[PositioningSequence]], None] | None = None,
+    max_records: int | None = None,
 ) -> Iterator[list[PositioningSequence]]:
     """Yield per-device sequences for each consecutive stream window.
 
@@ -103,10 +136,9 @@ def windowed_sequences(
     device and handed to the caller (or ``on_window``), letting the
     Translator run continuously over a live feed.
     """
-    while True:
-        batch = stream.take_window(window_seconds)
-        if not batch:
-            return
+    for batch in windowed_records(
+        stream, window_seconds, max_records=max_records
+    ):
         sequences = PositioningSequence.group_records(batch)
         if on_window is not None:
             on_window(sequences)
@@ -114,7 +146,9 @@ def windowed_sequences(
 
 
 def sequence_stream(
-    stream: RecordStream, window_seconds: float
+    stream: RecordStream,
+    window_seconds: float,
+    max_records: int | None = None,
 ) -> Iterator[PositioningSequence]:
     """Flatten a windowed stream into one lazy iterator of sequences.
 
@@ -123,8 +157,11 @@ def sequence_stream(
     as the underlying stream is consumed, so ingestion overlaps phase one
     instead of waiting for the whole feed.  Note the engine still retains
     every phase-one result until its knowledge barrier, so the feed must
-    be finite; truly unbounded feeds need per-window translation (see the
-    ROADMAP's async-ingestion item).
+    be finite; truly unbounded feeds need per-window translation — see
+    :meth:`repro.engine.Engine.translate_increment` and
+    :class:`repro.live.LiveTranslationService`.
     """
-    for window in windowed_sequences(stream, window_seconds):
+    for window in windowed_sequences(
+        stream, window_seconds, max_records=max_records
+    ):
         yield from window

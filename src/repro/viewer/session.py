@@ -10,6 +10,7 @@ timeline to play "an animated, semantics-enriched movement".
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
 from ..core.translator import TranslationResult
 from ..dsm import DigitalSpaceModel
@@ -60,6 +61,37 @@ class ViewerSession:
         )
         self.current_floor = model.floor_numbers[0]
         self._selected_index: int | None = None
+
+    @classmethod
+    def from_live(
+        cls,
+        model: DigitalSpaceModel,
+        results: Iterable[TranslationResult],
+        device_id: str,
+        ground_truth: PositioningSequence | None = None,
+        policy: DisplayPointPolicy = DisplayPointPolicy.TEMPORALLY_MIDDLE,
+        scale: float = 6.0,
+    ) -> "ViewerSession":
+        """A session over one device's accumulated live results.
+
+        The live streaming service emits one result per device per
+        window; this constructor stitches the device's windows (in
+        arrival order) back into a single browsable translation, so the
+        viewer shows the device's full history even while the stream is
+        still being translated.  ``results`` is any iterable of
+        translation results — a venue's retained live results, one
+        finalized batch, or a plain list.
+        """
+        from ..live.merge import merge_device_results
+
+        merged = merge_device_results(results, device_id)
+        return cls(
+            model,
+            merged,
+            ground_truth=ground_truth,
+            policy=policy,
+            scale=scale,
+        )
 
     # ------------------------------------------------------------------
     # Navigation

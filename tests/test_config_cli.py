@@ -188,6 +188,43 @@ class TestCli:
         payload = json.loads(outputs[0].read_text())
         assert "semantics" in payload
 
+    def test_serve_replays_task_configs_as_live_feeds(
+        self, task_workspace, tmp_path, capsys
+    ):
+        """`trips serve` drives the live streaming service: per-window
+        progress, cumulative stats, finalized per-device exports — one
+        venue per config (here the same config twice under two ids)."""
+        _, _, config_path = task_workspace
+        out = tmp_path / "served"
+        code = cli_main(
+            [
+                "serve",
+                f"north={config_path}",
+                f"south={config_path}",
+                "--window-seconds", "7200",
+                "--backend", "threads",
+                "--workers", "2",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "window" in captured
+        assert "finalized north:" in captured
+        assert "finalized south:" in captured
+        north = list((out / "north").glob("*.json"))
+        south = list((out / "south").glob("*.json"))
+        assert len(north) == len(south) > 0
+        payload = json.loads(north[0].read_text())
+        assert "semantics" in payload
+
+    def test_serve_rejects_duplicate_venue_ids(self, task_workspace, capsys):
+        _, _, config_path = task_workspace
+        assert cli_main(
+            ["serve", f"v={config_path}", f"v={config_path}"]
+        ) == 1
+        assert "duplicate venue" in capsys.readouterr().err
+
     def test_translate_knowledge_build_flag(
         self, task_workspace, tmp_path, capsys
     ):

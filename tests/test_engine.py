@@ -22,13 +22,15 @@ from repro.engine import (
     Engine,
     EngineConfig,
     SerialBackend,
+    SharedValue,
     ThreadBackend,
     create_backend,
     iter_chunks,
     partition,
+    resolve_shared,
 )
 from repro.errors import AnnotationError, ConfigError
-from repro.positioning import RecordStream, sequence_stream
+from repro.positioning import RecordStream, sequence_stream, windowed_sequences
 
 from .conftest import make_two_shop_dsm, stationary_sequence, walk_sequence
 
@@ -269,6 +271,236 @@ def test_sharded_streaming_duplicate_devices(shop_translator):
     assert hit.raw.records[0].timestamp == records[0].timestamp
     # The shared knowledge saw both windows.
     assert sharded.knowledge.sequences_seen == 2
+
+
+# ----------------------------------------------------------------------
+# Incremental window translation (the live service's unit of work)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("strategy", KNOWLEDGE_BUILDS)
+def test_translate_increment_folds_to_batch_knowledge(
+    shop_translator, shop_sequences, shop_serial, strategy
+):
+    """Folding every window's shard reproduces the one-shot batch
+    knowledge bit for bit, under either barrier strategy."""
+    engine = Engine(
+        shop_translator,
+        EngineConfig(chunk_size=2, knowledge_build=strategy),
+    )
+    knowledge = None
+    window_results = []
+    for start in range(0, len(shop_sequences), 2):
+        window = shop_sequences[start : start + 2]
+        batch, knowledge = engine.translate_increment(window, knowledge)
+        window_results.extend(batch.results)
+    assert knowledge == shop_serial.knowledge
+    assert [r.device_id for r in window_results] == [
+        r.device_id for r in shop_serial.results
+    ]
+    # Re-complementing against the final knowledge reproduces the batch.
+    complements = engine.complement(
+        [r.annotation.sequence for r in window_results], knowledge
+    )
+    assert complements == [r.complement for r in shop_serial.results]
+
+
+def test_translate_increment_windowed_stream(shop_translator):
+    """Increment-per-window over a RecordStream equals translate_stream
+    over the same windowed sequences (results aside from complements
+    computed against partial knowledge, which finalize reconciles)."""
+    records = sorted(
+        (
+            r
+            for i in range(3)
+            for r in stationary_sequence(
+                f"s-{i}", at=(5.0, 15.0, 1), seed=i, start=200.0 * i
+            ).records
+        ),
+        key=lambda r: (r.timestamp, r.device_id),
+    )
+    engine = Engine(shop_translator, EngineConfig(chunk_size=2))
+    knowledge = None
+    count = 0
+    for window in windowed_sequences(RecordStream(iter(records)), 100.0):
+        batch, knowledge = engine.translate_increment(window, knowledge)
+        count += len(batch)
+    reference = engine.translate_stream(
+        sequence_stream(RecordStream(iter(records)), 100.0)
+    )
+    assert count == len(reference)
+    assert knowledge == reference.knowledge
+
+
+def test_translate_increment_complementing_disabled(shop_sequences):
+    from repro.core import TranslatorConfig
+
+    translator = Translator(
+        make_two_shop_dsm(),
+        config=TranslatorConfig(enable_complementing=False),
+    )
+    engine = Engine(translator, EngineConfig())
+    batch, knowledge = engine.translate_increment(shop_sequences[:2])
+    assert knowledge is None
+    assert batch.knowledge is None
+    assert all(r.complement is None for r in batch)
+
+
+# ----------------------------------------------------------------------
+# Shared backends and warm pools
+# ----------------------------------------------------------------------
+def test_engines_share_one_backend(shop_translator, shop_sequences, shop_serial):
+    """Two engines (venue keys) interleave batches on one open pool."""
+    backend = create_backend("threads", workers=2)
+    backend.open({"east": shop_translator, "west": shop_translator})
+    try:
+        east = Engine(
+            shop_translator,
+            EngineConfig(chunk_size=2),
+            backend=backend,
+            context_key="east",
+        )
+        west = Engine(
+            shop_translator,
+            EngineConfig(chunk_size=3),
+            backend=backend,
+            context_key="west",
+        )
+        first = east.translate_batch(shop_sequences)
+        second = west.translate_batch(shop_sequences)
+        third = east.translate_batch(shop_sequences)
+    finally:
+        backend.close()
+    for batch in (first, second, third):
+        assert batch.results == shop_serial.results
+        assert batch.knowledge == shop_serial.knowledge
+    assert first.stats.backend == "threads"
+
+
+def test_process_pool_stays_warm_across_phases(shop_translator, shop_sequences):
+    """The phase-two barrier must not restart the process pool: the
+    translator ships once at open, only the knowledge travels after."""
+    backend = create_backend("processes", workers=2)
+    backend.open({"default": shop_translator})
+    try:
+        pool = backend._pool
+        assert pool is not None
+        engine = Engine(
+            shop_translator, EngineConfig(chunk_size=2), backend=backend
+        )
+        batch = engine.translate_batch(shop_sequences)
+        assert batch.knowledge is not None  # phase two actually ran
+        assert backend._pool is pool  # same pool object: never restarted
+        again = engine.translate_batch(shop_sequences)
+        assert backend._pool is pool
+        assert again.results == batch.results
+    finally:
+        backend.close()
+
+
+@pytest.mark.parametrize("backend_name", ["serial", "threads"])
+def test_share_and_release_inproc(backend_name):
+    backend = create_backend(backend_name, workers=2)
+    backend.open(None)
+    token = backend.share({"answer": 42})
+    assert isinstance(token, SharedValue)
+    assert token.kind == "inproc"
+    assert resolve_shared(token) == {"answer": 42}
+    backend.release(token)
+    with pytest.raises(ConfigError):
+        resolve_shared(token)
+    backend.close()
+
+
+def test_close_releases_outstanding_tokens():
+    backend = create_backend("serial")
+    backend.open(None)
+    token = backend.share("value")
+    backend.close()
+    with pytest.raises(ConfigError):
+        resolve_shared(token)
+
+
+def test_share_pickled_resolves_and_caches():
+    backend = create_backend("processes", workers=1)
+    token = backend.share({"k": [1, 2, 3]})
+    assert token.kind == "pickled"
+    first = resolve_shared(token)
+    assert first == {"k": [1, 2, 3]}
+    # Cached per generation: same object back on the second resolve.
+    assert resolve_shared(token) is first
+    backend.release(token)  # no-op, must not raise
+
+
+# ----------------------------------------------------------------------
+# Phase-one cache
+# ----------------------------------------------------------------------
+def _counting_translator(counter):
+    translator = Translator(make_two_shop_dsm())
+    original = translator.clean_and_annotate
+
+    def counted(sequence):
+        counter.append(sequence.device_id)
+        return original(sequence)
+
+    translator.clean_and_annotate = counted
+    return translator
+
+
+@pytest.mark.parametrize("strategy", KNOWLEDGE_BUILDS)
+def test_phase_one_cache_skips_repeat_work(
+    shop_sequences, shop_serial, strategy
+):
+    calls: list[str] = []
+    translator = _counting_translator(calls)
+    engine = Engine(
+        translator,
+        EngineConfig(
+            chunk_size=2, knowledge_build=strategy, phase_one_cache=32
+        ),
+    )
+    first = engine.translate_batch(shop_sequences)
+    assert len(calls) == len(shop_sequences)
+    second = engine.translate_batch(shop_sequences)
+    assert len(calls) == len(shop_sequences)  # all hits: no new phase one
+    assert first.results == second.results == shop_serial.results
+    assert first.knowledge == second.knowledge == shop_serial.knowledge
+
+
+def test_phase_one_cache_partial_hits(shop_sequences, shop_serial):
+    calls: list[str] = []
+    translator = _counting_translator(calls)
+    engine = Engine(
+        translator, EngineConfig(chunk_size=3, phase_one_cache=32)
+    )
+    engine.translate_batch(shop_sequences[:4])
+    assert len(calls) == 4
+    batch = engine.translate_batch(shop_sequences)
+    assert len(calls) == len(shop_sequences)  # only the 3 new sequences
+    assert batch.results == shop_serial.results
+    assert batch.knowledge == shop_serial.knowledge
+
+
+def test_phase_one_cache_evicts_lru(shop_sequences):
+    calls: list[str] = []
+    translator = _counting_translator(calls)
+    engine = Engine(
+        translator, EngineConfig(chunk_size=2, phase_one_cache=2)
+    )
+    engine.translate_batch(shop_sequences)
+    before = len(calls)
+    engine.translate_batch(shop_sequences[-2:])  # the two still cached
+    assert len(calls) == before
+    engine.translate_batch(shop_sequences[:2])  # evicted: recomputed
+    assert len(calls) == before + 2
+
+
+def test_phase_one_cache_off_by_default(shop_sequences):
+    calls: list[str] = []
+    translator = _counting_translator(calls)
+    engine = Engine(translator, EngineConfig(chunk_size=2))
+    engine.translate_batch(shop_sequences[:2])
+    engine.translate_batch(shop_sequences[:2])
+    assert len(calls) == 4
+    assert engine._phase_one_cache is None
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,456 @@
+"""The live streaming translation service.
+
+The service's contract mirrors the engine's: *live* means windowed and
+incremental, never approximate.  Replaying a finite stream — any window
+size, any backend, tagged or router-dispatched feeds — must, after
+``finalize()``, reproduce exactly what ``Engine.translate_batch`` returns
+over the same windowed sequences, knowledge bit for bit; and multi-
+building dispatch must route every sequence to the correct venue
+translator while all venues share one worker pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core import Translator
+from repro.engine import BACKENDS, Engine, EngineConfig
+from repro.errors import ConfigError, DispatchError, ViewerError
+from repro.live import (
+    LiveConfig,
+    LiveTranslationService,
+    VenueDispatcher,
+    merge_device_results,
+    prefix_router,
+)
+from repro.positioning import (
+    RecordStream,
+    sequence_stream,
+    windowed_records,
+)
+from repro.viewer import ViewerSession
+
+from .conftest import make_two_shop_dsm, stationary_sequence, walk_sequence
+
+ALL_BACKENDS = sorted(BACKENDS)
+
+
+def shop_records(prefix: str = "", start: float = 0.0):
+    """A few shop dwellers and hall walkers, as one time-sorted feed."""
+    sequences = []
+    for i in range(3):
+        sequences.append(
+            stationary_sequence(
+                f"{prefix}dwell-{i}",
+                at=(5.0 if i % 2 == 0 else 15.0, 15.0, 1),
+                seed=i,
+                start=start + 120.0 * i,
+            )
+        )
+    for i in range(2):
+        sequences.append(
+            walk_sequence(f"{prefix}walk-{i}", start=start + 60.0 * i)
+        )
+    records = [r for s in sequences for r in s.records]
+    return sorted(records, key=lambda r: (r.timestamp, r.device_id))
+
+
+def reference_batches(records_by_venue, translators, window_seconds, **engine):
+    """Per-venue one-shot batches over the same windowed sequence split."""
+    references = {}
+    for venue_id, records in records_by_venue.items():
+        sequences = list(
+            sequence_stream(RecordStream(iter(records)), window_seconds)
+        )
+        references[venue_id] = Engine(
+            translators[venue_id], EngineConfig(**engine)
+        ).translate_batch(sequences)
+    return references
+
+
+@pytest.fixture()
+def two_venues():
+    return {
+        "east": Translator(make_two_shop_dsm()),
+        "west": Translator(make_two_shop_dsm()),
+    }
+
+
+# ----------------------------------------------------------------------
+# Dispatcher
+# ----------------------------------------------------------------------
+def test_dispatcher_single_venue_routes_everything(two_venues):
+    dispatcher = VenueDispatcher({"east": two_venues["east"]})
+    assert dispatcher.route(shop_records()[0]) == "east"
+
+
+def test_dispatcher_prefix_routing(two_venues):
+    dispatcher = VenueDispatcher(two_venues)
+    east = shop_records("east:")[0]
+    west = shop_records("west:")[0]
+    assert dispatcher.route(east) == "east"
+    assert dispatcher.route(west) == "west"
+    unprefixed = shop_records()[0]
+    with pytest.raises(DispatchError):
+        dispatcher.route(unprefixed)
+    unknown = replace(unprefixed, device_id="mars:rover")
+    with pytest.raises(DispatchError):
+        dispatcher.route(unknown)
+
+
+def test_dispatcher_custom_router(two_venues):
+    dispatcher = VenueDispatcher(
+        two_venues,
+        router=lambda record: "east" if record.timestamp < 100 else "west",
+    )
+    records = shop_records()
+    split = dispatcher.split(records)
+    assert list(split) == sorted(split)
+    assert sum(len(v) for v in split.values()) == len(records)
+    assert split["east"] == [r for r in records if r.timestamp < 100]
+    assert split["west"] == [r for r in records if r.timestamp >= 100]
+
+
+def test_dispatcher_requires_venues():
+    with pytest.raises(DispatchError):
+        VenueDispatcher({})
+    dispatcher = VenueDispatcher({"east": Translator(make_two_shop_dsm())})
+    with pytest.raises(DispatchError):
+        dispatcher.translator("west")
+
+
+def test_prefix_router_custom_separator():
+    route = prefix_router("/")
+    record = replace(shop_records()[0], device_id="mall/dev-1")
+    assert route(record) == "mall"
+
+
+# ----------------------------------------------------------------------
+# Equivalence: live replay + finalize == one-shot batch
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
+@pytest.mark.parametrize("window_seconds", [40.0, 150.0, 10_000.0])
+def test_live_matches_batch_any_window_any_backend(
+    two_venues, backend, window_seconds
+):
+    """The acceptance invariant: any window size, any backend."""
+    records = {"east": shop_records(), "west": shop_records(start=37.0)}
+    service = LiveTranslationService(
+        two_venues,
+        EngineConfig(backend=backend, workers=2, chunk_size=2),
+        LiveConfig(window_seconds=window_seconds),
+    )
+    with service:
+        for venue_id, venue_records in records.items():
+            service.run_stream(
+                RecordStream(iter(venue_records)), venue_id=venue_id
+            )
+        finalized = service.finalize()
+    references = reference_batches(
+        records, two_venues, window_seconds, chunk_size=2
+    )
+    for venue_id, reference in references.items():
+        assert finalized[venue_id].results == reference.results
+        assert finalized[venue_id].knowledge == reference.knowledge
+
+
+def test_async_serve_matches_sync_replay(two_venues):
+    """The asyncio front-end (tagged feeds, bounded queue) produces the
+    same finalized output as the synchronous driver."""
+    records = {"east": shop_records(), "west": shop_records(start=11.0)}
+    window_seconds = 60.0
+    emitted = []
+    service = LiveTranslationService(
+        two_venues,
+        EngineConfig(backend="threads", workers=2, chunk_size=2),
+        LiveConfig(window_seconds=window_seconds, max_pending_windows=1),
+    )
+    with service:
+        stats = service.serve(
+            {v: RecordStream(iter(r)) for v, r in records.items()},
+            on_window=emitted.append,
+        )
+        finalized = service.finalize()
+    assert stats.windows == len(emitted) > 2
+    assert stats.records == sum(len(r) for r in records.values())
+    references = reference_batches(
+        records, two_venues, window_seconds, chunk_size=2
+    )
+    for venue_id, reference in references.items():
+        assert finalized[venue_id].results == reference.results
+        assert finalized[venue_id].knowledge == reference.knowledge
+
+
+def test_mixed_feed_routes_by_prefix(two_venues):
+    """One untagged feed, records interleaved across venues: dispatch
+    must deliver every sequence to the right venue translator."""
+    east = shop_records("east:")
+    west = shop_records("west:", start=13.0)
+    mixed = sorted(east + west, key=lambda r: (r.timestamp, r.device_id))
+    window_seconds = 75.0
+    service = LiveTranslationService(
+        two_venues,
+        EngineConfig(chunk_size=3),
+        LiveConfig(window_seconds=window_seconds),
+    )
+    with service:
+        service.run_stream(RecordStream(iter(mixed)))
+        finalized = service.finalize()
+    for venue_id, batch in finalized.items():
+        assert len(batch) > 0
+        assert all(
+            result.device_id.startswith(f"{venue_id}:") for result in batch
+        )
+    # Equivalence holds per venue over the *mixed-feed* windowing: cut the
+    # shared windows first, then split each window per venue.
+    per_venue: dict[str, list] = {"east": [], "west": []}
+    from repro.positioning import PositioningSequence
+
+    for window in windowed_records(RecordStream(iter(mixed)), window_seconds):
+        split: dict[str, list] = {}
+        for record in window:
+            split.setdefault(record.device_id.split(":")[0], []).append(record)
+        for venue_id in sorted(split):
+            per_venue[venue_id].extend(
+                PositioningSequence.group_records(split[venue_id])
+            )
+    for venue_id, sequences in per_venue.items():
+        reference = Engine(
+            two_venues[venue_id], EngineConfig(chunk_size=3)
+        ).translate_batch(sequences)
+        assert finalized[venue_id].results == reference.results
+        assert finalized[venue_id].knowledge == reference.knowledge
+
+
+def test_live_on_simulated_mall(mall3, population):
+    """The acceptance benchmark venue: simulated mall crowd replayed
+    through the live service reproduces the one-shot batch."""
+    translator = Translator(mall3)
+    records = sorted(
+        (r for device in population for r in device.raw),
+        key=lambda r: (r.timestamp, r.device_id),
+    )
+    window_seconds = 3600.0
+    service = LiveTranslationService(
+        {"mall": translator},
+        EngineConfig(backend="threads", workers=2, chunk_size=4),
+        LiveConfig(window_seconds=window_seconds),
+    )
+    with service:
+        service.run_stream(RecordStream(iter(records)), venue_id="mall")
+        finalized = service.finalize()
+    sequences = list(
+        sequence_stream(RecordStream(iter(records)), window_seconds)
+    )
+    reference = Engine(translator, EngineConfig(chunk_size=4)).translate_batch(
+        sequences
+    )
+    assert finalized["mall"].results == reference.results
+    assert finalized["mall"].knowledge == reference.knowledge
+
+
+# ----------------------------------------------------------------------
+# Incremental fold semantics
+# ----------------------------------------------------------------------
+def test_knowledge_folds_monotonically(two_venues):
+    service = LiveTranslationService(
+        {"east": two_venues["east"]}, EngineConfig(), LiveConfig()
+    )
+    seen = []
+    with service:
+        for window in windowed_records(
+            RecordStream(iter(shop_records())), 60.0
+        ):
+            service.process_window(window, venue_id="east")
+            seen.append(service.knowledge("east").sequences_seen)
+    assert seen == sorted(seen)
+    assert seen[-1] > seen[0]
+    assert service.stats.venues["east"].knowledge_sequences == seen[-1]
+
+
+def test_per_window_results_are_live_view(two_venues):
+    """Per-window emissions complement against knowledge-as-of-window:
+    the window batches alias the venue's evolving knowledge object."""
+    service = LiveTranslationService(
+        {"east": two_venues["east"]}, EngineConfig(), LiveConfig()
+    )
+    with service:
+        windows = [
+            service.process_window(window, venue_id="east")
+            for window in windowed_records(
+                RecordStream(iter(shop_records())), 60.0
+            )
+        ]
+    assert len(windows) > 1
+    for window in windows:
+        assert window.venues["east"].knowledge is service.knowledge("east")
+        assert window.sequences == len(window.venues["east"])
+        assert window.semantics == window.venues["east"].total_semantics
+
+
+def test_stats_accumulate(two_venues):
+    records = shop_records()
+    service = LiveTranslationService(
+        {"east": two_venues["east"]},
+        EngineConfig(),
+        LiveConfig(window_seconds=60.0),
+    )
+    with service:
+        stats = service.run_stream(
+            RecordStream(iter(records)), venue_id="east"
+        )
+    assert stats.records == len(records)
+    assert stats.windows == stats.venues["east"].windows > 1
+    assert stats.sequences == stats.venues["east"].sequences
+    assert stats.semantics == stats.venues["east"].semantics > 0
+    assert stats.elapsed_seconds > 0
+    assert stats.windows_per_second > 0
+    assert stats.records_per_second > 0
+    assert "east" in stats.format_table()
+
+
+def test_empty_window_is_a_noop(two_venues):
+    service = LiveTranslationService(
+        {"east": two_venues["east"]}, EngineConfig(), LiveConfig()
+    )
+    with service:
+        window = service.process_window([], venue_id="east")
+    assert window.venues == {}
+    assert window.records == 0
+    assert service.stats.windows == 1
+    assert service.stats.records == 0
+
+
+def test_unbounded_mode_drops_results_but_keeps_knowledge(two_venues):
+    service = LiveTranslationService(
+        {"east": two_venues["east"]},
+        EngineConfig(),
+        LiveConfig(window_seconds=60.0, retain_results=False),
+    )
+    with service:
+        service.run_stream(RecordStream(iter(shop_records())), venue_id="east")
+        assert service.results("east") == []
+        assert service.knowledge("east").sequences_seen > 0
+        with pytest.raises(ConfigError):
+            service.finalize()
+
+
+def test_serve_failing_feed_stops_siblings(two_venues):
+    """A feed whose iterator dies mid-stream surfaces its error without
+    deadlocking the other feed's producer against the bounded queue."""
+
+    class Boom(RuntimeError):
+        pass
+
+    def broken():
+        yield from shop_records()[:20]
+        raise Boom("feed died")
+
+    service = LiveTranslationService(
+        two_venues,
+        EngineConfig(),
+        LiveConfig(window_seconds=30.0, max_pending_windows=1),
+    )
+    with service:
+        with pytest.raises(Boom):
+            service.serve(
+                {
+                    "east": RecordStream(broken()),
+                    "west": RecordStream(iter(shop_records(start=5.0))),
+                }
+            )
+    # Whatever was translated before the failure is still accounted for.
+    assert service.stats.windows >= 1
+
+
+def test_serve_unroutable_record_fails_loudly(two_venues):
+    """A consumer failure surfaces instead of deadlocking the producers
+    against a full ingestion queue."""
+    service = LiveTranslationService(
+        two_venues,
+        EngineConfig(),
+        LiveConfig(window_seconds=60.0, max_pending_windows=1),
+    )
+    with service:
+        with pytest.raises(DispatchError):
+            service.serve(RecordStream(iter(shop_records())))
+
+
+def test_live_config_validation():
+    with pytest.raises(ConfigError):
+        LiveConfig(window_seconds=0.0)
+    with pytest.raises(ConfigError):
+        LiveConfig(max_window_records=0)
+    with pytest.raises(ConfigError):
+        LiveConfig(max_pending_windows=0)
+
+
+def test_single_translator_shorthand():
+    translator = Translator(make_two_shop_dsm())
+    service = LiveTranslationService(translator)
+    with service:
+        service.run_stream(RecordStream(iter(shop_records())))
+        finalized = service.finalize()
+    assert set(finalized) == {"default"}
+    assert len(finalized["default"]) > 0
+
+
+# ----------------------------------------------------------------------
+# Viewer over accumulating live results
+# ----------------------------------------------------------------------
+def test_viewer_session_from_live_merges_windows(two_venues):
+    service = LiveTranslationService(
+        {"east": two_venues["east"]},
+        EngineConfig(),
+        LiveConfig(window_seconds=60.0),
+    )
+    with service:
+        service.run_stream(RecordStream(iter(shop_records())), venue_id="east")
+        results = service.results("east")
+        session = service.viewer_session("east", "dwell-0")
+    windows = [r for r in results if r.device_id == "dwell-0"]
+    assert len(windows) > 1
+    merged = session.result
+    assert merged.device_id == "dwell-0"
+    assert len(merged.raw) == sum(len(w.raw) for w in windows)
+    assert len(merged.semantics) == sum(len(w.semantics) for w in windows)
+    assert merged.cleaning.report.total_records == len(merged.raw)
+    # The merged session renders and animates like any other.
+    assert len(session.animate(step_seconds=30.0)) > 0
+    assert session.render() is not None
+
+
+def test_merge_device_results_offsets_report_indexes(two_venues):
+    service = LiveTranslationService(
+        {"east": two_venues["east"]},
+        EngineConfig(),
+        LiveConfig(window_seconds=60.0),
+    )
+    with service:
+        service.run_stream(RecordStream(iter(shop_records())), venue_id="east")
+        results = service.results("east")
+    merged = merge_device_results(results, "walk-0")
+    windows = [r for r in results if r.device_id == "walk-0"]
+    assert merged.cleaning.report.total_records == sum(
+        w.cleaning.report.total_records for w in windows
+    )
+    assert all(
+        0 <= i < len(merged.raw)
+        for i in merged.cleaning.report.invalid_indexes
+    )
+    assert len(merged.annotation.snippets) == sum(
+        len(w.annotation.snippets) for w in windows
+    )
+    with pytest.raises(ViewerError):
+        merge_device_results(results, "no-such-device")
+
+
+def test_from_live_single_window_passthrough(two_venues):
+    translator = two_venues["east"]
+    batch = translator.translate_batch([stationary_sequence("solo")])
+    session = ViewerSession.from_live(
+        translator.model, batch.results, "solo"
+    )
+    assert session.result is batch.results[0]

@@ -1,0 +1,182 @@
+"""RecordStream windowing: the live service's ingestion substrate.
+
+Direct coverage of ``take``/``take_window``/``windowed_sequences``/
+``sequence_stream`` edge cases — empty windows, out-of-order timestamps,
+single-record devices, count bounds, push-back accounting — which the
+engine/live tests only exercise indirectly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DataSourceError
+from repro.geometry import Point
+from repro.positioning import (
+    PositioningSequence,
+    RawPositioningRecord,
+    RecordStream,
+    sequence_stream,
+    windowed_records,
+    windowed_sequences,
+)
+
+
+def record(timestamp: float, device: str = "dev") -> RawPositioningRecord:
+    return RawPositioningRecord(timestamp, device, Point(1.0, 1.0, 1))
+
+
+def feed(*timestamps_and_devices) -> RecordStream:
+    records = [
+        record(ts, dev) if isinstance(dev, str) else record(ts)
+        for ts, dev in timestamps_and_devices
+    ]
+    return RecordStream(iter(records))
+
+
+# ----------------------------------------------------------------------
+# take / take_window
+# ----------------------------------------------------------------------
+def test_take_bounds_and_exhaustion():
+    stream = feed((0, "a"), (1, "a"), (2, "a"))
+    assert len(stream.take(2)) == 2
+    assert len(stream.take(5)) == 1  # fewer when the stream ends
+    assert stream.take(5) == []
+    with pytest.raises(DataSourceError):
+        stream.take(-1)
+
+
+def test_take_window_cuts_on_time():
+    stream = feed((0, "a"), (5, "a"), (11, "a"), (12, "a"))
+    first = stream.take_window(10.0)
+    assert [r.timestamp for r in first] == [0, 5]
+    second = stream.take_window(10.0)
+    assert [r.timestamp for r in second] == [11, 12]
+    assert stream.take_window(10.0) == []
+
+
+def test_take_window_rejects_bad_bounds():
+    stream = feed((0, "a"))
+    with pytest.raises(DataSourceError):
+        stream.take_window(0.0)
+    with pytest.raises(DataSourceError):
+        stream.take_window(10.0, max_records=0)
+
+
+def test_take_window_count_bound_closes_first():
+    """A traffic burst cannot grow one window past max_records."""
+    stream = feed(*((t, "a") for t in range(10)))
+    first = stream.take_window(100.0, max_records=4)
+    assert [r.timestamp for r in first] == [0, 1, 2, 3]
+    second = stream.take_window(100.0, max_records=4)
+    assert [r.timestamp for r in second] == [4, 5, 6, 7]
+    assert len(stream.take_window(100.0, max_records=4)) == 2
+
+
+def test_take_window_pushback_does_not_lose_or_recount():
+    """The record that closed a window is the next window's first, and
+    ``consumed`` counts it exactly once."""
+    stream = feed((0, "a"), (20, "a"), (21, "a"))
+    first = stream.take_window(10.0)
+    assert [r.timestamp for r in first] == [0]
+    assert stream.consumed == 1  # the pushed-back record is not "handed out"
+    second = stream.take_window(10.0)
+    assert [r.timestamp for r in second] == [20, 21]
+    assert stream.consumed == 3
+
+
+def test_take_window_out_of_order_timestamps_stay_in_window():
+    """A late (out-of-order) record never closes the window: the cut
+    compares against the window *start*, so a timestamp below it simply
+    lands in the current window."""
+    stream = feed((100, "a"), (95, "a"), (104, "a"), (120, "a"))
+    window = stream.take_window(10.0)
+    assert [r.timestamp for r in window] == [100, 95, 104]
+    assert [r.timestamp for r in stream.take_window(10.0)] == [120]
+
+
+def test_empty_stream_yields_no_windows():
+    stream = RecordStream(iter([]))
+    assert stream.take_window(10.0) == []
+    assert list(windowed_records(stream, 10.0)) == []
+    assert list(windowed_sequences(RecordStream(iter([])), 10.0)) == []
+    assert list(sequence_stream(RecordStream(iter([])), 10.0)) == []
+
+
+# ----------------------------------------------------------------------
+# windowed_records / windowed_sequences / sequence_stream
+# ----------------------------------------------------------------------
+def test_windowed_records_honours_both_bounds():
+    stream = feed(*((t, "a") for t in (0, 1, 2, 30, 31, 32, 33)))
+    windows = list(windowed_records(stream, 10.0, max_records=3))
+    assert [[r.timestamp for r in w] for w in windows] == [
+        [0, 1, 2],
+        [30, 31, 32],
+        [33],
+    ]
+
+
+def test_windowed_sequences_groups_per_device_per_window():
+    stream = feed((0, "b"), (1, "a"), (2, "b"), (50, "a"))
+    windows = list(windowed_sequences(stream, 10.0))
+    assert len(windows) == 2
+    first, second = windows
+    # Device order inside a window is sorted (deterministic batches).
+    assert [s.device_id for s in first] == ["a", "b"]
+    assert len(first[1]) == 2
+    # A device spanning two windows yields one sequence per window.
+    assert [s.device_id for s in second] == ["a"]
+    assert len(second[0]) == 1  # single-record device window
+
+
+def test_windowed_sequences_single_record_device():
+    stream = feed((0, "solo"))
+    windows = list(windowed_sequences(stream, 10.0))
+    assert len(windows) == 1
+    (sequence,) = windows[0]
+    assert isinstance(sequence, PositioningSequence)
+    assert sequence.device_id == "solo"
+    assert len(sequence) == 1
+    assert sequence.duration == 0.0
+
+
+def test_windowed_sequences_on_window_callback():
+    stream = feed((0, "a"), (50, "a"))
+    seen: list[int] = []
+    windows = list(
+        windowed_sequences(stream, 10.0, on_window=lambda w: seen.append(len(w)))
+    )
+    assert seen == [1, 1]
+    assert len(windows) == 2
+
+
+def test_sequence_stream_flattens_lazily():
+    pulled: list[float] = []
+
+    def source():
+        for t in (0.0, 1.0, 50.0, 51.0):
+            pulled.append(t)
+            yield record(t)
+
+    stream = RecordStream(source())
+    sequences = sequence_stream(stream, 10.0)
+    first = next(sequences)
+    assert first.device_id == "dev"
+    # Only the first window (plus the closing record) has been pulled.
+    assert pulled == [0.0, 1.0, 50.0]
+    rest = list(sequences)
+    assert len(rest) == 1
+    assert pulled == [0.0, 1.0, 50.0, 51.0]
+
+
+def test_sequence_stream_respects_max_records():
+    stream = feed(*((t, "a") for t in range(6)))
+    sequences = list(sequence_stream(stream, 100.0, max_records=2))
+    assert [len(s) for s in sequences] == [2, 2, 2]
+
+
+def test_iter_records_and_drain():
+    stream = feed((0, "a"), (1, "a"), (2, "a"))
+    stream.take(1)
+    assert [r.timestamp for r in stream.drain()] == [1, 2]
+    assert stream.consumed == 3
