@@ -1,0 +1,162 @@
+"""Knowledge aging — fold+retire vs rebuild-from-retained-epochs.
+
+A sliding-window prior can be maintained two ways: the
+:class:`~repro.knowledge.KnowledgeStore` way (fold the new epoch's shard,
+*subtract* the expired epoch's shard — O(#regions + #edges) per roll), or
+the naive way (keep the ring of shards and rebuild the knowledge with
+``MobilityKnowledge.from_partials`` every roll — O(window × edges)).
+Both are exact, so this bench first asserts they produce bit-for-bit
+identical knowledge at every single epoch roll — the "retiring an epoch
+== never having folded it" guarantee — then reports sustained epoch-roll
+throughput for each strategy and the fold+retire speedup.
+
+Epochs here are the mall population's ingestion windows, translated once
+up front and cycled to a few hundred rolls, so the bench measures the
+lifecycle algebra itself rather than translation.
+
+The run also writes a JSON summary (``TRIPS_BENCH_AGING_JSON`` env var,
+default ``bench-knowledge-aging.json`` in the working directory) so CI
+can archive the numbers as an artifact and trend them across commits.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from collections import deque
+from pathlib import Path
+
+import pytest
+
+from repro.core import Translator
+from repro.core.complementing import MobilityKnowledge
+from repro.engine import Engine, EngineConfig
+from repro.knowledge import KnowledgeStore
+from repro.positioning import RecordStream, sequence_stream
+from repro.simulation import BROWSER, SHOPPER, MobilitySimulator
+from repro.timeutil import HOUR, TimeRange
+
+from .conftest import print_table
+
+WINDOW_SECONDS = 1800.0
+EPOCH_ROLLS = 240
+WINDOW_EPOCHS = (4, 16)
+_ROWS: list[list] = []
+_SUMMARY: list[dict] = []
+
+
+@pytest.fixture(scope="module")
+def epoch_shards(mall3):
+    """Per-ingestion-window PartialKnowledge shards of a mall day."""
+    translator = Translator(mall3)
+    simulator = MobilitySimulator(mall3, seed=71)
+    devices = simulator.simulate_population(
+        count=12,
+        profiles=[SHOPPER, BROWSER],
+        window=TimeRange(9 * HOUR, 19 * HOUR),
+        seed=71,
+    )
+    records = sorted(
+        (record for device in devices for record in device.raw),
+        key=lambda record: (record.timestamp, record.device_id),
+    )
+    engine = Engine(translator, EngineConfig(chunk_size=4))
+    shards = []
+    for window in sequence_stream(
+        RecordStream(iter(records)), WINDOW_SECONDS
+    ):
+        store = engine.make_store()
+        engine.translate_increment([window], store=store)
+        shards.append(store.to_partial())
+    assert len(shards) > 3
+    return translator, shards
+
+
+@pytest.mark.parametrize("max_epochs", WINDOW_EPOCHS)
+def test_fold_retire_vs_rebuild(benchmark, epoch_shards, max_epochs):
+    translator, shards = epoch_shards
+    regions = translator.knowledge_regions()
+    smoothing = translator.config.knowledge_smoothing
+    rolls = [shards[i % len(shards)] for i in range(EPOCH_ROLLS)]
+
+    # Correctness first: fold+retire equals rebuild-from-retained-epochs
+    # at *every* roll, bit for bit.
+    store = KnowledgeStore(
+        regions, smoothing=smoothing, retention=f"window:{max_epochs}"
+    )
+    ring: deque = deque(maxlen=max_epochs)
+    for shard in rolls:
+        store.fold(shard)
+        store.roll()
+        ring.append(shard)
+        rebuilt = MobilityKnowledge.from_partials(
+            list(ring), regions=regions, smoothing=smoothing
+        )
+        assert store.knowledge == rebuilt
+
+    def fold_and_retire() -> float:
+        store = KnowledgeStore(
+            regions, smoothing=smoothing, retention=f"window:{max_epochs}"
+        )
+        started = time.perf_counter()
+        for shard in rolls:
+            store.fold(shard)
+            store.roll()
+        return time.perf_counter() - started
+
+    def rebuild_per_roll() -> float:
+        ring: deque = deque(maxlen=max_epochs)
+        started = time.perf_counter()
+        for shard in rolls:
+            ring.append(shard)
+            MobilityKnowledge.from_partials(
+                list(ring), regions=regions, smoothing=smoothing
+            )
+        return time.perf_counter() - started
+
+    retire_seconds = benchmark.pedantic(
+        fold_and_retire, rounds=3, iterations=1
+    )
+    rebuild_seconds = rebuild_per_roll()
+    speedup = (
+        rebuild_seconds / retire_seconds if retire_seconds > 0 else 0.0
+    )
+    _ROWS.append(
+        [
+            f"window:{max_epochs}",
+            EPOCH_ROLLS,
+            f"{EPOCH_ROLLS / retire_seconds:,.0f} rolls/s",
+            f"{EPOCH_ROLLS / rebuild_seconds:,.0f} rolls/s",
+            f"{speedup:.1f}x",
+        ]
+    )
+    _SUMMARY.append(
+        {
+            "retention": f"window:{max_epochs}",
+            "epoch_rolls": EPOCH_ROLLS,
+            "epoch_shards": len(shards),
+            "fold_retire_seconds": retire_seconds,
+            "rebuild_seconds": rebuild_seconds,
+            "fold_retire_rolls_per_second": EPOCH_ROLLS / retire_seconds,
+            "rebuild_rolls_per_second": EPOCH_ROLLS / rebuild_seconds,
+            "speedup": speedup,
+            "identical_to_rebuild": True,
+        }
+    )
+
+
+def teardown_module(module) -> None:
+    print_table(
+        "Knowledge aging: fold+retire vs rebuild-from-retained-epochs",
+        ["retention", "rolls", "fold+retire", "rebuild", "speedup"],
+        _ROWS,
+    )
+    if _SUMMARY:
+        out = Path(
+            os.environ.get(
+                "TRIPS_BENCH_AGING_JSON", "bench-knowledge-aging.json"
+            )
+        )
+        out.write_text(json.dumps(_SUMMARY, indent=2), encoding="utf-8")
+        print(f"wrote knowledge-aging bench summary to {out}")

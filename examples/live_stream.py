@@ -16,6 +16,14 @@ knowledge bit for bit — to a one-shot Engine.translate_batch over the
 same windowed sequences.  Finally a ViewerSession is built straight from
 the accumulated live results of one device.
 
+The last section demonstrates the knowledge lifecycle (repro.knowledge):
+the same mall feed replayed under sliding-window retention — every
+ingestion window is one epoch, expired epochs are *subtracted* out of
+the prior by the shard algebra's exact inverse — and under exponential
+decay, where old evidence fades instead of expiring.  The sliding-window
+prior is verified bit-for-bit equal to a fresh fold over only the
+retained windows: retiring an epoch is exactly never having folded it.
+
 Run:  python examples/live_stream.py
 """
 
@@ -130,6 +138,54 @@ def main() -> None:
             f" windows -> {len(session.result.semantics)} semantics, "
             f"{len(frames)} animation frames"
         )
+
+    # ------------------------------------------------------------------
+    # Knowledge retention: the prior tracks *recent* mobility
+    # ------------------------------------------------------------------
+    # An unbounded prior folds forever — fine for a finite replay, but a
+    # venue that runs for months drifts away from current behaviour.
+    # Retention policies bound what the prior remembers; each ingestion
+    # window is one epoch.
+    print("\n[knowledge retention: unbounded vs window:4 vs decay:4]")
+    runs = {}
+    for retention in ("unbounded", "window:4", "decay:4"):
+        aged = LiveTranslationService(
+            {"mall": Translator(mall)},
+            EngineConfig(backend="threads", chunk_size=4),
+            LiveConfig(window_seconds=WINDOW_SECONDS),
+            retention=retention,
+        )
+        with aged:
+            aged.run_stream(
+                RecordStream(iter(feeds["mall"])), venue_id="mall"
+            )
+            store = aged.store("mall")
+            runs[retention] = store
+            print(
+                f"  {retention:<10} knowledge over "
+                f"{store.knowledge.sequences_seen:g} sequences, "
+                f"{store.retained_epochs} retained epochs "
+                f"({store.epochs_retired} retired)"
+            )
+
+    # Retiring an epoch is *exact*: the window:4 prior equals a fresh
+    # unbounded fold over only the last four windows' sequences.
+    from repro.positioning import PositioningSequence, windowed_records
+
+    windows = [
+        PositioningSequence.group_records(window)
+        for window in windowed_records(
+            RecordStream(iter(feeds["mall"])), WINDOW_SECONDS
+        )
+    ]
+    engine = Engine(Translator(mall), EngineConfig(chunk_size=4))
+    recent = None
+    for window in windows[-4:]:
+        _, recent = engine.translate_increment(window, recent)
+    identical = runs["window:4"].knowledge == recent
+    print(
+        f"  window:4 prior == fold of last 4 windows only: {identical}"
+    )
 
 
 if __name__ == "__main__":

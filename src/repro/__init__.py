@@ -41,6 +41,14 @@ from .core import (
 from .dsm import DigitalSpaceModel, load_dsm, save_dsm, validate_dsm
 from .engine import Engine, EngineConfig
 from .events import EventEditor, PatternRegistry
+from .knowledge import (
+    ExponentialDecay,
+    KnowledgeStore,
+    RetentionPolicy,
+    SlidingWindow,
+    Unbounded,
+    parse_retention,
+)
 from .live import (
     LiveConfig,
     LiveStats,
@@ -71,7 +79,9 @@ __all__ = [
     "EngineConfig",
     "EventEditor",
     "EventIdentifier",
+    "ExponentialDecay",
     "HeuristicEventIdentifier",
+    "KnowledgeStore",
     "LiveConfig",
     "LiveStats",
     "LiveTranslationService",
@@ -86,11 +96,14 @@ __all__ = [
     "PositioningSequence",
     "RawDataCleaner",
     "RawPositioningRecord",
+    "RetentionPolicy",
     "SimulatedDevice",
+    "SlidingWindow",
     "TimeRange",
     "TranslationResult",
     "Translator",
     "TranslatorConfig",
+    "Unbounded",
     "VenueDispatcher",
     "ViewerSession",
     "WifiErrorModel",
@@ -99,6 +112,7 @@ __all__ = [
     "build_mall",
     "build_office",
     "load_dsm",
+    "parse_retention",
     "save_dsm",
     "score_positions",
     "score_semantics",

@@ -118,6 +118,23 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--workers", type=int, default=None)
     serve.add_argument("--chunk-size", type=int, default=None)
     serve.add_argument(
+        "--retention",
+        default=None,
+        metavar="{unbounded,window:N,window:Ns,decay:H}",
+        help="knowledge-lifecycle retention for every venue: 'unbounded' "
+        "folds forever (default), 'window:N' keeps the newest N epochs "
+        "(one epoch per ingestion window; expired epochs are subtracted "
+        "exactly), 'window:Ns' keeps epochs newer than N seconds of data "
+        "time, 'decay:H' halves old evidence every H epochs; overrides "
+        "each task config's knowledge_retention",
+    )
+    serve.add_argument(
+        "--adaptive-windowing",
+        action="store_true",
+        help="derive a per-venue max-window-records target from an EWMA "
+        "of each venue's observed feed rate (records/sec)",
+    )
+    serve.add_argument(
         "--out",
         type=Path,
         default=None,
@@ -225,8 +242,13 @@ def _cmd_serve(args) -> None:
     from .live import LiveConfig, LiveTranslationService
     from .positioning import RecordStream
 
+    from .knowledge import parse_retention
+
+    if args.retention is not None:
+        parse_retention(args.retention)  # fail fast on a malformed spec
     translators = {}
     feeds = {}
+    retention = {}
     for spec in args.venues:
         venue_id, separator, path = spec.partition("=")
         if not separator:
@@ -235,6 +257,13 @@ def _cmd_serve(args) -> None:
             raise ConfigError(f"duplicate venue id {venue_id!r}")
         task = load_task(Path(path))
         translators[venue_id] = build_translator(task)
+        # The CLI flag overrides every venue; otherwise each task config
+        # chooses its own knowledge lifecycle.
+        retention[venue_id] = (
+            args.retention
+            if args.retention is not None
+            else task.knowledge_retention
+        )
         records = sorted(
             (
                 record
@@ -254,7 +283,9 @@ def _cmd_serve(args) -> None:
         LiveConfig(
             window_seconds=args.window_seconds,
             max_window_records=args.max_window_records,
+            adaptive_windowing=args.adaptive_windowing,
         ),
+        retention=retention,
     )
 
     def report(window) -> None:
@@ -277,7 +308,7 @@ def _cmd_serve(args) -> None:
                     f"finalized {venue_id}: {len(batch)} sequences, "
                     f"{batch.total_semantics} semantics "
                     f"(knowledge over "
-                    f"{batch.knowledge.sequences_seen if batch.knowledge else 0}"
+                    f"{batch.knowledge.sequences_seen if batch.knowledge else 0:g}"
                     f" sequences)"
                 )
                 if args.out is not None:

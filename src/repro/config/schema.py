@@ -106,11 +106,20 @@ class TranslationTaskConfig:
     gap_threshold: float = 120.0
     max_hops: int = 4
     knowledge_smoothing: float = 1.0
+    #: Knowledge-lifecycle retention when this task is served as a live
+    #: feed (``trips serve``): ``"unbounded"`` (default), ``"window:N"``,
+    #: ``"window:Ns"`` or ``"decay:H"`` — see
+    #: :func:`repro.knowledge.parse_retention`.  One-shot batch
+    #: translation always builds full-batch knowledge and ignores this.
+    knowledge_retention: str = "unbounded"
     display_point_policy: str = "temporally-middle"
 
     def __post_init__(self) -> None:
         if not self.dsm_path:
             raise ConfigError("task requires a DSM path")
+        from ..knowledge import parse_retention
+
+        parse_retention(self.knowledge_retention)
         if self.event_model != "heuristic" and self.event_model not in MODEL_FACTORIES:
             raise ConfigError(
                 f"unknown event model {self.event_model!r}; choose 'heuristic' "

@@ -17,6 +17,17 @@ basis of the engine's sharded knowledge build — while
 the same aggregates.  Dwell seconds accumulate through :class:`ExactSum`,
 so merged totals are bit-for-bit identical no matter how the batch was
 sharded.
+
+The algebra is a group, not just a monoid: every additive operation has
+an exact inverse (:meth:`ExactSum.subtract`,
+:meth:`PartialKnowledge.subtract`, :meth:`MobilityKnowledge.unfold`), so
+a shard folded earlier can later be retired and the result equals — bit
+for bit — the state that never folded it.  That inverse is what the
+epoch-based knowledge lifecycle in :mod:`repro.knowledge`
+(:class:`~repro.knowledge.KnowledgeStore` plus its pluggable retention
+policies) is built on: sliding-window retention subtracts expired epochs'
+shards instead of rebuilding, and exponential decay uses
+:meth:`MobilityKnowledge.scale` to discount old mobility.
 """
 
 from __future__ import annotations
@@ -72,6 +83,27 @@ class ExactSum:
         """Fold another accumulator in; exact, so grouping never matters."""
         for partial in other._partials:
             self.add(partial)
+
+    def subtract(self, other: "ExactSum") -> None:
+        """The exact inverse of :meth:`merge`.
+
+        Adds the negation of every one of ``other``'s partials; since each
+        addition is exact, the mathematical total returns to precisely the
+        pre-merge sum, so ``a.merge(b); a.subtract(b)`` leaves ``a`` equal
+        (and :attr:`value` bit-for-bit identical) to never having merged.
+        """
+        for partial in other._partials:
+            self.add(-partial)
+
+    def scale(self, factor: float) -> None:
+        """Multiply the total by ``factor`` (correctly-rounded, in place).
+
+        Scaling is *not* part of the exact group — it rounds once, to the
+        nearest float of ``value * factor`` — which is all the exponential
+        decay retention policy needs.
+        """
+        scaled = self.value * float(factor)
+        self._partials = [scaled] if scaled else []
 
     def copy(self) -> "ExactSum":
         clone = ExactSum()
@@ -141,6 +173,36 @@ class RegionStats:
         self.visits += other.visits
         self.stay_count += other.stay_count
         self._dwell.merge(other._dwell)
+
+    def subtract(self, other: "RegionStats") -> None:
+        """The exact inverse of :meth:`add`.
+
+        Only valid for stats previously folded in: going negative on the
+        integer counters raises :class:`InferenceError` (the float dwell
+        total cannot be validated the same way, but is exact whenever the
+        counters are).
+        """
+        if other.visits > self.visits or other.stay_count > self.stay_count:
+            raise InferenceError(
+                "cannot subtract region stats that were never added "
+                f"(visits {self.visits} - {other.visits}, stays "
+                f"{self.stay_count} - {other.stay_count})"
+            )
+        self.visits -= other.visits
+        self.stay_count -= other.stay_count
+        self._dwell.subtract(other._dwell)
+
+    def scale(self, factor: float) -> None:
+        """Discount the aggregates by ``factor`` (decay retention).
+
+        The integer counters become float weights; every derived quantity
+        (:attr:`mean_dwell`, :attr:`stay_fraction`) is a ratio of
+        uniformly scaled terms, so it is unchanged by the scaling itself
+        and only shifts as newer, unscaled visits fold in on top.
+        """
+        self.visits = self.visits * factor
+        self.stay_count = self.stay_count * factor
+        self._dwell.scale(factor)
 
     def copy(self) -> "RegionStats":
         clone = RegionStats(visits=self.visits, stay_count=self.stay_count)
@@ -216,6 +278,69 @@ def _add_counts(
         outgoing_totals[origin] = outgoing_totals.get(origin, 0) + total
     for region, shard_stats in source.stats.items():
         stats[region].add(shard_stats)
+    return source.sequences_seen
+
+
+def _subtract_counts(
+    source: "PartialKnowledge",
+    transitions: dict[str, dict[str, int]],
+    outgoing_totals: dict[str, int],
+    stats: dict[str, RegionStats],
+) -> int:
+    """Element-wise remove a shard's raw counts from target aggregates.
+
+    The exact inverse of :func:`_add_counts`: entries that reach zero are
+    pruned, so the post-subtraction aggregates are *structurally*
+    identical — not merely numerically — to aggregates that never folded
+    the shard (dataclass equality compares the dicts).  Counts are
+    validated up front and the target is untouched on failure, so a
+    shard that was never folded cannot half-corrupt the aggregates.
+    """
+    for origin, outgoing in source.transitions.items():
+        destinations = transitions.get(origin, {})
+        for destination, count in outgoing.items():
+            if destinations.get(destination, 0) < count:
+                raise InferenceError(
+                    "cannot subtract a knowledge shard that was never "
+                    f"folded (transition {origin!r} -> {destination!r}: "
+                    f"{destinations.get(destination, 0)} - {count})"
+                )
+    for origin, total in source.outgoing_totals.items():
+        if outgoing_totals.get(origin, 0) < total:
+            raise InferenceError(
+                "cannot subtract a knowledge shard that was never folded "
+                f"(outgoing total of {origin!r}: "
+                f"{outgoing_totals.get(origin, 0)} - {total})"
+            )
+    for region, shard_stats in source.stats.items():
+        target = stats.get(region)
+        if target is not None and (
+            shard_stats.visits > target.visits
+            or shard_stats.stay_count > target.stay_count
+        ):
+            raise InferenceError(
+                "cannot subtract a knowledge shard that was never folded "
+                f"(region stats of {region!r})"
+            )
+    for origin, outgoing in source.transitions.items():
+        destinations = transitions[origin]
+        for destination, count in outgoing.items():
+            remaining = destinations[destination] - count
+            if remaining:
+                destinations[destination] = remaining
+            else:
+                del destinations[destination]
+        if not destinations:
+            del transitions[origin]
+    for origin, total in source.outgoing_totals.items():
+        remaining = outgoing_totals[origin] - total
+        if remaining:
+            outgoing_totals[origin] = remaining
+        else:
+            del outgoing_totals[origin]
+    for region, shard_stats in source.stats.items():
+        if region in stats:
+            stats[region].subtract(shard_stats)
     return source.sequences_seen
 
 
@@ -295,6 +420,30 @@ class PartialKnowledge:
                 "regions)"
             )
         self.sequences_seen += _add_counts(
+            other, self.transitions, self.outgoing_totals, self.stats
+        )
+
+    def subtract(self, other: "PartialKnowledge") -> None:
+        """The exact inverse of :meth:`add` (in place).
+
+        ``a.add(b); a.subtract(b)`` leaves ``a`` equal — field for field,
+        dwell totals bit for bit — to never having added ``b``.  Only
+        shards previously folded in can be subtracted; anything that
+        would drive a count negative raises :class:`InferenceError`
+        without touching this shard.
+        """
+        if other.regions != self.regions:
+            raise InferenceError(
+                "cannot subtract partial knowledge over different region "
+                f"vocabularies ({len(self.regions)} vs {len(other.regions)} "
+                "regions)"
+            )
+        if other.sequences_seen > self.sequences_seen:
+            raise InferenceError(
+                "cannot subtract a knowledge shard that was never folded "
+                f"(sequences {self.sequences_seen} - {other.sequences_seen})"
+            )
+        self.sequences_seen -= _subtract_counts(
             other, self.transitions, self.outgoing_totals, self.stats
         )
 
@@ -419,6 +568,69 @@ class MobilityKnowledge:
         self.sequences_seen += _add_counts(
             partial, self._transitions, self._outgoing_totals, self._stats
         )
+
+    def unfold(self, partial: PartialKnowledge) -> None:
+        """The exact inverse of :meth:`fold`, in place.
+
+        This is how the epoch-based knowledge lifecycle
+        (:class:`repro.knowledge.KnowledgeStore` under sliding-window
+        retention) retires stale mobility: the expired epoch's shard is
+        subtracted, and the resulting knowledge is bit-for-bit identical
+        to knowledge that never folded that epoch — counts, dwell totals
+        and every smoothed query.  Subtracting a shard that was not
+        previously folded raises :class:`InferenceError` and leaves the
+        knowledge untouched.
+        """
+        if partial.regions != self.regions:
+            raise InferenceError(
+                "cannot unfold partial knowledge over a different region "
+                f"vocabulary ({len(self.regions)} vs {len(partial.regions)} "
+                "regions)"
+            )
+        if partial.sequences_seen > self.sequences_seen:
+            raise InferenceError(
+                "cannot unfold a knowledge shard that was never folded "
+                f"(sequences {self.sequences_seen} - "
+                f"{partial.sequences_seen})"
+            )
+        self.sequences_seen -= _subtract_counts(
+            partial, self._transitions, self._outgoing_totals, self._stats
+        )
+
+    def scale(self, factor: float, prune_below: float = 0.0) -> None:
+        """Discount every aggregate by ``factor`` (exponential decay).
+
+        The decay retention policy calls this once per epoch roll with
+        ``factor = 0.5 ** (1 / half_life)``, so an epoch's evidence halves
+        after ``half_life`` rolls.  Counts become float weights; the
+        smoothed queries are ratios and keep working unchanged.  Entries
+        whose decayed weight drops below ``prune_below`` are dropped so a
+        long-running venue's memory stays bounded by its *recent* support
+        rather than by everything it ever saw.
+        """
+        if factor < 0.0:
+            raise InferenceError(
+                f"scale factor must be non-negative, got {factor}"
+            )
+        for origin in list(self._transitions):
+            destinations = self._transitions[origin]
+            for destination in list(destinations):
+                scaled = destinations[destination] * factor
+                if scaled <= prune_below:
+                    del destinations[destination]
+                else:
+                    destinations[destination] = scaled
+            if not destinations:
+                del self._transitions[origin]
+        for origin in list(self._outgoing_totals):
+            scaled = self._outgoing_totals[origin] * factor
+            if scaled <= prune_below:
+                del self._outgoing_totals[origin]
+            else:
+                self._outgoing_totals[origin] = scaled
+        for stats in self._stats.values():
+            stats.scale(factor)
+        self.sequences_seen = self.sequences_seen * factor
 
     def to_partial(self) -> PartialKnowledge:
         """Export the raw counts as an independent shard (deep copy)."""

@@ -22,7 +22,11 @@ without materializing the full batch before phase one starts.
 translates one bounded stream window and **folds** the window's
 :class:`~repro.core.complementing.PartialKnowledge` into long-running
 knowledge instead of rebuilding — the unit of work of the live streaming
-service in :mod:`repro.live`.
+service in :mod:`repro.live`.  That long-running knowledge is owned by a
+:class:`~repro.knowledge.KnowledgeStore` (see :meth:`Engine.make_store`
+and ``EngineConfig.retention``): folds go through the store, and the
+store's retention policy — unbounded, sliding-window, or exponential
+decay — decides at each epoch roll what the prior keeps remembering.
 
 Knowledge build strategies
 --------------------------
@@ -99,6 +103,7 @@ from ..core.translator import (
     run_phase_two_chunk,
 )
 from ..errors import ConfigError
+from ..knowledge import KnowledgeStore, parse_retention
 from ..positioning import PositioningSequence
 from .backends import (
     BACKENDS,
@@ -151,13 +156,24 @@ def _phase_two_task(
 
 @dataclass(frozen=True)
 class EngineConfig:
-    """How the engine partitions and executes a batch."""
+    """How the engine partitions and executes a batch.
+
+    ``retention`` is the knowledge-lifecycle spec consumed by
+    :meth:`Engine.make_store` — ``"unbounded"`` (default, fold forever),
+    ``"window:N"`` / ``"window:Ns"`` (sliding window by epoch count /
+    data-time TTL) or ``"decay:H"`` (exponential decay, half-life in
+    epoch rolls); see :func:`repro.knowledge.parse_retention`.  It only
+    shapes store-based incremental translation (the live service rolls
+    one epoch per ingestion window); one-shot batch translation always
+    builds the full-batch knowledge.
+    """
 
     backend: str = "serial"
     workers: int | None = None
     chunk_size: int = DEFAULT_CHUNK_SIZE
     knowledge_build: str = "sharded"
     phase_one_cache: int = 0
+    retention: str = "unbounded"
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -182,6 +198,7 @@ class EngineConfig:
                 f"phase-one cache size must be >= 0, got "
                 f"{self.phase_one_cache}"
             )
+        parse_retention(self.retention)  # validate the spec eagerly
 
 
 def _phase_one_cache_key(sequence: PositioningSequence) -> tuple:
@@ -197,6 +214,29 @@ def _phase_one_cache_key(sequence: PositioningSequence) -> tuple:
             for r in sequence.records
         ),
     )
+
+
+def _window_span(
+    sequences: list[PositioningSequence],
+) -> tuple[float | None, float | None]:
+    """Earliest and latest record timestamps across a window's sequences.
+
+    Data time, not wall time: the knowledge store's TTL retention must
+    expire the same epochs on a replayed feed as on a live one.  Records
+    within a sequence are time-ordered, so first/last suffice.
+    """
+    start: float | None = None
+    end: float | None = None
+    for sequence in sequences:
+        if not sequence.records:
+            continue
+        first = sequence.records[0].timestamp
+        last = sequence.records[-1].timestamp
+        if start is None or first < start:
+            start = first
+        if end is None or last > end:
+            end = last
+    return start, end
 
 
 class Engine:
@@ -252,6 +292,8 @@ class Engine:
         self,
         sequences: Iterable[PositioningSequence],
         knowledge: MobilityKnowledge | None = None,
+        *,
+        store: KnowledgeStore | None = None,
     ) -> tuple[BatchTranslationResult, MobilityKnowledge | None]:
         """Translate one stream window, folding its shard into ``knowledge``.
 
@@ -264,20 +306,57 @@ class Engine:
         the returned knowledge is the same evolving object — pass it back
         in for the next window.
 
+        Knowledge ownership lives in a
+        :class:`~repro.knowledge.KnowledgeStore`: pass ``store=`` (see
+        :meth:`make_store`) to fold into a store whose retention policy
+        may retire or discount old epochs at the caller's epoch rolls —
+        the live service holds one store per venue and rolls once per
+        ingestion window.  Without ``store``, a bare ``knowledge`` object
+        is wrapped in a transient unbounded store, which preserves the
+        legacy fold-forever behaviour exactly (the caller's object is
+        mutated in place, as before).
+
         Folding is exact (see :class:`~repro.core.complementing.ExactSum`),
-        so after the final window the cumulative knowledge is bit-for-bit
-        identical to a one-shot batch build over all windows' sequences.
-        Note the *per-window* complements are computed against the
-        knowledge as of that window; re-complement at end of stream (see
-        ``LiveTranslationService.finalize``) to reproduce the one-shot
-        batch output exactly.
+        so under unbounded retention the cumulative knowledge after the
+        final window is bit-for-bit identical to a one-shot batch build
+        over all windows' sequences.  Note the *per-window* complements
+        are computed against the knowledge as of that window; re-complement
+        at end of stream (see ``LiveTranslationService.finalize``) to
+        reproduce the one-shot batch output exactly.
         """
+        if store is not None and knowledge is not None:
+            raise ConfigError(
+                "pass either a knowledge object or a store, not both"
+            )
         result = self._run(
             partition(list(sequences), self.config.chunk_size),
             fold_into=knowledge,
             incremental=True,
+            store=store,
         )
         return result, result.knowledge
+
+    def make_store(
+        self, retention: "str | None" = None
+    ) -> KnowledgeStore | None:
+        """A fresh knowledge store for this engine's venue.
+
+        Vocabulary and smoothing come from the translator; the retention
+        policy from ``retention`` (spec string) or, when ``None``, from
+        ``EngineConfig.retention``.  Returns ``None`` when the venue
+        builds no knowledge at all (complementing disabled or no semantic
+        regions) — the same gate every knowledge build shares.
+        """
+        regions = self.translator.knowledge_regions()
+        if regions is None:
+            return None
+        return KnowledgeStore(
+            regions,
+            smoothing=self.translator.config.knowledge_smoothing,
+            retention=(
+                retention if retention is not None else self.config.retention
+            ),
+        )
 
     def complement(
         self,
@@ -447,6 +526,7 @@ class Engine:
         chunks: Iterator[list[PositioningSequence]],
         fold_into: MobilityKnowledge | None = None,
         incremental: bool = False,
+        store: KnowledgeStore | None = None,
     ) -> BatchTranslationResult:
         started = time.perf_counter()
         sharded = self.config.knowledge_build == "sharded"
@@ -474,7 +554,9 @@ class Engine:
             # mode folds the window's shard into the long-running
             # knowledge instead of building from scratch.
             if incremental:
-                knowledge = self._fold_window(fold_into, annotated, partials)
+                knowledge = self._fold_window(
+                    fold_into, annotated, partials, sequences, store
+                )
             elif sharded:
                 knowledge = build_batch_knowledge(
                     self.translator, partials=partials
@@ -518,14 +600,23 @@ class Engine:
         fold_into: MobilityKnowledge | None,
         annotated: list[MobilitySemanticsSequence],
         partials: list[PartialKnowledge],
+        sequences: list[PositioningSequence],
+        store: KnowledgeStore | None = None,
     ) -> MobilityKnowledge | None:
-        """The incremental barrier: fold the window into the knowledge.
+        """The incremental barrier: fold the window into its store.
 
-        Under the ``rebuild`` strategy the workers did not aggregate
-        shards, so the window's shard is built on the caller; either way
-        the fold applies exactly the same counting rules as a batch
-        build, so replaying all windows reproduces the one-shot batch
-        knowledge bit for bit.
+        Knowledge ownership is delegated to a
+        :class:`~repro.knowledge.KnowledgeStore`: the caller's store when
+        given, otherwise a transient unbounded wrap of the bare
+        ``fold_into`` knowledge (created on first window), so the legacy
+        path mutates the same object with identical, fold-forever
+        semantics.  Under the ``rebuild`` strategy the workers did not
+        aggregate shards, so the window's shard is built on the caller;
+        either way the fold applies exactly the same counting rules as a
+        batch build, so replaying all windows under unbounded retention
+        reproduces the one-shot batch knowledge bit for bit.  The
+        window's data-time span travels into the store's open epoch for
+        TTL retention to measure against.
         """
         regions = self.translator.knowledge_regions()
         if regions is None:
@@ -533,12 +624,15 @@ class Engine:
         if not partials:
             window = build_partial_knowledge(self.translator, annotated)
             partials = [window] if window is not None else []
-        knowledge = fold_into
-        if knowledge is None:
-            knowledge = MobilityKnowledge(
-                regions=regions,
-                smoothing=self.translator.config.knowledge_smoothing,
-            )
+        if store is None:
+            knowledge = fold_into
+            if knowledge is None:
+                knowledge = MobilityKnowledge(
+                    regions=regions,
+                    smoothing=self.translator.config.knowledge_smoothing,
+                )
+            store = KnowledgeStore.wrap(knowledge)
+        start, end = _window_span(sequences)
         for partial in partials:
-            knowledge.fold(partial)
-        return knowledge
+            store.fold(partial, start=start, end=end)
+        return store.knowledge

@@ -43,6 +43,16 @@ venues share a single worker pool (the backend context is the venue map,
 shipped once; per-window knowledge travels through the backend's
 generation-keyed share channel).
 
+**Knowledge lifecycle.**  Each venue's knowledge lives in a
+:class:`~repro.knowledge.KnowledgeStore`; every ingestion window is one
+epoch, and the store's retention policy (``EngineConfig.retention`` or a
+per-venue override) decides what the prior remembers — everything
+(unbounded, the default), only the newest epochs (sliding window,
+retired by the shard algebra's exact inverse), or recency-weighted decay.
+With ``LiveConfig.adaptive_windowing`` the service additionally derives
+a per-venue ``max_window_records`` target from an EWMA of each venue's
+observed feed rate.
+
 Quickstart::
 
     from repro import LiveConfig, LiveTranslationService, Translator

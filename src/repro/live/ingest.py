@@ -65,10 +65,13 @@ async def serve_async(
 
     async def produce(venue_id: "str | None", stream: RecordStream) -> None:
         while True:
+            # Bounds are re-read per window: adaptive windowing tightens
+            # a venue's record bound as its observed feed rate evolves.
+            window_seconds, max_records = service.window_bounds(venue_id)
             batch: list[RawPositioningRecord] = await asyncio.to_thread(
                 stream.take_window,
-                config.window_seconds,
-                config.max_window_records,
+                window_seconds,
+                max_records,
             )
             if not batch:
                 return

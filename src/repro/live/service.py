@@ -16,15 +16,40 @@ Live versus batch semantics
 
 Per-window complements are inferred against the knowledge *as of that
 window* — that is what "live" means; early windows see less evidence.
-Knowledge folding itself is exact, so once a finite stream has been fully
-replayed the cumulative knowledge is bit-for-bit identical to a one-shot
-batch build over the same windowed sequences, and :meth:`finalize`
-re-complements every retained window against it — reproducing exactly
-what ``Engine.translate_batch`` over those sequences would have returned.
+Knowledge folding itself is exact, so under the default unbounded
+retention, once a finite stream has been fully replayed the cumulative
+knowledge is bit-for-bit identical to a one-shot batch build over the
+same windowed sequences, and :meth:`finalize` re-complements every
+retained window against it — reproducing exactly what
+``Engine.translate_batch`` over those sequences would have returned.
+
+Knowledge lifecycle
+-------------------
+
+Each venue's knowledge lives in a
+:class:`~repro.knowledge.KnowledgeStore`; every ingestion window is one
+*epoch* — the service rolls the venue's store after folding the window —
+and the store's retention policy (``EngineConfig.retention``, or the
+service's per-venue ``retention`` override) decides what the prior keeps
+remembering: everything (unbounded, the default), only the newest epochs
+(sliding window, retired by exact subtraction), or a recency-weighted
+decay.  ``VenueStats.retained_epochs`` reports the lifecycle state per
+venue.
+
+Adaptive windowing
+------------------
+
+With ``LiveConfig.adaptive_windowing`` (off by default) the service
+keeps an EWMA of each venue's observed records/sec and derives a
+per-venue ``max_window_records`` target from it, so a quiet office and a
+busy mall both keep their windows near the configured time span without
+one burst growing a window without bound.  The ingestion front-end and
+:meth:`run_stream` consult :meth:`window_bounds` per window.
 """
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Mapping
@@ -38,14 +63,22 @@ from ..core.translator import (
 )
 from ..engine import Engine, EngineConfig, ExecutionBackend, create_backend
 from ..errors import ConfigError
+from ..knowledge import KnowledgeStore, RetentionPolicy, parse_retention
 from ..positioning import (
     PositioningSequence,
     RawPositioningRecord,
     RecordStream,
-    windowed_records,
 )
 from .dispatch import Router, VenueDispatcher
 from .ingest import FeedSet, serve_async
+
+#: Adaptive windowing never drives a venue's record target below this —
+#: a near-idle venue still gets meaningful batches.
+ADAPTIVE_MIN_RECORDS = 8
+
+#: Headroom over the EWMA-predicted records-per-window, so the count
+#: bound only closes a window on genuine bursts, not ordinary jitter.
+ADAPTIVE_HEADROOM = 2.0
 
 
 @dataclass(frozen=True)
@@ -63,6 +96,15 @@ class LiveConfig:
     #: viewer construction.  Disable for truly unbounded feeds, where
     #: only per-window emissions and the folded knowledge are retained.
     retain_results: bool = True
+    #: Derive a per-venue ``max_window_records`` target from an EWMA of
+    #: each venue's observed records/sec (see the module notes).  Off by
+    #: default: adaptive cuts change the windowed sequence split, so the
+    #: finalize-equals-batch check against a *fixed* windowing no longer
+    #: applies verbatim.
+    adaptive_windowing: bool = False
+    #: EWMA smoothing for the observed feed rate (1.0 = latest window
+    #: only, smaller = smoother).
+    adaptive_alpha: float = 0.25
 
     def __post_init__(self) -> None:
         if self.window_seconds <= 0:
@@ -79,6 +121,11 @@ class LiveConfig:
                 f"max_pending_windows must be >= 1, got "
                 f"{self.max_pending_windows}"
             )
+        if not 0.0 < self.adaptive_alpha <= 1.0:
+            raise ConfigError(
+                f"adaptive_alpha must be in (0, 1], got "
+                f"{self.adaptive_alpha}"
+            )
 
 
 @dataclass
@@ -90,8 +137,20 @@ class VenueStats:
     records: int = 0
     sequences: int = 0
     semantics: int = 0
-    #: Sequences folded into the venue's knowledge so far.
-    knowledge_sequences: int = 0
+    #: Sequences currently contributing to the venue's knowledge (a
+    #: decayed float weight under decay retention; drops when a sliding
+    #: window retires epochs).
+    knowledge_sequences: "int | float" = 0
+    #: Wall time spent translating (and folding/retiring) this venue's
+    #: windows.
+    translate_seconds: float = 0.0
+    #: Epochs still contributing to the venue's knowledge (ring length
+    #: under sliding-window retention; every epoch ever rolled under
+    #: unbounded/decay).
+    retained_epochs: int = 0
+    #: The adaptive per-venue ``max_window_records`` target (``None``
+    #: until adaptive windowing has observed a window).
+    window_records_target: int | None = None
 
 
 @dataclass
@@ -132,12 +191,17 @@ class LiveStats:
         ]
         for venue_id in sorted(self.venues):
             venue = self.venues[venue_id]
-            lines.append(
+            line = (
                 f"  {venue_id:<12} {venue.windows:4d} windows  "
                 f"{venue.records:7d} records  {venue.sequences:5d} sequences  "
                 f"{venue.semantics:6d} semantics  "
-                f"knowledge over {venue.knowledge_sequences} sequences"
+                f"{venue.translate_seconds:6.2f}s translate  "
+                f"knowledge over {venue.knowledge_sequences:g} sequences "
+                f"({venue.retained_epochs} epochs)"
             )
+            if venue.window_records_target is not None:
+                line += f"  window<={venue.window_records_target} records"
+            lines.append(line)
         return "\n".join(lines)
 
 
@@ -169,13 +233,26 @@ class _VenueState:
 
     venue_id: str
     engine: Engine
-    knowledge: MobilityKnowledge | None = None
+    #: The venue's knowledge store (epoch ring + live knowledge behind
+    #: the configured retention policy); created lazily on the first
+    #: window, ``None`` when the venue builds no knowledge at all.
+    store: KnowledgeStore | None = None
+    #: Whether store creation was attempted (distinguishes "not yet"
+    #: from "this venue has knowledge disabled").
+    store_checked: bool = False
+    #: EWMA of observed records/sec (adaptive windowing).
+    ewma_rate: float | None = None
     results: list[TranslationResult] = field(default_factory=list)
     stats: VenueStats = None  # type: ignore[assignment]
 
     def __post_init__(self) -> None:
         if self.stats is None:
             self.stats = VenueStats(self.venue_id)
+
+    @property
+    def knowledge(self) -> MobilityKnowledge | None:
+        """The store's live knowledge (``None`` before the first window)."""
+        return self.store.knowledge if self.store is not None else None
 
 
 class LiveTranslationService:
@@ -196,6 +273,7 @@ class LiveTranslationService:
         engine_config: EngineConfig | None = None,
         live_config: LiveConfig | None = None,
         router: Router | None = None,
+        retention: "str | RetentionPolicy | Mapping[str, str | RetentionPolicy] | None" = None,
     ):
         if isinstance(translators, Translator):
             translators = {"default": translators}
@@ -206,6 +284,20 @@ class LiveTranslationService:
         self.live_config = (
             live_config if live_config is not None else LiveConfig()
         )
+        # Per-venue knowledge-retention override; falls back to
+        # ``EngineConfig.retention`` where unset.  Validated eagerly so a
+        # malformed spec fails at construction, not mid-stream.
+        if isinstance(retention, Mapping):
+            for venue_id, spec in retention.items():
+                if venue_id not in self.dispatcher.translators:
+                    raise ConfigError(
+                        f"retention names unknown venue {venue_id!r}"
+                    )
+                parse_retention(spec)
+            retention = dict(retention)
+        else:
+            parse_retention(retention)
+        self._retention = retention
         self._backend: ExecutionBackend | None = None
         self._states: dict[str, _VenueState] = {}
         self._windows = 0
@@ -278,7 +370,10 @@ class LiveTranslationService:
         otherwise the dispatcher routes each record.  Per venue, the
         window's records group into per-device sequences, run through the
         incremental engine path, and the window's knowledge shard folds
-        into the venue's cumulative knowledge.
+        into the venue's knowledge store.  Every window is one **epoch**:
+        after the fold the venue's store rolls, and its retention policy
+        may retire or discount old epochs (default unbounded retention
+        retires nothing — the pre-lifecycle behaviour, bit for bit).
         """
         self._ensure_open()
         started = time.perf_counter()
@@ -294,10 +389,20 @@ class LiveTranslationService:
         for vid, venue_records in routed.items():
             state = self._states[vid]
             sequences = PositioningSequence.group_records(venue_records)
-            batch, knowledge = state.engine.translate_increment(
-                sequences, state.knowledge
-            )
-            state.knowledge = knowledge
+            venue_started = time.perf_counter()
+            if not state.store_checked:
+                state.store = state.engine.make_store(
+                    retention=self._retention_for(vid)
+                )
+                state.store_checked = True
+            if state.store is not None:
+                batch, _ = state.engine.translate_increment(
+                    sequences, store=state.store
+                )
+                state.store.roll()  # one epoch per ingestion window
+            else:
+                batch, _ = state.engine.translate_increment(sequences)
+            venue_elapsed = time.perf_counter() - venue_started
             if self.live_config.retain_results:
                 state.results.extend(batch.results)
             stats = state.stats
@@ -305,8 +410,13 @@ class LiveTranslationService:
             stats.records += len(venue_records)
             stats.sequences += len(batch)
             stats.semantics += batch.total_semantics
-            if knowledge is not None:
-                stats.knowledge_sequences = knowledge.sequences_seen
+            stats.translate_seconds += venue_elapsed
+            if state.store is not None:
+                stats.knowledge_sequences = (
+                    state.store.knowledge.sequences_seen
+                )
+                stats.retained_epochs = state.store.retained_epochs
+            self._observe_rate(state, venue_records)
             window_batches[vid] = batch
 
         finished = time.perf_counter()
@@ -321,6 +431,67 @@ class LiveTranslationService:
             elapsed_seconds=elapsed,
         )
 
+    def _retention_for(self, venue_id: str) -> "str | RetentionPolicy | None":
+        """This venue's retention override (``None`` → engine default)."""
+        if isinstance(self._retention, Mapping):
+            return self._retention.get(venue_id)
+        return self._retention
+
+    def _observe_rate(
+        self, state: _VenueState, venue_records: list[RawPositioningRecord]
+    ) -> None:
+        """Fold one window's observed feed rate into the venue's EWMA.
+
+        Adaptive windowing: the EWMA of records/sec predicts the records
+        one ``window_seconds`` span will carry; double that
+        (:data:`ADAPTIVE_HEADROOM`) becomes the venue's
+        ``max_window_records`` target, so the count bound only closes a
+        window early on genuine bursts.  The rate is measured against the
+        configured window span, not the records' own data-time span — a
+        burst compressed into a few seconds must not inflate the bound
+        meant to contain it (and a window the count bound closed early
+        would otherwise report its instantaneous burst rate, raising the
+        very bound that just fired).  A configured global
+        ``max_window_records`` stays the hard ceiling.
+        """
+        if not self.live_config.adaptive_windowing or not venue_records:
+            return
+        rate = len(venue_records) / self.live_config.window_seconds
+        alpha = self.live_config.adaptive_alpha
+        if state.ewma_rate is None:
+            state.ewma_rate = rate
+        else:
+            state.ewma_rate = alpha * rate + (1.0 - alpha) * state.ewma_rate
+        target = max(
+            ADAPTIVE_MIN_RECORDS,
+            math.ceil(
+                state.ewma_rate
+                * self.live_config.window_seconds
+                * ADAPTIVE_HEADROOM
+            ),
+        )
+        if self.live_config.max_window_records is not None:
+            target = min(target, self.live_config.max_window_records)
+        state.stats.window_records_target = target
+
+    def window_bounds(
+        self, venue_id: str | None = None
+    ) -> tuple[float, int | None]:
+        """The ``(window_seconds, max_records)`` bounds to cut with next.
+
+        The time span is global; the record bound is the venue's
+        adaptive target when adaptive windowing is on and the venue has
+        been observed, else the global ``max_window_records``.  Consulted
+        per window by :meth:`run_stream` and the asyncio producers.
+        """
+        config = self.live_config
+        max_records = config.max_window_records
+        if config.adaptive_windowing and venue_id is not None:
+            state = self._states.get(venue_id)
+            if state is not None and state.stats.window_records_target:
+                max_records = state.stats.window_records_target
+        return config.window_seconds, max_records
+
     # ------------------------------------------------------------------
     # Drivers
     # ------------------------------------------------------------------
@@ -333,15 +504,16 @@ class LiveTranslationService:
         """Replay one finite feed window by window on the calling thread.
 
         The synchronous driver: no asyncio, same windowing and fold
-        semantics as :meth:`serve`.  Leaves the service open so the
-        caller can :meth:`finalize` against the warm pool.
+        semantics as :meth:`serve` — including per-venue adaptive window
+        bounds, consulted before each cut.  Leaves the service open so
+        the caller can :meth:`finalize` against the warm pool.
         """
         self._ensure_open()
-        for records in windowed_records(
-            stream,
-            self.live_config.window_seconds,
-            max_records=self.live_config.max_window_records,
-        ):
+        while True:
+            window_seconds, max_records = self.window_bounds(venue_id)
+            records = stream.take_window(window_seconds, max_records)
+            if not records:
+                break
             window = self.process_window(records, venue_id)
             if on_window is not None:
                 on_window(window)
@@ -394,11 +566,19 @@ class LiveTranslationService:
         )
 
     def knowledge(self, venue_id: str) -> MobilityKnowledge | None:
-        """One venue's cumulative folded knowledge (``None`` before any
-        window reached it, or when its complementing layer is off)."""
+        """One venue's live folded knowledge (``None`` before any window
+        reached it, or when its complementing layer is off)."""
         self.dispatcher.translator(venue_id)
         state = self._states.get(venue_id)
         return state.knowledge if state is not None else None
+
+    def store(self, venue_id: str) -> KnowledgeStore | None:
+        """One venue's knowledge store — live knowledge plus epoch ring
+        and retention policy (``None`` under the same conditions as
+        :meth:`knowledge`)."""
+        self.dispatcher.translator(venue_id)
+        state = self._states.get(venue_id)
+        return state.store if state is not None else None
 
     def results(self, venue_id: str) -> list[TranslationResult]:
         """One venue's retained per-window results, in arrival order."""

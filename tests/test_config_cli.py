@@ -218,6 +218,51 @@ class TestCli:
         payload = json.loads(north[0].read_text())
         assert "semantics" in payload
 
+    def test_serve_with_windowed_retention(
+        self, task_workspace, tmp_path, capsys
+    ):
+        """`trips serve --retention window:4` runs end to end: every
+        venue's knowledge store retires epochs beyond the newest four,
+        and the service still finalizes and exports per-device results."""
+        _, _, config_path = task_workspace
+        out = tmp_path / "served-windowed"
+        code = cli_main(
+            [
+                "serve",
+                f"north={config_path}",
+                "--window-seconds", "1800",
+                "--retention", "window:4",
+                "--adaptive-windowing",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "finalized north:" in captured
+        assert "epochs" in captured
+        assert len(list((out / "north").glob("*.json"))) > 0
+
+    def test_serve_rejects_malformed_retention(self, task_workspace, capsys):
+        _, _, config_path = task_workspace
+        assert cli_main(
+            ["serve", f"v={config_path}", "--retention", "window:soon"]
+        ) == 1
+        assert "retention" in capsys.readouterr().err
+
+    def test_task_config_validates_knowledge_retention(self, tmp_path):
+        config = TranslationTaskConfig(
+            dsm_path="dsm.json", knowledge_retention="decay:8"
+        )
+        assert (
+            TranslationTaskConfig.from_dict(config.to_dict())
+            .knowledge_retention
+            == "decay:8"
+        )
+        with pytest.raises(ConfigError):
+            TranslationTaskConfig(
+                dsm_path="dsm.json", knowledge_retention="window:!"
+            )
+
     def test_serve_rejects_duplicate_venue_ids(self, task_workspace, capsys):
         _, _, config_path = task_workspace
         assert cli_main(
