@@ -1,0 +1,176 @@
+"""Distributed ingestion — shard-count scaling with exact merged knowledge.
+
+The horizontal-scaling pitch: hold the per-shard resources fixed (each
+shard is one :class:`~repro.live.LiveTranslationService` on a
+one-worker process pool) and add shards.  Records partition by stable
+device hash, shards translate their slices concurrently, and the
+knowledge exchange reconciles per-venue knowledge every few cluster
+windows.  This bench replays a mall day through shards=1, 2 and 4,
+reports sustained record throughput per configuration and the speedup
+over the single shard — and, correctness first, asserts that the merged
+cluster knowledge (and every shard's own post-exchange knowledge) is
+**bit-for-bit identical** to the one-shot ``Engine.translate_batch``
+knowledge over the same windowed sequences.
+
+The run also writes a JSON summary (``TRIPS_BENCH_DISTRIBUTED_JSON`` env
+var, default ``bench-distributed.json`` in the working directory) so CI
+can archive the numbers as an artifact and trend the shard-scaling
+curve across commits.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core import Translator
+from repro.distributed import ShardedIngestService
+from repro.engine import Engine, EngineConfig
+from repro.live import LiveConfig
+from repro.positioning import RecordStream, sequence_stream
+from repro.simulation import BROWSER, SHOPPER, MobilitySimulator
+from repro.timeutil import HOUR, TimeRange
+
+from .conftest import print_table
+
+WINDOW_SECONDS = 1800.0
+SHARD_COUNTS = (1, 2, 4)
+EXCHANGE_INTERVAL = 4
+_ROWS: list[list] = []
+_SUMMARY: list[dict] = []
+
+
+@pytest.fixture(scope="module")
+def feed(mall7):
+    """A mall day's feed plus the one-shot batch reference knowledge.
+
+    The full 7-floor venue: per-record cleaning cost grows with the
+    entity count (indoor-distance partitioning), while per-record IPC
+    cost does not, so worker compute dominates shipping and the shard
+    scaling curve measures the architecture, not the pickler.
+    """
+    translator = Translator(mall7)
+    simulator = MobilitySimulator(mall7, seed=83)
+    devices = simulator.simulate_population(
+        count=16,
+        profiles=[SHOPPER, BROWSER],
+        window=TimeRange(9 * HOUR, 19 * HOUR),
+        seed=83,
+    )
+    records = sorted(
+        (record for device in devices for record in device.raw),
+        key=lambda record: (record.timestamp, record.device_id),
+    )
+    sequences = list(
+        sequence_stream(RecordStream(iter(records)), WINDOW_SECONDS)
+    )
+    reference = Engine(
+        translator, EngineConfig(chunk_size=4)
+    ).translate_batch(sequences)
+    return translator, records, reference
+
+
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+def test_sharded_ingest_scaling(benchmark, feed, shards):
+    translator, records, reference = feed
+    rounds: list = []
+
+    def replay():
+        cluster = ShardedIngestService(
+            {"mall": translator},
+            shards=shards,
+            # Fixed per-shard resources: one worker process each, so the
+            # scaling axis under test is the shard count alone.
+            engine_config=EngineConfig(
+                backend="processes", workers=1, chunk_size=4
+            ),
+            live_config=LiveConfig(window_seconds=WINDOW_SECONDS),
+            exchange_interval=EXCHANGE_INTERVAL,
+        )
+        with cluster:
+            stats = cluster.run_stream(
+                RecordStream(iter(records)), venue_id="mall"
+            )
+            merged = cluster.merged_knowledge("mall")
+            per_shard = [
+                shard.knowledge("mall") for shard in cluster.shards
+            ]
+        rounds.append(stats)
+        return stats, merged, per_shard
+
+    _, merged, per_shard = benchmark.pedantic(
+        replay, rounds=2, iterations=1
+    )
+    # Best of the rounds: one noisy-neighbor round must not invert the
+    # shard-scaling comparison on a shared CI runner.
+    stats = max(rounds, key=lambda s: s.records_per_second)
+
+    # Correctness first: the merged cluster knowledge — and every
+    # shard's own knowledge after the final exchange round — must be
+    # bit-for-bit the one-shot batch fold.
+    assert merged == reference.knowledge
+    for knowledge in per_shard:
+        if knowledge is not None:
+            assert knowledge == merged
+
+    _ROWS.append(
+        [
+            shards,
+            stats.windows,
+            stats.records,
+            stats.exchange.rounds,
+            f"{stats.records_per_second:,.0f} rec/s",
+            f"{stats.elapsed_seconds:.2f} s",
+        ]
+    )
+    _SUMMARY.append(
+        {
+            "shards": shards,
+            "windows": stats.windows,
+            "records": stats.records,
+            "sequences": stats.sequences,
+            "exchange_rounds": stats.exchange.rounds,
+            "exchange_seconds": stats.exchange.exchange_seconds,
+            "records_per_second": stats.records_per_second,
+            "elapsed_seconds": stats.elapsed_seconds,
+            "merged_identical_to_batch": True,
+        }
+    )
+
+
+def teardown_module(module) -> None:
+    by_shards = {entry["shards"]: entry for entry in _SUMMARY}
+    base = by_shards.get(1)
+    for entry in _SUMMARY:
+        entry["speedup_vs_one_shard"] = (
+            entry["records_per_second"] / base["records_per_second"]
+            if base and base["records_per_second"] > 0
+            else None
+        )
+    for row, entry in zip(_ROWS, _SUMMARY):
+        speedup = entry["speedup_vs_one_shard"]
+        row.append(f"{speedup:.2f}x" if speedup is not None else "-")
+    print_table(
+        "Distributed ingestion: shard-count scaling (1 worker per shard)",
+        ["shards", "windows", "records", "exchanges", "throughput",
+         "elapsed", "speedup"],
+        _ROWS,
+    )
+    if _SUMMARY:
+        out = Path(
+            os.environ.get(
+                "TRIPS_BENCH_DISTRIBUTED_JSON", "bench-distributed.json"
+            )
+        )
+        out.write_text(json.dumps(_SUMMARY, indent=2), encoding="utf-8")
+        print(f"wrote distributed bench summary to {out}")
+    # With at least 4 cores, four one-worker shards must outrun one —
+    # that is the whole point of the horizontal axis.
+    four = by_shards.get(4)
+    if base and four and (os.cpu_count() or 1) >= 4:
+        assert (
+            four["records_per_second"] > base["records_per_second"]
+        ), "shards=4 did not beat shards=1 on a >=4-core machine"

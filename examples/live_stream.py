@@ -17,15 +17,29 @@ same windowed sequences.  Finally a ViewerSession is built straight from
 the accumulated live results of one device.
 
 The last section demonstrates the knowledge lifecycle (repro.knowledge):
-the same mall feed replayed under sliding-window retention — every
-ingestion window is one epoch, expired epochs are *subtracted* out of
-the prior by the shard algebra's exact inverse — and under exponential
-decay, where old evidence fades instead of expiring.  The sliding-window
-prior is verified bit-for-bit equal to a fresh fold over only the
-retained windows: retiring an epoch is exactly never having folded it.
+the same mall feed replayed under each retention spec named on the
+command line — every ingestion window is one epoch; sliding-window specs
+*subtract* expired epochs out of the prior by the shard algebra's exact
+inverse, decay specs fade old evidence instead.  Each spec is parsed and
+echoed back as its policy object, so the run doubles as documentation of
+the spec grammar; any count-bounded window prior is verified bit-for-bit
+equal to a fresh fold over only the retained windows: retiring an epoch
+is exactly never having folded it.
 
-Run:  python examples/live_stream.py
+Run:  python examples/live_stream.py [RETENTION ...]
+
+where each RETENTION is a spec from the grammar understood by
+repro.knowledge.parse_retention:
+
+    unbounded          fold forever (default)
+    window:N           keep the newest N epochs
+    window:Ns          keep epochs newer than N seconds of data time
+    decay:H            halve old evidence every H epoch rolls
+
+Defaults to "unbounded window:4 decay:4" when none are given.
 """
+
+import sys
 
 from repro import (
     Engine,
@@ -145,10 +159,18 @@ def main() -> None:
     # An unbounded prior folds forever — fine for a finite replay, but a
     # venue that runs for months drifts away from current behaviour.
     # Retention policies bound what the prior remembers; each ingestion
-    # window is one epoch.
-    print("\n[knowledge retention: unbounded vs window:4 vs decay:4]")
+    # window is one epoch.  The specs come from the command line (see
+    # the module docstring for the grammar) and are echoed back parsed,
+    # so the output documents what each spec means.
+    from repro.knowledge import SlidingWindow, parse_retention
+
+    specs = sys.argv[1:] or ["unbounded", "window:4", "decay:4"]
+    policies = {spec: parse_retention(spec) for spec in specs}
+    print(f"\n[knowledge retention: {' vs '.join(specs)}]")
+    for spec, policy in policies.items():
+        print(f"  spec {spec!r} parses to {policy!r}")
     runs = {}
-    for retention in ("unbounded", "window:4", "decay:4"):
+    for retention in specs:
         aged = LiveTranslationService(
             {"mall": Translator(mall)},
             EngineConfig(backend="threads", chunk_size=4),
@@ -168,24 +190,37 @@ def main() -> None:
                 f"({store.epochs_retired} retired)"
             )
 
-    # Retiring an epoch is *exact*: the window:4 prior equals a fresh
-    # unbounded fold over only the last four windows' sequences.
-    from repro.positioning import PositioningSequence, windowed_records
-
-    windows = [
-        PositioningSequence.group_records(window)
-        for window in windowed_records(
-            RecordStream(iter(feeds["mall"])), WINDOW_SECONDS
-        )
-    ]
-    engine = Engine(Translator(mall), EngineConfig(chunk_size=4))
-    recent = None
-    for window in windows[-4:]:
-        _, recent = engine.translate_increment(window, recent)
-    identical = runs["window:4"].knowledge == recent
-    print(
-        f"  window:4 prior == fold of last 4 windows only: {identical}"
+    # Retiring an epoch is *exact*: a count-bounded window:N prior
+    # equals a fresh unbounded fold over only the last N windows'
+    # sequences.  Verified for the first such spec given.
+    bounded = next(
+        (
+            (spec, policy.max_epochs)
+            for spec, policy in policies.items()
+            if isinstance(policy, SlidingWindow)
+            and policy.max_epochs is not None
+        ),
+        None,
     )
+    if bounded is not None:
+        spec, max_epochs = bounded
+        from repro.positioning import PositioningSequence, windowed_records
+
+        windows = [
+            PositioningSequence.group_records(window)
+            for window in windowed_records(
+                RecordStream(iter(feeds["mall"])), WINDOW_SECONDS
+            )
+        ]
+        engine = Engine(Translator(mall), EngineConfig(chunk_size=4))
+        recent = None
+        for window in windows[-max_epochs:]:
+            _, recent = engine.translate_increment(window, recent)
+        identical = runs[spec].knowledge == recent
+        print(
+            f"  {spec} prior == fold of last {max_epochs} windows only: "
+            f"{identical}"
+        )
 
 
 if __name__ == "__main__":

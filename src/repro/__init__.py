@@ -38,6 +38,13 @@ from .core import (
     score_positions,
     score_semantics,
 )
+from .distributed import (
+    ClusterStats,
+    DeviceHashRouter,
+    KnowledgeExchange,
+    ShardedIngestService,
+    VenueAffineRouter,
+)
 from .dsm import DigitalSpaceModel, load_dsm, save_dsm, validate_dsm
 from .engine import Engine, EngineConfig
 from .events import EventEditor, PatternRegistry
@@ -72,7 +79,9 @@ __all__ = [
     "EVENT_PASS_BY",
     "EVENT_STAY",
     "AsciiFloorplanParser",
+    "ClusterStats",
     "DataSelector",
+    "DeviceHashRouter",
     "DigitalSpaceModel",
     "DrawingCanvas",
     "Engine",
@@ -81,6 +90,7 @@ __all__ = [
     "EventIdentifier",
     "ExponentialDecay",
     "HeuristicEventIdentifier",
+    "KnowledgeExchange",
     "KnowledgeStore",
     "LiveConfig",
     "LiveStats",
@@ -97,6 +107,7 @@ __all__ = [
     "RawDataCleaner",
     "RawPositioningRecord",
     "RetentionPolicy",
+    "ShardedIngestService",
     "SimulatedDevice",
     "SlidingWindow",
     "TimeRange",
@@ -104,6 +115,7 @@ __all__ = [
     "Translator",
     "TranslatorConfig",
     "Unbounded",
+    "VenueAffineRouter",
     "VenueDispatcher",
     "ViewerSession",
     "WifiErrorModel",

@@ -135,6 +135,33 @@ def _build_parser() -> argparse.ArgumentParser:
         "of each venue's observed feed rate (records/sec)",
     )
     serve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="shard ingestion across this many service instances (each "
+        "with its own worker pool); per-venue knowledge is merged "
+        "exactly through the knowledge exchange (default: 1, the "
+        "single-instance live service)",
+    )
+    serve.add_argument(
+        "--exchange-interval",
+        type=int,
+        default=1,
+        metavar="WINDOWS",
+        help="run a knowledge exchange round every this many cluster "
+        "windows; after each round every shard's knowledge equals the "
+        "merged cluster knowledge bit for bit (default: 1; requires "
+        "--shards > 1)",
+    )
+    serve.add_argument(
+        "--shard-router",
+        choices=("device", "venue"),
+        default="device",
+        help="how records partition across shards: 'device' (stable "
+        "device-id hash, the default) or 'venue' (a venue's devices all "
+        "pin to one shard); requires --shards > 1",
+    )
+    serve.add_argument(
         "--out",
         type=Path,
         default=None,
@@ -246,6 +273,12 @@ def _cmd_serve(args) -> None:
 
     if args.retention is not None:
         parse_retention(args.retention)  # fail fast on a malformed spec
+    if args.shards < 1:
+        raise ConfigError(f"--shards must be >= 1, got {args.shards}")
+    if args.exchange_interval < 1:
+        raise ConfigError(
+            f"--exchange-interval must be >= 1, got {args.exchange_interval}"
+        )
     translators = {}
     feeds = {}
     retention = {}
@@ -277,15 +310,21 @@ def _cmd_serve(args) -> None:
     engine_kwargs = {"backend": args.backend, "workers": args.workers}
     if args.chunk_size is not None:
         engine_kwargs["chunk_size"] = args.chunk_size
+    engine_config = EngineConfig(**engine_kwargs)
+    live_config = LiveConfig(
+        window_seconds=args.window_seconds,
+        max_window_records=args.max_window_records,
+        adaptive_windowing=args.adaptive_windowing,
+    )
+
+    if args.shards > 1:
+        _serve_sharded(
+            args, translators, feeds, retention, engine_config, live_config
+        )
+        return
+
     service = LiveTranslationService(
-        translators,
-        EngineConfig(**engine_kwargs),
-        LiveConfig(
-            window_seconds=args.window_seconds,
-            max_window_records=args.max_window_records,
-            adaptive_windowing=args.adaptive_windowing,
-        ),
-        retention=retention,
+        translators, engine_config, live_config, retention=retention
     )
 
     def report(window) -> None:
@@ -302,24 +341,62 @@ def _cmd_serve(args) -> None:
         stats = service.serve(feeds, on_window=report)
         print(stats.format_table())
         if not args.no_finalize:
-            finalized = service.finalize()
-            for venue_id, batch in sorted(finalized.items()):
-                print(
-                    f"finalized {venue_id}: {len(batch)} sequences, "
-                    f"{batch.total_semantics} semantics "
-                    f"(knowledge over "
-                    f"{batch.knowledge.sequences_seen if batch.knowledge else 0:g}"
-                    f" sequences)"
+            _report_finalized(service.finalize(), args.out)
+
+
+def _serve_sharded(
+    args, translators, feeds, retention, engine_config, live_config
+) -> None:
+    """The ``trips serve --shards N`` path: sharded cluster ingestion."""
+    from .distributed import ShardedIngestService
+
+    cluster = ShardedIngestService(
+        translators,
+        shards=args.shards,
+        engine_config=engine_config,
+        live_config=live_config,
+        shard_router=args.shard_router,
+        exchange_interval=args.exchange_interval,
+        retention=retention,
+    )
+
+    def report(window) -> None:
+        shards = ", ".join(
+            f"shard {index}: {result.sequences} seq"
+            for index, result in sorted(window.shards.items())
+        )
+        note = "  [exchange]" if window.exchange is not None else ""
+        print(
+            f"window {window.index:4d}  {window.records:6d} records  "
+            f"{window.elapsed_seconds * 1e3:7.1f} ms  [{shards}]{note}"
+        )
+
+    with cluster:
+        stats = cluster.run_feeds(feeds, on_window=report)
+        print(stats.format_table())
+        if not args.no_finalize:
+            _report_finalized(cluster.finalize(), args.out)
+
+
+def _report_finalized(finalized, out: "Path | None") -> None:
+    """Print the per-venue finalized batches; export them when asked."""
+    for venue_id, batch in sorted(finalized.items()):
+        print(
+            f"finalized {venue_id}: {len(batch)} sequences, "
+            f"{batch.total_semantics} semantics "
+            f"(knowledge over "
+            f"{batch.knowledge.sequences_seen if batch.knowledge else 0:g}"
+            f" sequences)"
+        )
+        if out is not None:
+            venue_dir = out / venue_id
+            venue_dir.mkdir(parents=True, exist_ok=True)
+            for index, result in enumerate(batch):
+                safe_id = result.device_id.replace("/", "_").replace(
+                    ":", "_"
                 )
-                if args.out is not None:
-                    venue_dir = args.out / venue_id
-                    venue_dir.mkdir(parents=True, exist_ok=True)
-                    for index, result in enumerate(batch):
-                        safe_id = result.device_id.replace("/", "_").replace(
-                            ":", "_"
-                        )
-                        result.export(venue_dir / f"{index}-{safe_id}.json")
-                    print(f"  wrote {len(batch)} result files to {venue_dir}/")
+                result.export(venue_dir / f"{index}-{safe_id}.json")
+            print(f"  wrote {len(batch)} result files to {venue_dir}/")
 
 
 def _cmd_render(args) -> None:

@@ -1,0 +1,219 @@
+"""The knowledge exchange: exact merge of per-shard venue knowledge.
+
+Every shard of a :class:`~repro.distributed.ShardedIngestService` folds
+only the mobility evidence of the devices routed to it, so between
+exchanges the shards' priors diverge — each complements against a
+partial view.  The exchange reconciles them through the shard algebra,
+and *exactly*:
+
+1. **Export.**  Each shard exports, per venue, the delta of its
+   knowledge store since the last exchange —
+   :meth:`~repro.knowledge.KnowledgeStore.export_delta`, a
+   :meth:`~repro.knowledge.KnowledgeStore.to_partial` snapshot with the
+   previous round's baseline subtracted through the algebra's exact
+   inverse.  The delta is bit-for-bit the epochs the shard folded in
+   between.
+2. **Fold.**  The coordinator folds every delta into one global
+   :class:`~repro.core.complementing.PartialKnowledge` per venue.
+   Folding is commutative and associative with exact-sum dwell totals,
+   so the global aggregate is independent of shard count, arrival order
+   and exchange schedule.
+3. **Rebase.**  Each shard receives exactly the evidence it is missing —
+   the global aggregate minus what the shard already holds, again by
+   exact subtraction — and folds it into its live knowledge.
+
+The invariant this buys (proved by ``tests/test_distributed.py``):
+after any full exchange round, **every shard's live knowledge equals —
+bit for bit — the single-instance fold** of all windows processed so
+far, and therefore the one-shot batch knowledge once a finite feed has
+drained.  Between rounds a shard's prior is its own evidence plus the
+cluster state as of the last rebase: stale, never wrong.
+
+The protocol is additive, so it requires unbounded retention: a shard
+that retires or decays evidence cannot express its change since the
+baseline as an additive delta (the subtraction would go negative).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+from ..core.complementing import MobilityKnowledge, PartialKnowledge
+from ..errors import ConfigError
+from ..knowledge import KnowledgeStore, Unbounded
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..live import LiveTranslationService
+
+
+@dataclass(frozen=True)
+class ExchangeRound:
+    """One completed exchange round's summary."""
+
+    index: int
+    #: Venues whose global knowledge the round touched.
+    venues: tuple[str, ...]
+    #: Shard deltas folded that actually carried evidence.
+    deltas: int
+    #: Sequences in the merged global knowledge, summed over venues.
+    sequences_merged: float
+    elapsed_seconds: float
+
+
+@dataclass
+class ExchangeStats:
+    """Cumulative exchange counters."""
+
+    rounds: int = 0
+    deltas_folded: int = 0
+    exchange_seconds: float = 0.0
+    #: Sequences in the merged global knowledge, per venue.
+    sequences_merged: dict[str, float] = field(default_factory=dict)
+
+
+class KnowledgeExchange:
+    """Coordinates exact knowledge merges across shard services.
+
+    Owns the per-venue global :class:`PartialKnowledge` aggregate and a
+    per-``(shard, venue)`` baseline (the snapshot each shard's store was
+    last rebased to).  :meth:`exchange` runs one full round over a list
+    of shard services; shards must be quiescent while it runs (the
+    :class:`~repro.distributed.ShardedIngestService` guarantees that by
+    exchanging between cluster windows).
+    """
+
+    def __init__(self) -> None:
+        self._global: dict[str, PartialKnowledge] = {}
+        self._smoothing: dict[str, float] = {}
+        self._baselines: dict[tuple[int, str], PartialKnowledge] = {}
+        self.stats = ExchangeStats()
+
+    # ------------------------------------------------------------------
+    # The round
+    # ------------------------------------------------------------------
+    def exchange(
+        self, shards: "Sequence[LiveTranslationService]"
+    ) -> ExchangeRound:
+        """Run one full exchange round; returns its summary.
+
+        After this returns, every shard's live knowledge for every venue
+        it serves equals the merged global knowledge, bit for bit.
+        """
+        started = time.perf_counter()
+        deltas_folded = 0
+        venues_touched: list[str] = []
+        venue_ids = sorted(
+            {v for shard in shards for v in shard.dispatcher.venue_ids}
+        )
+        for venue_id in venue_ids:
+            participants: list[tuple[int, KnowledgeStore]] = []
+            for index, shard in enumerate(shards):
+                if venue_id not in shard.dispatcher.translators:
+                    continue
+                store = shard.ensure_store(venue_id)
+                if store is None:
+                    continue  # venue builds no knowledge at all
+                self._require_additive(store, venue_id)
+                participants.append((index, store))
+            if not participants:
+                continue
+
+            # Export: each shard's delta since its last baseline.
+            deltas: dict[int, PartialKnowledge] = {}
+            for index, store in participants:
+                baseline = self._baselines.get((index, venue_id))
+                delta = store.export_delta(baseline)
+                deltas[index] = delta
+                if delta.sequences_seen:
+                    deltas_folded += 1
+
+            # Fold: merge the deltas into the global aggregate.
+            merged = self._global.get(venue_id)
+            if merged is None:
+                regions = deltas[participants[0][0]].regions
+                merged = PartialKnowledge(regions=list(regions))
+                self._global[venue_id] = merged
+                self._smoothing[venue_id] = participants[0][
+                    1
+                ].knowledge.smoothing
+            for index, _ in participants:
+                merged.add(deltas[index])
+
+            # Rebase: hand each shard exactly what it is missing.  The
+            # post-round baseline is the same merged snapshot for every
+            # participant; baselines are only ever subtracted *from
+            # copies*, so one frozen copy is safely shared (keyed per
+            # shard so a service added between rounds starts afresh).
+            snapshot = merged.merge()  # no-args merge == deep copy
+            for index, store in participants:
+                missing = merged.merge()
+                baseline = self._baselines.get((index, venue_id))
+                if baseline is not None:
+                    missing.subtract(baseline)
+                missing.subtract(deltas[index])
+                if missing.sequences_seen or missing.outgoing_totals:
+                    store.knowledge.fold(missing)
+                self._baselines[(index, venue_id)] = snapshot
+            venues_touched.append(venue_id)
+            self.stats.sequences_merged[venue_id] = merged.sequences_seen
+
+        elapsed = time.perf_counter() - started
+        self.stats.rounds += 1
+        self.stats.deltas_folded += deltas_folded
+        self.stats.exchange_seconds += elapsed
+        return ExchangeRound(
+            index=self.stats.rounds - 1,
+            venues=tuple(venues_touched),
+            deltas=deltas_folded,
+            sequences_merged=sum(
+                self.stats.sequences_merged.values()
+            ),
+            elapsed_seconds=elapsed,
+        )
+
+    @staticmethod
+    def _require_additive(store: KnowledgeStore, venue_id: str) -> None:
+        if not isinstance(store.retention, Unbounded):
+            raise ConfigError(
+                f"knowledge exchange requires unbounded retention, but "
+                f"venue {venue_id!r} runs {store.retention.name!r}; "
+                "retired or decayed evidence cannot be expressed as an "
+                "additive delta"
+            )
+
+    # ------------------------------------------------------------------
+    # The merged view
+    # ------------------------------------------------------------------
+    @property
+    def venue_ids(self) -> list[str]:
+        """Venues with merged global knowledge, sorted."""
+        return sorted(self._global)
+
+    def merged_partial(self, venue_id: str) -> PartialKnowledge | None:
+        """A copy of one venue's merged global shard (``None`` if unseen)."""
+        merged = self._global.get(venue_id)
+        return merged.merge() if merged is not None else None
+
+    def merged_knowledge(self, venue_id: str) -> MobilityKnowledge | None:
+        """One venue's merged global knowledge as a queryable prior.
+
+        Bit-for-bit what a single instance folding every shard's windows
+        would hold — the coordinator's authoritative view.
+        """
+        merged = self._global.get(venue_id)
+        if merged is None:
+            return None
+        return MobilityKnowledge.from_partials(
+            [merged],
+            regions=list(merged.regions),
+            smoothing=self._smoothing[venue_id],
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"KnowledgeExchange({len(self._global)} venues, "
+            f"{self.stats.rounds} rounds, "
+            f"{self.stats.deltas_folded} deltas folded)"
+        )

@@ -1,0 +1,165 @@
+"""Shard routing: stable partition of records across service instances.
+
+A shard router assigns every incoming record to one of N shard indices.
+The one invariant a router must uphold is **device affinity**: all of a
+device's records within an ingestion window must land on the same shard,
+because per-device sequences are grouped *inside* each shard — splitting
+a device across shards would split its sequence, changing cleaning and
+annotation and therefore the knowledge.  Both built-in routers are
+affine for the device's whole lifetime, which is strictly stronger.
+
+Routers are plain callables ``(record, shards) -> index`` so tests and
+deployments can plug arbitrary partitioning (consistent hashing, a
+lookup service) without subclassing:
+
+- :class:`DeviceHashRouter` — the default: a *stable* hash of the device
+  id (BLAKE2, never Python's salted ``hash``) modulo the shard count, so
+  the same device routes to the same shard across processes, restarts
+  and machines.  Load spreads uniformly over devices.
+- :class:`VenueAffineRouter` — hashes the record's *venue* instead, so
+  every device of a venue pins to one shard.  A venue's knowledge then
+  never needs merging (its evidence all accumulates on one instance) at
+  the price of coarser balance; useful when venues are many and small.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable
+
+from ..errors import ConfigError
+from ..live.dispatch import VENUE_SEPARATOR
+from ..positioning import RawPositioningRecord
+
+#: A shard router: maps ``(record, shard_count)`` to a shard index in
+#: ``range(shard_count)``.  Must be device-affine within a window.  A
+#: router may additionally expose ``shard_of_venue(venue_key, shards)``;
+#: venue-tagged windows then route wholesale to that shard instead of
+#: record by record (:class:`VenueAffineRouter` does).
+ShardRouter = Callable[[RawPositioningRecord, int], int]
+
+
+def stable_hash(key: str) -> int:
+    """A process-stable 64-bit hash of a string key.
+
+    Python's builtin ``hash`` is salted per process, which would route
+    the same device to different shards on different instances — the
+    exact opposite of what sharding needs.  BLAKE2b is deterministic
+    everywhere and uniform enough that ``stable_hash(id) % shards``
+    balances real device populations.
+    """
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class DeviceHashRouter:
+    """Route by a stable hash of the device id (the default router)."""
+
+    name = "device"
+
+    def __call__(self, record: RawPositioningRecord, shards: int) -> int:
+        return stable_hash(record.device_id) % shards
+
+    def __repr__(self) -> str:
+        return "DeviceHashRouter()"
+
+
+class VenueAffineRouter:
+    """Route by the record's venue, pinning a venue's devices together.
+
+    Tagged windows (the common case: ``process_window(records,
+    venue_id=...)`` and every ``trips serve`` feed) route wholesale
+    through :meth:`shard_of_venue` — the sharded service detects the
+    method and pins the whole window to the venue's shard without
+    touching a single record.  For untagged mixed feeds, ``venue_of``
+    extracts the venue key per record; the default reads the
+    ``"<venue>:<device>"`` prefix used by the live dispatcher and falls
+    back to the whole device id when there is none — prefix-less
+    untagged records therefore degrade to *device* affinity (still
+    correct, no longer venue-pinned), so tag the feed or pass a custom
+    ``venue_of`` when venue pinning matters.
+    """
+
+    name = "venue"
+
+    def __init__(
+        self,
+        venue_of: "Callable[[RawPositioningRecord], str] | None" = None,
+    ):
+        self._venue_of = venue_of
+
+    def shard_of_venue(self, venue_key: str, shards: int) -> int:
+        """The one shard a whole venue pins to."""
+        return stable_hash(venue_key) % shards
+
+    def venue_key(self, record: RawPositioningRecord) -> str:
+        if self._venue_of is not None:
+            return self._venue_of(record)
+        venue_id, found, _ = record.device_id.partition(VENUE_SEPARATOR)
+        return venue_id if found else record.device_id
+
+    def __call__(self, record: RawPositioningRecord, shards: int) -> int:
+        return self.shard_of_venue(self.venue_key(record), shards)
+
+    def __repr__(self) -> str:
+        return f"VenueAffineRouter(venue_of={self._venue_of!r})"
+
+
+#: Routers addressable by CLI spec (``trips serve --shard-router``).
+SHARD_ROUTERS: dict[str, Callable[[], ShardRouter]] = {
+    DeviceHashRouter.name: DeviceHashRouter,
+    VenueAffineRouter.name: VenueAffineRouter,
+}
+
+
+def parse_shard_router(
+    spec: "str | ShardRouter | None",
+) -> ShardRouter:
+    """Materialize a shard router from its spec name.
+
+    Accepts an already-built router (any callable; returned as-is),
+    ``None`` (device-hash default), or a registry name — currently
+    ``"device"`` or ``"venue"``.
+    """
+    if spec is None:
+        return DeviceHashRouter()
+    if callable(spec):
+        return spec
+    if not isinstance(spec, str):
+        raise ConfigError(
+            f"shard router must be a name or callable, got "
+            f"{type(spec).__name__}"
+        )
+    try:
+        factory = SHARD_ROUTERS[spec.strip().lower()]
+    except KeyError:
+        known = ", ".join(sorted(SHARD_ROUTERS))
+        raise ConfigError(
+            f"unknown shard router {spec!r} (known: {known})"
+        ) from None
+    return factory()
+
+
+def shard_records(
+    records: "list[RawPositioningRecord]",
+    router: ShardRouter,
+    shards: int,
+) -> "dict[int, list[RawPositioningRecord]]":
+    """Partition one window's records per shard, preserving feed order.
+
+    Only shards that actually received records appear, keyed in index
+    order so downstream processing is deterministic.  A router returning
+    an index outside ``range(shards)`` raises
+    :class:`~repro.errors.ConfigError` — misrouted traffic must fail
+    loudly, exactly like venue dispatch.
+    """
+    routed: dict[int, list[RawPositioningRecord]] = {}
+    for record in records:
+        index = router(record, shards)
+        if not 0 <= index < shards:
+            raise ConfigError(
+                f"shard router returned index {index} for device "
+                f"{record.device_id!r}; expected 0 <= index < {shards}"
+            )
+        routed.setdefault(index, []).append(record)
+    return {index: routed[index] for index in sorted(routed)}

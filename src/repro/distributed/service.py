@@ -1,0 +1,466 @@
+"""The sharded ingestion service: horizontal scale-out of the live service.
+
+One :class:`ShardedIngestService` owns N independent
+:class:`~repro.live.LiveTranslationService` instances — each with its own
+warm worker pool and per-venue knowledge stores — plus one
+:class:`~repro.distributed.KnowledgeExchange`.  Every cluster window is
+partitioned across the shards by a device-stable
+:class:`~repro.distributed.ShardRouter` and the shards translate their
+slices **concurrently**; every ``exchange_interval`` cluster windows the
+exchange reconciles the shards' knowledge through the exact shard
+algebra, so each shard's complementing prior converges to the
+single-instance fold (bit for bit) at every exchange round.
+
+The cluster preserves the live service's exactness contract because the
+partition respects the two boundaries the algebra cares about: records
+split by *device* (sequences group whole inside one shard) and knowledge
+merges by *exact sums* (shard-count- and order-independent).  What is
+approximate between exchanges is only freshness — a shard complements
+against the cluster state as of the last rebase plus its own evidence —
+never the aggregates themselves.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import Callable, Mapping
+
+from ..core.complementing import MobilityKnowledge
+from ..core.translator import (
+    BatchTranslationResult,
+    TranslationResult,
+    Translator,
+)
+from ..engine import EngineConfig
+from ..errors import ConfigError
+from ..knowledge import RetentionPolicy, Unbounded, parse_retention
+from ..live import LiveConfig, LiveStats, LiveTranslationService
+from ..live.dispatch import Router
+from ..live.service import LiveWindowResult
+from ..positioning import RawPositioningRecord, RecordStream
+from .exchange import ExchangeRound, ExchangeStats, KnowledgeExchange
+from .router import ShardRouter, parse_shard_router, shard_records
+
+
+@dataclass(frozen=True)
+class ClusterWindowResult:
+    """One cluster window: the per-shard windows it fanned out to."""
+
+    index: int
+    #: Per-shard window results, keyed by shard index (only shards that
+    #: received records appear).
+    shards: dict[int, LiveWindowResult]
+    records: int
+    elapsed_seconds: float
+    #: The exchange round that ran after this window, if any.
+    exchange: ExchangeRound | None = None
+
+    @property
+    def sequences(self) -> int:
+        """Per-device sequences translated across all shards."""
+        return sum(window.sequences for window in self.shards.values())
+
+    @property
+    def semantics(self) -> int:
+        """Semantics triplets emitted across all shards."""
+        return sum(window.semantics for window in self.shards.values())
+
+
+@dataclass
+class ClusterStats:
+    """Cumulative counters across the whole shard cluster."""
+
+    shards: int
+    windows: int = 0
+    records: int = 0
+    sequences: int = 0
+    semantics: int = 0
+    #: Wall time from the first cluster window to the latest one.
+    elapsed_seconds: float = 0.0
+    #: Per-shard cumulative live stats, in shard-index order.
+    per_shard: tuple[LiveStats, ...] = ()
+    exchange: ExchangeStats = field(default_factory=ExchangeStats)
+
+    @property
+    def records_per_second(self) -> float:
+        """Sustained record throughput over the cluster's lifetime."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.records / self.elapsed_seconds
+
+    @property
+    def windows_per_second(self) -> float:
+        """Sustained cluster-window throughput."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.windows / self.elapsed_seconds
+
+    def format_table(self) -> str:
+        """Small fixed-width rendering for CLI / bench output."""
+        merged = ", ".join(
+            f"{venue}={count:g} seq"
+            for venue, count in sorted(self.exchange.sequences_merged.items())
+        )
+        lines = [
+            f"cluster: {self.shards} shards  {self.windows} windows  "
+            f"{self.records} records  {self.sequences} sequences  "
+            f"{self.semantics} semantics  "
+            f"({self.records_per_second:,.0f} records/s)",
+            f"exchange: {self.exchange.rounds} rounds  "
+            f"{self.exchange.deltas_folded} deltas folded  "
+            f"{self.exchange.exchange_seconds * 1e3:.1f} ms"
+            + (f"  merged knowledge: {merged}" if merged else ""),
+        ]
+        for index, stats in enumerate(self.per_shard):
+            lines.append(
+                f"  shard {index}  {stats.windows:4d} windows  "
+                f"{stats.records:7d} records  "
+                f"{stats.sequences:5d} sequences  "
+                f"{stats.semantics:6d} semantics  "
+                f"{stats.translate_seconds:6.2f}s translate"
+            )
+        return "\n".join(lines)
+
+
+def _require_unbounded(
+    retention: "str | RetentionPolicy | Mapping[str, str | RetentionPolicy] | None",
+    where: str,
+) -> None:
+    """The exchange is additive; reject retention that retires evidence."""
+    if isinstance(retention, Mapping):
+        for venue_id, spec in retention.items():
+            _require_unbounded(spec, f"venue {venue_id!r}")
+        return
+    if not isinstance(parse_retention(retention), Unbounded):
+        raise ConfigError(
+            f"sharded ingestion requires unbounded retention ({where} "
+            f"configures {retention!r}); retired or decayed evidence "
+            "cannot be merged as additive deltas across shards"
+        )
+
+
+class ShardedIngestService:
+    """N live-service shards behind one device-hash partition + exchange.
+
+    Construct exactly like a :class:`~repro.live.LiveTranslationService`
+    — a ``{venue_id: Translator}`` map plus engine/live configs — with a
+    ``shards`` count on top.  Each shard is a full live service (own
+    worker pool, own per-venue knowledge stores); the cluster cuts
+    windows off the feed, partitions each window's records per shard
+    (``shard_router``: device-hash by default, venue-affine or custom),
+    drives the shard windows concurrently, and every
+    ``exchange_interval`` cluster windows reconciles knowledge through
+    the :class:`~repro.distributed.KnowledgeExchange`
+    (``exchange_interval=None`` disables the automatic rounds;
+    :meth:`exchange_now` is always available).  The service is a context
+    manager, like its shards.
+    """
+
+    def __init__(
+        self,
+        translators: Mapping[str, Translator] | Translator,
+        shards: int = 2,
+        engine_config: EngineConfig | None = None,
+        live_config: LiveConfig | None = None,
+        shard_router: "str | ShardRouter | None" = None,
+        exchange_interval: int | None = 1,
+        router: Router | None = None,
+        retention: "str | RetentionPolicy | Mapping[str, str | RetentionPolicy] | None" = None,
+    ):
+        if shards < 1:
+            raise ConfigError(f"shard count must be >= 1, got {shards}")
+        if exchange_interval is not None and exchange_interval < 1:
+            raise ConfigError(
+                f"exchange interval must be >= 1 cluster windows, got "
+                f"{exchange_interval}"
+            )
+        engine_config = (
+            engine_config if engine_config is not None else EngineConfig()
+        )
+        # The exchange's additive deltas require unbounded retention on
+        # every path a venue's policy can come from: the explicit
+        # override, or the engine default it falls back to.
+        _require_unbounded(retention, "the service retention")
+        _require_unbounded(
+            engine_config.retention, "EngineConfig.retention"
+        )
+        self.shard_router = parse_shard_router(shard_router)
+        self.exchange_interval = exchange_interval
+        self.exchange = KnowledgeExchange()
+        self.shards: list[LiveTranslationService] = [
+            LiveTranslationService(
+                translators,
+                engine_config,
+                live_config,
+                router=router,
+                retention=retention,
+            )
+            for _ in range(shards)
+        ]
+        self.live_config = self.shards[0].live_config
+        self._driver: ThreadPoolExecutor | None = None
+        self._windows = 0
+        self._since_exchange = 0
+        self._started: float | None = None
+        self._elapsed = 0.0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def open(self) -> "ShardedIngestService":
+        """Open every shard's pool plus the cluster's driver threads."""
+        if self._driver is None:
+            self._driver = ThreadPoolExecutor(
+                max_workers=len(self.shards),
+                thread_name_prefix="trips-shard",
+            )
+        for shard in self.shards:
+            shard.open()
+        return self
+
+    def close(self) -> None:
+        """Tear every shard down; accumulated state is kept."""
+        for shard in self.shards:
+            shard.close()
+        if self._driver is not None:
+            self._driver.shutdown(wait=True)
+            self._driver = None
+
+    def __enter__(self) -> "ShardedIngestService":
+        return self.open()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _ensure_open(self) -> None:
+        if self._driver is None:
+            self.open()
+
+    # ------------------------------------------------------------------
+    # Window processing
+    # ------------------------------------------------------------------
+    def shard_of(self, record: RawPositioningRecord) -> int:
+        """The shard index one record routes to."""
+        return self.shard_router(record, len(self.shards))
+
+    def process_window(
+        self,
+        records: list[RawPositioningRecord],
+        venue_id: str | None = None,
+    ) -> ClusterWindowResult:
+        """Translate one cluster window across the shards, concurrently.
+
+        The window's records partition per shard (device-stable, order-
+        preserving); each receiving shard runs an ordinary live-service
+        window on the cluster's driver threads, so the shards' own
+        worker pools overlap.  A venue-tagged window routes wholesale
+        when the router pins venues (``shard_of_venue``, e.g.
+        :class:`~repro.distributed.VenueAffineRouter`) — the tag is the
+        venue key, so tagged feeds pin without per-record hashing.  When
+        the automatic exchange interval elapses, an exchange round runs
+        after the window — between windows, so shards are quiescent
+        while knowledge moves.
+        """
+        self._ensure_open()
+        started = time.perf_counter()
+        if self._started is None:
+            self._started = started
+        pin = getattr(self.shard_router, "shard_of_venue", None)
+        if venue_id is not None and pin is not None and records:
+            index = pin(venue_id, len(self.shards))
+            if not 0 <= index < len(self.shards):
+                raise ConfigError(
+                    f"shard router pinned venue {venue_id!r} to index "
+                    f"{index}; expected 0 <= index < {len(self.shards)}"
+                )
+            routed = {index: records}
+        else:
+            routed = shard_records(
+                records, self.shard_router, len(self.shards)
+            )
+        futures = {
+            index: self._driver.submit(
+                self.shards[index].process_window, shard_batch, venue_id
+            )
+            for index, shard_batch in routed.items()
+        }
+        shard_windows = {
+            index: future.result() for index, future in futures.items()
+        }
+        self._windows += 1
+        self._since_exchange += 1
+        round_result: ExchangeRound | None = None
+        if (
+            self.exchange_interval is not None
+            and self._since_exchange >= self.exchange_interval
+        ):
+            round_result = self.exchange_now()
+        finished = time.perf_counter()
+        self._elapsed = finished - self._started
+        return ClusterWindowResult(
+            index=self._windows - 1,
+            shards=shard_windows,
+            records=len(records),
+            elapsed_seconds=finished - started,
+            exchange=round_result,
+        )
+
+    def exchange_now(self) -> ExchangeRound:
+        """Run one knowledge exchange round immediately.
+
+        After it returns, every shard's live knowledge equals the merged
+        cluster knowledge bit for bit (see
+        :class:`~repro.distributed.KnowledgeExchange`).
+        """
+        self._ensure_open()
+        self._since_exchange = 0
+        return self.exchange.exchange(self.shards)
+
+    # ------------------------------------------------------------------
+    # Drivers
+    # ------------------------------------------------------------------
+    def run_stream(
+        self,
+        stream: RecordStream,
+        venue_id: str | None = None,
+        on_window: Callable[[ClusterWindowResult], None] | None = None,
+    ) -> ClusterStats:
+        """Replay one finite feed through the cluster, window by window.
+
+        Windows are cut with the live config's global bounds and
+        partitioned per shard; a final exchange round runs after the
+        feed drains, so the cluster ends converged.
+        """
+        self._ensure_open()
+        config = self.live_config
+        while True:
+            records = stream.take_window(
+                config.window_seconds, config.max_window_records
+            )
+            if not records:
+                break
+            window = self.process_window(records, venue_id)
+            if on_window is not None:
+                on_window(window)
+        self._final_exchange()
+        return self.stats
+
+    def run_feeds(
+        self,
+        feeds: Mapping[str, RecordStream],
+        on_window: Callable[[ClusterWindowResult], None] | None = None,
+    ) -> ClusterStats:
+        """Replay venue-tagged feeds, interleaving one window per venue.
+
+        The synchronous multi-feed driver (the CLI's ``trips serve
+        --shards``): each pass cuts one window off every still-live
+        feed, in venue order, so venues progress together the way the
+        asyncio front-end interleaves them.  Ends with a final exchange
+        round, converged.
+        """
+        self._ensure_open()
+        config = self.live_config
+        active = dict(feeds)
+        while active:
+            for venue_id in sorted(active):
+                records = active[venue_id].take_window(
+                    config.window_seconds, config.max_window_records
+                )
+                if not records:
+                    del active[venue_id]
+                    continue
+                window = self.process_window(records, venue_id)
+                if on_window is not None:
+                    on_window(window)
+        self._final_exchange()
+        return self.stats
+
+    def _final_exchange(self) -> None:
+        if (
+            self.exchange_interval is not None
+            and self._windows > 0
+            and self._since_exchange > 0
+        ):
+            self.exchange_now()
+
+    # ------------------------------------------------------------------
+    # Accumulated state
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> ClusterStats:
+        """Cumulative cluster counters plus per-shard live stats."""
+        per_shard = tuple(shard.stats for shard in self.shards)
+        return ClusterStats(
+            shards=len(self.shards),
+            windows=self._windows,
+            records=sum(stats.records for stats in per_shard),
+            sequences=sum(stats.sequences for stats in per_shard),
+            semantics=sum(stats.semantics for stats in per_shard),
+            elapsed_seconds=self._elapsed,
+            per_shard=per_shard,
+            exchange=replace(
+                self.exchange.stats,
+                sequences_merged=dict(
+                    self.exchange.stats.sequences_merged
+                ),
+            ),
+        )
+
+    def merged_knowledge(self, venue_id: str) -> MobilityKnowledge | None:
+        """The cluster's merged global knowledge for one venue.
+
+        ``None`` until an exchange round has seen evidence for the
+        venue.  After any full round this equals every shard's live
+        knowledge and the single-instance fold, bit for bit.
+        """
+        return self.exchange.merged_knowledge(venue_id)
+
+    def finalize(self) -> dict[str, BatchTranslationResult]:
+        """Batch-equivalent cumulative results per venue, cluster-wide.
+
+        Runs a final exchange round (so every shard complements against
+        the full merged knowledge), finalizes each shard, and splices
+        the per-shard batches into one per venue — sorted by (device,
+        first timestamp) so the output is deterministic regardless of
+        how devices were sharded.  Modulo that ordering, the spliced
+        results are exactly the single-instance ``finalize()`` over the
+        same windows, because each sequence's complement is computed
+        against identical (merged) knowledge.
+        """
+        self._ensure_open()
+        self.exchange_now()
+        finalized_per_shard = list(
+            self._driver.map(
+                lambda shard: shard.finalize(), self.shards
+            )
+        )
+        combined: dict[str, BatchTranslationResult] = {}
+        for venue_id in self.shards[0].dispatcher.venue_ids:
+            results: list[TranslationResult] = []
+            elapsed = 0.0
+            for finalized in finalized_per_shard:
+                batch = finalized[venue_id]
+                results.extend(batch.results)
+                elapsed += batch.elapsed_seconds
+            results.sort(key=_result_order)
+            combined[venue_id] = BatchTranslationResult(
+                results,
+                self.merged_knowledge(venue_id),
+                elapsed,
+                None,
+            )
+        return combined
+
+    def __str__(self) -> str:
+        return (
+            f"ShardedIngestService({len(self.shards)} shards, "
+            f"{self._windows} windows, {self.exchange})"
+        )
+
+
+def _result_order(result: TranslationResult) -> tuple:
+    """Deterministic cross-shard ordering: device, then first timestamp."""
+    records = result.raw.records
+    return (result.device_id, records[0].timestamp if records else 0.0)

@@ -35,8 +35,14 @@ class DSMValidationError(DSMError):
         super().__init__(f"DSM validation failed: {summary}")
 
 
-class ConfigError(TripsError):
-    """Malformed or inconsistent configuration."""
+class ConfigError(TripsError, ValueError):
+    """Malformed or inconsistent configuration.
+
+    Also a :class:`ValueError`: a malformed spec string (retention,
+    backend name, shard count) is a plain bad value, so callers outside
+    this library — argparse handlers, config loaders — can catch the
+    builtin without importing the TRIPS hierarchy.
+    """
 
 
 class DataSourceError(TripsError):

@@ -580,6 +580,27 @@ class LiveTranslationService:
         state = self._states.get(venue_id)
         return state.store if state is not None else None
 
+    def ensure_store(self, venue_id: str) -> KnowledgeStore | None:
+        """Materialize one venue's knowledge store ahead of any window.
+
+        Normally stores are created lazily by the first window that
+        reaches a venue; the distributed knowledge exchange
+        (:mod:`repro.distributed`) needs them eagerly, so a shard that
+        has not yet served a venue can still receive the cluster's
+        merged knowledge for it.  Returns the store, or ``None`` when
+        the venue builds no knowledge at all (same gate as
+        :meth:`knowledge`); idempotent once created.
+        """
+        self.dispatcher.translator(venue_id)
+        self._ensure_open()
+        state = self._states[venue_id]
+        if not state.store_checked:
+            state.store = state.engine.make_store(
+                retention=self._retention_for(venue_id)
+            )
+            state.store_checked = True
+        return state.store
+
     def results(self, venue_id: str) -> list[TranslationResult]:
         """One venue's retained per-window results, in arrival order."""
         self.dispatcher.translator(venue_id)

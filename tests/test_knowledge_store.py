@@ -439,6 +439,31 @@ class TestParseRetention:
         with pytest.raises(ConfigError):
             SlidingWindow()
 
+    def test_config_error_is_a_value_error(self):
+        """Callers outside the TRIPS hierarchy (argparse handlers,
+        config loaders) can catch the builtin."""
+        assert issubclass(ConfigError, ValueError)
+        assert issubclass(ConfigError, Exception)
+
+    @pytest.mark.parametrize(
+        "spec",
+        ["window:0", "window:-2", "window:0s", "decay:-1", "decay:0"],
+    )
+    def test_malformed_specs_raise_clean_value_errors(self, spec):
+        """A malformed spec is a plain bad value: it raises a ValueError
+        whose message names the offending spec — a clean error, not a
+        traceback through the policy constructors."""
+        with pytest.raises(ValueError) as excinfo:
+            parse_retention(spec)
+        message = str(excinfo.value)
+        assert spec in message or repr(spec) in message
+
+    def test_malformed_spec_message_explains_the_bound(self):
+        with pytest.raises(ValueError, match="max_epochs must be >= 1"):
+            parse_retention("window:0")
+        with pytest.raises(ValueError, match="finite and positive"):
+            parse_retention("decay:-1")
+
     def test_policy_names(self):
         assert parse_retention("window:4").name == "window:4"
         assert parse_retention("window:300s").name == "window:300s"

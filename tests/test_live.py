@@ -20,8 +20,10 @@ from repro.engine import BACKENDS, Engine, EngineConfig
 from repro.errors import ConfigError, DispatchError, ViewerError
 from repro.live import (
     LiveConfig,
+    LiveStats,
     LiveTranslationService,
     VenueDispatcher,
+    VenueStats,
     merge_device_results,
     prefix_router,
 )
@@ -454,3 +456,72 @@ def test_from_live_single_window_passthrough(two_venues):
         translator.model, batch.results, "solo"
     )
     assert session.result is batch.results[0]
+
+
+# ----------------------------------------------------------------------
+# LiveStats rendering
+# ----------------------------------------------------------------------
+class TestLiveStatsFormatTable:
+    def test_empty_stats_render_with_zero_rates(self):
+        stats = LiveStats()
+        table = stats.format_table()
+        assert "windows=0" in table
+        assert "records=0" in table
+        assert "0.00 windows/s" in table
+        assert stats.windows_per_second == 0.0
+        assert stats.records_per_second == 0.0
+
+    def test_rates_derive_from_elapsed(self):
+        stats = LiveStats(windows=3, records=1200, elapsed_seconds=2.0)
+        assert stats.windows_per_second == 1.5
+        assert stats.records_per_second == 600.0
+        assert "1.50 windows/s" in stats.format_table()
+
+    def test_venue_rows_sorted_with_lifecycle_columns(self):
+        stats = LiveStats(
+            windows=4,
+            records=900,
+            sequences=12,
+            semantics=30,
+            translate_seconds=0.8,
+            elapsed_seconds=3.0,
+            venues={
+                "zoo": VenueStats(
+                    "zoo", windows=1, records=100, sequences=2, semantics=5,
+                    knowledge_sequences=2, translate_seconds=0.1,
+                    retained_epochs=1,
+                ),
+                "arena": VenueStats(
+                    "arena", windows=3, records=800, sequences=10,
+                    semantics=25, knowledge_sequences=7.5,
+                    translate_seconds=0.7, retained_epochs=3,
+                ),
+            },
+        )
+        table = stats.format_table()
+        lines = table.splitlines()
+        assert len(lines) == 3  # summary + one row per venue
+        # Venues render in sorted order regardless of dict order.
+        assert lines[1].strip().startswith("arena")
+        assert lines[2].strip().startswith("zoo")
+        # Lifecycle columns: decayed float weights render compactly,
+        # retained epochs are visible per venue.
+        assert "knowledge over 7.5 sequences" in lines[1]
+        assert "(3 epochs)" in lines[1]
+        assert "0.70s translate" in lines[1]
+        # No adaptive target -> no window<= suffix.
+        assert "window<=" not in table
+
+    def test_adaptive_target_suffix_renders_when_set(self):
+        stats = LiveStats(
+            windows=1,
+            records=50,
+            elapsed_seconds=1.0,
+            venues={
+                "mall": VenueStats(
+                    "mall", windows=1, records=50, sequences=1,
+                    window_records_target=640,
+                )
+            },
+        )
+        assert "window<=640 records" in stats.format_table()
