@@ -1,0 +1,207 @@
+"""Durability — WAL overhead per window, recovery time vs log length.
+
+The durability layer's pitch: journaling each window's delta to the
+write-ahead log should cost a small, flat per-window overhead, and
+recovering from a crash should cost time proportional to the WAL tail
+(snapshots bound that tail, so recovery is O(snapshot_interval), not
+O(history)).  This bench replays the mall population through the live
+service three ways — unjournaled, journaled with periodic snapshots,
+journaled with the log left to grow — and then times cold recovery at
+increasing log lengths, asserting each recovered run finishes to a
+``finalize()`` bit-for-bit identical to the uninterrupted reference.
+
+The run also writes a JSON summary (``TRIPS_BENCH_DURABILITY_JSON`` env
+var, default ``bench-durability.json`` in the working directory) so CI
+can archive the numbers as an artifact and trend them across commits.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core import Translator
+from repro.engine import EngineConfig
+from repro.live import LiveConfig, LiveTranslationService
+from repro.positioning import RecordStream, windowed_records
+from repro.simulation import BROWSER, SHOPPER, MobilitySimulator
+from repro.timeutil import HOUR, TimeRange
+
+from .conftest import print_table
+
+WINDOW_SECONDS = 1800.0
+SNAPSHOT_INTERVAL = 8
+#: WAL lengths (windows replayed on recovery) for the recovery-time curve.
+LOG_LENGTHS = (5, 10, 15)
+_OVERHEAD_ROWS: list[list] = []
+_RECOVERY_ROWS: list[list] = []
+_SUMMARY: dict = {"wal_overhead": [], "recovery": []}
+
+
+@pytest.fixture(scope="module")
+def feed(mall3):
+    """(translator, windowed mall records, uninterrupted reference)."""
+    simulator = MobilitySimulator(mall3, seed=83)
+    devices = simulator.simulate_population(
+        count=16,
+        profiles=[SHOPPER, BROWSER],
+        window=TimeRange(9 * HOUR, 19 * HOUR),
+        seed=83,
+    )
+    records = sorted(
+        (record for device in devices for record in device.raw),
+        key=lambda record: (record.timestamp, record.device_id),
+    )
+    windows = list(
+        windowed_records(RecordStream(iter(records)), WINDOW_SECONDS)
+    )
+    translator = Translator(mall3)
+    service = _service(translator)
+    with service:
+        for window in windows:
+            service.process_window(window, "mall")
+        reference = service.finalize()["mall"]
+        stats = service.stats
+    return translator, windows, reference, stats
+
+
+def _service(translator, state_dir=None, snapshot_interval=None):
+    config = {"window_seconds": WINDOW_SECONDS}
+    if snapshot_interval is not None:
+        config["snapshot_interval"] = snapshot_interval
+    return LiveTranslationService(
+        {"mall": translator},
+        EngineConfig(chunk_size=4),
+        LiveConfig(**config),
+        retention="window:4",
+        state_dir=state_dir,
+    )
+
+
+@pytest.mark.parametrize(
+    "mode", ["unjournaled", "journaled", "journaled-no-snapshots"]
+)
+def test_wal_overhead_per_window(benchmark, feed, tmp_path_factory, mode):
+    translator, windows, reference, _ = feed
+
+    def replay():
+        state_dir = None
+        interval = None
+        if mode != "unjournaled":
+            state_dir = tmp_path_factory.mktemp(f"wal-{mode}") / "state"
+            interval = (
+                SNAPSHOT_INTERVAL
+                if mode == "journaled"
+                else len(windows) + 1
+            )
+        service = _service(translator, state_dir, interval)
+        started = time.perf_counter()
+        with service:
+            for window in windows:
+                service.process_window(window, "mall")
+            elapsed = time.perf_counter() - started
+            finalized = service.finalize()["mall"]
+        return elapsed, finalized
+
+    elapsed, finalized = benchmark.pedantic(replay, rounds=2, iterations=1)
+
+    # Correctness first: journaling must not perturb the translation.
+    assert finalized.results == reference.results
+    assert finalized.knowledge == reference.knowledge
+
+    per_window_ms = 1e3 * elapsed / len(windows)
+    _OVERHEAD_ROWS.append(
+        [
+            mode,
+            len(windows),
+            f"{per_window_ms:.2f} ms/win",
+            f"{len(windows) / elapsed:.1f} win/s",
+        ]
+    )
+    _SUMMARY["wal_overhead"].append(
+        {
+            "mode": mode,
+            "windows": len(windows),
+            "elapsed_seconds": elapsed,
+            "ms_per_window": per_window_ms,
+            "windows_per_second": len(windows) / elapsed,
+            "identical_to_unjournaled": True,
+        }
+    )
+
+
+@pytest.mark.parametrize("log_length", LOG_LENGTHS)
+def test_recovery_time_vs_log_length(feed, tmp_path_factory, log_length):
+    translator, windows, reference, reference_stats = feed
+    assert log_length <= len(windows)
+    state_dir = tmp_path_factory.mktemp(f"recover-{log_length}") / "state"
+
+    # Grow a WAL of exactly ``log_length`` window entries (the snapshot
+    # interval is wider than the feed, so nothing truncates the log),
+    # then abandon the service where it stands — a crash at a boundary.
+    crashed = _service(translator, state_dir, len(windows) + 1)
+    crashed.open()
+    for window in windows[:log_length]:
+        crashed.process_window(window, "mall")
+    del crashed
+
+    wal_bytes = (state_dir / "wal.jsonl").stat().st_size
+    started = time.perf_counter()
+    recovered = _service(translator, state_dir, len(windows) + 1)
+    recovered.open()
+    recovery_seconds = time.perf_counter() - started
+    assert recovered.stats.windows == log_length
+
+    # Correctness first: the recovered service finishes the feed to the
+    # uninterrupted reference, bit for bit.
+    with recovered:
+        for window in windows[log_length:]:
+            recovered.process_window(window, "mall")
+        finalized = recovered.finalize()["mall"]
+    assert recovered.stats.windows == reference_stats.windows
+    assert recovered.stats.records == reference_stats.records
+    assert finalized.results == reference.results
+    assert finalized.knowledge == reference.knowledge
+
+    _RECOVERY_ROWS.append(
+        [
+            log_length,
+            f"{wal_bytes / 1024:.0f} KiB",
+            f"{recovery_seconds * 1e3:.1f} ms",
+            f"{recovery_seconds * 1e3 / log_length:.2f} ms/win",
+        ]
+    )
+    _SUMMARY["recovery"].append(
+        {
+            "log_length_windows": log_length,
+            "wal_bytes": wal_bytes,
+            "recovery_seconds": recovery_seconds,
+            "recovery_ms_per_window": recovery_seconds * 1e3 / log_length,
+            "identical_to_uninterrupted": True,
+        }
+    )
+
+
+def teardown_module(module) -> None:
+    print_table(
+        "Durability: WAL overhead per window",
+        ["mode", "windows", "per window", "throughput"],
+        _OVERHEAD_ROWS,
+    )
+    print_table(
+        "Durability: recovery time vs log length",
+        ["WAL windows", "WAL size", "recovery", "per window"],
+        _RECOVERY_ROWS,
+    )
+    if _SUMMARY["wal_overhead"] or _SUMMARY["recovery"]:
+        out = Path(
+            os.environ.get(
+                "TRIPS_BENCH_DURABILITY_JSON", "bench-durability.json"
+            )
+        )
+        out.write_text(json.dumps(_SUMMARY, indent=2), encoding="utf-8")
+        print(f"wrote durability bench summary to {out}")

@@ -37,8 +37,19 @@ repro.knowledge.parse_retention:
     decay:H            halve old evidence every H epoch rolls
 
 Defaults to "unbounded window:4 decay:4" when none are given.
+
+With --state-dir PATH the service journals durable state (snapshot +
+write-ahead log) under PATH, and a rerun over the same directory
+*resumes*: it replays the journal, skips the records already absorbed,
+and finishes the feeds — the finalized output still matches the
+one-shot batch bit for bit.  --crash-after-windows N SIGKILLs the
+process after N windows (no cleanup, no atexit) to demonstrate exactly
+that: crash mid-feed, rerun, same answer.
 """
 
+import argparse
+import os
+import signal
 import sys
 
 from repro import (
@@ -75,7 +86,46 @@ def simulate_feed(model, profiles, count, seed):
     return records
 
 
+def parse_args(argv=None):
+    parser = argparse.ArgumentParser(
+        description="live streaming translation demo",
+    )
+    parser.add_argument(
+        "retention",
+        nargs="*",
+        default=["unbounded", "window:4", "decay:4"],
+        help="retention specs for the lifecycle comparison "
+        "(default: unbounded window:4 decay:4)",
+    )
+    parser.add_argument(
+        "--state-dir",
+        default=None,
+        help="journal durable state under this directory; a rerun over "
+        "the same directory resumes where the last run stopped",
+    )
+    parser.add_argument(
+        "--crash-after-windows",
+        type=int,
+        default=None,
+        metavar="N",
+        help="SIGKILL this process after N windows (requires "
+        "--state-dir; rerun to resume from the journal)",
+    )
+    parser.add_argument(
+        "--snapshot-interval",
+        type=int,
+        default=4,
+        metavar="WINDOWS",
+        help="checkpoint cadence when journaling (default: 4)",
+    )
+    args = parser.parse_args(argv)
+    if args.crash_after_windows is not None and args.state_dir is None:
+        parser.error("--crash-after-windows requires --state-dir")
+    return args
+
+
 def main() -> None:
+    args = parse_args()
     mall = build_mall(MallConfig(floors=3))
     office = build_office(floors=2)
     feeds = {
@@ -92,7 +142,12 @@ def main() -> None:
     service = LiveTranslationService(
         translators,
         EngineConfig(backend="threads", chunk_size=4),
-        LiveConfig(window_seconds=WINDOW_SECONDS, max_pending_windows=4),
+        LiveConfig(
+            window_seconds=WINDOW_SECONDS,
+            max_pending_windows=4,
+            snapshot_interval=args.snapshot_interval,
+        ),
+        state_dir=args.state_dir,
     )
 
     def narrate(window) -> None:
@@ -103,11 +158,38 @@ def main() -> None:
             f"  window {window.index:3d}  {window.records:5d} records  "
             f"[{venues}]"
         )
+        # The journal entry for this window is already flushed when the
+        # callback fires, so a SIGKILL here models the harshest crash a
+        # resume must survive: no close(), no atexit, mid-feed.
+        if (
+            args.crash_after_windows is not None
+            and window.index + 1 >= args.crash_after_windows
+        ):
+            print(f"  [crashing after window {window.index} via SIGKILL]")
+            sys.stdout.flush()
+            os.kill(os.getpid(), signal.SIGKILL)
 
     with service:
+        # A recovered service already absorbed a prefix of each feed;
+        # the feeds are deterministic, so skipping exactly the journaled
+        # record counts resumes at the crashed run's window boundary.
+        recovered = service.stats
+        if recovered.windows:
+            print(
+                f"\n[resumed from {args.state_dir}: "
+                f"{recovered.windows} windows, "
+                f"{recovered.records} records already journaled]"
+            )
+        skip = {
+            vid: state.records
+            for vid, state in recovered.venues.items()
+        }
         print("\n[serving both feeds through the asyncio front-end]")
         stats = service.serve(
-            {vid: RecordStream(iter(records)) for vid, records in feeds.items()},
+            {
+                vid: RecordStream(iter(records[skip.get(vid, 0):]))
+                for vid, records in feeds.items()
+            },
             on_window=narrate,
         )
         print("\n[cumulative live stats]")
@@ -164,7 +246,7 @@ def main() -> None:
     # so the output documents what each spec means.
     from repro.knowledge import SlidingWindow, parse_retention
 
-    specs = sys.argv[1:] or ["unbounded", "window:4", "decay:4"]
+    specs = args.retention
     policies = {spec: parse_retention(spec) for spec in specs}
     print(f"\n[knowledge retention: {' vs '.join(specs)}]")
     for spec, policy in policies.items():

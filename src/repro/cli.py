@@ -162,6 +162,26 @@ def _build_parser() -> argparse.ArgumentParser:
         "pin to one shard); requires --shards > 1",
     )
     serve.add_argument(
+        "--state-dir",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="journal durable state (snapshot + write-ahead log) under "
+        "this directory; a restarted serve over the same directory "
+        "replays it and resumes exactly where the previous run stopped "
+        "(with --shards > 1 each shard journals into its own "
+        "subdirectory)",
+    )
+    serve.add_argument(
+        "--snapshot-interval",
+        type=int,
+        default=None,
+        metavar="WINDOWS",
+        help="checkpoint the full state and truncate the write-ahead "
+        "log every this many windows (default: 16; requires "
+        "--state-dir)",
+    )
+    serve.add_argument(
         "--out",
         type=Path,
         default=None,
@@ -267,7 +287,6 @@ def _cmd_serve(args) -> None:
     from .engine import EngineConfig
     from .errors import ConfigError
     from .live import LiveConfig, LiveTranslationService
-    from .positioning import RecordStream
 
     from .knowledge import parse_retention
 
@@ -278,6 +297,11 @@ def _cmd_serve(args) -> None:
     if args.exchange_interval < 1:
         raise ConfigError(
             f"--exchange-interval must be >= 1, got {args.exchange_interval}"
+        )
+    if args.snapshot_interval is not None and args.state_dir is None:
+        raise ConfigError(
+            "--snapshot-interval tunes the durable-state checkpoint "
+            "cadence; pass --state-dir to enable journaling"
         )
     translators = {}
     feeds = {}
@@ -297,7 +321,7 @@ def _cmd_serve(args) -> None:
             if args.retention is not None
             else task.knowledge_retention
         )
-        records = sorted(
+        feeds[venue_id] = sorted(
             (
                 record
                 for sequence in select_sequences(task)
@@ -305,17 +329,19 @@ def _cmd_serve(args) -> None:
             ),
             key=lambda record: (record.timestamp, record.device_id),
         )
-        feeds[venue_id] = RecordStream(iter(records))
 
     engine_kwargs = {"backend": args.backend, "workers": args.workers}
     if args.chunk_size is not None:
         engine_kwargs["chunk_size"] = args.chunk_size
     engine_config = EngineConfig(**engine_kwargs)
-    live_config = LiveConfig(
-        window_seconds=args.window_seconds,
-        max_window_records=args.max_window_records,
-        adaptive_windowing=args.adaptive_windowing,
-    )
+    live_kwargs = {
+        "window_seconds": args.window_seconds,
+        "max_window_records": args.max_window_records,
+        "adaptive_windowing": args.adaptive_windowing,
+    }
+    if args.snapshot_interval is not None:
+        live_kwargs["snapshot_interval"] = args.snapshot_interval
+    live_config = LiveConfig(**live_kwargs)
 
     if args.shards > 1:
         _serve_sharded(
@@ -324,7 +350,11 @@ def _cmd_serve(args) -> None:
         return
 
     service = LiveTranslationService(
-        translators, engine_config, live_config, retention=retention
+        translators,
+        engine_config,
+        live_config,
+        retention=retention,
+        state_dir=args.state_dir,
     )
 
     def report(window) -> None:
@@ -338,7 +368,16 @@ def _cmd_serve(args) -> None:
         )
 
     with service:
-        stats = service.serve(feeds, on_window=report)
+        # A recovered service already absorbed a prefix of each venue's
+        # deterministic feed; skip exactly those records so the replayed
+        # feed resumes at the journaled window boundary.
+        processed = {
+            vid: state.records
+            for vid, state in service.stats.venues.items()
+        }
+        stats = service.serve(
+            _resume_feeds(feeds, processed), on_window=report
+        )
         print(stats.format_table())
         if not args.no_finalize:
             _report_finalized(service.finalize(), args.out)
@@ -358,6 +397,7 @@ def _serve_sharded(
         shard_router=args.shard_router,
         exchange_interval=args.exchange_interval,
         retention=retention,
+        state_dir=args.state_dir,
     )
 
     def report(window) -> None:
@@ -372,10 +412,35 @@ def _serve_sharded(
         )
 
     with cluster:
-        stats = cluster.run_feeds(feeds, on_window=report)
+        # Per-venue records already absorbed, summed across the
+        # recovered shards (device routing is deterministic, so
+        # skipping the feed prefix re-routes identically).
+        processed: dict[str, int] = {}
+        for shard_stats in cluster.stats.per_shard:
+            for vid, venue_stats in shard_stats.venues.items():
+                processed[vid] = processed.get(vid, 0) + venue_stats.records
+        stats = cluster.run_feeds(
+            _resume_feeds(feeds, processed), on_window=report
+        )
         print(stats.format_table())
         if not args.no_finalize:
             _report_finalized(cluster.finalize(), args.out)
+
+
+def _resume_feeds(feeds, processed):
+    """Per-venue record lists -> :class:`RecordStream` feeds, skipping
+    the prefix a recovered service already absorbed."""
+    from .positioning import RecordStream
+
+    streams = {}
+    for venue_id, records in feeds.items():
+        skip = processed.get(venue_id, 0)
+        if skip:
+            print(
+                f"resuming {venue_id}: skipping {skip} journaled records"
+            )
+        streams[venue_id] = RecordStream(iter(records[skip:]))
+    return streams
 
 
 def _report_finalized(finalized, out: "Path | None") -> None:

@@ -110,6 +110,31 @@ class ExactSum:
         clone._partials = list(self._partials)
         return clone
 
+    def expansion(self) -> list[float]:
+        """The non-overlapping partials, in internal order.
+
+        This is the accumulator's *exact* state, not just its rounded
+        total: rebuilding from it with :meth:`from_expansion` restores
+        the accumulator verbatim, so every subsequent :meth:`add` lands
+        on bit-for-bit the same partials it would have without the
+        round-trip.  This is what the durable wire format
+        (:mod:`repro.durability`) persists.
+        """
+        return list(self._partials)
+
+    @classmethod
+    def from_expansion(cls, partials: Iterable[float]) -> "ExactSum":
+        """Rebuild from :meth:`expansion` output.
+
+        The partials are adopted verbatim — *not* re-added through
+        :meth:`add` — because a re-accumulation could legally settle on
+        a different (equal-sum) expansion, and replayed folds must walk
+        exactly the same internal states as the uninterrupted run.
+        """
+        total = cls()
+        total._partials = [float(partial) for partial in partials]
+        return total
+
     @property
     def value(self) -> float:
         """The correctly-rounded total."""

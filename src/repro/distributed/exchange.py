@@ -184,6 +184,60 @@ class KnowledgeExchange:
             )
 
     # ------------------------------------------------------------------
+    # Durable state
+    # ------------------------------------------------------------------
+    def export_state(self) -> dict:
+        """The exchange's full state as a codec payload.
+
+        Everything a restarted coordinator needs to keep rebasing
+        exactly: the per-venue global aggregates, smoothing, every
+        ``(shard, venue)`` baseline, and the cumulative stats.  The
+        sharded service persists this after each round
+        (:mod:`repro.durability` wire format, bit-for-bit round-trip).
+        """
+        from ..durability import encode
+
+        return {
+            "global": {
+                venue: encode(partial)
+                for venue, partial in self._global.items()
+            },
+            "smoothing": dict(self._smoothing),
+            "baselines": [
+                [shard, venue, encode(partial)]
+                for (shard, venue), partial in self._baselines.items()
+            ],
+            "stats": {
+                "rounds": self.stats.rounds,
+                "deltas_folded": self.stats.deltas_folded,
+                "exchange_seconds": self.stats.exchange_seconds,
+                "sequences_merged": dict(self.stats.sequences_merged),
+            },
+        }
+
+    def restore_state(self, payload: dict) -> None:
+        """Adopt a previously exported state (inverse of
+        :meth:`export_state`); replaces any current state."""
+        from ..durability import decode
+
+        self._global = {
+            venue: decode(partial)
+            for venue, partial in payload["global"].items()
+        }
+        self._smoothing = dict(payload["smoothing"])
+        self._baselines = {
+            (shard, venue): decode(partial)
+            for shard, venue, partial in payload["baselines"]
+        }
+        counters = payload["stats"]
+        self.stats = ExchangeStats(
+            rounds=counters["rounds"],
+            deltas_folded=counters["deltas_folded"],
+            exchange_seconds=counters["exchange_seconds"],
+            sequences_merged=dict(counters["sequences_merged"]),
+        )
+
+    # ------------------------------------------------------------------
     # The merged view
     # ------------------------------------------------------------------
     @property

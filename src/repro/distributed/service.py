@@ -22,9 +22,12 @@ never the aggregates themselves.
 
 from __future__ import annotations
 
+import json
+import os
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
+from pathlib import Path
 from typing import Callable, Mapping
 
 from ..core.complementing import MobilityKnowledge
@@ -33,8 +36,9 @@ from ..core.translator import (
     TranslationResult,
     Translator,
 )
+from ..durability import FORMAT_VERSION
 from ..engine import EngineConfig
-from ..errors import ConfigError
+from ..errors import ConfigError, PersistenceError
 from ..knowledge import RetentionPolicy, Unbounded, parse_retention
 from ..live import LiveConfig, LiveStats, LiveTranslationService
 from ..live.dispatch import Router
@@ -168,6 +172,7 @@ class ShardedIngestService:
         exchange_interval: int | None = 1,
         router: Router | None = None,
         retention: "str | RetentionPolicy | Mapping[str, str | RetentionPolicy] | None" = None,
+        state_dir: "str | Path | None" = None,
     ):
         if shards < 1:
             raise ConfigError(f"shard count must be >= 1, got {shards}")
@@ -189,6 +194,11 @@ class ShardedIngestService:
         self.shard_router = parse_shard_router(shard_router)
         self.exchange_interval = exchange_interval
         self.exchange = KnowledgeExchange()
+        # Durable state fans out: each shard journals into its own
+        # subdirectory; the cluster keeps its counters and the exchange
+        # state in two atomically-replaced files at the root.
+        self._state_dir = Path(state_dir) if state_dir is not None else None
+        self._cluster_recovered = False
         self.shards: list[LiveTranslationService] = [
             LiveTranslationService(
                 translators,
@@ -196,8 +206,13 @@ class ShardedIngestService:
                 live_config,
                 router=router,
                 retention=retention,
+                state_dir=(
+                    self._state_dir / f"shard-{index}"
+                    if self._state_dir is not None
+                    else None
+                ),
             )
-            for _ in range(shards)
+            for index in range(shards)
         ]
         self.live_config = self.shards[0].live_config
         self._driver: ThreadPoolExecutor | None = None
@@ -217,7 +232,10 @@ class ShardedIngestService:
                 thread_name_prefix="trips-shard",
             )
         for shard in self.shards:
-            shard.open()
+            shard.open()  # each shard recovers from its own journal
+        if self._state_dir is not None and not self._cluster_recovered:
+            self._recover_cluster()
+            self._cluster_recovered = True
         return self
 
     def close(self) -> None:
@@ -237,6 +255,71 @@ class ShardedIngestService:
     def _ensure_open(self) -> None:
         if self._driver is None:
             self.open()
+
+    # ------------------------------------------------------------------
+    # Durable cluster state (see :mod:`repro.durability`)
+    # ------------------------------------------------------------------
+    # The shards journal their own windows; the cluster adds two files:
+    # ``cluster.json`` (window/exchange counters, refreshed after every
+    # cluster window) and ``exchange.json`` (the coordinator's merged
+    # aggregates and per-shard baselines, refreshed after every round).
+    # Both are published by atomic rename.  Right after a round, every
+    # journaled shard is checkpointed — the rebase folds cluster
+    # evidence into shard knowledge *outside* the shard's own fold path,
+    # so only a snapshot makes it durable — and the recovery guarantee
+    # is therefore at cluster-window boundaries: kill between windows,
+    # reopen, and shards, exchange and counters resume bit for bit.
+    def _cluster_path(self) -> Path:
+        return self._state_dir / "cluster.json"
+
+    def _exchange_path(self) -> Path:
+        return self._state_dir / "exchange.json"
+
+    def _persist_cluster(self) -> None:
+        if self._state_dir is None:
+            return
+        _write_atomic(
+            self._cluster_path(),
+            {
+                "magic": "trips-cluster",
+                "version": FORMAT_VERSION,
+                "windows": self._windows,
+                "since_exchange": self._since_exchange,
+                "elapsed": self._elapsed,
+            },
+        )
+
+    def _persist_exchange(self) -> None:
+        for shard in self.shards:
+            shard.checkpoint()
+        _write_atomic(
+            self._exchange_path(),
+            {
+                "magic": "trips-exchange",
+                "version": FORMAT_VERSION,
+                "state": self.exchange.export_state(),
+            },
+        )
+
+    def _recover_cluster(self) -> None:
+        exchange_payload = _read_atomic(
+            self._exchange_path(), "trips-exchange"
+        )
+        if exchange_payload is not None:
+            self.exchange.restore_state(exchange_payload["state"])
+        cluster_payload = _read_atomic(self._cluster_path(), "trips-cluster")
+        if cluster_payload is not None:
+            self._windows = cluster_payload["windows"]
+            self._since_exchange = cluster_payload["since_exchange"]
+            self._elapsed = cluster_payload["elapsed"]
+            most = max(shard.stats.windows for shard in self.shards)
+            if most > self._windows:
+                raise PersistenceError(
+                    f"a shard recovered {most} windows but the cluster "
+                    f"state records only {self._windows}; the crash was "
+                    "not at a cluster-window boundary and the state "
+                    "directory is inconsistent"
+                )
 
     # ------------------------------------------------------------------
     # Window processing
@@ -299,6 +382,7 @@ class ShardedIngestService:
             round_result = self.exchange_now()
         finished = time.perf_counter()
         self._elapsed = finished - self._started
+        self._persist_cluster()
         return ClusterWindowResult(
             index=self._windows - 1,
             shards=shard_windows,
@@ -316,7 +400,14 @@ class ShardedIngestService:
         """
         self._ensure_open()
         self._since_exchange = 0
-        return self.exchange.exchange(self.shards)
+        round_result = self.exchange.exchange(self.shards)
+        if self._state_dir is not None:
+            # Rebased knowledge arrived outside the shards' fold path;
+            # only a checkpoint makes it durable (see the durability
+            # notes above), and the exchange state must follow it.
+            self._persist_exchange()
+            self._persist_cluster()
+        return round_result
 
     # ------------------------------------------------------------------
     # Drivers
@@ -464,3 +555,36 @@ def _result_order(result: TranslationResult) -> tuple:
     """Deterministic cross-shard ordering: device, then first timestamp."""
     records = result.raw.records
     return (result.device_id, records[0].timestamp if records else 0.0)
+
+
+def _write_atomic(path: Path, payload: dict) -> None:
+    """Publish one JSON state file by fsync + atomic rename."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp_path = path.with_suffix(path.suffix + ".tmp")
+    with open(tmp_path, "wb") as handle:
+        handle.write(
+            json.dumps(payload, separators=(",", ":"), sort_keys=True).encode(
+                "utf-8"
+            )
+        )
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp_path, path)
+
+
+def _read_atomic(path: Path, magic: str) -> "dict | None":
+    """Read one published state file; ``None`` when it does not exist."""
+    if not path.exists():
+        return None
+    try:
+        payload = json.loads(path.read_bytes())
+    except ValueError as exc:
+        raise PersistenceError(f"{path} is corrupt: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("magic") != magic:
+        raise PersistenceError(f"{path} is not a {magic!r} state file")
+    if payload.get("version") != FORMAT_VERSION:
+        raise PersistenceError(
+            f"{path} is format version {payload.get('version')!r}; this "
+            f"build reads version {FORMAT_VERSION}"
+        )
+    return payload

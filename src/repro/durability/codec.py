@@ -1,0 +1,328 @@
+"""Versioned, self-describing codec for the knowledge state machine.
+
+Every durable payload is a plain JSON-compatible dict tagged with its
+type under ``"t"``; :func:`encode` and :func:`decode` dispatch on that
+tag, so a WAL entry or snapshot is readable without knowing in advance
+what it holds.  :data:`FORMAT_VERSION` stamps the container files (WAL
+header, snapshot envelope) and is checked on load — an unknown version
+raises :class:`~repro.errors.PersistenceError` instead of silently
+misreading.
+
+The round-trip guarantee is **bit-for-bit**, not merely value-equal:
+
+- :class:`~repro.core.complementing.ExactSum` accumulators persist
+  their full Shewchuk expansion (:meth:`ExactSum.expansion`) and are
+  rebuilt verbatim (:meth:`ExactSum.from_expansion`), never re-added —
+  a re-accumulation could settle on a different equal-sum expansion,
+  and replayed folds must walk exactly the internal states the
+  uninterrupted run would have.
+- Floats ride through JSON via :func:`repr`, which Python round-trips
+  exactly; integer counts stay integers (and decayed float weights stay
+  floats) because JSON distinguishes the two.
+- :class:`~repro.knowledge.KnowledgeStore` payloads carry the open
+  epoch, the retained ring, the roll/retire counters, the monotone
+  data-time watermark and a *structural* encoding of the retention
+  policy (spec names cannot express a combined ``window:N+Ts`` policy,
+  so the policy's parameters are stored, not its name).
+
+The codec is the wire format the planned networked knowledge exchange
+will reuse for its delta payloads.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.complementing.knowledge import (
+    ExactSum,
+    MobilityKnowledge,
+    PartialKnowledge,
+    RegionStats,
+)
+from ..errors import PersistenceError
+from ..knowledge.retention import (
+    ExponentialDecay,
+    RetentionPolicy,
+    SlidingWindow,
+    Unbounded,
+)
+from ..knowledge.store import Epoch, KnowledgeStore
+from ..positioning import RawPositioningRecord
+
+#: Version of the wire format; stamped into WAL headers and snapshot
+#: envelopes, checked on load.
+FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Retention policies (structural, not spec-string: "window:N+Ts" has no
+# parseable spec, and a policy must survive the round-trip exactly)
+# ----------------------------------------------------------------------
+def encode_retention(policy: RetentionPolicy) -> dict:
+    """Encode a retention policy by its parameters."""
+    if isinstance(policy, Unbounded):
+        return {"kind": "unbounded"}
+    if isinstance(policy, SlidingWindow):
+        return {
+            "kind": "window",
+            "max_epochs": policy.max_epochs,
+            "ttl_seconds": policy.ttl_seconds,
+        }
+    if isinstance(policy, ExponentialDecay):
+        return {"kind": "decay", "half_life": policy.half_life}
+    raise PersistenceError(
+        f"cannot persist retention policy {policy!r}: only the built-in "
+        "unbounded/window/decay policies have a durable encoding"
+    )
+
+
+def decode_retention(payload: dict) -> RetentionPolicy:
+    """Rebuild a retention policy from :func:`encode_retention` output."""
+    kind = payload.get("kind")
+    if kind == "unbounded":
+        return Unbounded()
+    if kind == "window":
+        return SlidingWindow(
+            max_epochs=payload["max_epochs"],
+            ttl_seconds=payload["ttl_seconds"],
+        )
+    if kind == "decay":
+        return ExponentialDecay(half_life=payload["half_life"])
+    raise PersistenceError(f"unknown retention encoding {payload!r}")
+
+
+# ----------------------------------------------------------------------
+# Encoding
+# ----------------------------------------------------------------------
+def _encode_stats(stats: RegionStats) -> dict:
+    return {
+        "t": "rstats",
+        "visits": stats.visits,
+        "stays": stats.stay_count,
+        "dwell": stats._dwell.expansion(),
+    }
+
+
+def _encode_partial(partial: PartialKnowledge) -> dict:
+    return {
+        "t": "partial",
+        "regions": list(partial.regions),
+        "transitions": {
+            origin: dict(outgoing)
+            for origin, outgoing in partial.transitions.items()
+        },
+        "outgoing": dict(partial.outgoing_totals),
+        "stats": {
+            region: _encode_stats(stats)
+            for region, stats in partial.stats.items()
+        },
+        "sequences": partial.sequences_seen,
+    }
+
+
+def _encode_knowledge(knowledge: MobilityKnowledge) -> dict:
+    return {
+        "t": "knowledge",
+        "regions": list(knowledge.regions),
+        "smoothing": knowledge.smoothing,
+        "transitions": {
+            origin: dict(outgoing)
+            for origin, outgoing in knowledge._transitions.items()
+        },
+        "outgoing": dict(knowledge._outgoing_totals),
+        "stats": {
+            region: _encode_stats(stats)
+            for region, stats in knowledge._stats.items()
+        },
+        "sequences": knowledge.sequences_seen,
+    }
+
+
+def _encode_epoch(epoch: Epoch) -> dict:
+    return {
+        "t": "epoch",
+        "index": epoch.index,
+        "partial": _encode_partial(epoch.partial),
+        "start": epoch.start,
+        "end": epoch.end,
+    }
+
+
+def _encode_store(store: KnowledgeStore) -> dict:
+    return {
+        "t": "store",
+        "retention": encode_retention(store.retention),
+        "knowledge": _encode_knowledge(store.knowledge),
+        "epochs": [_encode_epoch(epoch) for epoch in store.epochs],
+        "rolled": store.epochs_rolled,
+        "retired": store.epochs_retired,
+        "track_deltas": store.track_deltas,
+        "current": (
+            None if store._current is None else _encode_partial(store._current)
+        ),
+        "current_start": store._current_start,
+        "current_end": store._current_end,
+        "newest": store.newest_timestamp,
+    }
+
+
+_ENCODERS = {
+    ExactSum: lambda total: {"t": "xsum", "p": total.expansion()},
+    RegionStats: _encode_stats,
+    PartialKnowledge: _encode_partial,
+    MobilityKnowledge: _encode_knowledge,
+    Epoch: _encode_epoch,
+    KnowledgeStore: _encode_store,
+}
+
+
+def encode(obj: Any) -> dict:
+    """Encode a knowledge-layer object as a type-tagged JSON dict."""
+    encoder = _ENCODERS.get(type(obj))
+    if encoder is None:
+        raise PersistenceError(
+            f"no durable encoding for {type(obj).__name__}"
+        )
+    return encoder(obj)
+
+
+# ----------------------------------------------------------------------
+# Decoding
+# ----------------------------------------------------------------------
+def _decode_stats(payload: dict) -> RegionStats:
+    stats = RegionStats(
+        visits=payload["visits"], stay_count=payload["stays"]
+    )
+    # Adopt the dwell expansion verbatim (the constructor would
+    # re-accumulate and could settle on a different equal-sum state).
+    stats._dwell = ExactSum.from_expansion(payload["dwell"])
+    return stats
+
+
+def _decode_partial(payload: dict) -> PartialKnowledge:
+    return PartialKnowledge(
+        regions=list(payload["regions"]),
+        transitions={
+            origin: dict(outgoing)
+            for origin, outgoing in payload["transitions"].items()
+        },
+        outgoing_totals=dict(payload["outgoing"]),
+        stats={
+            region: _decode_stats(stats)
+            for region, stats in payload["stats"].items()
+        },
+        sequences_seen=payload["sequences"],
+    )
+
+
+def _decode_knowledge(payload: dict) -> MobilityKnowledge:
+    return MobilityKnowledge(
+        regions=list(payload["regions"]),
+        smoothing=payload["smoothing"],
+        _transitions={
+            origin: dict(outgoing)
+            for origin, outgoing in payload["transitions"].items()
+        },
+        _outgoing_totals=dict(payload["outgoing"]),
+        _stats={
+            region: _decode_stats(stats)
+            for region, stats in payload["stats"].items()
+        },
+        sequences_seen=payload["sequences"],
+    )
+
+
+def _decode_epoch(payload: dict) -> Epoch:
+    return Epoch(
+        index=payload["index"],
+        partial=_decode_partial(payload["partial"]),
+        start=payload["start"],
+        end=payload["end"],
+    )
+
+
+def _decode_store(payload: dict) -> KnowledgeStore:
+    store = KnowledgeStore(
+        knowledge=_decode_knowledge(payload["knowledge"]),
+        retention=decode_retention(payload["retention"]),
+    )
+    store.epochs.extend(_decode_epoch(epoch) for epoch in payload["epochs"])
+    store.epochs_rolled = payload["rolled"]
+    store.epochs_retired = payload["retired"]
+    store.track_deltas = payload["track_deltas"]
+    store._current = (
+        None
+        if payload["current"] is None
+        else _decode_partial(payload["current"])
+    )
+    store._current_start = payload["current_start"]
+    store._current_end = payload["current_end"]
+    store._newest_folded = payload["newest"]
+    if store.epochs and store.epochs[-1].index == store.epochs_rolled - 1:
+        store.last_epoch = store.epochs[-1]
+    return store
+
+
+_DECODERS = {
+    "xsum": lambda payload: ExactSum.from_expansion(payload["p"]),
+    "rstats": _decode_stats,
+    "partial": _decode_partial,
+    "knowledge": _decode_knowledge,
+    "epoch": _decode_epoch,
+    "store": _decode_store,
+}
+
+
+def decode(payload: dict) -> Any:
+    """Rebuild the object a type-tagged dict encodes, bit for bit."""
+    if not isinstance(payload, dict):
+        raise PersistenceError(
+            f"durable payload must be a dict, got {type(payload).__name__}"
+        )
+    tag = payload.get("t")
+    decoder = _DECODERS.get(tag)
+    if decoder is None:
+        raise PersistenceError(f"unknown durable payload tag {tag!r}")
+    try:
+        return decoder(payload)
+    except PersistenceError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise PersistenceError(
+            f"malformed durable payload (tag {tag!r}): {exc}"
+        ) from exc
+
+
+# ----------------------------------------------------------------------
+# Raw record batches (compact row form; journaled only when the service
+# retains per-window results for finalize())
+# ----------------------------------------------------------------------
+def encode_records(records: "list[RawPositioningRecord]") -> list:
+    """Encode a window's raw records as compact rows."""
+    return [
+        [
+            record.timestamp,
+            record.device_id,
+            record.location.x,
+            record.location.y,
+            record.location.floor,
+        ]
+        for record in records
+    ]
+
+
+def decode_records(rows: list) -> "list[RawPositioningRecord]":
+    """Rebuild a window's raw records from :func:`encode_records` rows."""
+    from ..geometry import Point
+
+    try:
+        return [
+            RawPositioningRecord(
+                timestamp=timestamp,
+                device_id=device_id,
+                location=Point(x, y, floor=floor),
+            )
+            for timestamp, device_id, x, y, floor in rows
+        ]
+    except (TypeError, ValueError) as exc:
+        raise PersistenceError(f"malformed record rows: {exc}") from exc

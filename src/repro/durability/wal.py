@@ -1,0 +1,182 @@
+"""Write-ahead log: one JSON entry per line, header first.
+
+The WAL is an append-only text file of newline-delimited JSON.  Its
+first line is a header carrying a magic string and the codec's
+:data:`~repro.durability.codec.FORMAT_VERSION`; every later line is one
+entry dict.  Appends flush (and optionally fsync) before returning, so
+an entry either made it to the file whole or is the torn final line of
+a crash — and replay treats exactly those two cases differently:
+
+- a **torn tail** (the last line fails to parse) is dropped: the crash
+  interrupted the append, so the entry's window was never acknowledged
+  and will be re-processed on resume;
+- a parse failure on any **earlier** line is corruption, not a crash
+  artifact — append never starts line N+1 before line N is flushed —
+  and raises :class:`~repro.errors.PersistenceError` rather than
+  silently replaying a prefix of the truth.
+
+:meth:`WriteAheadLog.reset` truncates back to the header after a
+snapshot has captured everything the log held; the snapshot rename and
+the reset are separate steps, so entries also carry enough context
+(their window index) for the journal to skip anything a crash left
+behind between the two.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from ..errors import PersistenceError
+from .codec import FORMAT_VERSION
+
+#: Magic string identifying a TRIPS WAL file.
+WAL_MAGIC = "trips-wal"
+
+
+class WriteAheadLog:
+    """Append-only JSON-lines log with crash-tolerant replay.
+
+    ``sync=True`` fsyncs every append (durability against power loss);
+    the default flushes only (durability against process death, which
+    is what the crash-recovery property tests exercise).
+    """
+
+    def __init__(self, path: "str | Path", *, sync: bool = False):
+        self.path = Path(path)
+        self.sync = sync
+        self._handle = None
+        self._header_bytes = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def open(self) -> "list[dict]":
+        """Open (creating if needed) and return the replayable entries."""
+        if self._handle is not None:
+            raise PersistenceError(f"WAL {self.path} is already open")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        header = _encode_line({"magic": WAL_MAGIC, "version": FORMAT_VERSION})
+        parsed = None
+        raw = self.path.read_bytes() if self.path.exists() else b""
+        if raw:
+            parsed = self._parse(raw)
+        handle = open(self.path, "ab")
+        if not raw or parsed is None:
+            # Empty file, or a torn header with nothing after it (the
+            # crash interrupted file creation): start the log over.
+            entries: "list[dict]" = []
+            handle.truncate(0)
+            handle.seek(0, os.SEEK_END)
+            handle.write(header)
+            handle.flush()
+            os.fsync(handle.fileno())
+            self._header_bytes = len(header)
+        else:
+            entries, valid_bytes = parsed
+            if valid_bytes < len(raw):
+                # Cut the torn tail off for real: the next append must
+                # start a fresh line, not glue onto the torn one.
+                handle.truncate(valid_bytes)
+                handle.seek(0, os.SEEK_END)
+            # Offset of the first entry = the file's own header line.
+            self._header_bytes = len(raw.split(b"\n", 1)[0]) + 1
+        self._handle = handle
+        return entries
+
+    def close(self) -> None:
+        """Close the underlying file handle (idempotent)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def append(self, entry: dict) -> None:
+        """Append one entry and flush it to the OS before returning."""
+        handle = self._require_open()
+        handle.write(_encode_line(entry))
+        handle.flush()
+        if self.sync:
+            os.fsync(handle.fileno())
+
+    def reset(self) -> None:
+        """Truncate back to the header (called after a snapshot)."""
+        handle = self._require_open()
+        handle.flush()
+        handle.truncate(self._header_bytes)
+        handle.seek(0, os.SEEK_END)
+        if self.sync:
+            os.fsync(handle.fileno())
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+    def _parse(
+        self, raw: bytes
+    ) -> "tuple[list[dict], int] | None":
+        """Parse a WAL image into ``(entries, valid_bytes)``.
+
+        ``valid_bytes`` is the length of the intact prefix (header plus
+        every whole entry line); anything beyond it is a torn tail the
+        caller must truncate away.  ``None`` means "torn header, start
+        over".
+        """
+        lines = raw.split(b"\n")
+        if lines and lines[-1] == b"":
+            lines.pop()
+        if not lines:
+            return None
+        try:
+            head = json.loads(lines[0])
+        except ValueError:
+            if len(lines) == 1:
+                return None
+            raise PersistenceError(
+                f"WAL {self.path} has a corrupt header followed by "
+                f"{len(lines) - 1} entries"
+            ) from None
+        if not isinstance(head, dict) or head.get("magic") != WAL_MAGIC:
+            raise PersistenceError(
+                f"{self.path} is not a TRIPS WAL (header {head!r})"
+            )
+        if head.get("version") != FORMAT_VERSION:
+            raise PersistenceError(
+                f"WAL {self.path} is format version {head.get('version')!r}; "
+                f"this build reads version {FORMAT_VERSION}"
+            )
+        entries: list[dict] = []
+        valid_bytes = len(lines[0]) + 1
+        for number, line in enumerate(lines[1:], start=2):
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                if number == len(lines):
+                    break  # torn tail: the interrupted append, dropped
+                raise PersistenceError(
+                    f"WAL {self.path} is corrupt at line {number} "
+                    "(mid-file entry failed to parse)"
+                ) from None
+            if not isinstance(entry, dict):
+                raise PersistenceError(
+                    f"WAL {self.path} line {number} is not an entry object"
+                )
+            entries.append(entry)
+            valid_bytes += len(line) + 1
+        return entries, valid_bytes
+
+    def _require_open(self):
+        if self._handle is None:
+            raise PersistenceError(f"WAL {self.path} is not open")
+        return self._handle
+
+    def __repr__(self) -> str:
+        state = "open" if self._handle is not None else "closed"
+        return f"WriteAheadLog({str(self.path)!r}, {state})"
+
+
+def _encode_line(entry: dict) -> bytes:
+    text = json.dumps(entry, separators=(",", ":"), sort_keys=True)
+    return text.encode("utf-8") + b"\n"

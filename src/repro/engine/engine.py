@@ -380,6 +380,33 @@ class Engine:
             ),
         )
 
+    def phase_one(
+        self, sequences: Iterable[PositioningSequence]
+    ) -> list:
+        """Run clean + annotate alone, fanned out over the pool.
+
+        Returns the per-sequence ``(cleaning, annotation)`` pairs in
+        input order, with no knowledge build and no complementing —
+        phase one is deterministic per sequence, which is what makes
+        this the durable-state recovery path: replaying journaled
+        record batches through it rebuilds exactly the phase-one output
+        the crashed run computed, ready for a ``finalize()``-style
+        re-complement against the recovered knowledge.
+        """
+        backend, owns = self._backend()
+        if owns:
+            backend.open({self.context_key: self.translator})
+        try:
+            _, pairs, _ = self._map_phase_one(
+                backend,
+                partition(list(sequences), self.config.chunk_size),
+                emit_partial=False,
+            )
+            return pairs
+        finally:
+            if owns:
+                backend.close()
+
     def complement(
         self,
         annotated: list[MobilitySemanticsSequence],

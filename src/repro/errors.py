@@ -73,6 +73,15 @@ class InferenceError(TripsError):
     """The complementing layer could not infer missing semantics."""
 
 
+class PersistenceError(TripsError):
+    """Durable state could not be encoded, decoded or replayed.
+
+    Raised by :mod:`repro.durability` for unreadable or corrupt wire
+    payloads, unsupported format versions, and snapshot/WAL replays
+    that diverge from what the log recorded.
+    """
+
+
 class DispatchError(TripsError):
     """The live service could not route a record to a venue."""
 

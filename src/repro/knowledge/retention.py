@@ -224,6 +224,16 @@ def parse_retention(
             f"unknown retention spec {spec!r} (expected 'unbounded', "
             "'window:N', 'window:Ns' or 'decay:H')"
         )
+    # ``int``/``float`` accept Python numeric-literal syntax ("1_0"
+    # parses as 10, " 10" parses too) — a config surface must not:
+    # only canonical digit strings round-trip through policy names and
+    # the durable wire format.
+    if "_" in argument or argument != argument.strip():
+        raise ConfigError(
+            f"malformed retention spec {spec!r}: {argument!r} is not a "
+            "canonical number (underscores and whitespace are not "
+            "accepted)"
+        )
     if kind == "window":
         try:
             if argument.endswith("s"):

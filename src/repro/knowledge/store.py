@@ -89,9 +89,23 @@ class KnowledgeStore:
         self.epochs: "deque[Epoch]" = deque()
         self.epochs_rolled = 0
         self.epochs_retired = 0
+        #: Accumulate the open epoch's shard even when the retention
+        #: policy keeps no ring, so :attr:`last_epoch` always carries the
+        #: window's exact delta — the durability layer's WAL payload.
+        self.track_deltas = False
+        #: The most recently closed epoch (``None`` before the first
+        #: roll; its ``partial`` is empty unless the ring or
+        #: :attr:`track_deltas` accumulated the open epoch).
+        self.last_epoch: "Epoch | None" = None
         self._current: PartialKnowledge | None = None
         self._current_start: float | None = None
         self._current_end: float | None = None
+        # Monotone data-time watermark: the newest timestamp ever folded.
+        # Deliberately not derived from the ring — retention may retire
+        # the newest timestamped epoch (e.g. the count bound of a
+        # combined window:N+Ts policy), and the TTL "present" must never
+        # move backwards because evidence aged out.
+        self._newest_folded: float | None = None
 
     @classmethod
     def wrap(
@@ -125,7 +139,7 @@ class KnowledgeStore:
         subtractive policies accumulate a store-owned copy.
         """
         self.knowledge.fold(partial)
-        if self.retention.keeps_epochs:
+        if self.retention.keeps_epochs or self.track_deltas:
             if self._current is None:
                 self._current = PartialKnowledge(
                     regions=list(self.knowledge.regions)
@@ -139,6 +153,10 @@ class KnowledgeStore:
             self._current_end is None or end > self._current_end
         ):
             self._current_end = end
+        if end is not None and (
+            self._newest_folded is None or end > self._newest_folded
+        ):
+            self._newest_folded = end
 
     def roll(self, now: float | None = None) -> list[Epoch]:
         """Close the open epoch and apply retention; returns retirals.
@@ -150,20 +168,20 @@ class KnowledgeStore:
         (zero-count) epoch: ``window:N`` deterministically means "the
         last N rolls", whether or not every roll carried evidence.
         """
-        if self.retention.keeps_epochs:
-            current = self._current
-            if current is None:
-                current = PartialKnowledge(
-                    regions=list(self.knowledge.regions)
-                )
-            self.epochs.append(
-                Epoch(
-                    index=self.epochs_rolled,
-                    partial=current,
-                    start=self._current_start,
-                    end=self._current_end,
-                )
+        current = self._current
+        if current is None:
+            current = PartialKnowledge(
+                regions=list(self.knowledge.regions)
             )
+        closed = Epoch(
+            index=self.epochs_rolled,
+            partial=current,
+            start=self._current_start,
+            end=self._current_end,
+        )
+        if self.retention.keeps_epochs:
+            self.epochs.append(closed)
+        self.last_epoch = closed
         self.epochs_rolled += 1
         self._current = None
         self._current_start = None
@@ -204,12 +222,15 @@ class KnowledgeStore:
 
     @property
     def newest_timestamp(self) -> float | None:
-        """The newest data timestamp folded so far (open epoch included)."""
-        newest = self._current_end
-        for epoch in self.epochs:
-            if epoch.end is not None and (newest is None or epoch.end > newest):
-                newest = epoch.end
-        return newest
+        """The newest data timestamp *ever* folded (open epoch included).
+
+        A monotone watermark, not a scan of the retained ring: under a
+        combined ``window:N+Ts`` policy the count bound can retire the
+        newest timestamped epoch, and the data-time "present" that
+        :meth:`roll` measures TTL against must not regress (or vanish
+        once only quiet epochs remain) just because evidence aged out.
+        """
+        return self._newest_folded
 
     def to_partial(self) -> PartialKnowledge:
         """The retained counts as one independent shard (deep copy).

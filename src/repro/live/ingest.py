@@ -117,12 +117,20 @@ async def serve_async(
         return service.stats  # pragma: no cover - defensive
     try:
         producers.result()
-    except BaseException:
+    except BaseException as failure:
         # One feed failed: stop the siblings before re-raising, or they
         # would block forever on a full queue once the consumer exits.
+        # The consumer still drains queued windows; if that drain *also*
+        # fails, the producer's failure stays the one raised — the drain
+        # error is chained as its context instead of replacing it.
         await cancel_producers()
+        try:
+            await queue.put(_SENTINEL)
+            await consumer
+        except BaseException as drain_failure:
+            if failure.__context__ is None:
+                failure.__context__ = drain_failure
         raise
-    finally:
-        await queue.put(_SENTINEL)
-        await consumer
+    await queue.put(_SENTINEL)
+    await consumer
     return service.stats

@@ -52,6 +52,7 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Iterable, Mapping
 
 from ..core.complementing import MobilityKnowledge
@@ -69,6 +70,15 @@ from ..positioning import (
     RawPositioningRecord,
     RecordStream,
 )
+from ..durability import (
+    DurableStateJournal,
+    decode,
+    decode_records,
+    encode,
+    encode_records,
+    encode_retention,
+)
+from ..errors import PersistenceError
 from .dispatch import Router, VenueDispatcher
 from .ingest import FeedSet, serve_async
 
@@ -105,6 +115,11 @@ class LiveConfig:
     #: EWMA smoothing for the observed feed rate (1.0 = latest window
     #: only, smaller = smoother).
     adaptive_alpha: float = 0.25
+    #: Durable-state checkpoint cadence: with a ``state_dir`` configured,
+    #: the service writes a full :class:`~repro.knowledge.KnowledgeStore`
+    #: snapshot (and truncates the WAL) every this many windows.  Smaller
+    #: = faster recovery, more checkpoint I/O per window.
+    snapshot_interval: int = 16
 
     def __post_init__(self) -> None:
         if self.window_seconds <= 0:
@@ -125,6 +140,11 @@ class LiveConfig:
             raise ConfigError(
                 f"adaptive_alpha must be in (0, 1], got "
                 f"{self.adaptive_alpha}"
+            )
+        if self.snapshot_interval < 1:
+            raise ConfigError(
+                f"snapshot_interval must be >= 1 windows, got "
+                f"{self.snapshot_interval}"
             )
 
 
@@ -243,6 +263,10 @@ class _VenueState:
     #: EWMA of observed records/sec (adaptive windowing).
     ewma_rate: float | None = None
     results: list[TranslationResult] = field(default_factory=list)
+    #: Raw per-window record batches, kept only when journaling with
+    #: ``retain_results`` — recovery rebuilds :attr:`results` from them
+    #: by re-running deterministic phase one.
+    batches: "list[list[RawPositioningRecord]]" = field(default_factory=list)
     stats: VenueStats = None  # type: ignore[assignment]
 
     def __post_init__(self) -> None:
@@ -274,6 +298,7 @@ class LiveTranslationService:
         live_config: LiveConfig | None = None,
         router: Router | None = None,
         retention: "str | RetentionPolicy | Mapping[str, str | RetentionPolicy] | None" = None,
+        state_dir: "str | Path | None" = None,
     ):
         if isinstance(translators, Translator):
             translators = {"default": translators}
@@ -304,6 +329,14 @@ class LiveTranslationService:
         self._started: float | None = None
         self._elapsed = 0.0
         self._translate_seconds = 0.0
+        # Durable state: a snapshot + WAL journal rooted at ``state_dir``
+        # (see :mod:`repro.durability`).  Recovery runs once, on the
+        # first open(), after the engines are built.
+        self._journal = (
+            DurableStateJournal(state_dir) if state_dir is not None else None
+        )
+        self._recovered = False
+        self._since_snapshot = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -338,6 +371,16 @@ class LiveTranslationService:
                     backend=backend,
                     context_key=venue_id,
                 )
+        if self._journal is not None:
+            if not self._recovered:
+                self._journal.open()
+                self._recover()
+                self._recovered = True
+            elif not self._journal.is_open:
+                # Re-opened after close(): the on-disk entries are the
+                # windows this instance already holds in memory, so the
+                # replay list is discarded, and appending continues.
+                self._journal.open()
         return self
 
     def close(self) -> None:
@@ -345,6 +388,8 @@ class LiveTranslationService:
         if self._backend is not None:
             self._backend.close()
             self._backend = None
+        if self._journal is not None:
+            self._journal.close()
 
     def __enter__(self) -> "LiveTranslationService":
         return self.open()
@@ -386,20 +431,19 @@ class LiveTranslationService:
             routed = self.dispatcher.split(records)
 
         window_batches: dict[str, BatchTranslationResult] = {}
+        journal_venues: list[dict] = []
         for vid, venue_records in routed.items():
             state = self._states[vid]
             sequences = PositioningSequence.group_records(venue_records)
             venue_started = time.perf_counter()
             if not state.store_checked:
-                state.store = state.engine.make_store(
-                    retention=self._retention_for(vid)
-                )
-                state.store_checked = True
+                self._create_store(state)
+            retired: list = []
             if state.store is not None:
                 batch, _ = state.engine.translate_increment(
                     sequences, store=state.store
                 )
-                state.store.roll()  # one epoch per ingestion window
+                retired = state.store.roll()  # one epoch per window
             else:
                 batch, _ = state.engine.translate_increment(sequences)
             venue_elapsed = time.perf_counter() - venue_started
@@ -417,6 +461,14 @@ class LiveTranslationService:
                 )
                 stats.retained_epochs = state.store.retained_epochs
             self._observe_rate(state, venue_records)
+            if self._journal is not None:
+                if self.live_config.retain_results:
+                    state.batches.append(venue_records)
+                journal_venues.append(
+                    self._journal_venue_entry(
+                        state, venue_records, batch, retired, venue_elapsed
+                    )
+                )
             window_batches[vid] = batch
 
         finished = time.perf_counter()
@@ -424,6 +476,13 @@ class LiveTranslationService:
         self._windows += 1
         self._translate_seconds += elapsed
         self._elapsed = finished - self._started
+        if self._journal is not None:
+            self._journal.append_window(
+                self._windows - 1, {"venues": journal_venues}
+            )
+            self._since_snapshot += 1
+            if self._since_snapshot >= self.live_config.snapshot_interval:
+                self.checkpoint()
         return LiveWindowResult(
             index=self._windows - 1,
             venues=window_batches,
@@ -436,6 +495,242 @@ class LiveTranslationService:
         if isinstance(self._retention, Mapping):
             return self._retention.get(venue_id)
         return self._retention
+
+    def _create_store(self, state: _VenueState) -> None:
+        """Create one venue's store (or record that it has none).
+
+        When journaling, the store tracks the open epoch's shard even
+        under ring-less retention, so every roll's ``last_epoch`` carries
+        the window's exact delta — the WAL payload.
+        """
+        state.store = state.engine.make_store(
+            retention=self._retention_for(state.venue_id)
+        )
+        if state.store is not None and self._journal is not None:
+            state.store.track_deltas = True
+        state.store_checked = True
+
+    # ------------------------------------------------------------------
+    # Durable state (see :mod:`repro.durability`)
+    # ------------------------------------------------------------------
+    def _journal_venue_entry(
+        self,
+        state: _VenueState,
+        venue_records: list[RawPositioningRecord],
+        batch: BatchTranslationResult,
+        retired: list,
+        venue_elapsed: float,
+    ) -> dict:
+        """One venue's share of the window's WAL entry.
+
+        The delta is the epoch the roll just closed — bit for bit the
+        shard this window folded — plus its data-time span and the
+        indices of the epochs retention retired, so replay can validate
+        that re-rolling retires exactly what the live run did.  With
+        ``retain_results`` the raw record batch rides along, because
+        recovery rebuilds the retained results by re-running
+        deterministic phase one over it.
+        """
+        closed = state.store.last_epoch if state.store is not None else None
+        return {
+            "venue": state.venue_id,
+            "records": len(venue_records),
+            "sequences": len(batch),
+            "semantics": batch.total_semantics,
+            "seconds": venue_elapsed,
+            "delta": None if closed is None else encode(closed.partial),
+            "start": None if closed is None else closed.start,
+            "end": None if closed is None else closed.end,
+            "retired": [epoch.index for epoch in retired],
+            "batch": (
+                encode_records(venue_records)
+                if self.live_config.retain_results
+                else None
+            ),
+        }
+
+    def checkpoint(self) -> None:
+        """Write a full durable snapshot now and truncate the WAL.
+
+        Runs automatically every ``LiveConfig.snapshot_interval`` windows;
+        callable directly at any window boundary (the sharded service
+        checkpoints each shard right after an exchange round, so rebased
+        knowledge — which arrives outside the fold path — becomes
+        durable).  No-op without a configured ``state_dir``.
+        """
+        if self._journal is None:
+            return
+        venues: dict[str, dict] = {}
+        for vid, state in self._states.items():
+            venues[vid] = {
+                "store": (
+                    None if state.store is None else encode(state.store)
+                ),
+                "store_checked": state.store_checked,
+                "stats": {
+                    "windows": state.stats.windows,
+                    "records": state.stats.records,
+                    "sequences": state.stats.sequences,
+                    "semantics": state.stats.semantics,
+                    "translate_seconds": state.stats.translate_seconds,
+                    "window_records_target": (
+                        state.stats.window_records_target
+                    ),
+                },
+                "ewma": state.ewma_rate,
+                "batches": (
+                    [encode_records(batch) for batch in state.batches]
+                    if self.live_config.retain_results
+                    else None
+                ),
+            }
+        self._journal.write_snapshot(
+            self._windows,
+            {
+                "translate_seconds": self._translate_seconds,
+                "elapsed": self._elapsed,
+                "venues": venues,
+            },
+        )
+        self._since_snapshot = 0
+
+    def _recover(self) -> None:
+        """Restore state from the journal: snapshot, then the WAL tail.
+
+        The snapshot restores each venue's store (codec round-trips are
+        bit-for-bit, ``ExactSum`` expansions verbatim) and counters; each
+        WAL entry then re-folds its venue deltas and re-rolls — retention
+        is deterministic, and the retired epoch indices must match what
+        the entry logged, or the log has diverged from the code and
+        recovery raises instead of resuming silently wrong.  Retained
+        results are rebuilt afterwards by re-running phase one over the
+        journaled record batches against the warm pool.
+        """
+        snapshot, entries = self._journal.load()
+        if snapshot is not None:
+            self._restore_snapshot(snapshot)
+        for entry in entries:
+            self._replay_entry(entry)
+        self._since_snapshot = len(entries)
+        if self.live_config.retain_results:
+            for state in self._states.values():
+                for records in state.batches:
+                    sequences = PositioningSequence.group_records(records)
+                    pairs = state.engine.phase_one(sequences)
+                    state.results.extend(
+                        assemble_results(sequences, pairs, None)
+                    )
+
+    def _restore_snapshot(self, snapshot: dict) -> None:
+        self._windows = snapshot["windows"]
+        self._translate_seconds = snapshot["translate_seconds"]
+        self._elapsed = snapshot["elapsed"]
+        for vid, payload in snapshot["venues"].items():
+            state = self._states.get(vid)
+            if state is None:
+                raise PersistenceError(
+                    f"snapshot names venue {vid!r}, which this service "
+                    "does not serve"
+                )
+            if payload["store"] is not None:
+                store = decode(payload["store"])
+                self._check_restored_retention(vid, store)
+                store.track_deltas = True
+                state.store = store
+            state.store_checked = payload["store_checked"]
+            counters = payload["stats"]
+            state.stats.windows = counters["windows"]
+            state.stats.records = counters["records"]
+            state.stats.sequences = counters["sequences"]
+            state.stats.semantics = counters["semantics"]
+            state.stats.translate_seconds = counters["translate_seconds"]
+            state.stats.window_records_target = counters[
+                "window_records_target"
+            ]
+            state.ewma_rate = payload["ewma"]
+            if state.store is not None:
+                state.stats.knowledge_sequences = (
+                    state.store.knowledge.sequences_seen
+                )
+                state.stats.retained_epochs = state.store.retained_epochs
+            if self.live_config.retain_results and payload["batches"]:
+                state.batches = [
+                    decode_records(rows) for rows in payload["batches"]
+                ]
+
+    def _check_restored_retention(self, vid: str, store: KnowledgeStore):
+        """A restored store must run the policy this service configures.
+
+        Silently adopting a different policy would make the recovered
+        run diverge from both the crashed one and a fresh one.
+        """
+        configured = self._retention_for(vid)
+        if configured is None:
+            configured = self.engine_config.retention
+        if encode_retention(parse_retention(configured)) != encode_retention(
+            store.retention
+        ):
+            raise PersistenceError(
+                f"venue {vid!r} was journaled under retention "
+                f"{store.retention.name!r} but this service configures "
+                f"{parse_retention(configured).name!r}"
+            )
+
+    def _replay_entry(self, entry: dict) -> None:
+        if entry.get("window") != self._windows:
+            raise PersistenceError(
+                f"WAL entry for window {entry.get('window')!r} cannot "
+                f"follow {self._windows} recovered windows (gap or "
+                "duplicate in the log)"
+            )
+        for payload in entry["venues"]:
+            vid = payload["venue"]
+            state = self._states.get(vid)
+            if state is None:
+                raise PersistenceError(
+                    f"WAL entry names venue {vid!r}, which this service "
+                    "does not serve"
+                )
+            if not state.store_checked:
+                self._create_store(state)
+            if payload["delta"] is not None:
+                if state.store is None:
+                    raise PersistenceError(
+                        f"WAL entry carries a knowledge delta for venue "
+                        f"{vid!r}, which builds no knowledge"
+                    )
+                state.store.fold(
+                    decode(payload["delta"]),
+                    start=payload["start"],
+                    end=payload["end"],
+                )
+                retired = state.store.roll()
+                if [e.index for e in retired] != payload["retired"]:
+                    raise PersistenceError(
+                        f"replaying venue {vid!r} retired epochs "
+                        f"{[e.index for e in retired]} where the log "
+                        f"recorded {payload['retired']}"
+                    )
+            stats = state.stats
+            stats.windows += 1
+            stats.records += payload["records"]
+            stats.sequences += payload["sequences"]
+            stats.semantics += payload["semantics"]
+            stats.translate_seconds += payload["seconds"]
+            if state.store is not None:
+                stats.knowledge_sequences = (
+                    state.store.knowledge.sequences_seen
+                )
+                stats.retained_epochs = state.store.retained_epochs
+            if (
+                self.live_config.retain_results
+                and payload["batch"] is not None
+            ):
+                state.batches.append(decode_records(payload["batch"]))
+        self._windows += 1
+        self._translate_seconds += sum(
+            payload["seconds"] for payload in entry["venues"]
+        )
 
     def _observe_rate(
         self, state: _VenueState, venue_records: list[RawPositioningRecord]
@@ -595,10 +890,7 @@ class LiveTranslationService:
         self._ensure_open()
         state = self._states[venue_id]
         if not state.store_checked:
-            state.store = state.engine.make_store(
-                retention=self._retention_for(venue_id)
-            )
-            state.store_checked = True
+            self._create_store(state)
         return state.store
 
     def results(self, venue_id: str) -> list[TranslationResult]:

@@ -334,6 +334,84 @@ class TestConvergence:
                     assert shard.knowledge(venue) == merged
         assert set(stats.exchange.sequences_merged) == {"east", "west"}
 
+    def test_shard_added_between_rounds_starts_from_fresh_baseline(
+        self, reference
+    ):
+        """A shard that joins after rounds have already run has no
+        ``(shard, venue)`` baseline: its first round must export its
+        full evidence and receive the full cluster aggregate — and the
+        incumbent, whose delta since its last round is zero, must end
+        the round bit-for-bit equal to the newcomer."""
+        def make_shard():
+            return LiveTranslationService(
+                {"east": Translator(make_two_shop_dsm())},
+                EngineConfig(chunk_size=2),
+                LiveConfig(window_seconds=WINDOW_SECONDS),
+            )
+
+        windows = list(
+            windowed_records(RecordStream(iter(shop_records())), WINDOW_SECONDS)
+        )
+        assert len(windows) >= 2
+        exchange = KnowledgeExchange()
+        incumbent = make_shard()
+        newcomer = make_shard()
+        with incumbent, newcomer:
+            for window in windows[:2]:
+                incumbent.process_window(window, venue_id="east")
+            first = exchange.exchange([incumbent])
+            assert first.deltas == 1
+            # The newcomer joins with the remaining windows' evidence.
+            for window in windows[2:]:
+                newcomer.process_window(window, venue_id="east")
+            second = exchange.exchange([incumbent, newcomer])
+            # Only the newcomer carried evidence this round.
+            assert second.deltas == 1
+            merged = exchange.merged_knowledge("east")
+            assert merged == reference.knowledge
+            assert incumbent.knowledge("east") == reference.knowledge
+            assert newcomer.knowledge("east") == reference.knowledge
+
+    def test_zero_delta_venue_export_is_stable(self):
+        """A venue no shard has evidence for exports zero deltas: the
+        round folds nothing for it, and repeated rounds leave every
+        shard's stores bit-for-bit unchanged."""
+        translators = {
+            "east": Translator(make_two_shop_dsm()),
+            "west": Translator(make_two_shop_dsm()),
+        }
+
+        def make_shard():
+            return LiveTranslationService(
+                translators,
+                EngineConfig(chunk_size=2),
+                LiveConfig(window_seconds=WINDOW_SECONDS),
+            )
+
+        exchange = KnowledgeExchange()
+        shards = [make_shard(), make_shard()]
+        with shards[0], shards[1]:
+            # Evidence reaches only "east"; "west" stays quiet.
+            shards[0].process_window(shop_records(), venue_id="east")
+            first = exchange.exchange(shards)
+            assert set(first.venues) == {"east", "west"}
+            assert exchange.stats.sequences_merged["west"] == 0
+            west = exchange.merged_partial("west")
+            assert west is not None and west.sequences_seen == 0
+            before = [
+                (s.store("east").to_partial(), s.store("west").to_partial())
+                for s in shards
+            ]
+            # A second all-quiet round is a bit-for-bit no-op.
+            second = exchange.exchange(shards)
+            assert second.deltas == 0
+            after = [
+                (s.store("east").to_partial(), s.store("west").to_partial())
+                for s in shards
+            ]
+            assert after == before
+            assert shards[0].knowledge("east") == shards[1].knowledge("east")
+
     @settings(
         deadline=None,
         max_examples=12,

@@ -1,0 +1,697 @@
+"""Durability: the versioned codec, the WAL/journal, exact recovery.
+
+The tentpole invariant: a service killed at *any* window boundary and
+recovered from its state directory (snapshot + WAL tail) finishes the
+feed to a ``finalize()`` bit-for-bit equal to an uninterrupted run —
+under every retention policy, and for every shard of a sharded cluster.
+That only holds if every layer below is exact, so the suite works
+upward: codec round-trips (ExactSum expansions restored verbatim), WAL
+torn-tail/corruption semantics, snapshot filtering, then the recovery
+property itself.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Translator
+from repro.core.complementing import (
+    ExactSum,
+    MobilityKnowledge,
+    PartialKnowledge,
+)
+from repro.durability import (
+    FORMAT_VERSION,
+    SNAPSHOT_MAGIC,
+    WAL_MAGIC,
+    DurableStateJournal,
+    WriteAheadLog,
+    decode,
+    decode_records,
+    decode_retention,
+    encode,
+    encode_records,
+    encode_retention,
+)
+from repro.engine import EngineConfig
+from repro.errors import PersistenceError
+from repro.knowledge import (
+    ExponentialDecay,
+    KnowledgeStore,
+    SlidingWindow,
+    Unbounded,
+)
+from repro.live import LiveConfig, LiveTranslationService
+from repro.positioning import RecordStream, windowed_records
+
+from .conftest import make_two_shop_dsm
+from .test_knowledge_store import (
+    REGIONS,
+    annotated_sequences,
+    corpora,
+    partial_of,
+)
+from .test_live import shop_records
+
+WINDOW_SECONDS = 60.0
+
+finite_floats = st.floats(
+    min_value=-1e12, max_value=1e12, allow_nan=False, allow_infinity=False
+)
+
+
+def json_round_trip(payload: dict) -> dict:
+    """Push a codec payload through the actual wire representation."""
+    return json.loads(json.dumps(payload, separators=(",", ":")))
+
+
+def store_state(store: KnowledgeStore) -> dict:
+    """A store's wire encoding minus the ``track_deltas`` plumbing flag
+    (set on journaled services only, irrelevant to knowledge state)."""
+    state = encode(store)
+    state.pop("track_deltas")
+    return state
+
+
+# ----------------------------------------------------------------------
+# Codec round-trips: bit-for-bit, through real JSON
+# ----------------------------------------------------------------------
+class TestCodecRoundTrip:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(finite_floats, max_size=16))
+    def test_exactsum_expansion_restored_verbatim(self, values):
+        total = ExactSum(values)
+        clone = decode(json_round_trip(encode(total)))
+        # Not just equal-sum: the internal expansion is identical, so
+        # the restored accumulator walks the same states forever after.
+        assert clone._partials == total._partials
+        assert clone == total
+        assert clone.value == total.value
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(finite_floats, max_size=16), st.lists(finite_floats, max_size=8))
+    def test_restored_exactsum_accumulates_identically(self, values, more):
+        total = ExactSum(values)
+        clone = decode(json_round_trip(encode(total)))
+        for value in more:
+            total.add(value)
+            clone.add(value)
+        assert clone._partials == total._partials
+
+    @settings(max_examples=40, deadline=None)
+    @given(corpora)
+    def test_partial_round_trips(self, corpus):
+        partial = partial_of(corpus)
+        clone = decode(json_round_trip(encode(partial)))
+        assert clone == partial
+
+    @settings(max_examples=30, deadline=None)
+    @given(corpora, corpora)
+    def test_restored_partial_folds_identically(self, corpus, extra):
+        partial = partial_of(corpus)
+        clone = decode(json_round_trip(encode(partial)))
+        partial.add(partial_of(extra))
+        clone.add(partial_of(extra))
+        assert clone == partial
+
+    @settings(max_examples=30, deadline=None)
+    @given(corpora)
+    def test_knowledge_round_trips(self, corpus):
+        knowledge = MobilityKnowledge.from_sequences(corpus, REGIONS)
+        clone = decode(json_round_trip(encode(knowledge)))
+        assert clone == knowledge
+        assert clone.smoothing == knowledge.smoothing
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(st.lists(annotated_sequences(), max_size=3), max_size=4),
+        st.lists(annotated_sequences(), max_size=2),
+        st.sampled_from(
+            [
+                Unbounded(),
+                SlidingWindow(max_epochs=2),
+                SlidingWindow(max_epochs=2, ttl_seconds=1e5),
+                ExponentialDecay(3.0),
+            ]
+        ),
+    )
+    def test_store_round_trips_and_evolves_identically(
+        self, epochs, open_epoch, retention
+    ):
+        """The full store — knowledge, ring, counters, open epoch,
+        watermark, retention — survives the wire, and the clone then
+        *evolves* identically under further folds and rolls."""
+        store = KnowledgeStore(REGIONS, retention=retention)
+        store.track_deltas = True
+        clock = 0.0
+        for epoch in epochs:
+            clock += 100.0
+            store.fold(partial_of(epoch), start=clock - 50.0, end=clock)
+            store.roll()
+        store.fold(partial_of(open_epoch), start=clock, end=clock + 10.0)
+
+        clone = decode(json_round_trip(encode(store)))
+        assert clone.knowledge == store.knowledge
+        assert [encode(e) for e in clone.epochs] == [
+            encode(e) for e in store.epochs
+        ]
+        assert clone.epochs_rolled == store.epochs_rolled
+        assert clone.epochs_retired == store.epochs_retired
+        assert clone.newest_timestamp == store.newest_timestamp
+        assert clone.track_deltas == store.track_deltas
+        assert encode_retention(clone.retention) == encode_retention(
+            store.retention
+        )
+        for source in (store, clone):
+            source.roll()
+            source.fold(
+                partial_of(open_epoch),
+                start=clock + 200.0,
+                end=clock + 260.0,
+            )
+            source.roll()
+        assert clone.knowledge == store.knowledge
+        assert clone.last_epoch.partial == store.last_epoch.partial
+        assert clone.to_partial() == store.to_partial()
+
+    def test_records_round_trip(self):
+        records = shop_records()
+        rows = json_round_trip({"rows": encode_records(records)})["rows"]
+        assert decode_records(rows) == records
+
+    @pytest.mark.parametrize(
+        "policy",
+        [
+            Unbounded(),
+            SlidingWindow(max_epochs=4),
+            SlidingWindow(ttl_seconds=300.0),
+            SlidingWindow(max_epochs=4, ttl_seconds=300.0),
+            ExponentialDecay(8.0),
+        ],
+    )
+    def test_retention_encodes_structurally(self, policy):
+        clone = decode_retention(json_round_trip(encode_retention(policy)))
+        assert type(clone) is type(policy)
+        assert clone.name == policy.name
+        assert encode_retention(clone) == encode_retention(policy)
+
+    def test_custom_retention_policy_has_no_encoding(self):
+        class Custom:
+            name = "custom"
+            keeps_epochs = False
+
+            def on_roll(self, store, now):
+                return []
+
+        with pytest.raises(PersistenceError):
+            encode_retention(Custom())
+        with pytest.raises(PersistenceError):
+            decode_retention({"kind": "forever"})
+
+    def test_unknown_payloads_raise(self):
+        with pytest.raises(PersistenceError):
+            encode(object())
+        with pytest.raises(PersistenceError):
+            decode({"t": "mystery"})
+        with pytest.raises(PersistenceError):
+            decode("not a dict")
+        with pytest.raises(PersistenceError):
+            decode({"t": "partial"})  # missing every field
+        with pytest.raises(PersistenceError):
+            decode_records([[1.0, "dev"]])  # truncated row
+
+
+# ----------------------------------------------------------------------
+# The write-ahead log
+# ----------------------------------------------------------------------
+class TestWriteAheadLog:
+    def test_append_and_replay(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.jsonl")
+        assert wal.open() == []
+        wal.append({"t": "window", "window": 0})
+        wal.append({"t": "window", "window": 1})
+        wal.close()
+        reopened = WriteAheadLog(tmp_path / "wal.jsonl")
+        assert reopened.open() == [
+            {"t": "window", "window": 0},
+            {"t": "window", "window": 1},
+        ]
+        reopened.close()
+
+    def test_torn_final_line_is_dropped(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        wal = WriteAheadLog(path)
+        wal.open()
+        wal.append({"t": "window", "window": 0})
+        wal.close()
+        with open(path, "ab") as handle:
+            handle.write(b'{"t": "window", "win')  # crash mid-write
+        wal = WriteAheadLog(path)
+        assert wal.open() == [{"t": "window", "window": 0}]
+        # The torn tail is gone for good: the next append starts clean.
+        wal.append({"t": "window", "window": 1})
+        wal.close()
+        wal = WriteAheadLog(path)
+        assert [e["window"] for e in wal.open()] == [0, 1]
+        wal.close()
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        wal = WriteAheadLog(path)
+        wal.open()
+        wal.append({"t": "window", "window": 0})
+        wal.append({"t": "window", "window": 1})
+        wal.close()
+        raw = path.read_bytes().splitlines(keepends=True)
+        raw[1] = b"}}garbage{{\n"  # first entry, not the final line
+        path.write_bytes(b"".join(raw))
+        with pytest.raises(PersistenceError):
+            WriteAheadLog(path).open()
+
+    def test_reset_truncates_to_header(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        wal = WriteAheadLog(path)
+        wal.open()
+        wal.append({"t": "window", "window": 0})
+        wal.reset()
+        wal.append({"t": "window", "window": 7})
+        wal.close()
+        wal = WriteAheadLog(path)
+        assert [e["window"] for e in wal.open()] == [7]
+        wal.close()
+
+    def test_foreign_or_future_header_raises(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        path.write_bytes(b'{"magic":"other-log","version":1}\n')
+        with pytest.raises(PersistenceError):
+            WriteAheadLog(path).open()
+        path.write_bytes(
+            json.dumps(
+                {"magic": WAL_MAGIC, "version": FORMAT_VERSION + 1}
+            ).encode()
+            + b"\n"
+        )
+        with pytest.raises(PersistenceError):
+            WriteAheadLog(path).open()
+
+    def test_torn_header_restarts_the_file(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        path.write_bytes(b'{"magic":"trips-')  # died writing the header
+        wal = WriteAheadLog(path)
+        assert wal.open() == []
+        wal.append({"t": "window", "window": 0})
+        wal.close()
+        wal = WriteAheadLog(path)
+        assert [e["window"] for e in wal.open()] == [0]
+        wal.close()
+
+
+# ----------------------------------------------------------------------
+# The journal: snapshot + WAL
+# ----------------------------------------------------------------------
+class TestJournal:
+    def test_load_without_snapshot(self, tmp_path):
+        journal = DurableStateJournal(tmp_path / "state")
+        journal.open()
+        journal.append_window(0, {"venues": []})
+        journal.close()
+        # load() surfaces what open() replayed — the recovery flow.
+        journal = DurableStateJournal(tmp_path / "state")
+        journal.open()
+        snapshot, entries = journal.load()
+        assert snapshot is None
+        assert [e["window"] for e in entries] == [0]
+        journal.close()
+
+    def test_snapshot_truncates_and_filters(self, tmp_path):
+        journal = DurableStateJournal(tmp_path / "state")
+        journal.open()
+        journal.append_window(0, {"venues": []})
+        journal.append_window(1, {"venues": []})
+        journal.write_snapshot(2, {"body": True})
+        journal.append_window(2, {"venues": []})
+        journal.close()
+        journal = DurableStateJournal(tmp_path / "state")
+        journal.open()
+        snapshot, entries = journal.load()
+        assert snapshot["windows"] == 2
+        assert snapshot["magic"] == SNAPSHOT_MAGIC
+        assert [e["window"] for e in entries] == [2]
+        journal.close()
+
+    def test_crash_between_snapshot_rename_and_wal_reset(
+        self, tmp_path, monkeypatch
+    ):
+        """The one non-atomic seam in the checkpoint: the snapshot is
+        renamed into place but the process dies before the WAL truncate.
+        The stale entries it leaves behind are all covered by the
+        snapshot and must be filtered, not replayed twice."""
+        journal = DurableStateJournal(tmp_path / "state")
+        journal.open()
+        journal.append_window(0, {"venues": []})
+        journal.append_window(1, {"venues": []})
+        monkeypatch.setattr(journal.wal, "reset", lambda: None)
+        journal.write_snapshot(2, {"body": True})
+        journal.close()
+        journal = DurableStateJournal(tmp_path / "state")
+        journal.open()
+        snapshot, entries = journal.load()
+        assert snapshot["windows"] == 2
+        assert entries == []
+        journal.close()
+
+    def test_corrupt_snapshot_raises(self, tmp_path):
+        state = tmp_path / "state"
+        journal = DurableStateJournal(state)
+        journal.open()
+        journal.close()
+        (state / "snapshot.json").write_bytes(b"{broken")
+        journal.open()
+        with pytest.raises(PersistenceError):
+            journal.load()
+        (state / "snapshot.json").write_bytes(
+            json.dumps({"magic": "wrong", "version": 1, "windows": 0}).encode()
+        )
+        with pytest.raises(PersistenceError):
+            journal.load()
+        journal.close()
+
+    def test_load_requires_open(self, tmp_path):
+        journal = DurableStateJournal(tmp_path / "state")
+        with pytest.raises(PersistenceError):
+            journal.load()
+
+
+# ----------------------------------------------------------------------
+# Crash recovery: the tentpole property
+# ----------------------------------------------------------------------
+RETENTIONS = ["unbounded", "window:2", "decay:3"]
+
+
+def feed_windows():
+    return list(
+        windowed_records(
+            RecordStream(iter(shop_records("east:"))), WINDOW_SECONDS
+        )
+    )
+
+
+def make_service(retention, state_dir=None, snapshot_interval=3):
+    return LiveTranslationService(
+        {"east": Translator(make_two_shop_dsm())},
+        EngineConfig(chunk_size=2),
+        LiveConfig(
+            window_seconds=WINDOW_SECONDS,
+            snapshot_interval=snapshot_interval,
+        ),
+        retention=retention,
+        state_dir=state_dir,
+    )
+
+
+@pytest.fixture(scope="module")
+def uninterrupted():
+    """Reference run per retention: stats, knowledge and finalize()."""
+    runs = {}
+    for retention in RETENTIONS:
+        service = make_service(retention)
+        with service:
+            for window in feed_windows():
+                service.process_window(window, "east")
+            finalized = service.finalize()
+            store = service.store("east")
+            runs[retention] = {
+                "windows": service.stats.windows,
+                "records": service.stats.records,
+                "semantics": service.stats.semantics,
+                "partial": store.to_partial(),
+                "state": store_state(store),
+                "results": finalized["east"].results,
+                "knowledge": finalized["east"].knowledge,
+            }
+    return runs
+
+
+class TestCrashRecovery:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        kill_at=st.integers(min_value=0, max_value=len(feed_windows())),
+        retention=st.sampled_from(RETENTIONS),
+        snapshot_interval=st.integers(min_value=1, max_value=5),
+    )
+    def test_kill_at_any_window_boundary_recovers_exactly(
+        self, tmp_path_factory, uninterrupted, kill_at, retention,
+        snapshot_interval,
+    ):
+        """Kill after any number of windows, under any retention and
+        any checkpoint cadence: the recovered service finishes the feed
+        to a bit-for-bit identical finalize()."""
+        state_dir = tmp_path_factory.mktemp("crash")
+        windows = feed_windows()
+        crashed = make_service(
+            retention, state_dir, snapshot_interval=snapshot_interval
+        )
+        crashed.open()
+        for window in windows[:kill_at]:
+            crashed.process_window(window, "east")
+        # No close(): the process is gone.  Only the flushed journal
+        # survives.
+        del crashed
+
+        recovered = make_service(
+            retention, state_dir, snapshot_interval=snapshot_interval
+        )
+        with recovered:
+            assert recovered.stats.windows == kill_at
+            for window in windows[kill_at:]:
+                recovered.process_window(window, "east")
+            reference = uninterrupted[retention]
+            assert recovered.stats.windows == reference["windows"]
+            assert recovered.stats.records == reference["records"]
+            assert recovered.stats.semantics == reference["semantics"]
+            store = recovered.store("east")
+            assert store.to_partial() == reference["partial"]
+            # The full store state — ring, counters, watermark — matches
+            # the uninterrupted run's wire encoding exactly.
+            assert store_state(store) == reference["state"]
+            finalized = recovered.finalize()
+            assert finalized["east"].results == reference["results"]
+            assert finalized["east"].knowledge == reference["knowledge"]
+
+    def test_double_crash_still_recovers(self, tmp_path, uninterrupted):
+        """Crash, recover, crash again mid-feed, recover again."""
+        windows = feed_windows()
+        state_dir = tmp_path / "state"
+        first = make_service("window:2", state_dir)
+        first.open()
+        for window in windows[:2]:
+            first.process_window(window, "east")
+        del first
+        second = make_service("window:2", state_dir)
+        second.open()
+        for window in windows[2:4]:
+            second.process_window(window, "east")
+        del second
+        third = make_service("window:2", state_dir)
+        with third:
+            assert third.stats.windows == 4
+            for window in windows[4:]:
+                third.process_window(window, "east")
+            reference = uninterrupted["window:2"]
+            assert store_state(third.store("east")) == reference["state"]
+            assert third.finalize()["east"].results == reference["results"]
+
+    def test_close_and_reopen_does_not_double_replay(
+        self, tmp_path, uninterrupted
+    ):
+        windows = feed_windows()
+        service = make_service("unbounded", tmp_path / "state")
+        with service:
+            for window in windows[:5]:
+                service.process_window(window, "east")
+        # Same instance, reopened: in-memory state already holds the
+        # journaled windows, so nothing is replayed on top of it.
+        with service:
+            assert service.stats.windows == 5
+            for window in windows[5:]:
+                service.process_window(window, "east")
+            reference = uninterrupted["unbounded"]
+            assert service.finalize()["east"].results == reference["results"]
+
+    def test_results_dropped_mode_recovers_without_batches(self, tmp_path):
+        """With ``retain_results=False`` nothing journals raw batches:
+        recovery is O(snapshot + WAL tail) and still restores knowledge
+        exactly (there is nothing to finalize)."""
+        windows = feed_windows()
+
+        def make(state_dir):
+            return LiveTranslationService(
+                {"east": Translator(make_two_shop_dsm())},
+                EngineConfig(chunk_size=2),
+                LiveConfig(
+                    window_seconds=WINDOW_SECONDS,
+                    retain_results=False,
+                    snapshot_interval=4,
+                ),
+                state_dir=state_dir,
+            )
+
+        reference = make(None)
+        with reference:
+            for window in windows:
+                reference.process_window(window, "east")
+            reference_state = store_state(reference.store("east"))
+
+        crashed = make(tmp_path / "state")
+        crashed.open()
+        for window in windows[:6]:
+            crashed.process_window(window, "east")
+        del crashed
+        recovered = make(tmp_path / "state")
+        with recovered:
+            assert recovered.results("east") == []
+            for window in windows[6:]:
+                recovered.process_window(window, "east")
+            assert store_state(recovered.store("east")) == reference_state
+
+
+# ----------------------------------------------------------------------
+# Recovery refuses to lie
+# ----------------------------------------------------------------------
+class TestRecoveryValidation:
+    def test_retention_mismatch_is_refused(self, tmp_path):
+        state_dir = tmp_path / "state"
+        service = make_service("window:2", state_dir)
+        with service:
+            for window in feed_windows()[:3]:
+                service.process_window(window, "east")
+        mismatched = make_service("decay:3", state_dir)
+        with pytest.raises(PersistenceError):
+            mismatched.open()
+
+    def test_unknown_venue_in_state_is_refused(self, tmp_path):
+        state_dir = tmp_path / "state"
+        service = make_service("unbounded", state_dir)
+        with service:
+            for window in feed_windows()[:3]:
+                service.process_window(window, "east")
+            service.checkpoint()
+        stranger = LiveTranslationService(
+            {"west": Translator(make_two_shop_dsm())},
+            EngineConfig(chunk_size=2),
+            LiveConfig(window_seconds=WINDOW_SECONDS),
+            state_dir=state_dir,
+        )
+        with pytest.raises(PersistenceError):
+            stranger.open()
+
+    def test_window_gap_in_wal_is_refused(self, tmp_path):
+        state_dir = tmp_path / "state"
+        # A wide snapshot interval keeps all three windows in the WAL.
+        service = make_service("unbounded", state_dir, snapshot_interval=10)
+        with service:
+            for window in feed_windows()[:3]:
+                service.process_window(window, "east")
+        wal_path = state_dir / "wal.jsonl"
+        lines = wal_path.read_bytes().splitlines(keepends=True)
+        del lines[2]  # drop the middle window: 0, _, 2
+        wal_path.write_bytes(b"".join(lines))
+        with pytest.raises(PersistenceError):
+            make_service("unbounded", state_dir, snapshot_interval=10).open()
+
+    def test_tampered_retirement_log_is_refused(self, tmp_path):
+        state_dir = tmp_path / "state"
+        service = make_service("window:2", state_dir)
+        with service:
+            for window in feed_windows()[:5]:
+                service.process_window(window, "east")
+        wal_path = state_dir / "wal.jsonl"
+        lines = wal_path.read_bytes().splitlines(keepends=True)
+        entry = json.loads(lines[-1])
+        for venue in entry["venues"]:
+            venue["retired"] = [99]
+        lines[-1] = json.dumps(entry, separators=(",", ":")).encode() + b"\n"
+        wal_path.write_bytes(b"".join(lines))
+        with pytest.raises(PersistenceError):
+            make_service("window:2", state_dir).open()
+
+
+# ----------------------------------------------------------------------
+# Sharded cluster recovery
+# ----------------------------------------------------------------------
+class TestShardedRecovery:
+    def make_cluster(self, state_dir=None, shards=2):
+        from repro.distributed import ShardedIngestService
+
+        return ShardedIngestService(
+            {"east": Translator(make_two_shop_dsm())},
+            shards=shards,
+            engine_config=EngineConfig(chunk_size=2),
+            live_config=LiveConfig(
+                window_seconds=WINDOW_SECONDS, snapshot_interval=3
+            ),
+            exchange_interval=2,
+            state_dir=state_dir,
+        )
+
+    @pytest.mark.parametrize("kill_at", [0, 3, 6])
+    def test_cluster_kill_and_recover_bit_for_bit(self, tmp_path, kill_at):
+        windows = feed_windows()
+        reference = self.make_cluster()
+        with reference:
+            for window in windows:
+                reference.process_window(window, "east")
+            reference_final = reference.finalize()
+            reference_stats = reference.stats
+        reference_merged = reference.merged_knowledge("east")
+
+        crashed = self.make_cluster(tmp_path / "cluster", shards=2)
+        crashed.open()
+        for window in windows[:kill_at]:
+            crashed.process_window(window, "east")
+        del crashed
+
+        recovered = self.make_cluster(tmp_path / "cluster", shards=2)
+        with recovered:
+            assert recovered.stats.windows == kill_at
+            for window in windows[kill_at:]:
+                recovered.process_window(window, "east")
+            assert recovered.stats.windows == reference_stats.windows
+            assert recovered.stats.records == reference_stats.records
+            assert recovered.stats.semantics == reference_stats.semantics
+            merged = recovered.merged_knowledge("east")
+            assert merged.to_partial() == reference_merged.to_partial()
+            finalized = recovered.finalize()
+            assert (
+                finalized["east"].results == reference_final["east"].results
+            )
+
+    def test_mid_window_crash_is_detected(self, tmp_path):
+        """A shard that journaled more windows than the cluster counter
+        means the crash was not at a cluster-window boundary — recovery
+        refuses instead of silently double-feeding."""
+        windows = feed_windows()
+        cluster = self.make_cluster(tmp_path / "cluster")
+        with cluster:
+            for window in windows[:4]:
+                cluster.process_window(window, "east")
+        # Shards may legitimately lag the cluster counter (a shard skips
+        # windows whose partition routed it no records), so wind the
+        # counter back below what the shards durably journaled.
+        journaled = max(
+            json.loads(
+                (tmp_path / "cluster" / f"shard-{i}" / "snapshot.json")
+                .read_bytes()
+            )["windows"]
+            for i in range(2)
+        )
+        cluster_json = tmp_path / "cluster" / "cluster.json"
+        payload = json.loads(cluster_json.read_bytes())
+        payload["windows"] = journaled - 1
+        cluster_json.write_text(json.dumps(payload))
+        with pytest.raises(PersistenceError):
+            self.make_cluster(tmp_path / "cluster").open()

@@ -367,6 +367,45 @@ class TestKnowledgeStore:
             store.roll()
         assert store.knowledge.transition_count(REGIONS[0], REGIONS[1]) == 0
 
+    def test_newest_timestamp_is_a_monotone_watermark(self):
+        """Regression: the data-time "present" that TTL retention
+        measures against must never move backwards (or vanish) because
+        retention retired the newest timestamped epoch.  Under a
+        combined ``window:1+Ts`` policy the count bound does exactly
+        that, and late-arriving stale evidence must still expire
+        against the true watermark."""
+        corpus = [
+            MobilitySemanticsSequence(
+                "dev",
+                [
+                    MobilitySemantic(
+                        EVENT_STAY, REGIONS[0], REGIONS[0], TimeRange(0, 60)
+                    )
+                ],
+            )
+        ]
+        store = KnowledgeStore(
+            REGIONS,
+            retention=SlidingWindow(max_epochs=1, ttl_seconds=100.0),
+        )
+        store.fold(partial_of(corpus), start=990.0, end=1000.0)
+        store.roll()
+        assert store.newest_timestamp == 1000.0
+        # A quiet roll: the count bound retires the only timestamped
+        # epoch (and TTL drops the timestamp-less quiet one); the
+        # watermark must survive both retirements.
+        store.roll()
+        assert store.retained_epochs == 0
+        assert store.newest_timestamp == 1000.0
+        # Stale evidence (older than 1000 - 100s) expires against the
+        # watermark even though no retained epoch carries a timestamp.
+        store.fold(partial_of(corpus), start=700.0, end=800.0)
+        retired = store.roll()
+        assert any(epoch.end == 800.0 for epoch in retired)
+        assert store.knowledge == MobilityKnowledge(regions=list(REGIONS))
+        # The watermark itself never regresses under older folds.
+        assert store.newest_timestamp == 1000.0
+
     def test_retire_unknown_epoch_raises(self):
         from repro.knowledge import Epoch
 
@@ -434,6 +473,19 @@ class TestParseRetention:
     def test_invalid_specs(self, spec):
         with pytest.raises(ConfigError):
             parse_retention(spec)
+
+    @pytest.mark.parametrize(
+        "spec", ["window:1_0", "decay:1_0", "window:1_0s", "window: 10"]
+    )
+    def test_python_numeric_literal_syntax_rejected(self, spec):
+        """Regression: ``int``/``float`` accept underscore separators
+        and padding ("1_0" parses as 10), so ``window:1_0`` used to be
+        silently accepted as ``window:10``.  A config surface must only
+        take canonical digit strings, and the error must name the
+        offending spec."""
+        with pytest.raises(ConfigError) as excinfo:
+            parse_retention(spec)
+        assert repr(spec) in str(excinfo.value)
 
     def test_sliding_window_needs_a_bound(self):
         with pytest.raises(ConfigError):

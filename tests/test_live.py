@@ -380,6 +380,53 @@ def test_serve_unroutable_record_fails_loudly(two_venues):
             service.serve(RecordStream(iter(shop_records())))
 
 
+def test_producer_failure_survives_failing_drain(two_venues):
+    """When a feed dies *and* the post-failure drain of already-queued
+    windows also fails, the producer's failure is the one raised — the
+    drain error chains as its context instead of replacing it.
+
+    Regression: serve_async used to re-raise whatever the drain threw,
+    masking the original feed failure behind a secondary symptom.
+    """
+    import threading
+
+    release = threading.Event()
+
+    class ExplodingFeed(RecordStream):
+        """Serves pre-cut windows, then dies; the death releases the
+        consumer, so the poisoned window is still queued when the
+        producer failure is handled — the drain path under test."""
+
+        def __init__(self, windows):
+            super().__init__(iter(()))
+            self._windows = list(windows)
+
+        def take_window(self, window_seconds, max_records=None):
+            if self._windows:
+                return self._windows.pop(0)
+            release.set()
+            raise RuntimeError("feed exploded")
+
+    class GatedService(LiveTranslationService):
+        def process_window(self, records, venue_id=None):
+            assert release.wait(timeout=30)
+            return super().process_window(records, venue_id)
+
+    service = GatedService(
+        two_venues,
+        EngineConfig(chunk_size=2),
+        LiveConfig(window_seconds=60.0, max_pending_windows=4),
+    )
+    good_window = shop_records("east:")[:10]
+    unroutable_window = shop_records()[:5]
+    with service:
+        with pytest.raises(RuntimeError, match="feed exploded") as excinfo:
+            service.serve(ExplodingFeed([good_window, unroutable_window]))
+    assert isinstance(excinfo.value.__context__, DispatchError)
+    # The good window drained and is accounted for.
+    assert service.stats.windows == 1
+
+
 def test_live_config_validation():
     with pytest.raises(ConfigError):
         LiveConfig(window_seconds=0.0)
@@ -387,6 +434,8 @@ def test_live_config_validation():
         LiveConfig(max_window_records=0)
     with pytest.raises(ConfigError):
         LiveConfig(max_pending_windows=0)
+    with pytest.raises(ConfigError):
+        LiveConfig(snapshot_interval=0)
 
 
 def test_single_translator_shorthand():
