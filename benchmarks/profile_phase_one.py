@@ -1,0 +1,111 @@
+"""Profile phase one and commit the artifact the columnar work is based on.
+
+The columnar hot path (:mod:`repro.columnar`) is profile-first: the
+kernels it accelerates were chosen from this script's output, not from
+intuition.  Run it to regenerate the committed artifact::
+
+    PYTHONPATH=src python benchmarks/profile_phase_one.py
+
+which cProfiles ``run_phase_one_chunk`` (the object layout) over the
+deterministic mall population and writes
+``benchmarks/profiles/phase_one_objects.txt`` — cumulative-time ranking
+first, then total-time ranking.  The two dominant loops it exposes (and
+the ones the columnar kernels therefore replace) are:
+
+1. **point location** — ``DigitalSpaceModel.partition_at`` /
+   ``primary_region_at`` and the ``Polygon.contains_point`` edge walks
+   under them; every record is located ~3.6 times (speed validation
+   locates both transition endpoints plus the straight-move midpoint,
+   spatial matching locates the record again);
+2. **density splitting** — ``DensitySplitter._core_flags``, quadratic in
+   the dense neighborhood with per-comparison attribute chains.
+
+A second profile of ``run_phase_one_chunk_columnar`` over the same feed
+is appended for contrast, so the artifact also documents where the time
+went after the optimization.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from pathlib import Path
+
+PROFILE_DIR = Path(__file__).parent / "profiles"
+ARTIFACT = PROFILE_DIR / "phase_one_objects.txt"
+
+#: Explicit, committed population seed — rerunning reproduces the exact
+#: same feed, so profile deltas are attributable to code changes only.
+POPULATION_SEED = 31
+POPULATION_COUNT = 16
+
+
+def build_workload():
+    from repro.buildings import MallConfig, build_mall
+    from repro.core import Translator
+    from repro.simulation import BROWSER, SHOPPER, MobilitySimulator
+    from repro.timeutil import HOUR, TimeRange
+
+    mall = build_mall(MallConfig(floors=3))
+    simulator = MobilitySimulator(mall, seed=POPULATION_SEED)
+    sequences = [
+        device.raw
+        for device in simulator.simulate_population(
+            count=POPULATION_COUNT,
+            profiles=[SHOPPER, BROWSER],
+            window=TimeRange(9 * HOUR, 19 * HOUR),
+            seed=POPULATION_SEED,
+        )
+    ]
+    return Translator(mall), sequences
+
+
+def profile_run(fn, *args, **kwargs) -> str:
+    profiler = cProfile.Profile()
+    profiler.enable()
+    fn(*args, **kwargs)
+    profiler.disable()
+    out = io.StringIO()
+    for sort in ("cumulative", "tottime"):
+        stats = pstats.Stats(profiler, stream=out)
+        stats.sort_stats(sort)
+        out.write(f"--- sorted by {sort} (top 25) ---\n")
+        stats.print_stats(25)
+    return out.getvalue()
+
+
+def main() -> None:
+    from repro.core.translator import run_phase_one_chunk
+    from repro.columnar import run_phase_one_chunk_columnar
+
+    translator, sequences = build_workload()
+    records = sum(len(s) for s in sequences)
+    header = (
+        f"phase-one cProfile | mall3 population "
+        f"(count={POPULATION_COUNT}, seed={POPULATION_SEED}, "
+        f"{records} records)\n"
+        f"regenerate: PYTHONPATH=src python benchmarks/profile_phase_one.py\n"
+    )
+    objects = profile_run(
+        run_phase_one_chunk, translator, sequences, emit_partial=True
+    )
+    columnar = profile_run(
+        run_phase_one_chunk_columnar, translator, sequences, emit_partial=True
+    )
+    PROFILE_DIR.mkdir(parents=True, exist_ok=True)
+    ARTIFACT.write_text(
+        header
+        + "\n================ objects layout (run_phase_one_chunk) "
+        "================\n"
+        + objects
+        + "\n================ columnar layout "
+        "(run_phase_one_chunk_columnar) ================\n"
+        + columnar,
+        encoding="utf-8",
+    )
+    print(f"wrote {ARTIFACT}")
+
+
+if __name__ == "__main__":
+    main()

@@ -32,6 +32,7 @@ INVARIANT_PACKAGES = {
     "repro.live": "exact",
     "repro.distributed": "bit-for-bit",
     "repro.durability": "bit-for-bit",
+    "repro.columnar": "bit-for-bit",
 }
 
 CODE_BLOCK = re.compile(r"```python\n(.*?)```", re.DOTALL)

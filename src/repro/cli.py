@@ -83,6 +83,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "knowledge shards built on the workers, 'rebuild' re-observes every "
         "annotated sequence on the caller; requires --backend",
     )
+    translate.add_argument(
+        "--record-layout",
+        choices=("objects", "columnar"),
+        default=None,
+        help="phase-one record layout: 'objects' walks per-record objects "
+        "(default), 'columnar' runs the bit-for-bit-equivalent flat-array "
+        "fast path; requires --backend",
+    )
     translate.set_defaults(handler=_cmd_translate)
 
     serve = commands.add_parser(
@@ -117,6 +125,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--workers", type=int, default=None)
     serve.add_argument("--chunk-size", type=int, default=None)
+    serve.add_argument(
+        "--record-layout",
+        choices=("objects", "columnar"),
+        default=None,
+        help="phase-one record layout for every venue's windows (default: "
+        "objects; 'columnar' is bit-for-bit equivalent and faster)",
+    )
     serve.add_argument(
         "--retention",
         default=None,
@@ -256,16 +271,19 @@ def _cmd_translate(args) -> None:
             kwargs["chunk_size"] = args.chunk_size
         if args.knowledge_build is not None:
             kwargs["knowledge_build"] = args.knowledge_build
+        if args.record_layout is not None:
+            kwargs["record_layout"] = args.record_layout
         engine = EngineConfig(**kwargs)
     elif (
         args.workers is not None
         or args.chunk_size is not None
         or args.knowledge_build is not None
+        or args.record_layout is not None
     ):
         raise ConfigError(
-            "--workers/--chunk-size/--knowledge-build tune the parallel "
-            "engine; pass --backend (serial, threads or processes) to "
-            "enable it"
+            "--workers/--chunk-size/--knowledge-build/--record-layout tune "
+            "the parallel engine; pass --backend (serial, threads or "
+            "processes) to enable it"
         )
     config = load_task(args.config)
     batch = run_task(config, engine=engine)
@@ -333,6 +351,8 @@ def _cmd_serve(args) -> None:
     engine_kwargs = {"backend": args.backend, "workers": args.workers}
     if args.chunk_size is not None:
         engine_kwargs["chunk_size"] = args.chunk_size
+    if args.record_layout is not None:
+        engine_kwargs["record_layout"] = args.record_layout
     engine_config = EngineConfig(**engine_kwargs)
     live_kwargs = {
         "window_seconds": args.window_seconds,

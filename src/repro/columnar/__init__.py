@@ -1,0 +1,54 @@
+"""Columnar phase-one hot path: record batches and exact kernels.
+
+The translation pipeline's phase one (clean + annotate) normally walks
+per-record ``RawPositioningRecord`` objects.  This package provides a
+columnar alternative: :class:`RecordBatch` holds one window of records as
+parallel arrays (stdlib ``array`` columns, zero-copy numpy views when
+numpy is available), and the kernels in :mod:`repro.columnar.kernels`
+run the profiled hot loops — speed-constraint cleaning, point-in-region
+annotation lookups, dwell/edge knowledge accumulation — over flat columns
+with memoized, bulk-primed point location
+(:mod:`repro.columnar.locate`).
+
+Invariant: the columnar layout is **bit-for-bit** equivalent to the
+object layout.  Every cleaning result, annotation, and knowledge shard
+produced by :func:`run_phase_one_chunk_columnar` is identical — float
+bits included — to ``run_phase_one_chunk``'s output, across buildings,
+engine backends, knowledge-build modes and retention policies.  The
+kernels achieve this by replicating the object model's arithmetic
+expression for expression (``math.hypot`` distances, tolerance checks,
+tie-break scan orders) and using vectorization only for comparison-based
+candidate prefiltering, never for float arithmetic that reaches a
+decision.  ``tests/test_columnar_equivalence.py`` proves the claim with
+a differential hypothesis suite; ``selftest`` guards CI against the fast
+path being silently skipped.
+
+Select the layout with ``EngineConfig.record_layout`` (default
+``"objects"``), the ``TRIPS_RECORD_LAYOUT`` environment variable, or the
+CLI's ``--record-layout`` flag.
+"""
+
+from .batch import NUMPY_AVAILABLE, RecordBatch
+from .kernels import (
+    ColumnarCleaner,
+    ColumnarSpatialMatcher,
+    ColumnarSpeedValidator,
+    ColumnarSplitter,
+    accumulate_partial,
+)
+from .locate import LocatorSession, PointLocator
+from .pipeline import run_phase_one_chunk_columnar, selftest
+
+__all__ = [
+    "NUMPY_AVAILABLE",
+    "RecordBatch",
+    "ColumnarCleaner",
+    "ColumnarSpatialMatcher",
+    "ColumnarSpeedValidator",
+    "ColumnarSplitter",
+    "LocatorSession",
+    "PointLocator",
+    "accumulate_partial",
+    "run_phase_one_chunk_columnar",
+    "selftest",
+]

@@ -1,0 +1,322 @@
+"""Columnar phase-one kernels: exact drop-ins for the hot inner loops.
+
+Each kernel subclasses (or wraps) its object-model counterpart and
+overrides *only* the point-location / distance seam the profile
+(``benchmarks/profiles/``) showed dominating phase one:
+
+* :class:`ColumnarSpeedValidator` — ``SpeedValidator`` with memoized
+  locates through a :class:`~repro.columnar.locate.LocatorSession` and a
+  per-pair feasibility memo.  Every arithmetic expression on the decision
+  path (``math.hypot`` planar distances, the nav-graph
+  ``entry + through + exit_leg`` sums, the floor-cost subtraction) is the
+  original's, evaluated in the original order, so every feasibility
+  verdict is bit-for-bit identical.
+* :class:`ColumnarCleaner` — ``RawDataCleaner`` behind an all-feasible
+  fast path: the common case (every consecutive transition feasible)
+  returns the no-op cleaning result without running repair bookkeeping;
+  anything else delegates to a real cleaner whose validator and floor
+  corrector share the memoized session, so re-checks cost a dict hit.
+* :class:`ColumnarSplitter` — ``DensitySplitter`` whose ``_core_flags``
+  (the O(n·k) density loop) runs over flat timestamp/x/y/floor lists
+  with the identical near-before-gap condition order.
+* :class:`ColumnarSpatialMatcher` — ``SpatialMatcher`` whose single
+  point-location hook resolves through the session's primary-region memo;
+  voting, tie-breaks and coverage run in the inherited code.
+* :func:`accumulate_partial` — dwell/edge accumulation into
+  :class:`~repro.core.complementing.PartialKnowledge` over flattened
+  triplet arrays, applying the same filter/visit/transition rules in the
+  same order as ``PartialKnowledge.from_sequences``.
+
+``tests/test_columnar_equivalence.py`` proves the equivalence claim
+differentially for every kernel.
+"""
+
+from __future__ import annotations
+
+import math
+from array import array
+from typing import Iterable
+
+from ..core.cleaning import (
+    CleaningConfig,
+    CleaningReport,
+    CleaningResult,
+    RawDataCleaner,
+)
+from ..core.cleaning.floor import FloorCorrector
+from ..core.cleaning.speed import SpeedValidator
+from ..core.annotation.spatial import SpatialMatcher
+from ..core.annotation.splitting import DensitySplitter
+from ..core.complementing import PartialKnowledge
+from ..core.complementing.knowledge import DEFAULT_TRANSITION_GAP
+from ..core.semantics import EVENT_STAY, MobilitySemanticsSequence
+from ..dsm import DigitalSpaceModel, Topology
+from ..geometry import Point
+from ..positioning import PositioningSequence, RawPositioningRecord
+from .locate import LocatorSession
+
+_hypot = math.hypot
+
+
+class ColumnarSpeedValidator(SpeedValidator):
+    """Speed validation with memoized point location.
+
+    Overrides ``indoor_distance`` (the only geometry-touching method) to
+    resolve partitions through the locator session, and memoizes
+    ``transition_feasible`` per record pair — the cleaner legitimately
+    re-checks pairs (leading-outlier probe, lookahead anchors), and the
+    verdict is a pure function of the two records.
+    """
+
+    def __init__(
+        self, topology: Topology, max_speed: float, session: LocatorSession
+    ):
+        super().__init__(topology, max_speed)
+        self.session = session
+        self._feasible_memo: dict[
+            tuple[RawPositioningRecord, RawPositioningRecord], bool
+        ] = {}
+        self._snap_memo: dict[tuple[float, float, int], str | None] = {}
+
+    def transition_feasible(
+        self, previous: RawPositioningRecord, current: RawPositioningRecord
+    ) -> bool:
+        key = (previous, current)
+        memo = self._feasible_memo
+        verdict = memo.get(key)
+        if verdict is None:
+            verdict = super().transition_feasible(previous, current)
+            memo[key] = verdict
+        return verdict
+
+    def indoor_distance(
+        self, previous: RawPositioningRecord, current: RawPositioningRecord
+    ) -> float:
+        a, b = previous.location, current.location
+        if a.floor == b.floor and self._straight_allowed(a, b):
+            return a.planar_distance_to(b)
+        return self._walking_distance(a, b)
+
+    def _straight_allowed(self, a: Point, b: Point) -> bool:
+        # Topology.straight_move_allowed with memoized partition_at calls.
+        # The identity comparison carries over because the session returns
+        # the model's own entity objects.
+        session = self.session
+        part_a = session.partition_entity(a.x, a.y, a.floor)
+        part_b = session.partition_entity(b.x, b.y, b.floor)
+        if part_a is None or part_b is None or part_a is not part_b:
+            return False
+        # Point.midpoint keeps a's floor; both endpoints share it here.
+        mid_x = (a.x + b.x) / 2.0
+        mid_y = (a.y + b.y) / 2.0
+        return session.entity_contains(part_a, mid_x, mid_y)
+
+    def _walking_distance(self, a: Point, b: Point) -> float:
+        # Topology._route(want_path=False) verbatim, with _locate memoized.
+        # Left-associative entry + through + exit_leg and the strict <
+        # best-tracking are kept as-is: summation order decides bits.
+        topology = self.topology
+        part_a = self._locate_id(a)
+        part_b = self._locate_id(b)
+        if part_a is None or part_b is None:
+            return math.inf
+        if part_a == part_b:
+            return a.planar_distance_to(b) + (
+                0.0 if a.floor == b.floor else math.inf
+            )
+        nodes_a = topology._nav_nodes_by_partition.get(part_a, [])
+        nodes_b = topology._nav_nodes_by_partition.get(part_b, [])
+        if not nodes_a or not nodes_b:
+            return math.inf
+        anchors = topology._nav_anchor
+        best = math.inf
+        for node_a in nodes_a:
+            lengths = topology._lengths_from(node_a)
+            entry = a.planar_distance_to(anchors[node_a])
+            for node_b in nodes_b:
+                through = lengths.get(node_b)
+                if through is None:
+                    continue
+                exit_leg = anchors[node_b].planar_distance_to(b)
+                total = entry + through + exit_leg
+                if total < best:
+                    best = total
+        return best
+
+    def _locate_id(self, point: Point) -> str | None:
+        # Topology._locate with the containment lookup memoized; the rare
+        # snap fallback goes through the model (and its own memo).
+        entity = self.session.partition_entity(point.x, point.y, point.floor)
+        if entity is not None:
+            return entity.entity_id
+        key = (point.x, point.y, point.floor)
+        memo = self._snap_memo
+        if key in memo:
+            return memo[key]
+        snapped = self.topology.model.nearest_partition(point, 5.0)
+        result = None if snapped is None else snapped[0].entity_id
+        memo[key] = result
+        return result
+
+
+class ColumnarCleaner:
+    """``RawDataCleaner`` with an all-feasible fast path.
+
+    Simulated and well-behaved real feeds are overwhelmingly clean: one
+    memoized sweep over consecutive pairs proves there is nothing to
+    repair, and the result is the exact no-op the object cleaner would
+    build (empty report, record objects untouched).  Dirty sequences
+    delegate to the wrapped cleaner — same detection anchors, same repair
+    order — whose feasibility re-checks hit the pair memo.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        config: CleaningConfig,
+        validator: ColumnarSpeedValidator,
+    ):
+        self.validator = validator
+        self._inner = RawDataCleaner(topology, config)
+        self._inner.validator = validator
+        self._inner._floor_corrector = FloorCorrector(validator)
+
+    def clean(self, sequence: PositioningSequence) -> CleaningResult:
+        records = sequence.records
+        n = len(records)
+        if n < 2:
+            return CleaningResult(
+                sequence, sequence, CleaningReport(total_records=n)
+            )
+        feasible = self.validator.transition_feasible
+        if all(feasible(records[i - 1], records[i]) for i in range(1, n)):
+            # The object path would append every record unchanged and call
+            # with_records on the same objects; replicate that result.
+            return CleaningResult(
+                sequence,
+                sequence.with_records(list(records)),
+                CleaningReport(total_records=n),
+            )
+        return self._inner.clean(sequence)
+
+
+class ColumnarSplitter(DensitySplitter):
+    """``DensitySplitter`` with the core-flag loop on flat columns.
+
+    Only ``_core_flags`` is overridden: it is the quadratic-in-the-dense-
+    neighborhood loop, and flattening the records removes per-comparison
+    attribute chains and method dispatch.  The near-check-before-gap-check
+    condition order and every float expression are the original's.
+    """
+
+    def _core_flags(self, records) -> list[bool]:
+        cfg = self.config
+        n = len(records)
+        timestamps: list[float] = []
+        xs: list[float] = []
+        ys: list[float] = []
+        floors: list[int] = []
+        for record in records:
+            location = record.location
+            timestamps.append(record.timestamp)
+            xs.append(location.x)
+            ys.append(location.y)
+            floors.append(location.floor)
+        eps_space = cfg.eps_space
+        eps_time = cfg.eps_time
+        flags = [False] * n
+        for i in range(n):
+            count = 1  # the record itself
+            first = last = timestamps[i]
+            xi = xs[i]
+            yi = ys[i]
+            floor_i = floors[i]
+            j = i + 1
+            while (
+                j < n
+                and floors[j] == floor_i
+                and _hypot(xi - xs[j], yi - ys[j]) <= eps_space
+                and timestamps[j] - timestamps[j - 1] <= eps_time
+            ):
+                last = timestamps[j]
+                count += 1
+                j += 1
+            j = i - 1
+            while (
+                j >= 0
+                and floors[j] == floor_i
+                and _hypot(xi - xs[j], yi - ys[j]) <= eps_space
+                and timestamps[j + 1] - timestamps[j] <= eps_time
+            ):
+                first = timestamps[j]
+                count += 1
+                j -= 1
+            flags[i] = count >= cfg.min_pts and last - first >= cfg.core_span
+        return flags
+
+
+class ColumnarSpatialMatcher(SpatialMatcher):
+    """``SpatialMatcher`` voting through the session's region memo."""
+
+    def __init__(
+        self,
+        model: DigitalSpaceModel,
+        session: LocatorSession,
+        snap_distance: float = 4.0,
+    ):
+        super().__init__(model, snap_distance)
+        self.session = session
+
+    def _primary_region_at(self, record: RawPositioningRecord):
+        location = record.location
+        return self.session.primary_region(
+            location.x, location.y, location.floor
+        )
+
+
+def accumulate_partial(
+    annotated: Iterable[MobilitySemanticsSequence],
+    regions: list[str],
+    max_transition_gap: float = DEFAULT_TRANSITION_GAP,
+) -> PartialKnowledge:
+    """Columnar ``PartialKnowledge.from_sequences``.
+
+    Flattens each sequence's in-vocabulary triplets into parallel arrays
+    (region ids, start/end seconds, stay flags), then applies the exact
+    visit and transition rules of ``_observe_sequence`` over the columns —
+    same per-sequence order, same ``ExactSum`` additions, same
+    setdefault/get counting — so the shard it returns is equal, dwell
+    totals bit for bit, to the object-path shard.
+    """
+    partial = PartialKnowledge(regions=list(regions))
+    region_set = partial._region_set
+    stats = partial.stats
+    transitions = partial.transitions
+    outgoing_totals = partial.outgoing_totals
+    for sequence in annotated:
+        partial.sequences_seen += 1
+        region_ids: list[str] = []
+        starts = array("d")
+        ends = array("d")
+        stays: list[bool] = []
+        for triplet in sequence:
+            if triplet.region_id in region_set:
+                region_ids.append(triplet.region_id)
+                time_range = triplet.time_range
+                starts.append(time_range.start)
+                ends.append(time_range.end)
+                stays.append(triplet.event == EVENT_STAY)
+        for k in range(len(region_ids)):
+            stats[region_ids[k]].add_visit(ends[k] - starts[k], stays[k])
+        for k in range(len(region_ids) - 1):
+            gap = starts[k + 1] - ends[k]
+            if gap > max_transition_gap:
+                continue
+            origin = region_ids[k]
+            destination = region_ids[k + 1]
+            if origin == destination:
+                continue
+            outgoing = transitions.setdefault(origin, {})
+            outgoing[destination] = outgoing.get(destination, 0) + 1
+            outgoing_totals[origin] = outgoing_totals.get(origin, 0) + 1
+    return partial

@@ -1,0 +1,486 @@
+"""Batch point location against the DSM, bit-for-bit equal to the model.
+
+Profiling phase one (``benchmarks/profile_phase_one.py``) shows the
+pipeline's cost is dominated by point location: every record is located
+~3.6 times on average (speed validation locates both endpoints of every
+transition and the midpoint of every straight-move check; spatial matching
+locates every record again), and each
+:meth:`~repro.dsm.DigitalSpaceModel.partition_at` call re-dispatches
+through shape objects that rebuild their edge lists per containment test.
+
+:class:`PointLocator` removes that cost without changing a single result:
+
+* geometry is **prepared once** per model into flat coordinate tuples, and
+  the containment kernels (:func:`_polygon_contains`,
+  :func:`_circle_contains`) replicate ``Polygon.contains_point`` /
+  ``Circle.contains_point`` arithmetic *operation for operation* — same
+  expressions, same evaluation order, same ``1e-9`` tolerances (the
+  segment epsilon is imported from :mod:`repro.geometry.segment`, not
+  duplicated) — so every boolean they produce is identical to the shape
+  objects';
+* candidate sets come from the model's own per-floor
+  :class:`~repro.dsm.GridIndex` (scalar path) or from a vectorized
+  bounding-box mask over the same insertion-ordered entity lists (numpy
+  prime path).  Both produce the same candidates in the same order — any
+  bounding box containing a point also covers that point's grid cell, and
+  grid buckets preserve insertion order — which pins the model's
+  first-minimal-area tie-break exactly;
+* results are **memoized per session** keyed on the raw coordinates, so
+  the ~3.6 locates per record collapse to one.  (``0.0`` and ``-0.0``
+  share a key; every downstream decision — comparisons, subtractions,
+  ``math.hypot`` — is sign-of-zero-insensitive, so the collapse cannot
+  change results.)
+
+The locator returns the *model's own* entity and region objects, never
+copies: ``Topology.straight_move_allowed`` compares partitions by
+identity (``part_a is not part_b``), so object identity is part of the
+equivalence contract.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+
+from ..dsm import DigitalSpaceModel
+from ..dsm.entities import IndoorEntity
+from ..dsm.regions import SemanticRegion
+from ..geometry import Circle, Point, Polygon, shape_area, shape_contains
+from ..geometry.segment import _EPS as _SEGMENT_EPS
+from .batch import NUMPY_AVAILABLE, RecordBatch
+
+if NUMPY_AVAILABLE:  # pragma: no branch - module-level import guard
+    import numpy as _np
+else:  # pragma: no cover - numpy-free environments
+    _np = None
+
+#: Boundary tolerance of ``Polygon.contains_point`` / ``Circle.contains_point``.
+_BOUNDARY_EPS = 1e-9
+_SEGMENT_EPS_SQ = _SEGMENT_EPS * _SEGMENT_EPS
+
+#: Set ``TRIPS_COLUMNAR_NUMPY=0`` to force the pure-python prime path.
+_NUMPY_ENABLED = NUMPY_AVAILABLE and os.environ.get(
+    "TRIPS_COLUMNAR_NUMPY", "1"
+) != "0"
+
+#: Counts numpy-vectorized prime sweeps, for the CI silent-skip guard.
+NUMPY_PRIME_COUNT = 0
+
+_hypot = math.hypot
+
+
+def _polygon_contains(
+    vxs: tuple[float, ...],
+    vys: tuple[float, ...],
+    min_x: float,
+    min_y: float,
+    max_x: float,
+    max_y: float,
+    px: float,
+    py: float,
+) -> bool:
+    """``Polygon.contains_point`` on flat vertex arrays (same-floor caller).
+
+    Replicates the original exactly: closed-bbox reject, boundary
+    proximity against every edge (``Segment.closest_point_to`` arithmetic,
+    boundary included), then the same ray cast.
+    """
+    if not (min_x <= px <= max_x and min_y <= py <= max_y):
+        return False
+    n = len(vxs)
+    for i in range(n):
+        ax = vxs[i]
+        ay = vys[i]
+        j = i + 1
+        if j == n:
+            j = 0
+        dx = vxs[j] - ax
+        dy = vys[j] - ay
+        norm_sq = dx * dx + dy * dy
+        if norm_sq <= _SEGMENT_EPS_SQ:
+            cx = ax
+            cy = ay
+        else:
+            t = ((px - ax) * dx + (py - ay) * dy) / norm_sq
+            t = max(0.0, min(1.0, t))
+            cx = ax + t * dx
+            cy = ay + t * dy
+        if _hypot(px - cx, py - cy) <= _BOUNDARY_EPS:
+            return True  # on the boundary; containment includes it
+    inside = False
+    j = n - 1
+    for i in range(n):
+        viy = vys[i]
+        vjy = vys[j]
+        if (viy > py) != (vjy > py):
+            x_cross = vxs[j] + (py - vjy) * (vxs[i] - vxs[j]) / (viy - vjy)
+            if px < x_cross:
+                inside = not inside
+        j = i
+    return inside
+
+
+def _circle_contains(
+    cx: float, cy: float, radius_plus_eps: float, px: float, py: float
+) -> bool:
+    """``Circle.contains_point`` (boundary included, same-floor caller)."""
+    return _hypot(cx - px, cy - py) <= radius_plus_eps
+
+
+class _ShapeEntry:
+    """One prepared shape: flat geometry plus the owning model object."""
+
+    __slots__ = (
+        "key",
+        "owner",
+        "floor",
+        "area",
+        "min_x",
+        "min_y",
+        "max_x",
+        "max_y",
+        "vxs",
+        "vys",
+        "circle",
+    )
+
+    def __init__(self, key: str, owner, shape) -> None:
+        self.key = key
+        self.owner = owner
+        if isinstance(shape, Polygon):
+            self.floor = shape.floor
+            bbox = shape.bounds
+            self.vxs: tuple[float, ...] | None = tuple(v.x for v in shape.vertices)
+            self.vys: tuple[float, ...] | None = tuple(v.y for v in shape.vertices)
+            self.circle = None
+        elif isinstance(shape, Circle):
+            self.floor = shape.floor
+            bbox = shape.bounds
+            self.vxs = self.vys = None
+            self.circle = (
+                shape.center.x,
+                shape.center.y,
+                shape.radius + _BOUNDARY_EPS,
+            )
+        else:  # pragma: no cover - partitions/regions are area shapes
+            raise TypeError(f"unsupported area shape {type(shape).__name__}")
+        self.area = shape_area(shape)
+        self.min_x = bbox.min_x
+        self.min_y = bbox.min_y
+        self.max_x = bbox.max_x
+        self.max_y = bbox.max_y
+
+    def contains(self, px: float, py: float) -> bool:
+        """Exact same-floor containment (callers check the floor)."""
+        if self.vxs is not None:
+            return _polygon_contains(
+                self.vxs,
+                self.vys,
+                self.min_x,
+                self.min_y,
+                self.max_x,
+                self.max_y,
+                px,
+                py,
+            )
+        cx, cy, radius_plus_eps = self.circle
+        return _circle_contains(cx, cy, radius_plus_eps, px, py)
+
+
+class _FloorTable:
+    """Insertion-ordered shape entries of one floor, with bbox columns."""
+
+    __slots__ = ("entries", "min_x", "min_y", "max_x", "max_y")
+
+    def __init__(self, entries: list[_ShapeEntry]) -> None:
+        self.entries = entries
+        if _NUMPY_ENABLED:
+            self.min_x = _np.array([e.min_x for e in entries])
+            self.min_y = _np.array([e.min_y for e in entries])
+            self.max_x = _np.array([e.max_x for e in entries])
+            self.max_y = _np.array([e.max_y for e in entries])
+        else:
+            self.min_x = self.min_y = self.max_x = self.max_y = None
+
+
+class PointLocator:
+    """Prepared point-location over one model's partitions and regions."""
+
+    def __init__(self, model: DigitalSpaceModel):
+        self.model = model
+        self._prepare()
+
+    def _prepare(self) -> None:
+        model = self.model
+        model._refresh_indexes()
+        # Token for staleness detection: the model reassigns its index
+        # dicts on every refresh, so object identity tracks mutations.
+        self._index_token = model._partition_index
+
+        partition_entries: dict[int, list[_ShapeEntry]] = {}
+        self._entity_entries: dict[str, _ShapeEntry] = {}
+        for entity in model._entities.values():  # insertion order, as indexed
+            if not entity.is_partition:
+                continue
+            entry = _ShapeEntry(entity.entity_id, entity, entity.shape)
+            partition_entries.setdefault(entity.floor, []).append(entry)
+            self._entity_entries[entity.entity_id] = entry
+        self._partitions = {
+            floor: _FloorTable(entries)
+            for floor, entries in partition_entries.items()
+        }
+
+        region_entries: dict[int, list[_ShapeEntry]] = {}
+        self._region_entries: dict[str, _ShapeEntry] = {}
+        self._mapped_regions: dict[str, list[str]] = {}
+        self._regions: dict[str, SemanticRegion] = {}
+        self._member_area: dict[str, float] = {}
+        for region in model._regions.values():  # insertion order, as indexed
+            self._regions[region.region_id] = region
+            if region.shape is not None:
+                entry = _ShapeEntry(region.region_id, region, region.shape)
+                region_entries.setdefault(region.shape.floor, []).append(entry)
+                self._region_entries[region.region_id] = entry
+            # Same expression (and member order) as primary_region_at's
+            # specificity fallback, so the precomputed sum is bit-identical.
+            self._member_area[region.region_id] = sum(
+                shape_area(model._entities[e].shape) for e in region.entity_ids
+            )
+            for entity_id in region.entity_ids:
+                self._mapped_regions.setdefault(entity_id, []).append(
+                    region.region_id
+                )
+        self._region_tables = {
+            floor: _FloorTable(entries)
+            for floor, entries in region_entries.items()
+        }
+
+    def _fresh(self) -> bool:
+        model = self.model
+        return model._indexes_fresh and (
+            model._partition_index is self._index_token
+        )
+
+    def session(self) -> "LocatorSession":
+        """A memoizing lookup session (one per phase-one chunk)."""
+        if not self._fresh():
+            self._prepare()
+        return LocatorSession(self)
+
+    def entity_entry(self, entity_id: str) -> _ShapeEntry:
+        """The prepared shape entry of a partition entity."""
+        return self._entity_entries[entity_id]
+
+
+class LocatorSession:
+    """Memoized partition / primary-region lookups over one chunk.
+
+    The memo keys are the raw ``(x, y, floor)`` coordinates, so repeated
+    locates of the same fix — by the cleaner, the splitter and the
+    matcher — cost one dict hit after the first computation (or after
+    :meth:`prime` swept the whole batch).
+    """
+
+    __slots__ = ("locator", "model", "_partitions", "_regions")
+
+    def __init__(self, locator: PointLocator) -> None:
+        self.locator = locator
+        self.model = locator.model
+        self._partitions: dict[tuple, IndoorEntity | None] = {}
+        self._regions: dict[tuple, SemanticRegion | None] = {}
+
+    # ------------------------------------------------------------------
+    # Bulk prime
+    # ------------------------------------------------------------------
+    def prime(self, batch: RecordBatch) -> None:
+        """Locate every batch row up front, filling both memos.
+
+        With numpy, candidate sets per floor come from one vectorized
+        bounding-box mask (pure closed-interval comparisons — the same
+        predicate the grid index applies, so candidates and their
+        insertion order are identical); the exact containment kernels
+        then run per candidate.  Without numpy, rows fall through to the
+        scalar per-point path.
+        """
+        n = len(batch)
+        if n == 0:
+            return
+        if not _NUMPY_ENABLED:
+            for i in range(n):
+                self.partition_entity(batch.xs[i], batch.ys[i], batch.floors[i])
+                self.primary_region(batch.xs[i], batch.ys[i], batch.floors[i])
+            return
+        global NUMPY_PRIME_COUNT
+        NUMPY_PRIME_COUNT += 1
+        xs = batch.column("xs")
+        ys = batch.column("ys")
+        floors = batch.column("floors")
+        for floor in _np.unique(floors):
+            floor = int(floor)
+            rows = _np.nonzero(floors == floor)[0]
+            fxs = xs[rows]
+            fys = ys[rows]
+            partition_hits = self._bbox_hits(
+                self.locator._partitions.get(floor), fxs, fys
+            )
+            region_hits = self._bbox_hits(
+                self.locator._region_tables.get(floor), fxs, fys
+            )
+            for k in range(len(rows)):
+                x = float(fxs[k])
+                y = float(fys[k])
+                key = (x, y, floor)
+                if key not in self._partitions:
+                    self._partitions[key] = self._locate_partition(
+                        x, y, floor, partition_hits[k] if partition_hits else ()
+                    )
+                if key not in self._regions:
+                    self._regions[key] = self._locate_region(
+                        x, y, floor, region_hits[k] if region_hits else ()
+                    )
+
+    @staticmethod
+    def _bbox_hits(table: _FloorTable | None, fxs, fys) -> list | None:
+        """Per-row candidate entries from the vectorized bbox mask."""
+        if table is None or not table.entries:
+            return None
+        mask = (
+            (table.min_x[None, :] <= fxs[:, None])
+            & (fxs[:, None] <= table.max_x[None, :])
+            & (table.min_y[None, :] <= fys[:, None])
+            & (fys[:, None] <= table.max_y[None, :])
+        )
+        entries = table.entries
+        return [
+            [entries[j] for j in _np.nonzero(mask[k])[0]]
+            for k in range(mask.shape[0])
+        ]
+
+    # ------------------------------------------------------------------
+    # Scalar lookups
+    # ------------------------------------------------------------------
+    def partition_entity(
+        self, x: float, y: float, floor: int
+    ) -> IndoorEntity | None:
+        """Memoized ``model.partition_at`` (same entity object or None)."""
+        key = (x, y, floor)
+        memo = self._partitions
+        if key in memo:
+            return memo[key]
+        result = self._locate_partition(x, y, floor, self._candidates(x, y, floor))
+        memo[key] = result
+        return result
+
+    def primary_region(
+        self, x: float, y: float, floor: int
+    ) -> SemanticRegion | None:
+        """Memoized ``model.primary_region_at`` (same region object or None)."""
+        key = (x, y, floor)
+        memo = self._regions
+        if key in memo:
+            return memo[key]
+        result = self._locate_region(
+            x, y, floor, self._region_candidates(x, y, floor)
+        )
+        memo[key] = result
+        return result
+
+    def entity_contains(self, entity: IndoorEntity, x: float, y: float) -> bool:
+        """Exact ``shape_contains(entity.shape, point)`` for a same-floor point."""
+        return self.locator._entity_entries[entity.entity_id].contains(x, y)
+
+    # ------------------------------------------------------------------
+    # Candidate retrieval (scalar path: the model's own grid index)
+    # ------------------------------------------------------------------
+    def _candidates(self, x: float, y: float, floor: int) -> list[_ShapeEntry]:
+        index = self.model._partition_index.get(floor)
+        if index is None:
+            return ()
+        entries = self.locator._entity_entries
+        return [entries[key] for key in index.candidates_at(Point(x, y, floor))]
+
+    def _region_candidates(
+        self, x: float, y: float, floor: int
+    ) -> list[_ShapeEntry]:
+        index = self.model._region_index.get(floor)
+        if index is None:
+            return ()
+        entries = self.locator._region_entries
+        return [entries[key] for key in index.candidates_at(Point(x, y, floor))]
+
+    # ------------------------------------------------------------------
+    # Exact location (replicates DigitalSpaceModel's tie-breaks verbatim)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _locate_partition(
+        x: float, y: float, floor: int, candidates
+    ) -> IndoorEntity | None:
+        # Same scan as partition_at: strict < keeps the first minimal-area
+        # containing partition in candidate (= insertion) order.
+        best: IndoorEntity | None = None
+        best_area = math.inf
+        for entry in candidates:
+            if entry.contains(x, y):
+                if entry.area < best_area:
+                    best = entry.owner
+                    best_area = entry.area
+        return best
+
+    def _locate_region(
+        self, x: float, y: float, floor: int, shape_candidates
+    ) -> SemanticRegion | None:
+        # regions_at: explicit-shape hits plus the located partition's
+        # mapped regions, emitted in sorted region-id order ...
+        locator = self.locator
+        found: dict[str, bool] = {}
+        for entry in shape_candidates:
+            if entry.contains(x, y):
+                found[entry.key] = True  # shape contains the point
+        partition = self.partition_entity(x, y, floor)
+        if partition is not None:
+            for region_id in locator._mapped_regions.get(
+                partition.entity_id, ()
+            ):
+                found.setdefault(region_id, False)
+        if not found:
+            return None
+        # ... then primary_region_at: min() over that order by the same
+        # (shape-contains, area) specificity key, first minimum winning.
+        regions = locator._regions
+        best: SemanticRegion | None = None
+        best_rank: tuple[int, float] | None = None
+        for region_id in sorted(found):
+            entry = locator._region_entries.get(region_id)
+            if entry is not None and (
+                found[region_id]
+                or (entry.floor == floor and entry.contains(x, y))
+            ):
+                rank = (0, entry.area)
+            else:
+                rank = (1, locator._member_area[region_id])
+            if best_rank is None or rank < best_rank:
+                best = regions[region_id]
+                best_rank = rank
+        return best
+
+
+def reference_partition_at(model: DigitalSpaceModel, point: Point):
+    """The object-model answer, for differential tests."""
+    return model.partition_at(point)
+
+
+def reference_region_at(model: DigitalSpaceModel, point: Point):
+    """The object-model primary region, for differential tests."""
+    return model.primary_region_at(point)
+
+
+def kernel_shape_contains(entry: _ShapeEntry, point: Point) -> bool:
+    """Exposed for tests: the kernel's verdict on one prepared shape."""
+    if point.floor != entry.floor:
+        return False
+    return entry.contains(point.x, point.y)
+
+
+def reference_shape_contains(shape, point: Point) -> bool:
+    """Exposed for tests: the object model's verdict on the same shape."""
+    return shape_contains(shape, point)

@@ -45,7 +45,7 @@ class SpatialMatcher:
         votes: dict[str, float] = {}
         total = 0.0
         for record, weight in zip(records, weights):
-            region = self.model.primary_region_at(record.location)
+            region = self._primary_region_at(record)
             total += weight
             if region is not None:
                 votes[region.region_id] = votes.get(region.region_id, 0.0) + weight
@@ -55,6 +55,15 @@ class SpatialMatcher:
         region = self.model.region(best_id)
         coverage = votes[best_id] / total if total > 0 else 1.0
         return SpatialMatch(region.region_id, region.name, coverage)
+
+    def _primary_region_at(self, record: RawPositioningRecord):
+        """The record's primary region — the single point-location seam.
+
+        The columnar matcher (:mod:`repro.columnar.kernels`) overrides just
+        this hook with a memoized batch locator; every vote, tie-break and
+        coverage computation above runs unchanged in both layouts.
+        """
+        return self.model.primary_region_at(record.location)
 
     def _record_weights(self, records: list[RawPositioningRecord]) -> list[float]:
         if len(records) == 1:

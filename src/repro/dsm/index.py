@@ -59,6 +59,18 @@ class GridIndex:
         return found
 
     def _cell_of(self, x: float, y: float) -> tuple[int, int]:
+        """The cell owning ``(x, y)``, with one pinned tie-break rule:
+
+        a coordinate exactly on a cell line belongs to the **higher**-
+        indexed cell (floor division: ``8.0 // 8 -> cell 1``, not cell 0).
+        This is safe because :meth:`insert` registers a bounds under every
+        cell through the one owning its *max* edge — so a query point on
+        a shared cell line always lands in a cell that already lists every
+        box touching that line.  Both point-location paths (the object
+        model's grid lookups and the columnar locator's vectorized bbox
+        masks) assume exactly this rule; ``tests/test_dsm_index.py``
+        regression-tests it against both.
+        """
         return (int(x // self.cell_size), int(y // self.cell_size))
 
     def _cells_for(self, bounds: BoundingBox):

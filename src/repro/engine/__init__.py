@@ -29,6 +29,7 @@ from .engine import (
     DEFAULT_CHUNK_SIZE,
     DEFAULT_CONTEXT_KEY,
     KNOWLEDGE_BUILDS,
+    RECORD_LAYOUTS,
     Engine,
     EngineConfig,
 )
@@ -38,6 +39,7 @@ __all__ = [
     "DEFAULT_CHUNK_SIZE",
     "DEFAULT_CONTEXT_KEY",
     "KNOWLEDGE_BUILDS",
+    "RECORD_LAYOUTS",
     "Engine",
     "EngineConfig",
     "ExecutionBackend",

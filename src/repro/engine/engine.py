@@ -78,12 +78,14 @@ is deterministic per sequence).
 
 from __future__ import annotations
 
+import os
 import time
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import partial as _bind
 from typing import Iterable, Iterator, Mapping
 
+from ..columnar import run_phase_one_chunk_columnar
 from ..core.complementing import (
     ComplementResult,
     MobilityKnowledge,
@@ -120,6 +122,20 @@ DEFAULT_CHUNK_SIZE = 8
 #: The two barrier strategies; both yield byte-identical knowledge.
 KNOWLEDGE_BUILDS = ("rebuild", "sharded")
 
+#: Phase-one record layouts; both produce bit-for-bit identical output
+#: (``tests/test_columnar_equivalence.py`` is the proof).
+RECORD_LAYOUTS = ("objects", "columnar")
+
+
+def _default_record_layout() -> str:
+    """Engine default layout, overridable via ``TRIPS_RECORD_LAYOUT``.
+
+    The environment override is what makes CI's ``layout=columnar``
+    matrix leg honest: the whole tier-1 suite runs its engines on the
+    columnar path without every test naming the layout explicitly.
+    """
+    return os.environ.get("TRIPS_RECORD_LAYOUT", "objects")
+
 #: Context key of a stand-alone engine in its single-entry venue map.
 DEFAULT_CONTEXT_KEY = "default"
 
@@ -128,13 +144,21 @@ def _phase_one_task(
     venues: Mapping[str, Translator],
     payload: tuple[str, list[PositioningSequence]],
     emit_partial: bool = False,
+    record_layout: str = "objects",
 ) -> PhaseOneChunk:
     """Phase-one worker task: resolve the venue translator, run the chunk.
 
     The context is a venue map so one pool can serve several translators;
     a stand-alone engine opens the map with a single entry.
+    ``record_layout`` picks the per-record object pipeline or the
+    columnar kernels — both produce identical chunks, so the choice is
+    invisible to everything past this dispatch.
     """
     key, chunk = payload
+    if record_layout == "columnar":
+        return run_phase_one_chunk_columnar(
+            venues[key], chunk, emit_partial=emit_partial
+        )
     return run_phase_one_chunk(venues[key], chunk, emit_partial=emit_partial)
 
 
@@ -174,6 +198,10 @@ class EngineConfig:
     knowledge_build: str = "sharded"
     phase_one_cache: int = 0
     retention: str = "unbounded"
+    #: Phase-one record layout: ``"objects"`` (per-record pipeline) or
+    #: ``"columnar"`` (flat-array kernels, bit-for-bit identical output).
+    #: Defaults from ``TRIPS_RECORD_LAYOUT`` when set.
+    record_layout: str = field(default_factory=_default_record_layout)
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -198,6 +226,12 @@ class EngineConfig:
                 f"phase-one cache size must be >= 0, got "
                 f"{self.phase_one_cache}"
             )
+        if self.record_layout not in RECORD_LAYOUTS:
+            known = ", ".join(RECORD_LAYOUTS)
+            raise ConfigError(
+                f"unknown record layout {self.record_layout!r} "
+                f"(known: {known})"
+            )
         parse_retention(self.retention)  # validate the spec eagerly
 
 
@@ -206,6 +240,9 @@ def _phase_one_cache_key(sequence: PositioningSequence) -> tuple:
 
     The full coordinate tuple (not a hash digest) is used so lookups can
     never collide; the LRU is small, so holding the key tuples is cheap.
+    The key is deliberately layout-independent: both record layouts
+    produce identical phase-one results, so a pair cached under one
+    layout is byte-valid under the other.
     """
     return (
         sequence.device_id,
@@ -481,7 +518,11 @@ class Engine:
                 consumed.append(chunk)
                 yield (key, chunk)
 
-        fn = _bind(_phase_one_task, emit_partial=emit_partial)
+        fn = _bind(
+            _phase_one_task,
+            emit_partial=emit_partial,
+            record_layout=self.config.record_layout,
+        )
         phase_one_chunks = list(backend.map(fn, payloads()))
         pairs = [pair for chunk in phase_one_chunks for pair in chunk.pairs]
         partials = [
@@ -540,7 +581,11 @@ class Engine:
                     miss_keys.append(keys)
                     yield (self.context_key, [chunk[p] for p in misses])
 
-        fn = _bind(_phase_one_task, emit_partial=emit_partial)
+        fn = _bind(
+            _phase_one_task,
+            emit_partial=emit_partial,
+            record_layout=self.config.record_layout,
+        )
         mapped = list(backend.map(fn, payloads()))
 
         partials: list[PartialKnowledge] = []

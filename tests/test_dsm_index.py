@@ -142,3 +142,73 @@ def test_tiny_cell_size_large_box():
     index.insert("small", BoundingBox(30, 30, 30.2, 30.2))
     assert index.candidates_at(Point(10.25, 19.75)) == ["big"]
     assert index.candidates_in(BoundingBox(29, 29, 31, 31)) == ["small"]
+
+
+# ----------------------------------------------------------------------
+# The pinned cell-boundary tie-break, shared by both annotator layouts
+# ----------------------------------------------------------------------
+def test_cell_boundary_tie_break_is_higher_indexed_cell():
+    """The documented rule of ``GridIndex._cell_of``: a coordinate exactly
+    on a cell line belongs to the higher-indexed cell (floor division),
+    and insertion covers a bounds through its max-edge cell, so boundary
+    points always see every box touching the shared line."""
+    index = make_index(cell_size=8.0)
+    assert index._cell_of(8.0, 8.0) == (1, 1)
+    assert index._cell_of(7.9999999, 8.0) == (0, 1)
+    assert index._cell_of(-8.0, 0.0) == (-1, 0)
+    # Two boxes meeting exactly at the x=8 cell line: the boundary point
+    # must report both (left box reaches the line, right box starts on it).
+    index.insert("left", BoundingBox(0, 0, 8, 8))
+    index.insert("right", BoundingBox(8, 0, 16, 8))
+    assert index.candidates_at(Point(8.0, 4.0)) == ["left", "right"]
+
+
+def test_cell_boundary_lookups_agree_across_annotator_layouts():
+    """Regression: records exactly on grid-cell edges (multiples of the
+    8.0 cell size, which in the two-shop venue are also interior points,
+    wall lines and shop corners) must locate to the *same* partition and
+    primary region through the object model and the columnar locator —
+    one missed boundary candidate would silently annotate those records
+    to a different region in one layout only."""
+    from repro.columnar import RecordBatch
+    from repro.columnar.locate import (
+        PointLocator,
+        reference_partition_at,
+        reference_region_at,
+    )
+    from repro.positioning import RawPositioningRecord
+
+    from .conftest import make_two_shop_dsm
+
+    model = make_two_shop_dsm()
+    locator = PointLocator(model)  # prepares (and refreshes) the indexes
+    cell = model._partition_index[1].cell_size
+    edge_points = [
+        Point(x * cell, y * cell, 1)
+        for x in range(-1, 5)
+        for y in range(-1, 4)
+    ]
+
+    # Scalar lookups (the grid path) and a numpy-primed session (the bbox
+    # mask path) must both match the object model, object identity included.
+    batch = RecordBatch.from_records(
+        [
+            RawPositioningRecord(float(i), "edge", point)
+            for i, point in enumerate(edge_points)
+        ]
+    )
+    primed = locator.session()
+    primed.prime(batch)
+    cold = locator.session()
+    located_something = False
+    for point in edge_points:
+        expected_partition = reference_partition_at(model, point)
+        expected_region = reference_region_at(model, point)
+        for session in (cold, primed):
+            args = (point.x, point.y, point.floor)
+            assert session.partition_entity(*args) is expected_partition
+            assert session.primary_region(*args) is expected_region
+        located_something = located_something or (
+            expected_partition is not None
+        )
+    assert located_something  # the probe grid must cross real geometry

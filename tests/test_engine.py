@@ -454,7 +454,13 @@ def test_phase_one_cache_skips_repeat_work(
     engine = Engine(
         translator,
         EngineConfig(
-            chunk_size=2, knowledge_build=strategy, phase_one_cache=32
+            chunk_size=2,
+            knowledge_build=strategy,
+            phase_one_cache=32,
+            # Call counting instruments clean_and_annotate, which only the
+            # object layout invokes — pin it so the columnar CI leg
+            # (TRIPS_RECORD_LAYOUT=columnar) still counts misses.
+            record_layout="objects",
         ),
     )
     first = engine.translate_batch(shop_sequences)
@@ -469,7 +475,10 @@ def test_phase_one_cache_partial_hits(shop_sequences, shop_serial):
     calls: list[str] = []
     translator = _counting_translator(calls)
     engine = Engine(
-        translator, EngineConfig(chunk_size=3, phase_one_cache=32)
+        translator,
+        EngineConfig(
+            chunk_size=3, phase_one_cache=32, record_layout="objects"
+        ),
     )
     engine.translate_batch(shop_sequences[:4])
     assert len(calls) == 4
@@ -483,7 +492,10 @@ def test_phase_one_cache_evicts_lru(shop_sequences):
     calls: list[str] = []
     translator = _counting_translator(calls)
     engine = Engine(
-        translator, EngineConfig(chunk_size=2, phase_one_cache=2)
+        translator,
+        EngineConfig(
+            chunk_size=2, phase_one_cache=2, record_layout="objects"
+        ),
     )
     engine.translate_batch(shop_sequences)
     before = len(calls)
@@ -496,7 +508,9 @@ def test_phase_one_cache_evicts_lru(shop_sequences):
 def test_phase_one_cache_off_by_default(shop_sequences):
     calls: list[str] = []
     translator = _counting_translator(calls)
-    engine = Engine(translator, EngineConfig(chunk_size=2))
+    engine = Engine(
+        translator, EngineConfig(chunk_size=2, record_layout="objects")
+    )
     engine.translate_batch(shop_sequences[:2])
     engine.translate_batch(shop_sequences[:2])
     assert len(calls) == 4

@@ -254,6 +254,67 @@ def test_live_on_simulated_mall(mall3, population):
 
 
 # ----------------------------------------------------------------------
+# Record-layout differential: live path, objects vs columnar
+# ----------------------------------------------------------------------
+def fuzz_records(seed: int, devices: int = 4, per_device: int = 40):
+    """A reproducible random feed: dwell bursts, walks, teleports, floor
+    noise and wall-hugging fixes, interleaved into one time-sorted list."""
+    import random
+
+    from repro.geometry import Point
+    from repro.positioning import RawPositioningRecord
+
+    rng = random.Random(seed)
+    edges = [0.0, 8.0, 10.0, 16.0, 20.0, 24.0, 30.0]
+    records = []
+    for d in range(devices):
+        t = rng.uniform(0.0, 60.0)
+        x, y = rng.uniform(0.0, 30.0), rng.uniform(0.0, 20.0)
+        for _ in range(per_device):
+            t += rng.choice([1.0, 5.0, 5.0, 30.0, 130.0])
+            move = rng.random()
+            if move < 0.5:  # dwell jitter
+                x += rng.uniform(-0.4, 0.4)
+                y += rng.uniform(-0.4, 0.4)
+            elif move < 0.8:  # walk step
+                x += rng.uniform(-3.0, 3.0)
+                y += rng.uniform(-3.0, 3.0)
+            elif move < 0.9:  # snap onto a wall / grid-cell line
+                x, y = rng.choice(edges), rng.choice(edges)
+            else:  # teleport (speed-infeasible outlier)
+                x, y = rng.uniform(-2.0, 32.0), rng.uniform(-2.0, 22.0)
+            floor = 1 if rng.random() < 0.9 else 2
+            records.append(
+                RawPositioningRecord(t, f"fuzz-{d}", Point(x, y, floor))
+            )
+    return sorted(records, key=lambda r: (r.timestamp, r.device_id))
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_live_layouts_finalize_identically(seed):
+    """Differential fuzz: the same random feed replayed through the live
+    service in both record layouts finalizes to identical results and
+    knowledge — the streaming counterpart of the engine-matrix proof."""
+    records = fuzz_records(seed)
+    finalized = {}
+    for layout in ("objects", "columnar"):
+        service = LiveTranslationService(
+            {"east": Translator(make_two_shop_dsm())},
+            EngineConfig(backend="threads", workers=2, chunk_size=2,
+                         record_layout=layout),
+            LiveConfig(window_seconds=120.0),
+        )
+        with service:
+            service.run_stream(
+                RecordStream(iter(records)), venue_id="east"
+            )
+            finalized[layout] = service.finalize()["east"]
+    assert finalized["objects"].results == finalized["columnar"].results
+    assert finalized["objects"].knowledge == finalized["columnar"].knowledge
+    assert len(finalized["objects"].results) > 0
+
+
+# ----------------------------------------------------------------------
 # Incremental fold semantics
 # ----------------------------------------------------------------------
 def test_knowledge_folds_monotonically(two_venues):
