@@ -13,16 +13,14 @@ cluster knowledge (and every shard's own post-exchange knowledge) is
 knowledge over the same windowed sequences.
 
 The run also writes a JSON summary (``TRIPS_BENCH_DISTRIBUTED_JSON`` env
-var, default ``bench-distributed.json`` in the working directory) so CI
+var, default ``BENCH_distributed.json`` in the working directory) so CI
 can archive the numbers as an artifact and trend the shard-scaling
 curve across commits.
 """
 
 from __future__ import annotations
 
-import json
 import os
-from pathlib import Path
 
 import pytest
 
@@ -34,7 +32,7 @@ from repro.positioning import RecordStream, sequence_stream
 from repro.simulation import BROWSER, SHOPPER, MobilitySimulator
 from repro.timeutil import HOUR, TimeRange
 
-from .conftest import print_table
+from .conftest import print_table, write_bench_json
 
 WINDOW_SECONDS = 1800.0
 SHARD_COUNTS = (1, 2, 4)
@@ -160,12 +158,11 @@ def teardown_module(module) -> None:
         _ROWS,
     )
     if _SUMMARY:
-        out = Path(
-            os.environ.get(
-                "TRIPS_BENCH_DISTRIBUTED_JSON", "bench-distributed.json"
-            )
+        out = write_bench_json(
+            "TRIPS_BENCH_DISTRIBUTED_JSON",
+            "BENCH_distributed.json",
+            {"bench": "distributed", "scaling": _SUMMARY},
         )
-        out.write_text(json.dumps(_SUMMARY, indent=2), encoding="utf-8")
         print(f"wrote distributed bench summary to {out}")
     # With at least 4 cores, four one-worker shards must outrun one —
     # that is the whole point of the horizontal axis.

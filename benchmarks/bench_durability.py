@@ -11,16 +11,13 @@ increasing log lengths, asserting each recovered run finishes to a
 ``finalize()`` bit-for-bit identical to the uninterrupted reference.
 
 The run also writes a JSON summary (``TRIPS_BENCH_DURABILITY_JSON`` env
-var, default ``bench-durability.json`` in the working directory) so CI
+var, default ``BENCH_durability.json`` in the working directory) so CI
 can archive the numbers as an artifact and trend them across commits.
 """
 
 from __future__ import annotations
 
-import json
-import os
 import time
-from pathlib import Path
 
 import pytest
 
@@ -31,7 +28,7 @@ from repro.positioning import RecordStream, windowed_records
 from repro.simulation import BROWSER, SHOPPER, MobilitySimulator
 from repro.timeutil import HOUR, TimeRange
 
-from .conftest import print_table
+from .conftest import print_table, write_bench_json
 
 WINDOW_SECONDS = 1800.0
 SNAPSHOT_INTERVAL = 8
@@ -198,10 +195,9 @@ def teardown_module(module) -> None:
         _RECOVERY_ROWS,
     )
     if _SUMMARY["wal_overhead"] or _SUMMARY["recovery"]:
-        out = Path(
-            os.environ.get(
-                "TRIPS_BENCH_DURABILITY_JSON", "bench-durability.json"
-            )
+        out = write_bench_json(
+            "TRIPS_BENCH_DURABILITY_JSON",
+            "BENCH_durability.json",
+            {"bench": "durability", **_SUMMARY},
         )
-        out.write_text(json.dumps(_SUMMARY, indent=2), encoding="utf-8")
         print(f"wrote durability bench summary to {out}")

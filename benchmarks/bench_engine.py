@@ -18,7 +18,7 @@ same sequences, bit-for-bit asserted identical output, phase-one seconds
 side by side.  The mall population must clear a >=1.5x columnar speedup —
 asserted, so the CI smoke run fails if the fast path regresses — and the
 whole comparison lands in a JSON artifact (``TRIPS_BENCH_ENGINE_JSON``,
-default ``bench-engine-layouts.json``) stamped with the population seeds
+default ``BENCH_engine.json``) stamped with the population seeds
 for exact replay.
 """
 
@@ -210,7 +210,7 @@ def teardown_module(module) -> None:
         )
         out = write_bench_json(
             "TRIPS_BENCH_ENGINE_JSON",
-            "bench-engine-layouts.json",
+            "BENCH_engine.json",
             {
                 "bench": "engine-record-layouts",
                 "mall_min_speedup": MALL_MIN_SPEEDUP,

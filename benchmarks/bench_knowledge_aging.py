@@ -15,17 +15,14 @@ up front and cycled to a few hundred rolls, so the bench measures the
 lifecycle algebra itself rather than translation.
 
 The run also writes a JSON summary (``TRIPS_BENCH_AGING_JSON`` env var,
-default ``bench-knowledge-aging.json`` in the working directory) so CI
+default ``BENCH_knowledge_aging.json`` in the working directory) so CI
 can archive the numbers as an artifact and trend them across commits.
 """
 
 from __future__ import annotations
 
-import json
-import os
 import time
 from collections import deque
-from pathlib import Path
 
 import pytest
 
@@ -37,7 +34,7 @@ from repro.positioning import RecordStream, sequence_stream
 from repro.simulation import BROWSER, SHOPPER, MobilitySimulator
 from repro.timeutil import HOUR, TimeRange
 
-from .conftest import print_table
+from .conftest import print_table, write_bench_json
 
 WINDOW_SECONDS = 1800.0
 EPOCH_ROLLS = 240
@@ -153,10 +150,9 @@ def teardown_module(module) -> None:
         _ROWS,
     )
     if _SUMMARY:
-        out = Path(
-            os.environ.get(
-                "TRIPS_BENCH_AGING_JSON", "bench-knowledge-aging.json"
-            )
+        out = write_bench_json(
+            "TRIPS_BENCH_AGING_JSON",
+            "BENCH_knowledge_aging.json",
+            {"bench": "knowledge-aging", "policies": _SUMMARY},
         )
-        out.write_text(json.dumps(_SUMMARY, indent=2), encoding="utf-8")
         print(f"wrote knowledge-aging bench summary to {out}")

@@ -11,16 +11,13 @@ over the identical windowed sequences — asserting, as always, that the
 finalized live output is *identical* to the batch reference.
 
 The run also writes a JSON summary (``TRIPS_BENCH_JSON`` env var, default
-``bench-live-stream.json`` in the working directory) so CI can archive
+``BENCH_live_stream.json`` in the working directory) so CI can archive
 the numbers as an artifact and trend them across commits.
 """
 
 from __future__ import annotations
 
-import json
-import os
 import time
-from pathlib import Path
 
 import pytest
 
@@ -38,7 +35,7 @@ from repro.simulation import (
 )
 from repro.timeutil import HOUR, TimeRange
 
-from .conftest import print_table
+from .conftest import print_table, write_bench_json
 
 WINDOW_SECONDS = 1800.0
 _ROWS: list[list] = []
@@ -155,6 +152,9 @@ def teardown_module(module) -> None:
         _ROWS,
     )
     if _SUMMARY:
-        out = Path(os.environ.get("TRIPS_BENCH_JSON", "bench-live-stream.json"))
-        out.write_text(json.dumps(_SUMMARY, indent=2), encoding="utf-8")
+        out = write_bench_json(
+            "TRIPS_BENCH_JSON",
+            "BENCH_live_stream.json",
+            {"bench": "live-stream", "venues": _SUMMARY},
+        )
         print(f"wrote live-stream bench summary to {out}")

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 import json
 import os
+import platform
+import time
 from pathlib import Path
 
 import pytest
@@ -36,16 +38,45 @@ BENCH_SEEDS = {
 }
 
 
-def write_bench_json(env_var: str, default: str, payload: dict) -> Path:
-    """Write one bench's JSON artifact, stamped with its RNG seeds.
+#: Wall-clock origin for the ``wall_seconds`` stamp below: every artifact
+#: records how long into the bench session it was written, so archived
+#: numbers carry their own "how long did this take" context.
+_SESSION_STARTED = time.perf_counter()
 
-    ``payload`` is augmented with the :data:`BENCH_SEEDS` registry under
-    ``"seeds"`` (existing keys win, so a bench can narrow the entry to the
-    seeds it actually used) — the replayability contract of every archived
-    artifact.
+
+def machine_info() -> dict:
+    """The hardware/runtime context an archived number ran under."""
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def write_bench_json(env_var: str, default: str, payload: dict) -> Path:
+    """Write one bench's JSON artifact in the common schema.
+
+    Every artifact shares three stamps (existing payload keys win, so a
+    bench can narrow any of them):
+
+    - ``"seeds"`` — the :data:`BENCH_SEEDS` registry, the replayability
+      contract of every archived number;
+    - ``"machine"`` — platform/python/cpu context (numbers without their
+      hardware are not comparable);
+    - ``"wall_seconds"`` — bench-session wall time at write.
+
+    ``default`` names the artifact ``BENCH_<name>.json`` in the working
+    directory; ``env_var`` overrides the path (CI points it at the
+    upload location).
     """
     out = Path(os.environ.get(env_var, default))
-    payload = {"seeds": dict(BENCH_SEEDS), **payload}
+    payload = {
+        "seeds": dict(BENCH_SEEDS),
+        "machine": machine_info(),
+        "wall_seconds": time.perf_counter() - _SESSION_STARTED,
+        **payload,
+    }
     out.write_text(json.dumps(payload, indent=2), encoding="utf-8")
     return out
 

@@ -1,0 +1,132 @@
+"""Profile phase two and commit the artifact its telemetry is based on.
+
+Phase two (complementing) is the engine's post-barrier fan-out: every
+chunk of annotated sequences is re-scored against the merged batch
+knowledge.  The ``trips_engine_chunk_seconds{phase="two"}`` histogram
+surfaces exactly the wall time this script dissects; run it to
+regenerate the committed artifact::
+
+    PYTHONPATH=src python benchmarks/profile_phase_two.py
+
+which cProfiles ``run_phase_two_chunk`` over the deterministic mall
+population with dropout windows punched into every device (a
+fully-covered simulated day has no gaps, so the dropout is what gives
+phase two a work list; phase one runs once, unprofiled, to produce the
+annotated input and the batch knowledge) and writes
+``benchmarks/profiles/phase_two_objects.txt`` — cumulative-time ranking
+first, then total-time ranking.  The committed profile shows where a
+phase-two window's time goes: the fixed-hop Viterbi search under
+``SemanticsInference.best_path``, whose inner loop is dominated by
+``MobilityKnowledge.transition_probability`` / ``log_transition``
+lookups — the shape the ``trips_engine_chunk_seconds{phase="two"}``
+histogram summarizes in production.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from pathlib import Path
+
+PROFILE_DIR = Path(__file__).parent / "profiles"
+ARTIFACT = PROFILE_DIR / "phase_two_objects.txt"
+
+#: Explicit, committed population seed — rerunning reproduces the exact
+#: same feed, so profile deltas are attributable to code changes only
+#: (the same base workload profile_phase_one.py dissects).
+POPULATION_SEED = 31
+POPULATION_COUNT = 16
+#: Dropout punched into every device so phase two has a real work list —
+#: a fully-covered simulated day has no gaps to complement.
+DROPOUT_GAP_SECONDS = 240.0
+DROPOUT_GAP_COUNT = 4
+
+
+def build_workload():
+    from repro.buildings import MallConfig, build_mall
+    from repro.core import Translator
+    from repro.positioning import inject_dropout
+    from repro.simulation import BROWSER, SHOPPER, MobilitySimulator
+    from repro.timeutil import HOUR, TimeRange
+
+    mall = build_mall(MallConfig(floors=3))
+    simulator = MobilitySimulator(mall, seed=POPULATION_SEED)
+    sequences = []
+    for index, device in enumerate(
+        simulator.simulate_population(
+            count=POPULATION_COUNT,
+            profiles=[SHOPPER, BROWSER],
+            window=TimeRange(9 * HOUR, 19 * HOUR),
+            seed=POPULATION_SEED,
+        )
+    ):
+        degraded, _ = inject_dropout(
+            device.raw,
+            gap_seconds=DROPOUT_GAP_SECONDS,
+            gap_count=DROPOUT_GAP_COUNT,
+            seed=POPULATION_SEED + index,
+        )
+        sequences.append(degraded)
+    return Translator(mall), sequences
+
+
+def profile_run(fn, *args, **kwargs) -> str:
+    profiler = cProfile.Profile()
+    profiler.enable()
+    fn(*args, **kwargs)
+    profiler.disable()
+    out = io.StringIO()
+    for sort in ("cumulative", "tottime"):
+        stats = pstats.Stats(profiler, stream=out)
+        stats.sort_stats(sort)
+        out.write(f"--- sorted by {sort} (top 25) ---\n")
+        stats.print_stats(25)
+    return out.getvalue()
+
+
+def main() -> None:
+    from repro.core.complementing import MobilityKnowledge
+    from repro.core.translator import (
+        build_partial_knowledge,
+        run_phase_one_chunk,
+        run_phase_two_chunk,
+    )
+
+    translator, sequences = build_workload()
+    records = sum(len(s) for s in sequences)
+
+    # Phase one, unprofiled: its cost is profile_phase_one.py's subject.
+    # The profiled input is exactly what the engine ships to a phase-two
+    # worker — the annotated sequences plus the merged batch knowledge.
+    chunk = run_phase_one_chunk(translator, sequences, emit_partial=True)
+    annotated = [annotation.sequence for _, annotation in chunk.pairs]
+    partial = build_partial_knowledge(translator, annotated)
+    knowledge = MobilityKnowledge.from_partials(
+        [partial],
+        regions=list(partial.regions),
+        smoothing=translator.config.knowledge_smoothing,
+    )
+
+    header = (
+        f"phase-two cProfile | mall3 population "
+        f"(count={POPULATION_COUNT}, seed={POPULATION_SEED}, "
+        f"{records} records, {len(annotated)} annotated sequences)\n"
+        f"regenerate: PYTHONPATH=src python benchmarks/profile_phase_two.py\n"
+    )
+    profile = profile_run(
+        run_phase_two_chunk, translator, (knowledge, annotated)
+    )
+    PROFILE_DIR.mkdir(parents=True, exist_ok=True)
+    ARTIFACT.write_text(
+        header
+        + "\n================ objects layout (run_phase_two_chunk) "
+        "================\n"
+        + profile,
+        encoding="utf-8",
+    )
+    print(f"wrote {ARTIFACT}")
+
+
+if __name__ == "__main__":
+    main()

@@ -118,6 +118,22 @@ def parse_args(argv=None):
         metavar="WINDOWS",
         help="checkpoint cadence when journaling (default: 4)",
     )
+    parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="N",
+        help="enable telemetry and serve Prometheus text at /metrics "
+        "(JSON at /metrics.json) on this port while the feeds run "
+        "(0 picks a free port)",
+    )
+    parser.add_argument(
+        "--telemetry-dump",
+        default=None,
+        metavar="PATH",
+        help="enable telemetry and write the end-of-run metrics "
+        "snapshot to this JSON file",
+    )
     args = parser.parse_args(argv)
     if args.crash_after_windows is not None and args.state_dir is None:
         parser.error("--crash-after-windows requires --state-dir")
@@ -126,6 +142,26 @@ def parse_args(argv=None):
 
 def main() -> None:
     args = parse_args()
+
+    # Telemetry is opt-in: without either flag the process keeps the
+    # near-free NullRegistry.  The SIGKILL crash path never reaches the
+    # dump below — by design; the metrics endpoint is how a monitored
+    # run is observed up to the instant it dies.
+    metrics_server = None
+    if args.metrics_port is not None or args.telemetry_dump is not None:
+        from repro.telemetry import MetricsRegistry, MetricsServer, set_registry
+
+        registry = MetricsRegistry()
+        set_registry(registry)
+        if args.metrics_port is not None:
+            metrics_server = MetricsServer(
+                registry, port=args.metrics_port
+            ).start()
+            print(
+                f"[metrics] http://127.0.0.1:{metrics_server.port}/metrics"
+            )
+            sys.stdout.flush()
+
     mall = build_mall(MallConfig(floors=3))
     office = build_office(floors=2)
     feeds = {
@@ -303,6 +339,20 @@ def main() -> None:
             f"  {spec} prior == fold of last {max_epochs} windows only: "
             f"{identical}"
         )
+
+    if args.telemetry_dump is not None:
+        from pathlib import Path
+
+        from repro.telemetry import get_registry, render_json
+
+        dump = Path(args.telemetry_dump)
+        dump.parent.mkdir(parents=True, exist_ok=True)
+        dump.write_text(
+            render_json(get_registry().snapshot()), encoding="utf-8"
+        )
+        print(f"\n[telemetry] wrote snapshot to {dump}")
+    if metrics_server is not None:
+        metrics_server.stop()
 
 
 if __name__ == "__main__":

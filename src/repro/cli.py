@@ -91,6 +91,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "(default), 'columnar' runs the bit-for-bit-equivalent flat-array "
         "fast path; requires --backend",
     )
+    translate.add_argument(
+        "--telemetry-dump",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="enable telemetry for the run and write the end-of-run "
+        "metrics snapshot (counters, gauges, histograms, recent spans) "
+        "to this JSON file",
+    )
     translate.set_defaults(handler=_cmd_translate)
 
     serve = commands.add_parser(
@@ -209,6 +218,23 @@ def _build_parser() -> argparse.ArgumentParser:
         help="skip the end-of-stream re-complement against the final "
         "knowledge (per-window live output only)",
     )
+    serve.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="N",
+        help="enable telemetry and serve it over HTTP on this port while "
+        "the feeds run: Prometheus text exposition at /metrics, the full "
+        "JSON snapshot at /metrics.json (0 picks a free port)",
+    )
+    serve.add_argument(
+        "--telemetry-dump",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="enable telemetry for the run and write the end-of-run "
+        "metrics snapshot to this JSON file",
+    )
     serve.set_defaults(handler=_cmd_serve)
 
     render = commands.add_parser("render", help="render a DSM floor to SVG")
@@ -217,6 +243,52 @@ def _build_parser() -> argparse.ArgumentParser:
     render.add_argument("--out", type=Path, default=Path("floor.svg"))
     render.set_defaults(handler=_cmd_render)
     return parser
+
+
+import contextlib
+
+
+@contextlib.contextmanager
+def _telemetry_session(metrics_port=None, dump_path=None):
+    """Install a live registry for one CLI run, if telemetry was asked for.
+
+    With neither flag the process-wide registry stays the no-op default.
+    Otherwise a fresh :class:`~repro.telemetry.MetricsRegistry` is
+    installed for the duration of the command, an exposition server runs
+    while the command does (``--metrics-port``), and the final snapshot
+    lands as a JSON artifact (``--telemetry-dump``) on the way out —
+    including on failure, so a crashed run still leaves its telemetry.
+    """
+    if metrics_port is None and dump_path is None:
+        yield None
+        return
+    from .telemetry import (
+        MetricsRegistry,
+        MetricsServer,
+        render_json,
+        use_registry,
+    )
+
+    with use_registry(MetricsRegistry()) as registry:
+        server = None
+        if metrics_port is not None:
+            server = MetricsServer(registry, port=metrics_port).start()
+            print(
+                f"serving metrics on http://127.0.0.1:{server.port}/metrics "
+                f"(JSON at /metrics.json)"
+            )
+        try:
+            yield registry
+        finally:
+            if server is not None:
+                server.stop()
+            if dump_path is not None:
+                dump_path = Path(dump_path)
+                dump_path.parent.mkdir(parents=True, exist_ok=True)
+                dump_path.write_text(
+                    render_json(registry.snapshot()), encoding="utf-8"
+                )
+                print(f"wrote telemetry snapshot to {dump_path}")
 
 
 def _cmd_simulate(args) -> None:
@@ -286,7 +358,8 @@ def _cmd_translate(args) -> None:
             "processes) to enable it"
         )
     config = load_task(args.config)
-    batch = run_task(config, engine=engine)
+    with _telemetry_session(dump_path=args.telemetry_dump):
+        batch = run_task(config, engine=engine)
     args.out.mkdir(parents=True, exist_ok=True)
     for result in batch:
         safe_id = result.device_id.replace("/", "_").replace(":", "_")
@@ -363,44 +436,46 @@ def _cmd_serve(args) -> None:
         live_kwargs["snapshot_interval"] = args.snapshot_interval
     live_config = LiveConfig(**live_kwargs)
 
-    if args.shards > 1:
-        _serve_sharded(
-            args, translators, feeds, retention, engine_config, live_config
-        )
-        return
+    with _telemetry_session(args.metrics_port, args.telemetry_dump):
+        if args.shards > 1:
+            _serve_sharded(
+                args, translators, feeds, retention, engine_config,
+                live_config,
+            )
+            return
 
-    service = LiveTranslationService(
-        translators,
-        engine_config,
-        live_config,
-        retention=retention,
-        state_dir=args.state_dir,
-    )
-
-    def report(window) -> None:
-        venues = ", ".join(
-            f"{vid}: {len(batch)} seq -> {batch.total_semantics} sem"
-            for vid, batch in sorted(window.venues.items())
-        )
-        print(
-            f"window {window.index:4d}  {window.records:6d} records  "
-            f"{window.elapsed_seconds * 1e3:7.1f} ms  [{venues}]"
+        service = LiveTranslationService(
+            translators,
+            engine_config,
+            live_config,
+            retention=retention,
+            state_dir=args.state_dir,
         )
 
-    with service:
-        # A recovered service already absorbed a prefix of each venue's
-        # deterministic feed; skip exactly those records so the replayed
-        # feed resumes at the journaled window boundary.
-        processed = {
-            vid: state.records
-            for vid, state in service.stats.venues.items()
-        }
-        stats = service.serve(
-            _resume_feeds(feeds, processed), on_window=report
-        )
-        print(stats.format_table())
-        if not args.no_finalize:
-            _report_finalized(service.finalize(), args.out)
+        def report(window) -> None:
+            venues = ", ".join(
+                f"{vid}: {len(batch)} seq -> {batch.total_semantics} sem"
+                for vid, batch in sorted(window.venues.items())
+            )
+            print(
+                f"window {window.index:4d}  {window.records:6d} records  "
+                f"{window.elapsed_seconds * 1e3:7.1f} ms  [{venues}]"
+            )
+
+        with service:
+            # A recovered service already absorbed a prefix of each
+            # venue's deterministic feed; skip exactly those records so
+            # the replayed feed resumes at the journaled window boundary.
+            processed = {
+                vid: state.records
+                for vid, state in service.stats.venues.items()
+            }
+            stats = service.serve(
+                _resume_feeds(feeds, processed), on_window=report
+            )
+            print(stats.format_table())
+            if not args.no_finalize:
+                _report_finalized(service.finalize(), args.out)
 
 
 def _serve_sharded(

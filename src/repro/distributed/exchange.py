@@ -43,9 +43,16 @@ from typing import TYPE_CHECKING, Sequence
 from ..core.complementing import MobilityKnowledge, PartialKnowledge
 from ..errors import ConfigError
 from ..knowledge import KnowledgeStore, Unbounded
+from ..telemetry import get_registry
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..live import LiveTranslationService
+
+#: Size-flavoured buckets for delta magnitudes (sequences per delta).
+DELTA_SIZE_BUCKETS = (
+    1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0,
+    2500.0, 5000.0, 10000.0,
+)
 
 
 @dataclass(frozen=True)
@@ -101,8 +108,10 @@ class KnowledgeExchange:
         After this returns, every shard's live knowledge for every venue
         it serves equals the merged global knowledge, bit for bit.
         """
+        registry = get_registry()
         started = time.perf_counter()
         deltas_folded = 0
+        rebase_seconds = 0.0
         venues_touched: list[str] = []
         venue_ids = sorted(
             {v for shard in shards for v in shard.dispatcher.venue_ids}
@@ -128,6 +137,12 @@ class KnowledgeExchange:
                 deltas[index] = delta
                 if delta.sequences_seen:
                     deltas_folded += 1
+                    if registry.enabled:
+                        registry.histogram(
+                            "trips_exchange_delta_sequences",
+                            buckets=DELTA_SIZE_BUCKETS,
+                            venue=venue_id,
+                        ).observe(delta.sequences_seen)
 
             # Fold: merge the deltas into the global aggregate.
             merged = self._global.get(venue_id)
@@ -146,6 +161,7 @@ class KnowledgeExchange:
             # participant; baselines are only ever subtracted *from
             # copies*, so one frozen copy is safely shared (keyed per
             # shard so a service added between rounds starts afresh).
+            rebase_started = time.perf_counter()
             snapshot = merged.merge()  # no-args merge == deep copy
             for index, store in participants:
                 missing = merged.merge()
@@ -156,6 +172,7 @@ class KnowledgeExchange:
                 if missing.sequences_seen or missing.outgoing_totals:
                     store.knowledge.fold(missing)
                 self._baselines[(index, venue_id)] = snapshot
+            rebase_seconds += time.perf_counter() - rebase_started
             venues_touched.append(venue_id)
             self.stats.sequences_merged[venue_id] = merged.sequences_seen
 
@@ -163,6 +180,18 @@ class KnowledgeExchange:
         self.stats.rounds += 1
         self.stats.deltas_folded += deltas_folded
         self.stats.exchange_seconds += elapsed
+        if registry.enabled:
+            registry.counter("trips_exchange_rounds_total").inc()
+            if deltas_folded:
+                registry.counter("trips_exchange_deltas_total").inc(
+                    deltas_folded
+                )
+            registry.histogram("trips_exchange_round_seconds").observe(
+                elapsed
+            )
+            registry.histogram("trips_exchange_rebase_seconds").observe(
+                rebase_seconds
+            )
         return ExchangeRound(
             index=self.stats.rounds - 1,
             venues=tuple(venues_touched),

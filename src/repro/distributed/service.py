@@ -118,12 +118,17 @@ class ClusterStats:
             + (f"  merged knowledge: {merged}" if merged else ""),
         ]
         for index, stats in enumerate(self.per_shard):
+            epochs = sum(
+                venue.retained_epochs for venue in stats.venues.values()
+            )
             lines.append(
                 f"  shard {index}  {stats.windows:4d} windows  "
                 f"{stats.records:7d} records  "
                 f"{stats.sequences:5d} sequences  "
                 f"{stats.semantics:6d} semantics  "
-                f"{stats.translate_seconds:6.2f}s translate"
+                f"{stats.translate_seconds:6.2f}s translate  "
+                f"{epochs:4d} epochs  wal={stats.wal_bytes:,d}B "
+                f"snapshots={stats.snapshots}"
             )
         return "\n".join(lines)
 

@@ -29,9 +29,11 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from pathlib import Path
 
 from ..errors import PersistenceError
+from ..telemetry import get_registry
 from .codec import FORMAT_VERSION
 from .wal import WriteAheadLog
 
@@ -47,6 +49,8 @@ class DurableStateJournal:
         self.snapshot_path = self.directory / "snapshot.json"
         self.wal = WriteAheadLog(self.directory / "wal.jsonl", sync=sync)
         self._entries: "list[dict] | None" = None
+        #: Snapshots checkpointed through this instance.
+        self.snapshots_written = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -129,6 +133,8 @@ class DurableStateJournal:
         is what :meth:`load` filters stale WAL entries against, so it
         must count exactly the windows whose entries were appended.
         """
+        registry = get_registry()
+        started = time.perf_counter() if registry.enabled else 0.0
         payload = {
             "magic": SNAPSHOT_MAGIC,
             "version": FORMAT_VERSION,
@@ -146,6 +152,12 @@ class DurableStateJournal:
             os.fsync(handle.fileno())
         os.replace(tmp_path, self.snapshot_path)
         self.wal.reset()
+        self.snapshots_written += 1
+        if registry.enabled:
+            registry.histogram("trips_snapshot_seconds").observe(
+                time.perf_counter() - started
+            )
+            registry.counter("trips_snapshots_total").inc()
 
     def __repr__(self) -> str:
         return f"DurableStateJournal({str(self.directory)!r})"

@@ -26,9 +26,11 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from pathlib import Path
 
 from ..errors import PersistenceError
+from ..telemetry import get_registry
 from .codec import FORMAT_VERSION
 
 #: Magic string identifying a TRIPS WAL file.
@@ -48,6 +50,12 @@ class WriteAheadLog:
         self.sync = sync
         self._handle = None
         self._header_bytes = 0
+        #: Entry bytes appended through this instance (header and resets
+        #: excluded) — the durability cost surfaced by live stats and the
+        #: ``trips_wal_bytes_total`` telemetry counter.
+        self.bytes_written = 0
+        #: Entries appended through this instance.
+        self.entries_written = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -97,10 +105,21 @@ class WriteAheadLog:
     def append(self, entry: dict) -> None:
         """Append one entry and flush it to the OS before returning."""
         handle = self._require_open()
-        handle.write(_encode_line(entry))
+        registry = get_registry()
+        started = time.perf_counter() if registry.enabled else 0.0
+        line = _encode_line(entry)
+        handle.write(line)
         handle.flush()
         if self.sync:
             os.fsync(handle.fileno())
+        self.bytes_written += len(line)
+        self.entries_written += 1
+        if registry.enabled:
+            registry.histogram("trips_wal_append_seconds").observe(
+                time.perf_counter() - started
+            )
+            registry.counter("trips_wal_appends_total").inc()
+            registry.counter("trips_wal_bytes_total").inc(len(line))
 
     def reset(self) -> None:
         """Truncate back to the header (called after a snapshot)."""

@@ -81,7 +81,7 @@ from __future__ import annotations
 import os
 import time
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from functools import partial as _bind
 from typing import Iterable, Iterator, Mapping
 
@@ -107,6 +107,7 @@ from ..core.translator import (
 from ..errors import ConfigError
 from ..knowledge import KnowledgeStore, parse_retention
 from ..positioning import PositioningSequence
+from ..telemetry import get_registry
 from .backends import (
     BACKENDS,
     ExecutionBackend,
@@ -155,27 +156,39 @@ def _phase_one_task(
     invisible to everything past this dispatch.
     """
     key, chunk = payload
+    started = time.perf_counter()
     if record_layout == "columnar":
-        return run_phase_one_chunk_columnar(
+        result = run_phase_one_chunk_columnar(
             venues[key], chunk, emit_partial=emit_partial
         )
-    return run_phase_one_chunk(venues[key], chunk, emit_partial=emit_partial)
+    else:
+        result = run_phase_one_chunk(
+            venues[key], chunk, emit_partial=emit_partial
+        )
+    # Worker-side timing rides home on the chunk itself: with the
+    # ``processes`` backend there is no shared registry, so the float on
+    # the result is how per-chunk telemetry crosses the process boundary.
+    return replace(result, seconds=time.perf_counter() - started)
 
 
 def _phase_two_task(
     venues: Mapping[str, Translator],
     payload: "tuple[str, object, list[MobilitySemanticsSequence]]",
-) -> list[ComplementResult]:
+) -> "tuple[float, list[ComplementResult]]":
     """Phase-two worker task bound to shared knowledge.
 
     The knowledge travels as a :class:`~repro.engine.backends.SharedValue`
     token — published once by the caller, resolved (and cached) per
     worker — so the translator installed at pool startup is never
-    re-shipped at the barrier.
+    re-shipped at the barrier.  Returns ``(worker seconds, complements)``;
+    like phase one, the timing crosses the process boundary on the result
+    because workers have no shared registry.
     """
     key, token, chunk = payload
+    started = time.perf_counter()
     knowledge = resolve_shared(token)
-    return run_phase_two_chunk(venues[key], (knowledge, chunk))
+    results = run_phase_two_chunk(venues[key], (knowledge, chunk))
+    return time.perf_counter() - started, results
 
 
 @dataclass(frozen=True)
@@ -485,12 +498,19 @@ class Engine:
         chunks = partition(annotated, self.config.chunk_size)
         if not chunks:
             return complements
+        registry = get_registry()
         token = backend.share(knowledge)
         try:
             key = self.context_key
-            for chunk_result in backend.map(
+            for seconds, chunk_result in backend.map(
                 _phase_two_task, [(key, token, chunk) for chunk in chunks]
             ):
+                if registry.enabled:
+                    registry.histogram(
+                        "trips_engine_chunk_seconds",
+                        phase="two",
+                        layout=self.config.record_layout,
+                    ).observe(seconds)
                 complements.extend(chunk_result)
         finally:
             backend.release(token)
@@ -524,6 +544,7 @@ class Engine:
             record_layout=self.config.record_layout,
         )
         phase_one_chunks = list(backend.map(fn, payloads()))
+        self._observe_phase_one_chunks(phase_one_chunks)
         pairs = [pair for chunk in phase_one_chunks for pair in chunk.pairs]
         partials = [
             chunk.partial
@@ -531,6 +552,21 @@ class Engine:
             if chunk.partial is not None
         ]
         return consumed, pairs, partials
+
+    def _observe_phase_one_chunks(self, chunks: "list[PhaseOneChunk]") -> None:
+        """Feed the workers' ride-along chunk timings into the registry."""
+        registry = get_registry()
+        if not registry.enabled or not chunks:
+            return
+        layout = self.config.record_layout
+        histogram = registry.histogram(
+            "trips_engine_chunk_seconds", phase="one", layout=layout
+        )
+        for chunk in chunks:
+            if chunk.seconds is not None:
+                histogram.observe(chunk.seconds)
+        if layout == "columnar":
+            registry.counter("trips_columnar_chunks_total").inc(len(chunks))
 
     def _map_phase_one_cached(
         self,
@@ -587,6 +623,7 @@ class Engine:
             record_layout=self.config.record_layout,
         )
         mapped = list(backend.map(fn, payloads()))
+        self._observe_phase_one_chunks(mapped)
 
         partials: list[PartialKnowledge] = []
         for (chunk_index, misses), keys, chunk_result in zip(
@@ -616,6 +653,33 @@ class Engine:
 
     # ------------------------------------------------------------------
     def _run(
+        self,
+        chunks: Iterator[list[PositioningSequence]],
+        fold_into: MobilityKnowledge | None = None,
+        incremental: bool = False,
+        store: KnowledgeStore | None = None,
+    ) -> BatchTranslationResult:
+        registry = get_registry()
+        mode = "incremental" if incremental else "batch"
+        layout = self.config.record_layout
+        with registry.trace("engine_run", mode=mode, layout=layout):
+            result = self._run_phases(chunks, fold_into, incremental, store)
+        if registry.enabled:
+            for phase in result.stats.phases:
+                registry.histogram(
+                    "trips_engine_phase_seconds",
+                    phase=phase.name,
+                    layout=layout,
+                ).observe(phase.seconds)
+            registry.counter(
+                "trips_engine_runs_total", mode=mode, layout=layout
+            ).inc()
+            registry.counter("trips_engine_sequences_total").inc(
+                len(result.results)
+            )
+        return result
+
+    def _run_phases(
         self,
         chunks: Iterator[list[PositioningSequence]],
         fold_into: MobilityKnowledge | None = None,

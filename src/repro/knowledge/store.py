@@ -30,6 +30,7 @@ from dataclasses import dataclass
 
 from ..core.complementing import MobilityKnowledge, PartialKnowledge
 from ..errors import InferenceError
+from ..telemetry import get_registry
 from .retention import RetentionPolicy, parse_retention
 
 
@@ -190,6 +191,13 @@ class KnowledgeStore:
             now = self.newest_timestamp
         retired = list(self.retention.on_roll(self, now))
         self.epochs_retired += len(retired)
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("trips_knowledge_rolls_total").inc()
+            if retired:
+                registry.counter("trips_knowledge_retired_total").inc(
+                    len(retired)
+                )
         return retired
 
     def retire(self, epoch: Epoch) -> Epoch:

@@ -25,9 +25,11 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import time
 from typing import TYPE_CHECKING, Callable, Mapping, Union
 
 from ..positioning import RawPositioningRecord, RecordStream
+from ..telemetry import get_registry
 
 if TYPE_CHECKING:  # pragma: no cover
     from .service import LiveStats, LiveTranslationService, LiveWindowResult
@@ -62,24 +64,41 @@ async def serve_async(
     config = service.live_config
     queue: "asyncio.Queue" = asyncio.Queue(maxsize=config.max_pending_windows)
     feed_map = _as_feed_map(feeds)
+    registry = get_registry()
+    depth_gauge = registry.gauge("trips_live_queue_depth")
 
     async def produce(venue_id: "str | None", stream: RecordStream) -> None:
         while True:
             # Bounds are re-read per window: adaptive windowing tightens
             # a venue's record bound as its observed feed rate evolves.
             window_seconds, max_records = service.window_bounds(venue_id)
+            cut_started = time.perf_counter()
             batch: list[RawPositioningRecord] = await asyncio.to_thread(
                 stream.take_window,
                 window_seconds,
                 max_records,
             )
+            if registry.enabled:
+                registry.histogram("trips_live_window_cut_seconds").observe(
+                    time.perf_counter() - cut_started
+                )
             if not batch:
                 return
+            # Time spent parked on a full queue is the backpressure the
+            # bounded ingestion pipeline exists to apply — worth a series
+            # of its own.
+            put_started = time.perf_counter()
             await queue.put((venue_id, batch))
+            if registry.enabled:
+                registry.histogram("trips_live_backpressure_seconds").observe(
+                    time.perf_counter() - put_started
+                )
+                depth_gauge.set(queue.qsize())
 
     async def consume() -> None:
         while True:
             item = await queue.get()
+            depth_gauge.set(queue.qsize())
             if item is _SENTINEL:
                 return
             venue_id, records = item

@@ -70,6 +70,7 @@ from ..positioning import (
     RawPositioningRecord,
     RecordStream,
 )
+from ..telemetry import get_registry
 from ..durability import (
     DurableStateJournal,
     decode,
@@ -185,6 +186,11 @@ class LiveStats:
     translate_seconds: float = 0.0
     #: Wall time from the first window to the latest one.
     elapsed_seconds: float = 0.0
+    #: WAL entry bytes appended by this service's journal (0 without a
+    #: configured ``state_dir``).
+    wal_bytes: int = 0
+    #: Durable snapshots checkpointed by this service's journal.
+    snapshots: int = 0
     venues: dict[str, VenueStats] = field(default_factory=dict)
 
     @property
@@ -203,16 +209,24 @@ class LiveStats:
 
     def format_table(self) -> str:
         """Small fixed-width rendering for CLI / bench output."""
-        lines = [
+        summary = (
             f"windows={self.windows} records={self.records} "
             f"sequences={self.sequences} semantics={self.semantics} "
             f"({self.windows_per_second:.2f} windows/s, "
             f"{self.records_per_second:,.0f} records/s)"
-        ]
+        )
+        if self.wal_bytes or self.snapshots:
+            summary += (
+                f"  wal={self.wal_bytes:,d}B snapshots={self.snapshots}"
+            )
+        lines = [summary]
+        # The venue column grows with the longest id, so a venue named
+        # longer than the 12-character default cannot shear the table.
+        width = max([12] + [len(venue_id) for venue_id in self.venues])
         for venue_id in sorted(self.venues):
             venue = self.venues[venue_id]
             line = (
-                f"  {venue_id:<12} {venue.windows:4d} windows  "
+                f"  {venue_id:<{width}} {venue.windows:4d} windows  "
                 f"{venue.records:7d} records  {venue.sequences:5d} sequences  "
                 f"{venue.semantics:6d} semantics  "
                 f"{venue.translate_seconds:6.2f}s translate  "
@@ -421,6 +435,7 @@ class LiveTranslationService:
         retires nothing — the pre-lifecycle behaviour, bit for bit).
         """
         self._ensure_open()
+        registry = get_registry()
         started = time.perf_counter()
         if self._started is None:
             self._started = started
@@ -436,16 +451,17 @@ class LiveTranslationService:
             state = self._states[vid]
             sequences = PositioningSequence.group_records(venue_records)
             venue_started = time.perf_counter()
-            if not state.store_checked:
-                self._create_store(state)
-            retired: list = []
-            if state.store is not None:
-                batch, _ = state.engine.translate_increment(
-                    sequences, store=state.store
-                )
-                retired = state.store.roll()  # one epoch per window
-            else:
-                batch, _ = state.engine.translate_increment(sequences)
+            with registry.trace("live_window", venue=vid):
+                if not state.store_checked:
+                    self._create_store(state)
+                retired: list = []
+                if state.store is not None:
+                    batch, _ = state.engine.translate_increment(
+                        sequences, store=state.store
+                    )
+                    retired = state.store.roll()  # one epoch per window
+                else:
+                    batch, _ = state.engine.translate_increment(sequences)
             venue_elapsed = time.perf_counter() - venue_started
             if self.live_config.retain_results:
                 state.results.extend(batch.results)
@@ -460,6 +476,23 @@ class LiveTranslationService:
                     state.store.knowledge.sequences_seen
                 )
                 stats.retained_epochs = state.store.retained_epochs
+            if registry.enabled:
+                registry.histogram(
+                    "trips_live_window_seconds", venue=vid
+                ).observe(venue_elapsed)
+                registry.counter(
+                    "trips_live_records_total", venue=vid
+                ).inc(len(venue_records))
+                registry.counter(
+                    "trips_live_semantics_total", venue=vid
+                ).inc(batch.total_semantics)
+                if state.store is not None:
+                    registry.gauge(
+                        "trips_knowledge_retained_epochs", venue=vid
+                    ).set(state.store.retained_epochs)
+                    registry.gauge(
+                        "trips_knowledge_sequences", venue=vid
+                    ).set(state.store.knowledge.sequences_seen)
             self._observe_rate(state, venue_records)
             if self._journal is not None:
                 if self.live_config.retain_results:
@@ -476,6 +509,8 @@ class LiveTranslationService:
         self._windows += 1
         self._translate_seconds += elapsed
         self._elapsed = finished - self._started
+        if registry.enabled:
+            registry.counter("trips_live_windows_total").inc()
         if self._journal is not None:
             self._journal.append_window(
                 self._windows - 1, {"venues": journal_venues}
@@ -612,6 +647,12 @@ class LiveTranslationService:
         for entry in entries:
             self._replay_entry(entry)
         self._since_snapshot = len(entries)
+        registry = get_registry()
+        if registry.enabled:
+            registry.gauge("trips_recovery_windows_replayed").set(
+                len(entries)
+            )
+            registry.counter("trips_recoveries_total").inc()
         if self.live_config.retain_results:
             for state in self._states.values():
                 for records in state.batches:
@@ -857,6 +898,16 @@ class LiveTranslationService:
             semantics=sum(v.semantics for v in venues.values()),
             translate_seconds=self._translate_seconds,
             elapsed_seconds=self._elapsed,
+            wal_bytes=(
+                self._journal.wal.bytes_written
+                if self._journal is not None
+                else 0
+            ),
+            snapshots=(
+                self._journal.snapshots_written
+                if self._journal is not None
+                else 0
+            ),
             venues=venues,
         )
 

@@ -1,0 +1,113 @@
+"""Unified telemetry: metrics registry, span tracing, and exposition.
+
+Every layer of the pipeline — engine phases, live windows, knowledge
+rolls, exchange rounds, WAL appends, snapshots, recovery — reports into
+one process-wide :class:`MetricsRegistry` of counters, gauges, and
+fixed-bucket histograms, plus nested monotonic span traces.  The
+registry is dependency-free (stdlib + the repo's own
+:class:`~repro.core.complementing.ExactSum`) and process-safe: worker
+registries ship plain-dict snapshots back to the coordinator, where
+:meth:`MetricsRegistry.merge_snapshot` folds them in exactly —
+counters by integer addition, histogram sums through their Shewchuk
+expansion partials — so aggregated telemetry is order- and
+worker-count-independent.
+
+The cardinal invariant is **exactness neutrality**: telemetry observes,
+it never participates.  Translation output and ``finalize()`` knowledge
+are bit-for-bit identical with telemetry enabled or disabled, across
+every execution backend and record layout — proven by the differential
+suite in ``tests/test_telemetry.py``.  The disabled path is a
+:class:`NullRegistry` whose instruments are shared no-ops, so
+uninstrumented runs stay near-free (gated by
+``benchmarks/bench_telemetry.py``, which also caps the enabled overhead
+at 3% per window).
+
+Exposition is threefold: ``trips serve --metrics-port N`` starts a
+:class:`MetricsServer` (Prometheus text at ``/metrics``, JSON snapshot
+at ``/metrics.json``), the live service's ``format_table`` renders the
+same numbers for the console, and ``--telemetry-dump PATH`` writes the
+end-of-run JSON snapshot as an artifact.
+
+The process-wide registry defaults to disabled; enable it with::
+
+    from repro.telemetry import MetricsRegistry, set_registry
+
+    set_registry(MetricsRegistry())
+
+or scope it to a block with :func:`use_registry`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+
+from .exposition import MetricsServer, render_json, render_prometheus
+from .registry import (
+    DEFAULT_BUCKETS,
+    DEFAULT_SPAN_RING,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+from .spans import SPAN_HISTOGRAM, Span, SpanTracer
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "DEFAULT_SPAN_RING",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsServer",
+    "NullRegistry",
+    "SPAN_HISTOGRAM",
+    "Span",
+    "SpanTracer",
+    "get_registry",
+    "render_json",
+    "render_prometheus",
+    "set_registry",
+    "use_registry",
+]
+
+#: The shared disabled registry — the process-wide default.
+NULL_REGISTRY = NullRegistry()
+
+_state_lock = threading.Lock()
+_registry: "MetricsRegistry | NullRegistry" = NULL_REGISTRY
+
+
+def get_registry() -> "MetricsRegistry | NullRegistry":
+    """The process-wide registry (a :class:`NullRegistry` by default)."""
+    return _registry
+
+
+def set_registry(
+    registry: "MetricsRegistry | NullRegistry | None",
+) -> "MetricsRegistry | NullRegistry":
+    """Install ``registry`` process-wide and return the previous one.
+
+    ``None`` restores the shared disabled registry.
+    """
+    global _registry
+    with _state_lock:
+        previous = _registry
+        _registry = registry if registry is not None else NULL_REGISTRY
+    return previous
+
+
+@contextlib.contextmanager
+def use_registry(registry: "MetricsRegistry | NullRegistry | None"):
+    """Scope the process-wide registry to a ``with`` block.
+
+    Restores the previous registry on exit, even on error — the shape
+    tests use to instrument one translation without leaking state.
+    """
+    previous = set_registry(registry)
+    try:
+        yield get_registry()
+    finally:
+        set_registry(previous)

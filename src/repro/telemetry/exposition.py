@@ -1,0 +1,206 @@
+"""Exposition: Prometheus text + JSON rendering, and the scrape server.
+
+Both renderers take a **snapshot** (the plain-dict output of
+:meth:`~repro.telemetry.registry.MetricsRegistry.snapshot`), never a
+live registry — the snapshot is taken under the registry lock, so a
+scrape observes one consistent cut even while ingestion keeps updating
+instruments (snapshot isolation).
+
+:class:`MetricsServer` is a stdlib ``http.server`` running on a daemon
+thread — no third-party dependency — serving:
+
+- ``GET /metrics`` — Prometheus text exposition (version 0.0.4), the
+  format every Prometheus-compatible scraper understands;
+- ``GET /metrics.json`` — the full JSON snapshot, including histogram
+  max values and the recent-span ring, for humans and ad-hoc tooling.
+
+Wired up by ``trips serve --metrics-port N`` (port 0 asks the OS for an
+ephemeral port; read it back from :attr:`MetricsServer.port`).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+CONTENT_TYPE_TEXT = "text/plain; version=0.0.4; charset=utf-8"
+CONTENT_TYPE_JSON = "application/json; charset=utf-8"
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+    )
+
+
+def _format_labels(labels: "list | tuple", extra: "tuple | None" = None) -> str:
+    """Render a label set as ``{k="v",...}`` (empty string when bare)."""
+    pairs = [tuple(pair) for pair in labels]
+    if extra is not None:
+        pairs.append(extra)
+    if not pairs:
+        return ""
+    body = ",".join(
+        f'{key}="{_escape_label_value(str(value))}"' for key, value in pairs
+    )
+    return "{" + body + "}"
+
+
+def _format_value(value: float) -> str:
+    """Prometheus-flavoured number: ``+Inf``/``-Inf``/``NaN`` spelled out."""
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        if math.isnan(value):
+            return "NaN"
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def render_prometheus(snapshot: dict) -> str:
+    """Render a registry snapshot as Prometheus text exposition.
+
+    Families are sorted by metric name and series by label set, so the
+    output is deterministic for a given snapshot; histograms expand to
+    the conventional ``_bucket`` (cumulative, with an explicit ``+Inf``
+    bound), ``_sum``, and ``_count`` series.
+    """
+    lines: "list[str]" = []
+    typed: "set[str]" = set()
+
+    for entry in sorted(
+        snapshot.get("counters", ()), key=lambda e: (e["name"], e["labels"])
+    ):
+        if entry["name"] not in typed:
+            typed.add(entry["name"])
+            lines.append(f"# TYPE {entry['name']} counter")
+        lines.append(
+            f"{entry['name']}{_format_labels(entry['labels'])} "
+            f"{_format_value(entry['value'])}"
+        )
+
+    for entry in sorted(
+        snapshot.get("gauges", ()), key=lambda e: (e["name"], e["labels"])
+    ):
+        if entry["name"] not in typed:
+            typed.add(entry["name"])
+            lines.append(f"# TYPE {entry['name']} gauge")
+        lines.append(
+            f"{entry['name']}{_format_labels(entry['labels'])} "
+            f"{_format_value(entry['value'])}"
+        )
+
+    seen_histograms: "set[str]" = set()
+    for entry in sorted(
+        snapshot.get("histograms", ()), key=lambda e: (e["name"], e["labels"])
+    ):
+        name = entry["name"]
+        if name not in seen_histograms:
+            seen_histograms.add(name)
+            lines.append(f"# TYPE {name} histogram")
+        labels = entry["labels"]
+        cumulative = 0
+        for bound, count in zip(entry["bounds"], entry["counts"]):
+            cumulative += count
+            le = _format_value(float(bound))
+            lines.append(
+                f"{name}_bucket{_format_labels(labels, ('le', le))} "
+                f"{cumulative}"
+            )
+        cumulative += entry["counts"][-1]
+        lines.append(
+            f"{name}_bucket{_format_labels(labels, ('le', '+Inf'))} "
+            f"{cumulative}"
+        )
+        lines.append(
+            f"{name}_sum{_format_labels(labels)} "
+            f"{_format_value(float(entry['sum']))}"
+        )
+        lines.append(f"{name}_count{_format_labels(labels)} {entry['count']}")
+
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def render_json(snapshot: dict) -> str:
+    """Render a registry snapshot as deterministic, indented JSON."""
+    return json.dumps(snapshot, indent=2, sort_keys=True) + "\n"
+
+
+class _MetricsHandler(BaseHTTPRequestHandler):
+    """Serves ``/metrics`` and ``/metrics.json`` from fresh snapshots."""
+
+    # Set per-server-class by MetricsServer; a callable returning a dict.
+    snapshot_fn = staticmethod(lambda: {})
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib handler naming)
+        path = self.path.split("?", 1)[0]
+        if path == "/metrics":
+            body = render_prometheus(self.snapshot_fn()).encode("utf-8")
+            content_type = CONTENT_TYPE_TEXT
+        elif path in ("/metrics.json", "/metrics/json"):
+            body = render_json(self.snapshot_fn()).encode("utf-8")
+            content_type = CONTENT_TYPE_JSON
+        else:
+            self.send_error(404, "unknown path; try /metrics or /metrics.json")
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:
+        pass  # scrapes are high-frequency; keep the console quiet
+
+
+class MetricsServer:
+    """Background scrape endpoint for one registry.
+
+    Runs a ``ThreadingHTTPServer`` on a daemon thread; every request
+    takes a *fresh* snapshot under the registry lock, so responses are
+    consistent cuts regardless of concurrent updates.  Usable as a
+    context manager::
+
+        with MetricsServer(registry, port=0) as server:
+            print(f"scrape me on :{server.port}")
+    """
+
+    def __init__(self, registry, port: int = 0, host: str = "127.0.0.1"):
+        self._registry = registry
+        handler = type(
+            "_BoundMetricsHandler",
+            (_MetricsHandler,),
+            {"snapshot_fn": staticmethod(registry.snapshot)},
+        )
+        self._server = ThreadingHTTPServer((host, port), handler)
+        self._server.daemon_threads = True
+        self._thread: "threading.Thread | None" = None
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolved even when constructed with port 0)."""
+        return self._server.server_address[1]
+
+    def start(self) -> "MetricsServer":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._server.serve_forever,
+                name="trips-metrics",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is not None:
+            self._server.shutdown()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._server.server_close()
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

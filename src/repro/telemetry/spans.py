@@ -1,0 +1,149 @@
+"""Lightweight span tracing: nested monotonic timers on a bounded ring.
+
+A *span* is one timed phase — ``registry.trace("live_window",
+venue="mall")`` — measured on the monotonic clock
+(:func:`time.perf_counter`), never wall time, so durations are immune to
+clock steps.  Spans nest per thread: a ``trace`` opened while another is
+running records the outer span as its parent, so one live window's
+record shows the engine phases inside it.
+
+Completed spans land on a bounded ring (:class:`SpanTracer`, a
+``deque(maxlen=...)``) — recent history for the JSON exposition without
+unbounded growth — and each completion also feeds the
+``trips_span_seconds`` histogram (labelled by span name), which is where
+p99-style questions are answered after the ring has rotated.
+
+Tracing never touches the traced computation: spans observe clocks and
+counters only, which is one half of the telemetry exactness contract
+(``tests/test_telemetry.py`` proves translation output is bit-for-bit
+identical with tracing on or off).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .registry import MetricsRegistry
+
+#: Histogram fed by every completed span, labelled ``span=<name>``.
+SPAN_HISTOGRAM = "trips_span_seconds"
+
+
+@dataclass
+class Span:
+    """One timed phase: identity, lineage, and monotonic timing."""
+
+    span_id: int
+    name: str
+    labels: "dict[str, str]"
+    #: ``span_id`` of the span this one nested inside (``None`` at root).
+    parent_id: "int | None"
+    #: Nesting depth (0 at root) — render-friendly lineage summary.
+    depth: int
+    #: Monotonic start (``time.perf_counter``); meaningful only relative
+    #: to other spans of the same process.
+    started: float
+    duration: "float | None" = None
+
+    def to_dict(self) -> dict:
+        return {
+            "span_id": self.span_id,
+            "name": self.name,
+            "labels": dict(self.labels),
+            "parent_id": self.parent_id,
+            "depth": self.depth,
+            "started": self.started,
+            "duration": self.duration,
+        }
+
+
+class _SpanContext:
+    """The context manager one ``trace()`` call returns (not reusable)."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "SpanTracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._push(self._span)
+        self._span.started = time.perf_counter()
+        return self._span
+
+    def __exit__(self, *exc_info) -> None:
+        duration = time.perf_counter() - self._span.started
+        self._span.duration = duration
+        self._tracer._pop(self._span)
+        self._tracer._record(self._span)
+
+
+class _NullSpanContext:
+    """Shared, stateless no-op context manager for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+
+_NULL_SPAN_CONTEXT = _NullSpanContext()
+
+
+class SpanTracer:
+    """Per-registry span state: id allocation, nesting stack, ring."""
+
+    def __init__(self, ring: int, registry: "MetricsRegistry"):
+        self._ring: "deque[Span]" = deque(maxlen=ring)
+        self._registry = registry
+        self._ids = itertools.count()
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    def trace(self, name: str, labels: Mapping[str, object]) -> _SpanContext:
+        parent = self._stack()[-1] if self._stack() else None
+        span = Span(
+            span_id=next(self._ids),
+            name=name,
+            labels={k: str(v) for k, v in labels.items()},
+            parent_id=parent.span_id if parent is not None else None,
+            depth=parent.depth + 1 if parent is not None else 0,
+            started=0.0,
+        )
+        return _SpanContext(self, span)
+
+    def recent(self) -> "list[Span]":
+        with self._lock:
+            return list(self._ring)
+
+    # ------------------------------------------------------------------
+    def _stack(self) -> "list[Span]":
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _push(self, span: Span) -> None:
+        self._stack().append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+
+    def _record(self, span: Span) -> None:
+        with self._lock:
+            self._ring.append(span)
+        self._registry.histogram(SPAN_HISTOGRAM, span=span.name).observe(
+            span.duration
+        )
