@@ -1,36 +1,45 @@
-"""Profile phase two and commit the artifact its telemetry is based on.
+"""Profile phase two and commit the artifacts its telemetry is based on.
 
 Phase two (complementing) is the engine's post-barrier fan-out: every
 chunk of annotated sequences is re-scored against the merged batch
 knowledge.  The ``trips_engine_chunk_seconds{phase="two"}`` histogram
 surfaces exactly the wall time this script dissects; run it to
-regenerate the committed artifact::
+regenerate the committed artifacts::
 
-    PYTHONPATH=src python benchmarks/profile_phase_two.py
+    PYTHONPATH=src python benchmarks/profile_phase_two.py            # objects
+    PYTHONPATH=src python benchmarks/profile_phase_two.py --compare  # both
 
 which cProfiles ``run_phase_two_chunk`` over the deterministic mall
 population with dropout windows punched into every device (a
 fully-covered simulated day has no gaps, so the dropout is what gives
 phase two a work list; phase one runs once, unprofiled, to produce the
-annotated input and the batch knowledge) and writes
-``benchmarks/profiles/phase_two_objects.txt`` — cumulative-time ranking
-first, then total-time ranking.  The committed profile shows where a
-phase-two window's time goes: the fixed-hop Viterbi search under
-``SemanticsInference.best_path``, whose inner loop is dominated by
+annotated input and the batch knowledge).
+
+The default run pins the *object-model* inference
+(``InferenceConfig(compiled=False)``) and writes
+``benchmarks/profiles/phase_two_objects.txt`` — its ranking shows the
+fixed-hop Viterbi under ``SemanticsInference.best_path`` dominated by
 ``MobilityKnowledge.transition_probability`` / ``log_transition``
-lookups — the shape the ``trips_engine_chunk_seconds{phase="two"}``
-histogram summarizes in production.
+recomputation and networkx adjacency walks.  ``--compare`` additionally
+profiles the compiled path (integer-indexed
+``CompiledTransitionModel`` tables — the default in production) into
+``benchmarks/profiles/phase_two_compiled.txt`` and prints a wall-clock
+comparison of the two legs over identical inputs; the enforced version
+of that comparison is ``benchmarks/bench_phase_two.py``.
 """
 
 from __future__ import annotations
 
+import argparse
 import cProfile
 import io
 import pstats
+import time
 from pathlib import Path
 
 PROFILE_DIR = Path(__file__).parent / "profiles"
 ARTIFACT = PROFILE_DIR / "phase_two_objects.txt"
+COMPILED_ARTIFACT = PROFILE_DIR / "phase_two_compiled.txt"
 
 #: Explicit, committed population seed — rerunning reproduces the exact
 #: same feed, so profile deltas are attributable to code changes only
@@ -71,6 +80,22 @@ def build_workload():
     return Translator(mall), sequences
 
 
+def object_path_translator(model):
+    """A translator pinned to the object-model (compiled=False) inference."""
+    from repro.core import Translator
+    from repro.core.complementing import ComplementorConfig, InferenceConfig
+    from repro.core.translator import TranslatorConfig
+
+    return Translator(
+        model,
+        config=TranslatorConfig(
+            complementing=ComplementorConfig(
+                inference=InferenceConfig(compiled=False)
+            )
+        ),
+    )
+
+
 def profile_run(fn, *args, **kwargs) -> str:
     profiler = cProfile.Profile()
     profiler.enable()
@@ -85,13 +110,22 @@ def profile_run(fn, *args, **kwargs) -> str:
     return out.getvalue()
 
 
-def main() -> None:
+def main(argv: list[str] | None = None) -> None:
     from repro.core.complementing import MobilityKnowledge
     from repro.core.translator import (
         build_partial_knowledge,
         run_phase_one_chunk,
         run_phase_two_chunk,
     )
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--compare",
+        action="store_true",
+        help="also profile the compiled inference path and print an "
+        "objects-vs-compiled wall-clock comparison over identical inputs",
+    )
+    args = parser.parse_args(argv)
 
     translator, sequences = build_workload()
     records = sum(len(s) for s in sequences)
@@ -102,30 +136,74 @@ def main() -> None:
     chunk = run_phase_one_chunk(translator, sequences, emit_partial=True)
     annotated = [annotation.sequence for _, annotation in chunk.pairs]
     partial = build_partial_knowledge(translator, annotated)
-    knowledge = MobilityKnowledge.from_partials(
-        [partial],
-        regions=list(partial.regions),
-        smoothing=translator.config.knowledge_smoothing,
-    )
+
+    def make_knowledge():
+        # Fresh knowledge per leg: the compiled leg attaches its tables
+        # to the knowledge object, and sharing one would let the objects
+        # leg accidentally serve queries off those tables.
+        return MobilityKnowledge.from_partials(
+            [partial],
+            regions=list(partial.regions),
+            smoothing=translator.config.knowledge_smoothing,
+        )
 
     header = (
         f"phase-two cProfile | mall3 population "
         f"(count={POPULATION_COUNT}, seed={POPULATION_SEED}, "
         f"{records} records, {len(annotated)} annotated sequences)\n"
-        f"regenerate: PYTHONPATH=src python benchmarks/profile_phase_two.py\n"
+        f"regenerate: PYTHONPATH=src python benchmarks/profile_phase_two.py"
+        " --compare\n"
     )
-    profile = profile_run(
-        run_phase_two_chunk, translator, (knowledge, annotated)
-    )
+    objects_translator = object_path_translator(translator.model)
     PROFILE_DIR.mkdir(parents=True, exist_ok=True)
+
+    profile = profile_run(
+        run_phase_two_chunk, objects_translator, (make_knowledge(), annotated)
+    )
     ARTIFACT.write_text(
         header
-        + "\n================ objects layout (run_phase_two_chunk) "
+        + "\n================ objects inference (run_phase_two_chunk) "
         "================\n"
         + profile,
         encoding="utf-8",
     )
     print(f"wrote {ARTIFACT}")
+
+    if not args.compare:
+        return
+
+    profile = profile_run(
+        run_phase_two_chunk, translator, (make_knowledge(), annotated)
+    )
+    COMPILED_ARTIFACT.write_text(
+        header
+        + "\n================ compiled inference (run_phase_two_chunk) "
+        "================\n"
+        + profile,
+        encoding="utf-8",
+    )
+    print(f"wrote {COMPILED_ARTIFACT}")
+
+    legs = {"objects": objects_translator, "compiled": translator}
+    timings = {}
+    for name, leg in legs.items():
+        best = min(
+            _timed(run_phase_two_chunk, leg, (make_knowledge(), annotated))
+            for _ in range(3)
+        )
+        timings[name] = best
+    speedup = timings["objects"] / timings["compiled"]
+    print(
+        f"objects  {timings['objects']:8.3f}s\n"
+        f"compiled {timings['compiled']:8.3f}s\n"
+        f"speedup  {speedup:8.2f}x  (gate enforced by bench_phase_two.py)"
+    )
+
+
+def _timed(fn, *args) -> float:
+    started = time.perf_counter()
+    fn(*args)
+    return time.perf_counter() - started
 
 
 if __name__ == "__main__":

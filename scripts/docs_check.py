@@ -27,6 +27,7 @@ DOCUMENTS = ("README.md", "docs/architecture.md")
 
 #: Subsystem packages whose docstrings must state their invariants.
 INVARIANT_PACKAGES = {
+    "repro.core.complementing": "bit-for-bit",
     "repro.engine": "identical",
     "repro.knowledge": "bit-for-bit",
     "repro.live": "exact",

@@ -3,8 +3,15 @@
 Mobility-knowledge construction (Laplace-smoothed region transition model
 plus dwell statistics) and MAP inference of the missing mobility semantics
 across temporal gaps — paper §3, "Complementing" in Figure 3.
+
+Invariant: the compiled inference path (integer-indexed transition tables
+from :class:`CompiledTransitionModel`, cache keyed by the knowledge's
+mutation generation) is bit-for-bit equivalent to the object-model
+reference path — identical floats, identical tie-breaks, identical
+inferred semantics.
 """
 
+from .compiled import CompiledTransitionModel, ensure_compiled
 from .complementor import (
     ComplementorConfig,
     ComplementResult,
@@ -26,6 +33,7 @@ from .knowledge import (
 
 __all__ = [
     "NOMINAL_WALK_SPEED",
+    "CompiledTransitionModel",
     "ComplementResult",
     "ComplementorConfig",
     "ExactSum",
@@ -36,5 +44,6 @@ __all__ = [
     "PartialKnowledge",
     "RegionStats",
     "SemanticsInference",
+    "ensure_compiled",
     "merge_partials",
 ]

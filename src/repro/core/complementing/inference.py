@@ -8,17 +8,34 @@ region graph: for each candidate intermediate-hop count ``k`` it finds the
 maximum-log-probability region path from the gap's start region to its end
 region, scores each ``k`` by how well the path's expected dwell+travel time
 explains the gap duration, and emits the winner as inferred triplets.
+
+Two interchangeable execution paths implement the same semantics:
+
+- the **object path** walks the networkx region graph and recomputes the
+  smoothed ``log P(dest | origin)`` per DP step — the readable reference
+  implementation;
+- the **compiled path** (default, ``InferenceConfig.compiled``) runs the
+  identical DP over integer states with table lookups from a
+  :class:`~repro.core.complementing.compiled.CompiledTransitionModel`,
+  plus a bounded per-inference memo of :meth:`SemanticsInference.best_path`
+  answers, both keyed by the knowledge's mutation ``generation``.
+
+The paths are bit-for-bit equivalent — same candidate paths, same
+floats, same first-seen/strict-``>`` tie-breaks — proven by the
+differential suite in ``tests/test_compiled_inference.py``.
 """
 
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from ...dsm import Topology
 from ...errors import InferenceError
 from ...timeutil import TimeRange
 from ..semantics import EVENT_PASS_BY, EVENT_STAY, MobilitySemantic
+from .compiled import CompiledTransitionModel, ensure_compiled
 from .knowledge import MobilityKnowledge
 
 #: Nominal indoor walking speed used to estimate travel time between regions.
@@ -40,12 +57,22 @@ class InferenceConfig:
     default_dwell: float = 60.0
     #: Below this allocated time an inferred visit is a pass-by, not a stay.
     pass_by_threshold: float = 45.0
+    #: Run the integer-indexed compiled DP (bit-for-bit identical to the
+    #: object path; ``False`` forces the reference implementation — the
+    #: lever the differential harness flips).
+    compiled: bool = True
+    #: Bound of the per-inference ``best_path`` memo (0 disables it).
+    path_memo: int = 4096
 
     def __post_init__(self) -> None:
         if self.max_hops < 0:
             raise InferenceError(f"max_hops must be >= 0, got {self.max_hops}")
         if self.duration_weight < 0:
             raise InferenceError("duration_weight must be >= 0")
+        if self.path_memo < 0:
+            raise InferenceError(
+                f"path_memo must be >= 0, got {self.path_memo}"
+            )
 
 
 @dataclass(frozen=True)
@@ -83,6 +110,50 @@ class SemanticsInference:
         self.knowledge = knowledge
         self.topology = topology
         self.config = config if config is not None else InferenceConfig()
+        # Bounded LRU of best_path answers, valid for one knowledge
+        # generation; cleared the moment the compiled model's generation
+        # moves.  Per-inference (not shared through the knowledge object)
+        # so concurrent phase-two workers never contend on it and the
+        # entries implicitly carry this inference's config.
+        self._path_memo: "OrderedDict[tuple, InferredPath | None]" = (
+            OrderedDict()
+        )
+        self._memo_generation: int | None = None
+        # Plain-int telemetry accumulators; flushed in one registry
+        # interaction per phase-two chunk (see ``flush_telemetry``) so
+        # the DP hot path never touches the registry.
+        self.memo_hits = 0
+        self.memo_misses = 0
+
+    def prime(self) -> CompiledTransitionModel | None:
+        """Ensure a current compiled model is attached (compiled path).
+
+        Called once per phase-two chunk so the compile cost lands before
+        the per-sequence loop and the compile/hit telemetry ticks once
+        per chunk; returns ``None`` when the object path is configured.
+        """
+        if not self.config.compiled:
+            return None
+        return ensure_compiled(self.knowledge, self.topology)
+
+    def flush_telemetry(self) -> None:
+        """Push the accumulated memo hit/miss counts to the registry."""
+        hits, misses = self.memo_hits, self.memo_misses
+        if not hits and not misses:
+            return
+        # Lazy import: repro.telemetry imports this package for ExactSum.
+        from ...telemetry import get_registry
+
+        registry = get_registry()
+        if registry.enabled:
+            if hits:
+                registry.counter("trips_inference_memo_hits_total").inc(hits)
+            if misses:
+                registry.counter("trips_inference_memo_misses_total").inc(
+                    misses
+                )
+        self.memo_hits = 0
+        self.memo_misses = 0
 
     def infer_gap(
         self,
@@ -159,7 +230,17 @@ class SemanticsInference:
         return sorted(semantics, key=lambda s: s.time_range)
 
     def _dwell_deficit(self, triplet: MobilitySemantic) -> float:
-        """How much shorter than typical this visit was observed to be."""
+        """How much shorter than typical this visit was observed to be.
+
+        Unknown-region contract: a flanking triplet whose region is
+        outside the knowledge vocabulary yields a deficit of **0.0** —
+        silently, by design.  Flank extension is opportunistic polish
+        ("more of the same visit"), so a region the knowledge cannot
+        speak about simply contributes no extension, and the gap still
+        gets its middle-path inference.  Contrast :meth:`best_path`,
+        where an unknown *endpoint* makes the whole inference unanswerable
+        and raises :class:`~repro.errors.InferenceError` loudly.
+        """
         if triplet.region_id not in self.knowledge._region_set:
             return 0.0
         stats = self.knowledge.region_stats(triplet.region_id)
@@ -174,11 +255,202 @@ class SemanticsInference:
 
         Runs the hop-bounded Viterbi DP and scores each hop count by
         path log-probability minus a duration-mismatch penalty.
+
+        Unknown-region contract: unlike :meth:`_dwell_deficit` (which
+        silently skips flank extension), a path *endpoint* outside the
+        knowledge vocabulary raises :class:`~repro.errors.InferenceError`
+        — there is no prior to reason with, so answering would be a
+        fabrication.  Callers that may hold unknown endpoints gate on
+        the vocabulary first (as the complementor does).
+
+        On the compiled path, answers are memoized per
+        ``(origin, destination, gap_duration)`` in a bounded LRU keyed
+        to the knowledge generation: any mutation of the knowledge
+        invalidates the memo wholesale, so a stale answer can never
+        outlive the evidence it was computed from.
         """
         if origin not in self.knowledge._region_set:
             raise InferenceError(f"unknown origin region {origin!r}")
         if destination not in self.knowledge._region_set:
             raise InferenceError(f"unknown destination region {destination!r}")
+        if not self.config.compiled:
+            return self._best_path_objects(origin, destination, gap_duration)
+        # Fast revalidation: a current attached model is one attribute
+        # read plus a generation compare; ensure_compiled (which also
+        # ticks the compile/hit telemetry) only runs when the cache is
+        # absent, stale, or bound to a different topology — so the
+        # counters measure chunk-level cache behaviour, not call volume.
+        compiled = self.knowledge.compiled_model()
+        if compiled is None or compiled.topology is not self.topology:
+            compiled = ensure_compiled(self.knowledge, self.topology)
+        memo_limit = self.config.path_memo
+        memo = self._path_memo
+        if memo_limit:
+            if self._memo_generation != compiled.generation:
+                memo.clear()
+                self._memo_generation = compiled.generation
+            key = (origin, destination, gap_duration)
+            try:
+                hit = memo[key]
+            except KeyError:
+                self.memo_misses += 1
+            else:
+                memo.move_to_end(key)
+                self.memo_hits += 1
+                return hit
+        path = self._best_path_compiled(
+            compiled, origin, destination, gap_duration
+        )
+        if memo_limit:
+            memo[key] = path
+            if len(memo) > memo_limit:
+                memo.popitem(last=False)
+        return path
+
+    # ------------------------------------------------------------------
+    # Compiled path: integer-indexed Viterbi over precompiled tables
+    # ------------------------------------------------------------------
+    def _best_path_compiled(
+        self,
+        compiled: CompiledTransitionModel,
+        origin: str,
+        destination: str,
+        gap_duration: float,
+    ) -> InferredPath | None:
+        """The object path's exact DP, over integer states and tables.
+
+        Every float it produces — leg logs, their running sums, duration
+        penalties — comes from table entries computed by the identical
+        expressions, combined in the identical order, so candidate
+        scores and tie-breaks match the object path bit for bit.
+        """
+        origin_index = compiled.index[origin]
+        destination_index = compiled.index[destination]
+        candidates: list[InferredPath] = []
+        direct = InferredPath(
+            regions=(),
+            log_probability=(
+                compiled.log_rows[origin_index][destination_index]
+                if origin != destination
+                else 0.0
+            ),
+            duration_penalty=self._duration_penalty_compiled(
+                compiled, (), origin_index, destination_index, gap_duration
+            ),
+        )
+        candidates.append(direct)
+        if compiled.in_graph[origin_index] and compiled.in_graph[
+            destination_index
+        ]:
+            for hops in range(1, self.config.max_hops + 1):
+                best = self._viterbi_fixed_hops_compiled(
+                    compiled, origin_index, destination_index, hops
+                )
+                if best is None:
+                    continue
+                path_indices, log_probability = best
+                candidates.append(
+                    InferredPath(
+                        regions=tuple(
+                            compiled.regions[i] for i in path_indices
+                        ),
+                        log_probability=log_probability,
+                        duration_penalty=self._duration_penalty_compiled(
+                            compiled,
+                            path_indices,
+                            origin_index,
+                            destination_index,
+                            gap_duration,
+                        ),
+                    )
+                )
+        if not candidates:
+            return None
+        return max(candidates, key=lambda c: c.score)
+
+    def _viterbi_fixed_hops_compiled(
+        self,
+        compiled: CompiledTransitionModel,
+        origin: int,
+        destination: int,
+        hops: int,
+    ) -> tuple[tuple[int, ...], float] | None:
+        """Integer-state Viterbi: table lookups, no networkx, no logs.
+
+        State dicts are keyed by region *index*; insertion order follows
+        the frozen adjacency (lifted in graph iteration order), so the
+        first-seen ordering and strict-``>`` improvements resolve ties
+        exactly as the object implementation does.
+        """
+        neighbors = compiled.neighbors
+        neighbor_sets = compiled.neighbor_sets
+        log_rows = compiled.log_rows
+        # scores[index] = (best log-prob reaching index, back-pointer path)
+        scores: dict[int, tuple[float, tuple[int, ...]]] = {}
+        origin_row = log_rows[origin]
+        for neighbor in neighbors[origin]:
+            scores[neighbor] = (origin_row[neighbor], (neighbor,))
+        for _ in range(hops - 1):
+            next_scores: dict[int, tuple[float, tuple[int, ...]]] = {}
+            for region, (log_probability, path) in scores.items():
+                row = log_rows[region]
+                for neighbor in neighbors[region]:
+                    if neighbor == origin or neighbor in path:
+                        continue  # no revisits inside one inferred excursion
+                    candidate = log_probability + row[neighbor]
+                    held = next_scores.get(neighbor)
+                    if held is None or candidate > held[0]:
+                        next_scores[neighbor] = (candidate, path + (neighbor,))
+            scores = next_scores
+            if not scores:
+                return None
+        best: tuple[tuple[int, ...], float] | None = None
+        for region, (log_probability, path) in scores.items():
+            if destination not in neighbor_sets[region]:
+                continue
+            if destination in path:
+                continue
+            total = log_probability + log_rows[region][destination]
+            if best is None or total > best[1]:
+                best = (path, total)
+        return best
+
+    def _duration_penalty_compiled(
+        self,
+        compiled: CompiledTransitionModel,
+        intermediates: tuple[int, ...],
+        origin: int,
+        destination: int,
+        gap_duration: float,
+    ) -> float:
+        """:meth:`_duration_penalty` over indexed states.
+
+        Same legs, same defaulted distances and mean dwells, accumulated
+        in the same order — identical floats.
+        """
+        expected = 0.0
+        legs = (origin, *intermediates, destination)
+        previous = legs[0]
+        for leg in legs[1:]:
+            expected += compiled.leg_distance(previous, leg) / (
+                NOMINAL_WALK_SPEED
+            )
+            previous = leg
+        default_dwell = self.config.default_dwell
+        for region in intermediates:
+            expected += compiled.mean_dwell(region, default_dwell)
+        if gap_duration <= 0:
+            return self.config.duration_weight * (1.0 if intermediates else 0.0)
+        relative_error = (expected - gap_duration) / gap_duration
+        return self.config.duration_weight * relative_error * relative_error
+
+    # ------------------------------------------------------------------
+    # Object path: the reference implementation over the live graph
+    # ------------------------------------------------------------------
+    def _best_path_objects(
+        self, origin: str, destination: str, gap_duration: float
+    ) -> InferredPath | None:
+        """Reference DP over networkx adjacency and live smoothed queries."""
         candidates: list[InferredPath] = []
         direct = InferredPath(
             regions=(),
@@ -206,9 +478,6 @@ class SemanticsInference:
             return None
         return max(candidates, key=lambda c: c.score)
 
-    # ------------------------------------------------------------------
-    # Viterbi over the region graph
-    # ------------------------------------------------------------------
     def _viterbi_fixed_hops(
         self, origin: str, destination: str, hops: int
     ) -> tuple[tuple[str, ...], float] | None:

@@ -508,6 +508,67 @@ class MobilityKnowledge:
         self._region_set = set(self.regions)
         for region in self.regions:
             self._stats.setdefault(region, RegionStats())
+        # Monotonic mutation counter plus the compiled-model cache it
+        # invalidates.  Deliberately *not* dataclass fields: two
+        # knowledge objects with the same counts are equal regardless of
+        # how many mutations produced them, and the codec/pickle wire
+        # formats must not carry a derived cache.
+        self._generation = 0
+        self._compiled = None
+
+    # ------------------------------------------------------------------
+    # Generations and the compiled-model cache
+    # ------------------------------------------------------------------
+    @property
+    def generation(self) -> int:
+        """Monotonic mutation counter.
+
+        Bumped by every mutating operation (:meth:`observe`,
+        :meth:`fold`, :meth:`unfold`, :meth:`scale` — and everything
+        built on them, e.g. :meth:`repro.knowledge.KnowledgeStore.roll`
+        retirals and decay rescales).  Anything derived from the
+        aggregates — most importantly the
+        :class:`~repro.core.complementing.compiled.CompiledTransitionModel`
+        — records the generation it was computed at and is stale the
+        moment the counters differ, so no mutation path can leave a
+        cached answer live.
+        """
+        return self._generation
+
+    def _mutated(self) -> None:
+        """Record one mutation; invalidates every generation-keyed cache."""
+        self._generation += 1
+
+    def attach_compiled(self, compiled) -> None:
+        """Attach a compiled transition model for the current generation.
+
+        A plain attribute store (atomic under the GIL), so concurrent
+        phase-two workers sharing this object may race: the last attach
+        wins, and since both models were compiled from the same
+        generation they are interchangeable.
+        """
+        self._compiled = compiled
+
+    def compiled_model(self):
+        """The attached compiled model, or ``None`` when absent/stale."""
+        compiled = self._compiled
+        if compiled is not None and compiled.generation == self._generation:
+            return compiled
+        return None
+
+    def __getstate__(self) -> dict:
+        """Pickle without the compiled cache (it re-derives on demand).
+
+        The generation counter *does* travel: a process-backend worker
+        that caches the unpickled knowledge keys its compiled model off
+        the same counter the coordinator bumped.
+        """
+        state = dict(self.__dict__)
+        state["_compiled"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
 
     @classmethod
     def from_sequences(
@@ -562,6 +623,7 @@ class MobilityKnowledge:
         max_transition_gap: float = DEFAULT_TRANSITION_GAP,
     ) -> None:
         """Fold one annotated sequence into the aggregates."""
+        self._mutated()
         self.sequences_seen += 1
         _observe_sequence(
             sequence,
@@ -590,6 +652,7 @@ class MobilityKnowledge:
                 f"vocabulary ({len(self.regions)} vs {len(partial.regions)} "
                 "regions)"
             )
+        self._mutated()
         self.sequences_seen += _add_counts(
             partial, self._transitions, self._outgoing_totals, self._stats
         )
@@ -618,6 +681,7 @@ class MobilityKnowledge:
                 f"(sequences {self.sequences_seen} - "
                 f"{partial.sequences_seen})"
             )
+        self._mutated()
         self.sequences_seen -= _subtract_counts(
             partial, self._transitions, self._outgoing_totals, self._stats
         )
@@ -637,6 +701,7 @@ class MobilityKnowledge:
             raise InferenceError(
                 f"scale factor must be non-negative, got {factor}"
             )
+        self._mutated()
         for origin in list(self._transitions):
             destinations = self._transitions[origin]
             for destination in list(destinations):
@@ -677,18 +742,34 @@ class MobilityKnowledge:
     # Queries
     # ------------------------------------------------------------------
     def transition_probability(self, origin: str, destination: str) -> float:
-        """Laplace-smoothed P(destination | origin) over the vocabulary."""
+        """Laplace-smoothed P(destination | origin) over the vocabulary.
+
+        Served from the attached compiled table when one is current —
+        the table entries are computed by this very expression, so both
+        routes return bit-for-bit the same float.  The live computation
+        avoids allocating a throwaway row dict for unseen origins by
+        fetching the row once and branching on ``None``.
+        """
         self._check_region(origin)
         self._check_region(destination)
         if origin == destination:
             return 0.0  # self-transitions were merged away during annotation
-        count = self._transitions.get(origin, {}).get(destination, 0)
+        compiled = self.compiled_model()
+        if compiled is not None:
+            return compiled.probability(origin, destination)
+        outgoing = self._transitions.get(origin)
+        count = outgoing.get(destination, 0) if outgoing is not None else 0
         total = self._outgoing_totals.get(origin, 0)
         vocabulary = len(self.regions) - 1  # all possible destinations
         return (count + self.smoothing) / (total + self.smoothing * vocabulary)
 
     def log_transition(self, origin: str, destination: str) -> float:
         """log P(destination | origin); -inf never occurs thanks to smoothing."""
+        compiled = self.compiled_model()
+        if compiled is not None and origin != destination:
+            self._check_region(origin)
+            self._check_region(destination)
+            return compiled.log_probability(origin, destination)
         return math.log(self.transition_probability(origin, destination))
 
     def transition_count(self, origin: str, destination: str) -> int:
@@ -706,16 +787,41 @@ class MobilityKnowledge:
         return stats.mean_dwell if stats.visits > 0 else default
 
     def most_likely_next(self, origin: str, top_k: int = 3) -> list[tuple[str, float]]:
-        """The ``top_k`` most probable successor regions of ``origin``."""
+        """The ``top_k`` most probable successor regions of ``origin``.
+
+        One smoothed distribution, not ``len(regions)`` independent
+        recomputations: the denominator is hoisted (or the whole row is
+        read off the attached compiled table), and since both evaluate
+        exactly the per-call expression, the ranking — probabilities
+        included — is bit-for-bit what per-destination
+        :meth:`transition_probability` calls would produce.
+        """
         self._check_region(origin)
-        ranked = sorted(
-            (
-                (destination, self.transition_probability(origin, destination))
+        compiled = self.compiled_model()
+        if compiled is not None:
+            row = compiled.probability_row(origin)
+            pairs = (
+                (destination, row[position])
+                for position, destination in enumerate(self.regions)
+                if destination != origin
+            )
+        else:
+            outgoing = self._transitions.get(origin)
+            if outgoing is None:
+                outgoing = {}
+            denominator = self._outgoing_totals.get(origin, 0) + (
+                self.smoothing * (len(self.regions) - 1)
+            )
+            pairs = (
+                (
+                    destination,
+                    (outgoing.get(destination, 0) + self.smoothing)
+                    / denominator,
+                )
                 for destination in self.regions
                 if destination != origin
-            ),
-            key=lambda pair: (-pair[1], pair[0]),
-        )
+            )
+        ranked = sorted(pairs, key=lambda pair: (-pair[1], pair[0]))
         return ranked[:top_k]
 
     def _check_region(self, region_id: str) -> None:

@@ -355,12 +355,23 @@ def run_phase_two_chunk(
     translator: "Translator",
     payload: tuple[MobilityKnowledge, list[MobilitySemanticsSequence]],
 ) -> list[ComplementResult]:
-    """Phase two for a chunk of annotated sequences, preserving order."""
+    """Phase two for a chunk of annotated sequences, preserving order.
+
+    Primes the compiled transition model once up front — the compile
+    (or attach-cache hit) lands per chunk rather than inside the first
+    gap's inference, and the compile/hit telemetry ticks exactly once per
+    chunk.  The memo hit/miss counters accumulated during the sequence
+    loop are flushed in one registry interaction at the end.
+    """
     knowledge, sequences = payload
     complementor = MobilitySemanticsComplementor(
         knowledge, translator.model.topology, translator.config.complementing
     )
-    return [complementor.complement(sequence) for sequence in sequences]
+    complementor.prime()
+    try:
+        return [complementor.complement(sequence) for sequence in sequences]
+    finally:
+        complementor.flush_telemetry()
 
 
 def assemble_results(

@@ -180,9 +180,15 @@ def _phase_two_task(
     The knowledge travels as a :class:`~repro.engine.backends.SharedValue`
     token — published once by the caller, resolved (and cached) per
     worker — so the translator installed at pool startup is never
-    re-shipped at the barrier.  Returns ``(worker seconds, complements)``;
-    like phase one, the timing crosses the process boundary on the result
-    because workers have no shared registry.
+    re-shipped at the barrier.  Because the resolved knowledge object is
+    cached per worker, the compiled transition model the chunk runner
+    attaches to it (``run_phase_two_chunk`` → ``prime()``) is cached
+    right alongside: a process worker compiles once on its first chunk
+    and every later chunk of the same generation reuses the tables.
+    In-process backends share one knowledge object, so they share one
+    compiled model the same way.  Returns ``(worker seconds,
+    complements)``; like phase one, the timing crosses the process
+    boundary on the result because workers have no shared registry.
     """
     key, token, chunk = payload
     started = time.perf_counter()
@@ -493,7 +499,13 @@ class Engine:
         annotated: list[MobilitySemanticsSequence],
         knowledge: MobilityKnowledge,
     ) -> list[ComplementResult]:
-        """Fan complementing out over the pool via a shared-knowledge token."""
+        """Fan complementing out over the pool via a shared-knowledge token.
+
+        One share per barrier: every chunk task resolves the same token,
+        so per-worker knowledge caches (and the compiled transition model
+        attached to the cached knowledge) stay warm across all chunks of
+        the phase.
+        """
         complements: list[ComplementResult] = []
         chunks = partition(annotated, self.config.chunk_size)
         if not chunks:
